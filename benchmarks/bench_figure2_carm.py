@@ -1,0 +1,65 @@
+"""Figure 2 — CARM characterisation of the CPU and GPU approaches.
+
+The artefact contains both panels (CI3 and GI2) as tables, ASCII charts and
+CSV blocks.  The benchmark timings cover (a) the analytical characterisation
+itself and (b) the functional measurement of the arithmetic intensity on a
+benchmark-scale dataset, which must agree with the analytical counters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from conftest import write_artifact
+
+from repro.core.approaches import get_approach
+from repro.core.combinations import generate_combinations
+from repro.carm.characterize import characterize_cpu_approaches, characterize_gpu_approaches
+from repro.devices import cpu, gpu
+from repro.experiments.figure2 import format_figure2, run_figure2
+from repro.perfmodel.counters import approach_counts
+
+
+def test_figure2_regeneration(benchmark):
+    rows = benchmark(lambda: run_figure2("CI3") + run_figure2("GI2"))
+    assert {r["approach"] for r in rows} == {"V1", "V2", "V3", "V4"}
+    cpu_rows = {r["approach"]: r for r in rows if r["device"] == "CI3"}
+    gpu_rows = {r["approach"]: r for r in rows if r["device"] == "GI2"}
+    # Paper, Figure 2a: V2 has lower AI than V1; V4 reaches the vector peak
+    # region; V4 is the fastest by a wide margin.
+    assert cpu_rows["V2"]["arithmetic_intensity"] < cpu_rows["V1"]["arithmetic_intensity"]
+    assert cpu_rows["V4"]["gelements_per_s"] > 5 * cpu_rows["V3"]["gelements_per_s"]
+    assert cpu_rows["V4"]["bound_by"] == "Int32 Vector ADD Peak"
+    # Paper, Figure 2b: V1/V2 are DRAM bound; V3 (coalescing) is the big jump.
+    assert gpu_rows["V1"]["bound_by"] == "DRAM->C"
+    assert gpu_rows["V2"]["bound_by"] == "DRAM->C"
+    assert gpu_rows["V3"]["gelements_per_s"] > 10 * gpu_rows["V2"]["gelements_per_s"]
+    write_artifact("figure2_carm.txt", format_figure2())
+
+
+def test_figure2_cpu_characterization_benchmark(benchmark):
+    model, points = benchmark(characterize_cpu_approaches, cpu("CI3"))
+    assert len(points) == 4
+
+
+def test_figure2_gpu_characterization_benchmark(benchmark):
+    model, points = benchmark(characterize_gpu_approaches, gpu("GI2"))
+    assert len(points) == 4
+
+
+@pytest.mark.parametrize("name,version", [("cpu-v1", 1), ("cpu-v2", 2)])
+def test_figure2_measured_arithmetic_intensity(benchmark, bench_dataset, name, version):
+    """The AI measured from the functional kernel matches the model counters."""
+    approach = get_approach(name)
+    encoded = approach.prepare(bench_dataset)
+    combos = generate_combinations(bench_dataset.n_snps, 3)[:512]
+
+    def run():
+        approach.reset_counter()
+        approach.build_tables(encoded, combos)
+        return approach.counter
+
+    counter = benchmark(run)
+    expected = approach_counts(version, "cpu").arithmetic_intensity
+    measured = counter.arithmetic_intensity
+    assert measured == pytest.approx(expected, rel=0.35)

@@ -1,0 +1,62 @@
+"""Figure 3 — CPU evaluation (per-core / per-cycle / per-lane throughput).
+
+The artefact is the full model-generated figure (all devices, ISAs and
+dataset sizes).  The benchmark timings measure the functional CPU kernels —
+the approach ladder V1 -> V4 and the thread-pool scaling of the detector —
+on a benchmark-scale dataset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from conftest import write_artifact
+
+from repro.core import EpistasisDetector
+from repro.core.approaches import get_approach
+from repro.core.combinations import generate_combinations
+from repro.devices import ALL_CPUS, cpu
+from repro.experiments.figure3 import format_figure3, run_figure3
+
+
+def test_figure3_regeneration(benchmark):
+    rows = benchmark(run_figure3)
+    by = {(r["device"], r["isa"], r["n_snps"]): r for r in rows}
+    # Figure 3a: at 8192 SNPs the AVX-512 Ice Lake SP is the clear winner.
+    ci3 = by[("CI3", "avx512-vpopcnt", 8192)]
+    for key in ("CI1", "CA1", "CA2"):
+        other = by[(key, cpu(key).isa, 8192)]
+        assert ci3["gelements_per_s_per_core"] > 2.0 * other["gelements_per_s_per_core"]
+    # Figure 3b: all AVX (scalar-POPCNT) machines land close together per cycle.
+    avx_vals = [
+        by[("CI1", "avx2-256", 8192)]["elements_per_cycle_per_core"],
+        by[("CA2", "avx2-256", 8192)]["elements_per_cycle_per_core"],
+        by[("CA1", "avx-128", 8192)]["elements_per_cycle_per_core"],
+    ]
+    assert max(avx_vals) / min(avx_vals) < 1.6
+    # Figure 3c: CI1 beats AVX-512 Skylake-SP by >2x per (core x width).
+    assert (
+        by[("CI1", "avx2-256", 8192)]["elements_per_cycle_per_core_per_lane"]
+        > 2.0 * by[("CI2", "avx512-skx", 8192)]["elements_per_cycle_per_core_per_lane"]
+    )
+    write_artifact("figure3_cpu.txt", format_figure3())
+
+
+@pytest.mark.parametrize("name", ["cpu-v1", "cpu-v2", "cpu-v3", "cpu-v4"])
+def test_figure3_functional_kernel_throughput(benchmark, bench_dataset, name):
+    """Measured table-construction throughput of each CPU approach."""
+    approach = get_approach(name)
+    encoded = approach.prepare(bench_dataset)
+    combos = generate_combinations(bench_dataset.n_snps, 3)[:2048]
+
+    tables = benchmark(approach.build_tables, encoded, combos)
+    assert tables.shape == (2048, 27, 2)
+    assert int(tables[0].sum()) == bench_dataset.n_samples
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_figure3_detector_thread_scaling(benchmark, small_dataset, workers):
+    """End-to-end exhaustive search with the paper's dynamic thread pool."""
+    detector = EpistasisDetector(approach="cpu-v4", n_workers=workers, chunk_size=1024)
+    result = benchmark(detector.detect, small_dataset)
+    assert result.stats.n_combinations == small_dataset.n_combinations(3)

@@ -1,0 +1,70 @@
+"""Figure 4 — GPU evaluation (per-CU / per-cycle / per-stream-core throughput).
+
+The artefact is the model-generated figure for all 8 GPUs and three dataset
+sizes.  The benchmark timings measure the functional GPU approaches (batched
+layout kernels) and one launch of the per-thread GPU simulator.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import write_artifact
+
+from repro.core.approaches import get_approach
+from repro.core.combinations import generate_combinations
+from repro.datasets.binarization import PhenotypeSplitDataset
+from repro.devices import gpu
+from repro.experiments.figure4 import format_figure4, run_figure4
+from repro.gpusim import NDRange, SimulatedGpu, epistasis_kernel_split, make_split_kernel_args
+
+
+def test_figure4_regeneration(benchmark):
+    rows = benchmark(run_figure4)
+    by = {(r["device"], r["n_snps"]): r for r in rows}
+    # Figure 4a/4b: Titan Xp (32 POPCNT/CU) has the highest per-CU figures.
+    for key in ("GN2", "GN3", "GN4", "GA1", "GA2", "GA3", "GI1", "GI2"):
+        assert (
+            by[("GN1", 2048)]["elements_per_cycle_per_cu"]
+            >= by[(key, 2048)]["elements_per_cycle_per_cu"]
+        )
+    # GN1 is about 2x GN2 per CU and per cycle (same ratio as their POPCNT/CU).
+    ratio = (
+        by[("GN1", 2048)]["elements_per_cycle_per_cu"]
+        / by[("GN2", 2048)]["elements_per_cycle_per_cu"]
+    )
+    assert 1.6 < ratio < 2.4
+    # Figure 4c: AMD GPUs have lower per-stream-core occupancy than NVIDIA.
+    assert (
+        by[("GA3", 8192)]["elements_per_cycle_per_stream_core"]
+        < by[("GN3", 8192)]["elements_per_cycle_per_stream_core"]
+    )
+    # Whole-device ordering of §V-D: only the A100 beats the MI100.
+    totals = {k: by[(k, 8192)]["total_gelements_per_s"] for k in ("GN3", "GN4", "GA2")}
+    assert totals["GN4"] > totals["GA2"] > 0.8 * totals["GN3"]
+    write_artifact("figure4_gpu.txt", format_figure4())
+
+
+@pytest.mark.parametrize("name", ["gpu-v1", "gpu-v2", "gpu-v3", "gpu-v4"])
+def test_figure4_functional_kernel_throughput(benchmark, bench_dataset, name):
+    """Measured table-construction throughput of each GPU approach."""
+    approach = get_approach(name)
+    encoded = approach.prepare(bench_dataset)
+    combos = generate_combinations(bench_dataset.n_snps, 3)[:2048]
+
+    tables = benchmark(approach.build_tables, encoded, combos)
+    assert tables.shape == (2048, 27, 2)
+
+
+def test_figure4_simulator_launch(benchmark, small_dataset):
+    """One simulated launch of Algorithm 2 on the tiled layout (A100 model)."""
+    split = PhenotypeSplitDataset.from_dataset(small_dataset.subset_snps(range(12)))
+    args = make_split_kernel_args(split, layout="tiled", block_size=4)
+    kernel = epistasis_kernel_split(args)
+    sim = SimulatedGpu(gpu("GN4"))
+
+    def launch():
+        return sim.launch(kernel, NDRange((12, 12, 12), subgroup_size=32))
+
+    results, stats = benchmark(launch)
+    assert stats.n_active_threads == 220  # C(12, 3)
+    assert stats.transactions_per_warp_load >= 1.0

@@ -1,0 +1,31 @@
+"""Table I — CPU device catalog (and the <BS, BP> derivation it implies).
+
+The pytest-benchmark timing covers the blocking-parameter derivation for the
+whole catalog; the artefact is the regenerated Table I.
+"""
+
+from __future__ import annotations
+
+from conftest import write_artifact
+
+from repro.devices.catalog import ALL_CPUS
+from repro.experiments.tables import format_table1, run_table1
+
+
+def test_table1_regeneration(benchmark):
+    rows = benchmark(run_table1)
+    assert [r["system"] for r in rows] == ["CI1", "CI2", "CI3", "CA1", "CA2"]
+    # The paper's blocking configuration: <5, 400> on Ice Lake SP, <5, 96> elsewhere.
+    by_key = {r["system"]: r for r in rows}
+    assert (by_key["CI3"]["blocking_bs"], by_key["CI3"]["blocking_bp"]) == (5, 400)
+    for key in ("CI1", "CI2", "CA1", "CA2"):
+        assert (by_key[key]["blocking_bs"], by_key[key]["blocking_bp"]) == (5, 96)
+    write_artifact("table1_cpu_devices.txt", format_table1())
+
+
+def test_table1_blocking_benchmark(benchmark):
+    def derive_all():
+        return [spec.blocking_parameters() for spec in ALL_CPUS]
+
+    results = benchmark(derive_all)
+    assert len(results) == len(ALL_CPUS)

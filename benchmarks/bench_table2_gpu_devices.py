@@ -1,0 +1,20 @@
+"""Table II — GPU device catalog (POPCNT throughput per compute unit)."""
+
+from __future__ import annotations
+
+from conftest import write_artifact
+
+from repro.experiments.tables import format_table2, run_table2
+
+
+def test_table2_regeneration(benchmark):
+    rows = benchmark(run_table2)
+    by_key = {r["system"]: r for r in rows}
+    assert len(rows) == 9
+    # Table II's POPCNT-per-CU column, the key architectural differentiator.
+    assert by_key["GN1"]["popcnt_per_cu"] == 32
+    assert by_key["GN2"]["popcnt_per_cu"] == 16
+    assert by_key["GN4"]["popcnt_per_cu"] == 16
+    assert by_key["GA3"]["popcnt_per_cu"] == 10
+    assert by_key["GI1"]["popcnt_per_cu"] == 4
+    write_artifact("table2_gpu_devices.txt", format_table2())

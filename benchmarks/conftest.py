@@ -1,0 +1,41 @@
+"""Shared fixtures of the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper.  The
+figure-scale numbers come from the analytical models (instant); the
+``pytest-benchmark`` timings exercise the *functional* kernels on
+benchmark-scale datasets so that the optimisation story can also be verified
+with measured wall-clock throughput.  All regenerated artefacts are written
+to ``benchmarks/output/`` and echoed to stdout.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import SyntheticConfig, generate_dataset
+
+#: Where regenerated tables/figures are written.
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def write_artifact(name: str, content: str) -> Path:
+    """Persist a regenerated table/figure and echo it."""
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    path = OUTPUT_DIR / name
+    path.write_text(content + "\n", encoding="utf-8")
+    print(f"\n[artifact] {path}\n{content}\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def bench_dataset():
+    """Benchmark-scale dataset: 64 SNPs x 4096 samples (41664 triplets)."""
+    return generate_dataset(SyntheticConfig(n_snps=64, n_samples=4096, seed=123))
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """Small dataset for the slower (simulated / naïve) paths."""
+    return generate_dataset(SyntheticConfig(n_snps=32, n_samples=1024, seed=321))

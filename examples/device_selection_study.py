@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Device-selection study: which CPU/GPU should run an epistasis campaign?
+
+This example reproduces, at library-API level, the paper's architectural
+study: it characterises the four approaches in the Cache-Aware Roofline
+Model, sweeps the 13 catalogued devices with the analytical performance
+models, and answers three practical questions a lab planning a GWAS
+interaction analysis would ask:
+
+1. Which approach should run on my device? (CARM placement, Figure 2)
+2. Which device finishes a given dataset fastest? (Figures 3/4, Table III)
+3. Which device is the most energy-efficient, and is a heterogeneous
+   CPU+GPU setup worth it? (§V-D)
+
+Run with::
+
+    python examples/device_selection_study.py [n_snps] [n_samples]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.carm import characterize_cpu_approaches, characterize_gpu_approaches, render_ascii
+from repro.core.combinations import combination_count
+from repro.devices import cpu, gpu, list_devices
+from repro.devices.specs import CpuSpec
+from repro.experiments.comparison import run_device_comparison, run_heterogeneous
+from repro.experiments.report import format_table
+from repro.perfmodel import estimate_cpu, estimate_gpu
+
+
+def question_1_carm(n_snps: int, n_samples: int) -> None:
+    print("Q1. Which approach should run on my device?  (CARM, Figure 2)")
+    ci3 = cpu("CI3")
+    model, points = characterize_cpu_approaches(ci3, n_snps, n_samples)
+    print(render_ascii(model, points))
+    gi2 = gpu("GI2")
+    model_g, points_g = characterize_gpu_approaches(gi2, n_snps, n_samples)
+    print(render_ascii(model_g, points_g))
+    print("  -> V4 (blocked + vectorised / tiled + coalesced) is the right choice everywhere.\n")
+
+
+def question_2_fastest(n_snps: int, n_samples: int) -> None:
+    print("Q2. Which device finishes the dataset fastest?")
+    n_combinations = combination_count(n_snps, 3)
+    rows = []
+    for spec in list_devices("all"):
+        if isinstance(spec, CpuSpec):
+            est = estimate_cpu(spec, 4, n_snps=n_snps, n_samples=n_samples)
+        else:
+            est = estimate_gpu(spec, 4, n_snps=n_snps, n_samples=n_samples)
+        rows.append(
+            {
+                "device": spec.key,
+                "name": spec.name,
+                "total_G_per_s": round(est.elements_per_second_total / 1e9, 1),
+                "est_hours": round(est.time_seconds(n_combinations) / 3600.0, 2),
+            }
+        )
+    rows.sort(key=lambda r: r["est_hours"])
+    print(format_table(rows))
+    print(f"  (search space: {n_combinations:.3e} triplets x {n_samples} samples)\n")
+
+
+def question_3_efficiency(n_snps: int, n_samples: int) -> None:
+    print("Q3. Energy efficiency and heterogeneous execution (§V-D)")
+    print(format_table(run_device_comparison(n_snps, n_samples)))
+    print()
+    print(format_table(run_heterogeneous(n_snps=n_snps, n_samples=n_samples)))
+    print()
+
+
+def main() -> None:
+    n_snps = int(sys.argv[1]) if len(sys.argv) > 1 else 8192
+    n_samples = int(sys.argv[2]) if len(sys.argv) > 2 else 16384
+    print(f"Device-selection study for {n_snps} SNPs x {n_samples} samples\n")
+    question_1_carm(min(n_snps, 2048), n_samples)
+    question_2_fastest(n_snps, n_samples)
+    question_3_efficiency(n_snps, n_samples)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Realistic analysis pipeline: QC → pairwise screen → exhaustive 3-way search.
+
+The exhaustive three-way search is cubic in the SNP count, so production
+pipelines clean the input first and often use a cheap exhaustive *pairwise*
+pass to prioritise a candidate panel before committing to the cubic scan.
+This example chains the library's pieces into that workflow:
+
+1. quality control on a raw genotype matrix with missing calls
+   (imputation, MAF / call-rate / Hardy–Weinberg filters);
+2. an exhaustive pairwise screen (9x2 tables, K2 score) to shortlist the
+   SNPs that participate in the strongest pairs;
+3. the paper's three-way detector restricted to the shortlist, with the
+   result checked against the full three-way search over all cleaned SNPs.
+
+Run with::
+
+    python examples/qc_prefilter_pipeline.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    EpistasisDetector,
+    PairwiseEpistasisDetector,
+    PlantedInteraction,
+    SyntheticConfig,
+    generate_dataset,
+)
+from repro.datasets import apply_qc
+
+
+def make_raw_cohort(planted=(6, 17, 33), n_snps=48, n_samples=3000, seed=5):
+    """A synthetic cohort with a planted interaction, missing calls and junk SNPs."""
+    dataset = generate_dataset(
+        SyntheticConfig(
+            n_snps=n_snps,
+            n_samples=n_samples,
+            interaction=PlantedInteraction(
+                snps=planted, model="threshold", baseline=0.04, effect=0.85
+            ),
+            seed=seed,
+        )
+    )
+    rng = np.random.default_rng(seed)
+    raw = dataset.genotypes.astype(np.int8).copy()
+    # Sprinkle missing calls, add a low-call-rate SNP and a monomorphic SNP.
+    mask = rng.random(raw.shape) < 0.01
+    raw[mask] = -1
+    raw[0, : n_samples // 3] = -1
+    raw[1, :] = 0
+    return raw, dataset.phenotypes, list(dataset.snp_names), planted
+
+
+def main() -> None:
+    raw, phenotypes, snp_names, planted = make_raw_cohort()
+    print(f"raw cohort: {raw.shape[0]} SNPs x {raw.shape[1]} samples, planted {planted}")
+
+    # -- step 1: quality control -------------------------------------------------
+    # Passing the original SNP names keeps results traceable to the raw matrix
+    # even after QC drops some markers.
+    cohort, report = apply_qc(
+        raw, phenotypes, snp_names, min_maf=0.05, min_call_rate=0.9
+    )
+    print(f"step 1  {report.summary()}")
+    name_to_index = {name: i for i, name in enumerate(cohort.snp_names)}
+    planted_names = {f"snp{idx:04d}" for idx in planted}
+
+    # -- step 2: pairwise screen ---------------------------------------------------
+    pairwise = PairwiseEpistasisDetector(top_k=15).detect(cohort)
+    candidate_names = sorted({name for inter in pairwise.top for name in inter.snp_names})
+    print(f"step 2  pairwise screen kept {len(candidate_names)} candidate SNPs "
+          f"({pairwise.stats.n_combinations} pairs evaluated)")
+    print(f"        planted SNPs in the candidate panel: "
+          f"{planted_names <= set(candidate_names)}")
+
+    # -- step 3: three-way search on the shortlist ---------------------------------
+    panel = cohort.subset_snps([name_to_index[n] for n in candidate_names])
+    three_way = EpistasisDetector(approach="cpu-v4", n_workers=2, top_k=3).detect(panel)
+    best_names = tuple(sorted(three_way.best.snp_names))
+    print(f"step 3  best triplet on the panel: {best_names} "
+          f"(score {three_way.best_score:.3f})")
+
+    # -- validation: the shortcut found the same interaction as the full scan ------
+    full = EpistasisDetector(approach="cpu-v4", n_workers=2, top_k=3).detect(cohort)
+    full_names = tuple(sorted(full.best.snp_names))
+    speedup = full.stats.n_combinations / max(1, three_way.stats.n_combinations)
+    print(f"check   full three-way scan best: {full_names}; "
+          f"panel scan evaluated {speedup:.1f}x fewer triplets")
+    if best_names == full_names and set(best_names) == planted_names:
+        print("SUCCESS: QC + pairwise prefilter + three-way search recovered the "
+              "planted interaction at a fraction of the cost")
+    else:
+        print("note: prefilter and full scan disagree on this cohort — rerun with a "
+              "larger candidate panel (top_k) for a stricter guarantee")
+
+
+if __name__ == "__main__":
+    main()

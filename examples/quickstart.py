@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: detect a planted three-way gene interaction.
+
+This example walks the full pipeline of the paper on a laptop-sized problem:
+
+1. generate a synthetic case/control dataset with a planted third-order
+   epistatic interaction (a threshold penetrance model over three SNPs);
+2. run the exhaustive search with the best CPU approach (phenotype-split,
+   cache-blocked, vectorised kernel) and the Bayesian K2 score;
+3. print the recovered interaction, the top-5 ranking and the execution
+   statistics (throughput in the paper's combinations x samples unit).
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    EpistasisDetector,
+    PlantedInteraction,
+    SyntheticConfig,
+    generate_dataset,
+)
+
+
+def main() -> None:
+    planted = (7, 19, 42)
+    config = SyntheticConfig(
+        n_snps=64,
+        n_samples=2048,
+        interaction=PlantedInteraction(
+            snps=planted, model="threshold", baseline=0.03, effect=0.85
+        ),
+        seed=2022,
+    )
+    dataset = generate_dataset(config)
+    print(f"dataset: {dataset}")
+    print(f"search space: {dataset.n_combinations(3):,} SNP triplets")
+
+    detector = EpistasisDetector(
+        approach="cpu-v4", objective="k2", n_workers=2, chunk_size=4096, top_k=5
+    )
+    result = detector.detect(dataset)
+
+    print()
+    print(result.summary())
+    print()
+    recovered = tuple(sorted(result.best_snps))
+    if recovered == planted:
+        print(f"SUCCESS: recovered the planted interaction {planted}")
+    else:
+        print(
+            f"planted {planted}, best found {recovered} "
+            f"(in top-5: {result.contains(planted)})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The canonical build configuration lives in ``pyproject.toml``.  This file
+exists so that environments with an older setuptools/pip tool-chain (no
+``bdist_wheel`` support) can still perform an editable install via
+``pip install -e . --no-use-pep517`` or ``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,74 @@
+"""repro — three-way exhaustive epistasis detection on modern CPUs/GPUs.
+
+Reproduction of Marques et al., "Unlocking Personalized Healthcare on Modern
+CPUs/GPUs: Three-way Gene Interaction Study" (IPDPS 2022, arXiv:2201.10956).
+
+The package is organised as:
+
+* :mod:`repro.datasets` — case/control SNP datasets: synthetic generators,
+  BOOST binarisation, phenotype split, GPU memory layouts, I/O.
+* :mod:`repro.bitops` — packed bit-plane operations, population counts and a
+  software model of the AVX/AVX-512 vector ISAs.
+* :mod:`repro.core` — the detection engine: contingency tables, the Bayesian
+  K2 score, the four CPU and four GPU approaches of the paper and the
+  :class:`~repro.core.detector.EpistasisDetector` public API.
+* :mod:`repro.parallel` — dynamic-chunk thread scheduling and a simulated
+  cluster for the MPI3SNP baseline.
+* :mod:`repro.gpusim` — a functional GPU execution simulator with coalescing
+  analysis.
+* :mod:`repro.devices` — the catalog of the 13 CPUs/GPUs of Tables I and II.
+* :mod:`repro.carm` — the Cache-Aware Roofline Model characterisation.
+* :mod:`repro.perfmodel` — analytical CPU/GPU performance models.
+* :mod:`repro.baselines` — MPI3SNP-style baseline, brute-force oracle and the
+  published state-of-the-art figures.
+* :mod:`repro.experiments` — harnesses regenerating every table and figure.
+
+Quickstart
+----------
+>>> from repro import EpistasisDetector, SyntheticConfig, PlantedInteraction, generate_dataset
+>>> cfg = SyntheticConfig(n_snps=32, n_samples=512,
+...                       interaction=PlantedInteraction(snps=(3, 11, 17)), seed=7)
+>>> result = EpistasisDetector(approach="cpu-v4").detect(generate_dataset(cfg))
+>>> result.best_snps
+(3, 11, 17)
+"""
+
+from repro.core.detector import DetectorConfig, EpistasisDetector
+from repro.core.pairwise import PairwiseEpistasisDetector
+from repro.core.result import ApproachStats, DetectionResult, Interaction
+from repro.core.scoring import K2Score, get_objective
+from repro.datasets.dataset import GenotypeDataset
+from repro.datasets.synthetic import (
+    PlantedInteraction,
+    SyntheticConfig,
+    generate_dataset,
+    generate_null_dataset,
+)
+from repro.datasets.io import load_dataset, load_npz, save_npz
+from repro.devices.catalog import cpu, device, gpu, list_devices
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "EpistasisDetector",
+    "DetectorConfig",
+    "PairwiseEpistasisDetector",
+    "DetectionResult",
+    "Interaction",
+    "ApproachStats",
+    "K2Score",
+    "get_objective",
+    "GenotypeDataset",
+    "SyntheticConfig",
+    "PlantedInteraction",
+    "generate_dataset",
+    "generate_null_dataset",
+    "save_npz",
+    "load_npz",
+    "load_dataset",
+    "cpu",
+    "gpu",
+    "device",
+    "list_devices",
+]

@@ -1,0 +1,164 @@
+"""MPI3SNP-style baseline.
+
+MPI3SNP (Ponte-Fernández et al., IJHPCA 2020) is the reference third-order
+exhaustive detector the paper measures against.  Algorithmically it shares
+the binarised representation and the AND/POPCNT frequency-table construction
+but differs from the paper's best approach in the points that matter for
+performance:
+
+* the combination space is **statically partitioned** across MPI ranks
+  (one process per core or per GPU) instead of dynamically scheduled;
+* the CPU kernel uses **64-bit scalar population counts** — no cache
+  blocking and no SIMD;
+* the GPU kernel is not layout-tiled, so its effective cache reuse degrades
+  as the SNP count grows.
+
+The functional re-implementation here (:class:`Mpi3snpBaseline`) runs the
+split kernel over a simulated cluster with static partitioning and produces
+results identical to the optimised approaches (same tables, same best
+triplet) — the difference is captured by the execution statistics and by the
+analytical throughput model (:func:`estimate_mpi3snp_throughput`) used for
+the Table III comparison.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Union
+
+import numpy as np
+
+from repro.core.approaches.cpu_nophen import CpuNoPhenotypeApproach
+from repro.core.combinations import combination_count, generate_combinations
+from repro.core.result import ApproachStats, DetectionResult, Interaction
+from repro.core.scoring import ObjectiveFunction, get_objective
+from repro.datasets.dataset import GenotypeDataset
+from repro.devices.specs import CpuSpec, GpuSpec
+from repro.parallel.cluster import SimulatedCluster
+from repro.perfmodel.cpu_model import estimate_cpu
+from repro.perfmodel.gpu_model import estimate_gpu
+
+__all__ = ["Mpi3snpBaseline", "estimate_mpi3snp_throughput"]
+
+#: Tiling-free GPU kernels lose cache reuse as the SNP count grows; the
+#: paper's measurements show MPI3SNP falling from ~0.65x of this work's
+#: throughput at 10000 SNPs to ~0.27x at 40000 SNPs on the same GPUs.  The
+#: degradation is modelled as a slowdown growing linearly with the SNP count.
+GPU_SLOWDOWN_PER_SNP: float = 1.0 / 15000.0
+GPU_BASE_SLOWDOWN: float = 0.85
+
+#: MPI3SNP's CPU path also pays a static-partition load imbalance.
+CPU_IMBALANCE: float = 1.05
+
+
+class Mpi3snpBaseline:
+    """Functional MPI3SNP-style detector over a simulated cluster.
+
+    Parameters
+    ----------
+    n_ranks:
+        Number of simulated MPI ranks.
+    objective:
+        Objective-function name or instance.
+    top_k:
+        Number of best interactions gathered on rank 0.
+    """
+
+    name = "mpi3snp"
+
+    def __init__(
+        self,
+        n_ranks: int = 2,
+        objective: str | ObjectiveFunction = "k2",
+        top_k: int = 10,
+        chunk_size: int = 2048,
+    ) -> None:
+        if n_ranks < 1:
+            raise ValueError("n_ranks must be positive")
+        self.n_ranks = n_ranks
+        self.objective = get_objective(objective)
+        self.top_k = top_k
+        self.chunk_size = chunk_size
+        # The rank-local kernel: split dataset, no blocking, no SIMD.
+        self.approach = CpuNoPhenotypeApproach()
+
+    def detect(self, dataset: GenotypeDataset) -> DetectionResult:
+        """Run the statically partitioned exhaustive search."""
+        started = time.perf_counter()
+        total = combination_count(dataset.n_snps, 3)
+        cluster: SimulatedCluster[List[Interaction]] = SimulatedCluster(self.n_ranks)
+        cluster.scatter_work(total)
+        encoded = self.approach.prepare(dataset)
+        cluster.broadcast_dataset(encoded.nbytes())
+        snp_names = list(dataset.snp_names)
+
+        def rank_fn(rank) -> List[Interaction]:
+            best: List[Interaction] = []
+            start, stop = rank.work_range
+            cursor = start
+            while cursor < stop:
+                count = min(self.chunk_size, stop - cursor)
+                combos = generate_combinations(
+                    dataset.n_snps, 3, start_rank=cursor, count=count
+                )
+                tables = self.approach.build_tables(encoded, combos)
+                scores = self.objective.score(tables)
+                order = np.argsort(scores, kind="stable")[: self.top_k]
+                best.extend(
+                    Interaction(
+                        snps=tuple(int(s) for s in combos[i]),
+                        score=float(scores[i]),
+                        snp_names=tuple(snp_names[s] for s in combos[i]),
+                    )
+                    for i in order
+                )
+                best = sorted(best)[: self.top_k]
+                rank.items_processed += count
+                cursor += count
+            return best
+
+        partials = cluster.run(rank_fn)
+        gathered = cluster.gather(partials, bytes_per_partial=self.top_k * 32)
+        merged = sorted(it for part in gathered for it in part)[: self.top_k]
+        elapsed = time.perf_counter() - started
+
+        stats = ApproachStats(
+            approach=self.name,
+            n_combinations=total,
+            n_samples=dataset.n_samples,
+            elapsed_seconds=elapsed,
+            op_counts=self.approach.op_counts(),
+            bytes_loaded=self.approach.counter.bytes_loaded,
+            bytes_stored=self.approach.counter.bytes_stored,
+            n_workers=self.n_ranks,
+            extra={
+                "partitioning": "static",
+                "load_imbalance": cluster.load_imbalance(),
+                "ranks": self.n_ranks,
+            },
+        )
+        if not merged:
+            raise RuntimeError("MPI3SNP baseline produced no interactions")
+        return DetectionResult(best=merged[0], top=merged, stats=stats)
+
+
+def estimate_mpi3snp_throughput(
+    spec: Union[CpuSpec, GpuSpec],
+    n_snps: int,
+    n_samples: int,
+) -> float:
+    """Analytical MPI3SNP throughput (elements/s) on a catalogued device.
+
+    * CPU: the scalar phenotype-split kernel (no blocking, 64-bit scalar
+      POPCNT) with a static-partition imbalance penalty — equivalent to this
+      work's approach V2 executed without vectorisation.
+    * GPU: the coalesced-but-untiled kernel (this work's V3) degraded by a
+      slowdown that grows with the SNP count (loss of cache reuse), matching
+      the measured gap widening from ~1.5x at 10000 SNPs to ~3.5x at 40000.
+    """
+    if isinstance(spec, CpuSpec):
+        estimate = estimate_cpu(spec, approach_version=2, n_snps=n_snps, n_samples=n_samples)
+        return estimate.elements_per_second_total / CPU_IMBALANCE
+    estimate = estimate_gpu(spec, approach_version=3, n_snps=n_snps, n_samples=n_samples)
+    slowdown = GPU_BASE_SLOWDOWN + n_snps * GPU_SLOWDOWN_PER_SNP
+    return estimate.elements_per_second_total / max(1.0, slowdown)

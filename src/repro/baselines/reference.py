@@ -1,0 +1,76 @@
+"""Brute-force reference detector (correctness oracle).
+
+The reference works directly on the uncompressed genotype matrix with
+:func:`repro.core.contingency.contingency_oracle` — no binarisation, no
+bitwise tricks — so any disagreement with the optimised approaches points at
+a bug in the binarised kernels rather than in the oracle.  It is only usable
+for small SNP counts (the combination space is walked one combination at a
+time) and is used by tests, examples and the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.combinations import generate_combinations
+from repro.core.contingency import contingency_oracle
+from repro.core.result import ApproachStats, DetectionResult, Interaction
+from repro.core.scoring import ObjectiveFunction, get_objective
+from repro.datasets.dataset import GenotypeDataset
+
+__all__ = ["BruteForceReference"]
+
+
+class BruteForceReference:
+    """Exhaustive detector over the raw genotype matrix.
+
+    Parameters
+    ----------
+    objective:
+        Objective-function name or instance (default K2).
+    order:
+        Interaction order (any ``k >= 2`` is supported here, unlike the
+        optimised kernels which are specialised for ``k = 3``).
+    top_k:
+        Number of best interactions to keep.
+    """
+
+    def __init__(
+        self,
+        objective: str | ObjectiveFunction = "k2",
+        order: int = 3,
+        top_k: int = 10,
+    ) -> None:
+        if order < 2:
+            raise ValueError("order must be at least 2")
+        self.objective = get_objective(objective)
+        self.order = order
+        self.top_k = top_k
+
+    def score_combination(self, dataset: GenotypeDataset, combo: Sequence[int]) -> float:
+        """Score a single SNP combination."""
+        table = contingency_oracle(dataset.genotypes, dataset.phenotypes, combo)
+        return float(self.objective.score(table[None, :, :])[0])
+
+    def detect(self, dataset: GenotypeDataset) -> DetectionResult:
+        """Exhaustively score every combination (small datasets only)."""
+        started = time.perf_counter()
+        combos = generate_combinations(dataset.n_snps, self.order)
+        scores = np.empty(combos.shape[0], dtype=np.float64)
+        for i, combo in enumerate(combos):
+            scores[i] = self.score_combination(dataset, combo)
+        elapsed = time.perf_counter() - started
+        stats = ApproachStats(
+            approach="brute-force-reference",
+            n_combinations=combos.shape[0],
+            n_samples=dataset.n_samples,
+            elapsed_seconds=elapsed,
+            n_workers=1,
+            extra={"order": self.order},
+        )
+        return DetectionResult.from_scores(
+            combos, scores, stats, top_k=self.top_k, snp_names=list(dataset.snp_names)
+        )

@@ -1,0 +1,68 @@
+"""Packed bit-level operations used by the epistasis detection kernels.
+
+The paper's kernels operate on the BOOST binarised representation of a
+case/control genotype matrix: one *bit-plane* per genotype value per SNP,
+packed into 32-bit machine words.  Every frequency-table cell is produced by
+a chain of bitwise ``AND`` operations followed by a population count
+(``POPCNT``).  This package provides:
+
+``popcount``
+    Vectorised population count over packed word arrays, with both the
+    hardware-backed (:func:`numpy.bitwise_count`) and lookup-table
+    implementations (the latter models devices that only offer *scalar*
+    POPCNT and is used by the instruction-cost accounting).
+
+``packing``
+    Conversion between boolean sample vectors and packed ``uint32`` word
+    arrays (including padding rules, inverse transforms and word-level
+    slicing helpers).
+
+``simd``
+    A software model of the vector ISAs the paper targets (SSE/AVX-128,
+    AVX2-256, AVX-512 with and without vector POPCNT).  Vector "registers"
+    are fixed-width views over packed words; every operation reports the
+    dynamic instruction counts the CARM/performance models consume.
+
+``ops``
+    Thin wrappers (``and3``, ``nor``, ``andnot`` …) shared by the scalar and
+    vector code paths together with an :class:`~repro.bitops.ops.OpCounter`
+    used to instrument kernels.
+"""
+
+from repro.bitops.popcount import (
+    popcount32,
+    popcount64,
+    popcount_lut,
+    popcount_reduce,
+    scalar_popcount,
+)
+from repro.bitops.packing import (
+    WORD_BITS,
+    pack_bits,
+    packed_word_count,
+    unpack_bits,
+    pad_to_words,
+)
+from repro.bitops.ops import OpCounter, and3, andnot, nor2, popcount_words
+from repro.bitops.simd import VectorISA, VectorRegisterFile, ISA_PRESETS
+
+__all__ = [
+    "WORD_BITS",
+    "popcount32",
+    "popcount64",
+    "popcount_lut",
+    "popcount_reduce",
+    "scalar_popcount",
+    "pack_bits",
+    "unpack_bits",
+    "pad_to_words",
+    "packed_word_count",
+    "OpCounter",
+    "and3",
+    "andnot",
+    "nor2",
+    "popcount_words",
+    "VectorISA",
+    "VectorRegisterFile",
+    "ISA_PRESETS",
+]

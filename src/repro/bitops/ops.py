@@ -1,0 +1,187 @@
+"""Instrumented bitwise operations shared by all kernels.
+
+The CARM characterisation (Figure 2) and the analytical performance models
+need exact dynamic instruction and byte-traffic counts per kernel.  Rather
+than estimating them on paper, every kernel in :mod:`repro.core.approaches`
+routes its bitwise work through the helpers in this module, which update an
+:class:`OpCounter` as a side effect.  The counters use the paper's own
+vocabulary (``LOAD``, ``AND``, ``NOR``, ``NOT``, ``POPCNT``, ``EXTRACT``,
+``ADD``) so that the derived arithmetic intensities can be compared directly
+with §IV ("162 compute instructions" for the naïve approach vs. "57" once the
+phenotype and the third genotype are removed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping
+
+import numpy as np
+
+from repro.bitops.popcount import popcount32
+
+__all__ = ["OpCounter", "and2", "and3", "andnot", "nor2", "popcount_words"]
+
+
+@dataclass
+class OpCounter:
+    """Accumulates dynamic instruction counts and memory traffic.
+
+    Attributes
+    ----------
+    ops:
+        Mapping from instruction mnemonic to the number of *word-level*
+        operations executed (one count per 32-bit word processed, i.e. the
+        scalar-instruction equivalent; the SIMD layer divides by the number
+        of lanes when modelling vector execution).
+    bytes_loaded / bytes_stored:
+        Memory traffic in bytes, counted at the same word granularity.
+    """
+
+    ops: Dict[str, int] = field(default_factory=dict)
+    bytes_loaded: int = 0
+    bytes_stored: int = 0
+
+    # -- recording ---------------------------------------------------------
+    def add(self, mnemonic: str, count: int = 1) -> None:
+        """Record ``count`` executions of ``mnemonic``."""
+        if count < 0:
+            raise ValueError("operation count must be non-negative")
+        self.ops[mnemonic] = self.ops.get(mnemonic, 0) + int(count)
+
+    def add_load(self, n_words: int, word_bytes: int = 4) -> None:
+        """Record loading ``n_words`` packed words from memory."""
+        self.add("LOAD", n_words)
+        self.bytes_loaded += int(n_words) * word_bytes
+
+    def add_store(self, n_words: int, word_bytes: int = 4) -> None:
+        """Record storing ``n_words`` packed words to memory."""
+        self.add("STORE", n_words)
+        self.bytes_stored += int(n_words) * word_bytes
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def total_ops(self) -> int:
+        """Total compute operations (excluding LOAD/STORE)."""
+        return sum(v for k, v in self.ops.items() if k not in ("LOAD", "STORE"))
+
+    @property
+    def total_bytes(self) -> int:
+        """Total memory traffic in bytes (loads + stores)."""
+        return self.bytes_loaded + self.bytes_stored
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Integer operations per byte of memory traffic (CARM x-axis)."""
+        if self.total_bytes == 0:
+            return float("inf") if self.total_ops else 0.0
+        return self.total_ops / self.total_bytes
+
+    def merge(self, other: "OpCounter") -> "OpCounter":
+        """Accumulate ``other`` into ``self`` and return ``self``."""
+        for k, v in other.ops.items():
+            self.ops[k] = self.ops.get(k, 0) + v
+        self.bytes_loaded += other.bytes_loaded
+        self.bytes_stored += other.bytes_stored
+        return self
+
+    def as_dict(self) -> Mapping[str, int]:
+        """Snapshot of the instruction counters (copy)."""
+        return dict(self.ops)
+
+    def __iter__(self) -> Iterator[tuple[str, int]]:
+        return iter(sorted(self.ops.items()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        parts = ", ".join(f"{k}={v}" for k, v in sorted(self.ops.items()))
+        return (
+            f"OpCounter({parts}, bytes_loaded={self.bytes_loaded}, "
+            f"bytes_stored={self.bytes_stored})"
+        )
+
+
+def _count_words(a: np.ndarray) -> int:
+    return int(np.asarray(a).size)
+
+
+def and2(a: np.ndarray, b: np.ndarray, counter: OpCounter | None = None) -> np.ndarray:
+    """Bitwise AND of two packed-word arrays (one ``AND`` per word)."""
+    out = np.bitwise_and(a, b)
+    if counter is not None:
+        counter.add("AND", _count_words(out))
+    return out
+
+
+def and3(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray,
+    counter: OpCounter | None = None,
+) -> np.ndarray:
+    """Three-input bitwise AND (two ``AND`` instructions per word).
+
+    This is the core of the frequency-table construction: one call per
+    genotype combination ``(gX, gY, gZ)`` per packed word.
+    """
+    out = np.bitwise_and(np.bitwise_and(a, b), c)
+    if counter is not None:
+        counter.add("AND", 2 * _count_words(out))
+    return out
+
+
+def nor2(a: np.ndarray, b: np.ndarray, counter: OpCounter | None = None) -> np.ndarray:
+    """Bitwise NOR used to infer the genotype-2 plane from planes 0 and 1.
+
+    Neither AVX nor AVX-512 provides a NOR instruction, so the paper emulates
+    it with ``OR`` followed by ``XOR`` against an all-ones register; the
+    counter therefore records two operations per word (``OR`` + ``XOR``)
+    under the combined mnemonic ``NOR`` plus the expanded pair, so both
+    accounting styles are available.
+    """
+    out = np.bitwise_not(np.bitwise_or(a, b))
+    if counter is not None:
+        n = _count_words(out)
+        counter.add("NOR", n)
+        counter.add("OR", n)
+        counter.add("XOR", n)
+    return out
+
+
+def andnot(a: np.ndarray, b: np.ndarray, counter: OpCounter | None = None) -> np.ndarray:
+    """Compute ``a AND (NOT b)`` — used by the naïve kernel for controls."""
+    out = np.bitwise_and(a, np.bitwise_not(b))
+    if counter is not None:
+        n = _count_words(out)
+        counter.add("NOT", n)
+        counter.add("AND", n)
+    return out
+
+
+def popcount_words(
+    words: np.ndarray,
+    counter: OpCounter | None = None,
+    *,
+    reduce_axis: int | None = None,
+) -> np.ndarray:
+    """Population count with instruction accounting.
+
+    Parameters
+    ----------
+    words:
+        Packed ``uint32`` array.
+    counter:
+        Optional :class:`OpCounter`; one ``POPCNT`` is recorded per word and,
+        if ``reduce_axis`` is given, one ``ADD`` per word for the reduction
+        into the frequency-table cell.
+    reduce_axis:
+        If not ``None``, the counts are summed over this axis (the packed
+        word axis), mirroring the POPCNT + reduce-add idiom.
+    """
+    counts = popcount32(words)
+    if counter is not None:
+        n = _count_words(words)
+        counter.add("POPCNT", n)
+        counter.add("ADD", n)
+    if reduce_axis is not None:
+        return counts.sum(axis=reduce_axis)
+    return counts

@@ -1,0 +1,139 @@
+"""Packing boolean sample vectors into 32-bit machine words.
+
+The paper compresses the genotype information of every SNP into bit-planes:
+for SNP ``X`` and genotype value ``g`` the plane ``X[g]`` has one bit per
+sample which is set iff that sample carries genotype ``g`` at ``X``
+(Figure 1 of the paper).  All kernels operate on these planes packed into
+32-bit unsigned integers, "due to their compatibility with all the considered
+devices/architectures" (§IV).
+
+Packing conventions
+-------------------
+* Samples are laid out little-endian *within* a word: sample ``s`` occupies
+  bit ``s % 32`` of word ``s // 32``.
+* The number of words per plane is ``ceil(n_samples / 32)``; padding bits in
+  the last word are always **zero**.  Keeping the padding clear is essential:
+  a stray set bit would corrupt every frequency table built from the plane.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "WORD_BITS",
+    "WORD_DTYPE",
+    "packed_word_count",
+    "pad_to_words",
+    "pack_bits",
+    "unpack_bits",
+    "pack_bitplanes",
+]
+
+#: Number of sample bits stored per packed word.
+WORD_BITS: int = 32
+
+#: NumPy dtype of a packed word.
+WORD_DTYPE = np.uint32
+
+
+def packed_word_count(n_samples: int) -> int:
+    """Number of 32-bit words needed to store ``n_samples`` bits."""
+    if n_samples < 0:
+        raise ValueError("n_samples must be non-negative")
+    return (n_samples + WORD_BITS - 1) // WORD_BITS
+
+
+def pad_to_words(bits: np.ndarray) -> np.ndarray:
+    """Pad the last axis of a boolean array with zeros to a multiple of 32.
+
+    Returns a *new* array whose last-axis length is ``32 * packed_word_count``.
+    If the input is already aligned the original array is returned unchanged
+    (a view, no copy), following the "views, not copies" guidance for
+    memory-bound numerical code.
+    """
+    arr = np.asarray(bits, dtype=bool)
+    n = arr.shape[-1]
+    padded_len = packed_word_count(n) * WORD_BITS
+    if padded_len == n:
+        return arr
+    pad_width = [(0, 0)] * (arr.ndim - 1) + [(0, padded_len - n)]
+    return np.pad(arr, pad_width, mode="constant", constant_values=False)
+
+
+def pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack a boolean array into little-endian ``uint32`` words.
+
+    The packing applies along the last axis; a ``(..., n_samples)`` boolean
+    array becomes a ``(..., packed_word_count(n_samples))`` ``uint32`` array.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> pack_bits(np.array([1, 0, 1, 1], dtype=bool))
+    array([13], dtype=uint32)
+    """
+    arr = pad_to_words(bits)
+    packed_u8 = np.packbits(arr, axis=-1, bitorder="little")
+    # Four little-endian bytes per 32-bit word.  ``packbits`` already produces
+    # a C-contiguous array, so the view is free.
+    new_shape = packed_u8.shape[:-1] + (packed_u8.shape[-1] // 4,)
+    return np.ascontiguousarray(packed_u8).view("<u4").reshape(new_shape)
+
+
+def unpack_bits(words: np.ndarray, n_samples: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`.
+
+    Parameters
+    ----------
+    words:
+        ``uint32`` array produced by :func:`pack_bits` (last axis = words).
+    n_samples:
+        Number of valid sample bits; the padded tail is discarded.
+
+    Returns
+    -------
+    numpy.ndarray
+        Boolean array with last-axis length ``n_samples``.
+    """
+    arr = np.asarray(words, dtype=WORD_DTYPE)
+    if packed_word_count(n_samples) != arr.shape[-1]:
+        raise ValueError(
+            f"word count {arr.shape[-1]} does not match n_samples={n_samples} "
+            f"(expected {packed_word_count(n_samples)})"
+        )
+    as_bytes = np.ascontiguousarray(arr).view(np.uint8)
+    bits = np.unpackbits(as_bytes, axis=-1, bitorder="little")
+    return bits[..., :n_samples].astype(bool)
+
+
+def pack_bitplanes(genotypes: np.ndarray, n_genotypes: int = 3) -> np.ndarray:
+    """Pack a genotype matrix into per-genotype bit-planes.
+
+    Parameters
+    ----------
+    genotypes:
+        ``(n_snps, n_samples)`` integer array with values in
+        ``range(n_genotypes)`` (0 = homozygous major, 1 = heterozygous,
+        2 = homozygous minor).
+    n_genotypes:
+        Number of genotype values (3 for bi-allelic SNPs).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n_snps, n_genotypes, n_words)`` ``uint32`` array: plane ``[i, g]``
+        has the bit for sample ``s`` set iff ``genotypes[i, s] == g``.
+    """
+    geno = np.asarray(genotypes)
+    if geno.ndim != 2:
+        raise ValueError("genotypes must be a 2-D (n_snps, n_samples) array")
+    if geno.size and (geno.min() < 0 or geno.max() >= n_genotypes):
+        raise ValueError(
+            f"genotype values must be in [0, {n_genotypes}); "
+            f"found range [{geno.min()}, {geno.max()}]"
+        )
+    planes = np.stack(
+        [pack_bits(geno == g) for g in range(n_genotypes)], axis=1
+    )
+    return planes

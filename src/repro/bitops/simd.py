@@ -1,0 +1,258 @@
+"""Software model of the vector ISAs targeted by the paper.
+
+The fourth (best) CPU approach of the paper vectorises the frequency-table
+construction with AVX or AVX-512 intrinsics.  Two micro-architectural details
+dominate its performance (§V-B):
+
+* whether the CPU offers a **vector POPCNT** (``VPOPCNTDQ``, Ice Lake SP
+  only among the tested parts) — without it, every vector register has to be
+  decomposed into 64-bit lanes with *extract* instructions and counted with
+  the scalar ``POPCNT``;
+* the number of extract instructions needed per 64-bit lane (one on AVX,
+  two on Skylake-SP AVX-512, which is why AVX-512 on Skylake-SP is *slower*
+  than plain AVX for this workload).
+
+This module reproduces those code paths at word granularity.  A
+:class:`VectorISA` describes the register width and POPCNT capabilities, and
+a :class:`VectorRegisterFile` executes loads/logical ops/population counts
+over packed ``uint32`` arrays in register-sized chunks while recording the
+*vector-instruction* counts that the CPU performance model converts into
+cycles.  Functionally the results are identical to the plain NumPy
+implementation — the value of the model is the instruction accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.bitops.ops import OpCounter
+from repro.bitops.popcount import popcount32, popcount64
+
+__all__ = ["VectorISA", "VectorRegisterFile", "ISA_PRESETS", "isa_for_name"]
+
+
+@dataclass(frozen=True)
+class VectorISA:
+    """Description of a vector instruction-set architecture.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier (``"avx2-256"``, ``"avx512-vpopcnt"``, …).
+    width_bits:
+        Vector register width in bits (128, 256 or 512; 64 denotes the
+        scalar baseline).
+    has_vector_popcnt:
+        ``True`` if a vector population-count instruction is available
+        (Ice Lake SP); otherwise the scalar-extract path is modelled.
+    extracts_per_lane:
+        Number of extract instructions needed to move one 64-bit lane of a
+        vector register into a scalar register.  1 for AVX/AVX2; 2 for
+        Skylake-SP AVX-512 (``_mm256_extract_epi64`` after
+        ``_mm512_extracti64x4_epi64``), as described in §IV-A / §V-B.
+    """
+
+    name: str
+    width_bits: int
+    has_vector_popcnt: bool
+    extracts_per_lane: int = 1
+
+    def __post_init__(self) -> None:
+        if self.width_bits not in (64, 128, 256, 512):
+            raise ValueError(f"unsupported vector width: {self.width_bits} bits")
+        if self.extracts_per_lane < 0:
+            raise ValueError("extracts_per_lane must be non-negative")
+
+    # -- derived geometry ---------------------------------------------------
+    @property
+    def lanes32(self) -> int:
+        """Number of 32-bit elements per vector register."""
+        return self.width_bits // 32
+
+    @property
+    def lanes64(self) -> int:
+        """Number of 64-bit lanes per vector register (extract granularity)."""
+        return max(1, self.width_bits // 64)
+
+    @property
+    def samples_per_register(self) -> int:
+        """Number of sample bits covered by one register (32 per word)."""
+        return self.lanes32 * 32
+
+    @property
+    def is_scalar(self) -> bool:
+        """``True`` for the 64-bit scalar baseline."""
+        return self.width_bits == 64
+
+    # -- instruction-cost helpers ------------------------------------------
+    def popcount_instruction_cost(self) -> Dict[str, int]:
+        """Instruction mix for counting the bits of *one* vector register.
+
+        Returns a mnemonic → count mapping.  With vector POPCNT the cost is
+        one ``VPOPCNT`` plus one ``VREDUCE_ADD``; without it the register is
+        decomposed into 64-bit lanes, each requiring ``extracts_per_lane``
+        ``EXTRACT`` instructions, one scalar ``POPCNT`` and one scalar
+        ``ADD``.
+        """
+        if self.has_vector_popcnt:
+            return {"VPOPCNT": 1, "VREDUCE_ADD": 1}
+        lanes = self.lanes64
+        return {
+            "EXTRACT": lanes * self.extracts_per_lane,
+            "POPCNT": lanes,
+            "ADD": lanes,
+        }
+
+    def instructions_per_combination(self) -> Dict[str, int]:
+        """Vector-instruction mix to evaluate one genotype combination block.
+
+        One combination requires, per register-width block of samples and per
+        phenotype class: 6 loads and 3 NORs (amortised over 27 combinations),
+        plus 2 ANDs and one population count per combination.  This helper
+        returns the per-combination (27ths of the amortised work included)
+        mix used by the analytical CPU model.
+        """
+        mix: Dict[str, int] = {"VAND": 2}
+        # Amortised loads and NORs: 6 loads + 3 NOR (=3 OR + 3 XOR) per 27
+        # combinations.  Stored as milli-ops to stay integral.
+        mix["VLOAD_x27"] = 6
+        mix["VNOR_x27"] = 3
+        for k, v in self.popcount_instruction_cost().items():
+            mix[k] = mix.get(k, 0) + v
+        return mix
+
+
+#: The vector ISAs appearing in Table I of the paper.
+ISA_PRESETS: Dict[str, VectorISA] = {
+    "scalar64": VectorISA("scalar64", 64, has_vector_popcnt=False, extracts_per_lane=0),
+    # AMD Zen: AVX ops split into two 128-bit halves -> effective 128-bit.
+    "avx-128": VectorISA("avx-128", 128, has_vector_popcnt=False, extracts_per_lane=1),
+    # Intel Skylake (client), AMD Zen2: 256-bit AVX(2), scalar POPCNT only.
+    "avx2-256": VectorISA("avx2-256", 256, has_vector_popcnt=False, extracts_per_lane=1),
+    # Intel Skylake-SP: AVX-512 but scalar POPCNT, two extracts per lane.
+    "avx512-skx": VectorISA("avx512-skx", 512, has_vector_popcnt=False, extracts_per_lane=2),
+    # Intel Ice Lake SP: AVX-512 with VPOPCNTDQ.
+    "avx512-vpopcnt": VectorISA("avx512-vpopcnt", 512, has_vector_popcnt=True, extracts_per_lane=0),
+}
+
+
+def isa_for_name(name: str) -> VectorISA:
+    """Look up a preset ISA by name (case-insensitive).
+
+    Raises
+    ------
+    KeyError
+        If ``name`` is not one of :data:`ISA_PRESETS`.
+    """
+    key = name.lower()
+    if key not in ISA_PRESETS:
+        known = ", ".join(sorted(ISA_PRESETS))
+        raise KeyError(f"unknown ISA {name!r}; known ISAs: {known}")
+    return ISA_PRESETS[key]
+
+
+class VectorRegisterFile:
+    """Executes packed-word kernels in register-width chunks.
+
+    The register file is stateless with respect to data (operands are plain
+    NumPy arrays); its job is to (a) enforce that operations happen in
+    register-sized chunks, matching the intrinsics code of the paper, and
+    (b) charge vector-instruction counts to an :class:`OpCounter` so the
+    performance model can translate the mix into cycles.
+
+    Word arrays handed to the register file are processed whole; the number
+    of vector instructions charged is ``ceil(n_words / lanes32)`` per
+    operation, i.e. partially-filled trailing registers cost a full
+    instruction, exactly as on hardware.
+    """
+
+    def __init__(self, isa: VectorISA, counter: OpCounter | None = None) -> None:
+        self.isa = isa
+        self.counter = counter if counter is not None else OpCounter()
+
+    # -- accounting ---------------------------------------------------------
+    def _registers_for(self, arr: np.ndarray) -> int:
+        n_words = int(np.asarray(arr).size)
+        lanes = self.isa.lanes32
+        return (n_words + lanes - 1) // lanes
+
+    def _charge(self, mnemonic: str, arr: np.ndarray, per_register: int = 1) -> None:
+        self.counter.add(mnemonic, per_register * self._registers_for(arr))
+
+    # -- data movement ------------------------------------------------------
+    def load(self, words: np.ndarray) -> np.ndarray:
+        """Vector load: returns the operand and charges ``VLOAD`` + traffic."""
+        arr = np.asarray(words, dtype=np.uint32)
+        self._charge("VLOAD", arr)
+        self.counter.bytes_loaded += arr.size * 4
+        return arr
+
+    def store(self, words: np.ndarray) -> np.ndarray:
+        """Vector store accounting (returns the operand unchanged)."""
+        arr = np.asarray(words, dtype=np.uint32)
+        self._charge("VSTORE", arr)
+        self.counter.bytes_stored += arr.size * 4
+        return arr
+
+    # -- logical operations --------------------------------------------------
+    def vand(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Vector bitwise AND (one ``VAND`` per register)."""
+        out = np.bitwise_and(a, b)
+        self._charge("VAND", out)
+        return out
+
+    def vand3(self, a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
+        """Three-input AND: two ``VAND`` instructions per register."""
+        out = np.bitwise_and(np.bitwise_and(a, b), c)
+        self._charge("VAND", out, per_register=2)
+        return out
+
+    def vor(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Vector bitwise OR."""
+        out = np.bitwise_or(a, b)
+        self._charge("VOR", out)
+        return out
+
+    def vxor(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Vector bitwise XOR."""
+        out = np.bitwise_xor(a, b)
+        self._charge("VXOR", out)
+        return out
+
+    def vnor(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Vector NOR emulated as OR + XOR-with-ones (two instructions)."""
+        out = np.bitwise_not(np.bitwise_or(a, b))
+        self._charge("VOR", out)
+        self._charge("VXOR", out)
+        return out
+
+    # -- population count ----------------------------------------------------
+    def vpopcount_accumulate(self, words: np.ndarray) -> int:
+        """Count the set bits of ``words`` and charge the ISA-specific cost.
+
+        With vector POPCNT: one ``VPOPCNT`` + one ``VREDUCE_ADD`` per
+        register.  Without it: per 64-bit lane, ``extracts_per_lane``
+        ``EXTRACT`` instructions, one scalar ``POPCNT`` and one scalar
+        ``ADD`` — the dominant cost on every tested CPU except Ice Lake SP.
+        """
+        arr = np.asarray(words, dtype=np.uint32)
+        n_registers = self._registers_for(arr)
+        if self.isa.has_vector_popcnt:
+            self.counter.add("VPOPCNT", n_registers)
+            self.counter.add("VREDUCE_ADD", n_registers)
+            return int(popcount32(arr).sum())
+        # Scalar-extract path: pair 32-bit words into 64-bit lanes.
+        n_lanes = n_registers * self.isa.lanes64
+        self.counter.add("EXTRACT", n_lanes * self.isa.extracts_per_lane)
+        self.counter.add("POPCNT", n_lanes)
+        self.counter.add("ADD", n_lanes)
+        if arr.size % 2 == 0:
+            as64 = np.ascontiguousarray(arr).view(np.uint64)
+            return int(popcount64(as64).sum())
+        return int(popcount32(arr).sum())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"VectorRegisterFile(isa={self.isa.name!r})"

@@ -1,0 +1,34 @@
+"""Cache-Aware Roofline Model (CARM).
+
+The paper selects its best CPU/GPU approaches by characterising all four
+variants in the Cache-Aware Roofline Model (Ilic et al., IEEE CAL 2014) as
+measured by Intel Advisor (Figure 2).  CARM plots, on log-log axes,
+
+* memory roofs — one line per memory level, ``performance = AI x bandwidth``
+  where the bandwidth is measured from the core's perspective (loads served
+  by L1, L2, L3, DRAM), and
+* compute roofs — horizontal lines at the scalar and vector integer peaks,
+
+and places every kernel at ``(arithmetic intensity, achieved GINTOPS)``.
+This package implements the model itself (:mod:`repro.carm.model`), the
+characterisation of the paper's approaches on any catalogued device
+(:mod:`repro.carm.characterize`) and a text renderer used by the benchmark
+harness (:mod:`repro.carm.render`).
+"""
+
+from repro.carm.model import CarmModel, KernelPoint, Roof
+from repro.carm.characterize import (
+    characterize_cpu_approaches,
+    characterize_gpu_approaches,
+)
+from repro.carm.render import render_ascii, render_csv
+
+__all__ = [
+    "Roof",
+    "KernelPoint",
+    "CarmModel",
+    "characterize_cpu_approaches",
+    "characterize_gpu_approaches",
+    "render_ascii",
+    "render_csv",
+]

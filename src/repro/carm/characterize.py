@@ -1,0 +1,84 @@
+"""Characterisation of the four approaches in CARM (Figure 2).
+
+For a chosen device, every approach version is turned into a
+:class:`~repro.carm.model.KernelPoint`:
+
+* the **arithmetic intensity** comes from the per-element operation and
+  traffic counts of :mod:`repro.perfmodel.counters` (identical to what the
+  functional kernels charge to their counters);
+* the **achieved GINTOPS** is the predicted throughput of the analytical
+  performance model multiplied by the operations per element.
+
+The resulting placements reproduce the paper's reading of Figure 2:
+
+* CPU (Ice Lake SP): V1 sits on the (scalar) L3 roof, V2 moves *left*
+  (lower AI) and stays memory bound, V3 climbs to the private-cache region
+  just below the scalar ADD roof, V4 reaches the vicinity of the integer
+  vector ADD peak;
+* GPU (Iris Xe MAX): V1/V2 are DRAM bound, V3 jumps thanks to coalescing,
+  V4 approaches the device's integer peak (or stays DRAM bound on
+  bandwidth-starved parts).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.carm.model import CarmModel, KernelPoint
+from repro.devices.specs import CpuSpec, GpuSpec
+from repro.perfmodel.counters import approach_counts
+from repro.perfmodel.cpu_model import estimate_cpu
+from repro.perfmodel.gpu_model import estimate_gpu
+
+__all__ = ["characterize_cpu_approaches", "characterize_gpu_approaches"]
+
+
+def characterize_cpu_approaches(
+    spec: CpuSpec,
+    n_snps: int = 2048,
+    n_samples: int = 16384,
+    versions: tuple[int, ...] = (1, 2, 3, 4),
+) -> tuple[CarmModel, List[KernelPoint]]:
+    """Place the CPU approaches V1–V4 on the device's roofline (Figure 2a)."""
+    model = CarmModel.from_cpu(spec)
+    points: List[KernelPoint] = []
+    for version in versions:
+        counts = approach_counts(version, device="cpu")
+        estimate = estimate_cpu(spec, version, n_snps=n_snps, n_samples=n_samples)
+        elements_per_second = estimate.elements_per_second_total
+        gops = elements_per_second * counts.ops_per_element / 1e9
+        points.append(
+            KernelPoint(
+                name=f"V{version}",
+                arithmetic_intensity=counts.arithmetic_intensity,
+                gops=gops,
+                elements_per_second=elements_per_second,
+            )
+        )
+    scalar_versions = tuple(f"V{v}" for v in versions if v < 4)
+    return model, model.place(points, scalar_versions=scalar_versions)
+
+
+def characterize_gpu_approaches(
+    spec: GpuSpec,
+    n_snps: int = 2048,
+    n_samples: int = 16384,
+    versions: tuple[int, ...] = (1, 2, 3, 4),
+) -> tuple[CarmModel, List[KernelPoint]]:
+    """Place the GPU approaches V1–V4 on the device's roofline (Figure 2b)."""
+    model = CarmModel.from_gpu(spec)
+    points: List[KernelPoint] = []
+    for version in versions:
+        counts = approach_counts(version, device="gpu")
+        estimate = estimate_gpu(spec, version, n_snps=n_snps, n_samples=n_samples)
+        elements_per_second = estimate.elements_per_second_total
+        gops = elements_per_second * counts.ops_per_element / 1e9
+        points.append(
+            KernelPoint(
+                name=f"V{version}",
+                arithmetic_intensity=counts.arithmetic_intensity,
+                gops=gops,
+                elements_per_second=elements_per_second,
+            )
+        )
+    return model, model.place(points)

@@ -1,0 +1,207 @@
+"""The Cache-Aware Roofline Model itself.
+
+A :class:`CarmModel` is a collection of memory roofs (GB/s seen from the
+core) and compute roofs (giga integer operations per second).  Unlike the
+"classic" roofline, CARM measures all memory traffic from the core's
+perspective, so every cache level contributes a roof and the x-axis
+arithmetic intensity uses *total* load/store bytes rather than DRAM bytes —
+this is exactly the convention used by Intel Advisor and by the paper's
+Figure 2, and it is the reason the same kernel point can be compared against
+all levels at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence
+
+from repro.devices.specs import CpuSpec, GpuSpec
+
+__all__ = ["Roof", "KernelPoint", "CarmModel"]
+
+
+@dataclass(frozen=True)
+class Roof:
+    """One roof of the model.
+
+    Attributes
+    ----------
+    name:
+        Label, e.g. ``"L1->C"`` or ``"Int32 Vector ADD Peak"``.
+    kind:
+        ``"memory"`` (slanted, bandwidth-limited) or ``"compute"``
+        (horizontal).
+    value:
+        GB/s for memory roofs, GINTOPS for compute roofs.
+    scalar:
+        ``True`` for the scalar variants (drawn slashed in the paper).
+    """
+
+    name: str
+    kind: str
+    value: float
+    scalar: bool = False
+
+    def attainable_gops(self, ai: float) -> float:
+        """Attainable GINTOPS at arithmetic intensity ``ai`` under this roof."""
+        if self.kind == "compute":
+            return self.value
+        return self.value * ai
+
+
+@dataclass(frozen=True)
+class KernelPoint:
+    """A kernel placed on the roofline.
+
+    Attributes
+    ----------
+    name:
+        Kernel label (``"V1"`` … ``"V4"``).
+    arithmetic_intensity:
+        Integer operations per byte.
+    gops:
+        Achieved giga integer operations per second.
+    elements_per_second:
+        Achieved throughput in the paper's combinations x samples unit.
+    bound_by:
+        Name of the roof closest above the point (assigned by
+        :meth:`CarmModel.bounding_roof`).
+    """
+
+    name: str
+    arithmetic_intensity: float
+    gops: float
+    elements_per_second: float = 0.0
+    bound_by: str = ""
+
+
+class CarmModel:
+    """A set of roofs for one device plus helpers to place kernels."""
+
+    def __init__(self, device: str, roofs: Sequence[Roof]) -> None:
+        if not roofs:
+            raise ValueError("a CARM model needs at least one roof")
+        self.device = device
+        self.roofs: List[Roof] = list(roofs)
+
+    # -- constructors ------------------------------------------------------------
+    @classmethod
+    def from_cpu(cls, spec: CpuSpec, isa=None) -> "CarmModel":
+        """Build the CPU roofline of Figure 2a from a catalogued CPU.
+
+        Memory roofs use the per-core cache bandwidths scaled to all cores;
+        compute roofs are the scalar and vector integer ADD peaks.
+        """
+        isa = isa or spec.vector_isa
+        roofs: List[Roof] = []
+        for level in spec.caches:
+            if level.name == "DRAM":
+                bw = spec.dram_bandwidth_gbps
+            else:
+                bw = level.bandwidth_gbps(spec.base_freq_ghz, spec.cores)
+            roofs.append(Roof(f"{level.name}->C", "memory", bw))
+            # The paper's Figure 2a additionally draws the *scalar* memory
+            # roofs (slashed): bandwidth achievable with scalar loads only.
+            scalar_bw = min(bw, spec.scalar_issue_width * 8 * spec.base_freq_ghz * spec.cores)
+            roofs.append(Roof(f"{level.name}->C (scalar)", "memory", scalar_bw, scalar=True))
+        roofs.append(
+            Roof("Int32 Vector ADD Peak", "compute", spec.peak_int_gops(isa))
+        )
+        roofs.append(
+            Roof("Scalar ADD Peak", "compute", spec.scalar_peak_int_gops(), scalar=True)
+        )
+        return cls(spec.key, roofs)
+
+    @classmethod
+    def from_gpu(cls, spec: GpuSpec) -> "CarmModel":
+        """Build the GPU roofline of Figure 2b from a catalogued GPU."""
+        freq = spec.boost_freq_ghz
+        roofs = [
+            Roof("SLM->C", "memory",
+                 spec.slm_bytes_per_cycle_per_cu * spec.compute_units * freq),
+            Roof("L3->C", "memory",
+                 spec.llc_bytes_per_cycle_per_cu * spec.compute_units * freq),
+            Roof("DRAM->C", "memory", spec.dram_bandwidth_gbps),
+            Roof("Int32 Vector ADD Peak", "compute", spec.peak_int_gops()),
+            Roof("POPCNT Peak", "compute", spec.peak_popcnt_gops()),
+        ]
+        return cls(spec.key, roofs)
+
+    # -- queries -------------------------------------------------------------------
+    @property
+    def memory_roofs(self) -> List[Roof]:
+        """The slanted roofs, fastest first."""
+        return sorted(
+            (r for r in self.roofs if r.kind == "memory"),
+            key=lambda r: -r.value,
+        )
+
+    @property
+    def compute_roofs(self) -> List[Roof]:
+        """The horizontal roofs, highest first."""
+        return sorted(
+            (r for r in self.roofs if r.kind == "compute"),
+            key=lambda r: -r.value,
+        )
+
+    def roof(self, name: str) -> Roof:
+        """Look up a roof by name."""
+        for r in self.roofs:
+            if r.name == name:
+                return r
+        raise KeyError(f"{self.device}: no roof named {name!r}")
+
+    def attainable_gops(self, ai: float, include_scalar: bool = False) -> float:
+        """Maximum attainable GINTOPS at the given arithmetic intensity.
+
+        ``min(best memory roof at ai, best compute roof)`` — the classic
+        roofline envelope.  Scalar roofs are excluded from the envelope by
+        default (they bound the scalar kernels only).
+        """
+        if ai <= 0:
+            raise ValueError("arithmetic intensity must be positive")
+        roofs = [r for r in self.roofs if include_scalar or not r.scalar]
+        mem = max((r.attainable_gops(ai) for r in roofs if r.kind == "memory"),
+                  default=float("inf"))
+        comp = max((r.value for r in roofs if r.kind == "compute"), default=float("inf"))
+        return min(mem, comp)
+
+    def bounding_roof(self, point: KernelPoint, scalar_kernel: bool = False) -> Roof:
+        """The roof immediately above (or nearest to) a kernel point.
+
+        For scalar kernels the scalar roofs participate, mirroring the
+        paper's reading of Figure 2a ("limited by the scalar L3 bandwidth
+        roof", "right below the scalar ADD roof").
+        """
+        candidates = [
+            r for r in self.roofs
+            if (scalar_kernel or not r.scalar)
+        ]
+        above = [
+            r for r in candidates
+            if r.attainable_gops(point.arithmetic_intensity) >= point.gops * 0.999
+        ]
+        if above:
+            return min(above, key=lambda r: r.attainable_gops(point.arithmetic_intensity))
+        # The point exceeds every roof (should not happen with a consistent
+        # model) — report the highest roof.
+        return max(candidates, key=lambda r: r.attainable_gops(point.arithmetic_intensity))
+
+    def place(self, points: Iterable[KernelPoint], scalar_versions: Sequence[str] = ()) -> List[KernelPoint]:
+        """Annotate kernel points with the roof that bounds them."""
+        placed = []
+        for p in points:
+            roof = self.bounding_roof(p, scalar_kernel=p.name in scalar_versions)
+            placed.append(
+                KernelPoint(
+                    name=p.name,
+                    arithmetic_intensity=p.arithmetic_intensity,
+                    gops=p.gops,
+                    elements_per_second=p.elements_per_second,
+                    bound_by=roof.name,
+                )
+            )
+        return placed
+
+    def __repr__(self) -> str:
+        return f"CarmModel(device={self.device!r}, roofs={len(self.roofs)})"

@@ -1,0 +1,90 @@
+"""Text rendering of roofline characterisations.
+
+No plotting library is assumed to be available offline, so the benchmark
+harness renders Figure 2 as (a) a CSV block that can be re-plotted with any
+tool and (b) a coarse ASCII log-log chart for quick inspection in a
+terminal.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from repro.carm.model import CarmModel, KernelPoint
+
+__all__ = ["render_csv", "render_ascii"]
+
+
+def render_csv(model: CarmModel, points: Sequence[KernelPoint]) -> str:
+    """Roofs and kernel points as a CSV block (one section each)."""
+    lines = [f"# CARM characterisation, device={model.device}"]
+    lines.append("roof,kind,scalar,value")
+    for roof in model.roofs:
+        lines.append(f"{roof.name},{roof.kind},{int(roof.scalar)},{roof.value:.4f}")
+    lines.append("kernel,arithmetic_intensity,gintops,elements_per_second,bound_by")
+    for p in points:
+        lines.append(
+            f"{p.name},{p.arithmetic_intensity:.6f},{p.gops:.4f},"
+            f"{p.elements_per_second:.4e},{p.bound_by}"
+        )
+    return "\n".join(lines)
+
+
+def render_ascii(
+    model: CarmModel,
+    points: Sequence[KernelPoint],
+    width: int = 64,
+    height: int = 18,
+    ai_range: tuple[float, float] = (2**-4, 2**6),
+) -> str:
+    """A coarse ASCII log-log roofline chart.
+
+    Memory roofs are drawn as ``/`` diagonals, compute roofs as ``-`` rows
+    and kernels as their version digit.  The chart is intentionally crude —
+    it exists so the benchmark output is interpretable without plotting.
+    """
+    ai_lo, ai_hi = ai_range
+    gops_values = [r.value for r in model.compute_roofs] + [p.gops for p in points]
+    gops_hi = max(gops_values) * 2
+    gops_lo = max(min(p.gops for p in points) / 4, gops_hi / 2**14) if points else gops_hi / 2**14
+
+    def x_of(ai: float) -> int:
+        frac = (math.log2(ai) - math.log2(ai_lo)) / (math.log2(ai_hi) - math.log2(ai_lo))
+        return int(round(frac * (width - 1)))
+
+    def y_of(gops: float) -> int:
+        gops = min(max(gops, gops_lo), gops_hi)
+        frac = (math.log2(gops) - math.log2(gops_lo)) / (
+            math.log2(gops_hi) - math.log2(gops_lo)
+        )
+        return (height - 1) - int(round(frac * (height - 1)))
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+
+    for roof in model.memory_roofs:
+        for col in range(width):
+            ai = ai_lo * (ai_hi / ai_lo) ** (col / (width - 1))
+            gops = roof.attainable_gops(ai)
+            if gops_lo <= gops <= gops_hi:
+                row = y_of(gops)
+                if grid[row][col] == " ":
+                    grid[row][col] = "/" if not roof.scalar else "."
+    for roof in model.compute_roofs:
+        if gops_lo <= roof.value <= gops_hi:
+            row = y_of(roof.value)
+            for col in range(width):
+                if grid[row][col] == " ":
+                    grid[row][col] = "-" if not roof.scalar else "."
+    for p in points:
+        col = min(max(x_of(p.arithmetic_intensity), 0), width - 1)
+        row = y_of(p.gops)
+        grid[row][col] = p.name[-1]
+
+    header = f"CARM {model.device}  (x: intop/byte {ai_lo:g}..{ai_hi:g} log2, y: GINTOPS log2)"
+    body = "\n".join("".join(row) for row in grid)
+    legend = "  ".join(
+        f"{p.name}: AI={p.arithmetic_intensity:.2f}, {p.gops:.1f} GINTOPS, bound by {p.bound_by}"
+        for p in points
+    )
+    return f"{header}\n{body}\n{legend}"

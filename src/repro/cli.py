@@ -1,0 +1,167 @@
+"""Command-line interface.
+
+``repro-epistasis`` (or ``python -m repro``) exposes the library's main entry
+points without writing any Python:
+
+* ``generate`` — create a synthetic case/control dataset (optionally with a
+  planted three-way interaction) and save it to ``.npz`` or text;
+* ``detect`` — run the exhaustive three-way search on a dataset file with a
+  chosen approach/objective and print the best interactions;
+* ``devices`` — print Tables I and II (the device catalog);
+* ``figures`` — regenerate the paper's figures/tables from the analytical
+  models (Figure 2, Figure 3, Figure 4, Table III, §V-D comparison,
+  ablations).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-epistasis",
+        description="Three-way exhaustive epistasis detection (IPDPS 2022 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic dataset")
+    gen.add_argument("output", help="output path (.npz or .csv/.txt)")
+    gen.add_argument("--snps", type=int, default=64)
+    gen.add_argument("--samples", type=int, default=1024)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--maf-low", type=float, default=0.05)
+    gen.add_argument("--maf-high", type=float, default=0.5)
+    gen.add_argument(
+        "--interaction",
+        type=int,
+        nargs=3,
+        metavar=("SNP1", "SNP2", "SNP3"),
+        help="plant a three-way interaction at these SNP indices",
+    )
+    gen.add_argument(
+        "--model",
+        choices=("threshold", "multiplicative", "xor"),
+        default="threshold",
+        help="penetrance model of the planted interaction",
+    )
+    gen.add_argument("--effect", type=float, default=0.8)
+    gen.add_argument("--baseline", type=float, default=0.05)
+
+    det = sub.add_parser("detect", help="run the exhaustive three-way search")
+    det.add_argument("dataset", help="dataset path (.npz or text)")
+    det.add_argument("--approach", default="cpu-v4")
+    det.add_argument("--objective", default="k2")
+    det.add_argument("--workers", type=int, default=1)
+    det.add_argument("--chunk-size", type=int, default=2048)
+    det.add_argument("--top-k", type=int, default=5)
+
+    sub.add_parser("devices", help="print the device catalog (Tables I and II)")
+
+    fig = sub.add_parser("figures", help="regenerate figures/tables from the models")
+    fig.add_argument(
+        "which",
+        choices=("figure2", "figure3", "figure4", "table3", "comparison", "ablations", "all"),
+        nargs="?",
+        default="all",
+    )
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.datasets import PlantedInteraction, SyntheticConfig, generate_dataset, save_npz, save_text
+
+    interaction = None
+    if args.interaction:
+        interaction = PlantedInteraction(
+            snps=tuple(args.interaction),
+            model=args.model,
+            effect=args.effect,
+            baseline=args.baseline,
+        )
+    config = SyntheticConfig(
+        n_snps=args.snps,
+        n_samples=args.samples,
+        maf_range=(args.maf_low, args.maf_high),
+        interaction=interaction,
+        seed=args.seed,
+    )
+    dataset = generate_dataset(config)
+    if args.output.endswith(".npz"):
+        save_npz(dataset, args.output)
+    else:
+        save_text(dataset, args.output)
+    print(f"wrote {dataset} to {args.output}")
+    return 0
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    from repro.core import EpistasisDetector
+    from repro.datasets import load_dataset
+
+    dataset = load_dataset(args.dataset)
+    detector = EpistasisDetector(
+        approach=args.approach,
+        objective=args.objective,
+        n_workers=args.workers,
+        chunk_size=args.chunk_size,
+        top_k=args.top_k,
+    )
+    result = detector.detect(dataset)
+    print(result.summary())
+    return 0
+
+
+def _cmd_devices(_: argparse.Namespace) -> int:
+    from repro.experiments.tables import format_table1, format_table2
+
+    print(format_table1())
+    print()
+    print(format_table2())
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.experiments.ablations import format_ablations
+    from repro.experiments.comparison import format_comparison
+    from repro.experiments.figure2 import format_figure2
+    from repro.experiments.figure3 import format_figure3
+    from repro.experiments.figure4 import format_figure4
+    from repro.experiments.table3 import format_table3
+
+    sections = {
+        "figure2": format_figure2,
+        "figure3": format_figure3,
+        "figure4": format_figure4,
+        "table3": format_table3,
+        "comparison": format_comparison,
+        "ablations": format_ablations,
+    }
+    chosen = sections if args.which == "all" else {args.which: sections[args.which]}
+    for name, fn in chosen.items():
+        print(f"================ {name} ================")
+        print(fn())
+        print()
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "detect": _cmd_detect,
+        "devices": _cmd_devices,
+        "figures": _cmd_figures,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,80 @@
+"""Core three-way epistasis detection engine — the paper's contribution.
+
+The engine is organised as:
+
+* :mod:`repro.core.combinations` — enumeration, ranking and chunking of the
+  exhaustive SNP-triplet search space, including the triangular block
+  schedule of Algorithm 1.
+* :mod:`repro.core.contingency` — 27x2 genotype/phenotype frequency tables
+  and the direct (non-binarised) oracle construction used for validation.
+* :mod:`repro.core.scoring` — objective functions over frequency tables:
+  the Bayesian K2 score of the paper plus additional criteria (mutual
+  information, Gini impurity, chi-squared) offered as extensions.
+* :mod:`repro.core.approaches` — the four CPU approaches and four GPU
+  approaches of §IV, all instrumented with operation counters.
+* :mod:`repro.core.detector` — the :class:`EpistasisDetector` public API,
+  which combines an approach, an objective function and the host parallel
+  runtime into a single ``detect()`` call.
+* :mod:`repro.core.result` — result containers (best interaction, top-k
+  ranking, execution statistics).
+"""
+
+from repro.core.combinations import (
+    combination_count,
+    combination_from_rank,
+    combination_rank,
+    generate_combinations,
+    iter_combination_chunks,
+    iter_triangular_blocks,
+)
+from repro.core.contingency import (
+    N_GENOTYPE_COMBINATIONS,
+    cell_index_to_genotypes,
+    combination_cell_index,
+    contingency_oracle,
+    contingency_oracle_many,
+    table_totals,
+    validate_tables,
+)
+from repro.core.scoring import (
+    K2Score,
+    ChiSquaredScore,
+    GiniScore,
+    MutualInformationScore,
+    ObjectiveFunction,
+    get_objective,
+)
+from repro.core.result import ApproachStats, DetectionResult, Interaction
+from repro.core.detector import DetectorConfig, EpistasisDetector
+from repro.core.pairwise import PairwiseEpistasisDetector
+from repro.core.approaches import get_approach, list_approaches
+
+__all__ = [
+    "combination_count",
+    "combination_rank",
+    "combination_from_rank",
+    "generate_combinations",
+    "iter_combination_chunks",
+    "iter_triangular_blocks",
+    "N_GENOTYPE_COMBINATIONS",
+    "combination_cell_index",
+    "cell_index_to_genotypes",
+    "contingency_oracle",
+    "contingency_oracle_many",
+    "table_totals",
+    "validate_tables",
+    "ObjectiveFunction",
+    "K2Score",
+    "MutualInformationScore",
+    "GiniScore",
+    "ChiSquaredScore",
+    "get_objective",
+    "Interaction",
+    "ApproachStats",
+    "DetectionResult",
+    "EpistasisDetector",
+    "DetectorConfig",
+    "PairwiseEpistasisDetector",
+    "get_approach",
+    "list_approaches",
+]

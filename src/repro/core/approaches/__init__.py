@@ -1,0 +1,100 @@
+"""The CPU and GPU epistasis-detection approaches of §IV.
+
+Four CPU approaches and four GPU approaches are implemented, each one adding
+one optimisation on top of the previous one, exactly as the paper builds
+them.  All approaches expose the same interface (:class:`~repro.core.approaches.base.Approach`):
+``prepare()`` encodes a dataset, ``build_tables()`` produces the 27x2
+frequency tables of a batch of SNP triplets, and every run charges its
+dynamic instruction counts and memory traffic to an operation counter so the
+CARM and performance models can characterise it.
+
+========  =======================================================================
+name      optimisation added
+========  =======================================================================
+cpu-v1    naïve binarised kernel: 3 planes/SNP + phenotype mask
+cpu-v2    genotype-2 inferred with NOR; dataset split into cases/controls
+cpu-v3    loop tiling ``<BS, BP>`` sized to the L1 data cache
+cpu-v4    SIMD vectorisation (AVX / AVX-512, vector or scalar POPCNT)
+gpu-v1    naïve kernel, SNP-major layout, phenotype mask
+gpu-v2    genotype-2 inferred with NOR; case/control split (SNP-major layout)
+gpu-v3    transposed (sample-major) layout -> coalesced accesses
+gpu-v4    SNP-tiled layout (blocks of ``BS`` SNPs) -> coalescing + locality
+========  =======================================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.core.approaches.base import Approach
+from repro.core.approaches.cpu_naive import CpuNaiveApproach
+from repro.core.approaches.cpu_nophen import CpuNoPhenotypeApproach
+from repro.core.approaches.cpu_blocked import CpuBlockedApproach
+from repro.core.approaches.cpu_vectorized import CpuVectorizedApproach
+from repro.core.approaches.gpu_naive import GpuNaiveApproach
+from repro.core.approaches.gpu_nophen import GpuNoPhenotypeApproach
+from repro.core.approaches.gpu_transposed import GpuTransposedApproach
+from repro.core.approaches.gpu_tiled import GpuTiledApproach
+
+__all__ = [
+    "Approach",
+    "CpuNaiveApproach",
+    "CpuNoPhenotypeApproach",
+    "CpuBlockedApproach",
+    "CpuVectorizedApproach",
+    "GpuNaiveApproach",
+    "GpuNoPhenotypeApproach",
+    "GpuTransposedApproach",
+    "GpuTiledApproach",
+    "APPROACHES",
+    "get_approach",
+    "list_approaches",
+]
+
+#: Registry of approach classes by canonical name.
+APPROACHES: Dict[str, Type[Approach]] = {
+    cls.name: cls
+    for cls in (
+        CpuNaiveApproach,
+        CpuNoPhenotypeApproach,
+        CpuBlockedApproach,
+        CpuVectorizedApproach,
+        GpuNaiveApproach,
+        GpuNoPhenotypeApproach,
+        GpuTransposedApproach,
+        GpuTiledApproach,
+    )
+}
+
+#: Aliases accepted by :func:`get_approach`.
+_ALIASES: Dict[str, str] = {
+    "cpu": "cpu-v4",
+    "gpu": "gpu-v4",
+    "cpu-best": "cpu-v4",
+    "gpu-best": "gpu-v4",
+    "naive": "cpu-v1",
+}
+
+
+def get_approach(name: str, **kwargs) -> Approach:
+    """Instantiate an approach by name (``cpu-v1`` … ``gpu-v4``).
+
+    Keyword arguments are forwarded to the approach constructor (e.g.
+    ``isa=`` for ``cpu-v4``, ``block_size=`` for ``gpu-v4``).
+    """
+    key = name.lower()
+    key = _ALIASES.get(key, key)
+    if key not in APPROACHES:
+        raise KeyError(
+            f"unknown approach {name!r}; available: {sorted(APPROACHES)} "
+            f"(aliases: {sorted(_ALIASES)})"
+        )
+    return APPROACHES[key](**kwargs)
+
+
+def list_approaches(device: str | None = None) -> List[str]:
+    """List registered approach names, optionally filtered by device kind."""
+    names = sorted(APPROACHES)
+    if device is None:
+        return names
+    return [n for n in names if APPROACHES[n].device == device]

@@ -1,0 +1,106 @@
+"""Common interface of all detection approaches."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, ClassVar, Dict, Mapping
+
+import numpy as np
+
+from repro.bitops.ops import OpCounter
+from repro.datasets.dataset import GenotypeDataset
+
+__all__ = ["Approach"]
+
+
+class Approach(ABC):
+    """Base class of the CPU/GPU epistasis detection approaches.
+
+    An approach encapsulates one of the paper's algorithm variants: how the
+    dataset is encoded (``prepare``), how the 27x2 frequency tables of a
+    batch of SNP triplets are constructed (``build_tables``) and which
+    dynamic instruction/traffic counts that construction charges to the
+    operation counter.
+
+    Subclasses must define the class attributes ``name`` (registry key),
+    ``device`` (``"cpu"`` or ``"gpu"``) and ``version`` (1–4) and implement
+    :meth:`prepare` and :meth:`build_tables`.
+
+    Approaches are *stateless with respect to results*: the encoded dataset
+    returned by :meth:`prepare` is an explicit argument of
+    :meth:`build_tables` so that a single approach instance can serve many
+    datasets (and many host threads) concurrently.  The operation counter is
+    the only mutable state and is documented as not thread-safe; the
+    detector keeps one approach instance per worker.
+    """
+
+    #: Registry name, e.g. ``"cpu-v3"``.
+    name: ClassVar[str] = "abstract"
+    #: Device family the approach targets: ``"cpu"`` or ``"gpu"``.
+    device: ClassVar[str] = "cpu"
+    #: Optimisation level, 1 (naïve) to 4 (best).
+    version: ClassVar[int] = 0
+    #: One-line description used by the CLI and reports.
+    description: ClassVar[str] = ""
+
+    def __init__(self) -> None:
+        self.counter = OpCounter()
+
+    # -- encoding -------------------------------------------------------------
+    @abstractmethod
+    def prepare(self, dataset: GenotypeDataset) -> Any:
+        """Encode ``dataset`` into the representation this approach consumes.
+
+        The returned object is opaque to callers; it is passed back to
+        :meth:`build_tables`.  Encodings are pure data (NumPy arrays and
+        dataclasses) and safe to share between threads.
+        """
+
+    # -- kernel ----------------------------------------------------------------
+    @abstractmethod
+    def build_tables(self, encoded: Any, combos: np.ndarray) -> np.ndarray:
+        """Construct frequency tables for a batch of SNP combinations.
+
+        Parameters
+        ----------
+        encoded:
+            Object returned by :meth:`prepare`.
+        combos:
+            ``(n_combos, 3)`` array of strictly increasing SNP index triplets.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(n_combos, 27, 2)`` ``int64`` frequency tables (column 0 =
+            controls, column 1 = cases).
+        """
+
+    # -- bookkeeping ------------------------------------------------------------
+    def reset_counter(self) -> None:
+        """Clear the operation counter (e.g. between benchmark repetitions)."""
+        self.counter = OpCounter()
+
+    def op_counts(self) -> Mapping[str, int]:
+        """Snapshot of the accumulated instruction counts."""
+        return self.counter.as_dict()
+
+    def extra_stats(self) -> Dict[str, object]:
+        """Approach-specific metadata recorded into the run statistics."""
+        return {}
+
+    # -- helpers ----------------------------------------------------------------
+    @staticmethod
+    def _check_combos(combos: np.ndarray) -> np.ndarray:
+        combos = np.asarray(combos, dtype=np.int64)
+        if combos.ndim != 2 or combos.shape[1] != 3:
+            raise ValueError(
+                f"combos must have shape (n_combos, 3); got {combos.shape}"
+            )
+        if combos.size and not (
+            (combos[:, 0] < combos[:, 1]) & (combos[:, 1] < combos[:, 2])
+        ).all():
+            raise ValueError("every combination must be strictly increasing")
+        return combos
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r}, device={self.device!r})"

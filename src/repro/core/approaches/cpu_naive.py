@@ -1,0 +1,48 @@
+"""CPU approach V1 — the naïve binarised kernel (Figure 1).
+
+Every SNP keeps its three genotype bit-planes over *all* samples and the
+frequency table is split into cases and controls by masking with the packed
+phenotype vector and its negation.  This is the baseline the paper
+characterises as completely memory bound (its working set per combination is
+``3 x 3`` planes plus the phenotype, and 162 instructions per word are spent
+per combination).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.approaches.base import Approach
+from repro.core.approaches._kernels import NAIVE_OPS_PER_COMBO_WORD, naive_tables
+from repro.datasets.binarization import BinarizedDataset
+from repro.datasets.dataset import GenotypeDataset
+
+__all__ = ["CpuNaiveApproach"]
+
+
+class CpuNaiveApproach(Approach):
+    """Naïve three-plane + phenotype-mask kernel (CPU V1)."""
+
+    name = "cpu-v1"
+    device = "cpu"
+    version = 1
+    description = "naive binarised kernel: 3 planes/SNP + phenotype mask"
+
+    #: Per-combination, per-word instruction mix (consumed by the models).
+    OPS_PER_COMBO_WORD = NAIVE_OPS_PER_COMBO_WORD
+
+    def prepare(self, dataset: GenotypeDataset) -> BinarizedDataset:
+        """Encode the dataset in the naïve three-plane representation."""
+        return BinarizedDataset.from_dataset(dataset)
+
+    def build_tables(self, encoded: BinarizedDataset, combos: np.ndarray) -> np.ndarray:
+        """Build 27x2 tables by AND-ing planes with the phenotype masks."""
+        combos = self._check_combos(combos)
+        if combos.size and combos.max() >= encoded.n_snps:
+            raise IndexError("combination index exceeds the number of SNPs")
+        return naive_tables(
+            encoded.planes, encoded.phenotype_words, combos, counter=self.counter
+        )
+
+    def extra_stats(self) -> dict:
+        return {"encoding": "3-plane + phenotype", "ops_per_combo_word": 162}

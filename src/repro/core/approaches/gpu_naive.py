@@ -1,0 +1,53 @@
+"""GPU approach V1 — naïve kernel, SNP-major layout, phenotype mask.
+
+Identical arithmetic to the CPU naïve kernel; on the GPU it is "completely
+limited by the main memory of the GPU" (§IV-B): the SNP-major layout makes
+every warp-wide load fully uncoalesced, and the phenotype masks double the
+population-count work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.approaches._kernels import NAIVE_OPS_PER_COMBO_WORD, naive_tables
+from repro.core.approaches.gpu_base import GpuApproachBase
+from repro.datasets.binarization import BinarizedDataset
+from repro.datasets.dataset import GenotypeDataset
+
+__all__ = ["GpuNaiveApproach"]
+
+
+class GpuNaiveApproach(GpuApproachBase):
+    """Naïve GPU kernel (GPU V1): three planes + phenotype, uncoalesced."""
+
+    name = "gpu-v1"
+    version = 1
+    description = "naive kernel, SNP-major layout, phenotype mask (uncoalesced)"
+    coalescing_factor = 32.0
+
+    OPS_PER_COMBO_WORD = NAIVE_OPS_PER_COMBO_WORD
+
+    def prepare(self, dataset: GenotypeDataset) -> BinarizedDataset:
+        """Device-resident copy of the naïve three-plane encoding."""
+        return BinarizedDataset.from_dataset(dataset)
+
+    def build_tables(self, encoded: BinarizedDataset, combos: np.ndarray) -> np.ndarray:
+        """One thread per combination; tables accumulated in private memory."""
+        combos = self._check_combos(combos)
+        if combos.size and combos.max() >= encoded.n_snps:
+            raise IndexError("combination index exceeds the number of SNPs")
+        tables = naive_tables(
+            encoded.planes, encoded.phenotype_words, combos, counter=self.counter
+        )
+        self._charge_warp_loads(
+            combos.shape[0],
+            loads_per_combo_word=NAIVE_OPS_PER_COMBO_WORD["LOAD"],
+            n_words=encoded.n_words,
+        )
+        return tables
+
+    def extra_stats(self) -> dict:
+        stats = super().extra_stats()
+        stats.update({"layout": "snp-major", "encoding": "3-plane + phenotype"})
+        return stats

@@ -1,0 +1,73 @@
+"""GPU approach V4 — SNP-tiled layout (the paper's best GPU variant).
+
+For large data sets the transposed layout still separates consecutive words
+of the *same* SNP by ``M`` words (one full SNP row of the transposed
+matrix).  Tiling the SNPs into blocks of ``BS`` — placing the ``BS`` words of
+a block for the same sample-word index adjacently — keeps the warp's loads
+coalesced *and* shortens the stride between a thread's consecutive words to
+``BS``, improving cache-line reuse (§IV-B).  Work-groups are sized to ``BS``
+and the host enqueues blocks of ``BSched^3`` combinations per kernel launch;
+the preferred values per device are catalogued in Table II's companion
+(``GpuSpec.preferred_bs`` / ``preferred_bsched``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.approaches.gpu_nophen import GpuNoPhenotypeApproach
+from repro.datasets.binarization import PhenotypeSplitDataset
+from repro.datasets.dataset import GenotypeDataset
+from repro.datasets.layouts import GpuLayout, tiled_layout
+
+__all__ = ["GpuTiledApproach"]
+
+
+class GpuTiledApproach(GpuNoPhenotypeApproach):
+    """Split-dataset GPU kernel on the SNP-tiled layout (GPU V4).
+
+    Parameters
+    ----------
+    block_size:
+        SNP-block size ``BS`` (a multiple of 32 or 64 on real devices; any
+        positive value is accepted for functional runs).
+    bsched:
+        Combinations-per-launch parameter ``BSched`` recorded for the
+        performance model (the functional kernel receives its combination
+        batches from the detector and does not need it).
+    """
+
+    name = "gpu-v4"
+    version = 4
+    description = "SNP-tiled layout (blocks of BS SNPs): coalescing + locality"
+    coalescing_factor = 1.0
+
+    def __init__(self, block_size: int = 32, bsched: int = 256) -> None:
+        super().__init__()
+        if block_size < 1:
+            raise ValueError("block_size must be positive")
+        if bsched < 1:
+            raise ValueError("bsched must be positive")
+        self.block_size = int(block_size)
+        self.bsched = int(bsched)
+
+    def prepare(self, dataset: GenotypeDataset) -> GpuLayout:
+        """Split by phenotype and upload in SNP-tiled order."""
+        return tiled_layout(
+            PhenotypeSplitDataset.from_dataset(dataset), block_size=self.block_size
+        )
+
+    def _class_planes(self, layout: GpuLayout, phenotype_class: int) -> np.ndarray:
+        """Gather ``(n_snps, 2, n_words)`` planes from the tiled array."""
+        arr = layout.words(phenotype_class)  # (n_blocks, n_words, 2, BS)
+        n_blocks, n_words, _, bs = arr.shape
+        # (blocks, words, 2, BS) -> (blocks, BS, 2, words) -> (blocks*BS, 2, words)
+        planes = np.transpose(arr, (0, 3, 2, 1)).reshape(n_blocks * bs, 2, n_words)
+        return np.ascontiguousarray(planes[: layout.n_snps])
+
+    def extra_stats(self) -> dict:
+        stats = super().extra_stats()
+        stats.update(
+            {"layout": "tiled", "block_size": self.block_size, "bsched": self.bsched}
+        )
+        return stats

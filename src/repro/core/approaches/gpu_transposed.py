@@ -1,0 +1,53 @@
+"""GPU approach V3 — transposed (sample-major) layout for coalesced loads.
+
+The SNP-major layout separates consecutive SNPs' words by the whole sample
+stream, so the threads of a warp (each assigned to a different SNP triplet)
+load from addresses that are megabytes apart.  Transposing the data set —
+SNPs in columns, consecutive samples in rows — makes consecutive threads
+load consecutive words, "leading to coalesced memory accesses loads instead
+of memory gather and scatter operations" (§IV-B).  This is the single
+largest GPU performance step in the paper's CARM characterisation
+(Figure 2b).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.approaches.gpu_nophen import GpuNoPhenotypeApproach
+from repro.datasets.binarization import PhenotypeSplitDataset
+from repro.datasets.dataset import GenotypeDataset
+from repro.datasets.layouts import GpuLayout, transposed_layout
+
+__all__ = ["GpuTransposedApproach"]
+
+
+class GpuTransposedApproach(GpuNoPhenotypeApproach):
+    """Split-dataset GPU kernel on the transposed layout (GPU V3)."""
+
+    name = "gpu-v3"
+    version = 3
+    description = "transposed (sample-major) layout -> coalesced memory accesses"
+    coalescing_factor = 1.0
+
+    def prepare(self, dataset: GenotypeDataset) -> GpuLayout:
+        """Split by phenotype and upload in transposed (sample-major) order."""
+        return transposed_layout(PhenotypeSplitDataset.from_dataset(dataset))
+
+    def _class_planes(self, layout: GpuLayout, phenotype_class: int) -> np.ndarray:
+        """Gather ``(n_snps, 2, n_words)`` planes from the transposed array.
+
+        The gather mirrors what each GPU thread does when walking the
+        transposed layout: for its SNP it reads word ``w`` at address
+        ``w * (2 * n_snps) + g * n_snps + snp`` — the reproduction gathers the
+        same elements back into the canonical plane order so the shared split
+        kernel can be reused; the access-pattern difference is captured by
+        ``coalescing_factor``.
+        """
+        arr = layout.words(phenotype_class)  # (n_words, 2, n_snps)
+        return np.ascontiguousarray(np.transpose(arr, (2, 1, 0)))
+
+    def extra_stats(self) -> dict:
+        stats = super().extra_stats()
+        stats["layout"] = "transposed"
+        return stats

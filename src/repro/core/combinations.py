@@ -1,0 +1,211 @@
+"""Enumeration of the exhaustive SNP-combination search space.
+
+Exhaustive k-way epistasis detection evaluates every ``nCr(M, k)``
+combination of distinct SNPs.  For the paper's three-way study the space
+grows cubically with the SNP count — 2048 SNPs already yield ~1.4 x 10^9
+triplets — so the enumeration layer matters: it must
+
+* stream combinations without materialising the whole space,
+* support *chunking* so the host scheduler can hand work to threads
+  (OpenMP dynamic scheduling in the paper) or to GPU kernel launches
+  (blocks of ``BSched^3`` combinations), and
+* support the *triangular block* iteration of Algorithm 1, where each CPU
+  core works on three blocks of ``BS`` SNPs at a time and only evaluates
+  the ``ii2 > ii1 > ii0`` combinations inside them.
+
+The combinatorial-number-system rank/unrank functions allow any contiguous
+range of the (lexicographic) combination sequence to be reconstructed from
+its starting rank, which is how distributed baselines (MPI3SNP-style static
+partitioning) and the GPU launch scheduler carve the space.
+"""
+
+from __future__ import annotations
+
+from math import comb
+from typing import Iterator, Sequence
+
+import numpy as np
+
+__all__ = [
+    "combination_count",
+    "combination_rank",
+    "combination_from_rank",
+    "generate_combinations",
+    "iter_combination_chunks",
+    "iter_triangular_blocks",
+    "block_combination_count",
+]
+
+
+def combination_count(n_snps: int, order: int = 3) -> int:
+    """Number of SNP combinations: ``nCr(n_snps, order)``."""
+    if n_snps < 0 or order < 1:
+        raise ValueError("n_snps must be >= 0 and order >= 1")
+    return comb(n_snps, order)
+
+
+def combination_rank(combo: Sequence[int], n_snps: int | None = None) -> int:
+    """Lexicographic rank of a strictly increasing combination.
+
+    The rank is the index of ``combo`` in the sequence produced by
+    :func:`generate_combinations` (0-based).  Uses the combinatorial number
+    system: for ``combo = (c0 < c1 < ... < c_{k-1})`` drawn from ``M`` items,
+
+    ``rank = C(M,k) - sum_{t} C(M - c_t - 1, k - t)`` adjusted for the
+    lexicographic order on increasing tuples.
+    """
+    combo = tuple(combo)
+    k = len(combo)
+    if any(combo[i] >= combo[i + 1] for i in range(k - 1)):
+        raise ValueError(f"combination must be strictly increasing, got {combo}")
+    if combo and combo[0] < 0:
+        raise ValueError("combination indices must be non-negative")
+    if n_snps is None:
+        n_snps = combo[-1] + 1 if combo else 0
+    if combo and combo[-1] >= n_snps:
+        raise ValueError(f"combination {combo} out of range for n_snps={n_snps}")
+    rank = 0
+    prev = -1
+    for t, c in enumerate(combo):
+        for skipped in range(prev + 1, c):
+            rank += comb(n_snps - skipped - 1, k - t - 1)
+        prev = c
+    return rank
+
+
+def combination_from_rank(rank: int, n_snps: int, order: int = 3) -> tuple[int, ...]:
+    """Inverse of :func:`combination_rank` (lexicographic unranking)."""
+    total = combination_count(n_snps, order)
+    if not 0 <= rank < total:
+        raise ValueError(f"rank {rank} out of range [0, {total})")
+    combo: list[int] = []
+    prev = -1
+    remaining_rank = rank
+    for t in range(order):
+        c = prev + 1
+        while True:
+            block = comb(n_snps - c - 1, order - t - 1)
+            if remaining_rank < block:
+                break
+            remaining_rank -= block
+            c += 1
+        combo.append(c)
+        prev = c
+    return tuple(combo)
+
+
+def generate_combinations(
+    n_snps: int,
+    order: int = 3,
+    start_rank: int = 0,
+    count: int | None = None,
+) -> np.ndarray:
+    """Materialise a contiguous range of combinations as an ``(n, order)`` array.
+
+    Parameters
+    ----------
+    n_snps:
+        Number of SNPs ``M``.
+    order:
+        Interaction order ``k``.
+    start_rank / count:
+        Range of lexicographic ranks to produce; by default the whole space.
+        Intended for test/benchmark-scale problems — production runs stream
+        chunks with :func:`iter_combination_chunks` instead.
+    """
+    total = combination_count(n_snps, order)
+    if count is None:
+        count = total - start_rank
+    if count < 0 or start_rank < 0 or start_rank + count > total:
+        raise ValueError(
+            f"invalid range [{start_rank}, {start_rank + count}) for {total} combinations"
+        )
+    if count == 0:
+        return np.empty((0, order), dtype=np.int64)
+    out = np.empty((count, order), dtype=np.int64)
+    combo = list(combination_from_rank(start_rank, n_snps, order))
+    for row in range(count):
+        out[row] = combo
+        # Advance to the next combination in lexicographic order.
+        i = order - 1
+        while i >= 0 and combo[i] == n_snps - order + i:
+            i -= 1
+        if i < 0:
+            break
+        combo[i] += 1
+        for j in range(i + 1, order):
+            combo[j] = combo[j - 1] + 1
+    return out
+
+
+def iter_combination_chunks(
+    n_snps: int,
+    order: int = 3,
+    chunk_size: int = 4096,
+    start_rank: int = 0,
+    stop_rank: int | None = None,
+) -> Iterator[np.ndarray]:
+    """Yield the combination space as ``(<=chunk_size, order)`` arrays.
+
+    This is the work-unit stream consumed by the host scheduler; chunks are
+    produced lazily so arbitrarily large search spaces can be traversed.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be positive")
+    total = combination_count(n_snps, order)
+    stop = total if stop_rank is None else min(stop_rank, total)
+    rank = start_rank
+    while rank < stop:
+        n = min(chunk_size, stop - rank)
+        yield generate_combinations(n_snps, order, start_rank=rank, count=n)
+        rank += n
+
+
+def block_combination_count(n_snps: int, block_size: int) -> int:
+    """Number of triangular SNP-block triples visited by Algorithm 1."""
+    n_blocks = (n_snps + block_size - 1) // block_size
+    # blocks (b0 <= b1 <= b2): combinations with repetition.
+    return comb(n_blocks + 2, 3)
+
+
+def iter_triangular_blocks(
+    n_snps: int,
+    block_size: int,
+) -> Iterator[tuple[tuple[int, int], tuple[int, int], tuple[int, int]]]:
+    """Iterate SNP-block triples ``(b0 <= b1 <= b2)`` as index ranges.
+
+    Each yielded element is a triple of ``(start, stop)`` half-open SNP index
+    ranges, one per loop variable ``i0, i1, i2`` of Algorithm 1.  The caller
+    is responsible for the intra-block ``ii2 > ii1 > ii0`` filter (which the
+    blocked kernels apply), so every SNP triplet is visited exactly once
+    across all yielded block triples.
+    """
+    if block_size < 1:
+        raise ValueError("block_size must be positive")
+    n_blocks = (n_snps + block_size - 1) // block_size
+
+    def block_range(b: int) -> tuple[int, int]:
+        return b * block_size, min((b + 1) * block_size, n_snps)
+
+    for b0 in range(n_blocks):
+        for b1 in range(b0, n_blocks):
+            for b2 in range(b1, n_blocks):
+                yield block_range(b0), block_range(b1), block_range(b2)
+
+
+def combinations_in_block_triple(
+    ranges: tuple[tuple[int, int], tuple[int, int], tuple[int, int]],
+) -> np.ndarray:
+    """All valid (strictly increasing) triplets within one block triple.
+
+    The intra-block filter ``i2 > i1 > i0`` of Algorithm 1 is applied here,
+    so the union over all block triples yielded by
+    :func:`iter_triangular_blocks` is exactly the combination space.
+    """
+    (s0, e0), (s1, e1), (s2, e2) = ranges
+    i0 = np.arange(s0, e0, dtype=np.int64)
+    i1 = np.arange(s1, e1, dtype=np.int64)
+    i2 = np.arange(s2, e2, dtype=np.int64)
+    g0, g1, g2 = np.meshgrid(i0, i1, i2, indexing="ij")
+    mask = (g1 > g0) & (g2 > g1)
+    return np.stack([g0[mask], g1[mask], g2[mask]], axis=1)

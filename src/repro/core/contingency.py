@@ -1,0 +1,165 @@
+"""Genotype/phenotype frequency (contingency) tables.
+
+For a k-way interaction the frequency table has ``3^k`` rows (one per
+genotype combination) and 2 columns (controls, cases); for the paper's
+three-way study that is the 27 x 2 table of Figure 1.  Every approach in
+:mod:`repro.core.approaches` produces these tables from the binarised
+encodings; this module provides
+
+* the canonical *cell index* convention shared by all kernels,
+* :func:`contingency_oracle` — a direct construction from the uncompressed
+  genotype matrix (``numpy.bincount`` over radix-3 codes) used as the
+  correctness oracle in tests and by the pure-Python baseline, and
+* validation helpers (row/column totals, non-negativity).
+
+Table conventions
+-----------------
+Tables are stored as ``int64`` arrays of shape ``(..., 27, 2)``; cell
+``[..., c, j]`` holds the number of samples with phenotype ``j`` (0=control,
+1=case) whose genotype combination index is ``c``.  The combination index of
+genotypes ``(gX, gY, gZ)`` is ``9*gX + 3*gY + gZ`` (big-endian radix 3, SNP
+``X`` most significant), matching the row order of Figure 1.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "N_GENOTYPE_COMBINATIONS",
+    "combination_cell_index",
+    "cell_index_to_genotypes",
+    "contingency_oracle",
+    "contingency_oracle_many",
+    "table_totals",
+    "validate_tables",
+]
+
+#: Number of genotype combinations for a three-way interaction.
+N_GENOTYPE_COMBINATIONS: int = 27
+
+
+def combination_cell_index(genotypes: Sequence[int]) -> int:
+    """Radix-3 cell index of a genotype combination ``(gX, gY, gZ, ...)``."""
+    idx = 0
+    for g in genotypes:
+        if not 0 <= g <= 2:
+            raise ValueError(f"genotype values must be 0, 1 or 2; got {g}")
+        idx = idx * 3 + int(g)
+    return idx
+
+
+def cell_index_to_genotypes(index: int, order: int = 3) -> tuple[int, ...]:
+    """Inverse of :func:`combination_cell_index`."""
+    if not 0 <= index < 3**order:
+        raise ValueError(f"cell index {index} out of range for order {order}")
+    out = []
+    for _ in range(order):
+        out.append(index % 3)
+        index //= 3
+    return tuple(reversed(out))
+
+
+def contingency_oracle(
+    genotypes: np.ndarray,
+    phenotypes: np.ndarray,
+    combo: Sequence[int],
+) -> np.ndarray:
+    """Frequency table of one SNP combination, straight from the genotypes.
+
+    Parameters
+    ----------
+    genotypes:
+        ``(n_snps, n_samples)`` genotype matrix.
+    phenotypes:
+        ``(n_samples,)`` 0/1 phenotype vector.
+    combo:
+        SNP indices of the combination (any order >= 1).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(3**k, 2)`` ``int64`` frequency table.
+    """
+    combo = tuple(combo)
+    order = len(combo)
+    n_cells = 3**order
+    codes = np.zeros(genotypes.shape[1], dtype=np.int64)
+    for snp in combo:
+        codes = codes * 3 + genotypes[snp].astype(np.int64)
+    phen = np.asarray(phenotypes, dtype=np.int64)
+    joint = codes * 2 + phen
+    counts = np.bincount(joint, minlength=n_cells * 2)
+    return counts.reshape(n_cells, 2)
+
+
+def contingency_oracle_many(
+    genotypes: np.ndarray,
+    phenotypes: np.ndarray,
+    combos: np.ndarray,
+) -> np.ndarray:
+    """Frequency tables for many combinations at once.
+
+    Parameters
+    ----------
+    combos:
+        ``(n_combos, k)`` integer array of SNP index combinations.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n_combos, 3**k, 2)`` ``int64`` tables.
+    """
+    combos = np.asarray(combos, dtype=np.int64)
+    if combos.ndim != 2:
+        raise ValueError("combos must be a 2-D (n_combos, k) array")
+    n_combos, order = combos.shape
+    n_cells = 3**order
+    out = np.empty((n_combos, n_cells, 2), dtype=np.int64)
+    for row in range(n_combos):
+        out[row] = contingency_oracle(genotypes, phenotypes, combos[row])
+    return out
+
+
+def table_totals(tables: np.ndarray) -> np.ndarray:
+    """Total sample count per table: sum over cells and phenotype classes."""
+    tables = np.asarray(tables)
+    return tables.sum(axis=(-1, -2))
+
+
+def validate_tables(
+    tables: np.ndarray,
+    n_controls: int | None = None,
+    n_cases: int | None = None,
+) -> None:
+    """Check structural invariants of a batch of frequency tables.
+
+    * all counts non-negative;
+    * if ``n_controls``/``n_cases`` are given, every table's column sums
+      equal them (each sample lands in exactly one genotype-combination
+      cell).
+
+    Raises
+    ------
+    ValueError
+        If an invariant is violated.
+    """
+    tables = np.asarray(tables)
+    if tables.shape[-1] != 2:
+        raise ValueError(f"last axis must have size 2 (controls, cases); got {tables.shape}")
+    if (tables < 0).any():
+        raise ValueError("frequency tables contain negative counts")
+    if n_controls is not None:
+        col = tables[..., 0].sum(axis=-1)
+        if not np.all(col == n_controls):
+            raise ValueError(
+                f"control column sums {np.unique(col)} do not all equal {n_controls}"
+            )
+    if n_cases is not None:
+        col = tables[..., 1].sum(axis=-1)
+        if not np.all(col == n_cases):
+            raise ValueError(
+                f"case column sums {np.unique(col)} do not all equal {n_cases}"
+            )

@@ -1,0 +1,251 @@
+"""The :class:`EpistasisDetector` public API.
+
+A detector combines
+
+* one of the CPU/GPU approaches of §IV (frequency-table construction),
+* an objective function (Bayesian K2 score by default), and
+* the host parallel runtime (dynamic chunk scheduling over worker threads)
+
+into a single ``detect(dataset)`` call that exhaustively evaluates every SNP
+combination of the requested order and returns the best-scoring interaction
+together with execution statistics.  Smaller entry points
+(:meth:`EpistasisDetector.score_combinations`,
+:meth:`EpistasisDetector.build_tables`) expose the intermediate results for
+testing, ablation studies and the benchmark harness.
+
+Example
+-------
+>>> from repro.datasets import SyntheticConfig, PlantedInteraction, generate_dataset
+>>> from repro.core import EpistasisDetector
+>>> cfg = SyntheticConfig(n_snps=32, n_samples=512,
+...                       interaction=PlantedInteraction(snps=(3, 11, 17)), seed=7)
+>>> result = EpistasisDetector(approach="cpu-v4").detect(generate_dataset(cfg))
+>>> result.best_snps
+(3, 11, 17)
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.approaches import Approach, get_approach
+from repro.core.combinations import combination_count, generate_combinations
+from repro.core.contingency import validate_tables
+from repro.core.result import ApproachStats, DetectionResult, Interaction
+from repro.core.scoring import ObjectiveFunction, get_objective
+from repro.datasets.dataset import GenotypeDataset
+from repro.parallel.executor import parallel_map_reduce
+from repro.parallel.scheduler import DynamicScheduler
+
+__all__ = ["DetectorConfig", "EpistasisDetector"]
+
+
+@dataclass
+class DetectorConfig:
+    """Configuration of an exhaustive detection run.
+
+    Attributes
+    ----------
+    approach:
+        Approach name (``"cpu-v1"`` … ``"gpu-v4"``) or a pre-built
+        :class:`~repro.core.approaches.base.Approach` instance.
+    objective:
+        Objective-function name or instance (default: Bayesian K2 score).
+    order:
+        Interaction order; the engine is written for ``order=3`` (27-cell
+        tables) which is what every approach kernel implements.
+    n_workers:
+        Host threads for the CPU-side search.
+    chunk_size:
+        Combinations per scheduler chunk (the unit of dynamic scheduling and
+        of the vectorised kernel batch).
+    top_k:
+        Number of best interactions kept in the result.
+    validate:
+        If ``True``, every produced table batch is checked against the
+        column-sum invariants (costs a few percent, useful in tests).
+    """
+
+    approach: str | Approach = "cpu-v4"
+    objective: str | ObjectiveFunction = "k2"
+    order: int = 3
+    n_workers: int = 1
+    chunk_size: int = 2048
+    top_k: int = 10
+    validate: bool = False
+
+    def __post_init__(self) -> None:
+        if self.order != 3:
+            raise ValueError(
+                "the detection kernels implement third-order interactions only"
+            )
+        if self.n_workers < 1:
+            raise ValueError("n_workers must be positive")
+        if self.chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        if self.top_k < 1:
+            raise ValueError("top_k must be positive")
+
+
+class EpistasisDetector:
+    """Exhaustive three-way epistasis detector (public API).
+
+    Parameters mirror :class:`DetectorConfig`; either pass a config object or
+    the individual keyword arguments.
+    """
+
+    def __init__(
+        self,
+        approach: str | Approach = "cpu-v4",
+        objective: str | ObjectiveFunction = "k2",
+        *,
+        order: int = 3,
+        n_workers: int = 1,
+        chunk_size: int = 2048,
+        top_k: int = 10,
+        validate: bool = False,
+        config: DetectorConfig | None = None,
+        **approach_kwargs,
+    ) -> None:
+        if config is None:
+            config = DetectorConfig(
+                approach=approach,
+                objective=objective,
+                order=order,
+                n_workers=n_workers,
+                chunk_size=chunk_size,
+                top_k=top_k,
+                validate=validate,
+            )
+        self.config = config
+        self._approach_kwargs = dict(approach_kwargs)
+        if isinstance(config.approach, Approach):
+            self._prototype = config.approach
+        else:
+            self._prototype = get_approach(config.approach, **approach_kwargs)
+        self.objective = get_objective(config.objective)
+
+    # -- approach management -----------------------------------------------------
+    @property
+    def approach(self) -> Approach:
+        """The prototype approach instance (shared, used for single-threaded runs)."""
+        return self._prototype
+
+    def _worker_approach(self) -> Approach:
+        """A fresh approach instance for one worker thread.
+
+        Counters are per-instance, so every worker gets its own approach to
+        avoid false sharing of the accounting state (results are unaffected).
+        """
+        if isinstance(self.config.approach, Approach):
+            # A user-provided instance cannot be cloned generically; reuse it
+            # (documented: custom instances imply single-threaded accounting).
+            return self.config.approach
+        return get_approach(
+            self.config.approach
+            if isinstance(self.config.approach, str)
+            else self._prototype.name,
+            **self._approach_kwargs,
+        )
+
+    # -- low-level entry points ----------------------------------------------------
+    def build_tables(
+        self, dataset: GenotypeDataset, combos: np.ndarray
+    ) -> np.ndarray:
+        """Frequency tables for explicit combinations (single-threaded)."""
+        encoded = self._prototype.prepare(dataset)
+        tables = self._prototype.build_tables(encoded, np.asarray(combos))
+        if self.config.validate:
+            validate_tables(tables, dataset.n_controls, dataset.n_cases)
+        return tables
+
+    def score_combinations(
+        self, dataset: GenotypeDataset, combos: np.ndarray
+    ) -> np.ndarray:
+        """Objective scores for explicit combinations (single-threaded)."""
+        tables = self.build_tables(dataset, combos)
+        return self.objective.score(tables)
+
+    # -- exhaustive search -----------------------------------------------------------
+    def detect(self, dataset: GenotypeDataset) -> DetectionResult:
+        """Exhaustively evaluate every SNP combination of the dataset.
+
+        Returns
+        -------
+        DetectionResult
+            Best interaction, top-k ranking and execution statistics
+            (throughput in the paper's combinations x samples unit, dynamic
+            instruction counts, memory traffic).
+        """
+        cfg = self.config
+        n_snps = dataset.n_snps
+        if n_snps < cfg.order:
+            raise ValueError(
+                f"dataset has {n_snps} SNPs; at least {cfg.order} are required"
+            )
+        total = combination_count(n_snps, cfg.order)
+        encoded = self._prototype.prepare(dataset)
+        scheduler = DynamicScheduler(total, chunk_size=cfg.chunk_size)
+
+        # One approach instance per worker; worker 0 reuses the prototype so
+        # single-threaded runs have a single counter to inspect.
+        approaches: List[Approach] = [self._prototype]
+        approaches += [self._worker_approach() for _ in range(cfg.n_workers - 1)]
+
+        snp_names = list(dataset.snp_names)
+        top_k = cfg.top_k
+        n_cases, n_controls = dataset.n_cases, dataset.n_controls
+
+        def worker(worker_id: int, start: int, stop: int) -> List[Interaction]:
+            approach = approaches[worker_id]
+            combos = generate_combinations(
+                n_snps, cfg.order, start_rank=start, count=stop - start
+            )
+            tables = approach.build_tables(encoded, combos)
+            if cfg.validate:
+                validate_tables(tables, n_controls, n_cases)
+            scores = self.objective.score(tables)
+            order_idx = np.argsort(scores, kind="stable")[:top_k]
+            return [
+                Interaction(
+                    snps=tuple(int(s) for s in combos[i]),
+                    score=float(scores[i]),
+                    snp_names=tuple(snp_names[s] for s in combos[i]),
+                )
+                for i in order_idx
+            ]
+
+        def reduce_fn(partials: Sequence[List[Interaction]]) -> List[Interaction]:
+            merged: List[Interaction] = [it for part in partials for it in part]
+            return heapq.nsmallest(top_k, merged)
+
+        started = time.perf_counter()
+        top, _worker_stats = parallel_map_reduce(
+            scheduler, worker, reduce_fn, n_workers=cfg.n_workers
+        )
+        elapsed = time.perf_counter() - started
+
+        # Merge the per-worker counters into the prototype's statistics.
+        merged_counter = approaches[0].counter
+        for extra in approaches[1:]:
+            merged_counter.merge(extra.counter)
+
+        stats = ApproachStats(
+            approach=self._prototype.name,
+            n_combinations=total,
+            n_samples=dataset.n_samples,
+            elapsed_seconds=elapsed,
+            op_counts=merged_counter.as_dict(),
+            bytes_loaded=merged_counter.bytes_loaded,
+            bytes_stored=merged_counter.bytes_stored,
+            n_workers=cfg.n_workers,
+            extra=self._prototype.extra_stats(),
+        )
+        if not top:
+            raise RuntimeError("exhaustive search produced no interactions")
+        return DetectionResult(best=top[0], top=list(top), stats=stats)

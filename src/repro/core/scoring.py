@@ -1,0 +1,195 @@
+"""Objective functions over genotype/phenotype frequency tables.
+
+The paper uses the **Bayesian K2 score** (Equation 1): for a combination of
+``k`` SNPs with frequency table ``r`` (``I = 3^k`` genotype combinations,
+``J = 2`` phenotype classes),
+
+.. math::
+
+    K2 = \\sum_{i=1}^{I}\\Big(\\sum_{b=1}^{r_i + 1}\\log b
+          \\;-\\; \\sum_{j=1}^{J}\\sum_{d=1}^{r_{ij}}\\log d\\Big)
+
+where ``r_i`` is the total count of genotype combination ``i`` and ``r_ij``
+the count restricted to phenotype ``j``.  The SNP combination with the
+*lowest* score is reported.  Using ``sum_{b=1}^{n} log b = log(n!) =
+gammaln(n + 1)`` the score is evaluated in closed form with
+:func:`scipy.special.gammaln`, fully vectorised over batches of tables.
+
+Additional objective functions (mutual information, Gini impurity,
+chi-squared) are provided as drop-in alternatives; they follow the same
+"lower is better" convention so the detector can minimise uniformly
+(information-style criteria are negated).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Protocol, Type
+
+import numpy as np
+from scipy.special import gammaln
+
+__all__ = [
+    "ObjectiveFunction",
+    "K2Score",
+    "MutualInformationScore",
+    "GiniScore",
+    "ChiSquaredScore",
+    "get_objective",
+    "OBJECTIVES",
+]
+
+
+class ObjectiveFunction(Protocol):
+    """Protocol implemented by every objective function.
+
+    Objective functions are stateless callables over batches of frequency
+    tables; ``lower is better`` for all of them.
+    """
+
+    #: Registry name.
+    name: str
+
+    def score(self, tables: np.ndarray) -> np.ndarray:
+        """Score a batch of tables.
+
+        Parameters
+        ----------
+        tables:
+            ``(..., n_cells, 2)`` frequency tables.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(...)`` float64 scores (lower = more likely epistatic).
+        """
+        ...
+
+
+class _TableObjective:
+    """Shared input validation for the concrete objective functions."""
+
+    name = "abstract"
+
+    @staticmethod
+    def _check(tables: np.ndarray) -> np.ndarray:
+        arr = np.asarray(tables, dtype=np.float64)
+        if arr.ndim < 2 or arr.shape[-1] != 2:
+            raise ValueError(
+                f"tables must have shape (..., n_cells, 2); got {arr.shape}"
+            )
+        if (arr < 0).any():
+            raise ValueError("frequency tables contain negative counts")
+        return arr
+
+    def __call__(self, tables: np.ndarray) -> np.ndarray:
+        return self.score(tables)
+
+    def score(self, tables: np.ndarray) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class K2Score(_TableObjective):
+    """Bayesian K2 score (Equation 1 of the paper); lower is better."""
+
+    name = "k2"
+
+    def score(self, tables: np.ndarray) -> np.ndarray:
+        arr = self._check(tables)
+        row_totals = arr.sum(axis=-1)  # r_i
+        # sum_{b=1}^{r_i+1} log b = gammaln(r_i + 2)
+        first = gammaln(row_totals + 2.0)
+        # sum_j sum_{d=1}^{r_ij} log d = sum_j gammaln(r_ij + 1)
+        second = gammaln(arr + 1.0).sum(axis=-1)
+        return (first - second).sum(axis=-1)
+
+
+class MutualInformationScore(_TableObjective):
+    """Negative mutual information between genotype combination and phenotype.
+
+    ``I(G; P) = H(G) + H(P) - H(G, P)`` in nats; the *negative* value is
+    returned so that, like K2, lower scores indicate stronger association.
+    """
+
+    name = "mutual-information"
+
+    def score(self, tables: np.ndarray) -> np.ndarray:
+        arr = self._check(tables)
+        total = arr.sum(axis=(-1, -2), keepdims=True)
+        total = np.where(total == 0, 1.0, total)
+        p_joint = arr / total
+        p_geno = p_joint.sum(axis=-1, keepdims=True)
+        p_phen = p_joint.sum(axis=-2, keepdims=True)
+
+        def _entropy(p: np.ndarray, axes: tuple[int, ...]) -> np.ndarray:
+            with np.errstate(divide="ignore", invalid="ignore"):
+                terms = np.where(p > 0, p * np.log(p), 0.0)
+            return -terms.sum(axis=axes)
+
+        h_joint = _entropy(p_joint, (-1, -2))
+        h_geno = _entropy(p_geno, (-1, -2))
+        h_phen = _entropy(p_phen, (-1, -2))
+        return -(h_geno + h_phen - h_joint)
+
+
+class GiniScore(_TableObjective):
+    """Weighted Gini impurity of the phenotype within genotype cells.
+
+    Lower impurity means the genotype combination separates cases from
+    controls more cleanly.
+    """
+
+    name = "gini"
+
+    def score(self, tables: np.ndarray) -> np.ndarray:
+        arr = self._check(tables)
+        cell_totals = arr.sum(axis=-1)
+        total = cell_totals.sum(axis=-1, keepdims=True)
+        total = np.where(total == 0, 1.0, total)
+        safe_cells = np.where(cell_totals == 0, 1.0, cell_totals)
+        p_case = arr[..., 1] / safe_cells
+        gini_cell = 2.0 * p_case * (1.0 - p_case)
+        weights = cell_totals / total
+        return (weights * gini_cell).sum(axis=-1)
+
+
+class ChiSquaredScore(_TableObjective):
+    """Negative chi-squared statistic of the genotype/phenotype table.
+
+    The statistic grows with association strength, so its negation follows
+    the "lower is better" convention.
+    """
+
+    name = "chi2"
+
+    def score(self, tables: np.ndarray) -> np.ndarray:
+        arr = self._check(tables)
+        total = arr.sum(axis=(-1, -2), keepdims=True)
+        total = np.where(total == 0, 1.0, total)
+        row = arr.sum(axis=-1, keepdims=True)
+        col = arr.sum(axis=-2, keepdims=True)
+        expected = row * col / total
+        with np.errstate(divide="ignore", invalid="ignore"):
+            terms = np.where(expected > 0, (arr - expected) ** 2 / expected, 0.0)
+        return -terms.sum(axis=(-1, -2))
+
+
+#: Registry of objective functions by name.
+OBJECTIVES: Dict[str, Type[_TableObjective]] = {
+    cls.name: cls
+    for cls in (K2Score, MutualInformationScore, GiniScore, ChiSquaredScore)
+}
+
+
+def get_objective(name: str | ObjectiveFunction) -> ObjectiveFunction:
+    """Resolve an objective function by name (or pass through an instance)."""
+    if not isinstance(name, str):
+        return name
+    key = name.lower()
+    if key not in OBJECTIVES:
+        raise KeyError(
+            f"unknown objective {name!r}; available: {sorted(OBJECTIVES)}"
+        )
+    return OBJECTIVES[key]()

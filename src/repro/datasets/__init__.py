@@ -1,0 +1,74 @@
+"""Case/control SNP dataset substrate.
+
+The paper evaluates exhaustive three-way epistasis detection on case/control
+data sets ``D`` of ``N`` samples by ``M`` SNPs, where each entry is a genotype
+in ``{0, 1, 2}`` and each sample carries a binary phenotype (0 = control,
+1 = case).  This package provides everything needed to create, store and
+re-encode such data sets:
+
+* :mod:`repro.datasets.dataset` — the :class:`GenotypeDataset` container.
+* :mod:`repro.datasets.synthetic` — synthetic generators: null datasets drawn
+  from per-SNP minor-allele frequencies and datasets with a *planted* k-way
+  epistatic interaction described by a penetrance table, so that detection
+  accuracy can be validated against ground truth.
+* :mod:`repro.datasets.binarization` — the BOOST binarised encoding used by
+  all kernels (per-genotype bit-planes packed into 32-bit words), both in the
+  naïve form (3 planes + phenotype mask) and in the optimised form
+  (case/control split, genotype-2 plane elided).
+* :mod:`repro.datasets.layouts` — the GPU memory layouts of §IV-B
+  (SNP-major, transposed/coalesced, SNP-tiled).
+* :mod:`repro.datasets.io` — NPZ and text round-trip of datasets.
+"""
+
+from repro.datasets.dataset import GenotypeDataset
+from repro.datasets.synthetic import (
+    PlantedInteraction,
+    SyntheticConfig,
+    generate_dataset,
+    generate_null_dataset,
+    penetrance_table,
+)
+from repro.datasets.binarization import BinarizedDataset, PhenotypeSplitDataset
+from repro.datasets.layouts import (
+    GpuLayout,
+    snp_major_layout,
+    tiled_layout,
+    transposed_layout,
+)
+from repro.datasets.io import load_dataset, load_npz, save_npz, save_text, load_text
+from repro.datasets.qc import (
+    QcReport,
+    apply_qc,
+    call_rates,
+    filter_by_maf,
+    hardy_weinberg_pvalues,
+    impute_missing,
+    minor_allele_frequencies,
+)
+
+__all__ = [
+    "GenotypeDataset",
+    "SyntheticConfig",
+    "PlantedInteraction",
+    "generate_dataset",
+    "generate_null_dataset",
+    "penetrance_table",
+    "BinarizedDataset",
+    "PhenotypeSplitDataset",
+    "GpuLayout",
+    "snp_major_layout",
+    "transposed_layout",
+    "tiled_layout",
+    "save_npz",
+    "load_npz",
+    "save_text",
+    "load_text",
+    "load_dataset",
+    "QcReport",
+    "apply_qc",
+    "call_rates",
+    "filter_by_maf",
+    "hardy_weinberg_pvalues",
+    "impute_missing",
+    "minor_allele_frequencies",
+]

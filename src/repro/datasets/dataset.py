@@ -1,0 +1,171 @@
+"""The case/control genotype dataset container.
+
+A :class:`GenotypeDataset` is the uncompressed, analysis-friendly view of the
+data: an ``(n_snps, n_samples)`` genotype matrix with values ``{0, 1, 2}``
+plus a binary phenotype vector.  All kernels operate on binarised encodings
+derived from it (:mod:`repro.datasets.binarization`), but the uncompressed
+matrix remains the single source of truth for correctness oracles and for
+dataset manipulation (subsetting, shuffling, merging).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["GenotypeDataset"]
+
+#: Valid genotype codes: homozygous major, heterozygous, homozygous minor.
+GENOTYPE_VALUES = (0, 1, 2)
+
+
+@dataclass
+class GenotypeDataset:
+    """Case/control SNP dataset.
+
+    Parameters
+    ----------
+    genotypes:
+        ``(n_snps, n_samples)`` integer matrix; entry ``[i, j]`` is the
+        genotype of SNP ``i`` in sample ``j`` (0, 1 or 2).
+    phenotypes:
+        ``(n_samples,)`` vector of disease states: 0 = control, 1 = case.
+    snp_names:
+        Optional SNP identifiers; defaults to ``snp0000``, ``snp0001``, …
+
+    Notes
+    -----
+    The genotype matrix is stored as ``int8`` (the values fit comfortably)
+    and C-contiguous SNP-major, matching the row-per-SNP storage the paper
+    assumes for its CPU kernels.
+    """
+
+    genotypes: np.ndarray
+    phenotypes: np.ndarray
+    snp_names: Sequence[str] | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        self.genotypes = np.ascontiguousarray(self.genotypes, dtype=np.int8)
+        self.phenotypes = np.ascontiguousarray(self.phenotypes, dtype=np.int8)
+        if self.genotypes.ndim != 2:
+            raise ValueError("genotypes must be 2-D (n_snps, n_samples)")
+        if self.phenotypes.ndim != 1:
+            raise ValueError("phenotypes must be 1-D (n_samples,)")
+        if self.genotypes.shape[1] != self.phenotypes.shape[0]:
+            raise ValueError(
+                f"sample-count mismatch: genotypes has {self.genotypes.shape[1]} "
+                f"columns, phenotypes has {self.phenotypes.shape[0]} entries"
+            )
+        if self.genotypes.size:
+            gmin, gmax = int(self.genotypes.min()), int(self.genotypes.max())
+            if gmin < 0 or gmax > 2:
+                raise ValueError(
+                    f"genotype values must be in {{0, 1, 2}}; found [{gmin}, {gmax}]"
+                )
+        if self.phenotypes.size:
+            pvals = np.unique(self.phenotypes)
+            if not np.isin(pvals, (0, 1)).all():
+                raise ValueError("phenotype values must be 0 (control) or 1 (case)")
+        if self.snp_names is None:
+            width = max(4, len(str(max(self.n_snps - 1, 0))))
+            self.snp_names = [f"snp{i:0{width}d}" for i in range(self.n_snps)]
+        elif len(self.snp_names) != self.n_snps:
+            raise ValueError(
+                f"snp_names has {len(self.snp_names)} entries for {self.n_snps} SNPs"
+            )
+        else:
+            self.snp_names = list(self.snp_names)
+
+    # -- basic geometry ------------------------------------------------------
+    @property
+    def n_snps(self) -> int:
+        """Number of SNPs (``M`` in the paper)."""
+        return int(self.genotypes.shape[0])
+
+    @property
+    def n_samples(self) -> int:
+        """Number of samples (``N`` in the paper)."""
+        return int(self.genotypes.shape[1])
+
+    @property
+    def n_cases(self) -> int:
+        """Number of case samples (phenotype 1)."""
+        return int(np.count_nonzero(self.phenotypes))
+
+    @property
+    def n_controls(self) -> int:
+        """Number of control samples (phenotype 0)."""
+        return self.n_samples - self.n_cases
+
+    @property
+    def case_indices(self) -> np.ndarray:
+        """Indices of case samples (ascending)."""
+        return np.flatnonzero(self.phenotypes == 1)
+
+    @property
+    def control_indices(self) -> np.ndarray:
+        """Indices of control samples (ascending)."""
+        return np.flatnonzero(self.phenotypes == 0)
+
+    # -- combinatorics --------------------------------------------------------
+    def n_combinations(self, order: int = 3) -> int:
+        """Number of distinct SNP combinations of the given interaction order.
+
+        This is ``nCr(M, k)`` — the size of the exhaustive search space.
+        """
+        from math import comb
+
+        return comb(self.n_snps, order)
+
+    def n_elements(self, order: int = 3) -> int:
+        """Paper's throughput unit: ``nCr(M, k) * N`` processed elements."""
+        return self.n_combinations(order) * self.n_samples
+
+    # -- manipulation ---------------------------------------------------------
+    def subset_snps(self, indices: Iterable[int]) -> "GenotypeDataset":
+        """Return a new dataset restricted to the given SNP indices."""
+        idx = np.asarray(list(indices), dtype=np.int64)
+        return GenotypeDataset(
+            genotypes=self.genotypes[idx].copy(),
+            phenotypes=self.phenotypes.copy(),
+            snp_names=[self.snp_names[i] for i in idx],
+        )
+
+    def subset_samples(self, indices: Iterable[int]) -> "GenotypeDataset":
+        """Return a new dataset restricted to the given sample indices."""
+        idx = np.asarray(list(indices), dtype=np.int64)
+        return GenotypeDataset(
+            genotypes=self.genotypes[:, idx].copy(),
+            phenotypes=self.phenotypes[idx].copy(),
+            snp_names=list(self.snp_names),
+        )
+
+    def sorted_by_phenotype(self) -> "GenotypeDataset":
+        """Return a copy with controls first, cases last.
+
+        The optimised kernels split the data set by phenotype; sorting the
+        samples first makes that split a contiguous slice.
+        """
+        order = np.argsort(self.phenotypes, kind="stable")
+        return self.subset_samples(order)
+
+    def genotype_counts(self, snp: int) -> np.ndarray:
+        """Per-genotype sample counts ``(3,)`` for one SNP (sanity checks)."""
+        return np.bincount(self.genotypes[snp], minlength=3)[:3]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GenotypeDataset):
+            return NotImplemented
+        return (
+            np.array_equal(self.genotypes, other.genotypes)
+            and np.array_equal(self.phenotypes, other.phenotypes)
+            and list(self.snp_names) == list(other.snp_names)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"GenotypeDataset(n_snps={self.n_snps}, n_samples={self.n_samples}, "
+            f"cases={self.n_cases}, controls={self.n_controls})"
+        )

@@ -1,0 +1,99 @@
+"""Dataset persistence.
+
+Two interchange formats are supported:
+
+* **NPZ** — compressed NumPy archive holding the genotype matrix, phenotype
+  vector and SNP names; lossless and fast, the preferred format for the
+  benchmark harness.
+* **Text** — a simple whitespace/comma separated table compatible with the
+  layout used by the MPI3SNP sample files the paper benchmarks against: one
+  row per SNP with one genotype column per sample, and a final row holding
+  the phenotype of every sample.  Comment lines start with ``#``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.datasets.dataset import GenotypeDataset
+
+__all__ = ["save_npz", "load_npz", "save_text", "load_text", "load_dataset"]
+
+PathLike = Union[str, os.PathLike]
+
+
+def save_npz(dataset: GenotypeDataset, path: PathLike) -> None:
+    """Save a dataset to a compressed ``.npz`` archive."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        genotypes=dataset.genotypes,
+        phenotypes=dataset.phenotypes,
+        snp_names=np.asarray(dataset.snp_names, dtype=np.str_),
+    )
+
+
+def load_npz(path: PathLike) -> GenotypeDataset:
+    """Load a dataset written by :func:`save_npz`."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        missing = {"genotypes", "phenotypes"} - set(archive.files)
+        if missing:
+            raise ValueError(f"{path}: missing arrays {sorted(missing)}")
+        names = archive["snp_names"].tolist() if "snp_names" in archive.files else None
+        return GenotypeDataset(
+            genotypes=archive["genotypes"],
+            phenotypes=archive["phenotypes"],
+            snp_names=names,
+        )
+
+
+def save_text(dataset: GenotypeDataset, path: PathLike, delimiter: str = ",") -> None:
+    """Save a dataset as a delimited text table.
+
+    Layout: one header comment, then one row per SNP (``M`` rows of ``N``
+    genotype values), then a final row with the ``N`` phenotype values —
+    mirroring the ``N x (M + 1)`` formulation of §III transposed to the
+    row-per-SNP storage the kernels use.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as fh:
+        fh.write(f"# repro epistasis dataset: {dataset.n_snps} SNPs, "
+                 f"{dataset.n_samples} samples; last row is the phenotype\n")
+        for row in dataset.genotypes:
+            fh.write(delimiter.join(str(int(v)) for v in row))
+            fh.write("\n")
+        fh.write(delimiter.join(str(int(v)) for v in dataset.phenotypes))
+        fh.write("\n")
+
+
+def load_text(path: PathLike, delimiter: str = ",") -> GenotypeDataset:
+    """Load a dataset written by :func:`save_text` (or hand-authored)."""
+    rows: list[list[int]] = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            sep = delimiter if delimiter in line else None
+            rows.append([int(tok) for tok in line.split(sep)])
+    if len(rows) < 2:
+        raise ValueError(f"{path}: expected at least one SNP row and a phenotype row")
+    widths = {len(r) for r in rows}
+    if len(widths) != 1:
+        raise ValueError(f"{path}: ragged rows with lengths {sorted(widths)}")
+    matrix = np.asarray(rows, dtype=np.int8)
+    return GenotypeDataset(genotypes=matrix[:-1], phenotypes=matrix[-1])
+
+
+def load_dataset(path: PathLike) -> GenotypeDataset:
+    """Load a dataset, dispatching on the file extension (.npz or text)."""
+    path = Path(path)
+    if path.suffix == ".npz":
+        return load_npz(path)
+    return load_text(path)

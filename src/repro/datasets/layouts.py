@@ -1,0 +1,181 @@
+"""GPU memory layouts for the phenotype-split encoding.
+
+§IV-B describes three data layouts for the GPU kernels:
+
+* **SNP-major** (the CPU layout): each SNP's words are contiguous; adjacent
+  GPU threads (which work on different SNP triplets) therefore load words
+  that are ``n_words`` apart — uncoalesced accesses.
+* **Transposed / sample-major** (approach V3): words are stored with the
+  sample-word index as the slowest-varying dimension and the SNP index as
+  the fastest-varying one; adjacent threads reading the same word index of
+  consecutive SNPs hit consecutive addresses — coalesced accesses.
+* **SNP-tiled** (approach V4): SNPs are grouped into blocks of ``BS`` and the
+  ``BS`` words of a block for the same sample-word index are adjacent;
+  work-groups of size ``BS`` then achieve coalescing *and* better cache
+  reuse because each sample-word index touches one contiguous block.
+
+All three layouts carry exactly the same words; only the address mapping
+changes.  :class:`GpuLayout` records enough metadata for the coalescing
+analysis of the GPU simulator and the performance model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+from repro.datasets.binarization import PhenotypeSplitDataset
+
+__all__ = ["GpuLayout", "snp_major_layout", "transposed_layout", "tiled_layout"]
+
+LayoutKind = Literal["snp-major", "transposed", "tiled"]
+
+
+@dataclass
+class GpuLayout:
+    """A device-resident arrangement of the phenotype-split planes.
+
+    Attributes
+    ----------
+    kind:
+        Layout family (``"snp-major"``, ``"transposed"`` or ``"tiled"``).
+    control / case:
+        The packed word arrays for each phenotype class.  Shapes depend on
+        the layout:
+
+        * snp-major: ``(n_snps, 2, n_words)``
+        * transposed: ``(n_words, 2, n_snps)``
+        * tiled: ``(n_blocks, n_words, 2, block_size)``
+    n_controls / n_cases:
+        Valid sample-bit counts per class.
+    block_size:
+        SNP-block size ``BS`` (tiled layout only, else 1).
+    n_snps:
+        Number of SNPs represented (the tiled layout may pad the final block;
+        padded SNP slots contain zero words and are never indexed by the
+        kernels).
+    """
+
+    kind: LayoutKind
+    control: np.ndarray
+    case: np.ndarray
+    n_controls: int
+    n_cases: int
+    n_snps: int
+    block_size: int = 1
+
+    def words(self, phenotype_class: int) -> np.ndarray:
+        """Word array for phenotype 0 (controls) or 1 (cases)."""
+        if phenotype_class == 0:
+            return self.control
+        if phenotype_class == 1:
+            return self.case
+        raise ValueError("phenotype_class must be 0 or 1")
+
+    def samples(self, phenotype_class: int) -> int:
+        """Valid sample count for the class."""
+        return self.n_controls if phenotype_class == 0 else self.n_cases
+
+    def plane(self, phenotype_class: int, snp: int, genotype: int) -> np.ndarray:
+        """Return the packed plane of ``snp`` / ``genotype`` (a copy-free view
+        where the layout allows, a gathered copy otherwise).
+
+        ``genotype`` must be 0 or 1 — genotype 2 is always inferred by the
+        kernels.
+        """
+        if genotype not in (0, 1):
+            raise ValueError("stored planes exist only for genotypes 0 and 1")
+        arr = self.words(phenotype_class)
+        if self.kind == "snp-major":
+            return arr[snp, genotype]
+        if self.kind == "transposed":
+            return arr[:, genotype, snp]
+        block, offset = divmod(snp, self.block_size)
+        return arr[block, :, genotype, offset]
+
+    def address_stride_between_threads(self) -> int:
+        """Word-address distance between planes of *adjacent* SNPs.
+
+        This is the quantity that decides coalescing: 1 means consecutive
+        threads (assigned to consecutive SNPs) read consecutive words.
+        """
+        if self.kind == "snp-major":
+            # Each SNP is 2 planes x n_words away from the next.
+            return int(self.control.shape[2]) * 2 if self.control.ndim == 3 else 1
+        if self.kind == "transposed":
+            return 1
+        return 1  # tiled: adjacent SNPs of a block are adjacent words
+
+    def nbytes(self) -> int:
+        """Device-memory footprint in bytes."""
+        return int(self.control.nbytes + self.case.nbytes)
+
+
+def snp_major_layout(split: PhenotypeSplitDataset) -> GpuLayout:
+    """SNP-major layout: the CPU arrangement copied verbatim (GPU V2)."""
+    return GpuLayout(
+        kind="snp-major",
+        control=np.ascontiguousarray(split.control_planes),
+        case=np.ascontiguousarray(split.case_planes),
+        n_controls=split.n_controls,
+        n_cases=split.n_cases,
+        n_snps=split.n_snps,
+        block_size=1,
+    )
+
+
+def transposed_layout(split: PhenotypeSplitDataset) -> GpuLayout:
+    """Transposed layout: sample-word major, SNP minor (GPU V3).
+
+    ``control[w, g, i]`` is word ``w`` of genotype ``g`` of SNP ``i`` — SNP
+    is the fastest-varying index, so threads mapped to consecutive SNPs load
+    consecutive addresses.
+    """
+    ctrl = np.ascontiguousarray(np.transpose(split.control_planes, (2, 1, 0)))
+    case = np.ascontiguousarray(np.transpose(split.case_planes, (2, 1, 0)))
+    return GpuLayout(
+        kind="transposed",
+        control=ctrl,
+        case=case,
+        n_controls=split.n_controls,
+        n_cases=split.n_cases,
+        n_snps=split.n_snps,
+        block_size=1,
+    )
+
+
+def tiled_layout(split: PhenotypeSplitDataset, block_size: int = 32) -> GpuLayout:
+    """SNP-tiled layout: blocks of ``BS`` SNPs stored adjacently (GPU V4).
+
+    ``control[b, w, g, s]`` is word ``w`` of genotype ``g`` of SNP
+    ``b * BS + s``.  The SNP count is padded to a multiple of ``BS`` with
+    zero planes; kernels never index the padded SNPs.
+
+    Parameters
+    ----------
+    block_size:
+        ``BS``; the paper uses multiples of 32 or 64 depending on the GPU.
+    """
+    if block_size < 1:
+        raise ValueError("block_size must be >= 1")
+
+    def _tile(planes: np.ndarray) -> np.ndarray:
+        n_snps, _, n_words = planes.shape
+        n_blocks = (n_snps + block_size - 1) // block_size
+        padded = np.zeros((n_blocks * block_size, 2, n_words), dtype=np.uint32)
+        padded[:n_snps] = planes
+        # (blocks, BS, 2, words) -> (blocks, words, 2, BS)
+        tiles = padded.reshape(n_blocks, block_size, 2, n_words)
+        return np.ascontiguousarray(np.transpose(tiles, (0, 3, 2, 1)))
+
+    return GpuLayout(
+        kind="tiled",
+        control=_tile(split.control_planes),
+        case=_tile(split.case_planes),
+        n_controls=split.n_controls,
+        n_cases=split.n_cases,
+        n_snps=split.n_snps,
+        block_size=block_size,
+    )

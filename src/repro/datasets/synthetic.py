@@ -1,0 +1,254 @@
+"""Synthetic case/control dataset generators.
+
+The paper evaluates its kernels on "synthetic data sets equivalent to real
+case scenarios, containing SNPs ranging from 2048 to 8192 and 16384 samples"
+(§V).  This module produces such datasets in two flavours:
+
+* **null datasets** (:func:`generate_null_dataset`) — genotypes drawn
+  independently per SNP under Hardy–Weinberg equilibrium from a
+  minor-allele-frequency (MAF) sampled uniformly in a configurable range, and
+  phenotypes assigned independently of the genotypes.  These exercise the
+  kernels under realistic genotype distributions without any signal.
+* **planted-interaction datasets** (:func:`generate_dataset` with a
+  :class:`PlantedInteraction`) — the phenotype is drawn from a penetrance
+  table over the genotype combination of ``k`` designated SNPs, so the
+  detector has a ground-truth triplet to recover.  Several standard epistasis
+  penetrance shapes are provided (threshold, multiplicative, XOR-like).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.datasets.dataset import GenotypeDataset
+
+__all__ = [
+    "PlantedInteraction",
+    "SyntheticConfig",
+    "penetrance_table",
+    "generate_null_dataset",
+    "generate_dataset",
+]
+
+#: Penetrance-model names accepted by :func:`penetrance_table`.
+PENETRANCE_MODELS = ("threshold", "multiplicative", "xor")
+
+
+def penetrance_table(
+    model: str,
+    order: int = 3,
+    baseline: float = 0.05,
+    effect: float = 0.8,
+) -> np.ndarray:
+    """Build a ``3**order`` penetrance table for a planted interaction.
+
+    Parameters
+    ----------
+    model:
+        One of ``"threshold"`` (disease risk jumps when every interacting SNP
+        carries at least one minor allele), ``"multiplicative"`` (risk grows
+        multiplicatively with the number of minor alleles across the
+        interacting SNPs) or ``"xor"`` (risk is high when the parity of
+        heterozygous genotypes is odd — a purely epistatic model with no
+        marginal effects, the hardest case for filtering approaches and the
+        motivating example for exhaustive search).
+    order:
+        Interaction order ``k`` (3 for the paper's study).
+    baseline:
+        Penetrance of the lowest-risk genotype combinations.
+    effect:
+        Penetrance of the highest-risk combinations (must satisfy
+        ``0 <= baseline <= effect <= 1``).
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of shape ``(3,) * order`` with the probability of being a case
+        for every genotype combination.
+    """
+    if model not in PENETRANCE_MODELS:
+        raise ValueError(f"unknown penetrance model {model!r}; choose from {PENETRANCE_MODELS}")
+    if not (0.0 <= baseline <= effect <= 1.0):
+        raise ValueError("penetrance must satisfy 0 <= baseline <= effect <= 1")
+    shape = (3,) * order
+    table = np.full(shape, baseline, dtype=np.float64)
+    grid = np.indices(shape)  # (order, 3, 3, ..., 3)
+    if model == "threshold":
+        mask = (grid >= 1).all(axis=0)
+        table[mask] = effect
+    elif model == "multiplicative":
+        minor_alleles = grid.sum(axis=0).astype(np.float64)
+        frac = minor_alleles / (2.0 * order)
+        table = baseline + (effect - baseline) * frac
+    else:  # xor
+        parity = (grid == 1).sum(axis=0) % 2
+        table[parity == 1] = effect
+    return table
+
+
+@dataclass(frozen=True)
+class PlantedInteraction:
+    """Ground-truth epistatic interaction embedded in a synthetic dataset.
+
+    Attributes
+    ----------
+    snps:
+        Indices of the interacting SNPs (length = interaction order).
+    model:
+        Penetrance-model name (see :func:`penetrance_table`).
+    baseline / effect:
+        Penetrance extremes passed to :func:`penetrance_table`.
+    """
+
+    snps: tuple[int, ...]
+    model: str = "threshold"
+    baseline: float = 0.05
+    effect: float = 0.8
+
+    def __post_init__(self) -> None:
+        if len(self.snps) < 2:
+            raise ValueError("an interaction involves at least two SNPs")
+        if len(set(self.snps)) != len(self.snps):
+            raise ValueError("interacting SNP indices must be distinct")
+
+    @property
+    def order(self) -> int:
+        """Interaction order ``k``."""
+        return len(self.snps)
+
+    def table(self) -> np.ndarray:
+        """Penetrance table of this interaction."""
+        return penetrance_table(self.model, self.order, self.baseline, self.effect)
+
+
+@dataclass
+class SyntheticConfig:
+    """Configuration of a synthetic dataset.
+
+    Attributes
+    ----------
+    n_snps / n_samples:
+        Dataset dimensions ``M`` and ``N``.
+    maf_range:
+        Minor-allele frequencies are drawn uniformly from this interval for
+        every SNP (default 0.05–0.5, the conventional GWAS inclusion range).
+    case_fraction:
+        Target fraction of case samples for the *null* phenotype model; for
+        planted interactions the case fraction emerges from the penetrance.
+    interaction:
+        Optional :class:`PlantedInteraction`.
+    balance_phenotype:
+        If ``True`` (default) the generator resamples phenotypes so that the
+        realised case count matches ``round(case_fraction * n_samples)``
+        exactly; balanced case/control splits are what the paper's datasets
+        use and what keeps both word streams equally long.
+    seed:
+        Seed of the :class:`numpy.random.Generator` used throughout.
+    """
+
+    n_snps: int
+    n_samples: int
+    maf_range: tuple[float, float] = (0.05, 0.5)
+    case_fraction: float = 0.5
+    interaction: PlantedInteraction | None = None
+    balance_phenotype: bool = True
+    seed: int = 0
+    snp_name_prefix: str = "snp"
+
+    def __post_init__(self) -> None:
+        if self.n_snps < 1 or self.n_samples < 1:
+            raise ValueError("n_snps and n_samples must be positive")
+        lo, hi = self.maf_range
+        if not (0.0 < lo <= hi <= 0.5):
+            raise ValueError("maf_range must satisfy 0 < low <= high <= 0.5")
+        if not (0.0 < self.case_fraction < 1.0):
+            raise ValueError("case_fraction must lie strictly between 0 and 1")
+        if self.interaction is not None:
+            bad = [s for s in self.interaction.snps if not 0 <= s < self.n_snps]
+            if bad:
+                raise ValueError(f"interaction SNP indices out of range: {bad}")
+
+
+def _draw_genotypes(rng: np.random.Generator, n_snps: int, n_samples: int,
+                    maf_range: tuple[float, float]) -> np.ndarray:
+    """Draw a Hardy–Weinberg genotype matrix, one MAF per SNP."""
+    maf = rng.uniform(maf_range[0], maf_range[1], size=n_snps)
+    # Genotype = number of minor alleles ~ Binomial(2, maf): vectorised draw.
+    geno = rng.binomial(2, maf[:, None], size=(n_snps, n_samples)).astype(np.int8)
+    return geno
+
+
+def _balanced_phenotype(rng: np.random.Generator, probs: np.ndarray,
+                        n_cases_target: int) -> np.ndarray:
+    """Assign exactly ``n_cases_target`` cases, biased by per-sample risk.
+
+    Samples are ranked by ``risk + Gumbel noise`` which realises a weighted
+    sampling without replacement — samples with higher penetrance are more
+    likely to be selected as cases, but the total count is exact.
+    """
+    n = probs.shape[0]
+    n_cases_target = int(np.clip(n_cases_target, 0, n))
+    probs = np.clip(probs, 1e-9, 1 - 1e-9)
+    gumbel = rng.gumbel(size=n)
+    keys = np.log(probs / (1 - probs)) + gumbel
+    case_idx = np.argpartition(-keys, n_cases_target - 1)[:n_cases_target] \
+        if n_cases_target > 0 else np.empty(0, dtype=np.int64)
+    phen = np.zeros(n, dtype=np.int8)
+    phen[case_idx] = 1
+    return phen
+
+
+def generate_null_dataset(
+    n_snps: int,
+    n_samples: int,
+    *,
+    seed: int = 0,
+    maf_range: tuple[float, float] = (0.05, 0.5),
+    case_fraction: float = 0.5,
+) -> GenotypeDataset:
+    """Generate a dataset with no genotype/phenotype association."""
+    config = SyntheticConfig(
+        n_snps=n_snps,
+        n_samples=n_samples,
+        maf_range=maf_range,
+        case_fraction=case_fraction,
+        interaction=None,
+        seed=seed,
+    )
+    return generate_dataset(config)
+
+
+def generate_dataset(config: SyntheticConfig) -> GenotypeDataset:
+    """Generate a synthetic dataset according to ``config``.
+
+    The genotype matrix is always drawn under Hardy–Weinberg equilibrium; the
+    phenotype is either independent of the genotypes (null model) or drawn
+    from the penetrance table of the planted interaction.
+    """
+    rng = np.random.default_rng(config.seed)
+    geno = _draw_genotypes(rng, config.n_snps, config.n_samples, config.maf_range)
+
+    if config.interaction is None:
+        probs = np.full(config.n_samples, config.case_fraction)
+    else:
+        table = config.interaction.table()
+        combo = tuple(geno[s] for s in config.interaction.snps)
+        probs = table[combo]
+
+    n_cases_target = int(round(config.case_fraction * config.n_samples))
+    if config.balance_phenotype:
+        phen = _balanced_phenotype(rng, probs, n_cases_target)
+    else:
+        phen = (rng.uniform(size=config.n_samples) < probs).astype(np.int8)
+        # Guard against degenerate all-case / all-control draws, which would
+        # break the case/control split kernels.
+        if phen.all() or not phen.any():
+            flip = rng.integers(0, config.n_samples)
+            phen[flip] = 1 - phen[flip]
+
+    width = max(4, len(str(config.n_snps - 1)))
+    names = [f"{config.snp_name_prefix}{i:0{width}d}" for i in range(config.n_snps)]
+    return GenotypeDataset(genotypes=geno, phenotypes=phen, snp_names=names)

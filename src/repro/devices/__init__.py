@@ -1,0 +1,37 @@
+"""Catalog of the CPU and GPU devices evaluated by the paper.
+
+Tables I and II of the paper list 5 CPUs and 8 GPUs from Intel, AMD and
+NVIDIA together with the architectural parameters that drive epistasis
+detection performance: core/compute-unit counts, frequencies, vector widths,
+vector-POPCNT support, per-CU POPCNT throughput and stream-core counts.  This
+package captures those tables as data (:mod:`repro.devices.catalog`) on top
+of two dataclasses (:mod:`repro.devices.specs`) that also carry the cache
+geometry and bandwidth figures needed by the Cache-Aware Roofline Model and
+the analytical performance models.
+"""
+
+from repro.devices.specs import CacheLevel, CpuSpec, GpuSpec
+from repro.devices.catalog import (
+    ALL_CPUS,
+    ALL_GPUS,
+    CPU_CATALOG,
+    GPU_CATALOG,
+    cpu,
+    gpu,
+    device,
+    list_devices,
+)
+
+__all__ = [
+    "CacheLevel",
+    "CpuSpec",
+    "GpuSpec",
+    "CPU_CATALOG",
+    "GPU_CATALOG",
+    "ALL_CPUS",
+    "ALL_GPUS",
+    "cpu",
+    "gpu",
+    "device",
+    "list_devices",
+]

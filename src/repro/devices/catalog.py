@@ -1,0 +1,353 @@
+"""The 13 devices of Tables I and II.
+
+Values printed in the paper's tables (frequencies, core/CU counts, vector
+widths, POPCNT throughput per CU) are reproduced verbatim.  Cache sizes,
+bandwidths and TDPs are taken from the vendors' public documentation for the
+exact parts; they feed the roofline and performance models but do not alter
+the table-derived quantities.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Union
+
+from repro.devices.specs import CacheLevel, CpuSpec, GpuSpec
+
+__all__ = [
+    "CPU_CATALOG",
+    "GPU_CATALOG",
+    "ALL_CPUS",
+    "ALL_GPUS",
+    "cpu",
+    "gpu",
+    "device",
+    "list_devices",
+]
+
+
+def _intel_client_caches() -> tuple[CacheLevel, ...]:
+    """Skylake-client cache hierarchy (i7-8700K)."""
+    return (
+        CacheLevel("L1", 32, 8, 64.0),
+        CacheLevel("L2", 256, 4, 32.0),
+        CacheLevel("L3", 12 * 1024, 16, 16.0),
+        CacheLevel("DRAM", None, None, 6.0),
+    )
+
+
+def _skx_caches() -> tuple[CacheLevel, ...]:
+    """Skylake-SP cache hierarchy (Xeon Gold 6140)."""
+    return (
+        CacheLevel("L1", 32, 8, 128.0),
+        CacheLevel("L2", 1024, 16, 64.0),
+        CacheLevel("L3", 24.75 * 1024, 11, 16.0),
+        CacheLevel("DRAM", None, None, 5.0),
+    )
+
+
+def _icx_caches() -> tuple[CacheLevel, ...]:
+    """Ice Lake-SP cache hierarchy (Xeon Platinum 8360Y): 48 KiB, 12-way L1."""
+    return (
+        CacheLevel("L1", 48, 12, 128.0),
+        CacheLevel("L2", 1280, 20, 64.0),
+        CacheLevel("L3", 54 * 1024, 12, 16.0),
+        CacheLevel("DRAM", None, None, 6.0),
+    )
+
+
+def _zen_caches() -> tuple[CacheLevel, ...]:
+    """AMD Zen (EPYC 7601) cache hierarchy."""
+    return (
+        CacheLevel("L1", 32, 8, 32.0),
+        CacheLevel("L2", 512, 8, 32.0),
+        CacheLevel("L3", 64 * 1024, 16, 16.0),
+        CacheLevel("DRAM", None, None, 4.0),
+    )
+
+
+def _zen2_caches() -> tuple[CacheLevel, ...]:
+    """AMD Zen2 (EPYC 7302P) cache hierarchy."""
+    return (
+        CacheLevel("L1", 32, 8, 64.0),
+        CacheLevel("L2", 512, 8, 32.0),
+        CacheLevel("L3", 128 * 1024, 16, 16.0),
+        CacheLevel("DRAM", None, None, 6.0),
+    )
+
+
+#: Table I — CPU devices.
+CPU_CATALOG: Dict[str, CpuSpec] = {
+    "CI1": CpuSpec(
+        key="CI1",
+        name="Intel Core i7-8700K",
+        vendor="Intel",
+        microarchitecture="Skylake",
+        base_freq_ghz=3.7,
+        cores=6,
+        sockets=1,
+        isa="avx2-256",
+        avx_isa="avx2-256",
+        caches=_intel_client_caches(),
+        dram_bandwidth_gbps=41.6,
+        tdp_w=95.0,
+    ),
+    "CI2": CpuSpec(
+        key="CI2",
+        name="Intel Xeon Gold 6140 (2x)",
+        vendor="Intel",
+        microarchitecture="Skylake-SP",
+        base_freq_ghz=2.3,
+        cores=36,
+        sockets=2,
+        isa="avx512-skx",
+        avx_isa="avx2-256",
+        caches=_skx_caches(),
+        dram_bandwidth_gbps=2 * 119.2,
+        tdp_w=2 * 140.0,
+    ),
+    "CI3": CpuSpec(
+        key="CI3",
+        name="Intel Xeon Platinum 8360Y (2x)",
+        vendor="Intel",
+        microarchitecture="Ice Lake-SP",
+        base_freq_ghz=2.4,
+        cores=72,
+        sockets=2,
+        isa="avx512-vpopcnt",
+        avx_isa="avx2-256",
+        caches=_icx_caches(),
+        dram_bandwidth_gbps=2 * 204.8,
+        tdp_w=2 * 250.0,
+    ),
+    "CA1": CpuSpec(
+        key="CA1",
+        name="AMD EPYC 7601",
+        vendor="AMD",
+        microarchitecture="Zen",
+        base_freq_ghz=2.2,
+        cores=64,
+        sockets=2,
+        isa="avx-128",
+        avx_isa="avx-128",
+        caches=_zen_caches(),
+        dram_bandwidth_gbps=2 * 170.7,
+        tdp_w=2 * 180.0,
+    ),
+    "CA2": CpuSpec(
+        key="CA2",
+        name="AMD EPYC 7302P",
+        vendor="AMD",
+        microarchitecture="Zen2",
+        base_freq_ghz=3.0,
+        cores=16,
+        sockets=1,
+        isa="avx2-256",
+        avx_isa="avx2-256",
+        caches=_zen2_caches(),
+        dram_bandwidth_gbps=204.8,
+        tdp_w=155.0,
+    ),
+}
+
+
+#: Table II — GPU devices.  ``popcnt_measured`` marks the ``*`` entries.
+GPU_CATALOG: Dict[str, GpuSpec] = {
+    "GI1": GpuSpec(
+        key="GI1",
+        name="Intel Graphics UHD P630",
+        vendor="Intel",
+        architecture="Gen9.5",
+        boost_freq_ghz=1.200,
+        compute_units=24,
+        stream_cores=192,
+        popcnt_per_cu=4,
+        popcnt_measured=True,
+        dram_bandwidth_gbps=41.6,
+        llc_kib=768,
+        tdp_w=15.0,
+        preferred_bsched=256,
+        preferred_bs=64,
+        int_ops_per_cu_per_cycle=32.0,
+    ),
+    "GI2": GpuSpec(
+        key="GI2",
+        name="Intel Iris Xe MAX (DG1)",
+        vendor="Intel",
+        architecture="Gen12",
+        boost_freq_ghz=1.650,
+        compute_units=96,
+        stream_cores=768,
+        popcnt_per_cu=4,
+        popcnt_measured=True,
+        dram_bandwidth_gbps=68.0,
+        llc_kib=16 * 1024,
+        tdp_w=25.0,
+        preferred_bsched=256,
+        preferred_bs=64,
+        int_ops_per_cu_per_cycle=32.0,
+    ),
+    "GN1": GpuSpec(
+        key="GN1",
+        name="NVIDIA Titan Xp",
+        vendor="NVIDIA",
+        architecture="Pascal",
+        boost_freq_ghz=1.582,
+        compute_units=30,
+        stream_cores=3840,
+        popcnt_per_cu=32,
+        dram_bandwidth_gbps=547.6,
+        llc_kib=3 * 1024,
+        tdp_w=250.0,
+        preferred_bsched=256,
+        preferred_bs=32,
+        int_ops_per_cu_per_cycle=128.0,
+    ),
+    "GN2": GpuSpec(
+        key="GN2",
+        name="NVIDIA Titan V",
+        vendor="NVIDIA",
+        architecture="Volta",
+        boost_freq_ghz=1.455,
+        compute_units=80,
+        stream_cores=5120,
+        popcnt_per_cu=16,
+        dram_bandwidth_gbps=652.8,
+        llc_kib=4.5 * 1024,
+        tdp_w=250.0,
+        preferred_bsched=256,
+        preferred_bs=64,
+        int_ops_per_cu_per_cycle=64.0,
+    ),
+    "GN3": GpuSpec(
+        key="GN3",
+        name="NVIDIA Titan RTX",
+        vendor="NVIDIA",
+        architecture="Turing",
+        boost_freq_ghz=1.770,
+        compute_units=72,
+        stream_cores=4608,
+        popcnt_per_cu=16,
+        dram_bandwidth_gbps=672.0,
+        llc_kib=6 * 1024,
+        tdp_w=280.0,
+        preferred_bsched=256,
+        preferred_bs=64,
+        int_ops_per_cu_per_cycle=64.0,
+    ),
+    "GN4": GpuSpec(
+        key="GN4",
+        name="NVIDIA A100 (250W)",
+        vendor="NVIDIA",
+        architecture="Ampere",
+        boost_freq_ghz=1.410,
+        compute_units=108,
+        stream_cores=6912,
+        popcnt_per_cu=16,
+        dram_bandwidth_gbps=1555.0,
+        llc_kib=40 * 1024,
+        tdp_w=250.0,
+        preferred_bsched=256,
+        preferred_bs=64,
+        int_ops_per_cu_per_cycle=64.0,
+    ),
+    "GA1": GpuSpec(
+        key="GA1",
+        name="AMD Radeon Pro VII",
+        vendor="AMD",
+        architecture="Vega20",
+        boost_freq_ghz=1.700,
+        compute_units=60,
+        stream_cores=3840,
+        popcnt_per_cu=12,
+        popcnt_measured=True,
+        dram_bandwidth_gbps=1024.0,
+        llc_kib=4 * 1024,
+        tdp_w=250.0,
+        preferred_bsched=128,
+        preferred_bs=64,
+        int_ops_per_cu_per_cycle=64.0,
+    ),
+    "GA2": GpuSpec(
+        key="GA2",
+        name="AMD Instinct MI100",
+        vendor="AMD",
+        architecture="CDNA",
+        boost_freq_ghz=1.502,
+        compute_units=120,
+        stream_cores=7680,
+        popcnt_per_cu=12,
+        popcnt_measured=True,
+        dram_bandwidth_gbps=1228.8,
+        llc_kib=8 * 1024,
+        tdp_w=300.0,
+        preferred_bsched=128,
+        preferred_bs=64,
+        int_ops_per_cu_per_cycle=64.0,
+    ),
+    "GA3": GpuSpec(
+        key="GA3",
+        name="AMD Radeon RX 6900 XT",
+        vendor="AMD",
+        architecture="RDNA2",
+        boost_freq_ghz=2.250,
+        compute_units=80,
+        stream_cores=5120,
+        popcnt_per_cu=10,
+        popcnt_measured=True,
+        dram_bandwidth_gbps=512.0,
+        llc_kib=128 * 1024,
+        tdp_w=300.0,
+        preferred_bsched=256,
+        preferred_bs=32,
+        int_ops_per_cu_per_cycle=64.0,
+    ),
+}
+
+#: Ordered lists, matching the tables' row order.
+ALL_CPUS: List[CpuSpec] = [CPU_CATALOG[k] for k in ("CI1", "CI2", "CI3", "CA1", "CA2")]
+ALL_GPUS: List[GpuSpec] = [
+    GPU_CATALOG[k]
+    for k in ("GI1", "GI2", "GN1", "GN2", "GN3", "GN4", "GA1", "GA2", "GA3")
+]
+
+
+def cpu(key: str) -> CpuSpec:
+    """Look up a CPU by its Table I key (``CI1`` … ``CA2``)."""
+    try:
+        return CPU_CATALOG[key.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown CPU {key!r}; known CPUs: {sorted(CPU_CATALOG)}"
+        ) from None
+
+
+def gpu(key: str) -> GpuSpec:
+    """Look up a GPU by its Table II key (``GI1`` … ``GA3``)."""
+    try:
+        return GPU_CATALOG[key.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown GPU {key!r}; known GPUs: {sorted(GPU_CATALOG)}"
+        ) from None
+
+
+def device(key: str) -> Union[CpuSpec, GpuSpec]:
+    """Look up a device of either kind by key."""
+    key = key.upper()
+    if key in CPU_CATALOG:
+        return CPU_CATALOG[key]
+    if key in GPU_CATALOG:
+        return GPU_CATALOG[key]
+    known = sorted(CPU_CATALOG) + sorted(GPU_CATALOG)
+    raise KeyError(f"unknown device {key!r}; known devices: {known}")
+
+
+def list_devices(kind: str = "all") -> List[Union[CpuSpec, GpuSpec]]:
+    """List catalogued devices: ``kind`` in {"cpu", "gpu", "all"}."""
+    if kind == "cpu":
+        return list(ALL_CPUS)
+    if kind == "gpu":
+        return list(ALL_GPUS)
+    if kind == "all":
+        return list(ALL_CPUS) + list(ALL_GPUS)
+    raise ValueError("kind must be 'cpu', 'gpu' or 'all'")

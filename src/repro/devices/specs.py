@@ -1,0 +1,297 @@
+"""Device specification dataclasses.
+
+The specifications collect three kinds of parameters:
+
+* the ones printed in Tables I and II of the paper (cores, frequencies,
+  vector widths, compute units, stream cores, POPCNT throughput per CU);
+* cache geometry (sizes and associativity) needed to derive the loop-tiling
+  parameters ``<BS, BP>`` of the third/fourth CPU approaches (§IV-A);
+* bandwidth and peak-throughput figures needed to draw the Cache-Aware
+  Roofline Model roofs of Figure 2.
+
+Where the paper does not state a value explicitly (e.g. cache bandwidths)
+the publicly documented figure for the micro-architecture is used; those
+values only shift roofs, never the relative placement of the kernels, which
+is what the reproduction validates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.bitops.simd import ISA_PRESETS, VectorISA
+
+__all__ = ["CacheLevel", "CpuSpec", "GpuSpec"]
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """Geometry and per-core bandwidth of one cache level.
+
+    Attributes
+    ----------
+    name:
+        Level name (``"L1"``, ``"L2"``, ``"L3"``, ``"SLM"``, ``"DRAM"``).
+    size_kib:
+        Capacity in KiB per core (L1/L2) or total (L3/DRAM: ``None`` means
+        "effectively unbounded" for blocking purposes).
+    ways:
+        Set associativity (used by the ``<BS, BP>`` derivation).
+    bytes_per_cycle:
+        Sustainable load bandwidth per core in bytes per cycle — the slope of
+        the corresponding CARM roof.
+    """
+
+    name: str
+    size_kib: float | None
+    ways: int | None
+    bytes_per_cycle: float
+
+    def bandwidth_gbps(self, freq_ghz: float, cores: int = 1) -> float:
+        """Aggregate bandwidth in GB/s at the given frequency and core count."""
+        return self.bytes_per_cycle * freq_ghz * cores
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """A CPU platform from Table I.
+
+    Attributes
+    ----------
+    key:
+        Short identifier used throughout the paper (``CI1`` … ``CA2``).
+    name / vendor / microarchitecture:
+        Human-readable identity.
+    base_freq_ghz:
+        Base frequency from Table I (performance per cycle uses this).
+    cores:
+        Total physical cores across sockets (Table I counts both sockets).
+    sockets:
+        Number of sockets (informational).
+    isa:
+        Name of the *widest* vector ISA preset supported
+        (see :data:`repro.bitops.simd.ISA_PRESETS`).
+    avx_isa:
+        Name of the 256-bit-class preset used when the paper runs the "AVX"
+        variant on this machine (every CPU supports one).
+    caches:
+        Cache hierarchy, ordered from L1 to DRAM.
+    issue_width:
+        Sustained bitwise/SIMD micro-ops issued per cycle per core — the
+        divisor converting instruction counts into cycles in the performance
+        model (2 logical + load pipes on all tested cores).
+    scalar_issue_width:
+        Same, for the scalar (non-vectorised) approaches.
+    dram_bandwidth_gbps:
+        Aggregate DRAM bandwidth (socket total).
+    tdp_w:
+        Thermal design power (energy-efficiency discussion of §V-D).
+    """
+
+    key: str
+    name: str
+    vendor: str
+    microarchitecture: str
+    base_freq_ghz: float
+    cores: int
+    sockets: int
+    isa: str
+    avx_isa: str
+    caches: Tuple[CacheLevel, ...]
+    issue_width: float = 2.0
+    scalar_issue_width: float = 2.0
+    dram_bandwidth_gbps: float = 100.0
+    tdp_w: float = 150.0
+
+    # -- ISA helpers ---------------------------------------------------------
+    @property
+    def vector_isa(self) -> VectorISA:
+        """The widest supported ISA preset."""
+        return ISA_PRESETS[self.isa]
+
+    @property
+    def avx_vector_isa(self) -> VectorISA:
+        """The 256-bit-class ISA preset used for the AVX comparison runs."""
+        return ISA_PRESETS[self.avx_isa]
+
+    @property
+    def vector_width_bits(self) -> int:
+        """Vector width in bits as printed in Table I."""
+        return self.vector_isa.width_bits
+
+    @property
+    def has_vector_popcnt(self) -> bool:
+        """Whether the widest ISA provides vector POPCNT (Ice Lake SP only)."""
+        return self.vector_isa.has_vector_popcnt
+
+    # -- cache helpers -------------------------------------------------------
+    def cache(self, name: str) -> CacheLevel:
+        """Look up a cache level by name (raises ``KeyError`` if absent)."""
+        for level in self.caches:
+            if level.name == name:
+                return level
+        raise KeyError(f"{self.key} has no cache level {name!r}")
+
+    @property
+    def l1d(self) -> CacheLevel:
+        """The L1 data cache (drives the blocking-parameter derivation)."""
+        return self.cache("L1")
+
+    def blocking_parameters(
+        self,
+        ft_ways: int | None = None,
+        block_ways: int | None = None,
+        int_bytes: int = 4,
+        round_bp_to_vector: bool = True,
+        isa: VectorISA | None = None,
+    ) -> Tuple[int, int]:
+        """Derive the loop-tiling parameters ``<BS, BP>`` of §IV-A.
+
+        The frequency table of a ``BS³``-combination block must fit in
+        ``ft_ways`` ways of the L1 data cache and each ``BS × BP`` data block
+        in ``block_ways`` ways:
+
+        ``BS³ · int_bytes · 2 · 27 ≤ sizeFT``  and
+        ``BS · BP · int_bytes · 2 ≤ sizeBlock``.
+
+        With the paper's choices (7 ways for the table everywhere; 4 ways for
+        the block on Ice Lake SP, 1 way elsewhere) this yields ``<5, 400>``
+        on CI3 and ``<5, 96>`` on the remaining CPUs.
+
+        Parameters
+        ----------
+        ft_ways / block_ways:
+            Number of L1 ways dedicated to the frequency table and to the
+            SNP/sample block.  Defaults reproduce the paper: 7 ways for the
+            table; for the block, every way left after the table and one
+            spare way for the prefetcher when the cache has more than 8 ways.
+        round_bp_to_vector:
+            Round ``BP`` down to a multiple of the number of 32-bit lanes of
+            ``isa`` (the paper rounds to the vector register size).
+        isa:
+            ISA used for the rounding; defaults to the widest supported one.
+        """
+        l1 = self.l1d
+        if l1.size_kib is None or l1.ways is None:
+            raise ValueError(f"{self.key}: L1 geometry unknown")
+        total_ways = l1.ways
+        way_bytes = l1.size_kib * 1024 / total_ways
+        if ft_ways is None:
+            ft_ways = min(7, total_ways - 1)
+        if block_ways is None:
+            spare = 1 if total_ways > 8 else 0
+            block_ways = max(1, total_ways - ft_ways - spare)
+        size_ft = ft_ways * way_bytes
+        size_block = block_ways * way_bytes
+
+        bs = int((size_ft / (int_bytes * 2 * 27)) ** (1.0 / 3.0))
+        bs = max(1, bs)
+        bp = int(size_block / (bs * int_bytes * 2))
+        bp = max(1, bp)
+        if round_bp_to_vector:
+            isa = isa or self.vector_isa
+            # Rounding uses the *programming* register width: AMD Zen executes
+            # 256-bit AVX intrinsics as two 128-bit halves, but the loads in
+            # the source code still move 8 x 32-bit integers at a time.
+            lanes = max(8, isa.lanes32)
+            bp = max(lanes, (bp // lanes) * lanes)
+        return bs, bp
+
+    # -- peak throughput -----------------------------------------------------
+    def peak_int_gops(self, isa: VectorISA | None = None) -> float:
+        """Peak 32-bit integer GOPS across all cores for the given ISA.
+
+        ``lanes32 × issue_width × frequency × cores`` — the "Int32 Vector ADD
+        Peak" roof of Figure 2a.
+        """
+        isa = isa or self.vector_isa
+        return isa.lanes32 * self.issue_width * self.base_freq_ghz * self.cores
+
+    def scalar_peak_int_gops(self) -> float:
+        """Peak scalar integer GOPS (the slashed "Scalar ADD Peak" roof)."""
+        return self.scalar_issue_width * self.base_freq_ghz * self.cores
+
+    def __str__(self) -> str:
+        return (
+            f"{self.key}: {self.name} ({self.microarchitecture}), "
+            f"{self.cores} cores @ {self.base_freq_ghz} GHz, "
+            f"{self.vector_width_bits}-bit {self.isa}"
+        )
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """A GPU platform from Table II.
+
+    Attributes
+    ----------
+    key:
+        Short identifier (``GI1`` … ``GA3``).
+    name / vendor / architecture:
+        Human-readable identity.
+    boost_freq_ghz:
+        Boost frequency from Table II.
+    compute_units:
+        Compute units (NVIDIA SMs, Intel EU groups, AMD CUs) — the paper's
+        normalisation unit for Figure 4a/4b.
+    stream_cores:
+        Total stream cores (CUDA cores / SIMD4 instances / AMD stream cores).
+    popcnt_per_cu:
+        POPCNT instructions retired per cycle per compute unit (Table II,
+        values marked ``*`` were measured experimentally by the authors).
+    dram_bandwidth_gbps:
+        Device-memory bandwidth (drives the DRAM roof in Figure 2b).
+    llc_kib:
+        Last-level (L2/L3) cache capacity in KiB.
+    llc_bytes_per_cycle_per_cu:
+        LLC bandwidth per CU per cycle (CARM roof slope).
+    slm_bytes_per_cycle_per_cu:
+        Shared-local-memory / L1 bandwidth per CU per cycle.
+    tdp_w:
+        Board power used for the efficiency comparison of §V-D.
+    preferred_bsched / preferred_bs:
+        The empirically chosen ``<BSched, BS>`` scheduling/tiling parameters
+        reported in §V-C for this device.
+    int_ops_per_cu_per_cycle:
+        32-bit integer (AND/OR/XOR/ADD) throughput per CU per cycle, used for
+        the compute roof and to bound non-POPCNT work.
+    """
+
+    key: str
+    name: str
+    vendor: str
+    architecture: str
+    boost_freq_ghz: float
+    compute_units: int
+    stream_cores: int
+    popcnt_per_cu: float
+    dram_bandwidth_gbps: float
+    llc_kib: float
+    tdp_w: float
+    preferred_bsched: int = 256
+    preferred_bs: int = 64
+    llc_bytes_per_cycle_per_cu: float = 32.0
+    slm_bytes_per_cycle_per_cu: float = 64.0
+    int_ops_per_cu_per_cycle: float = 64.0
+    popcnt_measured: bool = False
+
+    @property
+    def stream_cores_per_cu(self) -> int:
+        """Stream cores per compute unit."""
+        return self.stream_cores // self.compute_units
+
+    def peak_int_gops(self) -> float:
+        """Peak 32-bit integer GOPS of the whole device."""
+        return self.int_ops_per_cu_per_cycle * self.compute_units * self.boost_freq_ghz
+
+    def peak_popcnt_gops(self) -> float:
+        """Peak POPCNT throughput of the whole device in Giga-ops/s."""
+        return self.popcnt_per_cu * self.compute_units * self.boost_freq_ghz
+
+    def __str__(self) -> str:
+        return (
+            f"{self.key}: {self.name} ({self.architecture}), "
+            f"{self.compute_units} CUs / {self.stream_cores} cores @ "
+            f"{self.boost_freq_ghz} GHz, {self.popcnt_per_cu} POPCNT/CU/cycle"
+        )

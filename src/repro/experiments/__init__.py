@@ -1,0 +1,35 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every module exposes a ``run_*`` function returning structured rows and a
+``format_*`` function rendering them as text; the benchmark suite under
+``benchmarks/`` wraps these with ``pytest-benchmark`` so that
+``pytest benchmarks/ --benchmark-only`` both regenerates the paper's
+tables/figures (printed to stdout / saved as CSV) and times the underlying
+kernels.
+
+========================  =====================================================
+module                    reproduces
+========================  =====================================================
+``tables``                Table I (CPU devices), Table II (GPU devices)
+``figure2``               Figure 2a/2b — CARM characterisation of V1–V4
+``figure3``               Figure 3a/3b/3c — CPU throughput normalisations
+``figure4``               Figure 4a/4b/4c — GPU throughput normalisations
+``table3``                Table III — comparison with the state of the art
+``comparison``            §V-D — CPU vs GPU, heterogeneous and energy analysis
+``ablations``             design-choice ablations called out in DESIGN.md
+========================  =====================================================
+"""
+
+from repro.experiments import ablations, comparison, figure2, figure3, figure4, table3, tables
+from repro.experiments.report import format_table
+
+__all__ = [
+    "tables",
+    "figure2",
+    "figure3",
+    "figure4",
+    "table3",
+    "comparison",
+    "ablations",
+    "format_table",
+]

@@ -1,0 +1,112 @@
+"""§V-D — comparison between CPUs and GPUs, heterogeneous and energy analysis.
+
+Reproduces the closing analyses of the evaluation section:
+
+* overall device throughput of every catalogued CPU and GPU with the best
+  approach (the basis of the "GPUs win through sheer stream-core count"
+  argument);
+* the heterogeneous CPU+GPU projection (Ice Lake SP + Titan Xp ≈ 3300 G
+  elements/s in the paper);
+* energy efficiency in Giga elements per Joule, where the Intel Iris Xe MAX
+  comes out ahead despite its modest raw throughput.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.devices.catalog import ALL_CPUS, ALL_GPUS, cpu, gpu
+from repro.devices.specs import CpuSpec
+from repro.experiments.report import format_table
+from repro.perfmodel.cpu_model import estimate_cpu
+from repro.perfmodel.gpu_model import estimate_gpu
+from repro.perfmodel.efficiency import energy_efficiency, heterogeneous_throughput
+
+__all__ = [
+    "run_device_comparison",
+    "run_heterogeneous",
+    "format_comparison",
+    "DEFAULT_HETERO_PAIRS",
+]
+
+#: CPU+GPU pairs discussed by the paper (§V-D).
+DEFAULT_HETERO_PAIRS: tuple[tuple[str, str], ...] = (
+    ("CI3", "GN1"),
+    ("CI3", "GN3"),
+    ("CI1", "GN3"),
+    ("CA1", "GN3"),
+)
+
+
+def run_device_comparison(
+    n_snps: int = 8192, n_samples: int = 16384
+) -> List[Dict[str, object]]:
+    """Overall throughput and efficiency of every catalogued device."""
+    rows: List[Dict[str, object]] = []
+    for spec in list(ALL_CPUS) + list(ALL_GPUS):
+        if isinstance(spec, CpuSpec):
+            est = estimate_cpu(spec, 4, n_snps=n_snps, n_samples=n_samples)
+            total = est.giga_elements_per_second_total
+            kind = "CPU"
+        else:
+            est = estimate_gpu(spec, 4, n_snps=n_snps, n_samples=n_samples)
+            total = est.giga_elements_per_second_total
+            kind = "GPU"
+        rows.append(
+            {
+                "device": spec.key,
+                "kind": kind,
+                "name": spec.name,
+                "total_gelements_per_s": round(total, 1),
+                "tdp_w": spec.tdp_w,
+                "gelements_per_joule": round(
+                    energy_efficiency(spec, n_snps, n_samples), 2
+                ),
+            }
+        )
+    return sorted(rows, key=lambda r: -r["total_gelements_per_s"])
+
+
+def run_heterogeneous(
+    pairs: Sequence[tuple[str, str]] = DEFAULT_HETERO_PAIRS,
+    n_snps: int = 8192,
+    n_samples: int = 16384,
+) -> List[Dict[str, object]]:
+    """Projected CPU+GPU throughputs for the paper's example pairs."""
+    rows: List[Dict[str, object]] = []
+    for cpu_key, gpu_key in pairs:
+        cpu_spec, gpu_spec = cpu(cpu_key), gpu(gpu_key)
+        cpu_total = estimate_cpu(cpu_spec, 4, n_snps=n_snps, n_samples=n_samples)
+        gpu_total = estimate_gpu(gpu_spec, 4, n_snps=n_snps, n_samples=n_samples)
+        combined = heterogeneous_throughput(
+            [cpu_spec, gpu_spec], n_snps=n_snps, n_samples=n_samples
+        )
+        rows.append(
+            {
+                "cpu": cpu_key,
+                "gpu": gpu_key,
+                "cpu_gelements_per_s": round(cpu_total.giga_elements_per_second_total, 1),
+                "gpu_gelements_per_s": round(gpu_total.giga_elements_per_second_total, 1),
+                "combined_gelements_per_s": round(combined / 1e9, 1),
+                "cpu_contribution_pct": round(
+                    100.0
+                    * cpu_total.elements_per_second_total
+                    / (cpu_total.elements_per_second_total + gpu_total.elements_per_second_total),
+                    1,
+                ),
+            }
+        )
+    return rows
+
+
+def format_comparison(n_snps: int = 8192, n_samples: int = 16384) -> str:
+    """Both §V-D analyses as text."""
+    devices = format_table(
+        run_device_comparison(n_snps, n_samples),
+        title="CPU vs GPU overall throughput and energy efficiency (best approach)",
+    )
+    hetero = format_table(
+        run_heterogeneous(n_snps=n_snps, n_samples=n_samples),
+        title="Heterogeneous CPU+GPU projections",
+    )
+    return devices + "\n\n" + hetero

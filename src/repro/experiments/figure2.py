@@ -1,0 +1,75 @@
+"""Figure 2 — CARM characterisation of the four approaches.
+
+The paper characterises the CPU approaches on the Intel Xeon Platinum 8360Y
+(Ice Lake SP, Figure 2a) and the GPU approaches on the Intel Iris Xe MAX
+(Figure 2b).  ``run_figure2`` reproduces both by default and accepts any
+other catalogued device.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.carm.characterize import characterize_cpu_approaches, characterize_gpu_approaches
+from repro.carm.render import render_ascii, render_csv
+from repro.devices.catalog import CPU_CATALOG, GPU_CATALOG, device
+from repro.devices.specs import CpuSpec
+from repro.experiments.report import format_table
+
+__all__ = ["run_figure2", "format_figure2", "DEFAULT_CPU", "DEFAULT_GPU"]
+
+#: Devices used by the paper's Figure 2.
+DEFAULT_CPU = "CI3"
+DEFAULT_GPU = "GI2"
+
+
+def run_figure2(
+    device_key: str = DEFAULT_CPU,
+    n_snps: int = 2048,
+    n_samples: int = 16384,
+) -> List[Dict[str, object]]:
+    """CARM kernel placements for one device (rows = approaches V1–V4)."""
+    spec = device(device_key)
+    if isinstance(spec, CpuSpec):
+        model, points = characterize_cpu_approaches(spec, n_snps, n_samples)
+    else:
+        model, points = characterize_gpu_approaches(spec, n_snps, n_samples)
+    rows: List[Dict[str, object]] = []
+    for p in points:
+        rows.append(
+            {
+                "device": spec.key,
+                "approach": p.name,
+                "arithmetic_intensity": round(p.arithmetic_intensity, 4),
+                "gintops": round(p.gops, 2),
+                "gelements_per_s": round(p.elements_per_second / 1e9, 2),
+                "bound_by": p.bound_by,
+                "attainable_gintops": round(
+                    model.attainable_gops(p.arithmetic_intensity), 2
+                ),
+            }
+        )
+    return rows
+
+
+def format_figure2(
+    cpu_key: str = DEFAULT_CPU,
+    gpu_key: str = DEFAULT_GPU,
+    n_snps: int = 2048,
+    n_samples: int = 16384,
+    ascii_chart: bool = True,
+) -> str:
+    """Both panels of Figure 2 as text (tables + optional ASCII charts)."""
+    sections: List[str] = []
+    for key, title in ((cpu_key, "Figure 2a (CPU)"), (gpu_key, "Figure 2b (GPU)")):
+        rows = run_figure2(key, n_snps, n_samples)
+        sections.append(format_table(rows, title=f"{title}: CARM on {key}"))
+        if ascii_chart:
+            spec = device(key)
+            if isinstance(spec, CpuSpec):
+                model, points = characterize_cpu_approaches(spec, n_snps, n_samples)
+            else:
+                model, points = characterize_gpu_approaches(spec, n_snps, n_samples)
+            sections.append(render_ascii(model, points))
+            sections.append(render_csv(model, points))
+    return "\n\n".join(sections)

@@ -1,0 +1,86 @@
+"""Figure 3 — CPU evaluation across devices, ISAs and dataset sizes.
+
+The paper reports, for 2048/4096/8192 SNPs and 16384 samples, the throughput
+of the best CPU approach on the five CPUs of Table I under three
+normalisations:
+
+* Figure 3a — Giga (combinations x samples) per second per core,
+* Figure 3b — elements per cycle per core,
+* Figure 3c — elements per cycle per (core x vector width).
+
+The AVX-512 machines (CI2, CI3) are additionally run with the 256-bit AVX
+variant to isolate the effect of the wider registers and of the vector
+POPCNT.  The rows below come from the analytical CPU model; the benchmark
+harness pairs them with measured runs of the functional kernel at reduced
+scale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.devices.catalog import ALL_CPUS
+from repro.devices.specs import CpuSpec
+from repro.experiments.report import format_table
+from repro.perfmodel.cpu_model import estimate_cpu
+
+__all__ = ["run_figure3", "format_figure3", "SNP_SIZES", "N_SAMPLES"]
+
+#: Dataset sizes evaluated by the paper.
+SNP_SIZES: tuple[int, ...] = (2048, 4096, 8192)
+N_SAMPLES: int = 16384
+
+
+def _variants(spec: CpuSpec) -> List[tuple[str, object]]:
+    """ISA variants run on one CPU: the native widest ISA, plus AVX on AVX-512 parts."""
+    variants: List[tuple[str, object]] = [(spec.isa, spec.vector_isa)]
+    if spec.vector_width_bits == 512:
+        variants.append((f"{spec.avx_isa} (AVX run)", spec.avx_vector_isa))
+    return variants
+
+
+def run_figure3(
+    snp_sizes: Sequence[int] = SNP_SIZES,
+    n_samples: int = N_SAMPLES,
+    cpus: Sequence[CpuSpec] | None = None,
+) -> List[Dict[str, object]]:
+    """Rows for Figures 3a/3b/3c (one row per device x ISA x dataset size)."""
+    cpus = list(cpus) if cpus is not None else list(ALL_CPUS)
+    rows: List[Dict[str, object]] = []
+    for spec in cpus:
+        for isa_label, isa in _variants(spec):
+            for n_snps in snp_sizes:
+                est = estimate_cpu(spec, 4, isa=isa, n_snps=n_snps, n_samples=n_samples)
+                rows.append(
+                    {
+                        "device": spec.key,
+                        "isa": isa_label,
+                        "n_snps": n_snps,
+                        "n_samples": n_samples,
+                        # Figure 3a
+                        "gelements_per_s_per_core": round(
+                            est.giga_elements_per_second_per_core, 3
+                        ),
+                        # Figure 3b
+                        "elements_per_cycle_per_core": round(
+                            est.elements_per_cycle_per_core, 3
+                        ),
+                        # Figure 3c
+                        "elements_per_cycle_per_core_per_lane": round(
+                            est.elements_per_cycle_per_core_per_lane, 4
+                        ),
+                        "total_gelements_per_s": round(
+                            est.giga_elements_per_second_total, 1
+                        ),
+                        "bound": est.bound,
+                    }
+                )
+    return rows
+
+
+def format_figure3(**kwargs) -> str:
+    """Figure 3 as a text table."""
+    return format_table(
+        run_figure3(**kwargs),
+        title="Figure 3: CPU performance (model) for 2048/4096/8192 SNPs, 16384 samples",
+    )

@@ -1,0 +1,70 @@
+"""Figure 4 — GPU evaluation across devices and dataset sizes.
+
+For the eight GPUs of Table II and datasets of 2048/4096/8192 SNPs with
+16384 samples the paper reports the throughput of the best GPU approach as
+
+* Figure 4a — Giga (combinations x samples) per second per compute unit,
+* Figure 4b — elements per cycle per compute unit,
+* Figure 4c — elements per cycle per stream core.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.devices.catalog import ALL_GPUS
+from repro.devices.specs import GpuSpec
+from repro.experiments.report import format_table
+from repro.perfmodel.gpu_model import estimate_gpu
+
+__all__ = ["run_figure4", "format_figure4", "SNP_SIZES", "N_SAMPLES"]
+
+#: Dataset sizes evaluated by the paper.
+SNP_SIZES: tuple[int, ...] = (2048, 4096, 8192)
+N_SAMPLES: int = 16384
+
+
+def run_figure4(
+    snp_sizes: Sequence[int] = SNP_SIZES,
+    n_samples: int = N_SAMPLES,
+    gpus: Sequence[GpuSpec] | None = None,
+) -> List[Dict[str, object]]:
+    """Rows for Figures 4a/4b/4c (one row per device x dataset size)."""
+    gpus = list(gpus) if gpus is not None else list(ALL_GPUS)
+    rows: List[Dict[str, object]] = []
+    for spec in gpus:
+        for n_snps in snp_sizes:
+            est = estimate_gpu(spec, 4, n_snps=n_snps, n_samples=n_samples)
+            rows.append(
+                {
+                    "device": spec.key,
+                    "n_snps": n_snps,
+                    "n_samples": n_samples,
+                    # Figure 4a
+                    "gelements_per_s_per_cu": round(
+                        est.giga_elements_per_second_per_cu, 3
+                    ),
+                    # Figure 4b
+                    "elements_per_cycle_per_cu": round(
+                        est.elements_per_cycle_per_cu, 3
+                    ),
+                    # Figure 4c
+                    "elements_per_cycle_per_stream_core": round(
+                        est.elements_per_cycle_per_stream_core, 4
+                    ),
+                    "total_gelements_per_s": round(
+                        est.giga_elements_per_second_total, 1
+                    ),
+                    "popcnt_per_cu": spec.popcnt_per_cu,
+                    "bound": est.bound,
+                }
+            )
+    return rows
+
+
+def format_figure4(**kwargs) -> str:
+    """Figure 4 as a text table."""
+    return format_table(
+        run_figure4(**kwargs),
+        title="Figure 4: GPU performance (model) for 2048/4096/8192 SNPs, 16384 samples",
+    )

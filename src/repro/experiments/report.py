@@ -1,0 +1,48 @@
+"""Plain-text table rendering shared by the experiment modules."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_float"]
+
+
+def format_float(value: object, digits: int = 3) -> str:
+    """Render a float compactly; pass through everything else."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 1e5 or magnitude < 1e-3:
+        return f"{value:.{digits}e}"
+    return f"{value:.{digits}f}"
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render a list of dict rows as an aligned fixed-width text table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [
+        {col: format_float(row.get(col, "")) for col in columns} for row in rows
+    ]
+    widths = {
+        col: max(len(col), *(len(r[col]) for r in rendered)) for col in columns
+    }
+    header = "  ".join(col.ljust(widths[col]) for col in columns)
+    sep = "  ".join("-" * widths[col] for col in columns)
+    body = "\n".join(
+        "  ".join(r[col].ljust(widths[col]) for col in columns) for r in rendered
+    )
+    out = f"{header}\n{sep}\n{body}"
+    if title:
+        out = f"{title}\n{out}"
+    return out

@@ -1,0 +1,73 @@
+"""Tables I and II — the device inventory.
+
+These "experiments" regenerate the two device tables of the paper from the
+catalog, including the derived quantities the text refers to (stream cores
+per CU, peak POPCNT throughput, AVX-512 / vector-POPCNT support).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.devices.catalog import ALL_CPUS, ALL_GPUS
+from repro.experiments.report import format_table
+
+__all__ = ["run_table1", "run_table2", "format_table1", "format_table2"]
+
+
+def run_table1() -> List[Dict[str, object]]:
+    """Rows of Table I (CPU devices used in the experimental evaluation)."""
+    rows: List[Dict[str, object]] = []
+    for spec in ALL_CPUS:
+        bs, bp = spec.blocking_parameters()
+        rows.append(
+            {
+                "system": spec.key,
+                "device": spec.name,
+                "arch": spec.microarchitecture,
+                "base_freq_ghz": spec.base_freq_ghz,
+                "cores": spec.cores,
+                "vector_width_bits": spec.vector_width_bits,
+                "isa": spec.isa,
+                "vector_popcnt": spec.has_vector_popcnt,
+                "l1d_kib": spec.l1d.size_kib,
+                "blocking_bs": bs,
+                "blocking_bp": bp,
+                "tdp_w": spec.tdp_w,
+            }
+        )
+    return rows
+
+
+def run_table2() -> List[Dict[str, object]]:
+    """Rows of Table II (GPU devices used in the experimental evaluation)."""
+    rows: List[Dict[str, object]] = []
+    for spec in ALL_GPUS:
+        rows.append(
+            {
+                "system": spec.key,
+                "device": spec.name,
+                "arch": spec.architecture,
+                "boost_freq_ghz": spec.boost_freq_ghz,
+                "compute_units": spec.compute_units,
+                "stream_cores": spec.stream_cores,
+                "stream_cores_per_cu": spec.stream_cores_per_cu,
+                "popcnt_per_cu": spec.popcnt_per_cu,
+                "popcnt_measured": spec.popcnt_measured,
+                "peak_popcnt_gops": round(spec.peak_popcnt_gops(), 1),
+                "bsched": spec.preferred_bsched,
+                "bs": spec.preferred_bs,
+                "tdp_w": spec.tdp_w,
+            }
+        )
+    return rows
+
+
+def format_table1() -> str:
+    """Table I as text."""
+    return format_table(run_table1(), title="Table I: CPU devices")
+
+
+def format_table2() -> str:
+    """Table II as text."""
+    return format_table(run_table2(), title="Table II: GPU devices")

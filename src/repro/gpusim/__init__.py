@@ -1,0 +1,41 @@
+"""Functional GPU execution simulator.
+
+The GPU approaches of the paper are SYCL/DPC++ kernels; no GPU (nor a SYCL
+runtime) is available to a pure-Python reproduction, so this package provides
+a small functional simulator that executes the per-thread kernels of
+Algorithm 2 faithfully enough to
+
+* validate the GPU algorithms end-to-end (one thread per combination,
+  private-memory frequency table, per-thread best score, host-side final
+  reduction), and
+* measure the *memory-access behaviour* that drives the paper's GPU
+  analysis: how many 32-byte transactions a warp's worth of loads generates
+  under each data layout (SNP-major vs transposed vs tiled).
+
+The simulator is deliberately an interpreter — a few hundred combinations at
+most — and is used by the test-suite and the ablation benchmarks; the
+figure-scale throughput numbers come from the analytical model in
+:mod:`repro.perfmodel`, which consumes the same coalescing statistics.
+"""
+
+from repro.gpusim.grid import NDRange, WorkItem
+from repro.gpusim.memory import AccessLog, DeviceBuffer, TRANSACTION_BYTES
+from repro.gpusim.device import LaunchStats, SimulatedGpu
+from repro.gpusim.kernels import (
+    epistasis_kernel_naive,
+    epistasis_kernel_split,
+    make_split_kernel_args,
+)
+
+__all__ = [
+    "NDRange",
+    "WorkItem",
+    "DeviceBuffer",
+    "AccessLog",
+    "TRANSACTION_BYTES",
+    "SimulatedGpu",
+    "LaunchStats",
+    "epistasis_kernel_naive",
+    "epistasis_kernel_split",
+    "make_split_kernel_args",
+]

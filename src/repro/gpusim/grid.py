@@ -1,0 +1,124 @@
+"""ND-range and work-item abstractions.
+
+A kernel launch covers a (possibly multi-dimensional) global index space,
+subdivided into work-groups; work-items inside a work-group share the local
+memory and are dispatched in sub-groups (warps/wavefronts) of fixed width.
+Only the pieces the epistasis kernels need are modelled: 1-D to 3-D ranges,
+linearisation of the global id and sub-group membership.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+__all__ = ["NDRange", "WorkItem"]
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """Identity of one executing thread.
+
+    Attributes
+    ----------
+    global_id:
+        Multi-dimensional global index.
+    linear_id:
+        Row-major linearisation of ``global_id``.
+    group_id:
+        Index of the work-group the item belongs to (row-major).
+    local_id:
+        Linear index within the work-group.
+    subgroup_id:
+        Index of the warp/wavefront within the launch.
+    lane:
+        Lane within the sub-group.
+    """
+
+    global_id: Tuple[int, ...]
+    linear_id: int
+    group_id: int
+    local_id: int
+    subgroup_id: int
+    lane: int
+
+
+@dataclass(frozen=True)
+class NDRange:
+    """A kernel launch geometry.
+
+    Parameters
+    ----------
+    global_size:
+        Global index-space extents (1 to 3 dimensions).
+    local_size:
+        Work-group extents; must divide the global extents element-wise.
+        Defaults to the whole range in one group.
+    subgroup_size:
+        Warp/wavefront width used for coalescing analysis.
+    """
+
+    global_size: Tuple[int, ...]
+    local_size: Tuple[int, ...] | None = None
+    subgroup_size: int = 32
+
+    def __post_init__(self) -> None:
+        if not 1 <= len(self.global_size) <= 3:
+            raise ValueError("global_size must have 1 to 3 dimensions")
+        if any(g <= 0 for g in self.global_size):
+            raise ValueError("global_size extents must be positive")
+        if self.local_size is not None:
+            if len(self.local_size) != len(self.global_size):
+                raise ValueError("local_size must match global_size dimensionality")
+            if any(l <= 0 for l in self.local_size):
+                raise ValueError("local_size extents must be positive")
+            if any(g % l != 0 for g, l in zip(self.global_size, self.local_size)):
+                raise ValueError("local_size must divide global_size element-wise")
+        if self.subgroup_size < 1:
+            raise ValueError("subgroup_size must be positive")
+
+    # -- geometry -----------------------------------------------------------
+    @property
+    def total_items(self) -> int:
+        """Total number of work-items in the launch."""
+        n = 1
+        for g in self.global_size:
+            n *= g
+        return n
+
+    @property
+    def work_group_size(self) -> int:
+        """Work-items per work-group."""
+        if self.local_size is None:
+            return self.total_items
+        n = 1
+        for l in self.local_size:
+            n *= l
+        return n
+
+    @property
+    def n_work_groups(self) -> int:
+        """Number of work-groups."""
+        return self.total_items // self.work_group_size
+
+    def _unflatten(self, linear: int) -> Tuple[int, ...]:
+        coords = []
+        for extent in reversed(self.global_size):
+            coords.append(linear % extent)
+            linear //= extent
+        return tuple(reversed(coords))
+
+    def __iter__(self) -> Iterator[WorkItem]:
+        """Iterate work-items in dispatch order (group by group)."""
+        wg_size = self.work_group_size
+        for linear in range(self.total_items):
+            group_id, local_id = divmod(linear, wg_size)
+            subgroup_id, lane = divmod(linear, self.subgroup_size)
+            yield WorkItem(
+                global_id=self._unflatten(linear),
+                linear_id=linear,
+                group_id=group_id,
+                local_id=local_id,
+                subgroup_id=subgroup_id,
+                lane=lane,
+            )

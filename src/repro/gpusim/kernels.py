@@ -1,0 +1,184 @@
+"""Per-thread epistasis kernels for the simulator (Algorithm 2).
+
+Each kernel closure is built for a concrete dataset/layout by
+:func:`make_split_kernel_args` (or directly for the naïve encoding) and then
+executed by :class:`~repro.gpusim.device.SimulatedGpu` over a 3-D ND-range:
+the thread with global id ``(i0, i1, i2)`` evaluates the SNP triplet
+``i2 > i1 > i0`` (other threads retire immediately), builds its 27x2
+frequency table in private memory and returns ``(triplet, table, score)``.
+The final reduction — picking the lowest score across threads — happens on
+the host, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+import numpy as np
+
+from repro.core.scoring import ObjectiveFunction, get_objective
+from repro.datasets.binarization import BinarizedDataset, PhenotypeSplitDataset
+from repro.datasets.layouts import GpuLayout, snp_major_layout, tiled_layout, transposed_layout
+from repro.gpusim.device import KernelContext
+from repro.gpusim.memory import DeviceBuffer
+
+__all__ = [
+    "SplitKernelArgs",
+    "make_split_kernel_args",
+    "epistasis_kernel_split",
+    "epistasis_kernel_naive",
+]
+
+ThreadResult = Tuple[Tuple[int, int, int], np.ndarray, float]
+
+
+def _addressing(kind: str, block_size: int) -> Callable[[int, int, int], Tuple[int, ...]]:
+    """Element-index function ``(snp, genotype, word) -> buffer index`` per layout."""
+    if kind == "snp-major":
+        return lambda snp, g, w: (snp, g, w)
+    if kind == "transposed":
+        return lambda snp, g, w: (w, g, snp)
+    if kind == "tiled":
+        return lambda snp, g, w: (snp // block_size, w, g, snp % block_size)
+    raise ValueError(f"unknown layout kind {kind!r}")
+
+
+@dataclass
+class SplitKernelArgs:
+    """Device-resident inputs of the phenotype-split kernel."""
+
+    control: DeviceBuffer
+    case: DeviceBuffer
+    control_mask: np.ndarray
+    case_mask: np.ndarray
+    n_snps: int
+    layout_kind: str
+    block_size: int
+    objective: ObjectiveFunction
+
+
+def make_split_kernel_args(
+    split: PhenotypeSplitDataset,
+    layout: str = "tiled",
+    block_size: int = 8,
+    objective: str | ObjectiveFunction = "k2",
+) -> SplitKernelArgs:
+    """Upload a phenotype-split dataset in the requested layout.
+
+    Parameters
+    ----------
+    layout:
+        ``"snp-major"``, ``"transposed"`` or ``"tiled"`` — the three GPU
+        layouts of §IV-B.
+    block_size:
+        SNP-block size for the tiled layout.
+    """
+    if layout == "snp-major":
+        gpu_layout: GpuLayout = snp_major_layout(split)
+    elif layout == "transposed":
+        gpu_layout = transposed_layout(split)
+    elif layout == "tiled":
+        gpu_layout = tiled_layout(split, block_size=block_size)
+    else:
+        raise ValueError(f"unknown layout {layout!r}")
+    return SplitKernelArgs(
+        control=DeviceBuffer(gpu_layout.control, name=f"control[{layout}]"),
+        case=DeviceBuffer(gpu_layout.case, name=f"case[{layout}]"),
+        control_mask=split.padding_mask(0),
+        case_mask=split.padding_mask(1),
+        n_snps=split.n_snps,
+        layout_kind=layout,
+        block_size=gpu_layout.block_size,
+        objective=get_objective(objective),
+    )
+
+
+def epistasis_kernel_split(args: SplitKernelArgs) -> Callable[[KernelContext], ThreadResult | None]:
+    """Build the per-thread phenotype-split kernel (GPU V2/V3/V4).
+
+    The returned closure implements Algorithm 2 for one thread: load the
+    genotype-0/1 words of its three SNPs, infer genotype 2 with a NOR,
+    update the 27 private frequency-table cells with AND + POPCNT, walk all
+    packed words of both classes, then score the finished table.
+    """
+    address = _addressing(args.layout_kind, args.block_size)
+    masks = (args.control_mask, args.case_mask)
+    buffers = (args.control, args.case)
+
+    def kernel(ctx: KernelContext) -> ThreadResult | None:
+        gid = ctx.item.global_id
+        if len(gid) != 3:
+            raise ValueError("the split kernel expects a 3-D ND-range")
+        i0, i1, i2 = gid
+        if not (i2 > i1 > i0):
+            return None  # idle thread, as in Algorithm 2
+        table = np.zeros((27, 2), dtype=np.int64)
+        for phen_class in (0, 1):
+            buffer = buffers[phen_class]
+            mask = masks[phen_class]
+            n_words = mask.shape[0]
+            for w in range(n_words):
+                x0 = ctx.load(buffer, *address(i0, 0, w))
+                x1 = ctx.load(buffer, *address(i0, 1, w))
+                y0 = ctx.load(buffer, *address(i1, 0, w))
+                y1 = ctx.load(buffer, *address(i1, 1, w))
+                z0 = ctx.load(buffer, *address(i2, 0, w))
+                z1 = ctx.load(buffer, *address(i2, 1, w))
+                word_mask = int(mask[w])
+                x2 = ~(x0 | x1) & word_mask
+                y2 = ~(y0 | y1) & word_mask
+                z2 = ~(z0 | z1) & word_mask
+                ctx.op("NOR", 3)
+                x = (x0, x1, x2)
+                y = (y0, y1, y2)
+                z = (z0, z1, z2)
+                for gx in range(3):
+                    for gy in range(3):
+                        xy = x[gx] & y[gy]
+                        ctx.op("AND")
+                        for gz in range(3):
+                            cell = 9 * gx + 3 * gy + gz
+                            ctx.op("AND")
+                            table[cell, phen_class] += ctx.popcount(xy & z[gz])
+        score = float(args.objective.score(table[None])[0])
+        return (i0, i1, i2), table, score
+
+    return kernel
+
+
+def epistasis_kernel_naive(
+    binarized: BinarizedDataset,
+    objective: str | ObjectiveFunction = "k2",
+) -> Callable[[KernelContext], ThreadResult | None]:
+    """Build the per-thread naïve kernel (GPU V1): 3 planes + phenotype mask."""
+    planes = DeviceBuffer(binarized.planes, name="planes")
+    phen = DeviceBuffer(binarized.phenotype_words.reshape(1, -1), name="phenotype")
+    objective_fn = get_objective(objective)
+    n_words = binarized.n_words
+
+    def kernel(ctx: KernelContext) -> ThreadResult | None:
+        gid = ctx.item.global_id
+        i0, i1, i2 = gid
+        if not (i2 > i1 > i0):
+            return None
+        table = np.zeros((27, 2), dtype=np.int64)
+        for w in range(n_words):
+            phen_word = ctx.load(phen, 0, w)
+            x = tuple(ctx.load(planes, i0, g, w) for g in range(3))
+            y = tuple(ctx.load(planes, i1, g, w) for g in range(3))
+            z = tuple(ctx.load(planes, i2, g, w) for g in range(3))
+            for gx in range(3):
+                for gy in range(3):
+                    xy = x[gx] & y[gy]
+                    ctx.op("AND")
+                    for gz in range(3):
+                        cell = 9 * gx + 3 * gy + gz
+                        combined = xy & z[gz]
+                        ctx.op("AND", 2)
+                        table[cell, 1] += ctx.popcount(combined & phen_word)
+                        table[cell, 0] += ctx.popcount(combined & ~phen_word)
+        score = float(objective_fn.score(table[None])[0])
+        return (i0, i1, i2), table, score
+
+    return kernel

@@ -1,0 +1,139 @@
+"""Device-memory model with coalescing analysis.
+
+A :class:`DeviceBuffer` wraps a packed ``uint32`` array with flat word
+addressing; every load performed by a simulated thread is recorded in an
+:class:`AccessLog` together with the issuing sub-group (warp).  After a
+launch the log reports, per warp-wide load instruction, how many distinct
+32-byte memory transactions were needed — the quantity that differs by a
+factor of 32 between the SNP-major and the transposed/tiled layouts and that
+the paper identifies as the decisive GPU optimisation (§IV-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+import numpy as np
+
+__all__ = ["TRANSACTION_BYTES", "DeviceBuffer", "AccessLog"]
+
+#: Size of one global-memory transaction (a typical L2 sector).
+TRANSACTION_BYTES: int = 32
+
+#: Bytes per packed word.
+WORD_BYTES: int = 4
+
+
+@dataclass
+class AccessLog:
+    """Per-launch record of global-memory accesses.
+
+    Accesses are grouped by ``(subgroup_id, instruction_slot)``: every
+    simulated thread tags its loads with a per-thread slot counter, so the
+    loads that correspond to the *same* kernel instruction across the lanes
+    of a warp land in the same group — exactly how a hardware coalescer sees
+    them.
+    """
+
+    #: (subgroup, slot) -> set of transaction indices touched.
+    _groups: Dict[Tuple[int, int], Set[int]] = field(default_factory=dict)
+    total_loads: int = 0
+    total_bytes: int = 0
+
+    def record_load(self, subgroup_id: int, slot: int, byte_address: int,
+                    n_bytes: int = WORD_BYTES) -> None:
+        """Record one thread-level load of ``n_bytes`` at ``byte_address``."""
+        first = byte_address // TRANSACTION_BYTES
+        last = (byte_address + n_bytes - 1) // TRANSACTION_BYTES
+        key = (subgroup_id, slot)
+        bucket = self._groups.setdefault(key, set())
+        bucket.update(range(first, last + 1))
+        self.total_loads += 1
+        self.total_bytes += n_bytes
+
+    # -- statistics ---------------------------------------------------------
+    @property
+    def warp_load_instructions(self) -> int:
+        """Number of distinct warp-wide load instructions observed."""
+        return len(self._groups)
+
+    @property
+    def total_transactions(self) -> int:
+        """Total 32-byte transactions across all warp loads."""
+        return sum(len(v) for v in self._groups.values())
+
+    @property
+    def transactions_per_warp_load(self) -> float:
+        """Average transactions per warp-wide load (1.0 = fully coalesced...)."""
+        if not self._groups:
+            return 0.0
+        return self.total_transactions / self.warp_load_instructions
+
+    def merge(self, other: "AccessLog") -> "AccessLog":
+        """Accumulate another log into this one (keys are kept disjoint)."""
+        offset = len(self._groups)
+        for i, (key, bucket) in enumerate(other._groups.items()):
+            self._groups[(key[0], key[1] + (offset + i) * 10_000_000)] = set(bucket)
+        self.total_loads += other.total_loads
+        self.total_bytes += other.total_bytes
+        return self
+
+
+class DeviceBuffer:
+    """A read-only device-resident packed-word buffer with flat addressing.
+
+    Parameters
+    ----------
+    data:
+        Any-shaped ``uint32`` array; it is flattened (C order) so that the
+        address of element ``(i, j, ...)`` reflects its true memory position
+        in the chosen layout — which is the whole point of the layout study.
+    name:
+        Label for diagnostics.
+    """
+
+    def __init__(self, data: np.ndarray, name: str = "buffer") -> None:
+        arr = np.ascontiguousarray(data, dtype=np.uint32)
+        self.shape = arr.shape
+        self._flat = arr.reshape(-1)
+        self.name = name
+
+    def __len__(self) -> int:
+        return int(self._flat.size)
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the buffer in bytes."""
+        return int(self._flat.size) * WORD_BYTES
+
+    def flat_index(self, *index: int) -> int:
+        """Flat word address of a multi-dimensional element index."""
+        if len(index) != len(self.shape):
+            raise ValueError(
+                f"{self.name}: expected {len(self.shape)} indices, got {len(index)}"
+            )
+        flat = 0
+        for i, (idx, extent) in enumerate(zip(index, self.shape)):
+            if not 0 <= idx < extent:
+                raise IndexError(
+                    f"{self.name}: index {idx} out of bounds for axis {i} (extent {extent})"
+                )
+            flat = flat * extent + idx
+        return flat
+
+    def load(
+        self,
+        log: AccessLog,
+        subgroup_id: int,
+        slot: int,
+        *index: int,
+    ) -> int:
+        """Thread-level load: returns the word and records the access."""
+        flat = self.flat_index(*index)
+        log.record_load(subgroup_id, slot, flat * WORD_BYTES)
+        return int(self._flat[flat])
+
+    def peek(self, *index: int) -> int:
+        """Unlogged read (host-side checks only)."""
+        return int(self._flat[self.flat_index(*index)])

@@ -1,0 +1,34 @@
+"""Host parallel runtime.
+
+The paper parallelises the CPU kernels with OpenMP using a *dynamic*
+schedule: "each core fetches a task from a thread pool.  Each thread performs
+a set of combinations … the scores are kept locally to each thread and a
+final reduction is performed to obtain the global solution" (§IV-A).  The
+GPU kernels receive blocks of ``BSched^3`` combinations per launch, and the
+MPI3SNP baseline statically partitions the combination space across cluster
+ranks.
+
+This package provides those three execution substrates:
+
+* :mod:`repro.parallel.scheduler` — thread-safe dynamic chunk scheduler and
+  static partitioners over the combination-rank space.
+* :mod:`repro.parallel.executor` — thread-pool execution with per-worker
+  partial results and a final reduction (NumPy releases the GIL for the
+  word-level kernels, so threads provide genuine concurrency).
+* :mod:`repro.parallel.cluster` — a simulated multi-rank cluster used by the
+  MPI3SNP-style baseline (rank-local work, explicit gather of the partial
+  bests).
+"""
+
+from repro.parallel.scheduler import DynamicScheduler, static_partition
+from repro.parallel.executor import WorkerResult, parallel_map_reduce
+from repro.parallel.cluster import ClusterRank, SimulatedCluster
+
+__all__ = [
+    "DynamicScheduler",
+    "static_partition",
+    "parallel_map_reduce",
+    "WorkerResult",
+    "SimulatedCluster",
+    "ClusterRank",
+]

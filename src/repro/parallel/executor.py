@@ -1,0 +1,96 @@
+"""Thread-pool execution with per-worker partial results.
+
+The execution model mirrors §IV-A: every worker repeatedly claims a chunk of
+combinations from the dynamic scheduler, evaluates it with its own approach
+instance (so operation counters are never shared), keeps its best scores
+*locally* and the partial results are reduced once at the end — no
+synchronisation barriers inside the search.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence, TypeVar
+
+from repro.parallel.scheduler import DynamicScheduler
+
+__all__ = ["WorkerResult", "parallel_map_reduce"]
+
+T = TypeVar("T")
+
+
+@dataclass
+class WorkerResult:
+    """Partial result produced by one worker.
+
+    Attributes
+    ----------
+    worker_id:
+        Index of the worker that produced the partial result.
+    chunks_processed:
+        Number of scheduler chunks the worker claimed.
+    payload:
+        Worker-defined partial result (e.g. a local top-k list).
+    """
+
+    worker_id: int
+    chunks_processed: int = 0
+    payload: object = None
+
+
+def parallel_map_reduce(
+    scheduler: DynamicScheduler,
+    worker_fn: Callable[[int, int, int], T],
+    reduce_fn: Callable[[Sequence[T]], T],
+    n_workers: int = 1,
+) -> tuple[T, List[WorkerResult]]:
+    """Run ``worker_fn`` over scheduler chunks and reduce the partial results.
+
+    Parameters
+    ----------
+    scheduler:
+        Source of ``[start, stop)`` work ranges.
+    worker_fn:
+        ``worker_fn(worker_id, start, stop) -> partial`` — must be thread
+        safe with respect to shared read-only data (the encoded dataset);
+        anything mutable must be per-worker.
+    reduce_fn:
+        Combines the per-chunk partial results (from *all* workers) into the
+        final result.  Called once, on the calling thread.
+    n_workers:
+        Number of host threads.  ``1`` executes inline (no pool), which keeps
+        single-threaded profiling runs free of executor noise.
+
+    Returns
+    -------
+    (result, worker_results):
+        The reduced result and per-worker bookkeeping.
+    """
+    if n_workers < 1:
+        raise ValueError("n_workers must be positive")
+
+    partials: List[T] = []
+    stats = [WorkerResult(worker_id=i) for i in range(n_workers)]
+
+    if n_workers == 1:
+        for start, stop in scheduler:
+            partials.append(worker_fn(0, start, stop))
+            stats[0].chunks_processed += 1
+        return reduce_fn(partials), stats
+
+    def _worker(worker_id: int) -> List[T]:
+        local: List[T] = []
+        while True:
+            claimed = scheduler.next_range()
+            if claimed is None:
+                return local
+            start, stop = claimed
+            local.append(worker_fn(worker_id, start, stop))
+            stats[worker_id].chunks_processed += 1
+
+    with ThreadPoolExecutor(max_workers=n_workers) as pool:
+        futures = [pool.submit(_worker, i) for i in range(n_workers)]
+        for fut in futures:
+            partials.extend(fut.result())
+    return reduce_fn(partials), stats

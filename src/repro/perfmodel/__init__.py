@@ -1,0 +1,43 @@
+"""Analytical performance models of the CPU and GPU approaches.
+
+The paper's evaluation (Figures 3 and 4, Table III) reports throughput in
+"combinations x samples per second" normalised by cores, cycles, vector
+width, compute units and stream cores across 13 devices.  Real hardware of
+all three vendors is obviously not available to a Python reproduction, so
+this package provides the analytical models that regenerate those figures
+from two ingredients:
+
+* the *instruction and traffic mix* of every approach, taken from the same
+  per-word accounting the functional kernels charge to their operation
+  counters (:mod:`repro.perfmodel.counters`), and
+* the *architectural parameters* of the catalogued devices
+  (:mod:`repro.devices`): vector width, vector-POPCNT support and extract
+  costs for CPUs; per-CU POPCNT throughput, stream cores, frequency and
+  memory bandwidth for GPUs.
+
+The CPU model (:mod:`repro.perfmodel.cpu_model`) converts the vector
+instruction mix into issue cycles per combination, adds memory-stall terms
+for the non-blocked approaches and a fixed per-combination overhead for the
+score computation.  The GPU model (:mod:`repro.perfmodel.gpu_model`) bounds
+throughput by the per-CU POPCNT issue rate, the generic integer issue rate
+and the (coalescing-dependent) DRAM traffic.  A single calibration constant
+per model aligns the absolute scale; all *relative* results (who wins, by
+what factor, where the cross-overs are) follow from the mixes and the device
+parameters alone.
+"""
+
+from repro.perfmodel.counters import ApproachCounts, approach_counts
+from repro.perfmodel.cpu_model import CpuPerformanceEstimate, estimate_cpu
+from repro.perfmodel.gpu_model import GpuPerformanceEstimate, estimate_gpu
+from repro.perfmodel.efficiency import energy_efficiency, heterogeneous_throughput
+
+__all__ = [
+    "ApproachCounts",
+    "approach_counts",
+    "CpuPerformanceEstimate",
+    "estimate_cpu",
+    "GpuPerformanceEstimate",
+    "estimate_gpu",
+    "energy_efficiency",
+    "heterogeneous_throughput",
+]

@@ -1,0 +1,254 @@
+"""Analytical CPU performance model.
+
+The model translates the per-combination instruction mix of an approach into
+issue cycles on a given CPU and ISA, following the structure the paper uses
+to explain its CPU results (§V-B):
+
+* the vectorised kernel spends, per vector register of packed words and per
+  combination, 6 vector loads, 3 emulated NORs (OR + XOR), 54 vector ANDs
+  and one population-count sequence per genotype cell;
+* with **vector POPCNT** (Ice Lake SP) that sequence is a ``VPOPCNT`` plus a
+  reduce-add; without it every 64-bit lane must be extracted (once on AVX,
+  twice on Skylake-SP AVX-512) and counted with the scalar ``POPCNT`` — the
+  extract/scalar path dominates and makes performance largely independent of
+  the vector width, which is exactly what Figure 3b shows;
+* the non-blocked approaches additionally stall on loads served by L3/DRAM,
+  and every combination pays a fixed overhead for the score computation
+  (~4% of the runtime according to Intel Advisor, §V-A);
+* Skylake-SP reduces its clock when executing AVX-512 instructions.
+
+A single calibration constant (``CALIBRATION``) scales the absolute
+throughput; every *relative* quantity in Figures 3a–3c and Table III follows
+from the mix and the device parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.bitops.packing import WORD_BITS
+from repro.bitops.simd import ISA_PRESETS, VectorISA, isa_for_name
+from repro.devices.specs import CpuSpec
+from repro.perfmodel.counters import approach_counts
+
+__all__ = [
+    "CpuPerformanceEstimate",
+    "estimate_cpu",
+    "vector_cycles_per_register",
+    "scalar_cycles_per_word",
+    "CALIBRATION",
+    "SLOT_COSTS",
+]
+
+#: Issue-slot cost of each vector-instruction mnemonic (micro-ops on the
+#: relevant ports).  The reduce-add of a vector register is a short sequence
+#: rather than a single instruction.
+SLOT_COSTS: Dict[str, float] = {
+    "VLOAD": 1.0,
+    "VAND": 1.0,
+    "VOR": 1.0,
+    "VXOR": 1.0,
+    "VPOPCNT": 1.0,
+    "VREDUCE_ADD": 3.0,
+    "EXTRACT": 1.0,
+    "POPCNT": 1.0,
+    "ADD": 1.0,
+}
+
+#: Global calibration of the absolute throughput scale (dimensionless).
+CALIBRATION: float = 1.25
+
+#: Fixed per-combination overhead (score computation, loop control) in cycles.
+SCORE_OVERHEAD_CYCLES: float = 120.0
+
+#: Dataset-size efficiency: throughput saturates as the SNP count grows
+#: (threading and cache warm-up overheads amortise), modelled as
+#: ``M / (M + M_HALF)``.
+M_HALF: float = 800.0
+
+#: Clock reduction while executing 512-bit instructions on Skylake-SP.
+AVX512_FREQUENCY_SCALE_SKX: float = 0.85
+
+
+def vector_cycles_per_register(isa: VectorISA, issue_width: float = 2.0) -> float:
+    """Issue cycles to evaluate one combination over one vector register.
+
+    Covers one phenotype class: 6 loads, 3 NORs (2 instructions each),
+    2 ANDs per genotype cell and the ISA-specific population-count sequence
+    per cell.
+    """
+    slots = 6.0 * SLOT_COSTS["VLOAD"]
+    slots += 3.0 * (SLOT_COSTS["VOR"] + SLOT_COSTS["VXOR"])
+    slots += 27.0 * 2.0 * SLOT_COSTS["VAND"]
+    popcost = isa.popcount_instruction_cost()
+    slots += 27.0 * sum(SLOT_COSTS[m] * c for m, c in popcost.items())
+    return slots / issue_width
+
+
+def scalar_cycles_per_word(version: int, issue_width: float = 2.0) -> float:
+    """Issue cycles per packed word per combination for the scalar kernels.
+
+    Version 1 is the naïve kernel (162 compute instructions + 10 loads per
+    word), versions 2 and 3 the phenotype-split kernel (57 nominal
+    instructions, 114 once the three-input ANDs and NOR emulation are
+    expanded, + 6 loads).
+    """
+    if version == 1:
+        slots = 10.0 + 4.0 * 27 + 2.0 * 27 + 2.0 * 27  # loads, AND, POPCNT, ADD
+    elif version in (2, 3):
+        slots = 6.0 + 6.0 + 2.0 * 27 + 27.0 + 27.0     # loads, NOR(x2), AND, POPCNT, ADD
+    else:
+        raise ValueError("scalar model covers versions 1-3 only")
+    return slots / issue_width
+
+
+@dataclass(frozen=True)
+class CpuPerformanceEstimate:
+    """Predicted CPU throughput for one (device, approach, ISA, dataset).
+
+    All ``elements`` figures use the paper's unit: combinations x samples.
+    """
+
+    device: str
+    approach_version: int
+    isa: str
+    n_snps: int
+    n_samples: int
+    cores: int
+    frequency_ghz: float
+    cycles_per_combination: float
+    elements_per_cycle_per_core: float
+    bound: str
+
+    # -- the three normalisations of Figure 3 -------------------------------
+    @property
+    def elements_per_second_per_core(self) -> float:
+        """Figure 3a: Giga (combinations x samples) / s / core * 1e9."""
+        return self.elements_per_cycle_per_core * self.frequency_ghz * 1e9
+
+    @property
+    def elements_per_cycle_per_core_per_lane(self) -> float:
+        """Figure 3c: per cycle per (core x vector width in 32-bit lanes)."""
+        lanes = ISA_PRESETS[self.isa].lanes32
+        return self.elements_per_cycle_per_core / lanes
+
+    @property
+    def elements_per_second_total(self) -> float:
+        """Whole-device throughput in elements per second."""
+        return self.elements_per_second_per_core * self.cores
+
+    @property
+    def giga_elements_per_second_per_core(self) -> float:
+        """Figure 3a in the paper's printed unit (Giga elements / s / core)."""
+        return self.elements_per_second_per_core / 1e9
+
+    @property
+    def giga_elements_per_second_total(self) -> float:
+        """Whole-device throughput in Giga elements per second."""
+        return self.elements_per_second_total / 1e9
+
+    def time_seconds(self, n_combinations: int) -> float:
+        """Wall-clock estimate for an exhaustive run of ``n_combinations``."""
+        return n_combinations * self.n_samples / self.elements_per_second_total
+
+
+def _effective_frequency(spec: CpuSpec, isa: VectorISA) -> float:
+    """Clock frequency while running the kernel with the given ISA."""
+    freq = spec.base_freq_ghz
+    if (
+        isa.width_bits == 512
+        and not isa.has_vector_popcnt
+        and spec.microarchitecture == "Skylake-SP"
+    ):
+        freq *= AVX512_FREQUENCY_SCALE_SKX
+    return freq
+
+
+def estimate_cpu(
+    spec: CpuSpec,
+    approach_version: int = 4,
+    isa: VectorISA | str | None = None,
+    n_snps: int = 8192,
+    n_samples: int = 16384,
+    calibration: float = CALIBRATION,
+) -> CpuPerformanceEstimate:
+    """Estimate the throughput of one CPU approach on one device.
+
+    Parameters
+    ----------
+    spec:
+        Catalogued CPU (Table I).
+    approach_version:
+        1–4; version 4 uses the vector model, 1–3 the scalar model.
+    isa:
+        ISA preset for version 4 (defaults to the CPU's widest); pass
+        ``spec.avx_vector_isa`` to reproduce the paper's "AVX" bars on
+        AVX-512 machines.
+    n_snps / n_samples:
+        Dataset dimensions (throughput depends mildly on both).
+    calibration:
+        Absolute-scale constant; relative results are calibration-free.
+    """
+    if approach_version not in (1, 2, 3, 4):
+        raise ValueError("approach_version must be in 1..4")
+    if isa is None:
+        isa_obj = spec.vector_isa
+    elif isinstance(isa, str):
+        isa_obj = isa_for_name(isa)
+    else:
+        isa_obj = isa
+
+    counts = approach_counts(approach_version, device="cpu")
+    words_per_class = max(1, (n_samples // 2 + WORD_BITS - 1) // WORD_BITS)
+    words_full = max(1, (n_samples + WORD_BITS - 1) // WORD_BITS)
+
+    if approach_version == 4:
+        lanes = isa_obj.lanes32
+        registers_per_class = (words_per_class + lanes - 1) // lanes
+        compute_cycles = 2.0 * registers_per_class * vector_cycles_per_register(
+            isa_obj, spec.issue_width
+        )
+        effective_isa = isa_obj.name
+    else:
+        effective_isa = "scalar64"
+        if approach_version == 1:
+            compute_cycles = words_full * scalar_cycles_per_word(1, spec.scalar_issue_width)
+        else:
+            compute_cycles = 2.0 * words_per_class * scalar_cycles_per_word(
+                approach_version, spec.scalar_issue_width
+            )
+
+    # Memory stalls for the approaches whose loads are served by L3/DRAM.
+    bytes_per_combination = counts.bytes_per_element * n_samples
+    stall_cycles = 0.0
+    bound = "compute"
+    if counts.serving_level in ("L3", "DRAM") and approach_version < 4:
+        level = spec.cache("L3") if counts.serving_level == "L3" else None
+        level_bw = level.bytes_per_cycle if level is not None else 4.0
+        # Scalar streaming from a far level sustains roughly one load per
+        # cycle per core; take the smaller of that and the level bandwidth.
+        effective_bw = min(level_bw, spec.scalar_issue_width * 4.0)
+        stall_cycles = bytes_per_combination / effective_bw
+        if stall_cycles > compute_cycles:
+            bound = "memory"
+
+    cycles_per_combination = compute_cycles + stall_cycles + SCORE_OVERHEAD_CYCLES
+    size_factor = n_snps / (n_snps + M_HALF)
+    elements_per_cycle = (
+        n_samples / cycles_per_combination * size_factor * calibration
+    )
+
+    freq = _effective_frequency(spec, isa_obj) if approach_version == 4 else spec.base_freq_ghz
+    return CpuPerformanceEstimate(
+        device=spec.key,
+        approach_version=approach_version,
+        isa=effective_isa if approach_version < 4 else isa_obj.name,
+        n_snps=n_snps,
+        n_samples=n_samples,
+        cores=spec.cores,
+        frequency_ghz=freq,
+        cycles_per_combination=cycles_per_combination,
+        elements_per_cycle_per_core=elements_per_cycle,
+        bound=bound,
+    )

@@ -1,0 +1,170 @@
+"""Analytical GPU performance model.
+
+Throughput of the GPU kernels is bounded by three resources per compute unit
+(§V-C / §V-D):
+
+* the **POPCNT issue rate** — Table II's "POPCNT per CU per cycle", the
+  dominant limit of the best (tiled, coalesced) kernel: one population count
+  per genotype cell per packed word;
+* the **generic integer issue rate** (ANDs, NOR emulation, address math);
+* the **DRAM bandwidth**, scaled by the coalescing factor of the memory
+  layout — this is what ruins the naïve and SNP-major variants (32
+  transactions per warp load) and what the transposed/tiled layouts fix.
+
+``elements/cycle/CU = WORD_BITS / max(popcnt_cycles, int_cycles, memory_cycles)``,
+multiplied by an occupancy/efficiency factor that saturates with the dataset
+size (larger combination spaces keep more warps in flight).  Per-second,
+per-stream-core and whole-device numbers follow by multiplying with the
+catalogued frequency, stream-core and CU counts — the three normalisations
+of Figure 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.bitops.packing import WORD_BITS
+from repro.devices.specs import GpuSpec
+from repro.perfmodel.counters import approach_counts
+
+__all__ = ["GpuPerformanceEstimate", "estimate_gpu", "GPU_EFFICIENCY", "COALESCING_FACTORS"]
+
+#: Peak fraction of the POPCNT issue rate sustained by the tiled kernel.
+GPU_EFFICIENCY: float = 0.88
+
+#: Dataset-size half-saturation constant (SNPs) for the occupancy factor.
+M_HALF_GPU: float = 500.0
+
+#: Memory-transactions-per-warp-request factor of each approach version.
+COALESCING_FACTORS: Dict[int, float] = {1: 32.0, 2: 32.0, 3: 1.0, 4: 1.0}
+
+#: Data reuse factor of each version: how many combinations effectively share
+#: one loaded word thanks to caching (the tiled layout keeps a block of
+#: ``BS`` SNPs hot in the L1/L2 of the compute unit).  With a factor of 4 the
+#: bandwidth-starved Intel Iris Xe MAX remains DRAM bound even for the tiled
+#: kernel — reproducing its measured ~280 G elements/s — while the
+#: high-bandwidth NVIDIA/AMD parts are POPCNT bound.
+REUSE_FACTORS: Dict[int, float] = {1: 1.0, 2: 1.0, 3: 2.0, 4: 4.0}
+
+
+@dataclass(frozen=True)
+class GpuPerformanceEstimate:
+    """Predicted GPU throughput for one (device, approach, dataset)."""
+
+    device: str
+    approach_version: int
+    n_snps: int
+    n_samples: int
+    compute_units: int
+    stream_cores: int
+    frequency_ghz: float
+    elements_per_cycle_per_cu: float
+    bound: str
+
+    # -- the three normalisations of Figure 4 --------------------------------
+    @property
+    def elements_per_second_per_cu(self) -> float:
+        """Figure 4a: elements / s / compute unit."""
+        return self.elements_per_cycle_per_cu * self.frequency_ghz * 1e9
+
+    @property
+    def elements_per_cycle_per_stream_core(self) -> float:
+        """Figure 4c: elements / cycle / stream core."""
+        cores_per_cu = self.stream_cores / self.compute_units
+        return self.elements_per_cycle_per_cu / cores_per_cu
+
+    @property
+    def elements_per_second_total(self) -> float:
+        """Whole-device throughput in elements per second."""
+        return self.elements_per_second_per_cu * self.compute_units
+
+    @property
+    def giga_elements_per_second_per_cu(self) -> float:
+        """Figure 4a in the paper's printed unit."""
+        return self.elements_per_second_per_cu / 1e9
+
+    @property
+    def giga_elements_per_second_total(self) -> float:
+        """Whole-device throughput in Giga elements per second."""
+        return self.elements_per_second_total / 1e9
+
+    def time_seconds(self, n_combinations: int) -> float:
+        """Wall-clock estimate for an exhaustive run of ``n_combinations``."""
+        return n_combinations * self.n_samples / self.elements_per_second_total
+
+
+def estimate_gpu(
+    spec: GpuSpec,
+    approach_version: int = 4,
+    n_snps: int = 8192,
+    n_samples: int = 16384,
+    efficiency: float = GPU_EFFICIENCY,
+) -> GpuPerformanceEstimate:
+    """Estimate the throughput of one GPU approach on one device.
+
+    Parameters
+    ----------
+    spec:
+        Catalogued GPU (Table II).
+    approach_version:
+        1–4 (naïve, split, transposed/coalesced, tiled).
+    n_snps / n_samples:
+        Dataset dimensions.
+    efficiency:
+        Sustained fraction of the binding issue rate (calibration constant).
+    """
+    if approach_version not in (1, 2, 3, 4):
+        raise ValueError("approach_version must be in 1..4")
+
+    counts = approach_counts(approach_version, device="gpu")
+
+    # Instruction counts per combination per packed word (one class for the
+    # split kernels, the full stream for the naïve kernel; in both cases one
+    # word covers WORD_BITS evaluated elements).
+    if approach_version == 1:
+        popcnt_per_word = 2.0 * 27
+        int_per_word = 4.0 * 27 + 2.0 * 27 + 10.0  # AND, ADD, address/loads
+    else:
+        popcnt_per_word = 27.0
+        int_per_word = 2.0 * 27 + 27.0 + 6.0 + 6.0  # AND, ADD, NOR(x2), loads
+
+    popcnt_cycles = popcnt_per_word / spec.popcnt_per_cu
+    int_cycles = int_per_word / spec.int_ops_per_cu_per_cycle
+
+    # Memory cycles per combination-word: bytes moved, inflated by the
+    # coalescing factor, deflated by cross-thread reuse, divided by the
+    # per-CU DRAM bandwidth.
+    bytes_per_word = counts.loads_per_combo_word * 4.0
+    dram_bytes_per_cycle_per_cu = spec.dram_bandwidth_gbps / (
+        spec.boost_freq_ghz * spec.compute_units
+    )
+    memory_cycles = (
+        bytes_per_word
+        * COALESCING_FACTORS[approach_version]
+        / REUSE_FACTORS[approach_version]
+        / dram_bytes_per_cycle_per_cu
+    )
+
+    limiter = max(popcnt_cycles, int_cycles, memory_cycles)
+    if limiter == memory_cycles and memory_cycles > popcnt_cycles:
+        bound = "memory"
+    elif limiter == popcnt_cycles:
+        bound = "popcnt"
+    else:
+        bound = "integer"
+
+    occupancy = n_snps / (n_snps + M_HALF_GPU)
+    elements_per_cycle_per_cu = WORD_BITS / limiter * efficiency * occupancy
+
+    return GpuPerformanceEstimate(
+        device=spec.key,
+        approach_version=approach_version,
+        n_snps=n_snps,
+        n_samples=n_samples,
+        compute_units=spec.compute_units,
+        stream_cores=spec.stream_cores,
+        frequency_ghz=spec.boost_freq_ghz,
+        elements_per_cycle_per_cu=elements_per_cycle_per_cu,
+        bound=bound,
+    )

@@ -1,0 +1,218 @@
+"""Tests of the four CPU approaches.
+
+The central property — shared with the GPU approaches and property-tested in
+``test_properties.py`` — is bit-exact agreement of every approach with the
+contingency oracle.  The tests here additionally cover the approach-specific
+behaviour: encodings, blocking, ISA accounting and error handling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bitops.simd import ISA_PRESETS
+from repro.core.approaches import (
+    APPROACHES,
+    CpuBlockedApproach,
+    CpuNaiveApproach,
+    CpuNoPhenotypeApproach,
+    CpuVectorizedApproach,
+    get_approach,
+    list_approaches,
+)
+from repro.core.approaches._kernels import NAIVE_OPS_PER_COMBO_WORD, SPLIT_OPS_PER_COMBO_WORD
+from repro.core.combinations import generate_combinations
+from repro.core.contingency import contingency_oracle_many
+from repro.devices import cpu
+
+CPU_NAMES = ["cpu-v1", "cpu-v2", "cpu-v3", "cpu-v4"]
+
+
+@pytest.fixture(scope="module")
+def combos24():
+    return generate_combinations(24, 3)[::7]  # 290 triplets, spread over the space
+
+
+class TestRegistry:
+    def test_names_and_versions(self):
+        assert list_approaches("cpu") == CPU_NAMES
+        for i, name in enumerate(CPU_NAMES, start=1):
+            assert APPROACHES[name].version == i
+            assert APPROACHES[name].device == "cpu"
+
+    def test_aliases(self):
+        assert get_approach("cpu").name == "cpu-v4"
+        assert get_approach("naive").name == "cpu-v1"
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            get_approach("cpu-v5")
+
+
+@pytest.mark.parametrize("name", CPU_NAMES)
+class TestAgainstOracle:
+    def test_matches_oracle(self, name, small_dataset, combos24):
+        approach = get_approach(name)
+        encoded = approach.prepare(small_dataset)
+        tables = approach.build_tables(encoded, combos24)
+        oracle = contingency_oracle_many(
+            small_dataset.genotypes, small_dataset.phenotypes, combos24
+        )
+        assert np.array_equal(tables, oracle)
+
+    def test_unbalanced_odd_samples(self, name, odd_sample_dataset):
+        approach = get_approach(name)
+        encoded = approach.prepare(odd_sample_dataset)
+        combos = generate_combinations(odd_sample_dataset.n_snps, 3)[:100]
+        tables = approach.build_tables(encoded, combos)
+        oracle = contingency_oracle_many(
+            odd_sample_dataset.genotypes, odd_sample_dataset.phenotypes, combos
+        )
+        assert np.array_equal(tables, oracle)
+
+    def test_rejects_bad_combos(self, name, small_dataset):
+        approach = get_approach(name)
+        encoded = approach.prepare(small_dataset)
+        with pytest.raises(ValueError):
+            approach.build_tables(encoded, np.array([[2, 1, 0]]))
+        with pytest.raises(ValueError):
+            approach.build_tables(encoded, np.array([[0, 1]]))
+        with pytest.raises(IndexError):
+            approach.build_tables(encoded, np.array([[0, 1, 99]]))
+
+    def test_empty_batch(self, name, small_dataset):
+        approach = get_approach(name)
+        encoded = approach.prepare(small_dataset)
+        tables = approach.build_tables(encoded, np.empty((0, 3), dtype=np.int64))
+        assert tables.shape == (0, 27, 2)
+
+
+class TestNaiveApproach:
+    def test_instruction_accounting(self, small_dataset):
+        approach = CpuNaiveApproach()
+        encoded = approach.prepare(small_dataset)
+        combos = generate_combinations(24, 3)[:10]
+        approach.build_tables(encoded, combos)
+        counts = approach.op_counts()
+        n_words = encoded.n_words
+        assert counts["AND"] == int(NAIVE_OPS_PER_COMBO_WORD["AND"]) * 10 * n_words
+        assert counts["POPCNT"] == int(NAIVE_OPS_PER_COMBO_WORD["POPCNT"]) * 10 * n_words
+        assert approach.counter.bytes_loaded == 10 * n_words * 10 * 4
+
+    def test_extra_stats(self):
+        assert CpuNaiveApproach().extra_stats()["ops_per_combo_word"] == 162
+
+
+class TestNoPhenotypeApproach:
+    def test_instruction_accounting(self, small_dataset):
+        approach = CpuNoPhenotypeApproach()
+        encoded = approach.prepare(small_dataset)
+        combos = generate_combinations(24, 3)[:10]
+        approach.build_tables(encoded, combos)
+        counts = approach.op_counts()
+        n_words = sum(encoded.words_per_class)
+        assert counts["POPCNT"] == 27 * 10 * n_words
+        assert counts["NOR"] == 3 * 10 * n_words
+
+    def test_uses_fewer_ops_and_bytes_than_naive(self, small_dataset):
+        combos = generate_combinations(24, 3)[:50]
+        naive, split = CpuNaiveApproach(), CpuNoPhenotypeApproach()
+        naive.build_tables(naive.prepare(small_dataset), combos)
+        split.build_tables(split.prepare(small_dataset), combos)
+        assert split.counter.total_ops < naive.counter.total_ops
+        assert split.counter.bytes_loaded < naive.counter.bytes_loaded
+        # §IV-A: roughly one third fewer memory transfers.
+        ratio = split.counter.bytes_loaded / naive.counter.bytes_loaded
+        assert 0.55 <= ratio <= 0.75
+
+
+class TestBlockedApproach:
+    def test_default_blocking_from_ci3(self):
+        approach = CpuBlockedApproach()
+        assert (approach.block_snps, approach.block_samples) == (5, 400)
+
+    def test_blocking_from_other_cpu(self):
+        approach = CpuBlockedApproach(cpu_spec=cpu("CA2"))
+        assert (approach.block_snps, approach.block_samples) == (5, 96)
+
+    def test_explicit_blocking(self):
+        approach = CpuBlockedApproach(block_snps=4, block_samples=64)
+        assert approach.block_snps == 4
+
+    def test_invalid_blocking(self):
+        with pytest.raises(ValueError):
+            CpuBlockedApproach(block_snps=0)
+
+    def test_result_independent_of_block_samples(self, small_dataset, combos24):
+        reference = None
+        for bp in (32, 96, 400, 10_000):
+            approach = CpuBlockedApproach(block_samples=bp)
+            tables = approach.build_tables(approach.prepare(small_dataset), combos24)
+            if reference is None:
+                reference = tables
+            else:
+                assert np.array_equal(tables, reference)
+
+    def test_sample_passes_recorded(self, small_dataset):
+        approach = CpuBlockedApproach(block_samples=32)
+        approach.build_tables(approach.prepare(small_dataset), generate_combinations(24, 3)[:5])
+        assert approach.extra_stats()["sample_chunk_passes"] > 2
+
+
+class TestVectorizedApproach:
+    def test_default_isa_follows_cpu(self):
+        assert CpuVectorizedApproach().isa.name == "avx512-vpopcnt"
+        assert CpuVectorizedApproach(cpu_spec=cpu("CA2")).isa.name == "avx2-256"
+
+    def test_isa_by_name(self):
+        approach = CpuVectorizedApproach(isa="avx512-skx")
+        assert approach.isa.extracts_per_lane == 2
+
+    @pytest.mark.parametrize("isa_name", ["avx-128", "avx2-256", "avx512-skx", "avx512-vpopcnt"])
+    def test_results_independent_of_isa(self, small_dataset, combos24, isa_name):
+        approach = CpuVectorizedApproach(isa=isa_name)
+        tables = approach.build_tables(approach.prepare(small_dataset), combos24[:40])
+        oracle = contingency_oracle_many(
+            small_dataset.genotypes, small_dataset.phenotypes, combos24[:40]
+        )
+        assert np.array_equal(tables, oracle)
+
+    def test_vector_accounting_vpopcnt_vs_scalar(self, small_dataset):
+        combos = generate_combinations(24, 3)[:20]
+        with_vp = CpuVectorizedApproach(isa="avx512-vpopcnt")
+        with_vp.build_tables(with_vp.prepare(small_dataset), combos)
+        without_vp = CpuVectorizedApproach(isa="avx512-skx")
+        without_vp.build_tables(without_vp.prepare(small_dataset), combos)
+        assert with_vp.counter.ops.get("VPOPCNT", 0) > 0
+        assert with_vp.counter.ops.get("EXTRACT", 0) == 0
+        assert without_vp.counter.ops.get("VPOPCNT", 0) == 0
+        assert without_vp.counter.ops.get("EXTRACT", 0) > 0
+        # Two extracts per 64-bit lane on Skylake-SP AVX-512: per combination
+        # and per 512-bit register, 27 cells x 8 lanes x 2 extracts.
+        encoded = without_vp.prepare(small_dataset)
+        lanes = without_vp.isa.lanes32
+        registers = sum(
+            (encoded.split.planes_for_class(c)[0].shape[2] + lanes - 1) // lanes
+            for c in (0, 1)
+        )
+        assert without_vp.counter.ops["EXTRACT"] == 2 * 8 * 27 * registers * len(combos)
+
+    def test_reference_register_file_path(self, small_dataset):
+        approach = CpuVectorizedApproach(isa="avx2-256")
+        encoded = approach.prepare(small_dataset)
+        combo = (2, 9, 17)
+        reference = approach.reference_single_combination(encoded, combo)
+        fast = approach.build_tables(encoded, np.array([combo]))[0]
+        assert np.array_equal(reference, fast)
+
+    def test_vector_instruction_mix_snapshot(self, small_dataset):
+        approach = CpuVectorizedApproach(isa="avx512-vpopcnt")
+        approach.build_tables(approach.prepare(small_dataset), generate_combinations(24, 3)[:5])
+        mix = approach.vector_instruction_mix()
+        assert mix["VAND"] > 0 and mix["VLOAD"] > 0
+
+    def test_extra_stats(self):
+        stats = CpuVectorizedApproach(isa="avx512-vpopcnt").extra_stats()
+        assert stats["vector_popcnt"] is True
+        assert stats["vector_width_bits"] == 512

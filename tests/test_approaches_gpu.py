@@ -1,0 +1,118 @@
+"""Tests of the four GPU approaches (functional layout kernels)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.approaches import (
+    APPROACHES,
+    GpuNaiveApproach,
+    GpuNoPhenotypeApproach,
+    GpuTiledApproach,
+    GpuTransposedApproach,
+    get_approach,
+    list_approaches,
+)
+from repro.core.combinations import generate_combinations
+from repro.core.contingency import contingency_oracle_many
+
+GPU_NAMES = ["gpu-v1", "gpu-v2", "gpu-v3", "gpu-v4"]
+
+
+@pytest.fixture(scope="module")
+def combos24():
+    return generate_combinations(24, 3)[::11]  # 184 triplets
+
+
+class TestRegistry:
+    def test_names_and_versions(self):
+        assert list_approaches("gpu") == GPU_NAMES
+        for i, name in enumerate(GPU_NAMES, start=1):
+            assert APPROACHES[name].version == i
+            assert APPROACHES[name].device == "gpu"
+
+    def test_alias(self):
+        assert get_approach("gpu").name == "gpu-v4"
+
+
+@pytest.mark.parametrize("name", GPU_NAMES)
+class TestAgainstOracle:
+    def test_matches_oracle(self, name, small_dataset, combos24):
+        approach = get_approach(name)
+        encoded = approach.prepare(small_dataset)
+        tables = approach.build_tables(encoded, combos24)
+        oracle = contingency_oracle_many(
+            small_dataset.genotypes, small_dataset.phenotypes, combos24
+        )
+        assert np.array_equal(tables, oracle)
+
+    def test_unbalanced_odd_samples(self, name, odd_sample_dataset):
+        approach = get_approach(name)
+        encoded = approach.prepare(odd_sample_dataset)
+        combos = generate_combinations(odd_sample_dataset.n_snps, 3)[:80]
+        tables = approach.build_tables(encoded, combos)
+        oracle = contingency_oracle_many(
+            odd_sample_dataset.genotypes, odd_sample_dataset.phenotypes, combos
+        )
+        assert np.array_equal(tables, oracle)
+
+    def test_rejects_out_of_range(self, name, small_dataset):
+        approach = get_approach(name)
+        encoded = approach.prepare(small_dataset)
+        with pytest.raises(IndexError):
+            approach.build_tables(encoded, np.array([[0, 1, 200]]))
+
+
+class TestCoalescingAccounting:
+    def test_coalescing_factors(self):
+        assert GpuNaiveApproach.coalescing_factor == 32.0
+        assert GpuNoPhenotypeApproach.coalescing_factor == 32.0
+        assert GpuTransposedApproach.coalescing_factor == 1.0
+        assert GpuTiledApproach.coalescing_factor == 1.0
+
+    def test_transactions_scale_with_coalescing(self, small_dataset, combos24):
+        uncoalesced = get_approach("gpu-v2")
+        coalesced = get_approach("gpu-v3")
+        for approach in (uncoalesced, coalesced):
+            encoded = approach.prepare(small_dataset)
+            approach.build_tables(encoded, combos24)
+        tx_uncoalesced = uncoalesced.extra_stats()["memory_transactions"]
+        tx_coalesced = coalesced.extra_stats()["memory_transactions"]
+        assert tx_uncoalesced == pytest.approx(32 * tx_coalesced)
+
+    def test_extra_stats_layout_labels(self):
+        assert get_approach("gpu-v1").extra_stats()["layout"] == "snp-major"
+        assert get_approach("gpu-v3").extra_stats()["layout"] == "transposed"
+        assert get_approach("gpu-v4").extra_stats()["layout"] == "tiled"
+
+
+class TestTiledApproach:
+    @pytest.mark.parametrize("block_size", [1, 4, 8, 32])
+    def test_block_size_does_not_change_results(self, small_dataset, combos24, block_size):
+        approach = GpuTiledApproach(block_size=block_size)
+        tables = approach.build_tables(approach.prepare(small_dataset), combos24[:60])
+        oracle = contingency_oracle_many(
+            small_dataset.genotypes, small_dataset.phenotypes, combos24[:60]
+        )
+        assert np.array_equal(tables, oracle)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            GpuTiledApproach(block_size=0)
+        with pytest.raises(ValueError):
+            GpuTiledApproach(bsched=0)
+
+    def test_extra_stats_include_tiling(self):
+        stats = GpuTiledApproach(block_size=64, bsched=128).extra_stats()
+        assert stats["block_size"] == 64
+        assert stats["bsched"] == 128
+
+
+class TestCrossDeviceConsistency:
+    def test_gpu_and_cpu_best_approaches_agree(self, small_dataset, combos24):
+        cpu_best = get_approach("cpu-v4")
+        gpu_best = get_approach("gpu-v4")
+        cpu_tables = cpu_best.build_tables(cpu_best.prepare(small_dataset), combos24)
+        gpu_tables = gpu_best.build_tables(gpu_best.prepare(small_dataset), combos24)
+        assert np.array_equal(cpu_tables, gpu_tables)

@@ -1,0 +1,134 @@
+"""Tests of the instrumented bitwise operations and the operation counter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bitops.ops import OpCounter, and2, and3, andnot, nor2, popcount_words
+from repro.bitops.popcount import popcount32
+
+
+@pytest.fixture()
+def words(rng):
+    return (
+        rng.integers(0, 2**32, size=16, dtype=np.uint32),
+        rng.integers(0, 2**32, size=16, dtype=np.uint32),
+        rng.integers(0, 2**32, size=16, dtype=np.uint32),
+    )
+
+
+class TestOpCounter:
+    def test_starts_empty(self):
+        counter = OpCounter()
+        assert counter.total_ops == 0
+        assert counter.total_bytes == 0
+        assert counter.as_dict() == {}
+
+    def test_add_and_totals(self):
+        counter = OpCounter()
+        counter.add("AND", 10)
+        counter.add("POPCNT", 5)
+        counter.add_load(4)
+        counter.add_store(2)
+        assert counter.ops["AND"] == 10
+        assert counter.total_ops == 15  # loads/stores excluded
+        assert counter.bytes_loaded == 16
+        assert counter.bytes_stored == 8
+        assert counter.total_bytes == 24
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            OpCounter().add("AND", -1)
+
+    def test_arithmetic_intensity(self):
+        counter = OpCounter()
+        counter.add("AND", 100)
+        counter.add_load(10)  # 40 bytes
+        assert counter.arithmetic_intensity == pytest.approx(2.5)
+
+    def test_arithmetic_intensity_no_traffic(self):
+        counter = OpCounter()
+        counter.add("AND", 1)
+        assert counter.arithmetic_intensity == float("inf")
+        assert OpCounter().arithmetic_intensity == 0.0
+
+    def test_merge(self):
+        a, b = OpCounter(), OpCounter()
+        a.add("AND", 3)
+        b.add("AND", 4)
+        b.add("POPCNT", 1)
+        b.add_load(2)
+        a.merge(b)
+        assert a.ops == {"AND": 7, "POPCNT": 1, "LOAD": 2}
+        assert a.bytes_loaded == 8
+
+    def test_iteration_sorted(self):
+        counter = OpCounter()
+        counter.add("XOR")
+        counter.add("AND")
+        assert [k for k, _ in counter] == ["AND", "XOR"]
+
+
+class TestInstrumentedOps:
+    def test_and2(self, words):
+        a, b, _ = words
+        counter = OpCounter()
+        out = and2(a, b, counter)
+        assert np.array_equal(out, a & b)
+        assert counter.ops["AND"] == 16
+
+    def test_and3(self, words):
+        a, b, c = words
+        counter = OpCounter()
+        out = and3(a, b, c, counter)
+        assert np.array_equal(out, a & b & c)
+        assert counter.ops["AND"] == 32  # two ANDs per word
+
+    def test_nor2(self, words):
+        a, b, _ = words
+        counter = OpCounter()
+        out = nor2(a, b, counter)
+        assert np.array_equal(out, np.bitwise_not(a | b))
+        assert counter.ops["NOR"] == 16
+        assert counter.ops["OR"] == 16
+        assert counter.ops["XOR"] == 16
+
+    def test_andnot(self, words):
+        a, b, _ = words
+        counter = OpCounter()
+        out = andnot(a, b, counter)
+        assert np.array_equal(out, a & ~b)
+        assert counter.ops["AND"] == 16
+        assert counter.ops["NOT"] == 16
+
+    def test_popcount_words(self, words):
+        a, _, _ = words
+        counter = OpCounter()
+        counts = popcount_words(a, counter)
+        assert np.array_equal(counts, popcount32(a))
+        assert counter.ops["POPCNT"] == 16
+        assert counter.ops["ADD"] == 16
+
+    def test_popcount_words_reduced(self, words):
+        a, _, _ = words
+        total = popcount_words(a, None, reduce_axis=-1)
+        assert total == popcount32(a).sum()
+
+    def test_ops_work_without_counter(self, words):
+        a, b, c = words
+        assert np.array_equal(and3(a, b, c), a & b & c)
+        assert np.array_equal(nor2(a, b), ~(a | b))
+
+    def test_nor_identity_with_genotype_planes(self, small_dataset):
+        """NOR of planes 0 and 1 equals plane 2 on real data (plus padding)."""
+        from repro.bitops.packing import pack_bitplanes, packed_word_count
+
+        planes = pack_bitplanes(small_dataset.genotypes)
+        n = small_dataset.n_samples
+        mask = np.full(packed_word_count(n), 0xFFFFFFFF, dtype=np.uint32)
+        rem = n % 32
+        if rem:
+            mask[-1] = np.uint32((1 << rem) - 1)
+        inferred = nor2(planes[:, 0], planes[:, 1]) & mask
+        assert np.array_equal(inferred, planes[:, 2])

@@ -1,0 +1,124 @@
+"""Unit and property tests of bit-plane packing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.bitops.packing import (
+    WORD_BITS,
+    pack_bitplanes,
+    pack_bits,
+    packed_word_count,
+    pad_to_words,
+    unpack_bits,
+)
+from repro.bitops.popcount import popcount32
+
+
+class TestPackedWordCount:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [(0, 0), (1, 1), (31, 1), (32, 1), (33, 2), (64, 2), (65, 3), (16384, 512)],
+    )
+    def test_values(self, n, expected):
+        assert packed_word_count(n) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            packed_word_count(-1)
+
+
+class TestPadToWords:
+    def test_aligned_input_returned_unchanged(self):
+        bits = np.ones(64, dtype=bool)
+        assert pad_to_words(bits) is bits
+
+    def test_padding_is_false(self):
+        bits = np.ones(33, dtype=bool)
+        padded = pad_to_words(bits)
+        assert padded.shape == (64,)
+        assert padded[:33].all()
+        assert not padded[33:].any()
+
+    def test_multidimensional(self):
+        bits = np.ones((3, 10), dtype=bool)
+        assert pad_to_words(bits).shape == (3, 32)
+
+
+class TestPackUnpackRoundtrip:
+    def test_known_word(self):
+        bits = np.zeros(32, dtype=bool)
+        bits[[0, 2, 3]] = True
+        assert pack_bits(bits).tolist() == [0b1101]
+
+    def test_bit_position_convention(self):
+        """Sample ``s`` occupies bit ``s % 32`` of word ``s // 32``."""
+        for s in (0, 1, 31, 32, 45, 63):
+            bits = np.zeros(64, dtype=bool)
+            bits[s] = True
+            words = pack_bits(bits)
+            assert words[s // 32] == np.uint32(1 << (s % 32))
+
+    @given(hnp.arrays(bool, st.integers(min_value=1, max_value=200)))
+    @settings(max_examples=100)
+    def test_roundtrip(self, bits):
+        words = pack_bits(bits)
+        assert words.dtype == np.uint32
+        assert words.shape[-1] == packed_word_count(bits.shape[-1])
+        assert np.array_equal(unpack_bits(words, bits.shape[-1]), bits)
+
+    @given(hnp.arrays(bool, st.integers(min_value=1, max_value=200)))
+    @settings(max_examples=100)
+    def test_popcount_preserved(self, bits):
+        assert popcount32(pack_bits(bits)).sum() == bits.sum()
+
+    def test_2d_roundtrip(self, rng):
+        bits = rng.integers(0, 2, size=(5, 77)).astype(bool)
+        words = pack_bits(bits)
+        assert words.shape == (5, 3)
+        assert np.array_equal(unpack_bits(words, 77), bits)
+
+    def test_unpack_word_count_mismatch(self):
+        with pytest.raises(ValueError):
+            unpack_bits(np.zeros(2, dtype=np.uint32), 100)
+
+
+class TestPackBitplanes:
+    def test_shape(self, small_dataset):
+        planes = pack_bitplanes(small_dataset.genotypes)
+        assert planes.shape == (
+            small_dataset.n_snps,
+            3,
+            packed_word_count(small_dataset.n_samples),
+        )
+        assert planes.dtype == np.uint32
+
+    def test_planes_partition_samples(self, small_dataset):
+        planes = pack_bitplanes(small_dataset.genotypes)
+        counts = popcount32(planes).sum(axis=-1)  # (n_snps, 3)
+        assert np.array_equal(counts.sum(axis=1),
+                              np.full(small_dataset.n_snps, small_dataset.n_samples))
+        for snp in range(small_dataset.n_snps):
+            assert np.array_equal(counts[snp], small_dataset.genotype_counts(snp))
+
+    def test_planes_disjoint(self, small_dataset):
+        planes = pack_bitplanes(small_dataset.genotypes)
+        overlap = (
+            (planes[:, 0] & planes[:, 1])
+            | (planes[:, 0] & planes[:, 2])
+            | (planes[:, 1] & planes[:, 2])
+        )
+        assert not overlap.any()
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            pack_bitplanes(np.zeros(10, dtype=np.int8))
+
+    def test_rejects_out_of_range_genotypes(self):
+        geno = np.array([[0, 1, 3]], dtype=np.int8)
+        with pytest.raises(ValueError):
+            pack_bitplanes(geno)

@@ -1,0 +1,110 @@
+"""Unit and property tests of the population-count primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitops.popcount import (
+    HAS_BITWISE_COUNT,
+    popcount32,
+    popcount64,
+    popcount_lut,
+    popcount_reduce,
+    scalar_popcount,
+)
+
+
+class TestScalarPopcount:
+    def test_known_values(self):
+        assert scalar_popcount(0) == 0
+        assert scalar_popcount(1) == 1
+        assert scalar_popcount(0xFFFFFFFF) == 32
+        assert scalar_popcount(0b1011_0110) == 5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            scalar_popcount(-1)
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_matches_bin_count(self, value):
+        assert scalar_popcount(value) == bin(value).count("1")
+
+
+class TestPopcount32:
+    def test_empty(self):
+        out = popcount32(np.array([], dtype=np.uint32))
+        assert out.shape == (0,)
+        assert out.dtype == np.int64
+
+    def test_known_values(self):
+        words = np.array([0, 1, 0xFFFFFFFF, 0x80000001, 0x0F0F0F0F], dtype=np.uint32)
+        assert popcount32(words).tolist() == [0, 1, 32, 2, 16]
+
+    def test_preserves_shape(self):
+        words = np.arange(24, dtype=np.uint32).reshape(2, 3, 4)
+        assert popcount32(words).shape == (2, 3, 4)
+
+    def test_signed_input_reinterpreted(self):
+        words = np.array([-1], dtype=np.int32)  # 0xFFFFFFFF
+        assert popcount32(words)[0] == 32
+
+    def test_float_rejected(self):
+        with pytest.raises(TypeError):
+            popcount32(np.array([1.5]))
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=2**32 - 1), min_size=1, max_size=64)
+    )
+    @settings(max_examples=100)
+    def test_matches_scalar_oracle(self, values):
+        words = np.array(values, dtype=np.uint32)
+        expected = [scalar_popcount(v) for v in values]
+        assert popcount32(words).tolist() == expected
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=2**32 - 1), min_size=1, max_size=64)
+    )
+    @settings(max_examples=50)
+    def test_lut_matches_hw(self, values):
+        words = np.array(values, dtype=np.uint32)
+        assert np.array_equal(popcount_lut(words), popcount32(words))
+
+
+class TestPopcount64:
+    def test_known_values(self):
+        words = np.array([0, 0xFFFFFFFFFFFFFFFF, 1 << 63], dtype=np.uint64)
+        assert popcount64(words).tolist() == [0, 64, 1]
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=2**64 - 1), min_size=1, max_size=32)
+    )
+    @settings(max_examples=50)
+    def test_matches_scalar_oracle(self, values):
+        words = np.array(values, dtype=np.uint64)
+        expected = [scalar_popcount(v) for v in values]
+        assert popcount64(words).tolist() == expected
+
+    def test_consistent_with_popcount32_pairs(self, rng):
+        words32 = rng.integers(0, 2**32, size=16, dtype=np.uint32)
+        words64 = np.ascontiguousarray(words32).view(np.uint64)
+        assert popcount64(words64).sum() == popcount32(words32).sum()
+
+
+class TestPopcountReduce:
+    def test_reduces_last_axis(self, rng):
+        words = rng.integers(0, 2**32, size=(5, 7), dtype=np.uint32)
+        out = popcount_reduce(words)
+        assert out.shape == (5,)
+        assert np.array_equal(out, popcount32(words).sum(axis=-1))
+
+    def test_reduce_none_keeps_shape(self, rng):
+        words = rng.integers(0, 2**32, size=(3, 4), dtype=np.uint32)
+        assert popcount_reduce(words, axis=None) == popcount32(words).sum()
+
+
+def test_hardware_popcount_available():
+    """NumPy >= 2.0 is installed offline, so the fast path must be active."""
+    assert HAS_BITWISE_COUNT

@@ -1,0 +1,148 @@
+"""Tests of the software SIMD model (VectorISA / VectorRegisterFile)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bitops.ops import OpCounter
+from repro.bitops.popcount import popcount32
+from repro.bitops.simd import ISA_PRESETS, VectorISA, VectorRegisterFile, isa_for_name
+
+
+class TestVectorISA:
+    def test_presets_cover_the_papers_machines(self):
+        assert set(ISA_PRESETS) == {
+            "scalar64",
+            "avx-128",
+            "avx2-256",
+            "avx512-skx",
+            "avx512-vpopcnt",
+        }
+
+    @pytest.mark.parametrize(
+        "name,width,lanes32,lanes64",
+        [
+            ("scalar64", 64, 2, 1),
+            ("avx-128", 128, 4, 2),
+            ("avx2-256", 256, 8, 4),
+            ("avx512-skx", 512, 16, 8),
+            ("avx512-vpopcnt", 512, 16, 8),
+        ],
+    )
+    def test_geometry(self, name, width, lanes32, lanes64):
+        isa = isa_for_name(name)
+        assert isa.width_bits == width
+        assert isa.lanes32 == lanes32
+        assert isa.lanes64 == lanes64
+        assert isa.samples_per_register == lanes32 * 32
+
+    def test_only_ice_lake_has_vector_popcnt(self):
+        assert ISA_PRESETS["avx512-vpopcnt"].has_vector_popcnt
+        for name, isa in ISA_PRESETS.items():
+            if name != "avx512-vpopcnt":
+                assert not isa.has_vector_popcnt
+
+    def test_skx_needs_two_extracts(self):
+        assert ISA_PRESETS["avx512-skx"].extracts_per_lane == 2
+        assert ISA_PRESETS["avx2-256"].extracts_per_lane == 1
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            VectorISA("bogus", 96, has_vector_popcnt=False)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            isa_for_name("avx1024")
+
+    def test_popcount_cost_vector_path(self):
+        cost = ISA_PRESETS["avx512-vpopcnt"].popcount_instruction_cost()
+        assert cost == {"VPOPCNT": 1, "VREDUCE_ADD": 1}
+
+    def test_popcount_cost_scalar_path(self):
+        cost = ISA_PRESETS["avx2-256"].popcount_instruction_cost()
+        assert cost == {"EXTRACT": 4, "POPCNT": 4, "ADD": 4}
+        cost_skx = ISA_PRESETS["avx512-skx"].popcount_instruction_cost()
+        assert cost_skx["EXTRACT"] == 16  # 8 lanes x 2 extracts
+
+
+class TestVectorRegisterFile:
+    @pytest.fixture()
+    def operands(self, rng):
+        return (
+            rng.integers(0, 2**32, size=20, dtype=np.uint32),
+            rng.integers(0, 2**32, size=20, dtype=np.uint32),
+        )
+
+    @pytest.mark.parametrize("isa_name", ["avx-128", "avx2-256", "avx512-vpopcnt"])
+    def test_logical_ops_are_exact(self, operands, isa_name):
+        a, b = operands
+        rf = VectorRegisterFile(isa_for_name(isa_name))
+        assert np.array_equal(rf.vand(a, b), a & b)
+        assert np.array_equal(rf.vor(a, b), a | b)
+        assert np.array_equal(rf.vxor(a, b), a ^ b)
+        assert np.array_equal(rf.vnor(a, b), ~(a | b))
+        assert np.array_equal(rf.vand3(a, b, a), a & b & a)
+
+    def test_register_count_accounting(self, operands):
+        a, b = operands  # 20 words
+        counter = OpCounter()
+        rf = VectorRegisterFile(isa_for_name("avx2-256"), counter)  # 8 lanes
+        rf.vand(a, b)
+        # ceil(20 / 8) = 3 vector instructions
+        assert counter.ops["VAND"] == 3
+        rf.load(a)
+        assert counter.ops["VLOAD"] == 3
+        assert counter.bytes_loaded == 80
+
+    def test_vnor_costs_two_instructions(self, operands):
+        a, b = operands
+        counter = OpCounter()
+        rf = VectorRegisterFile(isa_for_name("avx512-skx"), counter)  # 16 lanes
+        rf.vnor(a, b)
+        assert counter.ops["VOR"] == 2
+        assert counter.ops["VXOR"] == 2
+
+    @pytest.mark.parametrize("isa_name", list(ISA_PRESETS))
+    def test_popcount_accumulate_value(self, operands, isa_name):
+        a, _ = operands
+        rf = VectorRegisterFile(isa_for_name(isa_name))
+        assert rf.vpopcount_accumulate(a) == int(popcount32(a).sum())
+
+    def test_popcount_accumulate_vector_isa_counts(self, operands):
+        a, _ = operands  # 20 words -> 2 AVX-512 registers
+        counter = OpCounter()
+        rf = VectorRegisterFile(isa_for_name("avx512-vpopcnt"), counter)
+        rf.vpopcount_accumulate(a)
+        assert counter.ops["VPOPCNT"] == 2
+        assert counter.ops["VREDUCE_ADD"] == 2
+        assert "EXTRACT" not in counter.ops
+
+    def test_popcount_accumulate_scalar_isa_counts(self, operands):
+        a, _ = operands  # 20 words -> 3 AVX2 registers -> 12 64-bit lanes
+        counter = OpCounter()
+        rf = VectorRegisterFile(isa_for_name("avx2-256"), counter)
+        rf.vpopcount_accumulate(a)
+        assert counter.ops["EXTRACT"] == 12
+        assert counter.ops["POPCNT"] == 12
+        assert "VPOPCNT" not in counter.ops
+
+    def test_odd_word_count_popcount(self, rng):
+        words = rng.integers(0, 2**32, size=7, dtype=np.uint32)
+        rf = VectorRegisterFile(isa_for_name("avx2-256"))
+        assert rf.vpopcount_accumulate(words) == int(popcount32(words).sum())
+
+    def test_store_accounting(self, operands):
+        a, _ = operands
+        counter = OpCounter()
+        rf = VectorRegisterFile(isa_for_name("avx-128"), counter)
+        rf.store(a)
+        assert counter.ops["VSTORE"] == 5
+        assert counter.bytes_stored == 80
+
+    def test_instructions_per_combination_mix(self):
+        mix = ISA_PRESETS["avx512-vpopcnt"].instructions_per_combination()
+        assert mix["VAND"] == 2
+        assert mix["VPOPCNT"] == 1
+        mix_scalar = ISA_PRESETS["avx-128"].instructions_per_combination()
+        assert mix_scalar["EXTRACT"] == 2

@@ -1,0 +1,129 @@
+"""Tests of the Cache-Aware Roofline Model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.carm import (
+    CarmModel,
+    KernelPoint,
+    Roof,
+    characterize_cpu_approaches,
+    characterize_gpu_approaches,
+    render_ascii,
+    render_csv,
+)
+from repro.devices import cpu, gpu
+
+
+class TestRoof:
+    def test_memory_roof_scales_with_ai(self):
+        roof = Roof("L1->C", "memory", 100.0)
+        assert roof.attainable_gops(0.5) == pytest.approx(50.0)
+        assert roof.attainable_gops(4.0) == pytest.approx(400.0)
+
+    def test_compute_roof_flat(self):
+        roof = Roof("peak", "compute", 123.0)
+        assert roof.attainable_gops(0.01) == roof.attainable_gops(100.0) == 123.0
+
+
+class TestCarmModel:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return CarmModel.from_cpu(cpu("CI3"))
+
+    def test_requires_roofs(self):
+        with pytest.raises(ValueError):
+            CarmModel("X", [])
+
+    def test_cpu_roofs_present(self, model):
+        names = {r.name for r in model.roofs}
+        assert {"L1->C", "L2->C", "L3->C", "DRAM->C",
+                "Int32 Vector ADD Peak", "Scalar ADD Peak"} <= names
+
+    def test_cpu_memory_roof_ordering(self, model):
+        ordered = [r.name for r in model.memory_roofs if not r.scalar]
+        assert ordered.index("L1->C") < ordered.index("L3->C") < ordered.index("DRAM->C")
+
+    def test_vector_peak_above_scalar_peak(self, model):
+        assert model.roof("Int32 Vector ADD Peak").value > model.roof("Scalar ADD Peak").value
+
+    def test_attainable_envelope(self, model):
+        low_ai = model.attainable_gops(2**-6)
+        high_ai = model.attainable_gops(2**6)
+        assert low_ai < high_ai
+        assert high_ai == pytest.approx(model.roof("Int32 Vector ADD Peak").value)
+        with pytest.raises(ValueError):
+            model.attainable_gops(0.0)
+
+    def test_roof_lookup_error(self, model):
+        with pytest.raises(KeyError):
+            model.roof("L7->C")
+
+    def test_bounding_roof(self, model):
+        peak = model.roof("Int32 Vector ADD Peak").value
+        point = KernelPoint("V4", arithmetic_intensity=4.0, gops=peak * 0.98)
+        assert model.bounding_roof(point).name == "Int32 Vector ADD Peak"
+        slow_point = KernelPoint("V1", arithmetic_intensity=4.0, gops=1.0)
+        bound = model.bounding_roof(slow_point, scalar_kernel=True)
+        assert bound.attainable_gops(4.0) >= 1.0
+
+    def test_gpu_model_roofs(self):
+        model = CarmModel.from_gpu(gpu("GI2"))
+        names = {r.name for r in model.roofs}
+        assert {"DRAM->C", "L3->C", "SLM->C", "Int32 Vector ADD Peak", "POPCNT Peak"} <= names
+        assert model.roof("DRAM->C").value == pytest.approx(68.0)
+
+
+class TestCharacterization:
+    def test_cpu_characterization_shape_claims(self):
+        model, points = characterize_cpu_approaches(cpu("CI3"))
+        by = {p.name: p for p in points}
+        assert set(by) == {"V1", "V2", "V3", "V4"}
+        # §V-A: V2's AI drops relative to V1; blocking does not change it.
+        assert by["V2"].arithmetic_intensity < by["V1"].arithmetic_intensity
+        assert by["V3"].arithmetic_intensity == pytest.approx(by["V2"].arithmetic_intensity)
+        # V4 is bound by the vector peak and is by far the fastest.
+        assert by["V4"].bound_by == "Int32 Vector ADD Peak"
+        assert by["V4"].elements_per_second > 5 * by["V3"].elements_per_second
+        # Every point respects its own roof envelope (within rounding).
+        for p in points:
+            assert p.gops <= model.attainable_gops(p.arithmetic_intensity, include_scalar=False) * 1.01
+
+    def test_gpu_characterization_shape_claims(self):
+        model, points = characterize_gpu_approaches(gpu("GI2"))
+        by = {p.name: p for p in points}
+        assert by["V1"].bound_by == "DRAM->C"
+        assert by["V2"].bound_by == "DRAM->C"
+        assert by["V3"].elements_per_second > 10 * by["V2"].elements_per_second
+        assert by["V4"].elements_per_second >= by["V3"].elements_per_second
+
+    def test_characterization_other_devices(self):
+        for key in ("CI1", "CA1"):
+            _, points = characterize_cpu_approaches(cpu(key))
+            assert len(points) == 4
+        for key in ("GN1", "GA3"):
+            _, points = characterize_gpu_approaches(gpu(key))
+            assert len(points) == 4
+
+
+class TestRendering:
+    @pytest.fixture(scope="class")
+    def characterized(self):
+        return characterize_cpu_approaches(cpu("CI3"))
+
+    def test_csv_contains_all_entities(self, characterized):
+        model, points = characterized
+        csv = render_csv(model, points)
+        for roof in model.roofs:
+            assert roof.name in csv
+        for p in points:
+            assert p.name in csv
+
+    def test_ascii_renders(self, characterized):
+        model, points = characterized
+        chart = render_ascii(model, points)
+        assert "CARM CI3" in chart
+        for p in points:
+            assert p.name[-1] in chart
+        assert len(chart.splitlines()) > 10

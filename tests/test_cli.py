@@ -1,0 +1,86 @@
+"""Tests of the command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets import load_npz, load_text
+
+
+class TestParser:
+    def test_subcommands_exist(self):
+        parser = build_parser()
+        for argv in (
+            ["generate", "out.npz"],
+            ["detect", "in.npz"],
+            ["devices"],
+            ["figures", "table3"],
+        ):
+            args = parser.parse_args(argv)
+            assert args.command == argv[0]
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figures_default_all(self):
+        assert build_parser().parse_args(["figures"]).which == "all"
+
+
+class TestGenerateCommand:
+    def test_generate_npz(self, tmp_path, capsys):
+        out = tmp_path / "ds.npz"
+        code = main(["generate", str(out), "--snps", "12", "--samples", "96", "--seed", "5"])
+        assert code == 0
+        ds = load_npz(out)
+        assert ds.n_snps == 12 and ds.n_samples == 96
+        assert "wrote" in capsys.readouterr().out
+
+    def test_generate_text_with_interaction(self, tmp_path):
+        out = tmp_path / "ds.csv"
+        code = main(
+            [
+                "generate", str(out),
+                "--snps", "10", "--samples", "200",
+                "--interaction", "1", "4", "7",
+                "--model", "xor", "--effect", "0.9",
+            ]
+        )
+        assert code == 0
+        ds = load_text(out)
+        assert ds.n_snps == 10
+
+
+class TestDetectCommand:
+    def test_detect_roundtrip(self, tmp_path, capsys):
+        out = tmp_path / "ds.npz"
+        main(
+            [
+                "generate", str(out),
+                "--snps", "14", "--samples", "512",
+                "--interaction", "2", "6", "11", "--effect", "0.9", "--baseline", "0.05",
+                "--seed", "7",
+            ]
+        )
+        capsys.readouterr()
+        code = main(["detect", str(out), "--approach", "cpu-v4", "--workers", "2", "--top-k", "3"])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "best interaction" in text
+        assert "cpu-v4" in text
+
+
+class TestInfoCommands:
+    def test_devices(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "Table II" in out
+        assert "CI3" in out and "GN4" in out
+
+    @pytest.mark.parametrize("which", ["figure3", "figure4", "table3", "comparison"])
+    def test_figures_single(self, capsys, which):
+        assert main(["figures", which]) == 0
+        out = capsys.readouterr().out
+        assert which in out

@@ -1,0 +1,139 @@
+"""Tests of contingency-table construction and validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.contingency import (
+    N_GENOTYPE_COMBINATIONS,
+    cell_index_to_genotypes,
+    combination_cell_index,
+    contingency_oracle,
+    contingency_oracle_many,
+    table_totals,
+    validate_tables,
+)
+from repro.datasets.synthetic import generate_null_dataset
+
+
+class TestCellIndex:
+    def test_corner_cases(self):
+        assert combination_cell_index((0, 0, 0)) == 0
+        assert combination_cell_index((2, 2, 2)) == 26
+        assert combination_cell_index((0, 1, 2)) == 5
+        assert combination_cell_index((1, 0, 0)) == 9
+
+    def test_matches_figure1_convention(self):
+        """Figure 1 numbers the (0,1,2) cell as 5 with X most significant."""
+        assert combination_cell_index((0, 1, 2)) == 0 * 9 + 1 * 3 + 2
+
+    def test_invalid_genotype(self):
+        with pytest.raises(ValueError):
+            combination_cell_index((0, 3, 1))
+
+    @given(st.tuples(*[st.integers(0, 2)] * 3))
+    def test_roundtrip(self, genotypes):
+        idx = combination_cell_index(genotypes)
+        assert 0 <= idx < N_GENOTYPE_COMBINATIONS
+        assert cell_index_to_genotypes(idx) == genotypes
+
+    def test_index_out_of_range(self):
+        with pytest.raises(ValueError):
+            cell_index_to_genotypes(27)
+
+
+class TestOracle:
+    def test_manual_example(self):
+        genotypes = np.array(
+            [
+                [0, 0, 1, 2],
+                [1, 1, 1, 0],
+                [2, 0, 2, 2],
+            ],
+            dtype=np.int8,
+        )
+        phenotypes = np.array([0, 1, 1, 0], dtype=np.int8)
+        table = contingency_oracle(genotypes, phenotypes, (0, 1, 2))
+        assert table.shape == (27, 2)
+        assert table.sum() == 4
+        # sample0: (0,1,2) control -> cell 5 column 0
+        assert table[combination_cell_index((0, 1, 2)), 0] == 1
+        # sample1: (0,1,0) case -> cell 3 column 1
+        assert table[combination_cell_index((0, 1, 0)), 1] == 1
+        # sample2: (1,1,2) case
+        assert table[combination_cell_index((1, 1, 2)), 1] == 1
+        # sample3: (2,0,2) control
+        assert table[combination_cell_index((2, 0, 2)), 0] == 1
+
+    def test_column_sums(self, small_dataset):
+        table = contingency_oracle(small_dataset.genotypes, small_dataset.phenotypes, (1, 5, 9))
+        assert table[:, 0].sum() == small_dataset.n_controls
+        assert table[:, 1].sum() == small_dataset.n_cases
+
+    def test_order_2(self, small_dataset):
+        table = contingency_oracle(small_dataset.genotypes, small_dataset.phenotypes, (0, 1))
+        assert table.shape == (9, 2)
+        assert table.sum() == small_dataset.n_samples
+
+    def test_many_matches_single(self, small_dataset):
+        combos = np.array([[0, 1, 2], [3, 10, 20], [5, 6, 7]])
+        many = contingency_oracle_many(
+            small_dataset.genotypes, small_dataset.phenotypes, combos
+        )
+        assert many.shape == (3, 27, 2)
+        for i, combo in enumerate(combos):
+            single = contingency_oracle(
+                small_dataset.genotypes, small_dataset.phenotypes, combo
+            )
+            assert np.array_equal(many[i], single)
+
+    def test_many_requires_2d(self, small_dataset):
+        with pytest.raises(ValueError):
+            contingency_oracle_many(
+                small_dataset.genotypes, small_dataset.phenotypes, np.array([0, 1, 2])
+            )
+
+    @given(
+        n_samples=st.integers(min_value=1, max_value=200),
+        seed=st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_invariants_random(self, n_samples, seed):
+        ds = generate_null_dataset(6, n_samples, seed=seed)
+        table = contingency_oracle(ds.genotypes, ds.phenotypes, (0, 2, 4))
+        assert table.sum() == n_samples
+        assert (table >= 0).all()
+        assert table[:, 1].sum() == ds.n_cases
+
+
+class TestValidation:
+    def test_totals(self, small_dataset):
+        combos = np.array([[0, 1, 2], [1, 2, 3]])
+        tables = contingency_oracle_many(
+            small_dataset.genotypes, small_dataset.phenotypes, combos
+        )
+        assert np.array_equal(
+            table_totals(tables), np.full(2, small_dataset.n_samples)
+        )
+        validate_tables(tables, small_dataset.n_controls, small_dataset.n_cases)
+
+    def test_negative_counts_detected(self):
+        bad = np.zeros((1, 27, 2), dtype=np.int64)
+        bad[0, 0, 0] = -1
+        with pytest.raises(ValueError):
+            validate_tables(bad)
+
+    def test_wrong_shape_detected(self):
+        with pytest.raises(ValueError):
+            validate_tables(np.zeros((27, 3)))
+
+    def test_column_sum_mismatch_detected(self, small_dataset):
+        combos = np.array([[0, 1, 2]])
+        tables = contingency_oracle_many(
+            small_dataset.genotypes, small_dataset.phenotypes, combos
+        )
+        with pytest.raises(ValueError):
+            validate_tables(tables, small_dataset.n_controls + 1, small_dataset.n_cases)

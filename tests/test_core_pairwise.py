@@ -1,0 +1,137 @@
+"""Tests of the second-order (pairwise) epistasis support."""
+
+from __future__ import annotations
+
+from itertools import combinations as itertools_combinations
+from math import comb
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.contingency import contingency_oracle
+from repro.core.pairwise import (
+    PairwiseEpistasisDetector,
+    pairwise_combinations,
+    pairwise_split_tables,
+)
+from repro.core.scoring import K2Score
+from repro.baselines import BruteForceReference
+from repro.datasets import PlantedInteraction, SyntheticConfig, generate_dataset
+from repro.datasets.binarization import PhenotypeSplitDataset
+
+
+class TestPairwiseCombinations:
+    def test_matches_itertools(self):
+        expected = np.array(list(itertools_combinations(range(9), 2)))
+        assert np.array_equal(pairwise_combinations(9), expected)
+
+    def test_windows(self):
+        full = pairwise_combinations(15)
+        assert np.array_equal(pairwise_combinations(15, 20, 30), full[20:50])
+        assert pairwise_combinations(15, 5, 0).shape == (0, 2)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            pairwise_combinations(6, 0, comb(6, 2) + 1)
+
+    @given(n=st.integers(min_value=2, max_value=40), data=st.data())
+    @settings(max_examples=30)
+    def test_window_consistency(self, n, data):
+        total = comb(n, 2)
+        start = data.draw(st.integers(0, total - 1))
+        count = data.draw(st.integers(1, min(32, total - start)))
+        window = pairwise_combinations(n, start, count)
+        assert (window[:, 0] < window[:, 1]).all()
+        full = pairwise_combinations(n)
+        assert np.array_equal(window, full[start : start + count])
+
+
+class TestPairwiseTables:
+    def test_matches_oracle(self, small_dataset):
+        split = PhenotypeSplitDataset.from_dataset(small_dataset)
+        pairs = pairwise_combinations(small_dataset.n_snps)[::5]
+        tables = pairwise_split_tables(split, pairs)
+        assert tables.shape == (pairs.shape[0], 9, 2)
+        for i, pair in enumerate(pairs):
+            oracle = contingency_oracle(
+                small_dataset.genotypes, small_dataset.phenotypes, pair
+            )
+            assert np.array_equal(tables[i], oracle)
+
+    def test_matches_oracle_odd_samples(self, odd_sample_dataset):
+        split = PhenotypeSplitDataset.from_dataset(odd_sample_dataset)
+        pairs = pairwise_combinations(odd_sample_dataset.n_snps)
+        tables = pairwise_split_tables(split, pairs)
+        for i in (0, 17, len(pairs) - 1):
+            oracle = contingency_oracle(
+                odd_sample_dataset.genotypes, odd_sample_dataset.phenotypes, pairs[i]
+            )
+            assert np.array_equal(tables[i], oracle)
+
+    def test_validation(self, small_dataset):
+        split = PhenotypeSplitDataset.from_dataset(small_dataset)
+        with pytest.raises(ValueError):
+            pairwise_split_tables(split, np.array([[3, 1]]))
+        with pytest.raises(ValueError):
+            pairwise_split_tables(split, np.array([[0, 1, 2]]))
+        with pytest.raises(IndexError):
+            pairwise_split_tables(split, np.array([[0, 99]]))
+
+
+class TestPairwiseDetector:
+    def test_agrees_with_brute_force(self, small_dataset):
+        fast = PairwiseEpistasisDetector(top_k=5).detect(small_dataset)
+        reference = BruteForceReference(order=2, top_k=5).detect(small_dataset)
+        assert fast.best_snps == reference.best_snps
+        assert fast.best_score == pytest.approx(reference.best_score)
+        assert [i.snps for i in fast.top] == [i.snps for i in reference.top]
+
+    def test_recovers_planted_pair(self):
+        dataset = generate_dataset(
+            SyntheticConfig(
+                n_snps=30,
+                n_samples=2048,
+                interaction=PlantedInteraction(
+                    snps=(4, 21), model="threshold", baseline=0.05, effect=0.9
+                ),
+                seed=13,
+            )
+        )
+        result = PairwiseEpistasisDetector(top_k=3).detect(dataset)
+        assert result.contains((4, 21))
+
+    def test_chunking_invariance(self, small_dataset):
+        a = PairwiseEpistasisDetector(chunk_size=7).detect(small_dataset)
+        b = PairwiseEpistasisDetector(chunk_size=100000).detect(small_dataset)
+        assert a.best_snps == b.best_snps
+        assert a.best_score == pytest.approx(b.best_score)
+
+    def test_score_pairs_entry_point(self, small_dataset):
+        detector = PairwiseEpistasisDetector()
+        pairs = np.array([[0, 1], [2, 5]])
+        scores = detector.score_pairs(small_dataset, pairs)
+        expected = K2Score().score(
+            np.stack(
+                [
+                    contingency_oracle(small_dataset.genotypes, small_dataset.phenotypes, p)
+                    for p in pairs
+                ]
+            )
+        )
+        assert np.allclose(scores, expected)
+
+    def test_stats(self, small_dataset):
+        result = PairwiseEpistasisDetector().detect(small_dataset)
+        assert result.stats.n_combinations == comb(small_dataset.n_snps, 2)
+        assert result.stats.extra["order"] == 2
+        assert len(result.best_snps) == 2
+
+    def test_validation(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            PairwiseEpistasisDetector(chunk_size=0)
+        with pytest.raises(ValueError):
+            PairwiseEpistasisDetector(top_k=0)
+        with pytest.raises(ValueError):
+            PairwiseEpistasisDetector().detect(tiny_dataset.subset_snps([0]))

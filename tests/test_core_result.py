@@ -1,0 +1,103 @@
+"""Tests of the result containers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.result import ApproachStats, DetectionResult, Interaction
+
+
+class TestInteraction:
+    def test_ordering_by_score_then_snps(self):
+        a = Interaction(snps=(0, 1, 2), score=1.0)
+        b = Interaction(snps=(0, 1, 3), score=1.0)
+        c = Interaction(snps=(5, 6, 7), score=0.5)
+        assert sorted([b, a, c]) == [c, a, b]
+
+    def test_str_with_names(self):
+        inter = Interaction(snps=(1, 2, 3), score=12.5, snp_names=("rs1", "rs2", "rs3"))
+        text = str(inter)
+        assert "rs1" in text and "12.5" in text
+
+    def test_str_without_names(self):
+        assert "(1, 2, 3)" in str(Interaction(snps=(1, 2, 3), score=1.0))
+
+
+class TestApproachStats:
+    def test_derived_quantities(self):
+        stats = ApproachStats(
+            approach="cpu-v4",
+            n_combinations=100,
+            n_samples=64,
+            elapsed_seconds=2.0,
+            op_counts={"AND": 1000, "POPCNT": 500, "LOAD": 200},
+            bytes_loaded=800,
+            bytes_stored=200,
+        )
+        assert stats.elements == 6400
+        assert stats.elements_per_second == pytest.approx(3200.0)
+        assert stats.total_ops == 1500
+        assert stats.arithmetic_intensity == pytest.approx(1.5)
+
+    def test_zero_elapsed(self):
+        stats = ApproachStats("x", 1, 1, 0.0)
+        assert np.isnan(stats.elements_per_second)
+
+    def test_zero_traffic(self):
+        stats = ApproachStats("x", 1, 1, 1.0, op_counts={"AND": 1})
+        assert np.isnan(stats.arithmetic_intensity)
+
+
+class TestDetectionResult:
+    def _stats(self):
+        return ApproachStats("cpu-v2", 4, 10, 0.1)
+
+    def test_from_scores(self):
+        combos = np.array([[0, 1, 2], [0, 1, 3], [0, 2, 3], [1, 2, 3]])
+        scores = np.array([5.0, 1.0, 3.0, 2.0])
+        result = DetectionResult.from_scores(combos, scores, self._stats(), top_k=3)
+        assert result.best_snps == (0, 1, 3)
+        assert result.best_score == 1.0
+        assert [i.snps for i in result.top] == [(0, 1, 3), (1, 2, 3), (0, 2, 3)]
+
+    def test_from_scores_with_names(self):
+        combos = np.array([[0, 1, 2]])
+        result = DetectionResult.from_scores(
+            combos, np.array([1.0]), self._stats(), snp_names=["a", "b", "c"]
+        )
+        assert result.best.snp_names == ("a", "b", "c")
+
+    def test_top_k_clamped(self):
+        combos = np.array([[0, 1, 2], [0, 1, 3]])
+        result = DetectionResult.from_scores(
+            combos, np.array([2.0, 1.0]), self._stats(), top_k=10
+        )
+        assert len(result.top) == 2
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            DetectionResult.from_scores(
+                np.array([[0, 1, 2]]), np.array([1.0, 2.0]), self._stats()
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DetectionResult.from_scores(
+                np.empty((0, 3)), np.empty(0), self._stats()
+            )
+
+    def test_contains(self):
+        combos = np.array([[0, 1, 2], [3, 4, 5]])
+        result = DetectionResult.from_scores(
+            combos, np.array([1.0, 2.0]), self._stats(), top_k=2
+        )
+        assert result.contains((2, 0, 1))
+        assert not result.contains((0, 1, 5))
+
+    def test_summary_mentions_key_fields(self):
+        combos = np.array([[0, 1, 2]])
+        result = DetectionResult.from_scores(combos, np.array([1.0]), self._stats())
+        text = result.summary()
+        assert "cpu-v2" in text
+        assert "best interaction" in text

@@ -1,0 +1,141 @@
+"""Tests of the BOOST binarised encodings."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitops.packing import packed_word_count, unpack_bits
+from repro.bitops.popcount import popcount32
+from repro.datasets.binarization import BinarizedDataset, PhenotypeSplitDataset
+from repro.datasets.synthetic import generate_null_dataset
+
+
+class TestBinarizedDataset:
+    def test_geometry(self, small_dataset):
+        enc = BinarizedDataset.from_dataset(small_dataset)
+        assert enc.n_snps == small_dataset.n_snps
+        assert enc.n_samples == small_dataset.n_samples
+        assert enc.n_words == packed_word_count(small_dataset.n_samples)
+        assert enc.planes.shape == (enc.n_snps, 3, enc.n_words)
+        assert enc.phenotype_words.shape == (enc.n_words,)
+
+    def test_case_control_counts(self, odd_sample_dataset):
+        enc = BinarizedDataset.from_dataset(odd_sample_dataset)
+        assert enc.n_cases == odd_sample_dataset.n_cases
+        assert enc.n_controls == odd_sample_dataset.n_controls
+
+    def test_planes_decode_to_genotypes(self, small_dataset):
+        enc = BinarizedDataset.from_dataset(small_dataset)
+        for snp in (0, 7, 23):
+            decoded = np.zeros(small_dataset.n_samples, dtype=np.int8)
+            for g in (1, 2):
+                bits = unpack_bits(enc.planes[snp, g], small_dataset.n_samples)
+                decoded[bits] = g
+            assert np.array_equal(decoded, small_dataset.genotypes[snp])
+
+    def test_validate_passes(self, odd_sample_dataset):
+        BinarizedDataset.from_dataset(odd_sample_dataset).validate()
+
+    def test_validate_detects_corruption(self, small_dataset):
+        enc = BinarizedDataset.from_dataset(small_dataset)
+        enc.planes[0, 0, 0] ^= np.uint32(1)
+        with pytest.raises(ValueError):
+            enc.validate()
+
+    def test_nbytes(self, small_dataset):
+        enc = BinarizedDataset.from_dataset(small_dataset)
+        expected = (enc.n_snps * 3 + 1) * enc.n_words * 4
+        assert enc.nbytes() == expected
+
+    def test_snp_plane_is_view(self, small_dataset):
+        enc = BinarizedDataset.from_dataset(small_dataset)
+        assert enc.snp_plane(2, 1).base is not None
+
+
+class TestPhenotypeSplitDataset:
+    def test_geometry(self, odd_sample_dataset):
+        split = PhenotypeSplitDataset.from_dataset(odd_sample_dataset)
+        assert split.n_snps == odd_sample_dataset.n_snps
+        assert split.n_controls == odd_sample_dataset.n_controls
+        assert split.n_cases == odd_sample_dataset.n_cases
+        assert split.n_samples == odd_sample_dataset.n_samples
+        ctrl_words, case_words = split.words_per_class
+        assert ctrl_words == packed_word_count(split.n_controls)
+        assert case_words == packed_word_count(split.n_cases)
+        assert split.control_planes.shape == (split.n_snps, 2, ctrl_words)
+
+    def test_sample_order_traceability(self, odd_sample_dataset):
+        split = PhenotypeSplitDataset.from_dataset(odd_sample_dataset)
+        assert np.array_equal(split.control_order, odd_sample_dataset.control_indices)
+        assert np.array_equal(split.case_order, odd_sample_dataset.case_indices)
+
+    def test_planes_for_class(self, small_dataset):
+        split = PhenotypeSplitDataset.from_dataset(small_dataset)
+        planes0, n0 = split.planes_for_class(0)
+        planes1, n1 = split.planes_for_class(1)
+        assert n0 == split.n_controls and n1 == split.n_cases
+        with pytest.raises(ValueError):
+            split.planes_for_class(2)
+
+    def test_padding_mask(self, odd_sample_dataset):
+        split = PhenotypeSplitDataset.from_dataset(odd_sample_dataset)
+        for cls in (0, 1):
+            mask = split.padding_mask(cls)
+            _, n_valid = split.planes_for_class(cls)
+            assert popcount32(mask).sum() == n_valid
+
+    def test_genotype2_inferrable(self, small_dataset):
+        """NOR of the stored planes recovers exactly the genotype-2 samples."""
+        split = PhenotypeSplitDataset.from_dataset(small_dataset)
+        geno_ctrl = small_dataset.genotypes[:, small_dataset.control_indices]
+        for snp in (0, 11, 23):
+            plane0, plane1 = split.control_planes[snp]
+            inferred = ~(plane0 | plane1) & split.padding_mask(0)
+            bits = unpack_bits(inferred.astype(np.uint32), split.n_controls)
+            assert np.array_equal(bits, geno_ctrl[snp] == 2)
+
+    def test_counts_match_dataset(self, small_dataset):
+        split = PhenotypeSplitDataset.from_dataset(small_dataset)
+        geno_case = small_dataset.genotypes[:, small_dataset.case_indices]
+        counts_g0 = popcount32(split.case_planes[:, 0]).sum(axis=-1)
+        assert np.array_equal(counts_g0, (geno_case == 0).sum(axis=1))
+
+    def test_memory_reduction_about_one_third(self, small_dataset):
+        split = PhenotypeSplitDataset.from_dataset(small_dataset)
+        assert 0.25 <= split.memory_reduction_vs_naive() <= 0.40
+
+    def test_validate(self, small_dataset):
+        split = PhenotypeSplitDataset.from_dataset(small_dataset)
+        split.validate()
+        split.control_planes[0, 1] |= split.control_planes[0, 0]
+        if split.control_planes[0, 0].any():
+            with pytest.raises(ValueError):
+                split.validate()
+
+    @given(
+        n_samples=st.integers(min_value=2, max_value=300),
+        case_fraction=st.floats(min_value=0.1, max_value=0.9),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_split_partitions_samples(self, n_samples, case_fraction, seed):
+        from repro.datasets.synthetic import SyntheticConfig, generate_dataset
+
+        ds = generate_dataset(
+            SyntheticConfig(
+                n_snps=5, n_samples=n_samples, case_fraction=case_fraction, seed=seed
+            )
+        )
+        split = PhenotypeSplitDataset.from_dataset(ds)
+        assert split.n_controls + split.n_cases == n_samples
+        # Per-SNP genotype counts across both classes must equal the dataset's.
+        for snp in range(ds.n_snps):
+            total = (
+                popcount32(split.control_planes[snp]).sum()
+                + popcount32(split.case_planes[snp]).sum()
+            )
+            n_genotype2 = int((ds.genotypes[snp] == 2).sum())
+            assert total == n_samples - n_genotype2

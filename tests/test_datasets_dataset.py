@@ -1,0 +1,106 @@
+"""Tests of the GenotypeDataset container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.dataset import GenotypeDataset
+
+
+def _make(genotypes, phenotypes, names=None):
+    return GenotypeDataset(
+        genotypes=np.asarray(genotypes, dtype=np.int8),
+        phenotypes=np.asarray(phenotypes, dtype=np.int8),
+        snp_names=names,
+    )
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        ds = _make([[0, 1, 2, 1], [2, 2, 0, 0]], [0, 1, 1, 0])
+        assert ds.n_snps == 2
+        assert ds.n_samples == 4
+        assert ds.n_cases == 2
+        assert ds.n_controls == 2
+        assert ds.case_indices.tolist() == [1, 2]
+        assert ds.control_indices.tolist() == [0, 3]
+
+    def test_default_names(self):
+        ds = _make([[0, 1]], [0, 1])
+        assert ds.snp_names == ["snp0000"]
+
+    def test_custom_names(self):
+        ds = _make([[0], [1]], [1], names=["rs1", "rs2"])
+        assert ds.snp_names == ["rs1", "rs2"]
+
+    def test_wrong_name_count(self):
+        with pytest.raises(ValueError):
+            _make([[0], [1]], [1], names=["rs1"])
+
+    def test_sample_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            _make([[0, 1]], [0, 1, 1])
+
+    def test_bad_genotype_rejected(self):
+        with pytest.raises(ValueError):
+            _make([[0, 3]], [0, 1])
+
+    def test_bad_phenotype_rejected(self):
+        with pytest.raises(ValueError):
+            _make([[0, 1]], [0, 2])
+
+    def test_1d_genotypes_rejected(self):
+        with pytest.raises(ValueError):
+            GenotypeDataset(np.zeros(4, dtype=np.int8), np.zeros(4, dtype=np.int8))
+
+    def test_storage_is_contiguous_int8(self, small_dataset):
+        assert small_dataset.genotypes.dtype == np.int8
+        assert small_dataset.genotypes.flags["C_CONTIGUOUS"]
+
+
+class TestCombinatorics:
+    def test_combination_counts(self, small_dataset):
+        assert small_dataset.n_combinations(3) == 2024  # C(24, 3)
+        assert small_dataset.n_combinations(2) == 276
+        assert small_dataset.n_elements(3) == 2024 * small_dataset.n_samples
+
+
+class TestManipulation:
+    def test_subset_snps(self, small_dataset):
+        sub = small_dataset.subset_snps([0, 5, 7])
+        assert sub.n_snps == 3
+        assert sub.n_samples == small_dataset.n_samples
+        assert np.array_equal(sub.genotypes[1], small_dataset.genotypes[5])
+        assert sub.snp_names == [small_dataset.snp_names[i] for i in (0, 5, 7)]
+
+    def test_subset_samples(self, small_dataset):
+        idx = [0, 2, 4, 6]
+        sub = small_dataset.subset_samples(idx)
+        assert sub.n_samples == 4
+        assert np.array_equal(sub.phenotypes, small_dataset.phenotypes[idx])
+
+    def test_sorted_by_phenotype(self, odd_sample_dataset):
+        srt = odd_sample_dataset.sorted_by_phenotype()
+        assert srt.n_cases == odd_sample_dataset.n_cases
+        phen = srt.phenotypes
+        assert (np.diff(phen.astype(int)) >= 0).all()  # controls first, cases last
+
+    def test_genotype_counts(self, small_dataset):
+        counts = small_dataset.genotype_counts(0)
+        assert counts.sum() == small_dataset.n_samples
+        assert counts.shape == (3,)
+
+    def test_equality(self, small_dataset):
+        clone = GenotypeDataset(
+            genotypes=small_dataset.genotypes.copy(),
+            phenotypes=small_dataset.phenotypes.copy(),
+            snp_names=list(small_dataset.snp_names),
+        )
+        assert clone == small_dataset
+        other = clone.subset_samples(range(10))
+        assert other != small_dataset
+
+    def test_repr(self, small_dataset):
+        text = repr(small_dataset)
+        assert "n_snps=24" in text

@@ -1,0 +1,87 @@
+"""Tests of dataset persistence (NPZ and text formats)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.io import load_dataset, load_npz, load_text, save_npz, save_text
+from repro.datasets.synthetic import generate_null_dataset
+
+
+class TestNpzRoundtrip:
+    def test_roundtrip(self, tmp_path, small_dataset):
+        path = tmp_path / "ds.npz"
+        save_npz(small_dataset, path)
+        loaded = load_npz(path)
+        assert loaded == small_dataset
+
+    def test_creates_parent_dirs(self, tmp_path, tiny_dataset):
+        path = tmp_path / "nested" / "dir" / "ds.npz"
+        save_npz(tiny_dataset, path)
+        assert load_npz(path) == tiny_dataset
+
+    def test_missing_arrays_detected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, genotypes=np.zeros((2, 4), dtype=np.int8))
+        with pytest.raises(ValueError):
+            load_npz(path)
+
+
+class TestTextRoundtrip:
+    def test_roundtrip(self, tmp_path, tiny_dataset):
+        path = tmp_path / "ds.csv"
+        save_text(tiny_dataset, path)
+        loaded = load_text(path)
+        assert np.array_equal(loaded.genotypes, tiny_dataset.genotypes)
+        assert np.array_equal(loaded.phenotypes, tiny_dataset.phenotypes)
+
+    def test_header_comment_present(self, tmp_path, tiny_dataset):
+        path = tmp_path / "ds.csv"
+        save_text(tiny_dataset, path)
+        first = path.read_text().splitlines()[0]
+        assert first.startswith("#")
+
+    def test_whitespace_delimited_accepted(self, tmp_path):
+        path = tmp_path / "ds.txt"
+        path.write_text("0 1 2 0\n1 1 0 2\n0 1 1 0\n")
+        loaded = load_text(path)
+        assert loaded.n_snps == 2
+        assert loaded.n_samples == 4
+
+    def test_ragged_rows_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0,1,2\n0,1\n0,1,0\n")
+        with pytest.raises(ValueError):
+            load_text(path)
+
+    def test_too_few_rows_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0,1,1\n")
+        with pytest.raises(ValueError):
+            load_text(path)
+
+
+class TestLoadDataset:
+    def test_dispatch_npz(self, tmp_path, tiny_dataset):
+        path = tmp_path / "a.npz"
+        save_npz(tiny_dataset, path)
+        assert load_dataset(path) == tiny_dataset
+
+    def test_dispatch_text(self, tmp_path, tiny_dataset):
+        path = tmp_path / "a.csv"
+        save_text(tiny_dataset, path)
+        assert np.array_equal(load_dataset(path).genotypes, tiny_dataset.genotypes)
+
+    def test_roundtrip_preserves_detection_result(self, tmp_path):
+        """End-to-end: saving and loading does not change the best triplet."""
+        from repro.core import EpistasisDetector
+
+        ds = generate_null_dataset(12, 256, seed=42)
+        path = tmp_path / "ds.npz"
+        save_npz(ds, path)
+        loaded = load_dataset(path)
+        a = EpistasisDetector(approach="cpu-v2").detect(ds)
+        b = EpistasisDetector(approach="cpu-v2").detect(loaded)
+        assert a.best_snps == b.best_snps
+        assert a.best_score == pytest.approx(b.best_score)

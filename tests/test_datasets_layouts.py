@@ -1,0 +1,97 @@
+"""Tests of the GPU memory layouts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.binarization import PhenotypeSplitDataset
+from repro.datasets.layouts import snp_major_layout, tiled_layout, transposed_layout
+
+
+@pytest.fixture(scope="module")
+def split(small_dataset_module=None):
+    from repro.datasets.synthetic import generate_null_dataset
+
+    return PhenotypeSplitDataset.from_dataset(generate_null_dataset(13, 173, seed=7))
+
+
+class TestSnpMajorLayout:
+    def test_is_identity_arrangement(self, split):
+        layout = snp_major_layout(split)
+        assert layout.kind == "snp-major"
+        assert np.array_equal(layout.control, split.control_planes)
+        assert layout.block_size == 1
+        assert layout.n_snps == split.n_snps
+
+    def test_plane_accessor(self, split):
+        layout = snp_major_layout(split)
+        for snp in (0, 5, 12):
+            for g in (0, 1):
+                assert np.array_equal(layout.plane(0, snp, g), split.control_planes[snp, g])
+                assert np.array_equal(layout.plane(1, snp, g), split.case_planes[snp, g])
+
+    def test_stride_is_large(self, split):
+        layout = snp_major_layout(split)
+        assert layout.address_stride_between_threads() > 1
+
+
+class TestTransposedLayout:
+    def test_shape(self, split):
+        layout = transposed_layout(split)
+        ctrl_words, case_words = split.words_per_class
+        assert layout.control.shape == (ctrl_words, 2, split.n_snps)
+        assert layout.case.shape == (case_words, 2, split.n_snps)
+
+    def test_same_words_different_order(self, split):
+        layout = transposed_layout(split)
+        for snp in range(split.n_snps):
+            for g in (0, 1):
+                assert np.array_equal(layout.plane(0, snp, g), split.control_planes[snp, g])
+                assert np.array_equal(layout.plane(1, snp, g), split.case_planes[snp, g])
+
+    def test_stride_is_one(self, split):
+        assert transposed_layout(split).address_stride_between_threads() == 1
+
+    def test_nbytes_preserved(self, split):
+        assert transposed_layout(split).nbytes() == snp_major_layout(split).nbytes()
+
+
+class TestTiledLayout:
+    @pytest.mark.parametrize("block_size", [1, 4, 8, 16])
+    def test_plane_roundtrip(self, split, block_size):
+        layout = tiled_layout(split, block_size=block_size)
+        assert layout.kind == "tiled"
+        assert layout.block_size == block_size
+        for snp in range(split.n_snps):
+            for g in (0, 1):
+                assert np.array_equal(
+                    layout.plane(0, snp, g), split.control_planes[snp, g]
+                )
+
+    def test_padding_blocks_are_zero(self, split):
+        layout = tiled_layout(split, block_size=8)  # 13 SNPs -> 2 blocks of 8
+        n_blocks = layout.control.shape[0]
+        assert n_blocks == 2
+        padded_slots = n_blocks * 8 - split.n_snps
+        assert padded_slots == 3
+        # The padded SNP slots of the last block must be all-zero words.
+        assert not layout.control[-1, :, :, split.n_snps % 8:].any()
+
+    def test_invalid_block_size(self, split):
+        with pytest.raises(ValueError):
+            tiled_layout(split, block_size=0)
+
+    def test_genotype2_never_stored(self, split):
+        layout = tiled_layout(split, block_size=4)
+        with pytest.raises(ValueError):
+            layout.plane(0, 0, 2)
+
+
+class TestGpuLayoutCommon:
+    def test_words_and_samples_accessors(self, split):
+        layout = transposed_layout(split)
+        assert layout.samples(0) == split.n_controls
+        assert layout.samples(1) == split.n_cases
+        with pytest.raises(ValueError):
+            layout.words(2)

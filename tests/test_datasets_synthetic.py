@@ -1,0 +1,163 @@
+"""Tests of the synthetic dataset generators and penetrance models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.synthetic import (
+    PlantedInteraction,
+    SyntheticConfig,
+    generate_dataset,
+    generate_null_dataset,
+    penetrance_table,
+)
+
+
+class TestPenetranceTable:
+    @pytest.mark.parametrize("model", ["threshold", "multiplicative", "xor"])
+    def test_shape_and_bounds(self, model):
+        table = penetrance_table(model, order=3, baseline=0.1, effect=0.7)
+        assert table.shape == (3, 3, 3)
+        assert table.min() >= 0.1 - 1e-12
+        assert table.max() <= 0.7 + 1e-12
+
+    def test_threshold_semantics(self):
+        table = penetrance_table("threshold", baseline=0.05, effect=0.9)
+        assert table[0, 1, 2] == pytest.approx(0.05)  # one SNP has no minor allele
+        assert table[1, 1, 1] == pytest.approx(0.9)
+        assert table[2, 2, 2] == pytest.approx(0.9)
+
+    def test_multiplicative_monotone(self):
+        table = penetrance_table("multiplicative", baseline=0.1, effect=0.8)
+        assert table[0, 0, 0] == pytest.approx(0.1)
+        assert table[2, 2, 2] == pytest.approx(0.8)
+        assert table[1, 0, 0] < table[2, 0, 0] < table[2, 2, 2]
+
+    def test_xor_is_mostly_epistatic(self):
+        """The XOR model carries almost no marginal signal: the spread of the
+        per-SNP marginals is a small fraction of the joint effect size."""
+        table = penetrance_table("xor", baseline=0.2, effect=0.8)
+        marginal = table.mean(axis=(1, 2))
+        assert marginal.max() - marginal.min() < 0.2 * (0.8 - 0.2)
+        assert table.max() - table.min() == pytest.approx(0.6)
+
+    def test_order_2(self):
+        assert penetrance_table("threshold", order=2).shape == (3, 3)
+
+    def test_bad_model(self):
+        with pytest.raises(ValueError):
+            penetrance_table("additive")
+
+    def test_bad_bounds(self):
+        with pytest.raises(ValueError):
+            penetrance_table("threshold", baseline=0.9, effect=0.1)
+
+
+class TestPlantedInteraction:
+    def test_order(self):
+        assert PlantedInteraction(snps=(1, 2, 3)).order == 3
+
+    def test_duplicate_snps_rejected(self):
+        with pytest.raises(ValueError):
+            PlantedInteraction(snps=(1, 1, 2))
+
+    def test_single_snp_rejected(self):
+        with pytest.raises(ValueError):
+            PlantedInteraction(snps=(1,))
+
+    def test_table(self):
+        inter = PlantedInteraction(snps=(0, 1, 2), model="xor", baseline=0.1, effect=0.6)
+        assert inter.table().shape == (3, 3, 3)
+
+
+class TestSyntheticConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(n_snps=0, n_samples=10)
+        with pytest.raises(ValueError):
+            SyntheticConfig(n_snps=10, n_samples=10, maf_range=(0.0, 0.5))
+        with pytest.raises(ValueError):
+            SyntheticConfig(n_snps=10, n_samples=10, case_fraction=1.0)
+        with pytest.raises(ValueError):
+            SyntheticConfig(
+                n_snps=10, n_samples=10, interaction=PlantedInteraction(snps=(5, 20, 7))
+            )
+
+
+class TestGeneration:
+    def test_shapes_and_values(self):
+        ds = generate_null_dataset(17, 203, seed=9)
+        assert ds.n_snps == 17
+        assert ds.n_samples == 203
+        assert set(np.unique(ds.genotypes)) <= {0, 1, 2}
+        assert set(np.unique(ds.phenotypes)) <= {0, 1}
+
+    def test_reproducibility(self):
+        a = generate_null_dataset(12, 100, seed=5)
+        b = generate_null_dataset(12, 100, seed=5)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generate_null_dataset(12, 100, seed=5)
+        b = generate_null_dataset(12, 100, seed=6)
+        assert a != b
+
+    def test_balanced_phenotype(self):
+        ds = generate_dataset(SyntheticConfig(n_snps=8, n_samples=100, seed=1))
+        assert ds.n_cases == 50
+
+    def test_case_fraction_respected(self):
+        ds = generate_dataset(
+            SyntheticConfig(n_snps=8, n_samples=200, case_fraction=0.25, seed=1)
+        )
+        assert ds.n_cases == 50
+
+    def test_unbalanced_mode_never_degenerate(self):
+        ds = generate_dataset(
+            SyntheticConfig(
+                n_snps=4, n_samples=20, case_fraction=0.5, balance_phenotype=False, seed=0
+            )
+        )
+        assert 0 < ds.n_cases < ds.n_samples
+
+    def test_planted_interaction_enriches_cases(self):
+        """Cases must be enriched in high-penetrance genotype combinations."""
+        planted = (1, 3, 5)
+        ds = generate_dataset(
+            SyntheticConfig(
+                n_snps=8,
+                n_samples=4000,
+                interaction=PlantedInteraction(
+                    snps=planted, model="threshold", baseline=0.05, effect=0.9
+                ),
+                seed=11,
+            )
+        )
+        high_risk = np.ones(ds.n_samples, dtype=bool)
+        for snp in planted:
+            high_risk &= ds.genotypes[snp] >= 1
+        case_rate_high = ds.phenotypes[high_risk].mean()
+        case_rate_low = ds.phenotypes[~high_risk].mean()
+        assert case_rate_high > case_rate_low + 0.2
+
+    def test_maf_range_respected(self):
+        ds = generate_null_dataset(50, 2000, seed=3, maf_range=(0.4, 0.5))
+        # With MAF >= 0.4 the expected minor-allele count per SNP is >= 0.8 N;
+        # a loose lower bound guards against mis-wired MAF sampling.
+        minor_counts = (ds.genotypes.astype(int)).sum(axis=1)
+        assert (minor_counts > 0.6 * ds.n_samples).all()
+
+    @given(
+        n_snps=st.integers(min_value=3, max_value=20),
+        n_samples=st.integers(min_value=10, max_value=300),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_generation_always_valid(self, n_snps, n_samples, seed):
+        ds = generate_null_dataset(n_snps, n_samples, seed=seed)
+        assert ds.n_snps == n_snps
+        assert ds.n_samples == n_samples
+        assert 0 < ds.n_cases < ds.n_samples or n_samples == 1

@@ -1,0 +1,148 @@
+"""Tests of the device catalog (Tables I and II) and derived quantities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devices import (
+    ALL_CPUS,
+    ALL_GPUS,
+    CPU_CATALOG,
+    GPU_CATALOG,
+    CacheLevel,
+    cpu,
+    device,
+    gpu,
+    list_devices,
+)
+
+
+class TestCatalogContents:
+    def test_counts_match_paper(self):
+        # Table I lists 5 CPUs; Table II lists 9 GPU rows (the paper's prose
+        # rounds this to "8 GPUs" / "13 devices").
+        assert len(ALL_CPUS) == 5
+        assert len(ALL_GPUS) == 9
+        assert len(GPU_CATALOG) == 9
+
+    def test_table1_keys(self):
+        assert list(CPU_CATALOG) == ["CI1", "CI2", "CI3", "CA1", "CA2"]
+
+    def test_table2_keys(self):
+        assert set(GPU_CATALOG) == {
+            "GI1", "GI2", "GN1", "GN2", "GN3", "GN4", "GA1", "GA2", "GA3"
+        }
+
+    def test_table1_frequencies(self):
+        assert cpu("CI1").base_freq_ghz == 3.7
+        assert cpu("CI2").base_freq_ghz == 2.3
+        assert cpu("CI3").base_freq_ghz == 2.4
+        assert cpu("CA1").base_freq_ghz == 2.2
+        assert cpu("CA2").base_freq_ghz == 3.0
+
+    def test_table1_vector_widths(self):
+        assert cpu("CI1").vector_width_bits == 256
+        assert cpu("CI2").vector_width_bits == 512
+        assert cpu("CI3").vector_width_bits == 512
+        assert cpu("CA1").vector_width_bits == 128
+        assert cpu("CA2").vector_width_bits == 256
+
+    def test_only_ice_lake_has_vector_popcnt(self):
+        assert cpu("CI3").has_vector_popcnt
+        for key in ("CI1", "CI2", "CA1", "CA2"):
+            assert not cpu(key).has_vector_popcnt
+
+    def test_table2_popcnt_throughput(self):
+        expected = {
+            "GI1": 4, "GI2": 4, "GN1": 32, "GN2": 16, "GN3": 16, "GN4": 16,
+            "GA1": 12, "GA2": 12, "GA3": 10,
+        }
+        for key, value in expected.items():
+            assert gpu(key).popcnt_per_cu == value
+
+    def test_table2_compute_units_and_stream_cores(self):
+        assert (gpu("GN1").compute_units, gpu("GN1").stream_cores) == (30, 3840)
+        assert (gpu("GN4").compute_units, gpu("GN4").stream_cores) == (108, 6912)
+        assert (gpu("GA2").compute_units, gpu("GA2").stream_cores) == (120, 7680)
+        assert (gpu("GI2").compute_units, gpu("GI2").stream_cores) == (96, 768)
+
+    def test_table2_frequencies(self):
+        assert gpu("GN3").boost_freq_ghz == pytest.approx(1.770)
+        assert gpu("GA3").boost_freq_ghz == pytest.approx(2.250)
+
+    def test_gpu_preferred_parameters(self):
+        """<BSched, BS> values reported in §V-C."""
+        assert (gpu("GI1").preferred_bsched, gpu("GI1").preferred_bs) == (256, 64)
+        assert (gpu("GN1").preferred_bsched, gpu("GN1").preferred_bs) == (256, 32)
+        assert (gpu("GA1").preferred_bsched, gpu("GA1").preferred_bs) == (128, 64)
+        assert (gpu("GA3").preferred_bsched, gpu("GA3").preferred_bs) == (256, 32)
+
+
+class TestLookups:
+    def test_case_insensitive(self):
+        assert cpu("ci3") is CPU_CATALOG["CI3"]
+        assert gpu("gn4") is GPU_CATALOG["GN4"]
+
+    def test_device_dispatch(self):
+        assert device("CI1").key == "CI1"
+        assert device("GA3").key == "GA3"
+
+    def test_unknown_device(self):
+        with pytest.raises(KeyError):
+            cpu("CI9")
+        with pytest.raises(KeyError):
+            gpu("GX1")
+        with pytest.raises(KeyError):
+            device("nope")
+
+    def test_list_devices(self):
+        assert len(list_devices("cpu")) == 5
+        assert len(list_devices("gpu")) == 9
+        assert len(list_devices("all")) == 14
+        with pytest.raises(ValueError):
+            list_devices("fpga")
+
+
+class TestDerivedQuantities:
+    def test_blocking_parameters_match_paper(self):
+        """§V-B: <5, 400> on Ice Lake SP, <5, 96> on the remaining CPUs."""
+        assert cpu("CI3").blocking_parameters() == (5, 400)
+        for key in ("CI1", "CI2", "CA1", "CA2"):
+            assert cpu(key).blocking_parameters() == (5, 96)
+
+    def test_blocking_respects_l1_capacity(self):
+        for spec in ALL_CPUS:
+            bs, bp = spec.blocking_parameters()
+            ft_bytes = bs**3 * 4 * 2 * 27
+            block_bytes = bs * bp * 4 * 2
+            assert ft_bytes + block_bytes <= spec.l1d.size_kib * 1024
+
+    def test_blocking_monotone_in_ft_ways(self):
+        spec = cpu("CI3")
+        bs_small, _ = spec.blocking_parameters(ft_ways=2)
+        bs_large, _ = spec.blocking_parameters(ft_ways=7)
+        assert bs_small <= bs_large
+
+    def test_cache_lookup(self):
+        assert cpu("CI3").cache("L1").size_kib == 48
+        assert cpu("CI3").cache("L1").ways == 12
+        with pytest.raises(KeyError):
+            cpu("CI1").cache("L4")
+
+    def test_cache_bandwidth(self):
+        level = CacheLevel("L1", 32, 8, 64.0)
+        assert level.bandwidth_gbps(2.0, cores=4) == pytest.approx(512.0)
+
+    def test_peak_gops(self):
+        ci3 = cpu("CI3")
+        assert ci3.peak_int_gops() == pytest.approx(16 * 2.0 * 2.4 * 72)
+        assert ci3.scalar_peak_int_gops() == pytest.approx(2.0 * 2.4 * 72)
+
+    def test_gpu_peaks(self):
+        gn1 = gpu("GN1")
+        assert gn1.stream_cores_per_cu == 128
+        assert gn1.peak_popcnt_gops() == pytest.approx(32 * 30 * 1.582)
+
+    def test_str_representations(self):
+        assert "Ice Lake" in str(cpu("CI3"))
+        assert "POPCNT" in str(gpu("GN1"))

@@ -1,0 +1,157 @@
+"""Tests of the experiment harness (tables, figures, ablations, reporting)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ablations, comparison, figure2, figure3, figure4, table3, tables
+from repro.experiments.report import format_float, format_table
+
+
+class TestReport:
+    def test_format_float(self):
+        assert format_float(3) == "3"
+        assert format_float(3.14159) == "3.142"
+        assert format_float(1.23e8) == "1.230e+08"
+        assert format_float(True) == "True"
+        assert format_float("text") == "text"
+        assert format_float(0.0) == "0"
+
+    def test_format_table(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}]
+        text = format_table(rows, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="T")
+
+    def test_format_table_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        assert "b" not in format_table(rows, columns=["a"])
+
+
+class TestTables:
+    def test_table1(self):
+        rows = tables.run_table1()
+        assert len(rows) == 5
+        assert "Table I" in tables.format_table1()
+
+    def test_table2(self):
+        rows = tables.run_table2()
+        assert len(rows) == 9
+        assert "Table II" in tables.format_table2()
+
+
+class TestFigure2:
+    def test_rows(self):
+        rows = figure2.run_figure2("CI3")
+        assert len(rows) == 4
+        assert all(r["device"] == "CI3" for r in rows)
+
+    def test_gpu_device(self):
+        rows = figure2.run_figure2("GI2")
+        assert {r["approach"] for r in rows} == {"V1", "V2", "V3", "V4"}
+
+    def test_format_contains_both_panels(self):
+        text = figure2.format_figure2(ascii_chart=False)
+        assert "Figure 2a" in text and "Figure 2b" in text
+
+    def test_format_with_chart(self):
+        text = figure2.format_figure2()
+        assert "CARM CI3" in text and "CARM GI2" in text
+
+
+class TestFigure3:
+    def test_row_structure(self):
+        rows = figure3.run_figure3()
+        # 5 CPUs, AVX-512 machines run twice, 3 dataset sizes.
+        assert len(rows) == (5 + 2) * 3
+        keys = {(r["device"], r["isa"]) for r in rows}
+        assert ("CI3", "avx2-256 (AVX run)") in keys
+
+    def test_restricted_run(self):
+        from repro.devices import cpu
+
+        rows = figure3.run_figure3(snp_sizes=(2048,), cpus=[cpu("CI1")])
+        assert len(rows) == 1
+
+    def test_format(self):
+        assert "Figure 3" in figure3.format_figure3(snp_sizes=(2048,))
+
+
+class TestFigure4:
+    def test_row_structure(self):
+        rows = figure4.run_figure4()
+        assert len(rows) == 9 * 3
+        assert {r["device"] for r in rows} == {
+            "GI1", "GI2", "GN1", "GN2", "GN3", "GN4", "GA1", "GA2", "GA3"
+        }
+
+    def test_format(self):
+        assert "Figure 4" in figure4.format_figure4(snp_sizes=(2048,))
+
+
+class TestTable3:
+    def test_rows_cover_paper_table(self):
+        rows = table3.run_table3()
+        assert len(rows) == 15
+        assert {r["baseline"] for r in rows} == {"mpi3snp", "nobre2020", "campos2020"}
+
+    def test_speedups_positive_where_defined(self):
+        for row in table3.run_table3():
+            if row["repro_speedup"] is not None:
+                assert row["repro_speedup"] > 0
+
+    def test_summary(self):
+        agg = table3.summary_speedups()
+        assert agg["max_speedup"] >= agg["overall_mean_speedup"] > 1.0
+        text = table3.format_table3()
+        assert "Table III" in text and "Aggregate" in text
+
+
+class TestComparison:
+    def test_device_rows_sorted(self):
+        rows = comparison.run_device_comparison()
+        totals = [r["total_gelements_per_s"] for r in rows]
+        assert totals == sorted(totals, reverse=True)
+        assert len(rows) == 14
+
+    def test_heterogeneous_rows(self):
+        rows = comparison.run_heterogeneous()
+        assert len(rows) == len(comparison.DEFAULT_HETERO_PAIRS)
+        for row in rows:
+            assert row["combined_gelements_per_s"] >= row["gpu_gelements_per_s"]
+
+    def test_format(self):
+        text = comparison.format_comparison()
+        assert "Heterogeneous" in text
+
+
+class TestAblations:
+    def test_phenotype_elision(self):
+        rows = ablations.run_phenotype_elision(n_snps=16, n_samples=256, n_combos=50)
+        assert rows[1]["ops_measured"] < rows[0]["ops_measured"]
+
+    def test_blocking_sweep(self):
+        rows = ablations.run_blocking_sweep()
+        assert all(r["fits_l1"] for r in rows)
+
+    def test_isa_sweep(self):
+        rows = ablations.run_isa_sweep()
+        assert {r["isa"] for r in rows} == {"avx-128", "avx2-256", "avx512-skx", "avx512-vpopcnt"}
+
+    def test_coalescing(self):
+        rows = ablations.run_coalescing(n_snps=40, n_samples=64)
+        by = {r["layout"]: r for r in rows}
+        assert by["transposed"]["transactions_per_warp_load"] < by["snp-major"]["transactions_per_warp_load"]
+
+    def test_tiling_sweep(self):
+        rows = ablations.run_tiling_sweep()
+        assert [r["approach"] for r in rows] == ["gpu-v1", "gpu-v2", "gpu-v3", "gpu-v4"]
+
+    def test_format_all(self):
+        text = ablations.format_ablations()
+        assert "Ablation" in text

@@ -1,0 +1,175 @@
+"""Tests of the functional GPU simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.contingency import contingency_oracle
+from repro.core.scoring import K2Score
+from repro.datasets.binarization import BinarizedDataset, PhenotypeSplitDataset
+from repro.datasets.synthetic import generate_null_dataset
+from repro.devices import gpu
+from repro.gpusim import (
+    AccessLog,
+    DeviceBuffer,
+    NDRange,
+    SimulatedGpu,
+    TRANSACTION_BYTES,
+    epistasis_kernel_naive,
+    epistasis_kernel_split,
+    make_split_kernel_args,
+)
+from repro.gpusim.grid import WorkItem
+
+
+class TestNDRange:
+    def test_linearisation(self):
+        items = list(NDRange((2, 3), local_size=(1, 3), subgroup_size=2))
+        assert len(items) == 6
+        assert items[0].global_id == (0, 0)
+        assert items[-1].global_id == (1, 2)
+        assert items[4].linear_id == 4
+        assert items[4].group_id == 1
+        assert items[4].local_id == 1
+        assert items[4].subgroup_id == 2
+        assert items[4].lane == 0
+
+    def test_default_single_group(self):
+        r = NDRange((10,))
+        assert r.work_group_size == 10
+        assert r.n_work_groups == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NDRange((0,))
+        with pytest.raises(ValueError):
+            NDRange((4,), local_size=(3,))
+        with pytest.raises(ValueError):
+            NDRange((4, 4), local_size=(2,))
+        with pytest.raises(ValueError):
+            NDRange((2, 2, 2, 2))
+        with pytest.raises(ValueError):
+            NDRange((4,), subgroup_size=0)
+
+    def test_total_items(self):
+        assert NDRange((3, 4, 5)).total_items == 60
+
+
+class TestDeviceBufferAndAccessLog:
+    def test_flat_addressing(self):
+        buf = DeviceBuffer(np.arange(24, dtype=np.uint32).reshape(2, 3, 4))
+        assert buf.flat_index(1, 2, 3) == 23
+        assert buf.peek(1, 2, 3) == 23
+        with pytest.raises(IndexError):
+            buf.flat_index(2, 0, 0)
+        with pytest.raises(ValueError):
+            buf.flat_index(0, 0)
+
+    def test_nbytes(self):
+        assert DeviceBuffer(np.zeros((4, 8), dtype=np.uint32)).nbytes == 128
+
+    def test_coalesced_vs_scattered_loads(self):
+        """32 lanes loading consecutive words -> 4 transactions; strided -> 32."""
+        data = np.arange(4096, dtype=np.uint32)
+        buf = DeviceBuffer(data)
+        coalesced = AccessLog()
+        scattered = AccessLog()
+        for lane in range(32):
+            buf.load(coalesced, 0, 0, lane)
+            buf.load(scattered, 0, 0, lane * 64)
+        assert coalesced.warp_load_instructions == 1
+        assert coalesced.total_transactions == 32 * 4 // TRANSACTION_BYTES
+        assert scattered.total_transactions == 32
+        assert scattered.transactions_per_warp_load == 32.0
+
+    def test_log_totals(self):
+        buf = DeviceBuffer(np.zeros(8, dtype=np.uint32))
+        log = AccessLog()
+        buf.load(log, 0, 0, 3)
+        buf.load(log, 0, 1, 4)
+        assert log.total_loads == 2
+        assert log.total_bytes == 8
+
+
+class TestSimulatedKernels:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return generate_null_dataset(9, 137, seed=17)
+
+    @pytest.fixture(scope="class")
+    def split(self, dataset):
+        return PhenotypeSplitDataset.from_dataset(dataset)
+
+    @pytest.mark.parametrize("layout", ["snp-major", "transposed", "tiled"])
+    def test_split_kernel_matches_oracle(self, dataset, split, layout):
+        args = make_split_kernel_args(split, layout=layout, block_size=4)
+        kernel = epistasis_kernel_split(args)
+        sim = SimulatedGpu()
+        results, stats = sim.launch(kernel, NDRange((9, 9, 9), subgroup_size=32))
+        assert stats.n_active_threads == 84  # C(9, 3)
+        assert stats.n_threads == 729
+        k2 = K2Score()
+        for combo, table, score in results:
+            oracle = contingency_oracle(dataset.genotypes, dataset.phenotypes, combo)
+            assert np.array_equal(table, oracle)
+            assert score == pytest.approx(float(k2.score(oracle[None])[0]))
+
+    def test_naive_kernel_matches_oracle(self, dataset):
+        binarized = BinarizedDataset.from_dataset(dataset)
+        kernel = epistasis_kernel_naive(binarized)
+        results, stats = SimulatedGpu().launch(kernel, NDRange((9, 9, 9)))
+        for combo, table, _ in results[:10]:
+            oracle = contingency_oracle(dataset.genotypes, dataset.phenotypes, combo)
+            assert np.array_equal(table, oracle)
+
+    def test_best_thread_matches_detector(self, dataset, split):
+        from repro.core import EpistasisDetector
+
+        args = make_split_kernel_args(split, layout="tiled", block_size=4)
+        results, _ = SimulatedGpu().launch(
+            epistasis_kernel_split(args), NDRange((9, 9, 9))
+        )
+        best_combo, _, best_score = min(results, key=lambda r: r[2])
+        host = EpistasisDetector(approach="gpu-v4").detect(dataset)
+        assert tuple(best_combo) == host.best_snps
+        assert best_score == pytest.approx(host.best_score)
+
+    def test_cycle_estimate_present_with_spec(self, split):
+        args = make_split_kernel_args(split, layout="tiled", block_size=4)
+        sim = SimulatedGpu(gpu("GN4"))
+        _, stats = sim.launch(epistasis_kernel_split(args), NDRange((9, 9, 9)))
+        assert stats.estimated_cycles is not None and stats.estimated_cycles > 0
+        assert stats.bound in ("popcnt", "integer", "memory")
+        assert stats.instructions["POPCNT"] > 0
+
+    def test_bad_layout_rejected(self, split):
+        with pytest.raises(ValueError):
+            make_split_kernel_args(split, layout="zigzag")
+
+    def test_kernel_requires_3d_range(self, split):
+        args = make_split_kernel_args(split, layout="tiled", block_size=4)
+        kernel = epistasis_kernel_split(args)
+        sim = SimulatedGpu()
+        with pytest.raises(ValueError):
+            sim.launch(kernel, NDRange((10,)))
+
+
+class TestCoalescingAcrossLayouts:
+    def test_transposed_layout_needs_fewer_transactions(self):
+        """One warp of threads on consecutive SNP triplets: the SNP-major
+        layout scatters their loads, the transposed layout coalesces them."""
+        dataset = generate_null_dataset(40, 512, seed=23)
+        split = PhenotypeSplitDataset.from_dataset(dataset)
+        tx = {}
+        for layout in ("snp-major", "transposed"):
+            args = make_split_kernel_args(split, layout=layout, block_size=8)
+            kernel = epistasis_kernel_split(args)
+            _, stats = SimulatedGpu().launch(
+                kernel, NDRange((1, 2, 40), subgroup_size=32)
+            )
+            tx[layout] = stats.transactions_per_warp_load
+        # With 8 words per class the SNP-major stride is 64 bytes: every lane
+        # lands in its own transaction, while the transposed layout packs 8
+        # lanes per 32-byte transaction.
+        assert tx["snp-major"] > 3.0 * tx["transposed"]

@@ -1,0 +1,129 @@
+"""End-to-end integration tests across modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    EpistasisDetector,
+    PlantedInteraction,
+    SyntheticConfig,
+    generate_dataset,
+    load_dataset,
+    save_npz,
+)
+from repro.baselines import BruteForceReference, Mpi3snpBaseline
+from repro.core.approaches import list_approaches
+from repro.datasets.binarization import PhenotypeSplitDataset
+from repro.devices import gpu
+from repro.gpusim import NDRange, SimulatedGpu, epistasis_kernel_split, make_split_kernel_args
+from tests.conftest import PLANTED_TRIPLET
+
+
+class TestPlantedInteractionRecovery:
+    @pytest.mark.parametrize("model", ["threshold", "multiplicative", "xor"])
+    def test_recovery_across_penetrance_models(self, model):
+        planted = (2, 9, 15)
+        dataset = generate_dataset(
+            SyntheticConfig(
+                n_snps=20,
+                n_samples=3000,
+                interaction=PlantedInteraction(
+                    snps=planted, model=model, baseline=0.05, effect=0.95
+                ),
+                seed=31,
+            )
+        )
+        result = EpistasisDetector(approach="cpu-v4", n_workers=2, top_k=5).detect(dataset)
+        assert result.contains(planted)
+
+    @pytest.mark.parametrize(
+        "approach", ["cpu-v1", "cpu-v3", "gpu-v2", "gpu-v4"]
+    )
+    def test_recovery_with_every_approach_family(self, planted_dataset, approach):
+        result = EpistasisDetector(approach=approach, top_k=3).detect(planted_dataset)
+        assert result.contains(PLANTED_TRIPLET)
+
+    def test_recovery_with_alternative_objectives(self, planted_dataset):
+        for objective in ("k2", "mutual-information", "gini", "chi2"):
+            result = EpistasisDetector(
+                approach="cpu-v4", objective=objective, top_k=5
+            ).detect(planted_dataset)
+            assert result.contains(PLANTED_TRIPLET), objective
+
+    def test_null_dataset_has_no_standout_interaction(self, small_dataset):
+        """On a null dataset the best and median scores are close together
+        compared to the spread seen on the planted dataset."""
+        result = EpistasisDetector(approach="cpu-v2", top_k=10).detect(small_dataset)
+        scores = np.array([i.score for i in result.top])
+        spread = (scores[-1] - scores[0]) / abs(scores[-1])
+        assert spread < 0.05
+
+
+class TestFullPipelinePersistence:
+    def test_generate_save_load_detect(self, tmp_path):
+        dataset = generate_dataset(
+            SyntheticConfig(
+                n_snps=18,
+                n_samples=1024,
+                interaction=PlantedInteraction(snps=(1, 8, 14), effect=0.9, baseline=0.05),
+                seed=77,
+            )
+        )
+        path = tmp_path / "cohort.npz"
+        save_npz(dataset, path)
+        reloaded = load_dataset(path)
+        result = EpistasisDetector(approach="gpu-v4", n_workers=2).detect(reloaded)
+        assert result.contains((1, 8, 14))
+
+
+class TestCrossImplementationAgreement:
+    def test_all_stacks_agree_end_to_end(self, planted_dataset):
+        """Optimised approaches, the MPI3SNP baseline, the brute-force oracle
+        and the GPU simulator must all nominate the same interaction."""
+        subset = planted_dataset.subset_snps(range(14))
+        expected = BruteForceReference(top_k=1).detect(subset).best_snps
+
+        for name in list_approaches():
+            got = EpistasisDetector(approach=name).detect(subset).best_snps
+            assert got == expected, name
+
+        assert Mpi3snpBaseline(n_ranks=3).detect(subset).best_snps == expected
+
+        split = PhenotypeSplitDataset.from_dataset(subset)
+        args = make_split_kernel_args(split, layout="tiled", block_size=4)
+        results, _ = SimulatedGpu(gpu("GI2")).launch(
+            epistasis_kernel_split(args), NDRange((14, 14, 14), subgroup_size=32)
+        )
+        best_sim = min(results, key=lambda r: r[2])[0]
+        assert tuple(best_sim) == expected
+
+    def test_counters_accumulate_across_full_run(self, small_dataset):
+        detector = EpistasisDetector(approach="cpu-v4", n_workers=2, chunk_size=512)
+        result = detector.detect(small_dataset)
+        counts = result.stats.op_counts
+        n_combos = small_dataset.n_combinations(3)
+        words = sum(
+            PhenotypeSplitDataset.from_dataset(small_dataset).words_per_class
+        )
+        # The word-level POPCNT count is exactly 27 per combination per word.
+        assert counts["POPCNT"] >= 27 * n_combos * words
+        assert result.stats.bytes_loaded > 0
+
+
+class TestScalingBehaviour:
+    def test_throughput_reported_consistently(self, small_dataset):
+        result = EpistasisDetector(approach="cpu-v4").detect(small_dataset)
+        stats = result.stats
+        assert stats.elements == stats.n_combinations * stats.n_samples
+        assert stats.elements_per_second == pytest.approx(
+            stats.elements / stats.elapsed_seconds
+        )
+
+    def test_larger_sample_count_scales_elements(self):
+        small = generate_dataset(SyntheticConfig(n_snps=12, n_samples=256, seed=1))
+        large = generate_dataset(SyntheticConfig(n_snps=12, n_samples=1024, seed=1))
+        r_small = EpistasisDetector(approach="cpu-v2").detect(small)
+        r_large = EpistasisDetector(approach="cpu-v2").detect(large)
+        assert r_large.stats.elements == 4 * r_small.stats.elements

@@ -1,0 +1,173 @@
+"""Tests of the host parallel runtime (scheduler, executor, cluster)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.cluster import SimulatedCluster
+from repro.parallel.executor import parallel_map_reduce
+from repro.parallel.scheduler import DynamicScheduler, static_partition
+
+
+class TestDynamicScheduler:
+    def test_covers_range_exactly_once(self):
+        scheduler = DynamicScheduler(100, chunk_size=7)
+        claimed = list(scheduler)
+        assert claimed[0] == (0, 7)
+        assert claimed[-1] == (98, 100)
+        flat = [i for start, stop in claimed for i in range(start, stop)]
+        assert flat == list(range(100))
+
+    def test_exhaustion_and_reset(self):
+        scheduler = DynamicScheduler(5, chunk_size=10)
+        assert scheduler.next_range() == (0, 5)
+        assert scheduler.next_range() is None
+        scheduler.reset()
+        assert scheduler.remaining == 5
+
+    def test_zero_total(self):
+        assert DynamicScheduler(0).next_range() is None
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            DynamicScheduler(-1)
+        with pytest.raises(ValueError):
+            DynamicScheduler(10, chunk_size=0)
+
+    def test_thread_safety(self):
+        scheduler = DynamicScheduler(10_000, chunk_size=13)
+        seen: list[tuple[int, int]] = []
+        lock = threading.Lock()
+
+        def worker():
+            while True:
+                r = scheduler.next_range()
+                if r is None:
+                    return
+                with lock:
+                    seen.append(r)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        covered = sorted(i for start, stop in seen for i in range(start, stop))
+        assert covered == list(range(10_000))
+
+    @given(
+        total=st.integers(min_value=0, max_value=5000),
+        chunk=st.integers(min_value=1, max_value=777),
+    )
+    @settings(max_examples=50)
+    def test_chunks_partition_range(self, total, chunk):
+        chunks = list(DynamicScheduler(total, chunk))
+        assert sum(stop - start for start, stop in chunks) == total
+        for (s1, e1), (s2, e2) in zip(chunks, chunks[1:]):
+            assert e1 == s2
+
+
+class TestStaticPartition:
+    def test_balanced(self):
+        assert static_partition(10, 2) == [(0, 5), (5, 10)]
+
+    def test_remainder_spread(self):
+        parts = static_partition(11, 3)
+        sizes = [b - a for a, b in parts]
+        assert sizes == [4, 4, 3]
+
+    def test_more_parts_than_items(self):
+        parts = static_partition(2, 4)
+        sizes = [b - a for a, b in parts]
+        assert sizes == [1, 1, 0, 0]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            static_partition(10, 0)
+        with pytest.raises(ValueError):
+            static_partition(-1, 2)
+
+    @given(
+        total=st.integers(min_value=0, max_value=10_000),
+        parts=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=60)
+    def test_partition_properties(self, total, parts):
+        ranges = static_partition(total, parts)
+        assert len(ranges) == parts
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == total
+        sizes = [b - a for a, b in ranges]
+        assert sum(sizes) == total
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestParallelMapReduce:
+    def _sum_worker(self, worker_id, start, stop):
+        return sum(range(start, stop))
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_sum_reduction(self, workers):
+        scheduler = DynamicScheduler(1000, chunk_size=17)
+        total, stats = parallel_map_reduce(
+            scheduler, self._sum_worker, sum, n_workers=workers
+        )
+        assert total == sum(range(1000))
+        assert len(stats) == workers
+        assert sum(s.chunks_processed for s in stats) == (1000 + 16) // 17
+
+    def test_single_worker_runs_inline(self):
+        scheduler = DynamicScheduler(10, chunk_size=10)
+        thread_ids = []
+
+        def worker(worker_id, start, stop):
+            thread_ids.append(threading.get_ident())
+            return 0
+
+        parallel_map_reduce(scheduler, worker, sum, n_workers=1)
+        assert thread_ids == [threading.get_ident()]
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            parallel_map_reduce(DynamicScheduler(1), self._sum_worker, sum, n_workers=0)
+
+
+class TestSimulatedCluster:
+    def test_scatter_and_run(self):
+        cluster = SimulatedCluster(4)
+        ranks = cluster.scatter_work(103)
+        assert len(ranks) == 4
+        cluster.broadcast_dataset(1000)
+        assert all(r.bytes_received == 1000 for r in ranks)
+
+        def rank_fn(rank):
+            rank.items_processed = rank.work_items
+            return rank.work_items
+
+        results = cluster.run(rank_fn)
+        assert sum(results) == 103
+        gathered = cluster.gather(results, bytes_per_partial=64)
+        assert gathered == results
+        assert cluster.ranks[0].bytes_received == 1000 + 64 * 3
+
+    def test_load_imbalance(self):
+        cluster = SimulatedCluster(3)
+        cluster.scatter_work(10)
+        assert cluster.load_imbalance() == pytest.approx(4 / (10 / 3))
+
+    def test_requires_scatter_first(self):
+        cluster = SimulatedCluster(2)
+        with pytest.raises(RuntimeError):
+            cluster.broadcast_dataset(10)
+        with pytest.raises(RuntimeError):
+            cluster.run(lambda r: None)
+        with pytest.raises(RuntimeError):
+            cluster.gather([])
+
+    def test_invalid_rank_count(self):
+        with pytest.raises(ValueError):
+            SimulatedCluster(0)

@@ -1,0 +1,212 @@
+"""Tests of the analytical performance models (counters, CPU, GPU, efficiency)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bitops.simd import ISA_PRESETS
+from repro.devices import ALL_CPUS, ALL_GPUS, cpu, gpu
+from repro.perfmodel import (
+    approach_counts,
+    energy_efficiency,
+    estimate_cpu,
+    estimate_gpu,
+    heterogeneous_throughput,
+)
+from repro.perfmodel.cpu_model import scalar_cycles_per_word, vector_cycles_per_register
+from repro.perfmodel.efficiency import device_throughput
+
+
+class TestApproachCounts:
+    def test_versions_and_devices(self):
+        for device in ("cpu", "gpu"):
+            for version in (1, 2, 3, 4):
+                counts = approach_counts(version, device)
+                assert counts.ops_per_element > 0
+                assert counts.bytes_per_element > 0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            approach_counts(5)
+        with pytest.raises(ValueError):
+            approach_counts(1, "fpga")
+
+    def test_v2_reduces_ops_and_bytes(self):
+        v1 = approach_counts(1, "cpu")
+        v2 = approach_counts(2, "cpu")
+        assert v2.ops_per_element < v1.ops_per_element
+        assert v2.bytes_per_element < v1.bytes_per_element
+        # §IV-A: the AI drops when the phenotype is removed.
+        assert v2.arithmetic_intensity < v1.arithmetic_intensity
+
+    def test_blocking_does_not_change_counts(self):
+        v2, v3, v4 = (approach_counts(v, "cpu") for v in (2, 3, 4))
+        assert v2.ops_per_element == v3.ops_per_element == v4.ops_per_element
+        assert v2.bytes_per_element == v3.bytes_per_element == v4.bytes_per_element
+        assert v3.serving_level != v2.serving_level  # only the serving level moves
+
+    def test_totals_scale(self):
+        counts = approach_counts(4, "cpu")
+        assert counts.total_ops(10, 100) == pytest.approx(counts.ops_per_element * 1000)
+
+
+class TestCpuCycleModel:
+    def test_vector_popcnt_much_cheaper(self):
+        fast = vector_cycles_per_register(ISA_PRESETS["avx512-vpopcnt"])
+        slow = vector_cycles_per_register(ISA_PRESETS["avx512-skx"])
+        assert slow > 2.5 * fast
+
+    def test_scalar_cycles_versions(self):
+        assert scalar_cycles_per_word(1) > scalar_cycles_per_word(2)
+        assert scalar_cycles_per_word(2) == scalar_cycles_per_word(3)
+        with pytest.raises(ValueError):
+            scalar_cycles_per_word(4)
+
+    def test_invalid_version(self):
+        with pytest.raises(ValueError):
+            estimate_cpu(cpu("CI3"), approach_version=0)
+
+
+class TestCpuEstimates:
+    def test_figure3a_winner_is_ci3_avx512(self):
+        per_core = {
+            spec.key: estimate_cpu(spec, 4, n_snps=8192).giga_elements_per_second_per_core
+            for spec in ALL_CPUS
+        }
+        assert per_core["CI3"] == max(per_core.values())
+        assert per_core["CI3"] > 2.0 * per_core["CI1"]
+        # Paper: ~15.4 G elements/s/core at 8192 SNPs (reproduction within 25%).
+        assert per_core["CI3"] == pytest.approx(15.4, rel=0.25)
+
+    def test_figure3b_avx_machines_similar_per_cycle(self):
+        values = [
+            estimate_cpu(cpu(k), 4, isa=cpu(k).avx_vector_isa, n_snps=8192).elements_per_cycle_per_core
+            for k in ("CI1", "CI2", "CI3", "CA2")
+        ]
+        assert max(values) / min(values) < 1.3
+
+    def test_figure3c_vector_efficiency(self):
+        ci3 = estimate_cpu(cpu("CI3"), 4, n_snps=8192)
+        ca1 = estimate_cpu(cpu("CA1"), 4, n_snps=8192)
+        ca2 = estimate_cpu(cpu("CA2"), 4, n_snps=8192)
+        ci2 = estimate_cpu(cpu("CI2"), 4, n_snps=8192)
+        ci1 = estimate_cpu(cpu("CI1"), 4, n_snps=8192)
+        # The two most efficient per (core x lane): CA1 (narrow vectors) and
+        # CI3 (vector POPCNT); CA2 is roughly half of CA1; CI1 > 2x CI2.
+        top_two = sorted(
+            ["CI1", "CI2", "CI3", "CA1", "CA2"],
+            key=lambda k: -estimate_cpu(cpu(k), 4, n_snps=8192).elements_per_cycle_per_core_per_lane,
+        )[:2]
+        assert set(top_two) == {"CI3", "CA1"}
+        assert ca1.elements_per_cycle_per_core_per_lane > 1.5 * ca2.elements_per_cycle_per_core_per_lane
+        assert ci1.elements_per_cycle_per_core_per_lane > 2.0 * ci2.elements_per_cycle_per_core_per_lane
+
+    def test_avx512_on_skylake_sp_is_slower_than_avx(self):
+        """§V-B: two extracts + frequency drop make AVX-512 lose on CI2."""
+        spec = cpu("CI2")
+        avx512 = estimate_cpu(spec, 4, n_snps=8192)
+        avx256 = estimate_cpu(spec, 4, isa=spec.avx_vector_isa, n_snps=8192)
+        assert avx512.giga_elements_per_second_per_core < avx256.giga_elements_per_second_per_core
+
+    def test_approach_ladder_monotone(self):
+        spec = cpu("CI3")
+        values = [
+            estimate_cpu(spec, v, n_snps=2048).elements_per_cycle_per_core
+            for v in (1, 2, 3, 4)
+        ]
+        assert values[0] < values[1] <= values[2] < values[3]
+        # §V-A: vectorisation is the big step (7.5x in the paper).
+        assert values[3] / values[2] > 5.0
+
+    def test_throughput_grows_with_snps(self):
+        spec = cpu("CI3")
+        small = estimate_cpu(spec, 4, n_snps=2048).elements_per_second_per_core
+        large = estimate_cpu(spec, 4, n_snps=8192).elements_per_second_per_core
+        assert large > small
+
+    def test_time_estimate(self):
+        est = estimate_cpu(cpu("CI3"), 4, n_snps=1000, n_samples=4000)
+        seconds = est.time_seconds(10_000_000)
+        assert seconds == pytest.approx(
+            10_000_000 * 4000 / est.elements_per_second_total
+        )
+
+
+class TestGpuEstimates:
+    def test_figure4b_ranking_follows_popcnt_throughput(self):
+        per_cycle = {
+            spec.key: estimate_gpu(spec, 4, n_snps=2048).elements_per_cycle_per_cu
+            for spec in ALL_GPUS
+        }
+        assert per_cycle["GN1"] == max(per_cycle.values())
+        assert per_cycle["GN1"] > 1.5 * per_cycle["GN2"]
+        assert per_cycle["GN2"] == pytest.approx(per_cycle["GN3"], rel=1e-6)
+        assert per_cycle["GA1"] > per_cycle["GA3"]
+        assert min(per_cycle, key=per_cycle.get) in ("GI1", "GI2")
+
+    def test_figure4a_frequency_separates_equal_popcnt_devices(self):
+        gn3 = estimate_gpu(gpu("GN3"), 4, n_snps=2048)
+        gn2 = estimate_gpu(gpu("GN2"), 4, n_snps=2048)
+        assert gn3.elements_per_second_per_cu > gn2.elements_per_second_per_cu
+
+    def test_figure4c_amd_lower_than_nvidia(self):
+        gn3 = estimate_gpu(gpu("GN3"), 4, n_snps=8192)
+        ga3 = estimate_gpu(gpu("GA3"), 4, n_snps=8192)
+        assert ga3.elements_per_cycle_per_stream_core < gn3.elements_per_cycle_per_stream_core
+
+    def test_overall_throughput_ordering(self):
+        """§V-D/§V-E: A100 > MI100; both NVIDIA/AMD flagships > 1 T elements/s."""
+        totals = {
+            key: estimate_gpu(gpu(key), 4, n_snps=8192).giga_elements_per_second_total
+            for key in ("GN3", "GN4", "GA2", "GI2")
+        }
+        assert totals["GN4"] > totals["GA2"]
+        assert totals["GA2"] > 1000
+        assert totals["GI2"] < 700
+
+    def test_gpu_approach_ladder(self):
+        spec = gpu("GN4")
+        totals = [
+            estimate_gpu(spec, v, n_snps=8192).elements_per_cycle_per_cu for v in (1, 2, 3, 4)
+        ]
+        assert totals[0] < totals[2] <= totals[3]
+        assert totals[3] > 10 * totals[0]
+
+    def test_bandwidth_starved_gpu_is_memory_bound(self):
+        assert estimate_gpu(gpu("GI2"), 4, n_snps=8192).bound == "memory"
+        assert estimate_gpu(gpu("GN4"), 4, n_snps=8192).bound == "popcnt"
+
+    def test_invalid_version(self):
+        with pytest.raises(ValueError):
+            estimate_gpu(gpu("GN1"), approach_version=7)
+
+
+class TestEfficiencyAndHeterogeneous:
+    def test_iris_xe_max_wins_efficiency(self):
+        """§V-D: the Iris Xe MAX is the most energy-efficient device."""
+        efficiencies = {
+            spec.key: energy_efficiency(spec) for spec in list(ALL_CPUS) + list(ALL_GPUS)
+        }
+        assert max(efficiencies, key=efficiencies.get) == "GI2"
+        assert efficiencies["GI2"] > efficiencies["GN3"]
+
+    def test_device_throughput_dispatch(self):
+        assert device_throughput(cpu("CI3")) > 0
+        assert device_throughput(gpu("GN3")) > device_throughput(cpu("CI3"))
+
+    def test_heterogeneous_sum(self):
+        combined = heterogeneous_throughput([cpu("CI3"), gpu("GN1")])
+        assert combined < device_throughput(cpu("CI3")) + device_throughput(gpu("GN1"))
+        assert combined > device_throughput(gpu("GN1"))
+
+    def test_paper_projection_band(self):
+        """Paper: CI3 + Titan Xp projected around 3300 G elements/s."""
+        combined = heterogeneous_throughput([cpu("CI3"), gpu("GN1")]) / 1e9
+        assert 2000 < combined < 4500
+
+    def test_bad_tdp_rejected(self):
+        from dataclasses import replace
+
+        broken = replace(gpu("GI1"), tdp_w=0.0)
+        with pytest.raises(ValueError):
+            energy_efficiency(broken)
