@@ -12,7 +12,10 @@ The package is organised as:
 * :mod:`repro.core` — the detection engine: contingency tables, the Bayesian
   K2 score, the four CPU and four GPU approaches of the paper and the
   :class:`~repro.core.detector.EpistasisDetector` public API.
-* :mod:`repro.parallel` — dynamic-chunk thread scheduling and a simulated
+* :mod:`repro.engine` — the unified heterogeneous execution engine: device
+  lanes, scheduling policies (dynamic/static/guided/CARM-ratio) and the
+  streaming top-k executor behind every search path.
+* :mod:`repro.parallel` — legacy façade over the engine plus the simulated
   cluster for the MPI3SNP baseline.
 * :mod:`repro.gpusim` — a functional GPU execution simulator with coalescing
   analysis.
@@ -46,6 +49,13 @@ from repro.datasets.synthetic import (
 )
 from repro.datasets.io import load_dataset, load_npz, save_npz
 from repro.devices.catalog import cpu, device, gpu, list_devices
+from repro.engine import (
+    EngineDevice,
+    ExecutionPlan,
+    HeterogeneousExecutor,
+    get_policy,
+    list_policies,
+)
 
 __version__ = "1.0.0"
 
@@ -71,4 +81,9 @@ __all__ = [
     "gpu",
     "device",
     "list_devices",
+    "EngineDevice",
+    "ExecutionPlan",
+    "HeterogeneousExecutor",
+    "get_policy",
+    "list_policies",
 ]

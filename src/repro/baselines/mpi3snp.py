@@ -23,17 +23,22 @@ the Table III comparison.
 
 from __future__ import annotations
 
-import time
 from typing import List, Union
 
 import numpy as np
 
 from repro.core.approaches.cpu_nophen import CpuNoPhenotypeApproach
 from repro.core.combinations import combination_count, generate_combinations
-from repro.core.result import ApproachStats, DetectionResult, Interaction
+from repro.core.result import ApproachStats, DetectionResult
 from repro.core.scoring import ObjectiveFunction, get_objective
 from repro.datasets.dataset import GenotypeDataset
 from repro.devices.specs import CpuSpec, GpuSpec
+from repro.engine import (
+    EngineDevice,
+    ExecutionPlan,
+    HeterogeneousExecutor,
+    StaticPolicy,
+)
 from repro.parallel.cluster import SimulatedCluster
 from repro.perfmodel.cpu_model import estimate_cpu
 from repro.perfmodel.gpu_model import estimate_gpu
@@ -83,63 +88,82 @@ class Mpi3snpBaseline:
         self.approach = CpuNoPhenotypeApproach()
 
     def detect(self, dataset: GenotypeDataset) -> DetectionResult:
-        """Run the statically partitioned exhaustive search."""
-        started = time.perf_counter()
+        """Run the statically partitioned exhaustive search.
+
+        The rank-local loop executes through the unified engine: one engine
+        worker per simulated MPI rank, with the engine's
+        :class:`~repro.engine.policies.StaticPolicy` producing exactly the
+        contiguous per-rank spans MPI3SNP's static decomposition assigns
+        (the :class:`SimulatedCluster` keeps accounting for the broadcast /
+        gather traffic and the load imbalance).
+        """
         total = combination_count(dataset.n_snps, 3)
-        cluster: SimulatedCluster[List[Interaction]] = SimulatedCluster(self.n_ranks)
+        cluster: SimulatedCluster = SimulatedCluster(self.n_ranks)
         cluster.scatter_work(total)
         encoded = self.approach.prepare(dataset)
         cluster.broadcast_dataset(encoded.nbytes())
         snp_names = list(dataset.snp_names)
 
-        def rank_fn(rank) -> List[Interaction]:
-            best: List[Interaction] = []
-            start, stop = rank.work_range
-            cursor = start
-            while cursor < stop:
-                count = min(self.chunk_size, stop - cursor)
-                combos = generate_combinations(
-                    dataset.n_snps, 3, start_rank=cursor, count=count
-                )
-                tables = self.approach.build_tables(encoded, combos)
-                scores = self.objective.score(tables)
-                order = np.argsort(scores, kind="stable")[: self.top_k]
-                best.extend(
-                    Interaction(
-                        snps=tuple(int(s) for s in combos[i]),
-                        score=float(scores[i]),
-                        snp_names=tuple(snp_names[s] for s in combos[i]),
-                    )
-                    for i in order
-                )
-                best = sorted(best)[: self.top_k]
-                rank.items_processed += count
-                cursor += count
-            return best
+        # One kernel instance per rank (operation counters are not shared);
+        # rank 0 reuses the baseline's own approach object.
+        approaches = [self.approach] + [
+            CpuNoPhenotypeApproach() for _ in range(self.n_ranks - 1)
+        ]
 
-        partials = cluster.run(rank_fn)
-        gathered = cluster.gather(partials, bytes_per_partial=self.top_k * 32)
-        merged = sorted(it for part in gathered for it in part)[: self.top_k]
-        elapsed = time.perf_counter() - started
+        plan = ExecutionPlan(
+            total=total,
+            devices=[
+                EngineDevice(
+                    kind="cpu", n_workers=self.n_ranks, chunk_size=self.chunk_size
+                )
+            ],
+            policy=StaticPolicy(),
+            top_k=self.top_k,
+        )
+
+        def evaluate(worker, start: int, stop: int):
+            combos = generate_combinations(
+                dataset.n_snps, 3, start_rank=start, count=stop - start
+            )
+            tables = worker.state.build_tables(encoded, combos)
+            return combos, self.objective.score(tables)
+
+        run = HeterogeneousExecutor(plan).run(
+            lambda device, worker_id: approaches[worker_id],
+            evaluate,
+            snp_names=snp_names,
+        )
+
+        # Mirror the engine workers back onto the simulated ranks: static
+        # partitioning assigns worker i exactly rank i's span.
+        for rank, worker in zip(cluster.ranks, run.workers):
+            rank.items_processed = worker.items
+        partials = [worker.heap.items for worker in run.workers]
+        cluster.gather(partials, bytes_per_partial=self.top_k * 32)
+
+        for extra_approach in approaches[1:]:
+            self.approach.counter.merge(extra_approach.counter)
 
         stats = ApproachStats(
             approach=self.name,
             n_combinations=total,
             n_samples=dataset.n_samples,
-            elapsed_seconds=elapsed,
+            elapsed_seconds=run.elapsed_seconds,
             op_counts=self.approach.op_counts(),
             bytes_loaded=self.approach.counter.bytes_loaded,
             bytes_stored=self.approach.counter.bytes_stored,
             n_workers=self.n_ranks,
             extra={
                 "partitioning": "static",
+                "schedule": plan.policy.name,
                 "load_imbalance": cluster.load_imbalance(),
                 "ranks": self.n_ranks,
+                "devices": run.device_stats,
             },
         )
-        if not merged:
+        if not run.top:
             raise RuntimeError("MPI3SNP baseline produced no interactions")
-        return DetectionResult(best=merged[0], top=merged, stats=stats)
+        return DetectionResult(best=run.top[0], top=list(run.top), stats=stats)
 
 
 def estimate_mpi3snp_throughput(

@@ -22,6 +22,17 @@ from typing import Sequence
 __all__ = ["main", "build_parser"]
 
 
+def _devices_expression(value: str) -> str:
+    """argparse type for ``--devices``: validate early, keep the string."""
+    from repro.engine import parse_devices
+
+    try:
+        parse_devices(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -60,6 +71,26 @@ def build_parser() -> argparse.ArgumentParser:
     det.add_argument("--workers", type=int, default=1)
     det.add_argument("--chunk-size", type=int, default=2048)
     det.add_argument("--top-k", type=int, default=5)
+    det.add_argument(
+        "--devices",
+        default=None,
+        type=_devices_expression,
+        metavar="EXPR",
+        help="execution-engine device lanes: 'cpu', 'gpu' or 'cpu+gpu' "
+        "(default: the approach's own device kind)",
+    )
+    det.add_argument(
+        "--schedule",
+        default="dynamic",
+        choices=("dynamic", "static", "guided", "carm"),
+        help="engine scheduling policy; 'carm' splits work across device "
+        "lanes proportionally to their modelled throughput",
+    )
+    det.add_argument(
+        "--progress",
+        action="store_true",
+        help="print chunk-level progress to stderr",
+    )
 
     sub.add_parser("devices", help="print the device catalog (Tables I and II)")
 
@@ -100,6 +131,24 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _progress_printer():
+    """Progress callback printing a line per completed decile to stderr."""
+    last_decile = -1
+
+    def progress(done: int, total: int) -> None:
+        nonlocal last_decile
+        pct = 100 if total == 0 else done * 100 // total
+        if pct // 10 > last_decile:
+            last_decile = pct // 10
+            print(
+                f"progress: {pct:3d}% ({done}/{total} combinations)",
+                file=sys.stderr,
+                flush=True,
+            )
+
+    return progress
+
+
 def _cmd_detect(args: argparse.Namespace) -> int:
     from repro.core import EpistasisDetector
     from repro.datasets import load_dataset
@@ -111,9 +160,19 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         n_workers=args.workers,
         chunk_size=args.chunk_size,
         top_k=args.top_k,
+        devices=args.devices,
+        schedule=args.schedule,
     )
-    result = detector.detect(dataset)
+    progress = _progress_printer() if args.progress else None
+    result = detector.detect(dataset, progress=progress)
     print(result.summary())
+    devices = result.stats.extra.get("devices", {})
+    if len(devices) > 1:
+        for label, entry in devices.items():
+            print(
+                f"device {label:<4s}: {entry['items']} combinations in "
+                f"{entry['chunks']} chunks, utilization {entry['utilization']:.0%}"
+            )
     return 0
 
 

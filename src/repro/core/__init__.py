@@ -13,8 +13,8 @@ The engine is organised as:
 * :mod:`repro.core.approaches` — the four CPU approaches and four GPU
   approaches of §IV, all instrumented with operation counters.
 * :mod:`repro.core.detector` — the :class:`EpistasisDetector` public API,
-  which combines an approach, an objective function and the host parallel
-  runtime into a single ``detect()`` call.
+  which combines an approach, an objective function and the heterogeneous
+  execution engine (:mod:`repro.engine`) into a single ``detect()`` call.
 * :mod:`repro.core.result` — result containers (best interaction, top-k
   ranking, execution statistics).
 """

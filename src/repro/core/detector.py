@@ -4,11 +4,15 @@ A detector combines
 
 * one of the CPU/GPU approaches of §IV (frequency-table construction),
 * an objective function (Bayesian K2 score by default), and
-* the host parallel runtime (dynamic chunk scheduling over worker threads)
+* the unified heterogeneous execution engine (:mod:`repro.engine`): device
+  lanes, a pluggable scheduling policy (``dynamic``, ``static``, ``guided``
+  or the CARM-ratio heterogeneous splitter) and a streaming bounded-memory
+  top-k reduction
 
 into a single ``detect(dataset)`` call that exhaustively evaluates every SNP
 combination of the requested order and returns the best-scoring interaction
-together with execution statistics.  Smaller entry points
+together with execution statistics (including per-device chunk counts and
+utilization in ``stats.extra["devices"]``).  Smaller entry points
 (:meth:`EpistasisDetector.score_combinations`,
 :meth:`EpistasisDetector.build_tables`) expose the intermediate results for
 testing, ablation studies and the benchmark harness.
@@ -22,27 +26,46 @@ Example
 >>> result = EpistasisDetector(approach="cpu-v4").detect(generate_dataset(cfg))
 >>> result.best_snps
 (3, 11, 17)
+
+A heterogeneous CPU+GPU run with the CARM-ratio splitter:
+
+>>> detector = EpistasisDetector(approach="cpu-v4", devices="cpu+gpu",
+...                              schedule="carm", n_workers=2)
 """
 
 from __future__ import annotations
 
-import heapq
-import time
-from dataclasses import dataclass, field
-from typing import List, Sequence
+from dataclasses import dataclass
+from typing import Callable, Dict, List
 
 import numpy as np
 
-from repro.core.approaches import Approach, get_approach
+from repro.core.approaches import APPROACHES, Approach, get_approach
 from repro.core.combinations import combination_count, generate_combinations
 from repro.core.contingency import validate_tables
-from repro.core.result import ApproachStats, DetectionResult, Interaction
+from repro.core.result import ApproachStats, DetectionResult
 from repro.core.scoring import ObjectiveFunction, get_objective
 from repro.datasets.dataset import GenotypeDataset
-from repro.parallel.executor import parallel_map_reduce
-from repro.parallel.scheduler import DynamicScheduler
+from repro.engine import (
+    CancellationToken,
+    DeviceWorker,
+    EngineDevice,
+    ExecutionPlan,
+    HeterogeneousExecutor,
+    SchedulingPolicy,
+    get_policy,
+    parse_devices,
+)
 
 __all__ = ["DetectorConfig", "EpistasisDetector"]
+
+
+@dataclass
+class _WorkerState:
+    """Per-worker kernel state: an approach instance plus its encoding."""
+
+    approach: Approach
+    encoded: object
 
 
 @dataclass
@@ -60,7 +83,10 @@ class DetectorConfig:
         Interaction order; the engine is written for ``order=3`` (27-cell
         tables) which is what every approach kernel implements.
     n_workers:
-        Host threads for the CPU-side search.
+        Host threads for the search.  In a multi-lane ``devices``
+        expression the CPU lane receives all ``n_workers`` threads and GPU
+        lanes a single launch-stream thread; a default (``devices=None``)
+        plan keeps ``n_workers`` on whatever lane the approach targets.
     chunk_size:
         Combinations per scheduler chunk (the unit of dynamic scheduling and
         of the vectorised kernel batch).
@@ -69,6 +95,15 @@ class DetectorConfig:
     validate:
         If ``True``, every produced table batch is checked against the
         column-sum invariants (costs a few percent, useful in tests).
+    devices:
+        Device expression for the execution engine: ``None`` (default) runs
+        on a single lane matching the approach's device kind; ``"cpu+gpu"``
+        co-executes the search on a CPU lane and a simulated-GPU lane, each
+        running its own approach variant of the same optimisation level.
+    schedule:
+        Scheduling policy name (``"dynamic"``, ``"static"``, ``"guided"``,
+        ``"carm"``) or a :class:`~repro.engine.policies.SchedulingPolicy`
+        instance.
     """
 
     approach: str | Approach = "cpu-v4"
@@ -78,6 +113,8 @@ class DetectorConfig:
     chunk_size: int = 2048
     top_k: int = 10
     validate: bool = False
+    devices: str | None = None
+    schedule: str | SchedulingPolicy = "dynamic"
 
     def __post_init__(self) -> None:
         if self.order != 3:
@@ -109,6 +146,8 @@ class EpistasisDetector:
         chunk_size: int = 2048,
         top_k: int = 10,
         validate: bool = False,
+        devices: str | None = None,
+        schedule: str | SchedulingPolicy = "dynamic",
         config: DetectorConfig | None = None,
         **approach_kwargs,
     ) -> None:
@@ -121,6 +160,8 @@ class EpistasisDetector:
                 chunk_size=chunk_size,
                 top_k=top_k,
                 validate=validate,
+                devices=devices,
+                schedule=schedule,
             )
         self.config = config
         self._approach_kwargs = dict(approach_kwargs)
@@ -136,22 +177,41 @@ class EpistasisDetector:
         """The prototype approach instance (shared, used for single-threaded runs)."""
         return self._prototype
 
-    def _worker_approach(self) -> Approach:
+    def _approach_name_for_kind(self, kind: str) -> str:
+        """Approach registry name to run on a device lane of ``kind``.
+
+        A lane matching the prototype's device kind runs the configured
+        approach; the other kind runs its counterpart of the same
+        optimisation level (``cpu-v4`` pairs with ``gpu-v4``, ...).
+        """
+        if kind == self._prototype.device:
+            return self._prototype.name
+        counterpart = f"{kind}-v{self._prototype.version}"
+        if counterpart not in APPROACHES:
+            counterpart = f"{kind}-v4"
+        return counterpart
+
+    def _worker_approach(self, kind: str | None = None) -> Approach:
         """A fresh approach instance for one worker thread.
 
         Counters are per-instance, so every worker gets its own approach to
         avoid false sharing of the accounting state (results are unaffected).
         """
+        kind = kind or self._prototype.device
         if isinstance(self.config.approach, Approach):
             # A user-provided instance cannot be cloned generically; reuse it
             # (documented: custom instances imply single-threaded accounting).
+            if kind != self._prototype.device:
+                raise ValueError(
+                    "heterogeneous device plans require an approach name, "
+                    "not a pre-built Approach instance"
+                )
             return self.config.approach
-        return get_approach(
-            self.config.approach
-            if isinstance(self.config.approach, str)
-            else self._prototype.name,
-            **self._approach_kwargs,
-        )
+        name = self._approach_name_for_kind(kind)
+        # Constructor kwargs (isa=, block_size=, ...) only apply to the
+        # approach family they were written for.
+        kwargs = self._approach_kwargs if name == self._prototype.name else {}
+        return get_approach(name, **kwargs)
 
     # -- low-level entry points ----------------------------------------------------
     def build_tables(
@@ -171,16 +231,54 @@ class EpistasisDetector:
         tables = self.build_tables(dataset, combos)
         return self.objective.score(tables)
 
+    # -- execution-plan assembly ---------------------------------------------------
+    def _engine_devices(self) -> List[EngineDevice]:
+        cfg = self.config
+        if cfg.devices is None:
+            return [
+                EngineDevice(
+                    kind=self._prototype.device,
+                    n_workers=cfg.n_workers,
+                    chunk_size=cfg.chunk_size,
+                )
+            ]
+        return parse_devices(
+            cfg.devices, n_workers=cfg.n_workers, chunk_size=cfg.chunk_size
+        )
+
+    def _build_policy(self, dataset: GenotypeDataset) -> SchedulingPolicy:
+        policy = get_policy(self.config.schedule)
+        policy.configure(n_snps=dataset.n_snps, n_samples=dataset.n_samples)
+        return policy
+
     # -- exhaustive search -----------------------------------------------------------
-    def detect(self, dataset: GenotypeDataset) -> DetectionResult:
+    def detect(
+        self,
+        dataset: GenotypeDataset,
+        *,
+        cancel: CancellationToken | None = None,
+        progress: Callable[[int, int], None] | None = None,
+    ) -> DetectionResult:
         """Exhaustively evaluate every SNP combination of the dataset.
+
+        Parameters
+        ----------
+        dataset:
+            The case/control dataset to search.
+        cancel:
+            Optional cooperative cancellation token; when set mid-run the
+            engine stops at the next chunk boundary and the call raises
+            :class:`RuntimeError` (no complete result exists).
+        progress:
+            Optional callback invoked after every chunk with
+            ``(combinations_done, combinations_total)``.
 
         Returns
         -------
         DetectionResult
             Best interaction, top-k ranking and execution statistics
             (throughput in the paper's combinations x samples unit, dynamic
-            instruction counts, memory traffic).
+            instruction counts, memory traffic, per-device utilization).
         """
         cfg = self.config
         n_snps = dataset.n_snps
@@ -189,63 +287,118 @@ class EpistasisDetector:
                 f"dataset has {n_snps} SNPs; at least {cfg.order} are required"
             )
         total = combination_count(n_snps, cfg.order)
-        encoded = self._prototype.prepare(dataset)
-        scheduler = DynamicScheduler(total, chunk_size=cfg.chunk_size)
+        devices = self._engine_devices()
+        policy = self._build_policy(dataset)
+        plan = ExecutionPlan(
+            total=total, devices=devices, policy=policy, top_k=cfg.top_k
+        )
 
-        # One approach instance per worker; worker 0 reuses the prototype so
-        # single-threaded runs have a single counter to inspect.
-        approaches: List[Approach] = [self._prototype]
-        approaches += [self._worker_approach() for _ in range(cfg.n_workers - 1)]
+        # Encode the dataset once per device lane (CPU and GPU approaches
+        # consume different layouts); workers of a lane share the read-only
+        # encoding but own their approach instance.  The first worker whose
+        # lane matches the prototype's kind reuses the prototype so
+        # single-lane runs keep a single counter to inspect.
+        encodings: Dict[str, object] = {}
+        prototype_assigned = False
+
+        def worker_factory(device: EngineDevice, worker_id: int) -> _WorkerState:
+            nonlocal prototype_assigned
+            if device.kind == self._prototype.device and not prototype_assigned:
+                prototype_assigned = True
+                approach = self._prototype
+            else:
+                approach = self._worker_approach(device.kind)
+            if device.kind not in encodings:
+                encodings[device.kind] = approach.prepare(dataset)
+            return _WorkerState(approach=approach, encoded=encodings[device.kind])
 
         snp_names = list(dataset.snp_names)
-        top_k = cfg.top_k
         n_cases, n_controls = dataset.n_cases, dataset.n_controls
 
-        def worker(worker_id: int, start: int, stop: int) -> List[Interaction]:
-            approach = approaches[worker_id]
+        def evaluate(worker: DeviceWorker, start: int, stop: int):
+            state: _WorkerState = worker.state
             combos = generate_combinations(
                 n_snps, cfg.order, start_rank=start, count=stop - start
             )
-            tables = approach.build_tables(encoded, combos)
+            tables = state.approach.build_tables(state.encoded, combos)
             if cfg.validate:
                 validate_tables(tables, n_controls, n_cases)
-            scores = self.objective.score(tables)
-            order_idx = np.argsort(scores, kind="stable")[:top_k]
-            return [
-                Interaction(
-                    snps=tuple(int(s) for s in combos[i]),
-                    score=float(scores[i]),
-                    snp_names=tuple(snp_names[s] for s in combos[i]),
-                )
-                for i in order_idx
-            ]
+            return combos, self.objective.score(tables)
 
-        def reduce_fn(partials: Sequence[List[Interaction]]) -> List[Interaction]:
-            merged: List[Interaction] = [it for part in partials for it in part]
-            return heapq.nsmallest(top_k, merged)
-
-        started = time.perf_counter()
-        top, _worker_stats = parallel_map_reduce(
-            scheduler, worker, reduce_fn, n_workers=cfg.n_workers
+        executor = HeterogeneousExecutor(plan, cancel=cancel)
+        run = executor.run(
+            worker_factory, evaluate, snp_names=snp_names, progress=progress
         )
-        elapsed = time.perf_counter() - started
+        if run.cancelled:
+            raise RuntimeError(
+                f"detection cancelled after {run.n_items} of {total} combinations"
+            )
+        if not run.top:
+            raise RuntimeError("exhaustive search produced no interactions")
 
-        # Merge the per-worker counters into the prototype's statistics.
-        merged_counter = approaches[0].counter
-        for extra in approaches[1:]:
-            merged_counter.merge(extra.counter)
+        stats = self._build_stats(run, plan, total, dataset, policy)
+        return DetectionResult(best=run.top[0], top=list(run.top), stats=stats)
 
-        stats = ApproachStats(
-            approach=self._prototype.name,
+    def _build_stats(self, run, plan, total, dataset, policy) -> ApproachStats:
+        """Merge worker counters and engine bookkeeping into run statistics."""
+        # Snapshot every distinct approach counter before mutating anything:
+        # the prototype is itself a worker, so merging into its counter
+        # mid-iteration would contaminate lanes read after the merge.
+        # Deduplication is by instance identity (a shared custom approach is
+        # only counted once).
+        device_stats = {label: dict(entry) for label, entry in run.device_stats.items()}
+        snapshots: Dict[int, Dict[str, int]] = {}
+        for worker in run.workers:
+            approach = worker.state.approach
+            if id(approach) not in snapshots:
+                snapshots[id(approach)] = dict(approach.counter.as_dict())
+
+        for label in device_stats:
+            lane_workers = [w for w in run.workers if w.label == label]
+            lane_ops: Dict[str, int] = {}
+            lane_seen: set[int] = set()
+            for worker in lane_workers:
+                approach_id = id(worker.state.approach)
+                if approach_id in lane_seen:
+                    continue
+                lane_seen.add(approach_id)
+                for mnemonic, count in snapshots[approach_id].items():
+                    lane_ops[mnemonic] = lane_ops.get(mnemonic, 0) + count
+            if lane_workers:
+                device_stats[label]["approach"] = lane_workers[0].state.approach.name
+            device_stats[label]["op_counts"] = lane_ops
+
+        # Global merge into the prototype's counter, after every lane has
+        # read its (pre-merge) snapshot.
+        merged_counter = self._prototype.counter
+        seen_ids = {id(self._prototype)}
+        for worker in run.workers:
+            approach = worker.state.approach
+            if id(approach) not in seen_ids:
+                seen_ids.add(id(approach))
+                merged_counter.merge(approach.counter)
+
+        extra: Dict[str, object] = dict(self._prototype.extra_stats())
+        extra["schedule"] = policy.name
+        extra["devices"] = device_stats
+
+        # Single-lane plans report the approach that actually ran (a
+        # ``devices="gpu"`` plan with a CPU-named config runs the GPU
+        # counterpart); heterogeneous plans keep the configured name and
+        # detail per-lane approaches in ``extra["devices"]``.
+        approach_name = self._prototype.name
+        if len(device_stats) == 1:
+            (entry,) = device_stats.values()
+            approach_name = entry.get("approach", approach_name)
+
+        return ApproachStats(
+            approach=approach_name,
             n_combinations=total,
             n_samples=dataset.n_samples,
-            elapsed_seconds=elapsed,
+            elapsed_seconds=run.elapsed_seconds,
             op_counts=merged_counter.as_dict(),
             bytes_loaded=merged_counter.bytes_loaded,
             bytes_stored=merged_counter.bytes_stored,
-            n_workers=cfg.n_workers,
-            extra=self._prototype.extra_stats(),
+            n_workers=plan.total_workers,
+            extra=extra,
         )
-        if not top:
-            raise RuntimeError("exhaustive search produced no interactions")
-        return DetectionResult(best=top[0], top=list(top), stats=stats)

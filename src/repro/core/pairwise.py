@@ -11,23 +11,33 @@ score, with 9x2 frequency tables instead of 27x2.
 The implementation mirrors the three-way split kernel (and is validated
 against the same contingency oracle, which supports any order), so results
 are directly comparable with the pairwise literature while reusing the
-library's data model.
+library's data model.  Like the three-way detector, the exhaustive pass
+executes through the unified execution engine (:mod:`repro.engine`):
+chunked evaluation, multi-worker scheduling policies and the streaming
+bounded-memory top-k reduction.
 """
 
 from __future__ import annotations
 
-import time
 from math import comb
-from typing import List
+from typing import Callable, Dict
 
 import numpy as np
 
 from repro.bitops.popcount import popcount32
-from repro.core.combinations import combination_count, combination_from_rank
-from repro.core.result import ApproachStats, DetectionResult, Interaction
+from repro.core.combinations import combination_count
+from repro.core.result import ApproachStats, DetectionResult
 from repro.core.scoring import ObjectiveFunction, get_objective
 from repro.datasets.binarization import PhenotypeSplitDataset
 from repro.datasets.dataset import GenotypeDataset
+from repro.engine import (
+    CancellationToken,
+    EngineDevice,
+    ExecutionPlan,
+    HeterogeneousExecutor,
+    SchedulingPolicy,
+    get_policy,
+)
 
 __all__ = [
     "pairwise_combinations",
@@ -37,7 +47,16 @@ __all__ = [
 
 
 def pairwise_combinations(n_snps: int, start_rank: int = 0, count: int | None = None) -> np.ndarray:
-    """Materialise a contiguous range of SNP pairs in lexicographic order."""
+    """Materialise a contiguous range of SNP pairs in lexicographic order.
+
+    Pairs are unranked in closed form (no per-row Python loop): with
+    ``offset(i) = i*(n-1) - i*(i-1)/2`` pairs preceding first index ``i``,
+    the first index of rank ``r`` is the largest ``i`` with
+    ``offset(i) <= r`` (a vectorised ``searchsorted``) and the second index
+    follows as ``r - offset(i) + i + 1`` — the order-2 instance of the
+    combinatorial-number-system unranking used by
+    :func:`repro.core.combinations.combination_from_rank`.
+    """
     total = combination_count(n_snps, 2)
     if count is None:
         count = total - start_rank
@@ -45,15 +64,12 @@ def pairwise_combinations(n_snps: int, start_rank: int = 0, count: int | None = 
         raise ValueError(f"invalid range [{start_rank}, {start_rank + count}) of {total} pairs")
     if count == 0:
         return np.empty((0, 2), dtype=np.int64)
-    out = np.empty((count, 2), dtype=np.int64)
-    i, j = combination_from_rank(start_rank, n_snps, 2)
-    for row in range(count):
-        out[row] = (i, j)
-        j += 1
-        if j == n_snps:
-            i += 1
-            j = i + 1
-    return out
+    ranks = np.arange(start_rank, start_rank + count, dtype=np.int64)
+    firsts = np.arange(n_snps - 1, dtype=np.int64)
+    offsets = firsts * (n_snps - 1) - (firsts * (firsts - 1)) // 2
+    i = np.searchsorted(offsets, ranks, side="right") - 1
+    j = ranks - offsets[i] + i + 1
+    return np.stack([i, j], axis=1)
 
 
 def _class_pair_counts(
@@ -98,6 +114,11 @@ class PairwiseEpistasisDetector:
         Pairs evaluated per kernel batch.
     top_k:
         Number of best pairs kept.
+    n_workers:
+        Host threads draining the pair space through the execution engine.
+    schedule:
+        Scheduling policy name (``"dynamic"``, ``"static"``, ``"guided"``,
+        ``"carm"``) or a policy instance.
 
     Example
     -------
@@ -113,51 +134,91 @@ class PairwiseEpistasisDetector:
         objective: str | ObjectiveFunction = "k2",
         chunk_size: int = 8192,
         top_k: int = 10,
+        n_workers: int = 1,
+        schedule: str | SchedulingPolicy = "dynamic",
     ) -> None:
         if chunk_size < 1:
             raise ValueError("chunk_size must be positive")
         if top_k < 1:
             raise ValueError("top_k must be positive")
+        if n_workers < 1:
+            raise ValueError("n_workers must be positive")
         self.objective = get_objective(objective)
         self.chunk_size = chunk_size
         self.top_k = top_k
+        self.n_workers = n_workers
+        self.schedule = schedule
 
     def score_pairs(self, dataset: GenotypeDataset, pairs: np.ndarray) -> np.ndarray:
         """Objective scores of explicit SNP pairs."""
         split = PhenotypeSplitDataset.from_dataset(dataset)
         return self.objective.score(pairwise_split_tables(split, pairs))
 
-    def detect(self, dataset: GenotypeDataset) -> DetectionResult:
-        """Exhaustively evaluate every SNP pair of the dataset."""
+    def detect(
+        self,
+        dataset: GenotypeDataset,
+        *,
+        cancel: CancellationToken | None = None,
+        progress: Callable[[int, int], None] | None = None,
+    ) -> DetectionResult:
+        """Exhaustively evaluate every SNP pair of the dataset.
+
+        The pair-rank space is executed through
+        :class:`~repro.engine.executor.HeterogeneousExecutor` on a CPU lane:
+        each worker streams chunks of pairs through the phenotype-split
+        kernel into a bounded top-k heap, so memory stays O(top_k) however
+        large the pair space grows.
+        """
         if dataset.n_snps < 2:
             raise ValueError("pairwise detection needs at least two SNPs")
-        started = time.perf_counter()
         split = PhenotypeSplitDataset.from_dataset(dataset)
-        total = comb(dataset.n_snps, 2)
+        n_snps = dataset.n_snps
+        total = comb(n_snps, 2)
         snp_names = list(dataset.snp_names)
-        best: List[Interaction] = []
-        rank = 0
-        while rank < total:
-            count = min(self.chunk_size, total - rank)
-            pairs = pairwise_combinations(dataset.n_snps, rank, count)
-            scores = self.objective.score(pairwise_split_tables(split, pairs))
-            order = np.argsort(scores, kind="stable")[: self.top_k]
-            best.extend(
-                Interaction(
-                    snps=tuple(int(s) for s in pairs[i]),
-                    score=float(scores[i]),
-                    snp_names=tuple(snp_names[s] for s in pairs[i]),
+
+        policy = get_policy(self.schedule)
+        policy.configure(n_snps=n_snps, n_samples=dataset.n_samples)
+        plan = ExecutionPlan(
+            total=total,
+            devices=[
+                EngineDevice(
+                    kind="cpu", n_workers=self.n_workers, chunk_size=self.chunk_size
                 )
-                for i in order
+            ],
+            policy=policy,
+            top_k=self.top_k,
+        )
+
+        def evaluate(worker, start: int, stop: int):
+            pairs = pairwise_combinations(n_snps, start, stop - start)
+            scores = self.objective.score(pairwise_split_tables(split, pairs))
+            return pairs, scores
+
+        executor = HeterogeneousExecutor(plan, cancel=cancel)
+        run = executor.run(
+            lambda device, worker_id: split,
+            evaluate,
+            snp_names=snp_names,
+            progress=progress,
+        )
+        if run.cancelled:
+            raise RuntimeError(
+                f"pairwise detection cancelled after {run.n_items} of {total} pairs"
             )
-            best = sorted(best)[: self.top_k]
-            rank += count
-        elapsed = time.perf_counter() - started
+        if not run.top:
+            raise RuntimeError("pairwise search produced no interactions")
+
+        extra: Dict[str, object] = {
+            "order": 2,
+            "schedule": policy.name,
+            "devices": run.device_stats,
+        }
         stats = ApproachStats(
             approach="cpu-pairwise",
             n_combinations=total,
             n_samples=dataset.n_samples,
-            elapsed_seconds=elapsed,
-            extra={"order": 2},
+            elapsed_seconds=run.elapsed_seconds,
+            n_workers=self.n_workers,
+            extra=extra,
         )
-        return DetectionResult(best=best[0], top=best, stats=stats)
+        return DetectionResult(best=run.top[0], top=list(run.top), stats=stats)

@@ -1,0 +1,81 @@
+"""Unified heterogeneous execution engine.
+
+Every exhaustive search entry point of the library — the three-way
+:class:`~repro.core.detector.EpistasisDetector`, the pairwise screen, the
+MPI3SNP-style baseline and the CLI — executes through this package instead
+of rolling its own loop:
+
+* :mod:`repro.engine.plan` — :class:`EngineDevice` lanes and the
+  declarative :class:`ExecutionPlan`;
+* :mod:`repro.engine.policies` — the pluggable :class:`SchedulingPolicy`
+  family (``dynamic``, ``static``, ``guided`` and the CARM-ratio
+  heterogeneous splitter of §V-D);
+* :mod:`repro.engine.scheduling` — the underlying thread-safe work sources
+  over the combination-rank space;
+* :mod:`repro.engine.worker` — per-thread :class:`DeviceWorker` with the
+  bounded-memory streaming top-k reduction;
+* :mod:`repro.engine.executor` — :class:`HeterogeneousExecutor`, which runs
+  a plan with per-device statistics, progress reporting and cooperative
+  cancellation.
+"""
+
+from repro.engine.scheduling import (
+    ChunkedRange,
+    DynamicScheduler,
+    GuidedScheduler,
+    Range,
+    WorkSource,
+    static_partition,
+)
+from repro.engine.plan import (
+    DEFAULT_CATALOG_KEYS,
+    DEVICE_KINDS,
+    EngineDevice,
+    ExecutionPlan,
+    parse_devices,
+)
+from repro.engine.policies import (
+    CarmRatioPolicy,
+    DeviceAssignment,
+    DynamicPolicy,
+    GuidedPolicy,
+    POLICIES,
+    SchedulingPolicy,
+    StaticPolicy,
+    get_policy,
+    list_policies,
+)
+from repro.engine.worker import DeviceWorker, TopKHeap
+from repro.engine.executor import (
+    CancellationToken,
+    EngineResult,
+    HeterogeneousExecutor,
+)
+
+__all__ = [
+    "Range",
+    "WorkSource",
+    "DynamicScheduler",
+    "GuidedScheduler",
+    "ChunkedRange",
+    "static_partition",
+    "DEVICE_KINDS",
+    "DEFAULT_CATALOG_KEYS",
+    "EngineDevice",
+    "ExecutionPlan",
+    "parse_devices",
+    "SchedulingPolicy",
+    "DeviceAssignment",
+    "DynamicPolicy",
+    "StaticPolicy",
+    "GuidedPolicy",
+    "CarmRatioPolicy",
+    "POLICIES",
+    "get_policy",
+    "list_policies",
+    "TopKHeap",
+    "DeviceWorker",
+    "CancellationToken",
+    "EngineResult",
+    "HeterogeneousExecutor",
+]

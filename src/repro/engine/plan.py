@@ -1,0 +1,159 @@
+"""Execution plans: which devices run a search, and how.
+
+An :class:`ExecutionPlan` is the declarative input of the
+:class:`~repro.engine.executor.HeterogeneousExecutor`: the size of the
+combination-rank space, the participating :class:`EngineDevice` lanes and
+the :class:`~repro.engine.policies.SchedulingPolicy` that carves the space
+across them.  Every search entry point (three-way detector, pairwise
+screen, MPI3SNP-style baseline, CLI) builds one of these instead of rolling
+its own execution loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.engine.policies import SchedulingPolicy
+
+__all__ = ["DEVICE_KINDS", "DEFAULT_CATALOG_KEYS", "EngineDevice", "parse_devices", "ExecutionPlan"]
+
+#: Device families the engine knows how to drive.
+DEVICE_KINDS = ("cpu", "gpu")
+
+#: Default Table I/II catalog entries used for CARM throughput estimates when
+#: a device lane does not name one: the Ice Lake SP Xeon and the Titan Xp —
+#: the CPU+GPU pairing of the paper's §V-D heterogeneous projection.
+DEFAULT_CATALOG_KEYS = {"cpu": "CI3", "gpu": "GN4"}
+
+
+@dataclass
+class EngineDevice:
+    """One device lane of an execution plan.
+
+    Attributes
+    ----------
+    kind:
+        Device family, ``"cpu"`` or ``"gpu"``.
+    n_workers:
+        Host threads driving this lane.  A simulated GPU is fed by a single
+        host thread (one stream of kernel launches); a CPU lane typically
+        runs one worker per core.
+    chunk_size:
+        Work items per claimed chunk on this lane (the unit of dynamic
+        scheduling and of the vectorised kernel batch).
+    catalog_key:
+        Optional Table I/II key (``"CI3"``, ``"GN4"``, ...) identifying the
+        modelled hardware; the CARM-ratio policy uses it to estimate the
+        lane's throughput.  Defaults per ``kind`` via
+        :data:`DEFAULT_CATALOG_KEYS`.
+    """
+
+    kind: str = "cpu"
+    n_workers: int = 1
+    chunk_size: int = 2048
+    catalog_key: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in DEVICE_KINDS:
+            raise ValueError(f"unknown device kind {self.kind!r}; expected one of {DEVICE_KINDS}")
+        if self.n_workers < 1:
+            raise ValueError("n_workers must be positive")
+        if self.chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+
+    def spec(self):
+        """The catalogued device spec backing this lane (for CARM estimates)."""
+        from repro.devices.catalog import device
+
+        return device(self.catalog_key or DEFAULT_CATALOG_KEYS[self.kind])
+
+
+def parse_devices(
+    spec: str,
+    n_workers: int = 1,
+    chunk_size: int = 2048,
+    gpu_workers: int = 1,
+) -> List[EngineDevice]:
+    """Parse a CLI-style device expression into engine device lanes.
+
+    ``"cpu"`` and ``"gpu"`` yield a single lane; ``"cpu+gpu"`` (in either
+    order) yields a heterogeneous two-lane plan.  CPU lanes receive
+    ``n_workers`` host threads, GPU lanes ``gpu_workers`` (default one — a
+    simulated GPU is a single launch stream).
+    """
+    kinds = [part.strip().lower() for part in spec.split("+") if part.strip()]
+    if not kinds:
+        raise ValueError(f"empty device expression {spec!r}")
+    if len(set(kinds)) != len(kinds):
+        raise ValueError(f"duplicate device kind in {spec!r}")
+    for kind in kinds:
+        if kind not in DEVICE_KINDS:
+            raise ValueError(
+                f"unknown device kind {kind!r} in {spec!r}; expected combinations of {DEVICE_KINDS}"
+            )
+    return [
+        EngineDevice(
+            kind=kind,
+            n_workers=n_workers if kind == "cpu" else gpu_workers,
+            chunk_size=chunk_size,
+        )
+        for kind in kinds
+    ]
+
+
+@dataclass
+class ExecutionPlan:
+    """Declarative description of one engine run.
+
+    Attributes
+    ----------
+    total:
+        Number of work items (combination ranks) to cover.
+    devices:
+        Participating device lanes.
+    policy:
+        Scheduling policy instance carving ``[0, total)`` across the lanes.
+    top_k:
+        Number of best-scoring interactions retained by the streaming
+        reduction.
+    """
+
+    total: int
+    devices: List[EngineDevice] = field(default_factory=lambda: [EngineDevice()])
+    policy: "SchedulingPolicy | None" = None
+    top_k: int = 10
+
+    def __post_init__(self) -> None:
+        if self.total < 0:
+            raise ValueError("total must be non-negative")
+        if not self.devices:
+            raise ValueError("an execution plan needs at least one device")
+        if self.top_k < 1:
+            raise ValueError("top_k must be positive")
+        if self.policy is None:
+            from repro.engine.policies import DynamicPolicy
+
+            self.policy = DynamicPolicy()
+
+    @property
+    def total_workers(self) -> int:
+        """Host threads across all device lanes."""
+        return sum(d.n_workers for d in self.devices)
+
+    def device_labels(self) -> List[str]:
+        """Stable per-lane labels: the kind, suffixed when kinds repeat."""
+        labels: List[str] = []
+        counts: dict[str, int] = {}
+        for dev in self.devices:
+            counts[dev.kind] = counts.get(dev.kind, 0) + 1
+        seen: dict[str, int] = {}
+        for dev in self.devices:
+            if counts[dev.kind] == 1:
+                labels.append(dev.kind)
+            else:
+                idx = seen.get(dev.kind, 0)
+                seen[dev.kind] = idx + 1
+                labels.append(f"{dev.kind}{idx}")
+        return labels

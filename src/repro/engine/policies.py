@@ -1,0 +1,285 @@
+"""Pluggable scheduling policies of the heterogeneous execution engine.
+
+A policy decides how the combination-rank space ``[0, total)`` is carved
+across the workers of an execution plan's device lanes.  The four concrete
+policies correspond to the host schedules discussed by the paper and its
+baselines:
+
+* :class:`DynamicPolicy` — all workers pull fixed-size chunks from one
+  shared cursor (the paper's OpenMP ``schedule(dynamic)`` CPU runtime);
+* :class:`StaticPolicy` — the space is pre-partitioned into contiguous
+  near-equal per-worker spans (the MPI3SNP-style rank decomposition);
+* :class:`GuidedPolicy` — exponentially decreasing shared chunks;
+* :class:`CarmRatioPolicy` — the heterogeneous splitter of §V-D: each
+  device lane receives a contiguous share sized proportionally to its
+  CARM/performance-model throughput estimate
+  (:func:`repro.perfmodel.efficiency.device_throughput`), and the lane's
+  workers drain their share with a lane-local dynamic schedule.
+
+Policies are instantiated by name through :func:`get_policy` so the CLI and
+config layers can select them declaratively.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import ClassVar, Dict, List, Sequence, Type
+
+from repro.engine.plan import EngineDevice
+from repro.engine.scheduling import (
+    ChunkedRange,
+    DynamicScheduler,
+    GuidedScheduler,
+    WorkSource,
+    static_partition,
+)
+
+__all__ = [
+    "DeviceAssignment",
+    "SchedulingPolicy",
+    "DynamicPolicy",
+    "StaticPolicy",
+    "GuidedPolicy",
+    "CarmRatioPolicy",
+    "POLICIES",
+    "get_policy",
+    "list_policies",
+]
+
+
+@dataclass
+class DeviceAssignment:
+    """Work sources assigned to one device lane.
+
+    Attributes
+    ----------
+    device:
+        The lane the assignment belongs to.
+    sources:
+        One work source per worker of the lane.  Sources may be shared
+        between workers (and between lanes) when the policy schedules from a
+        common pool.
+    planned_items:
+        Size of the lane's pre-assigned contiguous share, or ``None`` when
+        the lane competes for work from a shared pool.
+    """
+
+    device: EngineDevice
+    sources: List[WorkSource]
+    planned_items: int | None = None
+
+
+class SchedulingPolicy(ABC):
+    """Strategy that carves ``[0, total)`` across device lanes."""
+
+    #: Registry name of the policy.
+    name: ClassVar[str] = "abstract"
+
+    @abstractmethod
+    def assign(
+        self, total: int, devices: Sequence[EngineDevice]
+    ) -> List[DeviceAssignment]:
+        """Produce per-lane work sources covering ``[0, total)`` exactly once."""
+
+    def configure(self, n_snps: int, n_samples: int) -> None:
+        """Late-bind the problem shape (used by model-driven policies)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class DynamicPolicy(SchedulingPolicy):
+    """All workers share one dynamic chunk cursor (OpenMP ``dynamic``)."""
+
+    name = "dynamic"
+
+    def __init__(self, chunk_size: int | None = None) -> None:
+        self.chunk_size = chunk_size
+
+    def assign(
+        self, total: int, devices: Sequence[EngineDevice]
+    ) -> List[DeviceAssignment]:
+        chunk = self.chunk_size or min(d.chunk_size for d in devices)
+        shared = DynamicScheduler(total, chunk_size=chunk)
+        return [
+            DeviceAssignment(device=d, sources=[shared] * d.n_workers)
+            for d in devices
+        ]
+
+
+class StaticPolicy(SchedulingPolicy):
+    """Contiguous near-equal per-worker spans (MPI3SNP-style partition)."""
+
+    name = "static"
+
+    def assign(
+        self, total: int, devices: Sequence[EngineDevice]
+    ) -> List[DeviceAssignment]:
+        n_workers = sum(d.n_workers for d in devices)
+        parts = static_partition(total, n_workers)
+        assignments: List[DeviceAssignment] = []
+        cursor = 0
+        for d in devices:
+            spans = parts[cursor : cursor + d.n_workers]
+            cursor += d.n_workers
+            assignments.append(
+                DeviceAssignment(
+                    device=d,
+                    sources=[ChunkedRange(span, d.chunk_size) for span in spans],
+                    planned_items=sum(stop - start for start, stop in spans),
+                )
+            )
+        return assignments
+
+
+class GuidedPolicy(SchedulingPolicy):
+    """Shared cursor with exponentially decreasing chunks (OpenMP ``guided``)."""
+
+    name = "guided"
+
+    def __init__(self, min_chunk: int | None = None) -> None:
+        self.min_chunk = min_chunk
+
+    def assign(
+        self, total: int, devices: Sequence[EngineDevice]
+    ) -> List[DeviceAssignment]:
+        n_workers = sum(d.n_workers for d in devices)
+        min_chunk = self.min_chunk or min(d.chunk_size for d in devices)
+        shared = GuidedScheduler(total, n_workers=n_workers, min_chunk=min_chunk)
+        return [
+            DeviceAssignment(device=d, sources=[shared] * d.n_workers)
+            for d in devices
+        ]
+
+
+class CarmRatioPolicy(SchedulingPolicy):
+    """Heterogeneous splitter sized by CARM/performance-model throughput.
+
+    Each device lane receives a contiguous share of the combination space
+    proportional to the analytical throughput of its catalogued hardware
+    (§V-D: the optimal static split for independent combinations assigns
+    work proportionally to device throughput).  Within a lane, workers drain
+    the share with a lane-local dynamic schedule, so multi-core CPU lanes
+    keep the paper's dynamic load balancing.
+
+    Parameters
+    ----------
+    n_snps / n_samples:
+        Problem shape fed to the analytical models.  Left unset, the shape
+        is late-bound by :meth:`configure` (the detector passes the actual
+        dataset shape) and falls back to the paper's reference workload.
+    ratios:
+        Explicit per-lane share weights overriding the model estimates
+        (useful for tests and for measured re-calibration).
+    """
+
+    name = "carm"
+
+    #: Reference workload of the paper's throughput figures, used when no
+    #: problem shape was provided.
+    DEFAULT_SHAPE = (8192, 16384)
+
+    def __init__(
+        self,
+        n_snps: int | None = None,
+        n_samples: int | None = None,
+        ratios: Sequence[float] | None = None,
+    ) -> None:
+        self.n_snps = n_snps
+        self.n_samples = n_samples
+        self.ratios = list(ratios) if ratios is not None else None
+        # Shape values given explicitly at construction are pinned; values
+        # late-bound by configure() rebind on every call, so a reused policy
+        # instance follows each dataset's actual shape.
+        self._pinned_snps = n_snps is not None
+        self._pinned_samples = n_samples is not None
+
+    def configure(self, n_snps: int, n_samples: int) -> None:
+        if not self._pinned_snps:
+            self.n_snps = n_snps
+        if not self._pinned_samples:
+            self.n_samples = n_samples
+
+    def _weights(self, devices: Sequence[EngineDevice]) -> List[float]:
+        if self.ratios is not None:
+            if len(self.ratios) != len(devices):
+                raise ValueError(
+                    f"{len(self.ratios)} ratios for {len(devices)} devices"
+                )
+            if any(r < 0 for r in self.ratios) or sum(self.ratios) <= 0:
+                raise ValueError("ratios must be non-negative and sum to > 0")
+            return list(self.ratios)
+        from repro.perfmodel.efficiency import device_throughput
+
+        n_snps, n_samples = self.DEFAULT_SHAPE
+        n_snps = self.n_snps or n_snps
+        n_samples = self.n_samples or n_samples
+        return [
+            device_throughput(d.spec(), n_snps=n_snps, n_samples=n_samples)
+            for d in devices
+        ]
+
+    def shares(self, total: int, devices: Sequence[EngineDevice]) -> List[int]:
+        """Per-lane item counts (largest-remainder apportionment of ``total``)."""
+        weights = self._weights(devices)
+        scale = sum(weights)
+        raw = [total * w / scale for w in weights]
+        base = [int(r) for r in raw]
+        leftover = total - sum(base)
+        by_fraction = sorted(
+            range(len(devices)), key=lambda i: raw[i] - base[i], reverse=True
+        )
+        for i in by_fraction[:leftover]:
+            base[i] += 1
+        return base
+
+    def assign(
+        self, total: int, devices: Sequence[EngineDevice]
+    ) -> List[DeviceAssignment]:
+        shares = self.shares(total, devices)
+        assignments: List[DeviceAssignment] = []
+        start = 0
+        for d, share in zip(devices, shares):
+            stop = start + share
+            lane = DynamicScheduler(stop, chunk_size=d.chunk_size, start=start)
+            assignments.append(
+                DeviceAssignment(
+                    device=d,
+                    sources=[lane] * d.n_workers,
+                    planned_items=share,
+                )
+            )
+            start = stop
+        return assignments
+
+
+#: Registry of policy classes by canonical name.
+POLICIES: Dict[str, Type[SchedulingPolicy]] = {
+    cls.name: cls
+    for cls in (DynamicPolicy, StaticPolicy, GuidedPolicy, CarmRatioPolicy)
+}
+
+_ALIASES: Dict[str, str] = {
+    "carm-ratio": "carm",
+    "heterogeneous": "carm",
+}
+
+
+def get_policy(name: "str | SchedulingPolicy", **kwargs) -> SchedulingPolicy:
+    """Instantiate a scheduling policy by name (pass-through for instances)."""
+    if isinstance(name, SchedulingPolicy):
+        return name
+    key = name.lower()
+    key = _ALIASES.get(key, key)
+    if key not in POLICIES:
+        raise KeyError(
+            f"unknown scheduling policy {name!r}; available: {sorted(POLICIES)} "
+            f"(aliases: {sorted(_ALIASES)})"
+        )
+    return POLICIES[key](**kwargs)
+
+
+def list_policies() -> List[str]:
+    """Registered policy names."""
+    return sorted(POLICIES)

@@ -1,0 +1,231 @@
+"""Work sources over the combination-rank space.
+
+Work units are half-open ranges ``[start, stop)`` of lexicographic
+combination ranks (see :mod:`repro.core.combinations`); a work source never
+touches the combinations themselves, so the same machinery drives CPU
+threads, simulated GPU launches and simulated cluster ranks.
+
+Three concrete sources implement the classic OpenMP schedules the paper's
+host runtime is modelled after:
+
+* :class:`DynamicScheduler` — fixed-size chunks from a shared atomic cursor
+  (``schedule(dynamic)``), the paper's choice for the CPU search;
+* :class:`GuidedScheduler` — exponentially decreasing chunks
+  (``schedule(guided)``), large chunks early to amortise dispatch, small
+  chunks late to rebalance the tail;
+* :class:`ChunkedRange` — a private cursor over a pre-assigned contiguous
+  span (``schedule(static)`` and the MPI3SNP-style rank partition).
+
+:func:`static_partition` produces the contiguous near-equal spans consumed
+by the static schedule and the simulated cluster.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator, List, Protocol, Tuple
+
+__all__ = [
+    "Range",
+    "WorkSource",
+    "DynamicScheduler",
+    "GuidedScheduler",
+    "ChunkedRange",
+    "static_partition",
+]
+
+Range = Tuple[int, int]
+
+
+class WorkSource(Protocol):
+    """Anything a worker can repeatedly claim ``[start, stop)`` ranges from."""
+
+    def next_range(self) -> Range | None:  # pragma: no cover - protocol
+        ...
+
+
+class DynamicScheduler:
+    """Thread-safe dynamic chunk scheduler (OpenMP ``schedule(dynamic)``).
+
+    Parameters
+    ----------
+    total:
+        End of the work-item range; items are claimed from ``[start, total)``.
+    chunk_size:
+        Number of items handed out per request.
+    start:
+        First work item (default 0); non-zero starts let a policy run a
+        dynamic schedule inside a contiguous device share.
+
+    Notes
+    -----
+    The scheduler is intentionally minimal: a single atomic cursor protected
+    by a lock.  Contention is negligible because a chunk of thousands of
+    combinations amortises the lock acquisition, matching the granularity
+    the paper uses for its dynamic OpenMP schedule.
+    """
+
+    def __init__(self, total: int, chunk_size: int = 4096, start: int = 0) -> None:
+        if total < 0:
+            raise ValueError("total must be non-negative")
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        if start < 0 or start > total:
+            raise ValueError(f"start must lie in [0, {total}]")
+        self.total = int(total)
+        self.chunk_size = int(chunk_size)
+        self.start = int(start)
+        self._cursor = self.start
+        self._lock = threading.Lock()
+
+    def next_range(self) -> Range | None:
+        """Claim the next chunk, or ``None`` when the space is exhausted."""
+        with self._lock:
+            if self._cursor >= self.total:
+                return None
+            start = self._cursor
+            stop = min(start + self.chunk_size, self.total)
+            self._cursor = stop
+            return start, stop
+
+    def __iter__(self) -> Iterator[Range]:
+        while True:
+            r = self.next_range()
+            if r is None:
+                return
+            yield r
+
+    @property
+    def remaining(self) -> int:
+        """Number of unclaimed work items."""
+        with self._lock:
+            return max(0, self.total - self._cursor)
+
+    def reset(self) -> None:
+        """Rewind the scheduler (e.g. between benchmark repetitions)."""
+        with self._lock:
+            self._cursor = self.start
+
+
+class GuidedScheduler:
+    """Thread-safe guided chunk scheduler (OpenMP ``schedule(guided)``).
+
+    Each claim receives ``max(min_chunk, remaining // (2 * n_workers))``
+    items: early chunks are large (amortising dispatch overhead), late chunks
+    shrink towards ``min_chunk`` so stragglers can rebalance the tail.
+
+    Parameters
+    ----------
+    total:
+        End of the work-item range.
+    n_workers:
+        Number of consumers the decay is sized for.
+    min_chunk:
+        Smallest chunk handed out (and the floor of the decay).
+    start:
+        First work item (default 0).
+    """
+
+    def __init__(
+        self,
+        total: int,
+        n_workers: int = 1,
+        min_chunk: int = 256,
+        start: int = 0,
+    ) -> None:
+        if total < 0:
+            raise ValueError("total must be non-negative")
+        if n_workers < 1:
+            raise ValueError("n_workers must be positive")
+        if min_chunk < 1:
+            raise ValueError("min_chunk must be positive")
+        if start < 0 or start > total:
+            raise ValueError(f"start must lie in [0, {total}]")
+        self.total = int(total)
+        self.n_workers = int(n_workers)
+        self.min_chunk = int(min_chunk)
+        self.start = int(start)
+        self._cursor = self.start
+        self._lock = threading.Lock()
+
+    def next_range(self) -> Range | None:
+        with self._lock:
+            remaining = self.total - self._cursor
+            if remaining <= 0:
+                return None
+            size = max(self.min_chunk, remaining // (2 * self.n_workers))
+            size = min(size, remaining)
+            start = self._cursor
+            self._cursor = start + size
+            return start, start + size
+
+    def __iter__(self) -> Iterator[Range]:
+        while True:
+            r = self.next_range()
+            if r is None:
+                return
+            yield r
+
+    @property
+    def remaining(self) -> int:
+        with self._lock:
+            return max(0, self.total - self._cursor)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._cursor = self.start
+
+
+class ChunkedRange:
+    """A private chunked cursor over a fixed span (one worker's static share).
+
+    Unlike the shared schedulers this source is owned by a single worker, but
+    claiming is still locked so misuse cannot corrupt the cursor.
+    """
+
+    def __init__(self, span: Range, chunk_size: int) -> None:
+        start, stop = span
+        if start < 0 or stop < start:
+            raise ValueError(f"invalid span {span}")
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        self.span = (int(start), int(stop))
+        self.chunk_size = int(chunk_size)
+        self._cursor = int(start)
+        self._lock = threading.Lock()
+
+    def next_range(self) -> Range | None:
+        with self._lock:
+            if self._cursor >= self.span[1]:
+                return None
+            start = self._cursor
+            stop = min(start + self.chunk_size, self.span[1])
+            self._cursor = stop
+            return start, stop
+
+    @property
+    def remaining(self) -> int:
+        with self._lock:
+            return max(0, self.span[1] - self._cursor)
+
+
+def static_partition(total: int, n_parts: int) -> List[Range]:
+    """Split ``[0, total)`` into ``n_parts`` contiguous, near-equal ranges.
+
+    This is the static decomposition used by the MPI3SNP-style baseline: the
+    first ``total % n_parts`` ranks receive one extra item.  Empty ranges are
+    returned (rather than dropped) so the rank <-> range mapping stays
+    positional.
+    """
+    if n_parts < 1:
+        raise ValueError("n_parts must be positive")
+    if total < 0:
+        raise ValueError("total must be non-negative")
+    base, extra = divmod(total, n_parts)
+    ranges: List[Range] = []
+    start = 0
+    for rank in range(n_parts):
+        size = base + (1 if rank < extra else 0)
+        ranges.append((start, start + size))
+        start += size
+    return ranges

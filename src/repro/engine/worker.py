@@ -1,0 +1,169 @@
+"""Device workers and the streaming top-k reduction.
+
+A :class:`DeviceWorker` is one host thread of a device lane: it repeatedly
+claims ``[start, stop)`` rank ranges from its work source, evaluates them
+through the caller-supplied kernel and folds the chunk's scores into a
+bounded :class:`TopKHeap` — so memory stays O(top_k) per worker no matter
+how large the combination space is, replacing the old list-of-lists
+reduction.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from typing import TYPE_CHECKING, Any, Callable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.plan import EngineDevice
+from repro.engine.scheduling import WorkSource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.result import Interaction
+    from repro.engine.executor import CancellationToken
+
+__all__ = ["TopKHeap", "DeviceWorker", "ChunkEvaluator"]
+
+#: Kernel signature: evaluate ranks ``[start, stop)`` and return the
+#: materialised combinations plus their objective scores.
+ChunkEvaluator = Callable[["DeviceWorker", int, int], Tuple[np.ndarray, np.ndarray]]
+
+
+class TopKHeap:
+    """Bounded container of the ``k`` best (lowest-scoring) interactions.
+
+    Chunks are folded in one batch at a time: the batch's local top-k is
+    selected with a stable argsort (preserving the deterministic
+    score-then-indices ordering of :class:`~repro.core.result.Interaction`)
+    and merged with the retained set via a heap selection, keeping memory
+    bounded by ``k`` entries regardless of the number of chunks streamed
+    through.
+    """
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError("k must be positive")
+        self.k = int(k)
+        self._items: List["Interaction"] = []
+
+    def push_batch(
+        self,
+        combos: np.ndarray,
+        scores: np.ndarray,
+        snp_names: Sequence[str] | None = None,
+    ) -> None:
+        """Fold one chunk of scored combinations into the retained top-k."""
+        # Imported here (not at module scope) to keep the engine importable
+        # without repro.core, whose package init imports the engine back.
+        from repro.core.result import Interaction
+
+        combos = np.asarray(combos)
+        scores = np.asarray(scores)
+        if combos.shape[0] != scores.shape[0]:
+            raise ValueError("combos and scores must have the same length")
+        if combos.shape[0] == 0:
+            return
+        order = np.argsort(scores, kind="stable")[: self.k]
+        candidates = [
+            Interaction(
+                snps=tuple(int(s) for s in combos[i]),
+                score=float(scores[i]),
+                snp_names=(
+                    tuple(snp_names[s] for s in combos[i])
+                    if snp_names is not None
+                    else None
+                ),
+            )
+            for i in order
+        ]
+        self._items = heapq.nsmallest(self.k, self._items + candidates)
+
+    def push_interactions(self, interactions: Sequence["Interaction"]) -> None:
+        """Fold pre-built interactions (used when merging worker heaps)."""
+        if interactions:
+            self._items = heapq.nsmallest(self.k, list(self._items) + list(interactions))
+
+    @property
+    def items(self) -> List["Interaction"]:
+        """The retained interactions in ascending (score, snps) order."""
+        return list(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class DeviceWorker:
+    """One host thread of a device lane.
+
+    Attributes
+    ----------
+    worker_id:
+        Global worker index across the whole plan.
+    device:
+        The lane this worker belongs to.
+    label:
+        The lane's display label (``"cpu"``, ``"gpu"``, ...).
+    state:
+        Caller-owned per-worker state (typically an approach instance plus
+        its encoded dataset); created by the executor's worker factory.
+    heap:
+        The worker-local streaming top-k reduction.
+    chunks / items / busy_seconds:
+        Execution bookkeeping consumed by the per-device statistics.
+    """
+
+    def __init__(
+        self,
+        worker_id: int,
+        device: EngineDevice,
+        label: str,
+        state: Any,
+        top_k: int,
+    ) -> None:
+        self.worker_id = worker_id
+        self.device = device
+        self.label = label
+        self.state = state
+        self.heap = TopKHeap(top_k)
+        self.chunks = 0
+        self.items = 0
+        self.busy_seconds = 0.0
+
+    def run(
+        self,
+        source: WorkSource,
+        evaluate: ChunkEvaluator,
+        snp_names: Sequence[str] | None,
+        cancel: "CancellationToken | None" = None,
+        on_chunk: Callable[[int], None] | None = None,
+    ) -> None:
+        """Drain ``source`` through ``evaluate`` until exhausted or cancelled.
+
+        Exceptions raised by the kernel are re-raised with ``worker_id`` and
+        ``device_label`` attributes attached, and the shared cancellation
+        token is set so sibling workers stop at their next chunk boundary.
+        """
+        try:
+            while True:
+                if cancel is not None and cancel.cancelled:
+                    return
+                claimed = source.next_range()
+                if claimed is None:
+                    return
+                start, stop = claimed
+                began = time.perf_counter()
+                combos, scores = evaluate(self, start, stop)
+                self.heap.push_batch(combos, scores, snp_names)
+                self.busy_seconds += time.perf_counter() - began
+                self.chunks += 1
+                self.items += stop - start
+                if on_chunk is not None:
+                    on_chunk(stop - start)
+        except Exception as exc:
+            if not hasattr(exc, "worker_id"):
+                exc.worker_id = self.worker_id  # type: ignore[attr-defined]
+                exc.device_label = self.label  # type: ignore[attr-defined]
+            if cancel is not None:
+                cancel.cancel()
+            raise

@@ -1,4 +1,4 @@
-"""Host parallel runtime.
+"""Host parallel runtime (legacy façade over :mod:`repro.engine`).
 
 The paper parallelises the CPU kernels with OpenMP using a *dynamic*
 schedule: "each core fetches a task from a thread pool.  Each thread performs
@@ -8,25 +8,44 @@ GPU kernels receive blocks of ``BSched^3`` combinations per launch, and the
 MPI3SNP baseline statically partitions the combination space across cluster
 ranks.
 
-This package provides those three execution substrates:
+Those substrates now live in the unified heterogeneous execution engine
+(:mod:`repro.engine`): the schedulers became engine work sources, the
+OpenMP-style schedules became :class:`~repro.engine.policies.SchedulingPolicy`
+instances (``dynamic``, ``static``, ``guided``, ``carm``) and the thread
+pool became :class:`~repro.engine.executor.HeterogeneousExecutor`.  This
+package re-exports the engine names alongside the legacy API so existing
+imports keep working:
 
-* :mod:`repro.parallel.scheduler` — thread-safe dynamic chunk scheduler and
-  static partitioners over the combination-rank space.
-* :mod:`repro.parallel.executor` — thread-pool execution with per-worker
-  partial results and a final reduction (NumPy releases the GIL for the
-  word-level kernels, so threads provide genuine concurrency).
+* :mod:`repro.parallel.scheduler` — re-exports the engine work sources.
+* :mod:`repro.parallel.executor` — the legacy ``parallel_map_reduce``
+  map/reduce entry point (deprecated in favour of the engine).
 * :mod:`repro.parallel.cluster` — a simulated multi-rank cluster used by the
   MPI3SNP-style baseline (rank-local work, explicit gather of the partial
   bests).
 """
 
-from repro.parallel.scheduler import DynamicScheduler, static_partition
+from repro.engine.policies import (
+    CarmRatioPolicy,
+    DynamicPolicy,
+    GuidedPolicy,
+    SchedulingPolicy,
+    StaticPolicy,
+    get_policy,
+)
+from repro.engine.scheduling import DynamicScheduler, GuidedScheduler, static_partition
 from repro.parallel.executor import WorkerResult, parallel_map_reduce
 from repro.parallel.cluster import ClusterRank, SimulatedCluster
 
 __all__ = [
     "DynamicScheduler",
+    "GuidedScheduler",
     "static_partition",
+    "SchedulingPolicy",
+    "DynamicPolicy",
+    "StaticPolicy",
+    "GuidedPolicy",
+    "CarmRatioPolicy",
+    "get_policy",
     "parallel_map_reduce",
     "WorkerResult",
     "SimulatedCluster",

@@ -1,4 +1,12 @@
-"""Thread-pool execution with per-worker partial results.
+"""Thread-pool execution with per-worker partial results (compatibility shim).
+
+.. deprecated::
+    New code should build an :class:`~repro.engine.plan.ExecutionPlan` and
+    run it through :class:`~repro.engine.executor.HeterogeneousExecutor`,
+    which adds device lanes, scheduling policies, streaming top-k reduction,
+    per-device statistics and cooperative cancellation.
+    :func:`parallel_map_reduce` remains for callers that only need the
+    original map/reduce shape.
 
 The execution model mirrors §IV-A: every worker repeatedly claims a chunk of
 combinations from the dynamic scheduler, evaluates it with its own approach
@@ -13,7 +21,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, List, Sequence, TypeVar
 
-from repro.parallel.scheduler import DynamicScheduler
+from repro.engine.scheduling import DynamicScheduler
 
 __all__ = ["WorkerResult", "parallel_map_reduce"]
 
@@ -31,12 +39,13 @@ class WorkerResult:
     chunks_processed:
         Number of scheduler chunks the worker claimed.
     payload:
-        Worker-defined partial result (e.g. a local top-k list).
+        The worker's partial results, in the order its chunks were claimed
+        (a list of ``worker_fn`` return values).
     """
 
     worker_id: int
     chunks_processed: int = 0
-    payload: object = None
+    payload: List[object] = field(default_factory=list)
 
 
 def parallel_map_reduce(
@@ -65,32 +74,49 @@ def parallel_map_reduce(
     Returns
     -------
     (result, worker_results):
-        The reduced result and per-worker bookkeeping.
+        The reduced result and per-worker bookkeeping (chunk counts and the
+        per-worker partial payloads).
+
+    Raises
+    ------
+    Exception
+        A ``worker_fn`` exception propagates to the caller with a
+        ``worker_id`` attribute attached identifying the originating worker.
     """
     if n_workers < 1:
         raise ValueError("n_workers must be positive")
 
-    partials: List[T] = []
     stats = [WorkerResult(worker_id=i) for i in range(n_workers)]
 
+    def _run(worker_id: int) -> List[T]:
+        local: List[T] = []
+        try:
+            while True:
+                claimed = scheduler.next_range()
+                if claimed is None:
+                    return local
+                start, stop = claimed
+                local.append(worker_fn(worker_id, start, stop))
+                stats[worker_id].chunks_processed += 1
+        except Exception as exc:
+            if not hasattr(exc, "worker_id"):
+                exc.worker_id = worker_id  # type: ignore[attr-defined]
+            raise
+        finally:
+            stats[worker_id].payload = local
+
     if n_workers == 1:
-        for start, stop in scheduler:
-            partials.append(worker_fn(0, start, stop))
-            stats[0].chunks_processed += 1
+        partials = _run(0)
         return reduce_fn(partials), stats
 
-    def _worker(worker_id: int) -> List[T]:
-        local: List[T] = []
-        while True:
-            claimed = scheduler.next_range()
-            if claimed is None:
-                return local
-            start, stop = claimed
-            local.append(worker_fn(worker_id, start, stop))
-            stats[worker_id].chunks_processed += 1
-
+    partials: List[T] = []
     with ThreadPoolExecutor(max_workers=n_workers) as pool:
-        futures = [pool.submit(_worker, i) for i in range(n_workers)]
+        futures = [pool.submit(_run, i) for i in range(n_workers)]
+        errors = [exc for exc in (fut.exception() for fut in futures) if exc is not None]
+        if errors:
+            # Every worker has finished (pool shutdown waits); surface the
+            # first failure instead of silently dropping its context.
+            raise errors[0]
         for fut in futures:
             partials.extend(fut.result())
     return reduce_fn(partials), stats

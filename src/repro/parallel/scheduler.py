@@ -1,95 +1,21 @@
-"""Work distribution over the combination-rank space.
+"""Work distribution over the combination-rank space (compatibility shim).
 
-Work units are half-open ranges ``[start, stop)`` of lexicographic
-combination ranks (see :mod:`repro.core.combinations`); a scheduler never
-touches the combinations themselves, so the same machinery drives CPU
-threads, simulated GPU launches and simulated cluster ranks.
+.. deprecated::
+    The schedulers moved into the unified execution engine; import
+    :class:`~repro.engine.scheduling.DynamicScheduler`,
+    :class:`~repro.engine.scheduling.GuidedScheduler` and
+    :func:`~repro.engine.scheduling.static_partition` from
+    :mod:`repro.engine` instead.  This module re-exports them unchanged so
+    existing imports keep working.
 """
 
 from __future__ import annotations
 
-import threading
-from typing import Iterator, List, Tuple
+from repro.engine.scheduling import (
+    DynamicScheduler,
+    GuidedScheduler,
+    Range,
+    static_partition,
+)
 
-__all__ = ["DynamicScheduler", "static_partition"]
-
-Range = Tuple[int, int]
-
-
-class DynamicScheduler:
-    """Thread-safe dynamic chunk scheduler (OpenMP ``schedule(dynamic)``).
-
-    Parameters
-    ----------
-    total:
-        Total number of work items (combination ranks).
-    chunk_size:
-        Number of items handed out per request.
-
-    Notes
-    -----
-    The scheduler is intentionally minimal: a single atomic cursor protected
-    by a lock.  Contention is negligible because a chunk of thousands of
-    combinations amortises the lock acquisition, matching the granularity
-    the paper uses for its dynamic OpenMP schedule.
-    """
-
-    def __init__(self, total: int, chunk_size: int = 4096) -> None:
-        if total < 0:
-            raise ValueError("total must be non-negative")
-        if chunk_size < 1:
-            raise ValueError("chunk_size must be positive")
-        self.total = int(total)
-        self.chunk_size = int(chunk_size)
-        self._cursor = 0
-        self._lock = threading.Lock()
-
-    def next_range(self) -> Range | None:
-        """Claim the next chunk, or ``None`` when the space is exhausted."""
-        with self._lock:
-            if self._cursor >= self.total:
-                return None
-            start = self._cursor
-            stop = min(start + self.chunk_size, self.total)
-            self._cursor = stop
-            return start, stop
-
-    def __iter__(self) -> Iterator[Range]:
-        while True:
-            r = self.next_range()
-            if r is None:
-                return
-            yield r
-
-    @property
-    def remaining(self) -> int:
-        """Number of unclaimed work items."""
-        with self._lock:
-            return max(0, self.total - self._cursor)
-
-    def reset(self) -> None:
-        """Rewind the scheduler (e.g. between benchmark repetitions)."""
-        with self._lock:
-            self._cursor = 0
-
-
-def static_partition(total: int, n_parts: int) -> List[Range]:
-    """Split ``[0, total)`` into ``n_parts`` contiguous, near-equal ranges.
-
-    This is the static decomposition used by the MPI3SNP-style baseline: the
-    first ``total % n_parts`` ranks receive one extra item.  Empty ranges are
-    returned (rather than dropped) so the rank <-> range mapping stays
-    positional.
-    """
-    if n_parts < 1:
-        raise ValueError("n_parts must be positive")
-    if total < 0:
-        raise ValueError("total must be non-negative")
-    base, extra = divmod(total, n_parts)
-    ranges: List[Range] = []
-    start = 0
-    for rank in range(n_parts):
-        size = base + (1 if rank < extra else 0)
-        ranges.append((start, start + size))
-        start += size
-    return ranges
+__all__ = ["DynamicScheduler", "GuidedScheduler", "static_partition", "Range"]

@@ -47,6 +47,18 @@ class TestPairwiseCombinations:
         full = pairwise_combinations(n)
         assert np.array_equal(window, full[start : start + count])
 
+    @given(n=st.integers(min_value=2, max_value=64), data=st.data())
+    @settings(max_examples=60)
+    def test_vectorized_unranking_matches_itertools(self, n, data):
+        """Property pin: the closed-form unranking equals itertools order."""
+        expected = np.array(list(itertools_combinations(range(n), 2)), dtype=np.int64)
+        total = comb(n, 2)
+        start = data.draw(st.integers(0, total))
+        count = data.draw(st.integers(0, total - start))
+        window = pairwise_combinations(n, start, count)
+        assert window.dtype == np.int64
+        assert np.array_equal(window, expected[start : start + count])
+
 
 class TestPairwiseTables:
     def test_matches_oracle(self, small_dataset):
@@ -107,6 +119,18 @@ class TestPairwiseDetector:
         b = PairwiseEpistasisDetector(chunk_size=100000).detect(small_dataset)
         assert a.best_snps == b.best_snps
         assert a.best_score == pytest.approx(b.best_score)
+
+    @pytest.mark.parametrize("schedule", ["dynamic", "static", "guided"])
+    def test_multi_worker_agreement(self, small_dataset, schedule):
+        single = PairwiseEpistasisDetector(top_k=5).detect(small_dataset)
+        multi = PairwiseEpistasisDetector(
+            top_k=5, n_workers=3, chunk_size=17, schedule=schedule
+        ).detect(small_dataset)
+        assert [i.snps for i in multi.top] == [i.snps for i in single.top]
+        assert multi.best_score == pytest.approx(single.best_score)
+        assert multi.stats.extra["schedule"] == schedule
+        assert multi.stats.extra["devices"]["cpu"]["workers"] == 3
+        assert multi.stats.n_workers == 3
 
     def test_score_pairs_entry_point(self, small_dataset):
         detector = PairwiseEpistasisDetector()

@@ -1,0 +1,473 @@
+"""Tests of the unified heterogeneous execution engine."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import EpistasisDetector
+from repro.core.result import Interaction
+from repro.engine import (
+    CancellationToken,
+    CarmRatioPolicy,
+    DynamicPolicy,
+    EngineDevice,
+    ExecutionPlan,
+    GuidedPolicy,
+    GuidedScheduler,
+    HeterogeneousExecutor,
+    StaticPolicy,
+    TopKHeap,
+    get_policy,
+    list_policies,
+    parse_devices,
+)
+from repro.parallel.executor import parallel_map_reduce
+from repro.parallel.scheduler import DynamicScheduler
+from tests.conftest import PLANTED_TRIPLET
+
+
+def _drain_concurrently(sources, n_threads: int):
+    """Pull ranges from shared sources with ``n_threads`` threads."""
+    seen: list[tuple[int, int]] = []
+    lock = threading.Lock()
+
+    def worker(source):
+        while True:
+            r = source.next_range()
+            if r is None:
+                return
+            with lock:
+                seen.append(r)
+
+    threads = [
+        threading.Thread(target=worker, args=(sources[i % len(sources)],))
+        for i in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return seen
+
+
+def _assert_exact_cover(ranges, total):
+    items = sorted(i for start, stop in ranges for i in range(start, stop))
+    assert items == list(range(total)), "ranges must cover [0, total) exactly once"
+
+
+class TestPolicyCoverage:
+    """Each policy must hand out every rank exactly once — no gaps, no overlaps."""
+
+    def test_dynamic_eight_threads_exactly_once(self):
+        policy = DynamicPolicy()
+        devices = [EngineDevice(kind="cpu", n_workers=8, chunk_size=13)]
+        [assignment] = policy.assign(10_000, devices)
+        assert len(assignment.sources) == 8
+        seen = _drain_concurrently(assignment.sources, 8)
+        _assert_exact_cover(seen, 10_000)
+
+    def test_guided_eight_threads_exactly_once(self):
+        policy = GuidedPolicy(min_chunk=7)
+        devices = [EngineDevice(kind="cpu", n_workers=8, chunk_size=64)]
+        [assignment] = policy.assign(10_000, devices)
+        seen = _drain_concurrently(assignment.sources, 8)
+        _assert_exact_cover(seen, 10_000)
+
+    def test_static_covers_without_gaps(self):
+        policy = StaticPolicy()
+        devices = [
+            EngineDevice(kind="cpu", n_workers=3, chunk_size=17),
+            EngineDevice(kind="gpu", n_workers=2, chunk_size=29),
+        ]
+        assignments = policy.assign(1003, devices)
+        ranges = []
+        for assignment in assignments:
+            for source in assignment.sources:
+                while True:
+                    r = source.next_range()
+                    if r is None:
+                        break
+                    ranges.append(r)
+        _assert_exact_cover(ranges, 1003)
+        assert sum(a.planned_items for a in assignments) == 1003
+
+    def test_carm_covers_without_gaps(self):
+        policy = CarmRatioPolicy()
+        devices = [
+            EngineDevice(kind="cpu", n_workers=2, chunk_size=11),
+            EngineDevice(kind="gpu", n_workers=1, chunk_size=23),
+        ]
+        assignments = policy.assign(577, devices)
+        ranges = []
+        for assignment in assignments:
+            # Sources are shared per lane; drain the lane's first source.
+            source = assignment.sources[0]
+            while True:
+                r = source.next_range()
+                if r is None:
+                    break
+                ranges.append(r)
+        _assert_exact_cover(ranges, 577)
+        assert sum(a.planned_items for a in assignments) == 577
+
+    @given(
+        total=st.integers(min_value=0, max_value=5000),
+        min_chunk=st.integers(min_value=1, max_value=300),
+        workers=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=40)
+    def test_guided_partitions_range(self, total, min_chunk, workers):
+        chunks = list(GuidedScheduler(total, n_workers=workers, min_chunk=min_chunk))
+        assert sum(stop - start for start, stop in chunks) == total
+        for (s1, e1), (s2, e2) in zip(chunks, chunks[1:]):
+            assert e1 == s2
+        # Guided chunks never grow (monotone non-increasing decay).
+        sizes = [stop - start for start, stop in chunks]
+        assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+
+
+class TestCarmRatioPolicy:
+    def test_explicit_ratios(self):
+        policy = CarmRatioPolicy(ratios=[3, 1])
+        devices = [EngineDevice(kind="cpu"), EngineDevice(kind="gpu")]
+        assert policy.shares(400, devices) == [300, 100]
+
+    def test_shares_follow_model_throughput(self):
+        # The modelled Titan Xp (GN4) is far faster than the Ice Lake SP
+        # CPU (CI3), so the GPU lane must receive the larger share.
+        policy = CarmRatioPolicy(n_snps=4096, n_samples=4096)
+        devices = [EngineDevice(kind="cpu"), EngineDevice(kind="gpu")]
+        cpu_share, gpu_share = policy.shares(100_000, devices)
+        assert cpu_share + gpu_share == 100_000
+        assert gpu_share > cpu_share
+
+    def test_ratio_validation(self):
+        policy = CarmRatioPolicy(ratios=[1])
+        with pytest.raises(ValueError):
+            policy.shares(10, [EngineDevice(kind="cpu"), EngineDevice(kind="gpu")])
+        with pytest.raises(ValueError):
+            CarmRatioPolicy(ratios=[0, 0]).shares(10, [EngineDevice(), EngineDevice(kind="gpu")])
+
+    def test_configure_late_binds_shape(self):
+        # Late-bound shapes follow each dataset (a reused instance rebinds);
+        # constructor-explicit shapes stay pinned.
+        policy = CarmRatioPolicy()
+        policy.configure(n_snps=1024, n_samples=512)
+        assert (policy.n_snps, policy.n_samples) == (1024, 512)
+        policy.configure(n_snps=9, n_samples=9)
+        assert (policy.n_snps, policy.n_samples) == (9, 9)
+
+        pinned = CarmRatioPolicy(n_snps=2048, n_samples=4096)
+        pinned.configure(n_snps=9, n_samples=9)
+        assert (pinned.n_snps, pinned.n_samples) == (2048, 4096)
+
+
+class TestPolicyRegistry:
+    def test_names(self):
+        assert list_policies() == ["carm", "dynamic", "guided", "static"]
+
+    def test_aliases_and_instances(self):
+        assert get_policy("carm-ratio").name == "carm"
+        policy = StaticPolicy()
+        assert get_policy(policy) is policy
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            get_policy("round-robin")
+
+
+class TestPlan:
+    def test_parse_devices(self):
+        lanes = parse_devices("cpu+gpu", n_workers=4, chunk_size=512)
+        assert [d.kind for d in lanes] == ["cpu", "gpu"]
+        assert [d.n_workers for d in lanes] == [4, 1]
+        assert all(d.chunk_size == 512 for d in lanes)
+
+    def test_parse_devices_invalid(self):
+        with pytest.raises(ValueError):
+            parse_devices("cpu+tpu")
+        with pytest.raises(ValueError):
+            parse_devices("cpu+cpu")
+        with pytest.raises(ValueError):
+            parse_devices("")
+
+    def test_plan_validation(self):
+        with pytest.raises(ValueError):
+            ExecutionPlan(total=-1)
+        with pytest.raises(ValueError):
+            ExecutionPlan(total=1, devices=[])
+        with pytest.raises(ValueError):
+            ExecutionPlan(total=1, top_k=0)
+        with pytest.raises(ValueError):
+            EngineDevice(kind="fpga")
+
+    def test_default_policy_and_labels(self):
+        plan = ExecutionPlan(total=10, devices=parse_devices("cpu+gpu"))
+        assert plan.policy.name == "dynamic"
+        assert plan.device_labels() == ["cpu", "gpu"]
+        assert plan.total_workers == 2
+
+
+class TestTopKHeap:
+    def test_matches_global_sort(self, rng):
+        heap = TopKHeap(5)
+        scores = rng.normal(size=200)
+        combos = np.stack([np.arange(200), np.arange(200) + 500], axis=1)
+        for start in range(0, 200, 17):
+            heap.push_batch(combos[start : start + 17], scores[start : start + 17])
+        expected = np.argsort(scores, kind="stable")[:5]
+        assert [i.snps[0] for i in heap.items] == [int(i) for i in expected]
+        assert len(heap) == 5
+
+    def test_bounded(self):
+        heap = TopKHeap(3)
+        heap.push_batch(np.arange(10)[:, None], np.arange(10, dtype=float))
+        assert len(heap.items) == 3
+
+    def test_items_ordered_by_score_then_snps(self):
+        # Candidate selection inside a chunk is stable (chunk order, as in
+        # the legacy reduction); the retained items are ordered by the
+        # deterministic (score, snps) interaction ordering.
+        heap = TopKHeap(2)
+        heap.push_batch(np.array([[5], [1], [3]]), np.zeros(3))
+        assert [i.snps for i in heap.items] == [(1,), (5,)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TopKHeap(0)
+        with pytest.raises(ValueError):
+            TopKHeap(1).push_batch(np.zeros((2, 1)), np.zeros(3))
+
+
+def _identity_kernel(worker, start, stop):
+    combos = np.arange(start, stop, dtype=np.int64)[:, None]
+    return combos, combos[:, 0].astype(float)
+
+
+class TestHeterogeneousExecutor:
+    def _plan(self, total=1000, policy=None, **kwargs):
+        return ExecutionPlan(
+            total=total,
+            devices=[EngineDevice(kind="cpu", n_workers=4, chunk_size=37)],
+            policy=policy or DynamicPolicy(),
+            **kwargs,
+        )
+
+    def test_covers_everything(self):
+        result = HeterogeneousExecutor(self._plan(top_k=3)).run(
+            lambda device, worker_id: None, _identity_kernel
+        )
+        assert result.n_items == 1000
+        assert [i.snps for i in result.top] == [(0,), (1,), (2,)]
+        assert not result.cancelled
+        assert result.best.score == 0.0
+
+    def test_device_stats(self):
+        result = HeterogeneousExecutor(self._plan()).run(
+            lambda device, worker_id: None, _identity_kernel
+        )
+        stats = result.device_stats["cpu"]
+        assert stats["workers"] == 4
+        assert stats["items"] == 1000
+        assert stats["chunks"] == (1000 + 36) // 37
+        assert 0.0 <= stats["utilization"] <= 1.0
+        assert stats["share"] == pytest.approx(1.0)
+
+    def test_pre_cancelled_runs_nothing(self):
+        cancel = CancellationToken()
+        cancel.cancel()
+        result = HeterogeneousExecutor(self._plan(), cancel=cancel).run(
+            lambda device, worker_id: None, _identity_kernel
+        )
+        assert result.cancelled
+        assert result.n_items == 0
+        assert result.top == []
+
+    def test_mid_run_cancellation(self):
+        cancel = CancellationToken()
+
+        def kernel(worker, start, stop):
+            if start >= 500:
+                cancel.cancel()
+            return _identity_kernel(worker, start, stop)
+
+        plan = ExecutionPlan(
+            total=100_000,
+            devices=[EngineDevice(kind="cpu", n_workers=1, chunk_size=100)],
+            policy=DynamicPolicy(),
+        )
+        result = HeterogeneousExecutor(plan, cancel=cancel).run(
+            lambda device, worker_id: None, kernel
+        )
+        assert result.cancelled
+        assert 0 < result.n_items < 100_000
+
+    def test_worker_exception_carries_worker_id(self):
+        def kernel(worker, start, stop):
+            raise RuntimeError("kernel exploded")
+
+        with pytest.raises(RuntimeError, match="kernel exploded") as excinfo:
+            HeterogeneousExecutor(self._plan()).run(
+                lambda device, worker_id: None, kernel
+            )
+        assert hasattr(excinfo.value, "worker_id")
+        assert excinfo.value.device_label == "cpu"
+
+    def test_worker_exception_cancels_siblings(self):
+        plan = ExecutionPlan(
+            total=1_000_000,
+            devices=[EngineDevice(kind="cpu", n_workers=4, chunk_size=10)],
+            policy=DynamicPolicy(),
+        )
+        executor = HeterogeneousExecutor(plan)
+
+        def kernel(worker, start, stop):
+            if start >= 100:
+                raise RuntimeError("stop the fleet")
+            return _identity_kernel(worker, start, stop)
+
+        with pytest.raises(RuntimeError):
+            executor.run(lambda device, worker_id: None, kernel)
+        assert executor.cancel.cancelled
+
+    def test_progress_monotone_and_complete(self):
+        calls: list[tuple[int, int]] = []
+        HeterogeneousExecutor(self._plan()).run(
+            lambda device, worker_id: None,
+            _identity_kernel,
+            progress=lambda done, total: calls.append((done, total)),
+        )
+        dones = [d for d, _ in calls]
+        assert dones == sorted(dones)
+        assert dones[-1] == 1000
+        assert all(t == 1000 for _, t in calls)
+
+    def test_worker_factory_receives_ids(self):
+        ids: list[int] = []
+
+        def factory(device, worker_id):
+            ids.append(worker_id)
+            return worker_id
+
+        HeterogeneousExecutor(self._plan()).run(factory, _identity_kernel)
+        assert ids == [0, 1, 2, 3]
+
+
+class TestDetectorOnEngine:
+    """Acceptance: every schedule/device plan reproduces the reference top-k."""
+
+    @pytest.mark.parametrize("schedule", ["dynamic", "static", "guided", "carm"])
+    def test_schedules_agree(self, small_dataset, schedule):
+        reference = EpistasisDetector(approach="cpu-v2").detect(small_dataset)
+        result = EpistasisDetector(
+            approach="cpu-v2", schedule=schedule, n_workers=3, chunk_size=128
+        ).detect(small_dataset)
+        assert [i.snps for i in result.top] == [i.snps for i in reference.top]
+        assert result.stats.extra["schedule"] == schedule
+
+    def test_heterogeneous_carm_identical_to_single_device(self, planted_dataset):
+        single = EpistasisDetector(approach="cpu-v4", top_k=5).detect(planted_dataset)
+        het = EpistasisDetector(
+            approach="cpu-v4",
+            devices="cpu+gpu",
+            schedule="carm",
+            n_workers=2,
+            chunk_size=256,
+            top_k=5,
+        ).detect(planted_dataset)
+        assert tuple(sorted(het.best_snps)) == PLANTED_TRIPLET
+        assert [i.snps for i in het.top] == [i.snps for i in single.top]
+        assert het.best_score == pytest.approx(single.best_score)
+
+        devices = het.stats.extra["devices"]
+        assert set(devices) == {"cpu", "gpu"}
+        assert devices["cpu"]["approach"] == "cpu-v4"
+        assert devices["gpu"]["approach"] == "gpu-v4"
+        for entry in devices.values():
+            assert entry["chunks"] >= 1
+            assert 0.0 <= entry["utilization"] <= 1.0
+        assert (
+            devices["cpu"]["items"] + devices["gpu"]["items"]
+            == het.stats.n_combinations
+        )
+
+    def test_lane_op_counts_not_contaminated_by_global_merge(self, small_dataset):
+        # The prototype (gpu-v4) sits on the *second* lane here; its lane's
+        # op_counts must not absorb the cpu lane merged into the prototype
+        # counter for the global statistics.
+        result = EpistasisDetector(
+            approach="gpu-v4", devices="cpu+gpu", schedule="static", n_workers=2
+        ).detect(small_dataset)
+        devices = result.stats.extra["devices"]
+        lane_total = sum(
+            count
+            for entry in devices.values()
+            for mnemonic, count in entry["op_counts"].items()
+            if mnemonic not in ("LOAD", "STORE")
+        )
+        assert lane_total == result.stats.total_ops
+        assert all(sum(e["op_counts"].values()) > 0 for e in devices.values())
+
+    def test_gpu_single_lane(self, small_dataset):
+        reference = EpistasisDetector(approach="cpu-v2").detect(small_dataset)
+        result = EpistasisDetector(approach="gpu-v3", devices="gpu").detect(small_dataset)
+        assert result.best_snps == reference.best_snps
+        assert result.stats.extra["devices"]["gpu"]["kind"] == "gpu"
+
+    def test_heterogeneous_rejects_prebuilt_instances(self, small_dataset):
+        from repro.core.approaches import get_approach
+
+        detector = EpistasisDetector(
+            approach=get_approach("cpu-v2"), devices="cpu+gpu", schedule="carm"
+        )
+        with pytest.raises(ValueError):
+            detector.detect(small_dataset)
+
+    def test_detect_progress_and_cancel_hooks(self, small_dataset):
+        seen: list[int] = []
+        EpistasisDetector(approach="cpu-v2", chunk_size=512).detect(
+            small_dataset, progress=lambda done, total: seen.append(done)
+        )
+        assert seen[-1] == small_dataset.n_combinations(3)
+
+        cancel = CancellationToken()
+        cancel.cancel()
+        with pytest.raises(RuntimeError, match="cancelled"):
+            EpistasisDetector(approach="cpu-v2").detect(small_dataset, cancel=cancel)
+
+
+class TestLegacyExecutorFixes:
+    """Satellite fixes of the deprecated parallel.executor shim."""
+
+    def test_payload_populated(self):
+        scheduler = DynamicScheduler(100, chunk_size=30)
+        total, stats = parallel_map_reduce(
+            scheduler, lambda wid, start, stop: stop - start, sum, n_workers=1
+        )
+        assert total == 100
+        assert stats[0].payload == [30, 30, 30, 10]
+
+    def test_payload_populated_threaded(self):
+        scheduler = DynamicScheduler(100, chunk_size=9)
+        _, stats = parallel_map_reduce(
+            scheduler, lambda wid, start, stop: stop - start, sum, n_workers=4
+        )
+        flat = [n for s in stats for n in s.payload]
+        assert sum(flat) == 100
+        assert all(len(s.payload) == s.chunks_processed for s in stats)
+
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_exception_carries_worker_id(self, workers):
+        def bad_worker(worker_id, start, stop):
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError, match="boom") as excinfo:
+            parallel_map_reduce(
+                DynamicScheduler(100, chunk_size=10), bad_worker, sum, n_workers=workers
+            )
+        assert getattr(excinfo.value, "worker_id") in range(workers)
