@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 from conftest import write_artifact
 
 from repro.experiments.ablations import (

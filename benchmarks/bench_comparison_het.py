@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 from conftest import write_artifact
 
 from repro.devices import cpu, gpu
@@ -11,7 +10,7 @@ from repro.experiments.comparison import (
     run_device_comparison,
     run_heterogeneous,
 )
-from repro.perfmodel import energy_efficiency, heterogeneous_throughput
+from repro.perfmodel import energy_efficiency
 
 
 def test_comparison_regeneration(benchmark):

@@ -8,7 +8,6 @@ benchmark-scale dataset, which must agree with the analytical counters.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 from conftest import write_artifact
 

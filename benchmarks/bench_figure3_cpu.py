@@ -8,14 +8,13 @@ on a benchmark-scale dataset.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 from conftest import write_artifact
 
 from repro.core import EpistasisDetector
 from repro.core.approaches import get_approach
 from repro.core.combinations import generate_combinations
-from repro.devices import ALL_CPUS, cpu
+from repro.devices import cpu
 from repro.experiments.figure3 import format_figure3, run_figure3
 
 

@@ -1,0 +1,119 @@
+"""Order-scaling benchmark of the order-generic search core.
+
+Measures frequency-table construction throughput (tables/s, i.e. evaluated
+SNP combinations per second) at interaction orders k = 2, 3 and 4 for the
+best CPU approach (``cpu-v4``, vectorised) and the best GPU approach
+(``gpu-v4``, tiled), and writes the result to ``BENCH_order.json`` at the
+repository root to seed the performance trajectory of later PRs.
+
+Run standalone (``PYTHONPATH=src python benchmarks/bench_order_scaling.py``)
+or through pytest (``pytest benchmarks/bench_order_scaling.py``); both paths
+emit the artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.core.approaches import get_approach
+from repro.core.combinations import combination_count, generate_combinations
+from repro.datasets import SyntheticConfig, generate_dataset
+
+#: Interaction orders of the sweep.
+ORDERS = (2, 3, 4)
+
+#: Approaches of the sweep: the best CPU and the best GPU variant.
+APPROACH_NAMES = ("cpu-v4", "gpu-v4")
+
+#: Combinations per timed batch, capped so the k=4 sweep stays quick.
+BATCH = 2048
+
+#: Where the artifact lands (the repository root).
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_order.json"
+
+
+def _bench_dataset():
+    return generate_dataset(SyntheticConfig(n_snps=48, n_samples=2048, seed=2024))
+
+
+def measure_order_scaling(repeats: int = 3) -> dict:
+    """Time table construction for every (approach, order) pair.
+
+    Returns the JSON-ready result document: per entry the order, approach,
+    batch size, best-of-``repeats`` wall-clock seconds and the derived
+    tables/s throughput.
+    """
+    dataset = _bench_dataset()
+    entries = []
+    for name in APPROACH_NAMES:
+        approach = get_approach(name)
+        encoded = approach.prepare(dataset)
+        for order in ORDERS:
+            total = combination_count(dataset.n_snps, order)
+            combos = generate_combinations(
+                dataset.n_snps, order, start_rank=0, count=min(BATCH, total)
+            )
+            approach.build_tables(encoded, combos)  # warm-up
+            best = float("inf")
+            for _ in range(repeats):
+                started = time.perf_counter()
+                approach.build_tables(encoded, combos)
+                best = min(best, time.perf_counter() - started)
+            entries.append(
+                {
+                    "approach": name,
+                    "order": order,
+                    "n_snps": dataset.n_snps,
+                    "n_samples": dataset.n_samples,
+                    "batch_combinations": int(combos.shape[0]),
+                    "cells_per_table": 3**order,
+                    "seconds_per_batch": best,
+                    "tables_per_second": combos.shape[0] / best,
+                }
+            )
+    return {
+        "benchmark": "order_scaling",
+        "unit": "tables/s (SNP combinations evaluated per second)",
+        "entries": entries,
+    }
+
+
+def write_artifact(result: dict) -> Path:
+    ARTIFACT.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+    return ARTIFACT
+
+
+def test_order_scaling_emits_artifact():
+    """Pytest entry point: run the sweep, emit the JSON, sanity-check it."""
+    result = measure_order_scaling(repeats=2)
+    path = write_artifact(result)
+    assert path.exists()
+    entries = result["entries"]
+    assert {(e["approach"], e["order"]) for e in entries} == {
+        (a, k) for a in APPROACH_NAMES for k in ORDERS
+    }
+    assert all(e["tables_per_second"] > 0 for e in entries)
+    # Larger tables cost more work per combination: at fixed batch size the
+    # per-table throughput must decay monotonically with the order.
+    for name in APPROACH_NAMES:
+        rates = [
+            e["tables_per_second"]
+            for e in sorted(
+                (e for e in entries if e["approach"] == name),
+                key=lambda e: e["order"],
+            )
+        ]
+        assert rates[0] > rates[-1]
+
+
+if __name__ == "__main__":
+    doc = measure_order_scaling()
+    path = write_artifact(doc)
+    print(f"wrote {path}")
+    for entry in doc["entries"]:
+        print(
+            f"{entry['approach']:>7s}  k={entry['order']}  "
+            f"{entry['tables_per_second']:>12.0f} tables/s"
+        )

@@ -8,13 +8,11 @@ dataset, so a *measured* speedup accompanies the modelled one.
 
 from __future__ import annotations
 
-import pytest
 from conftest import write_artifact
 
 from repro.baselines import Mpi3snpBaseline
 from repro.core import EpistasisDetector
 from repro.devices.catalog import device
-from repro.devices.specs import CpuSpec
 from repro.experiments.table3 import format_table3, run_table3, summary_speedups
 
 

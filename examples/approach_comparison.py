@@ -18,7 +18,6 @@ from __future__ import annotations
 import sys
 import time
 
-import numpy as np
 
 from repro import SyntheticConfig, generate_dataset
 from repro.core import EpistasisDetector

@@ -24,7 +24,6 @@ import numpy as np
 
 from repro import (
     EpistasisDetector,
-    PairwiseEpistasisDetector,
     PlantedInteraction,
     SyntheticConfig,
     generate_dataset,
@@ -68,8 +67,8 @@ def main() -> None:
     name_to_index = {name: i for i, name in enumerate(cohort.snp_names)}
     planted_names = {f"snp{idx:04d}" for idx in planted}
 
-    # -- step 2: pairwise screen ---------------------------------------------------
-    pairwise = PairwiseEpistasisDetector(top_k=15).detect(cohort)
+    # -- step 2: pairwise screen (the unified detector at order 2) ----------------
+    pairwise = EpistasisDetector(approach="cpu-v2", order=2, top_k=15).detect(cohort)
     candidate_names = sorted({name for inter in pairwise.top for name in inter.snp_names})
     print(f"step 2  pairwise screen kept {len(candidate_names)} candidate SNPs "
           f"({pairwise.stats.n_combinations} pairs evaluated)")

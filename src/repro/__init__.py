@@ -1,7 +1,10 @@
-"""repro — three-way exhaustive epistasis detection on modern CPUs/GPUs.
+"""repro — exhaustive k-way epistasis detection on modern CPUs/GPUs.
 
 Reproduction of Marques et al., "Unlocking Personalized Healthcare on Modern
-CPUs/GPUs: Three-way Gene Interaction Study" (IPDPS 2022, arXiv:2201.10956).
+CPUs/GPUs: Three-way Gene Interaction Study" (IPDPS 2022, arXiv:2201.10956),
+generalised to an order-generic search core: every approach, scheduling
+policy and performance model is parametric in the interaction order
+``k`` (2-5), with the paper's third-order study as the default.
 
 The package is organised as:
 
@@ -10,8 +13,9 @@ The package is organised as:
 * :mod:`repro.bitops` — packed bit-plane operations, population counts and a
   software model of the AVX/AVX-512 vector ISAs.
 * :mod:`repro.core` — the detection engine: contingency tables, the Bayesian
-  K2 score, the four CPU and four GPU approaches of the paper and the
-  :class:`~repro.core.detector.EpistasisDetector` public API.
+  K2 score, the four CPU and four GPU approaches of the paper (all
+  order-generic) and the :class:`~repro.core.detector.EpistasisDetector`
+  public API (``order=2`` runs the pairwise screen on the same stack).
 * :mod:`repro.engine` — the unified heterogeneous execution engine: device
   lanes, scheduling policies (dynamic/static/guided/CARM-ratio) and the
   streaming top-k executor behind every search path.

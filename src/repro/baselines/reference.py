@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.core.combinations import generate_combinations
 from repro.core.contingency import contingency_oracle
-from repro.core.result import ApproachStats, DetectionResult, Interaction
+from repro.core.result import ApproachStats, DetectionResult
 from repro.core.scoring import ObjectiveFunction, get_objective
 from repro.datasets.dataset import GenotypeDataset
 

@@ -13,7 +13,7 @@ All throughputs are in **Giga (combinations x samples) per second**.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional
 
 __all__ = ["ReportedResult", "REPORTED_RESULTS", "reported_throughput", "paper_speedup"]
 

@@ -12,7 +12,7 @@ all levels at once.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, List, Sequence
 
 from repro.devices.specs import CpuSpec, GpuSpec

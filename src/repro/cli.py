@@ -4,9 +4,10 @@
 points without writing any Python:
 
 * ``generate`` — create a synthetic case/control dataset (optionally with a
-  planted three-way interaction) and save it to ``.npz`` or text;
-* ``detect`` — run the exhaustive three-way search on a dataset file with a
-  chosen approach/objective and print the best interactions;
+  planted interaction of any order 2-5) and save it to ``.npz`` or text;
+* ``detect`` — run the exhaustive k-way search (``--order``, default 3) on a
+  dataset file with a chosen approach/objective and print the best
+  interactions;
 * ``devices`` — print Tables I and II (the device catalog);
 * ``figures`` — regenerate the paper's figures/tables from the analytical
   models (Figure 2, Figure 3, Figure 4, Table III, §V-D comparison,
@@ -37,7 +38,7 @@ def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
         prog="repro-epistasis",
-        description="Three-way exhaustive epistasis detection (IPDPS 2022 reproduction).",
+        description="Exhaustive k-way epistasis detection (IPDPS 2022 reproduction).",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -51,9 +52,10 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument(
         "--interaction",
         type=int,
-        nargs=3,
-        metavar=("SNP1", "SNP2", "SNP3"),
-        help="plant a three-way interaction at these SNP indices",
+        nargs="+",
+        metavar="SNP",
+        help="plant an interaction at these 2-5 SNP indices "
+        "(3 indices reproduce the paper's third-order setting)",
     )
     gen.add_argument(
         "--model",
@@ -64,10 +66,19 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--effect", type=float, default=0.8)
     gen.add_argument("--baseline", type=float, default=0.05)
 
-    det = sub.add_parser("detect", help="run the exhaustive three-way search")
+    det = sub.add_parser("detect", help="run the exhaustive k-way search")
     det.add_argument("dataset", help="dataset path (.npz or text)")
     det.add_argument("--approach", default="cpu-v4")
     det.add_argument("--objective", default="k2")
+    det.add_argument(
+        "--order",
+        type=int,
+        default=3,
+        choices=(2, 3, 4, 5),
+        help="interaction order k: 2 = pairwise screen, 3 = the paper's "
+        "third-order search (default), 4/5 = higher-order searches; every "
+        "approach supports every order",
+    )
     det.add_argument("--workers", type=int, default=1)
     det.add_argument("--chunk-size", type=int, default=2048)
     det.add_argument("--top-k", type=int, default=5)
@@ -109,6 +120,13 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
     interaction = None
     if args.interaction:
+        if not 2 <= len(args.interaction) <= 5:
+            print(
+                f"error: --interaction takes 2 to 5 SNP indices, "
+                f"got {len(args.interaction)}",
+                file=sys.stderr,
+            )
+            return 2
         interaction = PlantedInteraction(
             snps=tuple(args.interaction),
             model=args.model,
@@ -157,6 +175,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     detector = EpistasisDetector(
         approach=args.approach,
         objective=args.objective,
+        order=args.order,
         n_workers=args.workers,
         chunk_size=args.chunk_size,
         top_k=args.top_k,

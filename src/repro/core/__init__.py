@@ -1,20 +1,26 @@
-"""Core three-way epistasis detection engine — the paper's contribution.
+"""Core k-way epistasis detection engine — the paper's contribution,
+generalised to any interaction order 2-5 (the paper's study is the
+third-order instance).
 
 The engine is organised as:
 
 * :mod:`repro.core.combinations` — enumeration, ranking and chunking of the
-  exhaustive SNP-triplet search space, including the triangular block
-  schedule of Algorithm 1.
-* :mod:`repro.core.contingency` — 27x2 genotype/phenotype frequency tables
-  and the direct (non-binarised) oracle construction used for validation.
+  exhaustive SNP k-tuple search space, including the triangular block
+  schedule of Algorithm 1 and the vectorised order-dispatched unranking.
+* :mod:`repro.core.contingency` — ``3^k x 2`` genotype/phenotype frequency
+  tables and the direct (non-binarised) oracle construction used for
+  validation.
 * :mod:`repro.core.scoring` — objective functions over frequency tables:
   the Bayesian K2 score of the paper plus additional criteria (mutual
   information, Gini impurity, chi-squared) offered as extensions.
 * :mod:`repro.core.approaches` — the four CPU approaches and four GPU
   approaches of §IV, all instrumented with operation counters.
 * :mod:`repro.core.detector` — the :class:`EpistasisDetector` public API,
-  which combines an approach, an objective function and the heterogeneous
-  execution engine (:mod:`repro.engine`) into a single ``detect()`` call.
+  which combines an approach, an objective function, an interaction order
+  and the heterogeneous execution engine (:mod:`repro.engine`) into a
+  single ``detect()`` call.
+* :mod:`repro.core.pairwise` — deprecation shims of the retired dedicated
+  pairwise stack (use ``EpistasisDetector(order=2)`` instead).
 * :mod:`repro.core.result` — result containers (best interaction, top-k
   ranking, execution statistics).
 """
@@ -23,6 +29,7 @@ from repro.core.combinations import (
     combination_count,
     combination_from_rank,
     combination_rank,
+    combinations_from_ranks,
     generate_combinations,
     iter_combination_chunks,
     iter_triangular_blocks,
@@ -53,6 +60,7 @@ __all__ = [
     "combination_count",
     "combination_rank",
     "combination_from_rank",
+    "combinations_from_ranks",
     "generate_combinations",
     "iter_combination_chunks",
     "iter_triangular_blocks",

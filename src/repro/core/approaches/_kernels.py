@@ -1,6 +1,7 @@
 """Shared word-level kernels of the CPU/GPU approaches.
 
-Two families of kernels build the 27x2 frequency tables:
+Two families of kernels build the ``3^k x 2`` frequency tables of a k-way
+interaction (``k`` between :data:`MIN_ORDER` and :data:`MAX_ORDER`):
 
 * the **naïve** kernel (approach V1 on both devices): three genotype planes
   per SNP over *all* samples, with the phenotype bit-vector (and its
@@ -9,15 +10,16 @@ Two families of kernels build the 27x2 frequency tables:
 * the **phenotype-split** kernel (approaches V2–V4): per-class planes with
   the genotype-2 plane inferred by ``NOR`` on the fly.
 
-The kernels are fully vectorised over a batch of SNP triplets: the inner
-27-combination loop is expressed as a broadcast over a ``(3, 3, 3)`` genotype
-grid, and the per-word population counts are reduced with
-:func:`repro.bitops.popcount.popcount32`.  Both kernels are bit-exact with the
-:func:`repro.core.contingency.contingency_oracle` construction (property
-tested), and both charge their dynamic instruction counts to an
-:class:`~repro.bitops.ops.OpCounter` using the per-combination instruction
-mixes the paper derives in §IV (162 instructions per word for the naïve
-kernel, 57 for the split kernel).
+The kernels are fully vectorised over a batch of SNP k-tuples: the inner
+``3^k``-combination loop is expressed as a broadcast over a k-dimensional
+``(3, ..., 3)`` genotype grid, and the per-word population counts are reduced
+with :func:`repro.bitops.popcount.popcount32`.  Both kernels are bit-exact
+with the :func:`repro.core.contingency.contingency_oracle` construction
+(property tested at several orders), and both charge their dynamic
+instruction counts to an :class:`~repro.bitops.ops.OpCounter` using
+order-parametric instruction mixes.  At the paper's ``k = 3`` the mixes
+reduce to the §IV accounting: 162 instructions per word for the naïve
+kernel, 57 for the split kernel.
 """
 
 from __future__ import annotations
@@ -30,6 +32,12 @@ from repro.bitops.ops import OpCounter
 from repro.bitops.popcount import popcount32
 
 __all__ = [
+    "MIN_ORDER",
+    "MAX_ORDER",
+    "check_order",
+    "n_cells",
+    "naive_ops_per_combo_word",
+    "split_ops_per_combo_word",
     "NAIVE_OPS_PER_COMBO_WORD",
     "SPLIT_OPS_PER_COMBO_WORD",
     "naive_tables",
@@ -39,49 +47,116 @@ __all__ = [
     "charge_split_ops",
 ]
 
-#: Dynamic instruction mix of the naïve kernel, per SNP combination and per
-#: packed word (phenotype negation precomputed once and amortised away).
-#: Matches the paper's "27 x 6 = 162 compute instructions" accounting.
-NAIVE_OPS_PER_COMBO_WORD: Dict[str, float] = {
-    "LOAD": 9.0 + 1.0,  # 3 planes x 3 SNPs + the phenotype word
-    "AND": 4.0 * 27,    # 2 (three-input AND) + 1 (cases mask) + 1 (controls mask)
-    "POPCNT": 2.0 * 27,
-    "ADD": 2.0 * 27,
-}
+#: Smallest interaction order the kernels support (pairwise).
+MIN_ORDER: int = 2
 
-#: Dynamic instruction mix of the phenotype-split kernel, per combination and
-#: per packed word *of one phenotype class*.  Matches the paper's
-#: "(3 NOR + 1 AND + 1 POPCNT) per combination -> 57 instructions" count
-#: (the 3 NORs are amortised over the 27 combinations).
-SPLIT_OPS_PER_COMBO_WORD: Dict[str, float] = {
-    "LOAD": 6.0,
-    "NOR": 3.0,
-    "OR": 3.0,
-    "XOR": 3.0,
-    "AND": 2.0 * 27,
-    "POPCNT": 1.0 * 27,
-    "ADD": 1.0 * 27,
-}
+#: Largest interaction order the kernels support.  The ``3^k`` genotype grid
+#: and the ``nCr(M, k)`` rank space both explode beyond this; 5 keeps the
+#: intermediate broadcast arrays within sane memory bounds.
+MAX_ORDER: int = 5
 
 
-def charge_naive_ops(counter: OpCounter, n_combos: int, n_words: int) -> None:
+def check_order(order: int) -> int:
+    """Validate an interaction order and return it as a plain ``int``."""
+    order = int(order)
+    if not MIN_ORDER <= order <= MAX_ORDER:
+        raise ValueError(
+            f"interaction order must be in [{MIN_ORDER}, {MAX_ORDER}]; got {order}"
+        )
+    return order
+
+
+def n_cells(order: int) -> int:
+    """Number of genotype-combination cells of a k-way table: ``3^k``."""
+    return 3 ** check_order(order)
+
+
+def naive_ops_per_combo_word(order: int = 3) -> Dict[str, float]:
+    """Dynamic instruction mix of the naïve kernel, per combination per word.
+
+    Per packed word each combination loads the 3 planes of its ``k`` SNPs
+    plus the phenotype word, and each of the ``3^k`` genotype cells costs
+    ``k - 1`` ANDs to combine the planes, 2 ANDs for the case/control masks,
+    2 POPCNTs and 2 ADDs.  At ``k = 3`` this is the paper's
+    "27 x 6 = 162 compute instructions" accounting.
+    """
+    order = check_order(order)
+    cells = float(3**order)
+    return {
+        "LOAD": 3.0 * order + 1.0,
+        "AND": (order + 1.0) * cells,
+        "POPCNT": 2.0 * cells,
+        "ADD": 2.0 * cells,
+    }
+
+
+def split_ops_per_combo_word(order: int = 3) -> Dict[str, float]:
+    """Dynamic instruction mix of the phenotype-split kernel.
+
+    Per combination and per packed word *of one phenotype class*: ``2k``
+    loads, ``k`` NORs (each emulated as OR + XOR) to infer the genotype-2
+    planes, and per genotype cell ``k - 1`` ANDs, one POPCNT and one ADD.
+    At ``k = 3`` this matches the paper's "(3 NOR + 1 AND + 1 POPCNT) per
+    combination -> 57 instructions" count.
+    """
+    order = check_order(order)
+    cells = float(3**order)
+    return {
+        "LOAD": 2.0 * order,
+        "NOR": float(order),
+        "OR": float(order),
+        "XOR": float(order),
+        "AND": (order - 1.0) * cells,
+        "POPCNT": 1.0 * cells,
+        "ADD": 1.0 * cells,
+    }
+
+
+#: The paper's third-order instances of the order-parametric mixes, kept as
+#: module constants for the performance models and the test-suite pins.
+NAIVE_OPS_PER_COMBO_WORD: Dict[str, float] = naive_ops_per_combo_word(3)
+SPLIT_OPS_PER_COMBO_WORD: Dict[str, float] = split_ops_per_combo_word(3)
+
+
+def charge_naive_ops(
+    counter: OpCounter, n_combos: int, n_words: int, order: int = 3
+) -> None:
     """Charge the naïve-kernel instruction mix for a batch to ``counter``."""
     scale = n_combos * n_words
-    for mnemonic, per in NAIVE_OPS_PER_COMBO_WORD.items():
+    for mnemonic, per in naive_ops_per_combo_word(order).items():
         if mnemonic == "LOAD":
             counter.add_load(int(per * scale))
         else:
             counter.add(mnemonic, int(per * scale))
 
 
-def charge_split_ops(counter: OpCounter, n_combos: int, n_words_total: int) -> None:
+def charge_split_ops(
+    counter: OpCounter, n_combos: int, n_words_total: int, order: int = 3
+) -> None:
     """Charge the split-kernel mix; ``n_words_total`` sums both classes."""
     scale = n_combos * n_words_total
-    for mnemonic, per in SPLIT_OPS_PER_COMBO_WORD.items():
+    for mnemonic, per in split_ops_per_combo_word(order).items():
         if mnemonic == "LOAD":
             counter.add_load(int(per * scale))
         else:
             counter.add(mnemonic, int(per * scale))
+
+
+def _genotype_grid(selected: list[np.ndarray]) -> np.ndarray:
+    """Broadcast k per-SNP ``(T, 3, W)`` plane stacks into ``(T, 3^k, W)``.
+
+    The cell order is the canonical big-endian radix-3 convention of
+    :func:`repro.core.contingency.combination_cell_index`: the first SNP of
+    the combination is the most significant genotype digit.
+    """
+    n_combos, _, n_words = selected[0].shape
+    grid = selected[0]
+    cells = 3
+    for planes in selected[1:]:
+        grid = np.bitwise_and(grid[:, :, None, :], planes[:, None, :, :])
+        cells *= 3
+        grid = grid.reshape(n_combos, cells, n_words)
+    return grid
 
 
 def naive_tables(
@@ -90,7 +165,7 @@ def naive_tables(
     combos: np.ndarray,
     counter: OpCounter | None = None,
 ) -> np.ndarray:
-    """Naïve frequency-table construction (approach V1).
+    """Naïve frequency-table construction (approach V1), any order k.
 
     Parameters
     ----------
@@ -100,35 +175,39 @@ def naive_tables(
         ``(n_words,)`` packed phenotype (bit set = case).  Padding bits are
         zero, so the case/control masks never count padding samples.
     combos:
-        ``(n_combos, 3)`` SNP triplets.
+        ``(n_combos, k)`` strictly increasing SNP index tuples.
 
     Returns
     -------
     numpy.ndarray
-        ``(n_combos, 27, 2)`` frequency tables.
+        ``(n_combos, 3^k, 2)`` frequency tables.
     """
     combos = np.asarray(combos, dtype=np.int64)
+    order = check_order(combos.shape[1])
     n_combos = combos.shape[0]
     n_words = planes.shape[2]
+    cells = 3**order
     phen = np.asarray(phenotype_words, dtype=np.uint32)
     # The padding bits of the planes are zero, so AND-ing with ~phenotype is
     # safe even though ~phenotype has the padding bits set.
     notphen = np.bitwise_not(phen)
 
-    x = planes[combos[:, 0]]  # (T, 3, W)
-    y = planes[combos[:, 1]]
-    z = planes[combos[:, 2]]
+    selected = [planes[combos[:, t]] for t in range(order)]  # each (T, 3, W)
 
-    tables = np.empty((n_combos, 3, 3, 3, 2), dtype=np.int64)
-    for gx in range(3):
-        # (T, 1, 1, W) & (T, 3, 1, W) & (T, 1, 3, W) -> (T, 3, 3, W)
-        pair = np.bitwise_and(y[:, :, None, :], z[:, None, :, :])
-        triple = np.bitwise_and(x[:, gx, None, None, :], pair)
-        tables[:, gx, :, :, 1] = popcount32(np.bitwise_and(triple, phen)).sum(axis=-1)
-        tables[:, gx, :, :, 0] = popcount32(np.bitwise_and(triple, notphen)).sum(axis=-1)
+    tables = np.empty((n_combos, cells, 2), dtype=np.int64)
+    # Walk the most-significant genotype digit to cap the broadcast at
+    # (T, 3^(k-1), W) intermediates; the tail sub-grid is g0-invariant.
+    sub_cells = cells // 3
+    sub_grid = _genotype_grid(selected[1:])
+    for g0 in range(3):
+        head = selected[0][:, g0, :]
+        grid = np.bitwise_and(head[:, None, :], sub_grid)
+        span = slice(g0 * sub_cells, (g0 + 1) * sub_cells)
+        tables[:, span, 1] = popcount32(np.bitwise_and(grid, phen)).sum(axis=-1)
+        tables[:, span, 0] = popcount32(np.bitwise_and(grid, notphen)).sum(axis=-1)
     if counter is not None:
-        charge_naive_ops(counter, n_combos, n_words)
-    return tables.reshape(n_combos, 27, 2)
+        charge_naive_ops(counter, n_combos, n_words, order)
+    return tables
 
 
 def split_class_counts(
@@ -136,7 +215,7 @@ def split_class_counts(
     padding_mask: np.ndarray,
     combos: np.ndarray,
 ) -> np.ndarray:
-    """Per-class 27-cell counts with the genotype-2 plane inferred by NOR.
+    """Per-class ``3^k`` counts with the genotype-2 plane inferred by NOR.
 
     Parameters
     ----------
@@ -146,14 +225,15 @@ def split_class_counts(
         ``(n_words,)`` mask of valid sample bits for the class (clears the
         padding bits that the NOR would otherwise set).
     combos:
-        ``(n_combos, 3)`` SNP triplets.
+        ``(n_combos, k)`` strictly increasing SNP index tuples.
 
     Returns
     -------
     numpy.ndarray
-        ``(n_combos, 27)`` counts for this class.
+        ``(n_combos, 3^k)`` counts for this class.
     """
     combos = np.asarray(combos, dtype=np.int64)
+    order = check_order(combos.shape[1])
     n_combos = combos.shape[0]
     mask = np.asarray(padding_mask, dtype=np.uint32)
 
@@ -164,16 +244,18 @@ def split_class_counts(
         )
         return np.concatenate([planes_sel, g2[:, None, :]], axis=1)
 
-    x = expand(class_planes[combos[:, 0]])
-    y = expand(class_planes[combos[:, 1]])
-    z = expand(class_planes[combos[:, 2]])
+    selected = [expand(class_planes[combos[:, t]]) for t in range(order)]
 
-    counts = np.empty((n_combos, 3, 3, 3), dtype=np.int64)
-    for gx in range(3):
-        pair = np.bitwise_and(y[:, :, None, :], z[:, None, :, :])
-        triple = np.bitwise_and(x[:, gx, None, None, :], pair)
-        counts[:, gx] = popcount32(triple).sum(axis=-1)
-    return counts.reshape(n_combos, 27)
+    cells = 3**order
+    sub_cells = cells // 3
+    counts = np.empty((n_combos, cells), dtype=np.int64)
+    sub_grid = _genotype_grid(selected[1:])
+    for g0 in range(3):
+        head = selected[0][:, g0, :]
+        grid = np.bitwise_and(head[:, None, :], sub_grid)
+        span = slice(g0 * sub_cells, (g0 + 1) * sub_cells)
+        counts[:, span] = popcount32(grid).sum(axis=-1)
+    return counts
 
 
 def split_tables(
@@ -186,7 +268,7 @@ def split_tables(
 ) -> np.ndarray:
     """Phenotype-split frequency-table construction (approaches V2–V4).
 
-    Returns ``(n_combos, 27, 2)`` tables: column 0 from the control planes,
+    Returns ``(n_combos, 3^k, 2)`` tables: column 0 from the control planes,
     column 1 from the case planes.
     """
     combos = np.asarray(combos, dtype=np.int64)
@@ -194,5 +276,5 @@ def split_tables(
     cases = split_class_counts(case_planes, case_mask, combos)
     if counter is not None:
         n_words_total = control_planes.shape[2] + case_planes.shape[2]
-        charge_split_ops(counter, combos.shape[0], n_words_total)
+        charge_split_ops(counter, combos.shape[0], n_words_total, combos.shape[1])
     return np.stack([controls, cases], axis=-1)

@@ -8,6 +8,7 @@ from typing import Any, ClassVar, Dict, Mapping
 import numpy as np
 
 from repro.bitops.ops import OpCounter
+from repro.core.approaches._kernels import MAX_ORDER, MIN_ORDER
 from repro.datasets.dataset import GenotypeDataset
 
 __all__ = ["Approach"]
@@ -17,10 +18,14 @@ class Approach(ABC):
     """Base class of the CPU/GPU epistasis detection approaches.
 
     An approach encapsulates one of the paper's algorithm variants: how the
-    dataset is encoded (``prepare``), how the 27x2 frequency tables of a
-    batch of SNP triplets are constructed (``build_tables``) and which
+    dataset is encoded (``prepare``), how the ``3^k x 2`` frequency tables
+    of a batch of SNP k-tuples are constructed (``build_tables``) and which
     dynamic instruction/traffic counts that construction charges to the
-    operation counter.
+    operation counter.  Every approach is *order-generic*: the interaction
+    order ``k`` is carried by the width of the combination batch
+    (``combos.shape[1]``) and may be anything in
+    ``[MIN_ORDER, MAX_ORDER]`` — the paper's third-order study is the
+    ``k = 3`` instance.
 
     Subclasses must define the class attributes ``name`` (registry key),
     ``device`` (``"cpu"`` or ``"gpu"``) and ``version`` (1–4) and implement
@@ -42,6 +47,11 @@ class Approach(ABC):
     version: ClassVar[int] = 0
     #: One-line description used by the CLI and reports.
     description: ClassVar[str] = ""
+    #: Interaction orders the approach supports (inclusive bounds).  All
+    #: built-in approaches share the kernel-wide range; specialised
+    #: subclasses may narrow it.
+    min_order: ClassVar[int] = MIN_ORDER
+    max_order: ClassVar[int] = MAX_ORDER
 
     def __init__(self) -> None:
         self.counter = OpCounter()
@@ -66,12 +76,13 @@ class Approach(ABC):
         encoded:
             Object returned by :meth:`prepare`.
         combos:
-            ``(n_combos, 3)`` array of strictly increasing SNP index triplets.
+            ``(n_combos, k)`` array of strictly increasing SNP index
+            k-tuples, ``min_order <= k <= max_order``.
 
         Returns
         -------
         numpy.ndarray
-            ``(n_combos, 27, 2)`` ``int64`` frequency tables (column 0 =
+            ``(n_combos, 3^k, 2)`` ``int64`` frequency tables (column 0 =
             controls, column 1 = cases).
         """
 
@@ -89,16 +100,15 @@ class Approach(ABC):
         return {}
 
     # -- helpers ----------------------------------------------------------------
-    @staticmethod
-    def _check_combos(combos: np.ndarray) -> np.ndarray:
+    @classmethod
+    def _check_combos(cls, combos: np.ndarray) -> np.ndarray:
         combos = np.asarray(combos, dtype=np.int64)
-        if combos.ndim != 2 or combos.shape[1] != 3:
+        if combos.ndim != 2 or not cls.min_order <= combos.shape[1] <= cls.max_order:
             raise ValueError(
-                f"combos must have shape (n_combos, 3); got {combos.shape}"
+                f"combos must have shape (n_combos, k) with "
+                f"{cls.min_order} <= k <= {cls.max_order}; got {combos.shape}"
             )
-        if combos.size and not (
-            (combos[:, 0] < combos[:, 1]) & (combos[:, 1] < combos[:, 2])
-        ).all():
+        if combos.size and not (combos[:, :-1] < combos[:, 1:]).all():
             raise ValueError("every combination must be strictly increasing")
         return combos
 

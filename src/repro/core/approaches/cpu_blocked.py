@@ -83,6 +83,7 @@ class CpuBlockedApproach(Approach):
         if self.block_snps < 1 or self.block_samples < 1:
             raise ValueError("blocking parameters must be positive")
         self._sample_passes = 0
+        self._last_order = 3
 
     # -- encoding -------------------------------------------------------------
     def prepare(self, dataset: GenotypeDataset) -> _BlockedEncoding:
@@ -106,10 +107,11 @@ class CpuBlockedApproach(Approach):
         split = encoded.split
         if combos.size and combos.max() >= split.n_snps:
             raise IndexError("combination index exceeds the number of SNPs")
-        n_combos = combos.shape[0]
+        n_combos, order = combos.shape
+        self._last_order = order
         words_per_chunk = max(1, encoded.block_samples // 32)
 
-        tables = np.zeros((n_combos, 27, 2), dtype=np.int64)
+        tables = np.zeros((n_combos, 3**order, 2), dtype=np.int64)
         total_words = 0
         for phenotype_class in (0, 1):
             planes, _ = split.planes_for_class(phenotype_class)
@@ -124,14 +126,17 @@ class CpuBlockedApproach(Approach):
                     chunk_planes, chunk_mask, combos
                 )
                 self._sample_passes += 1
-        charge_split_ops(self.counter, n_combos, total_words)
+        charge_split_ops(self.counter, n_combos, total_words, order)
         return tables
 
     def extra_stats(self) -> dict:
+        # Per-core working set of Algorithm 1 at the most recent order k:
+        # BS^k partial tables of 3^k x 2 int32 cells.
+        order = self._last_order
         return {
             "block_snps": self.block_snps,
             "block_samples": self.block_samples,
             "cpu": self.cpu_spec.key,
             "sample_chunk_passes": self._sample_passes,
-            "frequency_table_bytes": self.block_snps**3 * 2 * 27 * 4,
+            "frequency_table_bytes": self.block_snps**order * 2 * 3**order * 4,
         }

@@ -24,16 +24,12 @@ validation of the accounting model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict
 
 import numpy as np
 
-from repro.bitops.simd import ISA_PRESETS, VectorISA, VectorRegisterFile, isa_for_name
-from repro.core.approaches.base import Approach
+from repro.bitops.simd import VectorISA, VectorRegisterFile, isa_for_name
 from repro.core.approaches.cpu_blocked import CpuBlockedApproach, _BlockedEncoding
-from repro.datasets.binarization import PhenotypeSplitDataset
-from repro.datasets.dataset import GenotypeDataset
 from repro.devices.specs import CpuSpec
 
 __all__ = ["CpuVectorizedApproach"]
@@ -86,58 +82,62 @@ class CpuVectorizedApproach(CpuBlockedApproach):
         combos = self._check_combos(combos)
         tables = super().build_tables(encoded, combos)
         split = encoded.split
-        n_combos = combos.shape[0]
+        n_combos, order = combos.shape
         for phenotype_class in (0, 1):
             planes, _ = split.planes_for_class(phenotype_class)
-            self._charge_vector_ops(n_combos, planes.shape[2])
+            self._charge_vector_ops(n_combos, planes.shape[2], order)
         return tables
 
-    def _charge_vector_ops(self, n_combos: int, n_words: int) -> None:
-        """Charge the vector-instruction mix for ``n_combos`` over ``n_words``."""
+    def _charge_vector_ops(self, n_combos: int, n_words: int, order: int = 3) -> None:
+        """Charge the vector-instruction mix for ``n_combos`` over ``n_words``.
+
+        The mix is parametric in the interaction order ``k``: ``2k`` loads
+        and ``k`` emulated NORs per register, then ``k - 1`` ANDs and one
+        population-count sequence per genotype cell (``3^k`` cells).
+        """
         lanes = self.isa.lanes32
+        cells = 3**order
         n_registers = (n_words + lanes - 1) // lanes
         scale = n_combos * n_registers
-        self.counter.add("VLOAD", 6 * scale)
-        self.counter.add("VOR", 3 * scale)   # NOR = OR + XOR(all-ones)
-        self.counter.add("VXOR", 3 * scale)
-        self.counter.add("VAND", 2 * 27 * scale)
+        self.counter.add("VLOAD", 2 * order * scale)
+        self.counter.add("VOR", order * scale)   # NOR = OR + XOR(all-ones)
+        self.counter.add("VXOR", order * scale)
+        self.counter.add("VAND", (order - 1) * cells * scale)
         popcnt_cost = self.isa.popcount_instruction_cost()
         for mnemonic, per_register in popcnt_cost.items():
-            self.counter.add(mnemonic, 27 * per_register * scale)
+            self.counter.add(mnemonic, cells * per_register * scale)
 
     # -- reference path ---------------------------------------------------------
     def reference_single_combination(
-        self, encoded: _BlockedEncoding, combo: tuple[int, int, int]
+        self, encoded: _BlockedEncoding, combo: tuple[int, ...]
     ) -> np.ndarray:
-        """Evaluate one combination through the software register file.
+        """Evaluate one k-tuple through the software register file.
 
         This path exercises :class:`VectorRegisterFile` end-to-end (loads,
-        NORs, three-input ANDs and the ISA-specific population-count path) and
+        NORs, chained ANDs and the ISA-specific population-count path) and
         is used by the test-suite to check that the fast batched kernel and
-        the register-level model agree bit-for-bit.
+        the register-level model agree bit-for-bit, at any supported order.
         """
+        from itertools import product
+
         split = encoded.split
-        i, j, k = combo
-        table = np.zeros((27, 2), dtype=np.int64)
+        combo = tuple(int(c) for c in combo)
+        order = len(combo)
+        table = np.zeros((3**order, 2), dtype=np.int64)
         for phenotype_class in (0, 1):
             planes, _ = split.planes_for_class(phenotype_class)
             mask = split.padding_mask(phenotype_class)
             rf = VectorRegisterFile(self.isa, self.counter)
-            x0 = rf.load(planes[i, 0])
-            x1 = rf.load(planes[i, 1])
-            y0 = rf.load(planes[j, 0])
-            y1 = rf.load(planes[j, 1])
-            z0 = rf.load(planes[k, 0])
-            z1 = rf.load(planes[k, 1])
-            x = (x0, x1, rf.vand(rf.vnor(x0, x1), mask))
-            y = (y0, y1, rf.vand(rf.vnor(y0, y1), mask))
-            z = (z0, z1, rf.vand(rf.vnor(z0, z1), mask))
-            for gx in range(3):
-                for gy in range(3):
-                    for gz in range(3):
-                        cell = 9 * gx + 3 * gy + gz
-                        combined = rf.vand3(x[gx], y[gy], z[gz])
-                        table[cell, phenotype_class] = rf.vpopcount_accumulate(combined)
+            snp_planes = []
+            for snp in combo:
+                p0 = rf.load(planes[snp, 0])
+                p1 = rf.load(planes[snp, 1])
+                snp_planes.append((p0, p1, rf.vand(rf.vnor(p0, p1), mask)))
+            for cell, genotypes in enumerate(product(range(3), repeat=order)):
+                combined = snp_planes[0][genotypes[0]]
+                for t in range(1, order):
+                    combined = rf.vand(combined, snp_planes[t][genotypes[t]])
+                table[cell, phenotype_class] = rf.vpopcount_accumulate(combined)
         return table
 
     def vector_instruction_mix(self) -> Dict[str, int]:

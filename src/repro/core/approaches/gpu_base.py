@@ -25,7 +25,6 @@ from __future__ import annotations
 
 from typing import ClassVar
 
-import numpy as np
 
 from repro.core.approaches.base import Approach
 

@@ -10,7 +10,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.approaches._kernels import NAIVE_OPS_PER_COMBO_WORD, naive_tables
+from repro.core.approaches._kernels import (
+    NAIVE_OPS_PER_COMBO_WORD,
+    naive_ops_per_combo_word,
+    naive_tables,
+)
 from repro.core.approaches.gpu_base import GpuApproachBase
 from repro.datasets.binarization import BinarizedDataset
 from repro.datasets.dataset import GenotypeDataset
@@ -42,7 +46,7 @@ class GpuNaiveApproach(GpuApproachBase):
         )
         self._charge_warp_loads(
             combos.shape[0],
-            loads_per_combo_word=NAIVE_OPS_PER_COMBO_WORD["LOAD"],
+            loads_per_combo_word=naive_ops_per_combo_word(combos.shape[1])["LOAD"],
             n_words=encoded.n_words,
         )
         return tables

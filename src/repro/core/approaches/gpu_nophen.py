@@ -11,7 +11,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.approaches._kernels import SPLIT_OPS_PER_COMBO_WORD, split_tables
+from repro.core.approaches._kernels import (
+    SPLIT_OPS_PER_COMBO_WORD,
+    split_ops_per_combo_word,
+    split_tables,
+)
 from repro.core.approaches.gpu_base import GpuApproachBase
 from repro.datasets.binarization import PhenotypeSplitDataset
 from repro.datasets.dataset import GenotypeDataset
@@ -66,7 +70,8 @@ class GpuNoPhenotypeApproach(GpuApproachBase):
         n_words_total = ctrl.shape[-1] + case.shape[-1]
         self._charge_warp_loads(
             combos.shape[0],
-            loads_per_combo_word=SPLIT_OPS_PER_COMBO_WORD["LOAD"] / 2.0,
+            loads_per_combo_word=split_ops_per_combo_word(combos.shape[1])["LOAD"]
+            / 2.0,
             n_words=n_words_total,
         )
         return tables

@@ -30,11 +30,16 @@ __all__ = [
     "combination_count",
     "combination_rank",
     "combination_from_rank",
+    "combinations_from_ranks",
     "generate_combinations",
     "iter_combination_chunks",
     "iter_triangular_blocks",
     "block_combination_count",
 ]
+
+#: Largest combination-space size the vectorised ``int64`` unranking can
+#: address; larger spaces fall back to the arbitrary-precision scalar path.
+_INT64_MAX = np.iinfo(np.int64).max
 
 
 def combination_count(n_snps: int, order: int = 3) -> int:
@@ -94,6 +99,87 @@ def combination_from_rank(rank: int, n_snps: int, order: int = 3) -> tuple[int, 
     return tuple(combo)
 
 
+def _pairs_from_ranks(ranks: np.ndarray, n_snps: int) -> np.ndarray:
+    """Closed-form order-2 unranking (no searchsorted over binomial tables).
+
+    With ``offset(i) = i*(n-1) - i*(i-1)/2`` pairs preceding first index
+    ``i``, the first index of rank ``r`` is the largest ``i`` with
+    ``offset(i) <= r`` and the second follows as ``r - offset(i) + i + 1``.
+    """
+    firsts = np.arange(n_snps - 1, dtype=np.int64)
+    offsets = firsts * (n_snps - 1) - (firsts * (firsts - 1)) // 2
+    i = np.searchsorted(offsets, ranks, side="right") - 1
+    j = ranks - offsets[i] + i + 1
+    return np.stack([i, j], axis=1)
+
+
+def combinations_from_ranks(
+    ranks: np.ndarray, n_snps: int, order: int = 3
+) -> np.ndarray:
+    """Vectorised lexicographic unranking of many ranks at once.
+
+    The order-dispatched fast path of the enumeration layer:
+
+    * ``order == 2`` uses the closed-form pair unranking (one
+      ``searchsorted`` over a triangular offset table);
+    * any other order runs the combinatorial-number-system unranking
+      level-by-level — one ``searchsorted`` per combination position over a
+      precomputed suffix-count table ``C(M - c, k - t)`` — so the cost is
+      ``O(k · n · log M)`` NumPy work instead of ``O(n · k · M)`` Python
+      loop iterations;
+    * combination spaces larger than ``int64`` fall back to the exact
+      arbitrary-precision scalar :func:`combination_from_rank`.
+
+    Parameters
+    ----------
+    ranks:
+        1-D array of lexicographic ranks (any order, duplicates allowed).
+    n_snps / order:
+        Number of SNPs ``M`` and interaction order ``k``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(len(ranks), order)`` ``int64`` combinations.
+    """
+    ranks = np.asarray(ranks)
+    if ranks.ndim != 1:
+        raise ValueError(f"ranks must be 1-D; got shape {ranks.shape}")
+    total = combination_count(n_snps, order)
+    if total > _INT64_MAX:
+        return np.array(
+            [combination_from_rank(int(r), n_snps, order) for r in ranks],
+            dtype=object,
+        )
+    ranks = ranks.astype(np.int64, copy=False)
+    if ranks.size == 0:
+        return np.empty((0, order), dtype=np.int64)
+    if ranks.min() < 0 or ranks.max() >= total:
+        raise ValueError(f"ranks must lie in [0, {total})")
+    if order == 2:
+        return _pairs_from_ranks(ranks, n_snps)
+
+    out = np.empty((ranks.size, order), dtype=np.int64)
+    prev = np.full(ranks.size, -1, dtype=np.int64)
+    remaining = ranks.copy()
+    for t in range(order):
+        slots = order - t  # positions still to fill, including this one
+        # suffix[c] = C(M - c, slots): combinations of the remaining slots
+        # drawn entirely from {c, ..., M-1}.  Non-increasing in c.
+        suffix = np.array(
+            [comb(max(n_snps - c, 0), slots) for c in range(n_snps + 2)],
+            dtype=np.int64,
+        )
+        target = suffix[prev + 1] - remaining
+        # Largest c with suffix[c] >= target  <=>  last index of the
+        # non-decreasing array -suffix that is <= -target.
+        c = np.searchsorted(-suffix, -target, side="right") - 1
+        remaining -= suffix[prev + 1] - suffix[c]
+        out[:, t] = c
+        prev = c
+    return out
+
+
 def generate_combinations(
     n_snps: int,
     order: int = 3,
@@ -112,6 +198,13 @@ def generate_combinations(
         Range of lexicographic ranks to produce; by default the whole space.
         Intended for test/benchmark-scale problems — production runs stream
         chunks with :func:`iter_combination_chunks` instead.
+
+    Notes
+    -----
+    Dispatches to the vectorised :func:`combinations_from_ranks` (closed
+    form at order 2, per-level unranking otherwise); the scalar
+    next-combination walk is kept only for spaces too large for ``int64``
+    rank arithmetic.
     """
     total = combination_count(n_snps, order)
     if count is None:
@@ -122,6 +215,9 @@ def generate_combinations(
         )
     if count == 0:
         return np.empty((0, order), dtype=np.int64)
+    if total <= _INT64_MAX:
+        ranks = np.arange(start_rank, start_rank + count, dtype=np.int64)
+        return combinations_from_ranks(ranks, n_snps, order)
     out = np.empty((count, order), dtype=np.int64)
     combo = list(combination_from_rank(start_rank, n_snps, order))
     for row in range(count):

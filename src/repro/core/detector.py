@@ -2,7 +2,9 @@
 
 A detector combines
 
-* one of the CPU/GPU approaches of §IV (frequency-table construction),
+* one of the CPU/GPU approaches of §IV (frequency-table construction) —
+  every approach is order-generic, building ``3^k x 2`` tables for any
+  interaction order ``k`` between 2 (pairwise) and 5,
 * an objective function (Bayesian K2 score by default), and
 * the unified heterogeneous execution engine (:mod:`repro.engine`): device
   lanes, a pluggable scheduling policy (``dynamic``, ``static``, ``guided``
@@ -27,6 +29,10 @@ Example
 >>> result.best_snps
 (3, 11, 17)
 
+A pairwise (order-2) screen on the same engine:
+
+>>> pairs = EpistasisDetector(approach="cpu-v2", order=2).detect(generate_dataset(cfg))
+
 A heterogeneous CPU+GPU run with the CARM-ratio splitter:
 
 >>> detector = EpistasisDetector(approach="cpu-v4", devices="cpu+gpu",
@@ -41,6 +47,7 @@ from typing import Callable, Dict, List
 import numpy as np
 
 from repro.core.approaches import APPROACHES, Approach, get_approach
+from repro.core.approaches._kernels import check_order
 from repro.core.combinations import combination_count, generate_combinations
 from repro.core.contingency import validate_tables
 from repro.core.result import ApproachStats, DetectionResult
@@ -80,8 +87,10 @@ class DetectorConfig:
     objective:
         Objective-function name or instance (default: Bayesian K2 score).
     order:
-        Interaction order; the engine is written for ``order=3`` (27-cell
-        tables) which is what every approach kernel implements.
+        Interaction order ``k`` (``2 <= k <= 5``); every approach kernel
+        builds the matching ``3^k``-cell tables.  ``order=3`` is the
+        paper's exhaustive third-order study, ``order=2`` the pairwise
+        screen of the related work.
     n_workers:
         Host threads for the search.  In a multi-lane ``devices``
         expression the CPU lane receives all ``n_workers`` threads and GPU
@@ -117,10 +126,7 @@ class DetectorConfig:
     schedule: str | SchedulingPolicy = "dynamic"
 
     def __post_init__(self) -> None:
-        if self.order != 3:
-            raise ValueError(
-                "the detection kernels implement third-order interactions only"
-            )
+        self.order = check_order(self.order)
         if self.n_workers < 1:
             raise ValueError("n_workers must be positive")
         if self.chunk_size < 1:
@@ -130,10 +136,14 @@ class DetectorConfig:
 
 
 class EpistasisDetector:
-    """Exhaustive three-way epistasis detector (public API).
+    """Exhaustive k-way epistasis detector (public API).
 
-    Parameters mirror :class:`DetectorConfig`; either pass a config object or
-    the individual keyword arguments.
+    The interaction order is part of the configuration
+    (``DetectorConfig(order=k)``, ``2 <= k <= 5``) and drives the engine's
+    :class:`~repro.engine.plan.ExecutionPlan` sizing, the CARM-policy
+    split and the result reporting; the default ``order=3`` reproduces the
+    paper's third-order study.  Parameters mirror :class:`DetectorConfig`;
+    either pass a config object or the individual keyword arguments.
     """
 
     def __init__(
@@ -248,7 +258,11 @@ class EpistasisDetector:
 
     def _build_policy(self, dataset: GenotypeDataset) -> SchedulingPolicy:
         policy = get_policy(self.config.schedule)
-        policy.configure(n_snps=dataset.n_snps, n_samples=dataset.n_samples)
+        policy.configure(
+            n_snps=dataset.n_snps,
+            n_samples=dataset.n_samples,
+            order=self.config.order,
+        )
         return policy
 
     # -- exhaustive search -----------------------------------------------------------
@@ -379,6 +393,7 @@ class EpistasisDetector:
                 merged_counter.merge(approach.counter)
 
         extra: Dict[str, object] = dict(self._prototype.extra_stats())
+        extra["order"] = self.config.order
         extra["schedule"] = policy.name
         extra["devices"] = device_stats
 

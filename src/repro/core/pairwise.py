@@ -1,43 +1,40 @@
-"""Second-order (pairwise) epistasis detection.
+"""Second-order (pairwise) epistasis detection — deprecation shims.
 
-The paper's study targets third-order interactions, but most of the related
-work it positions against (GBOOST, epiSNP, multiEpistSearch, GWIS_FI) is
-pairwise, and a practical screening pipeline often runs a cheap exhaustive
-pairwise pass before committing to the cubic three-way search.  This module
-provides that capability on top of the same substrates: the phenotype-split
-binarised encoding, the NOR-inferred genotype-2 plane and the Bayesian K2
-score, with 9x2 frequency tables instead of 27x2.
+The dedicated pairwise stack of the early repo is gone: the order-generic
+search core (:class:`repro.core.detector.EpistasisDetector` with
+``DetectorConfig(order=2)``) now runs the pairwise screen through exactly
+the same kernels, engine lanes and scheduling policies as the third-order
+(and higher) searches, so this module only keeps the historical entry
+points alive:
 
-The implementation mirrors the three-way split kernel (and is validated
-against the same contingency oracle, which supports any order), so results
-are directly comparable with the pairwise literature while reusing the
-library's data model.  Like the three-way detector, the exhaustive pass
-executes through the unified execution engine (:mod:`repro.engine`):
-chunked evaluation, multi-worker scheduling policies and the streaming
-bounded-memory top-k reduction.
+* :class:`PairwiseEpistasisDetector` — a thin shim over
+  ``EpistasisDetector(approach="cpu-v2", order=2)``; results are identical
+  (same split kernel, same engine top-k reduction).
+* :func:`pairwise_combinations` — the closed-form pair unranking, now the
+  order-2 dispatch of
+  :func:`repro.core.combinations.combinations_from_ranks`.
+* :func:`pairwise_split_tables` — the 9x2 table construction, now the
+  order-2 instance of the shared phenotype-split kernel.
+
+All three emit :class:`DeprecationWarning`; new code should use the
+order-parametric APIs directly.
 """
 
 from __future__ import annotations
 
-from math import comb
-from typing import Callable, Dict
+import warnings
+from typing import Callable
 
 import numpy as np
 
-from repro.bitops.popcount import popcount32
-from repro.core.combinations import combination_count
-from repro.core.result import ApproachStats, DetectionResult
-from repro.core.scoring import ObjectiveFunction, get_objective
+from repro.core.approaches._kernels import split_tables
+from repro.core.combinations import combination_count, combinations_from_ranks
+from repro.core.detector import EpistasisDetector
+from repro.core.result import DetectionResult
+from repro.core.scoring import ObjectiveFunction
 from repro.datasets.binarization import PhenotypeSplitDataset
 from repro.datasets.dataset import GenotypeDataset
-from repro.engine import (
-    CancellationToken,
-    EngineDevice,
-    ExecutionPlan,
-    HeterogeneousExecutor,
-    SchedulingPolicy,
-    get_policy,
-)
+from repro.engine import CancellationToken, SchedulingPolicy
 
 __all__ = [
     "pairwise_combinations",
@@ -46,50 +43,54 @@ __all__ = [
 ]
 
 
-def pairwise_combinations(n_snps: int, start_rank: int = 0, count: int | None = None) -> np.ndarray:
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def pairwise_combinations(
+    n_snps: int, start_rank: int = 0, count: int | None = None
+) -> np.ndarray:
     """Materialise a contiguous range of SNP pairs in lexicographic order.
 
-    Pairs are unranked in closed form (no per-row Python loop): with
-    ``offset(i) = i*(n-1) - i*(i-1)/2`` pairs preceding first index ``i``,
-    the first index of rank ``r`` is the largest ``i`` with
-    ``offset(i) <= r`` (a vectorised ``searchsorted``) and the second index
-    follows as ``r - offset(i) + i + 1`` — the order-2 instance of the
-    combinatorial-number-system unranking used by
-    :func:`repro.core.combinations.combination_from_rank`.
+    .. deprecated::
+        Use :func:`repro.core.combinations.generate_combinations` (or
+        :func:`~repro.core.combinations.combinations_from_ranks`) with
+        ``order=2``; the closed-form pair unranking lives there as the
+        order-2 fast path.
     """
+    _deprecated(
+        "pairwise_combinations", "repro.core.combinations.generate_combinations"
+    )
     total = combination_count(n_snps, 2)
     if count is None:
         count = total - start_rank
     if start_rank < 0 or count < 0 or start_rank + count > total:
-        raise ValueError(f"invalid range [{start_rank}, {start_rank + count}) of {total} pairs")
+        raise ValueError(
+            f"invalid range [{start_rank}, {start_rank + count}) of {total} pairs"
+        )
     if count == 0:
         return np.empty((0, 2), dtype=np.int64)
     ranks = np.arange(start_rank, start_rank + count, dtype=np.int64)
-    firsts = np.arange(n_snps - 1, dtype=np.int64)
-    offsets = firsts * (n_snps - 1) - (firsts * (firsts - 1)) // 2
-    i = np.searchsorted(offsets, ranks, side="right") - 1
-    j = ranks - offsets[i] + i + 1
-    return np.stack([i, j], axis=1)
+    return combinations_from_ranks(ranks, n_snps, 2)
 
 
-def _class_pair_counts(
-    class_planes: np.ndarray, padding_mask: np.ndarray, pairs: np.ndarray
+def pairwise_split_tables(
+    split: PhenotypeSplitDataset, pairs: np.ndarray
 ) -> np.ndarray:
-    """Per-class 9-cell counts for a batch of SNP pairs."""
-    mask = np.asarray(padding_mask, dtype=np.uint32)
+    """9x2 frequency tables of a batch of SNP pairs (phenotype-split kernel).
 
-    def expand(sel: np.ndarray) -> np.ndarray:
-        g2 = np.bitwise_and(np.bitwise_not(np.bitwise_or(sel[:, 0], sel[:, 1])), mask)
-        return np.concatenate([sel, g2[:, None, :]], axis=1)
-
-    x = expand(class_planes[pairs[:, 0]])
-    y = expand(class_planes[pairs[:, 1]])
-    combined = np.bitwise_and(x[:, :, None, :], y[:, None, :, :])  # (P, 3, 3, W)
-    return popcount32(combined).sum(axis=-1).reshape(pairs.shape[0], 9)
-
-
-def pairwise_split_tables(split: PhenotypeSplitDataset, pairs: np.ndarray) -> np.ndarray:
-    """9x2 frequency tables of a batch of SNP pairs (phenotype-split kernel)."""
+    .. deprecated::
+        Use the order-generic split kernel through any approach's
+        ``build_tables`` (``(n, 2)`` combination batches) instead.
+    """
+    _deprecated(
+        "pairwise_split_tables",
+        "Approach.build_tables with (n, 2) combination batches",
+    )
     pairs = np.asarray(pairs, dtype=np.int64)
     if pairs.ndim != 2 or pairs.shape[1] != 2:
         raise ValueError(f"pairs must have shape (n_pairs, 2); got {pairs.shape}")
@@ -97,19 +98,27 @@ def pairwise_split_tables(split: PhenotypeSplitDataset, pairs: np.ndarray) -> np
         raise ValueError("every pair must be strictly increasing")
     if pairs.size and pairs.max() >= split.n_snps:
         raise IndexError("pair index exceeds the number of SNPs")
-    controls = _class_pair_counts(split.control_planes, split.padding_mask(0), pairs)
-    cases = _class_pair_counts(split.case_planes, split.padding_mask(1), pairs)
-    return np.stack([controls, cases], axis=-1)
+    return split_tables(
+        split.control_planes,
+        split.case_planes,
+        split.padding_mask(0),
+        split.padding_mask(1),
+        pairs,
+    )
 
 
 class PairwiseEpistasisDetector:
-    """Exhaustive second-order epistasis detector.
+    """Exhaustive second-order epistasis detector (deprecation shim).
+
+    .. deprecated::
+        Use ``EpistasisDetector(approach="cpu-v2", order=2, ...)``; this
+        shim merely forwards to it and is kept so existing pipelines keep
+        running.  Results are identical bit for bit.
 
     Parameters
     ----------
     objective:
-        Objective-function name or instance ("lower is better", as for the
-        three-way detector).
+        Objective-function name or instance ("lower is better").
     chunk_size:
         Pairs evaluated per kernel batch.
     top_k:
@@ -119,14 +128,6 @@ class PairwiseEpistasisDetector:
     schedule:
         Scheduling policy name (``"dynamic"``, ``"static"``, ``"guided"``,
         ``"carm"``) or a policy instance.
-
-    Example
-    -------
-    >>> from repro.datasets import generate_null_dataset
-    >>> from repro.core.pairwise import PairwiseEpistasisDetector
-    >>> result = PairwiseEpistasisDetector().detect(generate_null_dataset(20, 256, seed=0))
-    >>> len(result.best_snps)
-    2
     """
 
     def __init__(
@@ -137,22 +138,47 @@ class PairwiseEpistasisDetector:
         n_workers: int = 1,
         schedule: str | SchedulingPolicy = "dynamic",
     ) -> None:
-        if chunk_size < 1:
-            raise ValueError("chunk_size must be positive")
-        if top_k < 1:
-            raise ValueError("top_k must be positive")
-        if n_workers < 1:
-            raise ValueError("n_workers must be positive")
-        self.objective = get_objective(objective)
-        self.chunk_size = chunk_size
-        self.top_k = top_k
-        self.n_workers = n_workers
-        self.schedule = schedule
+        _deprecated(
+            "PairwiseEpistasisDetector",
+            'EpistasisDetector(approach="cpu-v2", order=2)',
+        )
+        self._detector = EpistasisDetector(
+            approach="cpu-v2",
+            objective=objective,
+            order=2,
+            n_workers=n_workers,
+            chunk_size=chunk_size,
+            top_k=top_k,
+            schedule=schedule,
+        )
+
+    @property
+    def objective(self) -> ObjectiveFunction:
+        """The resolved objective function (as on the unified detector)."""
+        return self._detector.objective
+
+    @property
+    def chunk_size(self) -> int:
+        return self._detector.config.chunk_size
+
+    @property
+    def top_k(self) -> int:
+        return self._detector.config.top_k
+
+    @property
+    def n_workers(self) -> int:
+        return self._detector.config.n_workers
+
+    @property
+    def schedule(self) -> "str | SchedulingPolicy":
+        return self._detector.config.schedule
 
     def score_pairs(self, dataset: GenotypeDataset, pairs: np.ndarray) -> np.ndarray:
         """Objective scores of explicit SNP pairs."""
-        split = PhenotypeSplitDataset.from_dataset(dataset)
-        return self.objective.score(pairwise_split_tables(split, pairs))
+        pairs = np.asarray(pairs)
+        if pairs.ndim != 2 or pairs.shape[1] != 2:
+            raise ValueError(f"pairs must have shape (n_pairs, 2); got {pairs.shape}")
+        return self._detector.score_combinations(dataset, pairs)
 
     def detect(
         self,
@@ -161,64 +187,7 @@ class PairwiseEpistasisDetector:
         cancel: CancellationToken | None = None,
         progress: Callable[[int, int], None] | None = None,
     ) -> DetectionResult:
-        """Exhaustively evaluate every SNP pair of the dataset.
-
-        The pair-rank space is executed through
-        :class:`~repro.engine.executor.HeterogeneousExecutor` on a CPU lane:
-        each worker streams chunks of pairs through the phenotype-split
-        kernel into a bounded top-k heap, so memory stays O(top_k) however
-        large the pair space grows.
-        """
+        """Exhaustively evaluate every SNP pair of the dataset."""
         if dataset.n_snps < 2:
             raise ValueError("pairwise detection needs at least two SNPs")
-        split = PhenotypeSplitDataset.from_dataset(dataset)
-        n_snps = dataset.n_snps
-        total = comb(n_snps, 2)
-        snp_names = list(dataset.snp_names)
-
-        policy = get_policy(self.schedule)
-        policy.configure(n_snps=n_snps, n_samples=dataset.n_samples)
-        plan = ExecutionPlan(
-            total=total,
-            devices=[
-                EngineDevice(
-                    kind="cpu", n_workers=self.n_workers, chunk_size=self.chunk_size
-                )
-            ],
-            policy=policy,
-            top_k=self.top_k,
-        )
-
-        def evaluate(worker, start: int, stop: int):
-            pairs = pairwise_combinations(n_snps, start, stop - start)
-            scores = self.objective.score(pairwise_split_tables(split, pairs))
-            return pairs, scores
-
-        executor = HeterogeneousExecutor(plan, cancel=cancel)
-        run = executor.run(
-            lambda device, worker_id: split,
-            evaluate,
-            snp_names=snp_names,
-            progress=progress,
-        )
-        if run.cancelled:
-            raise RuntimeError(
-                f"pairwise detection cancelled after {run.n_items} of {total} pairs"
-            )
-        if not run.top:
-            raise RuntimeError("pairwise search produced no interactions")
-
-        extra: Dict[str, object] = {
-            "order": 2,
-            "schedule": policy.name,
-            "devices": run.device_stats,
-        }
-        stats = ApproachStats(
-            approach="cpu-pairwise",
-            n_combinations=total,
-            n_samples=dataset.n_samples,
-            elapsed_seconds=run.elapsed_seconds,
-            n_workers=self.n_workers,
-            extra=extra,
-        )
-        return DetectionResult(best=run.top[0], top=list(run.top), stats=stats)
+        return self._detector.detect(dataset, cancel=cancel, progress=progress)

@@ -27,24 +27,39 @@ PathLike = Union[str, os.PathLike]
 
 
 def save_npz(dataset: GenotypeDataset, path: PathLike) -> None:
-    """Save a dataset to a compressed ``.npz`` archive."""
+    """Save a dataset to a compressed ``.npz`` archive.
+
+    ``snp_names`` is stored only when the dataset actually carries names;
+    ``np.asarray(None)`` would otherwise be written as a 0-d ``'None'``
+    string that corrupts the names field on reload.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez_compressed(
-        path,
-        genotypes=dataset.genotypes,
-        phenotypes=dataset.phenotypes,
-        snp_names=np.asarray(dataset.snp_names, dtype=np.str_),
-    )
+    arrays = {
+        "genotypes": dataset.genotypes,
+        "phenotypes": dataset.phenotypes,
+    }
+    if dataset.snp_names is not None:
+        arrays["snp_names"] = np.asarray(list(dataset.snp_names), dtype=np.str_)
+    np.savez_compressed(path, **arrays)
 
 
 def load_npz(path: PathLike) -> GenotypeDataset:
-    """Load a dataset written by :func:`save_npz`."""
+    """Load a dataset written by :func:`save_npz`.
+
+    A missing ``snp_names`` array — or the 0-d scalar a pre-fix
+    :func:`save_npz` produced for ``snp_names=None`` — is restored as
+    ``None`` cleanly (the dataset then regenerates its default names).
+    """
     with np.load(Path(path), allow_pickle=False) as archive:
         missing = {"genotypes", "phenotypes"} - set(archive.files)
         if missing:
             raise ValueError(f"{path}: missing arrays {sorted(missing)}")
-        names = archive["snp_names"].tolist() if "snp_names" in archive.files else None
+        names = None
+        if "snp_names" in archive.files:
+            names_arr = archive["snp_names"]
+            if names_arr.ndim == 1:
+                names = names_arr.tolist()
         return GenotypeDataset(
             genotypes=archive["genotypes"],
             phenotypes=archive["phenotypes"],

@@ -18,8 +18,7 @@ case scenarios, containing SNPs ranging from 2048 to 8192 and 16384 samples"
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Sequence
+from dataclasses import dataclass
 
 import numpy as np
 

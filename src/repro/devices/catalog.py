@@ -9,7 +9,7 @@ the table-derived quantities.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Union
+from typing import Dict, List, Union
 
 from repro.devices.specs import CacheLevel, CpuSpec, GpuSpec
 

@@ -17,8 +17,8 @@ is what the reproduction validates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 from repro.bitops.simd import ISA_PRESETS, VectorISA
 

@@ -82,8 +82,13 @@ class SchedulingPolicy(ABC):
     ) -> List[DeviceAssignment]:
         """Produce per-lane work sources covering ``[0, total)`` exactly once."""
 
-    def configure(self, n_snps: int, n_samples: int) -> None:
-        """Late-bind the problem shape (used by model-driven policies)."""
+    def configure(self, n_snps: int, n_samples: int, order: int = 3) -> None:
+        """Late-bind the problem shape (used by model-driven policies).
+
+        ``order`` is the interaction order of the search; model-driven
+        policies feed it to the analytic throughput estimates so the
+        CPU/GPU split stays honest away from the paper's ``k = 3``.
+        """
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"
@@ -165,10 +170,11 @@ class CarmRatioPolicy(SchedulingPolicy):
 
     Parameters
     ----------
-    n_snps / n_samples:
+    n_snps / n_samples / order:
         Problem shape fed to the analytical models.  Left unset, the shape
         is late-bound by :meth:`configure` (the detector passes the actual
-        dataset shape) and falls back to the paper's reference workload.
+        dataset shape and interaction order) and falls back to the paper's
+        reference workload (third order).
     ratios:
         Explicit per-lane share weights overriding the model estimates
         (useful for tests and for measured re-calibration).
@@ -185,21 +191,26 @@ class CarmRatioPolicy(SchedulingPolicy):
         n_snps: int | None = None,
         n_samples: int | None = None,
         ratios: Sequence[float] | None = None,
+        order: int | None = None,
     ) -> None:
         self.n_snps = n_snps
         self.n_samples = n_samples
+        self.order = order if order is not None else 3
         self.ratios = list(ratios) if ratios is not None else None
         # Shape values given explicitly at construction are pinned; values
         # late-bound by configure() rebind on every call, so a reused policy
         # instance follows each dataset's actual shape.
         self._pinned_snps = n_snps is not None
         self._pinned_samples = n_samples is not None
+        self._pinned_order = order is not None
 
-    def configure(self, n_snps: int, n_samples: int) -> None:
+    def configure(self, n_snps: int, n_samples: int, order: int = 3) -> None:
         if not self._pinned_snps:
             self.n_snps = n_snps
         if not self._pinned_samples:
             self.n_samples = n_samples
+        if not self._pinned_order:
+            self.order = order
 
     def _weights(self, devices: Sequence[EngineDevice]) -> List[float]:
         if self.ratios is not None:
@@ -216,7 +227,9 @@ class CarmRatioPolicy(SchedulingPolicy):
         n_snps = self.n_snps or n_snps
         n_samples = self.n_samples or n_samples
         return [
-            device_throughput(d.spec(), n_snps=n_snps, n_samples=n_samples)
+            device_throughput(
+                d.spec(), n_snps=n_snps, n_samples=n_samples, order=self.order
+            )
             for d in devices
         ]
 

@@ -21,7 +21,6 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-import numpy as np
 
 from repro.bitops.simd import ISA_PRESETS
 from repro.core.approaches import get_approach

@@ -12,7 +12,7 @@ from typing import Dict, List
 
 from repro.carm.characterize import characterize_cpu_approaches, characterize_gpu_approaches
 from repro.carm.render import render_ascii, render_csv
-from repro.devices.catalog import CPU_CATALOG, GPU_CATALOG, device
+from repro.devices.catalog import device
 from repro.devices.specs import CpuSpec
 from repro.experiments.report import format_table
 

@@ -3,7 +3,8 @@
 A kernel launch covers a (possibly multi-dimensional) global index space,
 subdivided into work-groups; work-items inside a work-group share the local
 memory and are dispatched in sub-groups (warps/wavefronts) of fixed width.
-Only the pieces the epistasis kernels need are modelled: 1-D to 3-D ranges,
+Only the pieces the epistasis kernels need are modelled: 1-D to 5-D ranges
+(one dimension per SNP of a k-way kernel),
 linearisation of the global id and sub-group membership.
 """
 
@@ -50,7 +51,7 @@ class NDRange:
     Parameters
     ----------
     global_size:
-        Global index-space extents (1 to 3 dimensions).
+        Global index-space extents (1 to 5 dimensions).
     local_size:
         Work-group extents; must divide the global extents element-wise.
         Defaults to the whole range in one group.
@@ -63,8 +64,8 @@ class NDRange:
     subgroup_size: int = 32
 
     def __post_init__(self) -> None:
-        if not 1 <= len(self.global_size) <= 3:
-            raise ValueError("global_size must have 1 to 3 dimensions")
+        if not 1 <= len(self.global_size) <= 5:
+            raise ValueError("global_size must have 1 to 5 dimensions")
         if any(g <= 0 for g in self.global_size):
             raise ValueError("global_size extents must be positive")
         if self.local_size is not None:

@@ -2,12 +2,16 @@
 
 Each kernel closure is built for a concrete dataset/layout by
 :func:`make_split_kernel_args` (or directly for the naïve encoding) and then
-executed by :class:`~repro.gpusim.device.SimulatedGpu` over a 3-D ND-range:
-the thread with global id ``(i0, i1, i2)`` evaluates the SNP triplet
-``i2 > i1 > i0`` (other threads retire immediately), builds its 27x2
-frequency table in private memory and returns ``(triplet, table, score)``.
-The final reduction — picking the lowest score across threads — happens on
-the host, exactly as in the paper.
+executed by :class:`~repro.gpusim.device.SimulatedGpu` over a k-dimensional
+ND-range: the thread with global id ``(i0, ..., i_{k-1})`` evaluates the SNP
+k-tuple ``i_{k-1} > ... > i0`` (other threads retire immediately), builds its
+``3^k x 2`` frequency table in private memory and returns
+``(tuple, table, score)``.  The interaction order is the dimensionality of
+the launch grid, so the same kernel serves the pairwise screen (2-D range),
+the paper's third-order study (3-D range) and the 4-way/5-way searches; the
+per-thread instruction and traffic charges scale with the ``3^k`` genotype
+cells accordingly.  The final reduction — picking the lowest score across
+threads — happens on the host, exactly as in the paper.
 """
 
 from __future__ import annotations
@@ -17,6 +21,7 @@ from typing import Callable, Tuple
 
 import numpy as np
 
+from repro.core.approaches._kernels import MAX_ORDER, MIN_ORDER
 from repro.core.scoring import ObjectiveFunction, get_objective
 from repro.datasets.binarization import BinarizedDataset, PhenotypeSplitDataset
 from repro.datasets.layouts import GpuLayout, snp_major_layout, tiled_layout, transposed_layout
@@ -30,7 +35,23 @@ __all__ = [
     "epistasis_kernel_naive",
 ]
 
-ThreadResult = Tuple[Tuple[int, int, int], np.ndarray, float]
+ThreadResult = Tuple[Tuple[int, ...], np.ndarray, float]
+
+
+def _check_kernel_gid(gid: Tuple[int, ...]) -> int:
+    """Validate a work-item id against the supported interaction orders."""
+    order = len(gid)
+    if not MIN_ORDER <= order <= MAX_ORDER:
+        raise ValueError(
+            f"the epistasis kernels expect a {MIN_ORDER}-D to {MAX_ORDER}-D "
+            f"ND-range (one dimension per SNP); got {order}-D"
+        )
+    return order
+
+
+def _is_canonical_combo(gid: Tuple[int, ...]) -> bool:
+    """Algorithm 2's thread filter: only ``i_{k-1} > ... > i0`` threads work."""
+    return all(b > a for a, b in zip(gid, gid[1:]))
 
 
 def _addressing(kind: str, block_size: int) -> Callable[[int, int, int], Tuple[int, ...]]:
@@ -95,12 +116,15 @@ def make_split_kernel_args(
 
 
 def epistasis_kernel_split(args: SplitKernelArgs) -> Callable[[KernelContext], ThreadResult | None]:
-    """Build the per-thread phenotype-split kernel (GPU V2/V3/V4).
+    """Build the per-thread phenotype-split kernel (GPU V2/V3/V4), any order.
 
     The returned closure implements Algorithm 2 for one thread: load the
-    genotype-0/1 words of its three SNPs, infer genotype 2 with a NOR,
-    update the 27 private frequency-table cells with AND + POPCNT, walk all
-    packed words of both classes, then score the finished table.
+    genotype-0/1 words of its k SNPs, infer genotype 2 with a NOR each,
+    update the ``3^k`` private frequency-table cells with chained AND +
+    POPCNT (partial AND products are reused along the genotype-digit
+    prefix, as the nested loops of the reference kernel do), walk all
+    packed words of both classes, then score the finished table.  The
+    order is the dimensionality of the launch ND-range.
     """
     address = _addressing(args.layout_kind, args.block_size)
     masks = (args.control_mask, args.case_mask)
@@ -108,41 +132,38 @@ def epistasis_kernel_split(args: SplitKernelArgs) -> Callable[[KernelContext], T
 
     def kernel(ctx: KernelContext) -> ThreadResult | None:
         gid = ctx.item.global_id
-        if len(gid) != 3:
-            raise ValueError("the split kernel expects a 3-D ND-range")
-        i0, i1, i2 = gid
-        if not (i2 > i1 > i0):
+        order = _check_kernel_gid(gid)
+        if not _is_canonical_combo(gid):
             return None  # idle thread, as in Algorithm 2
-        table = np.zeros((27, 2), dtype=np.int64)
+        table = np.zeros((3**order, 2), dtype=np.int64)
         for phen_class in (0, 1):
             buffer = buffers[phen_class]
             mask = masks[phen_class]
             n_words = mask.shape[0]
             for w in range(n_words):
-                x0 = ctx.load(buffer, *address(i0, 0, w))
-                x1 = ctx.load(buffer, *address(i0, 1, w))
-                y0 = ctx.load(buffer, *address(i1, 0, w))
-                y1 = ctx.load(buffer, *address(i1, 1, w))
-                z0 = ctx.load(buffer, *address(i2, 0, w))
-                z1 = ctx.load(buffer, *address(i2, 1, w))
                 word_mask = int(mask[w])
-                x2 = ~(x0 | x1) & word_mask
-                y2 = ~(y0 | y1) & word_mask
-                z2 = ~(z0 | z1) & word_mask
-                ctx.op("NOR", 3)
-                x = (x0, x1, x2)
-                y = (y0, y1, y2)
-                z = (z0, z1, z2)
-                for gx in range(3):
-                    for gy in range(3):
-                        xy = x[gx] & y[gy]
-                        ctx.op("AND")
-                        for gz in range(3):
-                            cell = 9 * gx + 3 * gy + gz
+                snp_planes = []
+                for snp in gid:
+                    p0 = ctx.load(buffer, *address(snp, 0, w))
+                    p1 = ctx.load(buffer, *address(snp, 1, w))
+                    snp_planes.append((p0, p1, ~(p0 | p1) & word_mask))
+                ctx.op("NOR", order)
+
+                def accumulate(depth: int, value: int, cell: int) -> None:
+                    if depth == order:
+                        table[cell, phen_class] += ctx.popcount(value)
+                        return
+                    for g in range(3):
+                        if depth == 0:
+                            partial = snp_planes[0][g]
+                        else:
+                            partial = value & snp_planes[depth][g]
                             ctx.op("AND")
-                            table[cell, phen_class] += ctx.popcount(xy & z[gz])
+                        accumulate(depth + 1, partial, cell * 3 + g)
+
+                accumulate(0, 0, 0)
         score = float(args.objective.score(table[None])[0])
-        return (i0, i1, i2), table, score
+        return tuple(gid), table, score
 
     return kernel
 
@@ -151,7 +172,12 @@ def epistasis_kernel_naive(
     binarized: BinarizedDataset,
     objective: str | ObjectiveFunction = "k2",
 ) -> Callable[[KernelContext], ThreadResult | None]:
-    """Build the per-thread naïve kernel (GPU V1): 3 planes + phenotype mask."""
+    """Build the per-thread naïve kernel (GPU V1): 3 planes + phenotype mask.
+
+    Like the split kernel, the order is the launch grid's dimensionality;
+    every genotype cell pays two extra masked population counts (cases and
+    controls) instead of the per-class table columns.
+    """
     planes = DeviceBuffer(binarized.planes, name="planes")
     phen = DeviceBuffer(binarized.phenotype_words.reshape(1, -1), name="phenotype")
     objective_fn = get_objective(objective)
@@ -159,26 +185,33 @@ def epistasis_kernel_naive(
 
     def kernel(ctx: KernelContext) -> ThreadResult | None:
         gid = ctx.item.global_id
-        i0, i1, i2 = gid
-        if not (i2 > i1 > i0):
+        order = _check_kernel_gid(gid)
+        if not _is_canonical_combo(gid):
             return None
-        table = np.zeros((27, 2), dtype=np.int64)
+        table = np.zeros((3**order, 2), dtype=np.int64)
         for w in range(n_words):
             phen_word = ctx.load(phen, 0, w)
-            x = tuple(ctx.load(planes, i0, g, w) for g in range(3))
-            y = tuple(ctx.load(planes, i1, g, w) for g in range(3))
-            z = tuple(ctx.load(planes, i2, g, w) for g in range(3))
-            for gx in range(3):
-                for gy in range(3):
-                    xy = x[gx] & y[gy]
-                    ctx.op("AND")
-                    for gz in range(3):
-                        cell = 9 * gx + 3 * gy + gz
-                        combined = xy & z[gz]
-                        ctx.op("AND", 2)
-                        table[cell, 1] += ctx.popcount(combined & phen_word)
-                        table[cell, 0] += ctx.popcount(combined & ~phen_word)
+            snp_planes = [
+                tuple(ctx.load(planes, snp, g, w) for g in range(3)) for snp in gid
+            ]
+
+            def accumulate(depth: int, value: int, cell: int) -> None:
+                if depth == order:
+                    ctx.op("AND", 2)
+                    table[cell, 1] += ctx.popcount(value & phen_word)
+                    table[cell, 0] += ctx.popcount(value & ~phen_word)
+                    return
+                for g in range(3):
+                    if depth == 0:
+                        partial = snp_planes[0][g]
+                    else:
+                        partial = value & snp_planes[depth][g]
+                        if depth < order - 1:
+                            ctx.op("AND")
+                    accumulate(depth + 1, partial, cell * 3 + g)
+
+            accumulate(0, 0, 0)
         score = float(objective_fn.score(table[None])[0])
-        return (i0, i1, i2), table, score
+        return tuple(gid), table, score
 
     return kernel

@@ -12,7 +12,7 @@ the paper identifies as the decisive GPU optimisation (§IV-B).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from typing import Dict, Set, Tuple
 
 import numpy as np
 

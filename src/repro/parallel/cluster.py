@@ -15,7 +15,7 @@ the dataset, and the single gather of partial results at the end.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Generic, List, Sequence, TypeVar
 
 from repro.parallel.scheduler import static_partition

@@ -20,8 +20,8 @@ from typing import Dict
 
 from repro.bitops.packing import WORD_BITS
 from repro.core.approaches._kernels import (
-    NAIVE_OPS_PER_COMBO_WORD,
-    SPLIT_OPS_PER_COMBO_WORD,
+    naive_ops_per_combo_word,
+    split_ops_per_combo_word,
 )
 
 __all__ = ["ApproachCounts", "approach_counts", "CPU_SERVING_LEVEL", "GPU_SERVING_LEVEL"]
@@ -57,6 +57,7 @@ class ApproachCounts:
     serving_level: str
     ops_per_combo_word: float
     loads_per_combo_word: float
+    order: int = 3
 
     @property
     def arithmetic_intensity(self) -> float:
@@ -81,7 +82,9 @@ def _mix_totals(mix: Dict[str, float]) -> tuple[float, float]:
     return ops, loads
 
 
-def approach_counts(version: int, device: str = "cpu") -> ApproachCounts:
+def approach_counts(
+    version: int, device: str = "cpu", order: int = 3
+) -> ApproachCounts:
     """Characterise approach ``version`` (1–4) on ``device`` ("cpu" or "gpu").
 
     Versions 1 uses the naïve mix (3 planes + phenotype over all samples);
@@ -89,6 +92,11 @@ def approach_counts(version: int, device: str = "cpu") -> ApproachCounts:
     inferred).  Versions only differ in *where* their bytes come from — the
     key property the paper exploits: "cache blocking techniques do not affect
     the amount of memory transfers and performed computations" (§IV-A).
+
+    ``order`` selects the interaction order ``k`` of the characterised
+    search: compute grows with the ``3^k`` genotype cells while traffic
+    grows only linearly in ``k``, so arithmetic intensity rises steeply
+    with the order.
     """
     if version not in (1, 2, 3, 4):
         raise ValueError("approach version must be 1, 2, 3 or 4")
@@ -96,12 +104,12 @@ def approach_counts(version: int, device: str = "cpu") -> ApproachCounts:
         raise ValueError("device must be 'cpu' or 'gpu'")
 
     if version == 1:
-        ops_word, loads_word = _mix_totals(NAIVE_OPS_PER_COMBO_WORD)
+        ops_word, loads_word = _mix_totals(naive_ops_per_combo_word(order))
         # One word covers WORD_BITS samples of the full (unsplit) stream.
         ops_per_element = ops_word / WORD_BITS
         bytes_per_element = loads_word * 4.0 / WORD_BITS
     else:
-        ops_word, loads_word = _mix_totals(SPLIT_OPS_PER_COMBO_WORD)
+        ops_word, loads_word = _mix_totals(split_ops_per_combo_word(order))
         # One word covers WORD_BITS samples of one phenotype class; summing
         # the two classes covers every sample exactly once, so the
         # per-element figures are identical to the single-class ones.
@@ -116,4 +124,5 @@ def approach_counts(version: int, device: str = "cpu") -> ApproachCounts:
         serving_level=serving,
         ops_per_combo_word=ops_word,
         loads_per_combo_word=loads_word,
+        order=order,
     )

@@ -71,33 +71,44 @@ M_HALF: float = 800.0
 AVX512_FREQUENCY_SCALE_SKX: float = 0.85
 
 
-def vector_cycles_per_register(isa: VectorISA, issue_width: float = 2.0) -> float:
+def vector_cycles_per_register(
+    isa: VectorISA, issue_width: float = 2.0, order: int = 3
+) -> float:
     """Issue cycles to evaluate one combination over one vector register.
 
-    Covers one phenotype class: 6 loads, 3 NORs (2 instructions each),
-    2 ANDs per genotype cell and the ISA-specific population-count sequence
-    per cell.
+    Covers one phenotype class of a k-way combination: ``2k`` loads, ``k``
+    NORs (2 instructions each), ``k - 1`` ANDs per genotype cell and the
+    ISA-specific population-count sequence per cell (``3^k`` cells).  The
+    paper's third-order kernel is the ``k = 3`` instance (6 loads, 3 NORs,
+    54 ANDs, 27 popcount sequences).
     """
-    slots = 6.0 * SLOT_COSTS["VLOAD"]
-    slots += 3.0 * (SLOT_COSTS["VOR"] + SLOT_COSTS["VXOR"])
-    slots += 27.0 * 2.0 * SLOT_COSTS["VAND"]
+    cells = float(3**order)
+    slots = 2.0 * order * SLOT_COSTS["VLOAD"]
+    slots += float(order) * (SLOT_COSTS["VOR"] + SLOT_COSTS["VXOR"])
+    slots += cells * (order - 1.0) * SLOT_COSTS["VAND"]
     popcost = isa.popcount_instruction_cost()
-    slots += 27.0 * sum(SLOT_COSTS[m] * c for m, c in popcost.items())
+    slots += cells * sum(SLOT_COSTS[m] * c for m, c in popcost.items())
     return slots / issue_width
 
 
-def scalar_cycles_per_word(version: int, issue_width: float = 2.0) -> float:
+def scalar_cycles_per_word(
+    version: int, issue_width: float = 2.0, order: int = 3
+) -> float:
     """Issue cycles per packed word per combination for the scalar kernels.
 
-    Version 1 is the naïve kernel (162 compute instructions + 10 loads per
-    word), versions 2 and 3 the phenotype-split kernel (57 nominal
-    instructions, 114 once the three-input ANDs and NOR emulation are
-    expanded, + 6 loads).
+    Version 1 is the naïve kernel (at order 3: 162 compute instructions +
+    10 loads per word), versions 2 and 3 the phenotype-split kernel (57
+    nominal instructions, 114 once the multi-input ANDs and NOR emulation
+    are expanded, + 6 loads).  Both mixes scale with the ``3^k`` genotype
+    cells of a k-way interaction.
     """
+    cells = float(3**order)
     if version == 1:
-        slots = 10.0 + 4.0 * 27 + 2.0 * 27 + 2.0 * 27  # loads, AND, POPCNT, ADD
+        # loads, AND (k-1 combine + 2 masks), POPCNT, ADD
+        slots = (3.0 * order + 1.0) + (order + 1.0) * cells + 2.0 * cells + 2.0 * cells
     elif version in (2, 3):
-        slots = 6.0 + 6.0 + 2.0 * 27 + 27.0 + 27.0     # loads, NOR(x2), AND, POPCNT, ADD
+        # loads, NOR (x2 expansion), AND, POPCNT, ADD
+        slots = 2.0 * order + 2.0 * order + (order - 1.0) * cells + cells + cells
     else:
         raise ValueError("scalar model covers versions 1-3 only")
     return slots / issue_width
@@ -120,6 +131,7 @@ class CpuPerformanceEstimate:
     cycles_per_combination: float
     elements_per_cycle_per_core: float
     bound: str
+    order: int = 3
 
     # -- the three normalisations of Figure 3 -------------------------------
     @property
@@ -172,6 +184,7 @@ def estimate_cpu(
     n_snps: int = 8192,
     n_samples: int = 16384,
     calibration: float = CALIBRATION,
+    order: int = 3,
 ) -> CpuPerformanceEstimate:
     """Estimate the throughput of one CPU approach on one device.
 
@@ -189,6 +202,9 @@ def estimate_cpu(
         Dataset dimensions (throughput depends mildly on both).
     calibration:
         Absolute-scale constant; relative results are calibration-free.
+    order:
+        Interaction order ``k`` of the search; the per-combination
+        instruction mix scales with the ``3^k`` genotype cells.
     """
     if approach_version not in (1, 2, 3, 4):
         raise ValueError("approach_version must be in 1..4")
@@ -199,7 +215,7 @@ def estimate_cpu(
     else:
         isa_obj = isa
 
-    counts = approach_counts(approach_version, device="cpu")
+    counts = approach_counts(approach_version, device="cpu", order=order)
     words_per_class = max(1, (n_samples // 2 + WORD_BITS - 1) // WORD_BITS)
     words_full = max(1, (n_samples + WORD_BITS - 1) // WORD_BITS)
 
@@ -207,16 +223,18 @@ def estimate_cpu(
         lanes = isa_obj.lanes32
         registers_per_class = (words_per_class + lanes - 1) // lanes
         compute_cycles = 2.0 * registers_per_class * vector_cycles_per_register(
-            isa_obj, spec.issue_width
+            isa_obj, spec.issue_width, order
         )
         effective_isa = isa_obj.name
     else:
         effective_isa = "scalar64"
         if approach_version == 1:
-            compute_cycles = words_full * scalar_cycles_per_word(1, spec.scalar_issue_width)
+            compute_cycles = words_full * scalar_cycles_per_word(
+                1, spec.scalar_issue_width, order
+            )
         else:
             compute_cycles = 2.0 * words_per_class * scalar_cycles_per_word(
-                approach_version, spec.scalar_issue_width
+                approach_version, spec.scalar_issue_width, order
             )
 
     # Memory stalls for the approaches whose loads are served by L3/DRAM.
@@ -251,4 +269,5 @@ def estimate_cpu(
         cycles_per_combination=cycles_per_combination,
         elements_per_cycle_per_core=elements_per_cycle,
         bound=bound,
+        order=order,
     )

@@ -37,14 +37,15 @@ def device_throughput(
     n_snps: int = 8192,
     n_samples: int = 16384,
     approach_version: int = 4,
+    order: int = 3,
 ) -> float:
     """Whole-device throughput (elements/s) using the best approach."""
     if isinstance(spec, CpuSpec):
         return estimate_cpu(
-            spec, approach_version, n_snps=n_snps, n_samples=n_samples
+            spec, approach_version, n_snps=n_snps, n_samples=n_samples, order=order
         ).elements_per_second_total
     return estimate_gpu(
-        spec, approach_version, n_snps=n_snps, n_samples=n_samples
+        spec, approach_version, n_snps=n_snps, n_samples=n_samples, order=order
     ).elements_per_second_total
 
 
@@ -53,9 +54,10 @@ def energy_efficiency(
     n_snps: int = 8192,
     n_samples: int = 16384,
     approach_version: int = 4,
+    order: int = 3,
 ) -> float:
     """Energy efficiency in Giga elements per Joule (throughput / TDP)."""
-    throughput = device_throughput(spec, n_snps, n_samples, approach_version)
+    throughput = device_throughput(spec, n_snps, n_samples, approach_version, order)
     if spec.tdp_w <= 0:
         raise ValueError(f"{spec.key}: TDP must be positive")
     return throughput / spec.tdp_w / 1e9
@@ -66,6 +68,7 @@ def heterogeneous_throughput(
     n_snps: int = 8192,
     n_samples: int = 16384,
     efficiency: float = HETEROGENEOUS_EFFICIENCY,
+    order: int = 3,
 ) -> float:
     """Aggregate throughput (elements/s) of a CPU+GPU (or multi-device) system.
 
@@ -75,7 +78,7 @@ def heterogeneous_throughput(
     coordination cost.  The result is never below the fastest single device —
     a scheduler can always leave a device idle.
     """
-    individual = [device_throughput(d, n_snps, n_samples) for d in devices]
+    individual = [device_throughput(d, n_snps, n_samples, order=order) for d in devices]
     if not individual:
         raise ValueError("heterogeneous_throughput needs at least one device")
     return max(sum(individual) * efficiency, max(individual))

@@ -61,6 +61,7 @@ class GpuPerformanceEstimate:
     frequency_ghz: float
     elements_per_cycle_per_cu: float
     bound: str
+    order: int = 3
 
     # -- the three normalisations of Figure 4 --------------------------------
     @property
@@ -100,6 +101,7 @@ def estimate_gpu(
     n_snps: int = 8192,
     n_samples: int = 16384,
     efficiency: float = GPU_EFFICIENCY,
+    order: int = 3,
 ) -> GpuPerformanceEstimate:
     """Estimate the throughput of one GPU approach on one device.
 
@@ -113,21 +115,30 @@ def estimate_gpu(
         Dataset dimensions.
     efficiency:
         Sustained fraction of the binding issue rate (calibration constant).
+    order:
+        Interaction order ``k``; compute scales with the ``3^k`` genotype
+        cells while per-word traffic grows only linearly in ``k``, so
+        higher orders push every kernel toward the compute roofs.
     """
     if approach_version not in (1, 2, 3, 4):
         raise ValueError("approach_version must be in 1..4")
 
-    counts = approach_counts(approach_version, device="gpu")
+    counts = approach_counts(approach_version, device="gpu", order=order)
 
     # Instruction counts per combination per packed word (one class for the
     # split kernels, the full stream for the naïve kernel; in both cases one
-    # word covers WORD_BITS evaluated elements).
+    # word covers WORD_BITS evaluated elements).  At order 3 these reduce to
+    # the paper's per-word figures (54 POPCNT + 172 int for the naïve
+    # kernel, 27 POPCNT + 93 int for the split kernels).
+    cells = float(3**order)
     if approach_version == 1:
-        popcnt_per_word = 2.0 * 27
-        int_per_word = 4.0 * 27 + 2.0 * 27 + 10.0  # AND, ADD, address/loads
+        popcnt_per_word = 2.0 * cells
+        # AND, ADD, address/loads
+        int_per_word = (order + 1.0) * cells + 2.0 * cells + (3.0 * order + 1.0)
     else:
-        popcnt_per_word = 27.0
-        int_per_word = 2.0 * 27 + 27.0 + 6.0 + 6.0  # AND, ADD, NOR(x2), loads
+        popcnt_per_word = cells
+        # AND, ADD, NOR(x2), loads
+        int_per_word = (order - 1.0) * cells + cells + 2.0 * order + 2.0 * order
 
     popcnt_cycles = popcnt_per_word / spec.popcnt_per_cu
     int_cycles = int_per_word / spec.int_ops_per_cu_per_cycle
@@ -167,4 +178,5 @@ def estimate_gpu(
         frequency_ghz=spec.boost_freq_ghz,
         elements_per_cycle_per_cu=elements_per_cycle_per_cu,
         bound=bound,
+        order=order,
     )

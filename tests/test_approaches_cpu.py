@@ -11,7 +11,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.bitops.simd import ISA_PRESETS
 from repro.core.approaches import (
     APPROACHES,
     CpuBlockedApproach,
@@ -21,7 +20,7 @@ from repro.core.approaches import (
     get_approach,
     list_approaches,
 )
-from repro.core.approaches._kernels import NAIVE_OPS_PER_COMBO_WORD, SPLIT_OPS_PER_COMBO_WORD
+from repro.core.approaches._kernels import NAIVE_OPS_PER_COMBO_WORD
 from repro.core.combinations import generate_combinations
 from repro.core.contingency import contingency_oracle_many
 from repro.devices import cpu
@@ -77,7 +76,9 @@ class TestAgainstOracle:
         with pytest.raises(ValueError):
             approach.build_tables(encoded, np.array([[2, 1, 0]]))
         with pytest.raises(ValueError):
-            approach.build_tables(encoded, np.array([[0, 1]]))
+            approach.build_tables(encoded, np.array([[0]]))  # below min order
+        with pytest.raises(ValueError):
+            approach.build_tables(encoded, np.array([[0, 1, 2, 3, 4, 5]]))
         with pytest.raises(IndexError):
             approach.build_tables(encoded, np.array([[0, 1, 99]]))
 

@@ -74,6 +74,21 @@ class TestMpi3snpBaseline:
         result = Mpi3snpBaseline(n_ranks=1).detect(tiny_dataset)
         assert result.stats.n_combinations == tiny_dataset.n_combinations(3)
 
+    @pytest.mark.parametrize("order", [2, 4])
+    def test_other_orders_agree_with_detector(self, small_dataset, order):
+        baseline = Mpi3snpBaseline(n_ranks=3, chunk_size=256, order=order)
+        ours = EpistasisDetector(approach="cpu-v2", order=order)
+        theirs = baseline.detect(small_dataset)
+        assert theirs.best_snps == ours.detect(small_dataset).best_snps
+        assert theirs.stats.extra["order"] == order
+        assert theirs.stats.n_combinations == small_dataset.n_combinations(order)
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            Mpi3snpBaseline(order=1)
+        with pytest.raises(ValueError):
+            Mpi3snpBaseline(order=6)
+
 
 class TestMpi3snpThroughputModel:
     def test_cpu_slower_than_this_work(self):

@@ -9,7 +9,6 @@ from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
 from repro.bitops.packing import (
-    WORD_BITS,
     pack_bitplanes,
     pack_bits,
     packed_word_count,

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
@@ -70,6 +69,41 @@ class TestDetectCommand:
         text = capsys.readouterr().out
         assert "best interaction" in text
         assert "cpu-v4" in text
+
+    @pytest.mark.parametrize("order,planted", [(2, ("snp0002", "snp0006")), (4, None)])
+    def test_detect_order(self, tmp_path, capsys, order, planted):
+        out = tmp_path / "ds.npz"
+        main(
+            [
+                "generate", str(out),
+                "--snps", "12", "--samples", "512",
+                "--interaction", "2", "6", "--effect", "0.9", "--baseline", "0.05",
+                "--seed", "7",
+            ]
+        )
+        capsys.readouterr()
+        code = main(["detect", str(out), "--order", str(order), "--top-k", "2"])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "best interaction" in text
+        if planted is not None:
+            assert all(name in text for name in planted)
+
+    def test_detect_rejects_unsupported_order(self, tmp_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["detect", "in.npz", "--order", "6"])
+
+    def test_generate_accepts_pair_interaction(self, tmp_path):
+        out = tmp_path / "pair.npz"
+        code = main(
+            [
+                "generate", str(out),
+                "--snps", "10", "--samples", "128",
+                "--interaction", "1", "4",
+            ]
+        )
+        assert code == 0
+        assert load_npz(out).n_snps == 10
 
 
 class TestInfoCommands:

@@ -15,6 +15,7 @@ from repro.core.combinations import (
     combination_count,
     combination_from_rank,
     combination_rank,
+    combinations_from_ranks,
     combinations_in_block_triple,
     generate_combinations,
     iter_combination_chunks,
@@ -73,6 +74,59 @@ class TestRankUnrank:
     def test_order_2_and_4(self):
         assert combination_from_rank(0, 6, 2) == (0, 1)
         assert combination_from_rank(comb(6, 4) - 1, 6, 4) == (2, 3, 4, 5)
+
+    @pytest.mark.parametrize("order", [2, 4, 5])
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_other_orders(self, order, data):
+        """rank/unrank are inverses at every supported order, not just 3."""
+        n = data.draw(st.integers(min_value=order, max_value=40))
+        rank = data.draw(st.integers(min_value=0, max_value=comb(n, order) - 1))
+        combo = combination_from_rank(rank, n, order)
+        assert len(combo) == order
+        assert all(a < b for a, b in zip(combo, combo[1:]))
+        assert combo[-1] < n
+        assert combination_rank(combo, n) == rank
+
+    @pytest.mark.parametrize("order", [2, 4, 5])
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_unrank_then_rank_hits_every_window(self, order, data):
+        """Windows of consecutive ranks unrank to consecutive combinations."""
+        n = data.draw(st.integers(min_value=order, max_value=24))
+        total = comb(n, order)
+        start = data.draw(st.integers(min_value=0, max_value=total - 1))
+        count = data.draw(st.integers(min_value=1, max_value=min(32, total - start)))
+        window = generate_combinations(n, order, start_rank=start, count=count)
+        ranks = [combination_rank(tuple(row), n) for row in window]
+        assert ranks == list(range(start, start + count))
+
+
+class TestVectorizedUnranking:
+    @pytest.mark.parametrize("order", [2, 3, 4, 5])
+    def test_matches_itertools(self, order):
+        n = 9
+        expected = np.array(list(itertools_combinations(range(n), order)))
+        ranks = np.arange(comb(n, order))
+        assert np.array_equal(combinations_from_ranks(ranks, n, order), expected)
+
+    @pytest.mark.parametrize("order", [2, 3, 4, 5])
+    def test_scattered_ranks_match_scalar_unranking(self, order):
+        n = 30
+        rng = np.random.default_rng(7)
+        ranks = rng.integers(0, comb(n, order), size=128)
+        got = combinations_from_ranks(ranks, n, order)
+        for rank, row in zip(ranks, got):
+            assert tuple(row) == combination_from_rank(int(rank), n, order)
+
+    def test_empty_and_invalid(self):
+        assert combinations_from_ranks(np.array([], dtype=np.int64), 10, 3).shape == (0, 3)
+        with pytest.raises(ValueError):
+            combinations_from_ranks(np.array([-1]), 10, 3)
+        with pytest.raises(ValueError):
+            combinations_from_ranks(np.array([comb(10, 3)]), 10, 3)
+        with pytest.raises(ValueError):
+            combinations_from_ranks(np.array([[0, 1]]), 10, 3)
 
 
 class TestGenerateCombinations:

@@ -61,6 +61,15 @@ class TestK2Score:
         tables = rng.integers(0, 10, size=(4, 5, 27, 2))
         assert K2Score().score(tables).shape == (4, 5)
 
+    @pytest.mark.parametrize("n_cells", [9, 27, 81, 243])
+    def test_any_cell_count(self, rng, n_cells):
+        """Objectives consume flat (..., 3^k, 2) tables for every order k."""
+        tables = rng.integers(0, 10, size=(6, n_cells, 2))
+        for objective in (K2Score(), MutualInformationScore(), GiniScore(), ChiSquaredScore()):
+            scores = objective.score(tables)
+            assert scores.shape == (6,)
+            assert np.isfinite(scores).all()
+
     def test_rejects_negative(self):
         with pytest.raises(ValueError):
             K2Score().score(np.full((1, 27, 2), -1.0))

@@ -10,7 +10,6 @@ from hypothesis import strategies as st
 from repro.bitops.packing import packed_word_count, unpack_bits
 from repro.bitops.popcount import popcount32
 from repro.datasets.binarization import BinarizedDataset, PhenotypeSplitDataset
-from repro.datasets.synthetic import generate_null_dataset
 
 
 class TestBinarizedDataset:

@@ -27,6 +27,46 @@ class TestNpzRoundtrip:
         with pytest.raises(ValueError):
             load_npz(path)
 
+    def test_roundtrip_with_snp_names_none(self, tmp_path):
+        """A dataset whose ``snp_names`` is ``None`` round-trips cleanly.
+
+        ``save_npz`` used to write ``np.asarray(None)`` — a 0-d ``'None'``
+        string — which corrupted the names field on reload; now the names
+        array is simply omitted and the loader restores ``None`` so the
+        dataset regenerates its defaults.
+        """
+        ds = generate_null_dataset(6, 64, seed=5)
+        default_names = list(ds.snp_names)
+        ds.snp_names = None  # simulate a dataset without explicit names
+        path = tmp_path / "unnamed.npz"
+        save_npz(ds, path)
+        with np.load(path) as archive:
+            assert "snp_names" not in archive.files
+        loaded = load_npz(path)
+        assert np.array_equal(loaded.genotypes, ds.genotypes)
+        assert np.array_equal(loaded.phenotypes, ds.phenotypes)
+        assert list(loaded.snp_names) == default_names
+
+    def test_legacy_corrupt_names_field_restored_as_none(self, tmp_path):
+        """Archives written by the pre-fix ``save_npz`` load without names."""
+        ds = generate_null_dataset(5, 32, seed=6)
+        path = tmp_path / "legacy.npz"
+        np.savez_compressed(
+            path,
+            genotypes=ds.genotypes,
+            phenotypes=ds.phenotypes,
+            snp_names=np.asarray(None, dtype=np.str_),  # the old corruption
+        )
+        loaded = load_npz(path)
+        assert list(loaded.snp_names) == list(ds.snp_names)  # defaults again
+
+    def test_explicit_names_survive(self, tmp_path):
+        ds = generate_null_dataset(4, 32, seed=7)
+        ds.snp_names = ["rs1", "rs2", "rs3", "rs4"]
+        path = tmp_path / "named.npz"
+        save_npz(ds, path)
+        assert list(load_npz(path).snp_names) == ["rs1", "rs2", "rs3", "rs4"]
+
 
 class TestTextRoundtrip:
     def test_roundtrip(self, tmp_path, tiny_dataset):

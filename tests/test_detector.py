@@ -22,7 +22,11 @@ class TestConfig:
 
     def test_validation(self):
         with pytest.raises(ValueError):
-            DetectorConfig(order=2)
+            DetectorConfig(order=1)
+        with pytest.raises(ValueError):
+            DetectorConfig(order=6)
+        assert DetectorConfig(order=2).order == 2
+        assert DetectorConfig(order=5).order == 5
         with pytest.raises(ValueError):
             DetectorConfig(n_workers=0)
         with pytest.raises(ValueError):

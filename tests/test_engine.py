@@ -10,7 +10,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import EpistasisDetector
-from repro.core.result import Interaction
 from repro.engine import (
     CancellationToken,
     CarmRatioPolicy,
@@ -165,6 +164,26 @@ class TestCarmRatioPolicy:
         pinned = CarmRatioPolicy(n_snps=2048, n_samples=4096)
         pinned.configure(n_snps=9, n_samples=9)
         assert (pinned.n_snps, pinned.n_samples) == (2048, 4096)
+
+    def test_configure_late_binds_order(self):
+        policy = CarmRatioPolicy()
+        assert policy.order == 3  # the paper's default
+        policy.configure(n_snps=1024, n_samples=512, order=4)
+        assert policy.order == 4
+        pinned = CarmRatioPolicy(order=2)
+        pinned.configure(n_snps=9, n_samples=9, order=5)
+        assert pinned.order == 2
+
+    def test_shares_depend_on_order(self):
+        """The split is recomputed from order-aware model throughputs."""
+        devices = [EngineDevice(kind="cpu"), EngineDevice(kind="gpu")]
+        shares = {}
+        for order in (2, 4):
+            policy = CarmRatioPolicy(n_snps=4096, n_samples=4096, order=order)
+            shares[order] = policy.shares(100_000, devices)
+        for order, (cpu_share, gpu_share) in shares.items():
+            assert cpu_share + gpu_share == 100_000
+            assert gpu_share > cpu_share
 
 
 class TestPolicyRegistry:

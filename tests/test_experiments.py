@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.experiments import ablations, comparison, figure2, figure3, figure4, table3, tables
 from repro.experiments.report import format_float, format_table

@@ -20,7 +20,6 @@ from repro.gpusim import (
     epistasis_kernel_split,
     make_split_kernel_args,
 )
-from repro.gpusim.grid import WorkItem
 
 
 class TestNDRange:
@@ -48,9 +47,10 @@ class TestNDRange:
         with pytest.raises(ValueError):
             NDRange((4, 4), local_size=(2,))
         with pytest.raises(ValueError):
-            NDRange((2, 2, 2, 2))
+            NDRange((2, 2, 2, 2, 2, 2))  # 6-D exceeds the 5-way kernels
         with pytest.raises(ValueError):
             NDRange((4,), subgroup_size=0)
+        assert NDRange((2, 2, 2, 2)).total_items == 16  # 4-way grids are valid
 
     def test_total_items(self):
         assert NDRange((3, 4, 5)).total_items == 60
@@ -147,12 +147,35 @@ class TestSimulatedKernels:
         with pytest.raises(ValueError):
             make_split_kernel_args(split, layout="zigzag")
 
-    def test_kernel_requires_3d_range(self, split):
+    def test_kernel_rejects_1d_range(self, split):
         args = make_split_kernel_args(split, layout="tiled", block_size=4)
         kernel = epistasis_kernel_split(args)
         sim = SimulatedGpu()
         with pytest.raises(ValueError):
             sim.launch(kernel, NDRange((10,)))
+
+    @pytest.mark.parametrize("order", [2, 4])
+    def test_split_kernel_other_orders_match_oracle(self, dataset, split, order):
+        """The kernel's order is the grid dimensionality: 2-D and 4-D work."""
+        from math import comb
+
+        args = make_split_kernel_args(split, layout="tiled", block_size=4)
+        kernel = epistasis_kernel_split(args)
+        n = dataset.n_snps
+        results, stats = SimulatedGpu().launch(kernel, NDRange((n,) * order))
+        assert stats.n_active_threads == comb(n, order)
+        for combo, table, _ in results:
+            assert table.shape == (3**order, 2)
+            oracle = contingency_oracle(dataset.genotypes, dataset.phenotypes, combo)
+            assert np.array_equal(table, oracle)
+
+    def test_naive_kernel_order_2_matches_oracle(self, dataset):
+        binarized = BinarizedDataset.from_dataset(dataset)
+        kernel = epistasis_kernel_naive(binarized)
+        results, _ = SimulatedGpu().launch(kernel, NDRange((9, 9)))
+        for combo, table, _ in results[:10]:
+            oracle = contingency_oracle(dataset.genotypes, dataset.phenotypes, combo)
+            assert np.array_equal(table, oracle)
 
 
 class TestCoalescingAcrossLayouts:

@@ -22,7 +22,6 @@ class TestSection4Claims:
     def test_claim_instruction_reduction_162_to_57(self):
         """§IV-A: the naïve kernel needs 162 instructions per word, the
         split kernel 57 (nominal counting), a ~65% reduction."""
-        naive = 4 * 27 + 2 * 27  # AND + POPCNT as counted with ADDs folded in
         assert 27 * 6 == 162
         assert 3 + 27 * (1 + 1) == 57
 

@@ -90,6 +90,19 @@ class TestApproachOracleEquivalence:
         tables = approach.build_tables(approach.prepare(dataset), combos)
         validate_tables(tables, dataset.n_controls, dataset.n_cases)
 
+    @pytest.mark.parametrize("order", [2, 4, 5])
+    @given(dataset=genotype_datasets(min_snps=5))
+    @COMMON_SETTINGS
+    def test_tables_match_oracle_other_orders(self, order, dataset):
+        """The order-generic kernels stay bit-exact away from k = 3."""
+        approach = get_approach("cpu-v4")
+        combos = generate_combinations(dataset.n_snps, order)
+        combos = combos[:: max(1, combos.shape[0] // 25)]
+        tables = approach.build_tables(approach.prepare(dataset), combos)
+        oracle = contingency_oracle_many(dataset.genotypes, dataset.phenotypes, combos)
+        assert np.array_equal(tables, oracle)
+        validate_tables(tables, dataset.n_controls, dataset.n_cases)
+
 
 class TestDetectorInvariance:
     @given(dataset=genotype_datasets(min_snps=5, max_snps=9, max_samples=120))
