@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Retention-vs-recall study of the staged search pipeline.
+
+The exhaustive third-order search evaluates ``nCr(M, 3)`` frequency tables;
+the staged pipeline screens at order 2 first and expands only over the
+retained SNPs, evaluating ``nCr(keep, 3)`` tables instead.  The retention
+budget ``keep`` is the knob: too small and the screen may drop an
+interacting SNP whose pairwise signal is weak (recall loss), large and the
+expand stage approaches the exhaustive cost again.
+
+This study sweeps the budget on datasets with planted interactions of both
+kinds — a *threshold* model (strong marginal pair signal, easy to screen)
+and a *XOR-like* model (purely epistatic, the adversarial case for any
+low-order filter) — and reports, per budget:
+
+* whether the planted triplet is recovered (recall),
+* the fraction of the exhaustive order-3 space evaluated,
+* the measured wall-clock speedup, and
+* the analytical speedup the per-stage cost model projects.
+
+Run with::
+
+    PYTHONPATH=src python examples/staged_search.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import (
+    EpistasisDetector,
+    PlantedInteraction,
+    SyntheticConfig,
+    generate_dataset,
+)
+from repro.perfmodel import estimate_staged_search
+
+PLANTED = (7, 19, 33)
+BUDGETS = (6, 8, 12, 16, 24, 32, 48)
+
+
+def make_dataset(model: str):
+    return generate_dataset(
+        SyntheticConfig(
+            n_snps=48,
+            n_samples=2048,
+            interaction=PlantedInteraction(
+                snps=PLANTED, model=model, baseline=0.05, effect=0.9
+            ),
+            seed=9,
+        )
+    )
+
+
+def study(model: str) -> None:
+    dataset = make_dataset(model)
+    detector = EpistasisDetector(approach="cpu-v4", order=3, n_workers=2, top_k=5)
+
+    started = time.perf_counter()
+    exhaustive = detector.detect(dataset)
+    exhaustive_seconds = time.perf_counter() - started
+    total_tables = exhaustive.stats.n_combinations
+    print(f"\n=== penetrance model: {model} ===")
+    print(
+        f"exhaustive: best {exhaustive.best_snps} "
+        f"({total_tables} tables, {exhaustive_seconds:.3f} s)"
+    )
+
+    print(f"{'keep':>5s} {'tables':>7s} {'frac':>6s} {'recall':>6s} "
+          f"{'speedup':>8s} {'modelled':>9s}")
+    for keep in BUDGETS:
+        started = time.perf_counter()
+        staged = detector.detect_staged(dataset, screen_order=2, keep_snps=keep)
+        staged_seconds = time.perf_counter() - started
+        modelled = estimate_staged_search(
+            dataset.n_snps, dataset.n_samples, keep_snps=keep
+        )["modelled_speedup"]
+        recall = tuple(sorted(staged.best_snps)) == PLANTED
+        print(
+            f"{keep:>5d} {staged.final_order_evaluated:>7d} "
+            f"{staged.evaluated_fraction:>6.1%} {str(recall):>6s} "
+            f"{exhaustive_seconds / staged_seconds:>7.1f}x {modelled:>8.1f}x"
+        )
+
+
+def main() -> None:
+    for model in ("threshold", "xor"):
+        study(model)
+    print(
+        "\nThe threshold interaction survives aggressive pruning (its SNPs"
+        "\ncarry pairwise signal); the XOR interaction needs a generous"
+        "\nbudget — the classic screening trade-off the pipeline exposes as"
+        "\na single knob."
+    )
+
+
+if __name__ == "__main__":
+    main()

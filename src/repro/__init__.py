@@ -17,8 +17,13 @@ The package is organised as:
   order-generic) and the :class:`~repro.core.detector.EpistasisDetector`
   public API (``order=2`` runs the pairwise screen on the same stack).
 * :mod:`repro.engine` — the unified heterogeneous execution engine: device
-  lanes, scheduling policies (dynamic/static/guided/CARM-ratio) and the
-  streaming top-k executor behind every search path.
+  lanes, candidate sources (dense/explicit/subset work models), scheduling
+  policies (dynamic/static/guided/CARM-ratio) and the streaming top-k
+  executor behind every search path.
+* :mod:`repro.pipeline` — staged search pipelines (screen → expand →
+  refine → permutation): every stage is an engine run with per-stage
+  configuration, turning the ``nCr(M, k)`` wall into a retention-budget
+  knob.
 * :mod:`repro.parallel` — legacy façade over the engine plus the simulated
   cluster for the MPI3SNP baseline.
 * :mod:`repro.gpusim` — a functional GPU execution simulator with coalescing
@@ -60,8 +65,17 @@ from repro.engine import (
     get_policy,
     list_policies,
 )
+from repro.pipeline import (
+    ExpandStage,
+    PermutationStage,
+    PipelineResult,
+    RefineStage,
+    ScreenStage,
+    SearchPipeline,
+    StageReport,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -90,4 +104,11 @@ __all__ = [
     "HeterogeneousExecutor",
     "get_policy",
     "list_policies",
+    "SearchPipeline",
+    "PipelineResult",
+    "StageReport",
+    "ScreenStage",
+    "ExpandStage",
+    "RefineStage",
+    "PermutationStage",
 ]

@@ -8,6 +8,8 @@ points without writing any Python:
 * ``detect`` — run the exhaustive k-way search (``--order``, default 3) on a
   dataset file with a chosen approach/objective and print the best
   interactions;
+* ``pipeline`` — run the staged search (screen → expand, optional refine
+  and permutation stages) with a retention budget (``--retain``);
 * ``devices`` — print Tables I and II (the device catalog);
 * ``figures`` — regenerate the paper's figures/tables from the analytical
   models (Figure 2, Figure 3, Figure 4, Table III, §V-D comparison,
@@ -32,6 +34,72 @@ def _devices_expression(value: str) -> str:
     except ValueError as exc:
         raise argparse.ArgumentTypeError(str(exc)) from exc
     return value
+
+
+def _output_path(value: str) -> str:
+    """argparse type for ``--output``: only .json / .csv exports exist."""
+    if not value.endswith((".json", ".csv")):
+        raise argparse.ArgumentTypeError(
+            f"unsupported output format {value!r}: use a .json or .csv path"
+        )
+    return value
+
+
+def _add_search_options(parser: argparse.ArgumentParser) -> None:
+    """Execution options shared by the ``detect`` and ``pipeline`` commands.
+
+    ``--approach``, ``--objective`` and ``--schedule`` validate against the
+    registries (names plus accepted aliases), so a typo fails at parse time
+    with the list of valid names instead of surfacing as a deep ``KeyError``.
+    """
+    from repro.core.approaches import list_approaches
+    from repro.core.scoring import OBJECTIVES
+    from repro.engine import list_policies
+
+    parser.add_argument(
+        "--approach",
+        default="cpu-v4",
+        choices=list_approaches(include_aliases=True),
+        help="table-construction approach (aliases like 'cpu' resolve to "
+        "the best variant of the device kind)",
+    )
+    parser.add_argument(
+        "--objective",
+        default="k2",
+        choices=sorted(OBJECTIVES),
+        help="objective function scored over the frequency tables",
+    )
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--chunk-size", type=int, default=2048)
+    parser.add_argument("--top-k", type=int, default=5)
+    parser.add_argument(
+        "--devices",
+        default=None,
+        type=_devices_expression,
+        metavar="EXPR",
+        help="execution-engine device lanes: 'cpu', 'gpu' or 'cpu+gpu' "
+        "(default: the approach's own device kind)",
+    )
+    parser.add_argument(
+        "--schedule",
+        default="dynamic",
+        choices=list_policies(include_aliases=True),
+        help="engine scheduling policy; 'carm' splits work across device "
+        "lanes proportionally to their modelled throughput",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print chunk-level progress to stderr",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        type=_output_path,
+        metavar="PATH",
+        help="export the result (top-k table, scores, ranks, per-device "
+        "stats) to a .json or .csv file",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -68,8 +136,6 @@ def build_parser() -> argparse.ArgumentParser:
 
     det = sub.add_parser("detect", help="run the exhaustive k-way search")
     det.add_argument("dataset", help="dataset path (.npz or text)")
-    det.add_argument("--approach", default="cpu-v4")
-    det.add_argument("--objective", default="k2")
     det.add_argument(
         "--order",
         type=int,
@@ -79,29 +145,61 @@ def build_parser() -> argparse.ArgumentParser:
         "third-order search (default), 4/5 = higher-order searches; every "
         "approach supports every order",
     )
-    det.add_argument("--workers", type=int, default=1)
-    det.add_argument("--chunk-size", type=int, default=2048)
-    det.add_argument("--top-k", type=int, default=5)
-    det.add_argument(
-        "--devices",
+    _add_search_options(det)
+
+    pipe = sub.add_parser(
+        "pipeline",
+        help="run the staged search (screen -> expand -> refine -> permutation)",
+    )
+    pipe.add_argument("dataset", help="dataset path (.npz or text)")
+    pipe.add_argument(
+        "--order",
+        type=int,
+        default=3,
+        choices=(3, 4, 5),
+        help="interaction order k of the expand stage (the finalists); "
+        "the screen must run at a lower order, so a staged order-2 search "
+        "does not exist (use 'detect --order 2' for a dense pairwise scan)",
+    )
+    pipe.add_argument(
+        "--screen-order",
+        type=int,
+        default=2,
+        choices=(2, 3, 4),
+        help="interaction order of the cheap screening scan (must be below "
+        "--order)",
+    )
+    pipe.add_argument(
+        "--retain",
+        type=int,
         default=None,
-        type=_devices_expression,
-        metavar="EXPR",
-        help="execution-engine device lanes: 'cpu', 'gpu' or 'cpu+gpu' "
-        "(default: the approach's own device kind)",
+        metavar="M",
+        help="SNPs retained by the screen (the retention budget; default: a "
+        "quarter of the dataset's SNPs)",
     )
-    det.add_argument(
-        "--schedule",
-        default="dynamic",
-        choices=("dynamic", "static", "guided", "carm"),
-        help="engine scheduling policy; 'carm' splits work across device "
-        "lanes proportionally to their modelled throughput",
+    from repro.core.scoring import OBJECTIVES
+
+    pipe.add_argument(
+        "--refine-objective",
+        default=None,
+        choices=sorted(OBJECTIVES),
+        help="re-score the finalists under a second objective",
     )
-    det.add_argument(
-        "--progress",
-        action="store_true",
-        help="print chunk-level progress to stderr",
+    pipe.add_argument(
+        "--permutations",
+        type=int,
+        default=0,
+        metavar="P",
+        help="phenotype permutations for empirical p-values over the "
+        "finalists (0 = skip the permutation stage)",
     )
+    pipe.add_argument(
+        "--permutation-seed",
+        type=int,
+        default=0,
+        help="seed of the permutation null",
+    )
+    _add_search_options(pipe)
 
     sub.add_parser("devices", help="print the device catalog (Tables I and II)")
 
@@ -167,12 +265,50 @@ def _progress_printer():
     return progress
 
 
-def _cmd_detect(args: argparse.Namespace) -> int:
-    from repro.core import EpistasisDetector
-    from repro.datasets import load_dataset
+def _export_result(path: str, doc: dict) -> None:
+    """Write a result document to ``path`` (.json full doc, .csv top table)."""
+    if path.endswith(".json"):
+        import json
 
-    dataset = load_dataset(args.dataset)
-    detector = EpistasisDetector(
+        with open(path, "w") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+        return
+    import csv
+
+    top = doc.get("top", [])
+    has_p = any("p_value" in row for row in top)
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        header = ["rank", "snps", "snp_names", "score"]
+        if has_p:
+            header.append("p_value")
+        writer.writerow(header)
+        for row in top:
+            record = [
+                row["rank"],
+                ";".join(str(s) for s in row["snps"]),
+                ";".join(row["snp_names"]) if row.get("snp_names") else "",
+                row["score"],
+            ]
+            if has_p:
+                record.append(row.get("p_value", ""))
+            writer.writerow(record)
+
+
+def _print_device_summary(devices: dict) -> None:
+    if len(devices) > 1:
+        for label, entry in devices.items():
+            print(
+                f"device {label:<4s}: {entry['items']} combinations in "
+                f"{entry['chunks']} chunks, utilization {entry['utilization']:.0%}"
+            )
+
+
+def _build_detector(args: argparse.Namespace):
+    from repro.core import EpistasisDetector
+
+    return EpistasisDetector(
         approach=args.approach,
         objective=args.objective,
         order=args.order,
@@ -182,16 +318,65 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         devices=args.devices,
         schedule=args.schedule,
     )
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    from repro.datasets import load_dataset
+
+    dataset = load_dataset(args.dataset)
+    detector = _build_detector(args)
     progress = _progress_printer() if args.progress else None
     result = detector.detect(dataset, progress=progress)
     print(result.summary())
-    devices = result.stats.extra.get("devices", {})
-    if len(devices) > 1:
-        for label, entry in devices.items():
+    _print_device_summary(result.stats.extra.get("devices", {}))
+    if args.output:
+        _export_result(args.output, result.to_dict())
+        print(f"wrote results to {args.output}")
+    return 0
+
+
+def _stage_progress_printer():
+    """Per-stage progress callback printing a line per completed decile."""
+    deciles: dict = {}
+
+    def progress(stage: str, done: int, total: int) -> None:
+        pct = 100 if total == 0 else done * 100 // total
+        if pct // 10 > deciles.get(stage, -1):
+            deciles[stage] = pct // 10
             print(
-                f"device {label:<4s}: {entry['items']} combinations in "
-                f"{entry['chunks']} chunks, utilization {entry['utilization']:.0%}"
+                f"{stage}: {pct:3d}% ({done}/{total})",
+                file=sys.stderr,
+                flush=True,
             )
+
+    return progress
+
+
+def _cmd_pipeline(args: argparse.Namespace) -> int:
+    from repro.datasets import load_dataset
+
+    dataset = load_dataset(args.dataset)
+    detector = _build_detector(args)
+    progress = _stage_progress_printer() if args.progress else None
+    try:
+        result = detector.detect_staged(
+            dataset,
+            screen_order=args.screen_order,
+            keep_snps=args.retain,
+            refine_objective=args.refine_objective,
+            n_permutations=args.permutations,
+            permutation_seed=args.permutation_seed,
+            progress=progress,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(result.summary())
+    for stage in result.stages:
+        _print_device_summary(stage.device_stats)
+    if args.output:
+        _export_result(args.output, result.to_dict())
+        print(f"wrote results to {args.output}")
     return 0
 
 
@@ -235,6 +420,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     handlers = {
         "generate": _cmd_generate,
         "detect": _cmd_detect,
+        "pipeline": _cmd_pipeline,
         "devices": _cmd_devices,
         "figures": _cmd_figures,
     }

@@ -92,9 +92,22 @@ def get_approach(name: str, **kwargs) -> Approach:
     return APPROACHES[key](**kwargs)
 
 
-def list_approaches(device: str | None = None) -> List[str]:
-    """List registered approach names, optionally filtered by device kind."""
+def list_approaches(
+    device: str | None = None, include_aliases: bool = False
+) -> List[str]:
+    """List registered approach names, optionally filtered by device kind.
+
+    ``include_aliases`` appends the accepted alias names (``"cpu"``,
+    ``"gpu-best"``, ...) — the full vocabulary of :func:`get_approach`, used
+    by the CLI's argument validation.
+    """
     names = sorted(APPROACHES)
-    if device is None:
-        return names
-    return [n for n in names if APPROACHES[n].device == device]
+    if device is not None:
+        names = [n for n in names if APPROACHES[n].device == device]
+    if include_aliases:
+        aliases = sorted(
+            a for a, target in _ALIASES.items()
+            if device is None or APPROACHES[target].device == device
+        )
+        names = names + aliases
+    return names

@@ -29,9 +29,11 @@ import numpy as np
 __all__ = [
     "combination_count",
     "combination_rank",
+    "combination_ranks",
     "combination_from_rank",
     "combinations_from_ranks",
     "generate_combinations",
+    "subset_combinations",
     "iter_combination_chunks",
     "iter_triangular_blocks",
     "block_combination_count",
@@ -97,6 +99,60 @@ def combination_from_rank(rank: int, n_snps: int, order: int = 3) -> tuple[int, 
         combo.append(c)
         prev = c
     return tuple(combo)
+
+
+def combination_ranks(combos: np.ndarray, n_snps: int) -> np.ndarray:
+    """Vectorised lexicographic ranking of many combinations at once.
+
+    The inverse of :func:`combinations_from_ranks`: for each strictly
+    increasing row of ``combos`` the rank is accumulated level by level from
+    the same suffix-count tables the unranking walks — the items skipped
+    before position ``t`` contribute ``C(M - prev - 1, k - t) - C(M - c_t,
+    k - t)`` (a telescoped hockey-stick sum), so the cost is ``O(k · (n +
+    M))`` NumPy work.
+
+    Parameters
+    ----------
+    combos:
+        ``(n, k)`` array of strictly increasing combinations.
+    n_snps:
+        Number of SNPs ``M`` the ranks are relative to.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n,)`` ``int64`` lexicographic ranks.
+    """
+    combos = np.asarray(combos)
+    if combos.ndim != 2:
+        raise ValueError(f"combos must be 2-D (n, k); got shape {combos.shape}")
+    n, order = combos.shape
+    if order < 1:
+        raise ValueError("combinations must have at least one element")
+    if combination_count(n_snps, order) > _INT64_MAX:
+        return np.array(
+            [combination_rank(tuple(int(c) for c in row), n_snps) for row in combos],
+            dtype=object,
+        )
+    combos = combos.astype(np.int64, copy=False)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    if combos.min(initial=0) < 0 or combos.max(initial=-1) >= n_snps:
+        raise ValueError(f"combination indices must lie in [0, {n_snps})")
+    if order > 1 and not (combos[:, 1:] > combos[:, :-1]).all():
+        raise ValueError("combinations must be strictly increasing along rows")
+    ranks = np.zeros(n, dtype=np.int64)
+    prev = np.full(n, -1, dtype=np.int64)
+    for t in range(order):
+        slots = order - t
+        suffix = np.array(
+            [comb(max(n_snps - c, 0), slots) for c in range(n_snps + 2)],
+            dtype=np.int64,
+        )
+        c = combos[:, t]
+        ranks += suffix[prev + 1] - suffix[c]
+        prev = c
+    return ranks
 
 
 def _pairs_from_ranks(ranks: np.ndarray, n_snps: int) -> np.ndarray:
@@ -232,6 +288,51 @@ def generate_combinations(
         for j in range(i + 1, order):
             combo[j] = combo[j - 1] + 1
     return out
+
+
+def subset_combinations(
+    subset: np.ndarray,
+    order: int = 3,
+    start_rank: int = 0,
+    count: int | None = None,
+) -> np.ndarray:
+    """Combinations over a retained SNP subset, mapped back to global indices.
+
+    The staged search evaluates its expensive high-order sweep only over the
+    SNPs a cheaper screening pass retained.  This helper enumerates the
+    ``nCr(len(subset), order)`` local combinations (lexicographic, like
+    :func:`generate_combinations`) and translates every local position
+    through the sorted ``subset`` array, so the produced rows are valid
+    global k-tuples that any approach kernel (and the result reporting) can
+    consume unchanged.
+
+    Parameters
+    ----------
+    subset:
+        1-D array of retained *global* SNP indices, strictly increasing (a
+        sorted subset keeps the global rows strictly increasing too).
+    order:
+        Interaction order ``k``.
+    start_rank / count:
+        Range of local lexicographic ranks to produce; the whole local
+        space by default.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(count, order)`` ``int64`` global SNP combinations.
+    """
+    subset = np.asarray(subset, dtype=np.int64)
+    if subset.ndim != 1:
+        raise ValueError(f"subset must be 1-D; got shape {subset.shape}")
+    if subset.size and subset[0] < 0:
+        raise ValueError("subset indices must be non-negative")
+    if subset.size > 1 and not (subset[1:] > subset[:-1]).all():
+        raise ValueError("subset must be strictly increasing (sorted, no duplicates)")
+    local = generate_combinations(
+        int(subset.size), order, start_rank=start_rank, count=count
+    )
+    return subset[local]
 
 
 def iter_combination_chunks(

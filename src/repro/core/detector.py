@@ -14,8 +14,14 @@ A detector combines
 into a single ``detect(dataset)`` call that exhaustively evaluates every SNP
 combination of the requested order and returns the best-scoring interaction
 together with execution statistics (including per-device chunk counts and
-utilization in ``stats.extra["devices"]``).  Smaller entry points
-(:meth:`EpistasisDetector.score_combinations`,
+utilization in ``stats.extra["devices"]``).
+
+Beyond the dense sweep, :meth:`EpistasisDetector.detect_candidates` runs the
+same engine over any :class:`~repro.engine.CandidateSource` (explicit ranks,
+pre-materialised tuples, subset-restricted enumeration), and
+:meth:`EpistasisDetector.detect_staged` composes those into the staged
+screen→expand(→refine→permutation) pipeline of :mod:`repro.pipeline`.
+Smaller entry points (:meth:`EpistasisDetector.score_combinations`,
 :meth:`EpistasisDetector.build_tables`) expose the intermediate results for
 testing, ablation studies and the benchmark harness.
 
@@ -48,13 +54,14 @@ import numpy as np
 
 from repro.core.approaches import APPROACHES, Approach, get_approach
 from repro.core.approaches._kernels import check_order
-from repro.core.combinations import combination_count, generate_combinations
 from repro.core.contingency import validate_tables
 from repro.core.result import ApproachStats, DetectionResult
 from repro.core.scoring import ObjectiveFunction, get_objective
 from repro.datasets.dataset import GenotypeDataset
 from repro.engine import (
     CancellationToken,
+    CandidateSource,
+    DenseRangeSource,
     DeviceWorker,
     EngineDevice,
     ExecutionPlan,
@@ -242,7 +249,12 @@ class EpistasisDetector:
         return self.objective.score(tables)
 
     # -- execution-plan assembly ---------------------------------------------------
-    def _engine_devices(self) -> List[EngineDevice]:
+    def engine_devices(self) -> List[EngineDevice]:
+        """The resolved engine device lanes this detector's plans run on.
+
+        Public so orchestration layers (the staged pipeline's per-stage cost
+        reports) can price work against the same lanes the executor uses.
+        """
         cfg = self.config
         if cfg.devices is None:
             return [
@@ -256,12 +268,12 @@ class EpistasisDetector:
             cfg.devices, n_workers=cfg.n_workers, chunk_size=cfg.chunk_size
         )
 
-    def _build_policy(self, dataset: GenotypeDataset) -> SchedulingPolicy:
+    def _build_policy(
+        self, dataset: GenotypeDataset, source: CandidateSource
+    ) -> SchedulingPolicy:
         policy = get_policy(self.config.schedule)
-        policy.configure(
-            n_snps=dataset.n_snps,
-            n_samples=dataset.n_samples,
-            order=self.config.order,
+        policy.configure_source(
+            source, n_samples=dataset.n_samples, default_snps=dataset.n_snps
         )
         return policy
 
@@ -300,11 +312,60 @@ class EpistasisDetector:
             raise ValueError(
                 f"dataset has {n_snps} SNPs; at least {cfg.order} are required"
             )
-        total = combination_count(n_snps, cfg.order)
-        devices = self._engine_devices()
-        policy = self._build_policy(dataset)
+        return self.detect_candidates(
+            dataset,
+            DenseRangeSource(n_snps, cfg.order),
+            cancel=cancel,
+            progress=progress,
+        )
+
+    def detect_candidates(
+        self,
+        dataset: GenotypeDataset,
+        source: CandidateSource,
+        *,
+        cancel: CancellationToken | None = None,
+        progress: Callable[[int, int], None] | None = None,
+        observe: Callable[[DeviceWorker, np.ndarray, np.ndarray], None] | None = None,
+    ) -> DetectionResult:
+        """Evaluate an arbitrary candidate stream on the execution engine.
+
+        This is the engine entry point of the staged search pipeline:
+        :meth:`detect` is the dense instance
+        (``source = DenseRangeSource(n_snps, order)``), a screen-then-expand
+        stage passes a :class:`~repro.engine.SubsetSource` over its retained
+        SNPs, and finalist re-scoring passes an
+        :class:`~repro.engine.ExplicitCombinationSource`.  The interaction
+        order is taken from the source (not from the detector config), so
+        one configured detector can serve every stage of a pipeline.
+
+        Parameters
+        ----------
+        dataset:
+            The case/control dataset to score against.
+        source:
+            Candidate k-tuples to evaluate
+            (:class:`~repro.engine.CandidateSource`).
+        cancel / progress:
+            As in :meth:`detect`.
+        observe:
+            Optional per-chunk tap ``observe(worker, combos, scores)``
+            invoked after scoring, before the top-k fold.  Used by the
+            screening stage to aggregate per-SNP statistics without keeping
+            the full score stream; called concurrently from worker threads.
+
+        Returns
+        -------
+        DetectionResult
+            Best interaction, top-k ranking and execution statistics;
+            ``stats.extra["candidates"]`` describes the evaluated source.
+        """
+        cfg = self.config
+        total = source.total
+        devices = self.engine_devices()
+        policy = self._build_policy(dataset, source)
         plan = ExecutionPlan(
-            total=total, devices=devices, policy=policy, top_k=cfg.top_k
+            source=source, devices=devices, policy=policy, top_k=cfg.top_k
         )
 
         # Encode the dataset once per device lane (CPU and GPU approaches
@@ -329,19 +390,19 @@ class EpistasisDetector:
         snp_names = list(dataset.snp_names)
         n_cases, n_controls = dataset.n_cases, dataset.n_controls
 
-        def evaluate(worker: DeviceWorker, start: int, stop: int):
+        def scorer(worker: DeviceWorker, combos: np.ndarray) -> np.ndarray:
             state: _WorkerState = worker.state
-            combos = generate_combinations(
-                n_snps, cfg.order, start_rank=start, count=stop - start
-            )
             tables = state.approach.build_tables(state.encoded, combos)
             if cfg.validate:
                 validate_tables(tables, n_controls, n_cases)
-            return combos, self.objective.score(tables)
+            scores = self.objective.score(tables)
+            if observe is not None:
+                observe(worker, combos, scores)
+            return scores
 
         executor = HeterogeneousExecutor(plan, cancel=cancel)
         run = executor.run(
-            worker_factory, evaluate, snp_names=snp_names, progress=progress
+            worker_factory, scorer=scorer, snp_names=snp_names, progress=progress
         )
         if run.cancelled:
             raise RuntimeError(
@@ -350,10 +411,127 @@ class EpistasisDetector:
         if not run.top:
             raise RuntimeError("exhaustive search produced no interactions")
 
-        stats = self._build_stats(run, plan, total, dataset, policy)
+        stats = self._build_stats(run, plan, total, dataset, policy, source)
         return DetectionResult(best=run.top[0], top=list(run.top), stats=stats)
 
-    def _build_stats(self, run, plan, total, dataset, policy) -> ApproachStats:
+    # -- staged search --------------------------------------------------------------
+    def detect_staged(
+        self,
+        dataset: GenotypeDataset,
+        *,
+        screen_order: int = 2,
+        keep_snps: int | None = None,
+        refine_objective: str | ObjectiveFunction | None = None,
+        n_permutations: int = 0,
+        permutation_seed: int = 0,
+        stages: List | None = None,
+        cancel: CancellationToken | None = None,
+        progress: Callable[[str, int, int], None] | None = None,
+    ):
+        """Run a staged screen-then-expand search instead of the dense sweep.
+
+        A cheap order-``screen_order`` scan first retains the ``keep_snps``
+        SNPs with the best participating score; the expensive
+        order-``config.order`` sweep then evaluates only ``nCr(keep_snps,
+        order)`` combinations instead of ``nCr(n_snps, order)`` — the
+        retention budget is the knob trading recall for cost.  Optional
+        refine (second objective) and permutation (empirical p-values)
+        stages harden the finalists.  Every stage runs on the execution
+        engine with this detector's approach/devices/schedule configuration.
+
+        Parameters
+        ----------
+        dataset:
+            The case/control dataset to search.
+        screen_order:
+            Interaction order of the screening scan (must be below the
+            configured detection order).
+        keep_snps:
+            Retention budget of the screen; defaults to a quarter of the
+            SNP universe (at least the detection order).  ``keep_snps =
+            n_snps`` (full retention) makes the staged run bit-identical to
+            :meth:`detect`.
+        refine_objective:
+            Optional second objective re-scoring the finalists.
+        n_permutations:
+            When positive, append a phenotype-permutation stage computing
+            empirical p-values over the finalists.
+        permutation_seed:
+            Seed of the permutation null.
+        stages:
+            Explicit stage list overriding the standard construction (the
+            other staging arguments are then ignored).
+        cancel / progress:
+            Cooperative cancellation token and per-stage progress callback
+            ``progress(stage_name, done, total)``.
+
+        Returns
+        -------
+        repro.pipeline.PipelineResult
+            Finalists, per-stage reports and the evaluated fraction.
+
+        Example
+        -------
+        >>> from repro.datasets import SyntheticConfig, PlantedInteraction, generate_dataset
+        >>> from repro.core import EpistasisDetector
+        >>> cfg = SyntheticConfig(n_snps=32, n_samples=2048,
+        ...                       interaction=PlantedInteraction(snps=(3, 11, 17), effect=0.9),
+        ...                       seed=7)
+        >>> detector = EpistasisDetector(approach="cpu-v4", order=3)
+        >>> staged = detector.detect_staged(generate_dataset(cfg),
+        ...                                 screen_order=2, keep_snps=12)
+        >>> staged.best_snps
+        (3, 11, 17)
+        >>> staged.evaluated_fraction < 0.2
+        True
+        """
+        from repro.pipeline import (
+            ExpandStage,
+            PermutationStage,
+            RefineStage,
+            ScreenStage,
+            SearchPipeline,
+        )
+
+        cfg = self.config
+        if stages is None:
+            if keep_snps is None:
+                keep_snps = max(cfg.order, dataset.n_snps // 4)
+            if screen_order >= cfg.order:
+                raise ValueError(
+                    f"screen_order={screen_order} must be below the detection "
+                    f"order {cfg.order}"
+                )
+            stages = [
+                ScreenStage(order=screen_order, keep=keep_snps),
+                ExpandStage(order=cfg.order),
+            ]
+            if refine_objective is not None:
+                stages.append(RefineStage(objective=refine_objective))
+            if n_permutations > 0:
+                # The null must test the statistic the finalists are ranked
+                # (and displayed) under — the refine objective when present.
+                stages.append(
+                    PermutationStage(
+                        n_permutations=n_permutations,
+                        seed=permutation_seed,
+                        objective=refine_objective,
+                    )
+                )
+        pipeline = SearchPipeline(
+            stages,
+            approach=cfg.approach,
+            objective=cfg.objective,
+            devices=cfg.devices,
+            schedule=cfg.schedule,
+            n_workers=cfg.n_workers,
+            chunk_size=cfg.chunk_size,
+            top_k=cfg.top_k,
+            validate=cfg.validate,
+        )
+        return pipeline.run(dataset, cancel=cancel, progress=progress)
+
+    def _build_stats(self, run, plan, total, dataset, policy, source) -> ApproachStats:
         """Merge worker counters and engine bookkeeping into run statistics."""
         # Snapshot every distinct approach counter before mutating anything:
         # the prototype is itself a worker, so merging into its counter
@@ -393,8 +571,9 @@ class EpistasisDetector:
                 merged_counter.merge(approach.counter)
 
         extra: Dict[str, object] = dict(self._prototype.extra_stats())
-        extra["order"] = self.config.order
+        extra["order"] = source.order
         extra["schedule"] = policy.name
+        extra["candidates"] = source.describe()
         extra["devices"] = device_stats
 
         # Single-lane plans report the approach that actually ran (a

@@ -7,7 +7,7 @@ from typing import List, Mapping, Sequence
 
 import numpy as np
 
-__all__ = ["Interaction", "ApproachStats", "DetectionResult"]
+__all__ = ["Interaction", "ApproachStats", "DetectionResult", "interaction_row"]
 
 
 @dataclass(frozen=True)
@@ -40,6 +40,23 @@ class Interaction:
             else str(tuple(self.snps))
         )
         return f"{names}: score={self.score:.6f}"
+
+
+def interaction_row(interaction: "Interaction", rank: int) -> dict:
+    """JSON-ready record of one ranked interaction.
+
+    The shared export shape of ``DetectionResult.to_dict`` and the staged
+    pipeline's ``PipelineResult.to_dict`` — keep both CLI ``--output``
+    formats in lockstep.
+    """
+    return {
+        "rank": rank,
+        "snps": [int(s) for s in interaction.snps],
+        "snp_names": (
+            list(interaction.snp_names) if interaction.snp_names else None
+        ),
+        "score": float(interaction.score),
+    }
 
 
 @dataclass
@@ -151,6 +168,34 @@ class DetectionResult:
             lines.append("top interactions  :")
             lines.extend(f"  {i + 1}. {inter}" for i, inter in enumerate(self.top))
         return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (CLI ``--output`` export).
+
+        Contains the run configuration, the top-k table (rank, SNP indices
+        and names, score) and the per-device engine statistics, so detect
+        runs compose with downstream tooling without scraping the text
+        summary.
+        """
+        devices = self.stats.extra.get("devices", {})
+        return {
+            "approach": self.stats.approach,
+            "order": self.stats.extra.get("order"),
+            "schedule": self.stats.extra.get("schedule"),
+            "candidates": self.stats.extra.get("candidates"),
+            "n_combinations": int(self.stats.n_combinations),
+            "n_samples": int(self.stats.n_samples),
+            "n_workers": int(self.stats.n_workers),
+            "elapsed_seconds": float(self.stats.elapsed_seconds),
+            "elements_per_second": float(self.stats.elements_per_second),
+            "devices": {
+                label: {k: v for k, v in entry.items()}
+                for label, entry in devices.items()
+            },
+            "top": [
+                interaction_row(inter, i + 1) for i, inter in enumerate(self.top)
+            ],
+        }
 
     @staticmethod
     def from_scores(

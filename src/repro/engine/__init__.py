@@ -5,6 +5,9 @@ Every exhaustive search entry point of the library — the three-way
 MPI3SNP-style baseline and the CLI — executes through this package instead
 of rolling its own loop:
 
+* :mod:`repro.engine.candidates` — the :class:`CandidateSource` work model:
+  dense rank ranges, explicit rank/combination arrays and subset-restricted
+  enumeration (the geometries of the staged search pipeline);
 * :mod:`repro.engine.plan` — :class:`EngineDevice` lanes and the
   declarative :class:`ExecutionPlan`;
 * :mod:`repro.engine.policies` — the pluggable :class:`SchedulingPolicy`
@@ -45,7 +48,14 @@ from repro.engine.policies import (
     get_policy,
     list_policies,
 )
-from repro.engine.worker import DeviceWorker, TopKHeap
+from repro.engine.candidates import (
+    CandidateSource,
+    DenseRangeSource,
+    ExplicitCombinationSource,
+    ExplicitRankSource,
+    SubsetSource,
+)
+from repro.engine.worker import DeviceWorker, TopKHeap, source_evaluator
 from repro.engine.executor import (
     CancellationToken,
     EngineResult,
@@ -73,8 +83,14 @@ __all__ = [
     "POLICIES",
     "get_policy",
     "list_policies",
+    "CandidateSource",
+    "DenseRangeSource",
+    "ExplicitRankSource",
+    "ExplicitCombinationSource",
+    "SubsetSource",
     "TopKHeap",
     "DeviceWorker",
+    "source_evaluator",
     "CancellationToken",
     "EngineResult",
     "HeterogeneousExecutor",

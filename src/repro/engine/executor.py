@@ -23,7 +23,13 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Sequence
 
 from repro.engine.plan import EngineDevice, ExecutionPlan
-from repro.engine.worker import ChunkEvaluator, DeviceWorker, TopKHeap
+from repro.engine.worker import (
+    ChunkEvaluator,
+    ChunkScorer,
+    DeviceWorker,
+    TopKHeap,
+    source_evaluator,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.result import Interaction
@@ -115,9 +121,11 @@ class HeterogeneousExecutor:
     def run(
         self,
         worker_factory: WorkerFactory,
-        evaluate: ChunkEvaluator,
+        evaluate: ChunkEvaluator | None = None,
         snp_names: Sequence[str] | None = None,
         progress: ProgressCallback | None = None,
+        *,
+        scorer: ChunkScorer | None = None,
     ) -> EngineResult:
         """Execute the plan and return the merged result.
 
@@ -130,14 +138,29 @@ class HeterogeneousExecutor:
         evaluate:
             ``evaluate(worker, start, stop) -> (combos, scores)`` chunk
             kernel; must be thread-safe with respect to shared read-only
-            data.
+            data.  Plans without a candidate source interpret the items as
+            dense combination ranks.
         snp_names:
             Optional SNP names resolved into the produced interactions.
         progress:
             Optional callback invoked after every chunk with
             ``(items_done, items_total)``; calls are serialised.
+        scorer:
+            ``scorer(worker, combos) -> scores`` alternative kernel for
+            plans carrying a :class:`~repro.engine.candidates.CandidateSource`:
+            the executor materialises each claimed chunk through the plan's
+            source and the scorer only evaluates the combinations.  Exactly
+            one of ``evaluate`` and ``scorer`` must be given.
         """
         plan = self.plan
+        if (evaluate is None) == (scorer is None):
+            raise ValueError("exactly one of evaluate= and scorer= must be given")
+        if scorer is not None:
+            if plan.source is None:
+                raise ValueError(
+                    "a scorer kernel requires the plan to carry a candidate source"
+                )
+            evaluate = source_evaluator(plan.source, scorer)
         assignments = plan.policy.assign(plan.total, plan.devices)
         labels = plan.device_labels()
 

@@ -1,11 +1,13 @@
 """Execution plans: which devices run a search, and how.
 
 An :class:`ExecutionPlan` is the declarative input of the
-:class:`~repro.engine.executor.HeterogeneousExecutor`: the size of the
-combination-rank space, the participating :class:`EngineDevice` lanes and
-the :class:`~repro.engine.policies.SchedulingPolicy` that carves the space
-across them.  Every search entry point (three-way detector, pairwise
-screen, MPI3SNP-style baseline, CLI) builds one of these instead of rolling
+:class:`~repro.engine.executor.HeterogeneousExecutor`: the work-item space
+(a dense combination-rank range, or any
+:class:`~repro.engine.candidates.CandidateSource`), the participating
+:class:`EngineDevice` lanes and the
+:class:`~repro.engine.policies.SchedulingPolicy` that carves the space
+across them.  Every search entry point (k-way detector, staged pipeline
+stages, MPI3SNP-style baseline, CLI) builds one of these instead of rolling
 its own execution loop.
 """
 
@@ -15,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, List
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.engine.candidates import CandidateSource
     from repro.engine.policies import SchedulingPolicy
 
 __all__ = ["DEVICE_KINDS", "DEFAULT_CATALOG_KEYS", "EngineDevice", "parse_devices", "ExecutionPlan"]
@@ -110,7 +113,9 @@ class ExecutionPlan:
     Attributes
     ----------
     total:
-        Number of work items (combination ranks) to cover.
+        Number of work items to cover.  May be omitted when ``source`` is
+        given (it is derived from the source); when both are given they
+        must agree.
     devices:
         Participating device lanes.
     policy:
@@ -118,14 +123,32 @@ class ExecutionPlan:
     top_k:
         Number of best-scoring interactions retained by the streaming
         reduction.
+    source:
+        Optional :class:`~repro.engine.candidates.CandidateSource` mapping
+        work items to SNP k-tuples.  A plan without a source keeps the
+        legacy dense work model, where the chunk kernel interprets the
+        claimed ranks itself; a plan with a source lets the executor
+        materialise candidates on the workers' behalf
+        (:meth:`~repro.engine.executor.HeterogeneousExecutor.run` with a
+        ``scorer``).
     """
 
-    total: int
+    total: int | None = None
     devices: List[EngineDevice] = field(default_factory=lambda: [EngineDevice()])
     policy: "SchedulingPolicy | None" = None
     top_k: int = 10
+    source: "CandidateSource | None" = None
 
     def __post_init__(self) -> None:
+        if self.total is None:
+            if self.source is None:
+                raise ValueError("an execution plan needs a total or a candidate source")
+            self.total = self.source.total
+        elif self.source is not None and self.total != self.source.total:
+            raise ValueError(
+                f"plan total {self.total} disagrees with candidate source "
+                f"total {self.source.total}"
+            )
         if self.total < 0:
             raise ValueError("total must be non-negative")
         if not self.devices:

@@ -24,9 +24,12 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import ClassVar, Dict, List, Sequence, Type
+from typing import TYPE_CHECKING, ClassVar, Dict, List, Sequence, Type
 
 from repro.engine.plan import EngineDevice
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.candidates import CandidateSource
 from repro.engine.scheduling import (
     ChunkedRange,
     DynamicScheduler,
@@ -89,6 +92,32 @@ class SchedulingPolicy(ABC):
         policies feed it to the analytic throughput estimates so the
         CPU/GPU split stays honest away from the paper's ``k = 3``.
         """
+
+    def configure_source(
+        self,
+        source: "CandidateSource",
+        n_samples: int,
+        default_snps: int | None = None,
+    ) -> None:
+        """Late-bind the problem shape from a candidate source.
+
+        Staged searches run one engine pass per pipeline stage, each over a
+        different candidate geometry; the stage's *effective* SNP universe
+        (the retained subset for an expand stage, the full dataset for a
+        dense screen) and interaction order are what the analytic
+        throughput models must see, otherwise the CARM-ratio split would be
+        sized for the wrong stage shape.  ``default_snps`` is the fallback
+        universe (typically the dataset's SNP count) for sources that
+        cannot report one.
+        """
+        n_snps = source.effective_snps
+        if n_snps is None:
+            n_snps = default_snps
+        if n_snps is None:
+            raise ValueError(
+                f"{source!r} has no effective SNP universe and no default was given"
+            )
+        self.configure(n_snps=n_snps, n_samples=n_samples, order=source.order)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"
@@ -293,6 +322,9 @@ def get_policy(name: "str | SchedulingPolicy", **kwargs) -> SchedulingPolicy:
     return POLICIES[key](**kwargs)
 
 
-def list_policies() -> List[str]:
-    """Registered policy names."""
-    return sorted(POLICIES)
+def list_policies(include_aliases: bool = False) -> List[str]:
+    """Registered policy names (optionally with the accepted aliases)."""
+    names = sorted(POLICIES)
+    if include_aliases:
+        names = names + sorted(_ALIASES)
+    return names

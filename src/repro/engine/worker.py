@@ -21,13 +21,38 @@ from repro.engine.scheduling import WorkSource
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.result import Interaction
+    from repro.engine.candidates import CandidateSource
     from repro.engine.executor import CancellationToken
 
-__all__ = ["TopKHeap", "DeviceWorker", "ChunkEvaluator"]
+__all__ = ["TopKHeap", "DeviceWorker", "ChunkEvaluator", "ChunkScorer", "source_evaluator"]
 
-#: Kernel signature: evaluate ranks ``[start, stop)`` and return the
-#: materialised combinations plus their objective scores.
+#: Kernel signature: evaluate work items ``[start, stop)`` and return the
+#: materialised combinations plus their objective scores.  Plans without a
+#: candidate source interpret the items as dense combination ranks.
 ChunkEvaluator = Callable[["DeviceWorker", int, int], Tuple[np.ndarray, np.ndarray]]
+
+#: Scorer signature for source-backed plans: score already-materialised
+#: combinations (the engine resolves work items through the plan's
+#: :class:`~repro.engine.candidates.CandidateSource` first).
+ChunkScorer = Callable[["DeviceWorker", np.ndarray], np.ndarray]
+
+
+def source_evaluator(source: "CandidateSource", scorer: ChunkScorer) -> ChunkEvaluator:
+    """Adapt a candidate source plus a combination scorer into a chunk kernel.
+
+    This is the bridge between the engine's two work models: workers keep
+    claiming opaque item ranges ``[start, stop)`` from their scheduling
+    sources, and the returned kernel materialises the corresponding
+    k-tuples through ``source`` before handing them to ``scorer`` — so the
+    same scheduling policies, heaps and statistics drive dense, explicit
+    and subset-restricted searches.
+    """
+
+    def evaluate(worker: "DeviceWorker", start: int, stop: int):
+        combos = source.materialize(start, stop)
+        return combos, scorer(worker, combos)
+
+    return evaluate
 
 
 class TopKHeap:

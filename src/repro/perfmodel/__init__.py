@@ -30,6 +30,7 @@ from repro.perfmodel.counters import ApproachCounts, approach_counts
 from repro.perfmodel.cpu_model import CpuPerformanceEstimate, estimate_cpu
 from repro.perfmodel.gpu_model import GpuPerformanceEstimate, estimate_gpu
 from repro.perfmodel.efficiency import energy_efficiency, heterogeneous_throughput
+from repro.perfmodel.staged import estimate_stage_seconds, estimate_staged_search
 
 __all__ = [
     "ApproachCounts",
@@ -40,4 +41,6 @@ __all__ = [
     "estimate_gpu",
     "energy_efficiency",
     "heterogeneous_throughput",
+    "estimate_stage_seconds",
+    "estimate_staged_search",
 ]

@@ -1,0 +1,148 @@
+"""Analytical cost estimates for staged search plans.
+
+A staged search replaces one dense ``nCr(M, k)`` sweep with a sequence of
+engine runs over different candidate geometries (screen → expand → refine →
+permutation).  Each stage has its own interaction order, candidate count and
+effective SNP universe, so the per-stage cost must be estimated from the
+stage's *own* shape — reusing the whole-dataset shape would misprice a
+subset-restricted expand stage by orders of magnitude and skew the
+CARM-ratio CPU/GPU split.
+
+Two entry points:
+
+* :func:`estimate_stage_seconds` — modelled wall-clock of one stage on a
+  set of engine device lanes (the same catalogued throughput estimates the
+  CARM-ratio policy splits by);
+* :func:`estimate_staged_search` — end-to-end screen+expand projection
+  against the exhaustive baseline, returning the modelled table counts and
+  speedup for a retention budget (the screen-budget knob the pipeline
+  exposes).
+"""
+
+from __future__ import annotations
+
+from math import comb
+from typing import Dict, List, Sequence
+
+from repro.engine.plan import EngineDevice
+from repro.perfmodel.efficiency import (
+    HETEROGENEOUS_EFFICIENCY,
+    device_throughput,
+)
+
+__all__ = ["estimate_stage_seconds", "estimate_staged_search"]
+
+
+def estimate_stage_seconds(
+    devices: Sequence[EngineDevice],
+    n_candidates: int,
+    n_samples: int,
+    order: int,
+    effective_snps: int,
+    approach_version: int = 4,
+) -> float:
+    """Modelled wall-clock seconds of one pipeline stage.
+
+    Parameters
+    ----------
+    devices:
+        Engine device lanes of the stage's execution plan; each lane's
+        catalogued hardware contributes its analytical throughput.
+    n_candidates:
+        Candidate combinations the stage evaluates.
+    n_samples:
+        Samples per combination.
+    order:
+        Interaction order of the stage's candidates.
+    effective_snps:
+        The stage's SNP-universe size (the retained subset for an expand
+        stage) — the ``n_snps`` the analytic models see.
+    approach_version:
+        Optimisation level of the approaches driving the lanes (1–4).
+    """
+    if n_candidates < 0:
+        raise ValueError("n_candidates must be non-negative")
+    if not devices:
+        raise ValueError("estimate_stage_seconds needs at least one device lane")
+    throughputs = [
+        device_throughput(
+            lane.spec(),
+            n_snps=max(effective_snps, order),
+            n_samples=n_samples,
+            approach_version=approach_version,
+            order=order,
+        )
+        for lane in devices
+    ]
+    aggregate = sum(throughputs)
+    if len(throughputs) > 1:
+        aggregate = max(aggregate * HETEROGENEOUS_EFFICIENCY, max(throughputs))
+    return n_candidates * n_samples / aggregate
+
+
+def estimate_staged_search(
+    n_snps: int,
+    n_samples: int,
+    keep_snps: int,
+    *,
+    screen_order: int = 2,
+    expand_order: int = 3,
+    devices: Sequence[EngineDevice] | None = None,
+    approach_version: int = 4,
+) -> Dict[str, object]:
+    """Project a screen-then-expand plan against the exhaustive baseline.
+
+    Returns a JSON-ready document with per-stage table counts and modelled
+    seconds, the exhaustive ``nCr(n_snps, expand_order)`` cost, and the
+    modelled speedup — the planning view of the retention-budget knob
+    (``keep_snps``) before anything is executed.
+    """
+    if not 0 < keep_snps <= n_snps:
+        raise ValueError(f"keep_snps must lie in (0, {n_snps}]")
+    if keep_snps < expand_order:
+        raise ValueError(
+            f"keep_snps={keep_snps} cannot form order-{expand_order} combinations"
+        )
+    lanes = list(devices) if devices else [EngineDevice(kind="cpu")]
+    screen_tables = comb(n_snps, screen_order)
+    expand_tables = comb(keep_snps, expand_order)
+    exhaustive_tables = comb(n_snps, expand_order)
+    stages: List[Dict[str, object]] = [
+        {
+            "stage": "screen",
+            "order": screen_order,
+            "tables": screen_tables,
+            "effective_snps": n_snps,
+            "estimated_seconds": estimate_stage_seconds(
+                lanes, screen_tables, n_samples, screen_order, n_snps,
+                approach_version,
+            ),
+        },
+        {
+            "stage": "expand",
+            "order": expand_order,
+            "tables": expand_tables,
+            "effective_snps": keep_snps,
+            "estimated_seconds": estimate_stage_seconds(
+                lanes, expand_tables, n_samples, expand_order, keep_snps,
+                approach_version,
+            ),
+        },
+    ]
+    staged_seconds = sum(s["estimated_seconds"] for s in stages)
+    exhaustive_seconds = estimate_stage_seconds(
+        lanes, exhaustive_tables, n_samples, expand_order, n_snps, approach_version
+    )
+    return {
+        "n_snps": n_snps,
+        "n_samples": n_samples,
+        "keep_snps": keep_snps,
+        "stages": stages,
+        "staged_seconds": staged_seconds,
+        "exhaustive_tables": exhaustive_tables,
+        "exhaustive_seconds": exhaustive_seconds,
+        "expand_fraction": expand_tables / exhaustive_tables,
+        "modelled_speedup": (
+            exhaustive_seconds / staged_seconds if staged_seconds > 0 else float("inf")
+        ),
+    }

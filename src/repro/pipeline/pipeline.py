@@ -1,0 +1,142 @@
+"""The :class:`SearchPipeline` orchestrator.
+
+A pipeline is an ordered list of stages sharing one dataset and one set of
+execution defaults; running it threads a :class:`~repro.pipeline.stages.StageContext`
+through the stages and aggregates their reports into a
+:class:`~repro.pipeline.result.PipelineResult`.
+
+Example — screen at order 2, keep 16 SNPs, expand at order 3, validate the
+finalists with a permutation null::
+
+    from repro.pipeline import (
+        SearchPipeline, ScreenStage, ExpandStage, PermutationStage,
+    )
+
+    pipeline = SearchPipeline(
+        [
+            ScreenStage(order=2, keep=16),
+            ExpandStage(order=3),
+            PermutationStage(n_permutations=100, seed=7),
+        ],
+        approach="cpu-v4",
+        n_workers=2,
+    )
+    outcome = pipeline.run(dataset)
+    print(outcome.summary())
+"""
+
+from __future__ import annotations
+
+import time
+from math import comb
+from typing import List, Sequence
+
+from repro.core.scoring import ObjectiveFunction
+from repro.datasets.dataset import GenotypeDataset
+from repro.engine import CancellationToken, SchedulingPolicy
+from repro.pipeline.result import PipelineResult, StageReport
+from repro.pipeline.stages import (
+    PipelineDefaults,
+    PipelineProgress,
+    PipelineStage,
+    StageContext,
+)
+
+__all__ = ["SearchPipeline"]
+
+
+class SearchPipeline:
+    """A staged search: candidate streams from screen → expand → refine.
+
+    Parameters
+    ----------
+    stages:
+        The stages to execute, in order.  At least one stage must produce
+        finalists (an :class:`~repro.pipeline.stages.ExpandStage`) for the
+        pipeline to return a result.
+    approach / objective / devices / schedule / n_workers / chunk_size /
+    top_k / validate:
+        Execution defaults inherited by every stage that does not override
+        them (see :class:`~repro.pipeline.stages.PipelineDefaults`).
+    """
+
+    def __init__(
+        self,
+        stages: Sequence[PipelineStage],
+        *,
+        approach: str = "cpu-v4",
+        objective: str | ObjectiveFunction = "k2",
+        devices: str | None = None,
+        schedule: str | SchedulingPolicy = "dynamic",
+        n_workers: int = 1,
+        chunk_size: int = 2048,
+        top_k: int = 10,
+        validate: bool = False,
+    ) -> None:
+        stages = list(stages)
+        if not stages:
+            raise ValueError("a search pipeline needs at least one stage")
+        self.stages = stages
+        self.defaults = PipelineDefaults(
+            approach=approach,
+            objective=objective,
+            devices=devices,
+            schedule=schedule,
+            n_workers=n_workers,
+            chunk_size=chunk_size,
+            top_k=top_k,
+            validate=validate,
+        )
+
+    def run(
+        self,
+        dataset: GenotypeDataset,
+        *,
+        cancel: CancellationToken | None = None,
+        progress: PipelineProgress | None = None,
+    ) -> PipelineResult:
+        """Execute every stage and aggregate the pipeline result.
+
+        Parameters
+        ----------
+        dataset:
+            The case/control dataset to search.
+        cancel:
+            Optional cooperative cancellation token shared by every stage's
+            engine run.
+        progress:
+            Optional callback ``progress(stage_name, done, total)`` invoked
+            after every chunk of every stage.
+        """
+        ctx = StageContext(
+            dataset=dataset,
+            defaults=self.defaults,
+            cancel=cancel,
+            progress=progress,
+        )
+        reports: List[StageReport] = []
+        started = time.perf_counter()
+        for stage in self.stages:
+            reports.append(stage.run(ctx))
+        elapsed = time.perf_counter() - started
+
+        if not ctx.top:
+            raise RuntimeError(
+                "pipeline produced no finalists; include an expand stage "
+                f"(ran: {[stage.name for stage in self.stages]})"
+            )
+        final_order = len(ctx.top[0].snps)
+        return PipelineResult(
+            best=ctx.top[0],
+            top=list(ctx.top),
+            stages=reports,
+            elapsed_seconds=elapsed,
+            n_snps=dataset.n_snps,
+            n_samples=dataset.n_samples,
+            final_order=final_order,
+            exhaustive_combinations=comb(dataset.n_snps, final_order),
+            retained_snps=(
+                [int(s) for s in ctx.retained] if ctx.retained is not None else None
+            ),
+            p_values=ctx.p_values,
+        )

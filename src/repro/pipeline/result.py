@@ -1,0 +1,223 @@
+"""Result containers of staged search pipelines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.core.result import Interaction, interaction_row
+
+__all__ = ["StageReport", "PipelineResult"]
+
+
+@dataclass
+class StageReport:
+    """Execution report of one pipeline stage.
+
+    Attributes
+    ----------
+    stage:
+        Stage registry name (``"screen"``, ``"expand"``, ``"refine"``,
+        ``"permutation"``).
+    order:
+        Interaction order of the stage's candidates.
+    candidates:
+        Candidate combinations the stage planned (size of its source).
+    evaluated:
+        Frequency tables actually built (``candidates`` for a single sweep;
+        ``candidates x n_permutations`` for the permutation stage).
+    elapsed_seconds:
+        Measured wall-clock of the stage's engine run(s).
+    estimated_seconds:
+        Analytical cost estimate of the stage on its catalogued device
+        lanes (:func:`repro.perfmodel.staged.estimate_stage_seconds`), so
+        measured and modelled per-stage budgets can be compared.
+    approach / objective / schedule:
+        Resolved per-stage configuration.
+    effective_snps:
+        SNP-universe size the stage operated on.
+    retained_snps:
+        Number of SNPs surviving the stage (screening stages only).
+    device_stats:
+        Per-device-label engine statistics of the stage run.
+    sweep:
+        Whether the stage swept a combination universe (screen/expand).
+        Finalist re-scoring stages (refine, permutation) set this to
+        ``False`` so they do not count towards the pruning metric
+        (:attr:`PipelineResult.evaluated_fraction`).
+    extra:
+        Stage-specific details (retention threshold, permutation count, ...).
+    """
+
+    stage: str
+    order: int
+    candidates: int
+    evaluated: int
+    elapsed_seconds: float
+    approach: str
+    objective: str
+    schedule: str
+    effective_snps: int
+    estimated_seconds: float | None = None
+    retained_snps: int | None = None
+    device_stats: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    sweep: bool = True
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation."""
+        doc: Dict[str, object] = {
+            "stage": self.stage,
+            "order": self.order,
+            "candidates": self.candidates,
+            "evaluated": self.evaluated,
+            "elapsed_seconds": self.elapsed_seconds,
+            "estimated_seconds": self.estimated_seconds,
+            "approach": self.approach,
+            "objective": self.objective,
+            "schedule": self.schedule,
+            "effective_snps": self.effective_snps,
+            "sweep": self.sweep,
+            "device_stats": {k: dict(v) for k, v in self.device_stats.items()},
+        }
+        if self.retained_snps is not None:
+            doc["retained_snps"] = self.retained_snps
+        if self.extra:
+            doc["extra"] = dict(self.extra)
+        return doc
+
+
+@dataclass
+class PipelineResult:
+    """Outcome of a staged search.
+
+    Attributes
+    ----------
+    best:
+        The best finalist interaction.
+    top:
+        Finalists in ascending score order (scores are those of the last
+        re-scoring stage).
+    p_values:
+        Empirical permutation p-values aligned with ``top`` (present when
+        the pipeline ran a :class:`~repro.pipeline.stages.PermutationStage`).
+    stages:
+        Per-stage execution reports, in execution order.
+    retained_snps:
+        Global indices of the SNPs retained by the (last) screening stage,
+        or ``None`` for pipelines without one.
+    elapsed_seconds:
+        Wall-clock of the whole pipeline run.
+    n_snps / n_samples:
+        Shape of the searched dataset.
+    final_order:
+        Interaction order of the finalists.
+    exhaustive_combinations:
+        ``nCr(n_snps, final_order)`` — what a dense search would have
+        evaluated at the final order.
+    """
+
+    best: Interaction
+    top: List[Interaction]
+    stages: List[StageReport]
+    elapsed_seconds: float
+    n_snps: int
+    n_samples: int
+    final_order: int
+    exhaustive_combinations: int
+    retained_snps: List[int] | None = None
+    p_values: List[float] | None = None
+
+    @property
+    def best_snps(self) -> tuple[int, ...]:
+        """SNP indices of the best finalist."""
+        return self.best.snps
+
+    @property
+    def evaluated_combinations(self) -> int:
+        """Frequency tables built across all stages (all orders)."""
+        return sum(stage.evaluated for stage in self.stages)
+
+    @property
+    def final_order_evaluated(self) -> int:
+        """Tables built by final-order *sweep* stages (screen/expand).
+
+        Finalist re-scoring stages (refine, permutation) build their tables
+        over the already-selected top-k and are excluded — a long
+        permutation null must not read as sweep coverage.
+        """
+        return sum(
+            s.evaluated
+            for s in self.stages
+            if s.sweep and s.order == self.final_order
+        )
+
+    @property
+    def evaluated_fraction(self) -> float:
+        """Final-order sweep tables built relative to the exhaustive search.
+
+        This is the pipeline's headline pruning metric: a screen-then-expand
+        run with retention ``m`` evaluates ``nCr(m, k) / nCr(M, k)`` of the
+        dense order-``k`` space.
+        """
+        if self.exhaustive_combinations == 0:
+            return float("nan")
+        return self.final_order_evaluated / self.exhaustive_combinations
+
+    def contains(self, snps: Sequence[int]) -> bool:
+        """Whether a given combination appears among the finalists."""
+        target = tuple(sorted(int(s) for s in snps))
+        return any(tuple(sorted(i.snps)) == target for i in self.top)
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [f"staged search     : {len(self.stages)} stages"]
+        for i, stage in enumerate(self.stages):
+            detail = (
+                f"order {stage.order}, {stage.evaluated} tables, "
+                f"{stage.elapsed_seconds:.4f} s"
+            )
+            if stage.retained_snps is not None:
+                detail += f", retained {stage.retained_snps} SNPs"
+            lines.append(f"  stage {i + 1} {stage.stage:<11s}: {detail}")
+        lines.append(
+            f"order-{self.final_order} tables   : "
+            f"{self.final_order_evaluated} of {self.exhaustive_combinations} "
+            f"exhaustive ({self.evaluated_fraction:.2%})"
+        )
+        lines.append(f"elapsed           : {self.elapsed_seconds:.4f} s")
+        lines.append(f"best interaction  : {self.best}")
+        if len(self.top) > 1 or self.p_values:
+            lines.append("top interactions  :")
+            for i, inter in enumerate(self.top):
+                suffix = ""
+                if self.p_values is not None:
+                    suffix = f"  (p = {self.p_values[i]:.4f})"
+                lines.append(f"  {i + 1}. {inter}{suffix}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (exports, benchmark artifacts)."""
+        top = []
+        for i, inter in enumerate(self.top):
+            entry: Dict[str, object] = interaction_row(inter, i + 1)
+            if self.p_values is not None:
+                entry["p_value"] = float(self.p_values[i])
+            top.append(entry)
+        return {
+            "n_snps": self.n_snps,
+            "n_samples": self.n_samples,
+            "final_order": self.final_order,
+            "elapsed_seconds": self.elapsed_seconds,
+            "exhaustive_combinations": self.exhaustive_combinations,
+            "evaluated_combinations": self.evaluated_combinations,
+            "final_order_evaluated": self.final_order_evaluated,
+            "evaluated_fraction": self.evaluated_fraction,
+            "retained_snps": (
+                [int(s) for s in self.retained_snps]
+                if self.retained_snps is not None
+                else None
+            ),
+            "stages": [stage.to_dict() for stage in self.stages],
+            "top": top,
+        }

@@ -1,0 +1,471 @@
+"""The staged-search pipeline stages.
+
+Each stage is one engine run (or a family of runs, for the permutation
+null) with its own approach/devices/schedule/order configuration, reading
+and updating a shared :class:`StageContext`:
+
+* :class:`ScreenStage` — cheap low-order exhaustive scan that retains the
+  top-``keep`` SNPs by best participating score, pruning the universe the
+  later stages sweep;
+* :class:`ExpandStage` — the expensive high-order sweep, restricted to the
+  retained subset (``nCr(keep, k)`` instead of ``nCr(M, k)`` tables);
+* :class:`RefineStage` — re-scores the finalists under a second objective
+  function and re-ranks them;
+* :class:`PermutationStage` — phenotype-permutation null distribution over
+  the finalists, yielding empirical p-values.
+
+Every stage executes through
+:meth:`~repro.core.detector.EpistasisDetector.detect_candidates`, so device
+lanes, scheduling policies (including the CARM-ratio splitter, configured
+with the stage's *effective* SNP universe) and the streaming top-k
+reduction behave exactly as in a dense search.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, ClassVar, Dict, List
+
+import numpy as np
+
+from repro.core.detector import EpistasisDetector
+from repro.core.result import DetectionResult, Interaction
+from repro.core.scoring import ObjectiveFunction
+from repro.datasets.dataset import GenotypeDataset
+from repro.engine import (
+    CancellationToken,
+    CandidateSource,
+    DenseRangeSource,
+    EngineDevice,
+    ExplicitCombinationSource,
+    SchedulingPolicy,
+    SubsetSource,
+)
+from repro.perfmodel.staged import estimate_stage_seconds
+from repro.pipeline.result import StageReport
+
+__all__ = [
+    "PipelineDefaults",
+    "StageContext",
+    "PipelineStage",
+    "ScreenStage",
+    "ExpandStage",
+    "RefineStage",
+    "PermutationStage",
+]
+
+#: Pipeline-level progress callback: ``progress(stage_name, done, total)``.
+PipelineProgress = Callable[[str, int, int], None]
+
+
+@dataclass
+class PipelineDefaults:
+    """Pipeline-wide execution configuration stages inherit from.
+
+    Every field can be overridden per stage; ``None`` stage overrides fall
+    back to these values.
+    """
+
+    approach: str = "cpu-v4"
+    objective: str | ObjectiveFunction = "k2"
+    devices: str | None = None
+    schedule: str | SchedulingPolicy = "dynamic"
+    n_workers: int = 1
+    chunk_size: int = 2048
+    top_k: int = 10
+    validate: bool = False
+
+
+@dataclass
+class StageContext:
+    """Mutable state flowing through the stages of one pipeline run.
+
+    ``retained`` is the current SNP universe (``None`` = all SNPs) — set by
+    screening stages, consumed by later screens/expands.  ``top`` is the
+    current finalist list — set by expand, re-ranked by refine, annotated
+    with ``p_values`` by the permutation stage.
+    """
+
+    dataset: GenotypeDataset
+    defaults: PipelineDefaults
+    retained: np.ndarray | None = None
+    top: List[Interaction] = field(default_factory=list)
+    p_values: List[float] | None = None
+    cancel: CancellationToken | None = None
+    progress: PipelineProgress | None = None
+
+    def stage_progress(self, stage_name: str) -> Callable[[int, int], None] | None:
+        """Adapt the pipeline progress callback for one stage's engine run."""
+        if self.progress is None:
+            return None
+        callback = self.progress
+
+        def report(done: int, total: int) -> None:
+            callback(stage_name, done, total)
+
+        return report
+
+
+@dataclass
+class PipelineStage(ABC):
+    """One stage of a staged search.
+
+    The execution fields (``approach``, ``objective``, ``devices``,
+    ``schedule``, ``n_workers``, ``chunk_size``, ``top_k``, ``validate``)
+    override the pipeline defaults when set, so e.g. a screen can run on a
+    GPU lane with a guided schedule while the expand runs cpu+gpu under the
+    CARM splitter.
+    """
+
+    name: ClassVar[str] = "abstract"
+
+    approach: str | None = None
+    objective: str | ObjectiveFunction | None = None
+    devices: str | None = None
+    schedule: str | SchedulingPolicy | None = None
+    n_workers: int | None = None
+    chunk_size: int | None = None
+    top_k: int | None = None
+    validate: bool | None = None
+
+    @abstractmethod
+    def run(self, ctx: StageContext) -> StageReport:
+        """Execute the stage, updating ``ctx`` and returning its report."""
+
+    # -- shared helpers --------------------------------------------------------
+    def _detector(
+        self,
+        ctx: StageContext,
+        order: int,
+        *,
+        objective: str | ObjectiveFunction | None = None,
+        top_k: int | None = None,
+    ) -> EpistasisDetector:
+        """A detector resolving this stage's overrides against the defaults."""
+        d = ctx.defaults
+        return EpistasisDetector(
+            approach=self.approach or d.approach,
+            objective=objective or self.objective or d.objective,
+            order=order,
+            n_workers=self.n_workers or d.n_workers,
+            chunk_size=self.chunk_size or d.chunk_size,
+            top_k=top_k if top_k is not None else (self.top_k or d.top_k),
+            validate=self.validate if self.validate is not None else d.validate,
+            devices=self.devices if self.devices is not None else d.devices,
+            schedule=self.schedule or d.schedule,
+        )
+
+    @staticmethod
+    def _universe_source(ctx: StageContext, order: int) -> CandidateSource:
+        """Dense space over the current universe (full or retained subset)."""
+        if ctx.retained is None:
+            return DenseRangeSource(ctx.dataset.n_snps, order)
+        return SubsetSource(ctx.retained, order)
+
+    def _report(
+        self,
+        ctx: StageContext,
+        detector: EpistasisDetector,
+        source: CandidateSource,
+        result: DetectionResult,
+        *,
+        evaluated: int | None = None,
+        estimate_devices: list | None = None,
+        **fields,
+    ) -> StageReport:
+        """Assemble the stage report from a detection result.
+
+        ``estimate_devices`` overrides the lanes the analytic cost estimate
+        is priced against (stages whose work does not run on the engine
+        lanes — the permutation null loop — pass their actual execution
+        shape).
+        """
+        effective = source.effective_snps or ctx.dataset.n_snps
+        return StageReport(
+            stage=self.name,
+            order=source.order,
+            candidates=source.total,
+            evaluated=evaluated if evaluated is not None else source.total,
+            elapsed_seconds=result.stats.elapsed_seconds,
+            estimated_seconds=estimate_stage_seconds(
+                (
+                    estimate_devices
+                    if estimate_devices is not None
+                    else detector.engine_devices()
+                ),
+                evaluated if evaluated is not None else source.total,
+                ctx.dataset.n_samples,
+                source.order,
+                effective,
+                approach_version=detector.approach.version,
+            ),
+            approach=result.stats.approach,
+            objective=detector.objective.name,
+            schedule=str(result.stats.extra.get("schedule", "")),
+            effective_snps=effective,
+            device_stats=dict(result.stats.extra.get("devices", {})),
+            **fields,
+        )
+
+
+@dataclass
+class ScreenStage(PipelineStage):
+    """Order-``j`` exhaustive scan retaining the best-scoring SNPs.
+
+    Every combination of the current universe is evaluated at the (cheap)
+    screening order, and each SNP is credited with the best (lowest) score
+    of any combination it participates in; the ``keep`` best SNPs survive.
+    Per-SNP minima are folded chunk-by-chunk inside the engine workers, so
+    the screen streams through the space with O(n_snps) extra memory and no
+    full score materialisation.
+
+    ``keep`` is the retention budget — the knob trading recall for expand
+    cost: the following order-``k`` expand evaluates ``nCr(keep, k)``
+    instead of ``nCr(M, k)`` tables.
+    """
+
+    name: ClassVar[str] = "screen"
+
+    order: int = 2
+    keep: int = 32
+
+    def __post_init__(self) -> None:
+        if self.keep < 1:
+            raise ValueError("keep must be positive")
+
+    def run(self, ctx: StageContext) -> StageReport:
+        dataset = ctx.dataset
+        source = self._universe_source(ctx, self.order)
+        universe = (
+            ctx.retained
+            if ctx.retained is not None
+            else np.arange(dataset.n_snps, dtype=np.int64)
+        )
+        detector = self._detector(ctx, self.order)
+
+        # Per-worker best-participating-score accumulators, merged after the
+        # run.  Workers only ever touch their own array, so the only shared
+        # state is the dict itself (guarded for concurrent first access).
+        per_worker: Dict[int, np.ndarray] = {}
+        accumulator_lock = threading.Lock()
+
+        def observe(worker, combos: np.ndarray, scores: np.ndarray) -> None:
+            best = per_worker.get(worker.worker_id)
+            if best is None:
+                with accumulator_lock:
+                    best = per_worker.setdefault(
+                        worker.worker_id, np.full(dataset.n_snps, np.inf)
+                    )
+            np.minimum.at(
+                best, combos.ravel(), np.repeat(scores, combos.shape[1])
+            )
+
+        result = detector.detect_candidates(
+            dataset,
+            source,
+            cancel=ctx.cancel,
+            progress=ctx.stage_progress(self.name),
+            observe=observe,
+        )
+
+        best_per_snp = np.full(dataset.n_snps, np.inf)
+        for partial in per_worker.values():
+            np.minimum(best_per_snp, partial, out=best_per_snp)
+
+        keep = min(self.keep, int(universe.size))
+        universe_scores = best_per_snp[universe]
+        ranked = np.argsort(universe_scores, kind="stable")[:keep]
+        retained = np.sort(universe[ranked])
+        ctx.retained = retained
+
+        return self._report(
+            ctx,
+            detector,
+            source,
+            result,
+            retained_snps=int(retained.size),
+            extra={
+                "keep": keep,
+                "retention_threshold": float(np.max(universe_scores[ranked])),
+            },
+        )
+
+
+@dataclass
+class ExpandStage(PipelineStage):
+    """Order-``k`` sweep over the retained universe, producing finalists."""
+
+    name: ClassVar[str] = "expand"
+
+    order: int = 3
+
+    def run(self, ctx: StageContext) -> StageReport:
+        source = self._universe_source(ctx, self.order)
+        detector = self._detector(ctx, self.order)
+        result = detector.detect_candidates(
+            ctx.dataset,
+            source,
+            cancel=ctx.cancel,
+            progress=ctx.stage_progress(self.name),
+        )
+        ctx.top = list(result.top)
+        ctx.p_values = None
+        return self._report(ctx, detector, source, result)
+
+
+@dataclass
+class RefineStage(PipelineStage):
+    """Re-score the current finalists under a second objective and re-rank.
+
+    The staged search's last full sweep optimises one objective (the K2
+    score by default); refining re-evaluates only the finalists under an
+    independent criterion (mutual information, chi-squared, ...), which is
+    cheap — ``top_k`` tables — and guards against single-objective
+    artefacts.
+    """
+
+    name: ClassVar[str] = "refine"
+
+    def __post_init__(self) -> None:
+        if self.objective is None:
+            raise ValueError("RefineStage needs an objective to re-score under")
+
+    def run(self, ctx: StageContext) -> StageReport:
+        if not ctx.top:
+            raise ValueError(
+                "refine stage needs finalists; run an expand stage before it"
+            )
+        combos = np.array([inter.snps for inter in ctx.top], dtype=np.int64)
+        source = ExplicitCombinationSource(combos)
+        keep = self.top_k if self.top_k is not None else len(ctx.top)
+        detector = self._detector(
+            ctx, source.order, top_k=min(keep, len(ctx.top))
+        )
+        result = detector.detect_candidates(
+            ctx.dataset,
+            source,
+            cancel=ctx.cancel,
+            progress=ctx.stage_progress(self.name),
+        )
+        scores_before = {inter.snps: inter.score for inter in ctx.top}
+        ctx.top = list(result.top)
+        ctx.p_values = None
+        return self._report(
+            ctx,
+            detector,
+            source,
+            result,
+            sweep=False,
+            extra={
+                "scores_before": [
+                    scores_before[inter.snps] for inter in result.top
+                ],
+            },
+        )
+
+
+@dataclass
+class PermutationStage(PipelineStage):
+    """Phenotype-permutation null distribution over the finalists.
+
+    The finalists' scores are compared against ``n_permutations`` re-scores
+    under random phenotype relabellings (genotypes untouched, case/control
+    balance preserved); the empirical p-value of finalist ``c`` is
+    ``(1 + #{permutations with score(c) <= observed(c)}) / (1 +
+    n_permutations)`` — the standard add-one estimate, never exactly zero.
+
+    The observed re-scoring is the stage's engine run (per-stage
+    device/schedule overrides apply, and it feeds the stage report); the
+    null loop then scores the finalist tables directly on a dataset sliced
+    to the distinct finalist SNPs — at ``top_k`` scale an engine launch per
+    permutation would be pure scheduling overhead.
+
+    When a :class:`RefineStage` re-scored the finalists, give this stage
+    the same ``objective`` so the p-values test the statistic displayed
+    next to them (``detect_staged`` wires this automatically).
+    """
+
+    name: ClassVar[str] = "permutation"
+
+    n_permutations: int = 100
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_permutations < 1:
+            raise ValueError("n_permutations must be positive")
+
+    def run(self, ctx: StageContext) -> StageReport:
+        if not ctx.top:
+            raise ValueError(
+                "permutation stage needs finalists; run an expand stage before it"
+            )
+        dataset = ctx.dataset
+        combos = np.array([inter.snps for inter in ctx.top], dtype=np.int64)
+
+        # Slice the dataset down to the distinct finalist SNPs once and
+        # remap the combinations to local indices: every permutation run
+        # then only validates/encodes order x top_k SNPs instead of the full
+        # genotype matrix (only the phenotype vector changes per run).
+        distinct = np.unique(combos)
+        local_combos = np.searchsorted(distinct, combos)
+        sliced = dataset.subset_snps(distinct)
+        source = ExplicitCombinationSource(local_combos)
+        local_keys = [tuple(int(s) for s in row) for row in local_combos]
+        detector = self._detector(ctx, source.order, top_k=len(ctx.top))
+
+        # Observed scores under this stage's objective (identical to the
+        # finalists' scores when the objective is inherited; re-computed so
+        # the null comparison stays consistent after a refine stage).
+        observed_run = detector.detect_candidates(
+            sliced, source, cancel=ctx.cancel
+        )
+        observed = {inter.snps: inter.score for inter in observed_run.top}
+
+        rng = np.random.default_rng(self.seed)
+        observed_scores = np.array([observed[key] for key in local_keys])
+        exceed = np.zeros(len(local_keys), dtype=np.int64)
+        progress = ctx.stage_progress(self.name)
+        null_started = time.perf_counter()
+        for perm in range(self.n_permutations):
+            if ctx.cancel is not None and ctx.cancel.cancelled:
+                raise RuntimeError(
+                    f"permutation stage cancelled after {perm} of "
+                    f"{self.n_permutations} permutations"
+                )
+            permuted = GenotypeDataset(
+                genotypes=sliced.genotypes,
+                phenotypes=rng.permutation(sliced.phenotypes),
+                snp_names=list(sliced.snp_names),
+            )
+            null_scores = detector.score_combinations(permuted, local_combos)
+            exceed += null_scores <= observed_scores
+            if progress is not None:
+                progress(perm + 1, self.n_permutations)
+        elapsed = observed_run.stats.elapsed_seconds + (
+            time.perf_counter() - null_started
+        )
+
+        ctx.p_values = [
+            (1 + int(count)) / (1 + self.n_permutations) for count in exceed
+        ]
+        report = self._report(
+            ctx,
+            detector,
+            source,
+            observed_run,
+            evaluated=(1 + self.n_permutations) * source.total,
+            sweep=False,
+            # The null loop scores single-threaded on the prototype
+            # approach's device, not on the engine lanes — price it that way.
+            estimate_devices=[EngineDevice(kind=detector.approach.device)],
+            extra={
+                "n_permutations": self.n_permutations,
+                "seed": self.seed,
+                "min_attainable_p": 1.0 / (1 + self.n_permutations),
+            },
+        )
+        report.elapsed_seconds = elapsed
+        return report

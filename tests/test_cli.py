@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -104,6 +106,164 @@ class TestDetectCommand:
         )
         assert code == 0
         assert load_npz(out).n_snps == 10
+
+
+class TestArgumentHardening:
+    """Bad names must fail at parse time with the valid vocabulary listed."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["detect", "in.npz", "--approach", "cpu-v9"],
+            ["detect", "in.npz", "--objective", "nope"],
+            ["detect", "in.npz", "--schedule", "sometimes"],
+            ["pipeline", "in.npz", "--approach", "cpu-v9"],
+            ["pipeline", "in.npz", "--refine-objective", "nope"],
+        ],
+    )
+    def test_invalid_choice_exits(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(argv)
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid choice" in err
+
+    def test_approach_error_lists_valid_names(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["detect", "in.npz", "--approach", "zz"])
+        err = capsys.readouterr().err
+        assert "cpu-v4" in err and "gpu-v4" in err
+
+    def test_aliases_accepted(self):
+        args = build_parser().parse_args(
+            ["detect", "in.npz", "--approach", "cpu", "--schedule", "carm-ratio"]
+        )
+        assert args.approach == "cpu" and args.schedule == "carm-ratio"
+
+    def test_pipeline_rejects_order_two_at_parse_time(self, capsys):
+        # No screen order below 2 exists, so a staged order-2 search is a
+        # dead configuration — argparse must refuse it, not detect_staged.
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["pipeline", "in.npz", "--order", "2"])
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_output_extension_validated(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["detect", "in.npz", "--output", "out.xml"])
+        assert ".json or .csv" in capsys.readouterr().err
+
+
+@pytest.fixture()
+def planted_npz(tmp_path):
+    """A small planted dataset on disk for detect/pipeline round-trips."""
+    out = tmp_path / "planted.npz"
+    code = main(
+        [
+            "generate", str(out),
+            "--snps", "20", "--samples", "1024",
+            "--interaction", "2", "6", "11", "--effect", "0.9", "--baseline", "0.05",
+            "--seed", "7",
+        ]
+    )
+    assert code == 0
+    return out
+
+
+class TestOutputExport:
+    def test_detect_json_export(self, tmp_path, planted_npz, capsys):
+        dest = tmp_path / "results.json"
+        code = main(
+            ["detect", str(planted_npz), "--top-k", "3", "--output", str(dest)]
+        )
+        assert code == 0
+        assert f"wrote results to {dest}" in capsys.readouterr().out
+        doc = json.loads(dest.read_text())
+        assert doc["approach"] == "cpu-v4"
+        assert doc["order"] == 3
+        assert len(doc["top"]) == 3
+        assert doc["top"][0]["rank"] == 1
+        assert isinstance(doc["top"][0]["score"], float)
+        assert "devices" in doc and doc["devices"]
+
+    def test_detect_csv_export(self, tmp_path, planted_npz):
+        dest = tmp_path / "results.csv"
+        assert main(["detect", str(planted_npz), "--top-k", "2", "--output", str(dest)]) == 0
+        rows = dest.read_text().strip().splitlines()
+        assert rows[0] == "rank,snps,snp_names,score"
+        assert len(rows) == 3
+        assert rows[1].startswith("1,")
+
+    def test_pipeline_json_export_with_p_values(self, tmp_path, planted_npz):
+        dest = tmp_path / "staged.json"
+        code = main(
+            [
+                "pipeline", str(planted_npz),
+                "--retain", "8", "--permutations", "9",
+                "--top-k", "3", "--output", str(dest),
+            ]
+        )
+        assert code == 0
+        doc = json.loads(dest.read_text())
+        assert [s["stage"] for s in doc["stages"]] == [
+            "screen", "expand", "permutation",
+        ]
+        assert "p_value" in doc["top"][0]
+        assert doc["final_order_evaluated"] < doc["exhaustive_combinations"]
+
+    def test_pipeline_csv_export_has_p_value_column(self, tmp_path, planted_npz):
+        dest = tmp_path / "staged.csv"
+        code = main(
+            [
+                "pipeline", str(planted_npz),
+                "--retain", "8", "--permutations", "4",
+                "--top-k", "2", "--output", str(dest),
+            ]
+        )
+        assert code == 0
+        rows = dest.read_text().strip().splitlines()
+        assert rows[0] == "rank,snps,snp_names,score,p_value"
+
+
+class TestPipelineCommand:
+    def test_staged_run_recovers_planted(self, planted_npz, capsys):
+        code = main(
+            ["pipeline", str(planted_npz), "--retain", "8", "--top-k", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "staged search" in out
+        assert "best interaction" in out
+        assert "snp0002, snp0006, snp0011" in out
+
+    def test_refine_and_heterogeneous_devices(self, planted_npz, capsys):
+        code = main(
+            [
+                "pipeline", str(planted_npz),
+                "--retain", "8", "--refine-objective", "mutual-information",
+                "--devices", "cpu+gpu", "--schedule", "carm", "--workers", "2",
+                "--top-k", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "refine" in out
+        assert "device cpu" in out and "device gpu" in out
+
+    def test_screen_order_validation_is_friendly(self, planted_npz, capsys):
+        code = main(
+            ["pipeline", str(planted_npz), "--order", "3", "--screen-order", "3"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_progress_lines_name_stages(self, planted_npz, capsys):
+        code = main(
+            ["pipeline", str(planted_npz), "--retain", "8", "--progress"]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "screen: 100%" in err
+        assert "expand: 100%" in err
 
 
 class TestInfoCommands:

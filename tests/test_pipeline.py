@@ -1,0 +1,303 @@
+"""Tests of the staged search pipeline (screen → expand → refine → permutation)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import EpistasisDetector
+from repro.core.combinations import combination_count
+from repro.pipeline import (
+    ExpandStage,
+    PermutationStage,
+    RefineStage,
+    ScreenStage,
+    SearchPipeline,
+)
+from tests.conftest import PLANTED_TRIPLET
+
+
+def _key(result):
+    """Bit-exact comparison key of a top list."""
+    return [(i.snps, i.score, i.snp_names) for i in result.top]
+
+
+class TestFullRetentionEquivalence:
+    """A staged run that retains every SNP must be bit-identical to detect()."""
+
+    @pytest.mark.parametrize(
+        "devices,schedule,workers",
+        [
+            (None, "dynamic", 1),
+            (None, "static", 2),
+            ("cpu+gpu", "carm", 2),
+        ],
+    )
+    def test_bit_identical_to_exhaustive(
+        self, planted_dataset, devices, schedule, workers
+    ):
+        detector = EpistasisDetector(
+            approach="cpu-v4",
+            order=3,
+            top_k=7,
+            devices=devices,
+            schedule=schedule,
+            n_workers=workers,
+        )
+        dense = detector.detect(planted_dataset)
+        staged = detector.detect_staged(
+            planted_dataset, screen_order=2, keep_snps=planted_dataset.n_snps
+        )
+        assert _key(staged) == _key(dense)
+        assert staged.best_snps == dense.best_snps
+
+    def test_full_retention_keeps_whole_universe(self, planted_dataset):
+        detector = EpistasisDetector(approach="cpu-v2", order=3)
+        staged = detector.detect_staged(
+            planted_dataset, keep_snps=planted_dataset.n_snps
+        )
+        assert staged.retained_snps == list(range(planted_dataset.n_snps))
+
+
+class TestScreenExpand:
+    def test_recovers_planted_interaction_with_pruning(self, planted_dataset):
+        detector = EpistasisDetector(approach="cpu-v4", order=3, top_k=5)
+        staged = detector.detect_staged(planted_dataset, screen_order=2, keep_snps=8)
+        assert staged.best_snps == PLANTED_TRIPLET
+        assert staged.evaluated_fraction < 0.2
+        assert staged.final_order_evaluated == combination_count(8, 3)
+        assert staged.exhaustive_combinations == combination_count(
+            planted_dataset.n_snps, 3
+        )
+
+    def test_screen_retains_planted_snps(self, planted_dataset):
+        pipeline = SearchPipeline(
+            [ScreenStage(order=2, keep=6), ExpandStage(order=3)],
+            approach="cpu-v4",
+        )
+        outcome = pipeline.run(planted_dataset)
+        assert set(PLANTED_TRIPLET) <= set(outcome.retained_snps)
+        [screen, expand] = outcome.stages
+        assert screen.stage == "screen" and screen.retained_snps == 6
+        assert expand.stage == "expand"
+        assert expand.candidates == combination_count(6, 3)
+        assert expand.effective_snps == 6
+
+    def test_stage_reports_carry_estimates_and_devices(self, planted_dataset):
+        detector = EpistasisDetector(approach="cpu-v4", order=3)
+        staged = detector.detect_staged(planted_dataset, keep_snps=8)
+        for stage in staged.stages:
+            assert stage.estimated_seconds is not None
+            assert stage.estimated_seconds > 0
+            assert stage.device_stats
+            assert stage.schedule == "dynamic"
+
+    def test_chained_screens_narrow_monotonically(self, planted_dataset):
+        pipeline = SearchPipeline(
+            [
+                ScreenStage(order=2, keep=16),
+                ScreenStage(order=2, keep=8),
+                ExpandStage(order=3),
+            ]
+        )
+        outcome = pipeline.run(planted_dataset)
+        assert len(outcome.retained_snps) == 8
+        assert outcome.stages[1].candidates == combination_count(16, 2)
+
+    def test_screen_order_must_be_below_detection_order(self, planted_dataset):
+        detector = EpistasisDetector(order=3)
+        with pytest.raises(ValueError, match="below the detection"):
+            detector.detect_staged(planted_dataset, screen_order=3)
+
+    def test_pipeline_without_expand_raises(self, planted_dataset):
+        pipeline = SearchPipeline([ScreenStage(order=2, keep=8)])
+        with pytest.raises(RuntimeError, match="no finalists"):
+            pipeline.run(planted_dataset)
+
+
+class TestRefineStage:
+    def test_rescored_under_second_objective(self, planted_dataset):
+        detector = EpistasisDetector(approach="cpu-v4", order=3, top_k=5)
+        staged = detector.detect_staged(
+            planted_dataset, keep_snps=10, refine_objective="mutual-information"
+        )
+        refine = staged.stages[-1]
+        assert refine.stage == "refine"
+        assert refine.objective == "mutual-information"
+        assert refine.candidates == 5
+        # Refined scores must equal direct scoring under the new objective.
+        combos = np.array([i.snps for i in staged.top])
+        direct = EpistasisDetector(
+            approach="cpu-v1", objective="mutual-information"
+        ).score_combinations(planted_dataset, combos)
+        np.testing.assert_allclose([i.score for i in staged.top], direct)
+        # Re-ranked ascending under the refine objective.
+        scores = [i.score for i in staged.top]
+        assert scores == sorted(scores)
+
+    def test_refine_requires_objective(self):
+        with pytest.raises(ValueError, match="needs an objective"):
+            RefineStage()
+
+    def test_refine_requires_finalists(self, planted_dataset):
+        pipeline = SearchPipeline([RefineStage(objective="gini")])
+        with pytest.raises(ValueError, match="needs finalists"):
+            pipeline.run(planted_dataset)
+
+
+class TestPermutationStage:
+    def test_p_values_aligned_and_bounded(self, planted_dataset):
+        detector = EpistasisDetector(approach="cpu-v4", order=3, top_k=4)
+        staged = detector.detect_staged(
+            planted_dataset, keep_snps=8, n_permutations=19, permutation_seed=11
+        )
+        assert staged.p_values is not None
+        assert len(staged.p_values) == len(staged.top)
+        assert all(0.0 < p <= 1.0 for p in staged.p_values)
+        # The planted interaction survives every random relabelling.
+        assert staged.best_snps == PLANTED_TRIPLET
+        assert staged.p_values[0] == pytest.approx(1.0 / 20.0)
+        perm = staged.stages[-1]
+        assert perm.stage == "permutation"
+        assert perm.evaluated == 20 * 4  # observed + 19 nulls, 4 finalists
+
+    def test_deterministic_given_seed(self, planted_dataset):
+        detector = EpistasisDetector(approach="cpu-v2", order=3, top_k=3)
+        first = detector.detect_staged(
+            planted_dataset, keep_snps=6, n_permutations=7, permutation_seed=5
+        )
+        second = detector.detect_staged(
+            planted_dataset, keep_snps=6, n_permutations=7, permutation_seed=5
+        )
+        assert first.p_values == second.p_values
+
+    def test_requires_finalists(self, planted_dataset):
+        pipeline = SearchPipeline([PermutationStage(n_permutations=3)])
+        with pytest.raises(ValueError, match="needs finalists"):
+            pipeline.run(planted_dataset)
+
+    def test_p_values_test_the_refine_objective(self, planted_dataset):
+        """With a refine stage, the permutation null must score under the
+        refine objective — the statistic displayed next to the p-values."""
+        detector = EpistasisDetector(approach="cpu-v2", order=3, top_k=3)
+        staged = detector.detect_staged(
+            planted_dataset,
+            keep_snps=8,
+            refine_objective="gini",
+            n_permutations=9,
+        )
+        perm = staged.stages[-1]
+        assert perm.stage == "permutation"
+        assert perm.objective == "gini"
+        assert staged.stages[-2].objective == "gini"
+
+    def test_stage_validate_override(self, planted_dataset):
+        pipeline = SearchPipeline(
+            [ScreenStage(order=2, keep=6), ExpandStage(order=3, validate=True)]
+        )
+        outcome = pipeline.run(planted_dataset)
+        assert outcome.best_snps == PLANTED_TRIPLET
+
+    def test_null_runs_do_not_inflate_sweep_metric(self, planted_dataset):
+        """Refine/permutation tables are finalist re-scoring, not sweep
+        coverage: even a long null on a tiny space keeps the pruning
+        fraction at nCr(keep, k) / nCr(M, k) (and below 1)."""
+        detector = EpistasisDetector(approach="cpu-v2", order=3, top_k=5)
+        staged = detector.detect_staged(
+            planted_dataset,
+            keep_snps=6,
+            refine_objective="gini",
+            n_permutations=50,
+        )
+        assert staged.final_order_evaluated == combination_count(6, 3)
+        assert staged.evaluated_fraction == pytest.approx(
+            combination_count(6, 3)
+            / combination_count(planted_dataset.n_snps, 3)
+        )
+        assert staged.evaluated_fraction < 1.0
+        # The re-scoring stages still report their own table counts.
+        refine, perm = staged.stages[-2], staged.stages[-1]
+        assert not refine.sweep and not perm.sweep
+        assert perm.evaluated == 51 * 5
+
+
+class TestPerStageConfiguration:
+    def test_stage_overrides_apply(self, planted_dataset):
+        pipeline = SearchPipeline(
+            [
+                ScreenStage(order=2, keep=8, approach="gpu-v4", schedule="guided"),
+                ExpandStage(order=3, devices="cpu+gpu", schedule="carm", n_workers=2),
+            ],
+            approach="cpu-v4",
+        )
+        outcome = pipeline.run(planted_dataset)
+        [screen, expand] = outcome.stages
+        assert screen.approach == "gpu-v4"
+        assert screen.schedule == "guided"
+        assert expand.schedule == "carm"
+        assert set(expand.device_stats) == {"cpu", "gpu"}
+
+    def test_progress_reports_stage_names(self, planted_dataset):
+        seen: list[tuple[str, int, int]] = []
+        pipeline = SearchPipeline(
+            [ScreenStage(order=2, keep=8), ExpandStage(order=3)],
+            chunk_size=64,
+        )
+        pipeline.run(
+            planted_dataset, progress=lambda stage, done, total: seen.append((stage, done, total))
+        )
+        stages = {s for s, _, _ in seen}
+        assert stages == {"screen", "expand"}
+        screen_final = [(d, t) for s, d, t in seen if s == "screen"][-1]
+        assert screen_final[0] == screen_final[1]
+
+
+class TestPipelineResult:
+    def test_to_dict_is_json_serialisable(self, planted_dataset):
+        detector = EpistasisDetector(approach="cpu-v4", order=3, top_k=3)
+        staged = detector.detect_staged(
+            planted_dataset, keep_snps=8, n_permutations=5
+        )
+        doc = json.loads(json.dumps(staged.to_dict()))
+        assert doc["final_order"] == 3
+        assert doc["top"][0]["rank"] == 1
+        assert doc["top"][0]["snps"] == list(PLANTED_TRIPLET)
+        assert "p_value" in doc["top"][0]
+        assert len(doc["stages"]) == 3
+        assert doc["stages"][0]["stage"] == "screen"
+
+    def test_summary_mentions_stages_and_fraction(self, planted_dataset):
+        detector = EpistasisDetector(approach="cpu-v4", order=3)
+        staged = detector.detect_staged(planted_dataset, keep_snps=8)
+        text = staged.summary()
+        assert "staged search" in text
+        assert "screen" in text and "expand" in text
+        assert "best interaction" in text
+
+    def test_contains(self, planted_dataset):
+        detector = EpistasisDetector(approach="cpu-v4", order=3)
+        staged = detector.detect_staged(planted_dataset, keep_snps=8)
+        assert staged.contains(PLANTED_TRIPLET)
+        assert not staged.contains((0, 1, 2))
+
+
+class TestStagedCostModel:
+    def test_estimate_staged_search_document(self):
+        from repro.perfmodel import estimate_staged_search
+
+        doc = estimate_staged_search(1024, 4096, keep_snps=64)
+        assert doc["exhaustive_tables"] == combination_count(1024, 3)
+        assert doc["stages"][0]["tables"] == combination_count(1024, 2)
+        assert doc["stages"][1]["tables"] == combination_count(64, 3)
+        assert doc["expand_fraction"] < 0.001
+        assert doc["modelled_speedup"] > 1.0
+
+    def test_estimate_rejects_bad_budget(self):
+        from repro.perfmodel import estimate_staged_search
+
+        with pytest.raises(ValueError, match="keep_snps"):
+            estimate_staged_search(100, 256, keep_snps=0)
+        with pytest.raises(ValueError, match="cannot form"):
+            estimate_staged_search(100, 256, keep_snps=2, expand_order=3)
