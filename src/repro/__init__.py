@@ -24,8 +24,14 @@ The package is organised as:
   refine → permutation): every stage is an engine run with per-stage
   configuration, turning the ``nCr(M, k)`` wall into a retention-budget
   knob.
-* :mod:`repro.parallel` — legacy façade over the engine plus the simulated
-  cluster for the MPI3SNP baseline.
+* :mod:`repro.distributed` — sharded multi-process execution: shard
+  planning (static or CARM-throughput-weighted), spawn-safe worker
+  processes, atomic checkpoint/resume ledgers and a deterministic
+  ``(score, combination-rank)`` merge — ``detect(..., workers=N,
+  checkpoint=...)`` survives kills and reports bit-identical top-k for any
+  worker count.
+* :mod:`repro.parallel` — retired legacy façade (deprecation shims over
+  the engine and the distributed subsystem).
 * :mod:`repro.gpusim` — a functional GPU execution simulator with coalescing
   analysis.
 * :mod:`repro.devices` — the catalog of the 13 CPUs/GPUs of Tables I and II.
@@ -64,6 +70,11 @@ from repro.engine import (
     HeterogeneousExecutor,
     get_policy,
     list_policies,
+)
+from repro.distributed import (
+    CheckpointStore,
+    ShardPlanner,
+    run_distributed,
 )
 from repro.pipeline import (
     ExpandStage,
@@ -104,6 +115,9 @@ __all__ = [
     "HeterogeneousExecutor",
     "get_policy",
     "list_policies",
+    "ShardPlanner",
+    "CheckpointStore",
+    "run_distributed",
     "SearchPipeline",
     "PipelineResult",
     "StageReport",

@@ -16,11 +16,21 @@ performance:
   as the SNP count grows.
 
 The functional re-implementation here (:class:`Mpi3snpBaseline`) runs the
-split kernel over a simulated cluster with static partitioning and produces
-results identical to the optimised approaches (same tables, same best
-triplet) — the difference is captured by the execution statistics and by the
+split kernel over statically partitioned ranks and produces results
+identical to the optimised approaches (same tables, same best triplet) —
+the difference is captured by the execution statistics and by the
 analytical throughput model (:func:`estimate_mpi3snp_throughput`) used for
 the Table III comparison.
+
+Rank execution goes through :mod:`repro.distributed`: with
+``processes=True`` every rank is a real OS process (one shard per rank,
+static partition, deterministic rank-0 merge — the honest analogue of
+MPI3SNP's ``MPI_Comm_size`` decomposition); the default ``processes=False``
+runs the same static per-rank spans on host threads through the engine,
+which is cheaper to launch and bit-identical in its results.  Broadcast and
+gather traffic plus the static-partition load imbalance are accounted by
+:class:`repro.distributed.cluster.RankAccounting` in both modes (the
+retired ``repro.parallel.SimulatedCluster`` is no longer involved).
 """
 
 from __future__ import annotations
@@ -36,12 +46,13 @@ from repro.core.scoring import ObjectiveFunction, get_objective
 from repro.datasets.dataset import GenotypeDataset
 from repro.devices.specs import CpuSpec, GpuSpec
 from repro.engine import (
+    DenseRangeSource,
     EngineDevice,
     ExecutionPlan,
     HeterogeneousExecutor,
     StaticPolicy,
 )
-from repro.parallel.cluster import SimulatedCluster
+from repro.distributed import RankAccounting, ShardPlanner, run_distributed
 from repro.perfmodel.cpu_model import estimate_cpu
 from repro.perfmodel.gpu_model import estimate_gpu
 
@@ -59,12 +70,12 @@ CPU_IMBALANCE: float = 1.05
 
 
 class Mpi3snpBaseline:
-    """Functional MPI3SNP-style detector over a simulated cluster.
+    """Functional MPI3SNP-style detector over statically partitioned ranks.
 
     Parameters
     ----------
     n_ranks:
-        Number of simulated MPI ranks.
+        Number of MPI-style ranks.
     objective:
         Objective-function name or instance.
     top_k:
@@ -72,6 +83,11 @@ class Mpi3snpBaseline:
     order:
         Interaction order ``k`` (2–5); MPI3SNP itself is third-order, the
         second-order setting mirrors the pairwise tools it descends from.
+    processes:
+        ``True`` executes every rank as a real OS process through
+        :func:`repro.distributed.run_distributed` (one shard per rank);
+        ``False`` (default) runs the same static rank spans on host
+        threads — results are bit-identical, process startup is saved.
     """
 
     name = "mpi3snp"
@@ -83,6 +99,7 @@ class Mpi3snpBaseline:
         top_k: int = 10,
         chunk_size: int = 2048,
         order: int = 3,
+        processes: bool = False,
     ) -> None:
         if n_ranks < 1:
             raise ValueError("n_ranks must be positive")
@@ -91,24 +108,87 @@ class Mpi3snpBaseline:
         self.top_k = top_k
         self.chunk_size = chunk_size
         self.order = check_order(order)
+        self.processes = processes
         # The rank-local kernel: split dataset, no blocking, no SIMD.
         self.approach = CpuNoPhenotypeApproach()
 
     def detect(self, dataset: GenotypeDataset) -> DetectionResult:
         """Run the statically partitioned exhaustive search.
 
-        The rank-local loop executes through the unified engine: one engine
-        worker per simulated MPI rank, with the engine's
-        :class:`~repro.engine.policies.StaticPolicy` producing exactly the
-        contiguous per-rank spans MPI3SNP's static decomposition assigns
-        (the :class:`SimulatedCluster` keeps accounting for the broadcast /
-        gather traffic and the load imbalance).
+        Every rank sweeps its contiguous span of the combination space; the
+        partial top-k lists are merged rank-0-style under the engine's
+        deterministic ``(score, combination-rank)`` order.  The
+        :class:`~repro.distributed.cluster.RankAccounting` tracks the
+        dataset broadcast, the result gather and the load imbalance the
+        static decomposition incurs.
         """
         total = combination_count(dataset.n_snps, self.order)
-        cluster: SimulatedCluster = SimulatedCluster(self.n_ranks)
-        cluster.scatter_work(total)
+        accounting = RankAccounting(self.n_ranks)
+        accounting.scatter_work(total)
         encoded = self.approach.prepare(dataset)
-        cluster.broadcast_dataset(encoded.nbytes())
+        accounting.broadcast_dataset(encoded.nbytes())
+
+        if self.processes:
+            result, per_rank_items = self._detect_processes(dataset)
+        else:
+            result, per_rank_items = self._detect_threads(dataset, encoded, total)
+
+        for rank in accounting.ranks:
+            rank.items_processed = per_rank_items.get(rank.rank, 0)
+        accounting.account_gather(bytes_per_partial=self.top_k * 32)
+
+        extra = dict(result.stats.extra)
+        extra.update(
+            {
+                "order": self.order,
+                "partitioning": "static",
+                "schedule": "static",
+                "load_imbalance": accounting.load_imbalance(),
+                "ranks": self.n_ranks,
+                "rank_mode": "processes" if self.processes else "threads",
+            }
+        )
+        stats = ApproachStats(
+            approach=self.name,
+            n_combinations=total,
+            n_samples=dataset.n_samples,
+            elapsed_seconds=result.stats.elapsed_seconds,
+            op_counts=result.stats.op_counts,
+            bytes_loaded=result.stats.bytes_loaded,
+            bytes_stored=result.stats.bytes_stored,
+            n_workers=self.n_ranks,
+            extra=extra,
+        )
+        if not result.top:
+            raise RuntimeError("MPI3SNP baseline produced no interactions")
+        return DetectionResult(best=result.top[0], top=list(result.top), stats=stats)
+
+    def _detect_processes(self, dataset: GenotypeDataset):
+        """Real ranks: one OS process per rank, one static shard per rank."""
+        from repro.core.detector import DetectorConfig
+
+        config = DetectorConfig(
+            approach=self.approach.name,
+            objective=self.objective,
+            order=self.order,
+            n_workers=1,
+            chunk_size=self.chunk_size,
+            top_k=self.top_k,
+            schedule="static",
+        )
+        outcome = run_distributed(
+            dataset,
+            DenseRangeSource(dataset.n_snps, self.order),
+            config=config,
+            workers=self.n_ranks,
+            planner=ShardPlanner(n_shards=self.n_ranks, strategy="static"),
+        )
+        # The planner's n_ranks-way static cut produces exactly the rank
+        # spans of RankAccounting.scatter_work, so shard id == rank id.
+        return outcome.result, dict(outcome.shard_items)
+
+    def _detect_threads(self, dataset: GenotypeDataset, encoded, total: int):
+        """Thread-backed ranks: the same static spans on engine workers."""
         snp_names = list(dataset.snp_names)
 
         # One kernel instance per rank (operation counters are not shared);
@@ -141,12 +221,8 @@ class Mpi3snpBaseline:
             snp_names=snp_names,
         )
 
-        # Mirror the engine workers back onto the simulated ranks: static
-        # partitioning assigns worker i exactly rank i's span.
-        for rank, worker in zip(cluster.ranks, run.workers):
-            rank.items_processed = worker.items
-        partials = [worker.heap.items for worker in run.workers]
-        cluster.gather(partials, bytes_per_partial=self.top_k * 32)
+        # Static partitioning assigns worker i exactly rank i's span.
+        per_rank_items = {worker.worker_id: worker.items for worker in run.workers}
 
         for extra_approach in approaches[1:]:
             self.approach.counter.merge(extra_approach.counter)
@@ -160,18 +236,12 @@ class Mpi3snpBaseline:
             bytes_loaded=self.approach.counter.bytes_loaded,
             bytes_stored=self.approach.counter.bytes_stored,
             n_workers=self.n_ranks,
-            extra={
-                "order": self.order,
-                "partitioning": "static",
-                "schedule": plan.policy.name,
-                "load_imbalance": cluster.load_imbalance(),
-                "ranks": self.n_ranks,
-                "devices": run.device_stats,
-            },
+            extra={"devices": run.device_stats},
         )
         if not run.top:
             raise RuntimeError("MPI3SNP baseline produced no interactions")
-        return DetectionResult(best=run.top[0], top=list(run.top), stats=stats)
+        result = DetectionResult(best=run.top[0], top=list(run.top), stats=stats)
+        return result, per_rank_items
 
 
 def estimate_mpi3snp_throughput(

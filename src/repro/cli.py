@@ -7,9 +7,12 @@ points without writing any Python:
   planted interaction of any order 2-5) and save it to ``.npz`` or text;
 * ``detect`` — run the exhaustive k-way search (``--order``, default 3) on a
   dataset file with a chosen approach/objective and print the best
-  interactions;
+  interactions; ``--workers N`` shards the space across OS processes and
+  ``--checkpoint``/``--resume`` make long sweeps crash-safe;
 * ``pipeline`` — run the staged search (screen → expand, optional refine
-  and permutation stages) with a retention budget (``--retain``);
+  and permutation stages) with a retention budget (``--retain``); the same
+  ``--workers``/``--checkpoint``/``--resume`` flags shard and checkpoint
+  every sweep stage;
 * ``devices`` — print Tables I and II (the device catalog);
 * ``figures`` — regenerate the paper's figures/tables from the analytical
   models (Figure 2, Figure 3, Figure 4, Table III, §V-D comparison,
@@ -69,7 +72,38 @@ def _add_search_options(parser: argparse.ArgumentParser) -> None:
         choices=sorted(OBJECTIVES),
         help="objective function scored over the frequency tables",
     )
-    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="distributed worker processes (repro.distributed): the "
+        "candidate space is cut into shards executed across N OS "
+        "processes with a deterministic merge — results are bit-identical "
+        "for any N",
+    )
+    parser.add_argument(
+        "--threads",
+        type=int,
+        default=1,
+        metavar="T",
+        help="host threads per worker process (the engine's in-process "
+        "parallelism)",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="atomic shard-ledger path (detect: a .json file; pipeline: a "
+        "directory) written after every completed shard, enabling --resume "
+        "after a kill",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore completed shards/stages from the --checkpoint ledger "
+        "instead of re-evaluating them (safe when no ledger exists yet)",
+    )
     parser.add_argument("--chunk-size", type=int, default=2048)
     parser.add_argument("--top-k", type=int, default=5)
     parser.add_argument(
@@ -296,6 +330,18 @@ def _export_result(path: str, doc: dict) -> None:
             writer.writerow(record)
 
 
+def _print_distributed_summary(distributed: dict | None) -> None:
+    if not distributed:
+        return
+    restored = distributed.get("shards_restored", 0)
+    note = f", {restored} restored from checkpoint" if restored else ""
+    print(
+        f"distributed : {distributed.get('workers')} worker(s), "
+        f"{distributed.get('n_shards')} shards "
+        f"({distributed.get('strategy')} plan{note})"
+    )
+
+
 def _print_device_summary(devices: dict) -> None:
     if len(devices) > 1:
         for label, entry in devices.items():
@@ -305,6 +351,19 @@ def _print_device_summary(devices: dict) -> None:
             )
 
 
+def _check_resume_flags(args: argparse.Namespace) -> bool:
+    """``--resume`` without ``--checkpoint`` has no ledger to read — error
+    out rather than silently re-running the whole sweep from scratch."""
+    if args.resume and not args.checkpoint:
+        print(
+            "error: --resume requires --checkpoint (the ledger to restore "
+            "completed shards from)",
+            file=sys.stderr,
+        )
+        return False
+    return True
+
+
 def _build_detector(args: argparse.Namespace):
     from repro.core import EpistasisDetector
 
@@ -312,7 +371,7 @@ def _build_detector(args: argparse.Namespace):
         approach=args.approach,
         objective=args.objective,
         order=args.order,
-        n_workers=args.workers,
+        n_workers=args.threads,
         chunk_size=args.chunk_size,
         top_k=args.top_k,
         devices=args.devices,
@@ -323,11 +382,24 @@ def _build_detector(args: argparse.Namespace):
 def _cmd_detect(args: argparse.Namespace) -> int:
     from repro.datasets import load_dataset
 
+    if not _check_resume_flags(args):
+        return 2
     dataset = load_dataset(args.dataset)
     detector = _build_detector(args)
     progress = _progress_printer() if args.progress else None
-    result = detector.detect(dataset, progress=progress)
+    try:
+        result = detector.detect(
+            dataset,
+            progress=progress,
+            workers=args.workers,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(result.summary())
+    _print_distributed_summary(result.stats.extra.get("distributed"))
     _print_device_summary(result.stats.extra.get("devices", {}))
     if args.output:
         _export_result(args.output, result.to_dict())
@@ -355,6 +427,8 @@ def _stage_progress_printer():
 def _cmd_pipeline(args: argparse.Namespace) -> int:
     from repro.datasets import load_dataset
 
+    if not _check_resume_flags(args):
+        return 2
     dataset = load_dataset(args.dataset)
     detector = _build_detector(args)
     progress = _stage_progress_printer() if args.progress else None
@@ -367,11 +441,22 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
             n_permutations=args.permutations,
             permutation_seed=args.permutation_seed,
             progress=progress,
+            workers=args.workers,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(result.summary())
+    if args.workers > 1 or args.checkpoint:
+        resumed = sum(1 for s in result.stages if s.extra.get("resumed"))
+        note = f", {resumed} stage(s) restored from checkpoint" if resumed else ""
+        print(
+            f"distributed : {args.workers} worker(s) per sweep stage"
+            + (f", checkpoint {args.checkpoint}" if args.checkpoint else "")
+            + note
+        )
     for stage in result.stages:
         _print_device_summary(stage.device_stats)
     if args.output:

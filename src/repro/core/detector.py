@@ -284,6 +284,9 @@ class EpistasisDetector:
         *,
         cancel: CancellationToken | None = None,
         progress: Callable[[int, int], None] | None = None,
+        workers: int | None = None,
+        checkpoint: str | None = None,
+        resume: bool = False,
     ) -> DetectionResult:
         """Exhaustively evaluate every SNP combination of the dataset.
 
@@ -298,6 +301,21 @@ class EpistasisDetector:
         progress:
             Optional callback invoked after every chunk with
             ``(combinations_done, combinations_total)``.
+        workers:
+            Number of sharded OS worker *processes* (``repro.distributed``):
+            ``None``/``1`` runs in-process with ``config.n_workers`` host
+            threads; ``N > 1`` cuts the combination space into shards
+            executed across ``N`` spawn-safe processes, each running this
+            detector's full device/schedule configuration, with a
+            deterministic merge (the top-k is bit-identical for any worker
+            count).
+        checkpoint:
+            Optional path of an atomic shard ledger written after every
+            completed shard (crash-safe; forces the sharded execution path
+            even for one worker).
+        resume:
+            Restore completed shards from an existing ``checkpoint`` ledger
+            instead of re-evaluating them.
 
         Returns
         -------
@@ -317,6 +335,9 @@ class EpistasisDetector:
             DenseRangeSource(n_snps, cfg.order),
             cancel=cancel,
             progress=progress,
+            workers=workers,
+            checkpoint=checkpoint,
+            resume=resume,
         )
 
     def detect_candidates(
@@ -327,6 +348,9 @@ class EpistasisDetector:
         cancel: CancellationToken | None = None,
         progress: Callable[[int, int], None] | None = None,
         observe: Callable[[DeviceWorker, np.ndarray, np.ndarray], None] | None = None,
+        workers: int | None = None,
+        checkpoint: str | None = None,
+        resume: bool = False,
     ) -> DetectionResult:
         """Evaluate an arbitrary candidate stream on the execution engine.
 
@@ -353,14 +377,49 @@ class EpistasisDetector:
             invoked after scoring, before the top-k fold.  Used by the
             screening stage to aggregate per-SNP statistics without keeping
             the full score stream; called concurrently from worker threads.
+        workers / checkpoint / resume:
+            Sharded multi-process execution as in :meth:`detect`; ``observe``
+            is not supported on that path (per-chunk taps cannot cross the
+            process boundary — the distributed screening stage uses
+            :func:`repro.distributed.run_distributed` directly).
 
         Returns
         -------
         DetectionResult
             Best interaction, top-k ranking and execution statistics;
-            ``stats.extra["candidates"]`` describes the evaluated source.
+            ``stats.extra["candidates"]`` describes the evaluated source,
+            and ``stats.extra["distributed"]`` the shard bookkeeping of a
+            multi-process run.
         """
         cfg = self.config
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be positive")
+        if (workers is not None and workers > 1) or checkpoint is not None:
+            if observe is not None:
+                raise ValueError(
+                    "observe= is not supported with multi-process execution; "
+                    "use repro.distributed.run_distributed(collect_snp_minima=...)"
+                )
+            from repro.distributed import run_distributed
+
+            outcome = run_distributed(
+                dataset,
+                source,
+                config=cfg,
+                workers=workers or 1,
+                checkpoint=checkpoint,
+                resume=resume,
+                progress=progress,
+                cancel=cancel,
+                approach_kwargs=self._approach_kwargs,
+            )
+            if outcome.cancelled or not outcome.completed:
+                raise RuntimeError(
+                    f"detection cancelled after "
+                    f"{outcome.items_restored + outcome.items_evaluated} of "
+                    f"{source.total} combinations"
+                )
+            return outcome.result
         total = source.total
         devices = self.engine_devices()
         policy = self._build_policy(dataset, source)
@@ -427,6 +486,9 @@ class EpistasisDetector:
         stages: List | None = None,
         cancel: CancellationToken | None = None,
         progress: Callable[[str, int, int], None] | None = None,
+        workers: int | None = None,
+        checkpoint: str | None = None,
+        resume: bool = False,
     ):
         """Run a staged screen-then-expand search instead of the dense sweep.
 
@@ -464,6 +526,13 @@ class EpistasisDetector:
         cancel / progress:
             Cooperative cancellation token and per-stage progress callback
             ``progress(stage_name, done, total)``.
+        workers / checkpoint / resume:
+            Sharded multi-process execution of the sweep stages
+            (:mod:`repro.distributed`): each screen/expand stage shards its
+            candidate space across ``workers`` OS processes; ``checkpoint``
+            names a *directory* holding one atomic ledger per stage plus
+            the pipeline-level stage-output ledger, and ``resume`` restores
+            completed stages and shards after a kill.
 
         Returns
         -------
@@ -528,6 +597,9 @@ class EpistasisDetector:
             chunk_size=cfg.chunk_size,
             top_k=cfg.top_k,
             validate=cfg.validate,
+            workers=workers or 1,
+            checkpoint=checkpoint,
+            resume=resume,
         )
         return pipeline.run(dataset, cancel=cancel, progress=progress)
 

@@ -1,0 +1,68 @@
+"""Sharded multi-process execution with checkpoint/resume and deterministic merge.
+
+The fourth execution layer of the library (engine → order-generic core →
+staged pipeline → **distributed**): any candidate sweep can be cut into
+rank-addressable shards, executed across OS worker processes (each running
+the full in-process heterogeneous engine over its shard), checkpointed
+after every shard into an atomic JSON ledger, resumed after a kill, and
+merged under an explicit ``(score, combination-rank)`` total order so the
+reported top-k is bit-identical for any worker count.
+
+* :mod:`repro.distributed.shards` — :class:`Shard`, :class:`ShardView` and
+  the :class:`ShardPlanner` (static or CARM-throughput-weighted cuts);
+* :mod:`repro.distributed.runner` — spawn-safe :class:`ProcessRunner`
+  worker pool streaming per-shard partial top-k results back;
+* :mod:`repro.distributed.checkpoint` — the atomic
+  :class:`CheckpointStore` shard ledger enabling ``--resume``;
+* :mod:`repro.distributed.merge` — deterministic partial-result folding;
+* :mod:`repro.distributed.coordinator` — :func:`run_distributed`, the
+  orchestration loop behind ``detect(..., workers=N, checkpoint=...)``;
+* :mod:`repro.distributed.cluster` — rank bookkeeping and broadcast/gather
+  traffic accounting for the MPI3SNP-style baseline (plus the legacy
+  :class:`SimulatedCluster` harness of the retired :mod:`repro.parallel`).
+"""
+
+from repro.distributed.shards import (
+    DEFAULT_SHARD_COUNT,
+    Shard,
+    ShardPlanner,
+    ShardView,
+)
+from repro.distributed.checkpoint import (
+    CheckpointStore,
+    JsonLedger,
+    dataset_fingerprint,
+)
+from repro.distributed.merge import (
+    interaction_to_row,
+    merge_minima,
+    merge_rows,
+    row_to_interaction,
+    row_sort_key,
+)
+from repro.distributed.runner import ProcessRunner, ShardOutcome, WorkerPayload
+from repro.distributed.coordinator import DistributedOutcome, run_distributed
+from repro.distributed.cluster import ClusterRank, RankAccounting, SimulatedCluster
+
+__all__ = [
+    "DEFAULT_SHARD_COUNT",
+    "Shard",
+    "ShardView",
+    "ShardPlanner",
+    "CheckpointStore",
+    "JsonLedger",
+    "dataset_fingerprint",
+    "interaction_to_row",
+    "row_to_interaction",
+    "row_sort_key",
+    "merge_rows",
+    "merge_minima",
+    "ProcessRunner",
+    "ShardOutcome",
+    "WorkerPayload",
+    "DistributedOutcome",
+    "run_distributed",
+    "ClusterRank",
+    "RankAccounting",
+    "SimulatedCluster",
+]

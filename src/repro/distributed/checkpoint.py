@@ -1,0 +1,280 @@
+"""Crash-safe checkpoint ledgers for sharded runs.
+
+A checkpoint is a single JSON document updated with an atomic
+write-temp-then-:func:`os.replace` cycle after every shard completion, so a
+killed run (OOM, pre-emption, ``kill -9``) always leaves either the previous
+or the next consistent ledger on disk — never a torn file.  The ledger
+records
+
+* a **fingerprint** of the run (dataset digest, candidate-source *content*
+  identity, search configuration, shard boundaries) so ``--resume`` refuses
+  to splice partials from a different run into the result;
+* the **per-shard records**: shard id, partial top-k rows, item/op/traffic
+  counts and a reference to the shard's per-SNP screening minima, which
+  live as write-once binary side files under ``<ledger>.minima/`` (keeping
+  the per-shard JSON rewrite proportional to the shard count);
+* free-form **state** sections used by non-sharded consumers (the
+  permutation stage stores its RNG bit-generator state and exceedance
+  counters here).
+
+Scores are stored as JSON numbers; Python's ``json`` encodes floats via
+``repr``, which round-trips ``float64`` exactly, so a resumed run merges
+bit-identical values.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from repro.datasets.dataset import GenotypeDataset
+from repro.distributed.shards import Shard
+
+__all__ = ["dataset_fingerprint", "JsonLedger", "CheckpointStore"]
+
+#: Ledger format version; bumped on incompatible layout changes.
+LEDGER_VERSION = 1
+
+
+def dataset_fingerprint(dataset: GenotypeDataset) -> Dict[str, object]:
+    """Content digest of a dataset (shape plus SHA-1 of the raw arrays)."""
+    digest = hashlib.sha1()
+    digest.update(np.ascontiguousarray(dataset.genotypes).tobytes())
+    digest.update(np.ascontiguousarray(dataset.phenotypes).tobytes())
+    return {
+        "n_snps": int(dataset.n_snps),
+        "n_samples": int(dataset.n_samples),
+        "sha1": digest.hexdigest(),
+    }
+
+
+class JsonLedger:
+    """Atomic JSON document on disk (the base of every checkpoint format).
+
+    The in-memory document is the single source of truth between writes;
+    :meth:`write` serialises it to a temporary file in the same directory
+    and atomically replaces the target, so readers (and crashed writers)
+    only ever observe complete documents.  :meth:`begin` implements the
+    shared open-or-initialise flow (version stamp + fingerprint
+    validation) every concrete ledger — shard, pipeline stage-output,
+    permutation RNG — builds on.
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+        self.doc: Dict[str, object] = {}
+
+    def begin(
+        self,
+        fingerprint: Dict[str, object],
+        resume: bool = False,
+        label: str = "checkpoint",
+    ) -> bool:
+        """Open an existing ledger or initialise a fresh one.
+
+        Returns ``True`` when ``resume`` found a valid on-disk ledger (its
+        document is loaded); returns ``False`` after initialising a fresh
+        in-memory document ``{"version", "fingerprint"}`` — the caller adds
+        its sections and calls :meth:`write`.  A version or fingerprint
+        mismatch raises ``ValueError`` (``label`` names the ledger kind in
+        the message) rather than silently splicing state from a different
+        run.
+        """
+        if resume and self.load() is not None:
+            if self.doc.get("version") != LEDGER_VERSION:
+                raise ValueError(
+                    f"{self.path}: {label} version {self.doc.get('version')!r} "
+                    f"is not {LEDGER_VERSION}; delete the file to start fresh"
+                )
+            if self.doc.get("fingerprint") != fingerprint:
+                raise ValueError(
+                    f"{self.path}: {label} fingerprint does not match this run "
+                    "(different dataset, candidates, configuration or plan); "
+                    "delete the file or rerun with the original configuration"
+                )
+            return True
+        self.doc = {"version": LEDGER_VERSION, "fingerprint": fingerprint}
+        return False
+
+    @property
+    def exists(self) -> bool:
+        """Whether a ledger file is present on disk."""
+        return self.path.exists()
+
+    def load(self) -> Dict[str, object] | None:
+        """Read the on-disk document into memory (``None`` when absent)."""
+        if not self.path.exists():
+            return None
+        with self.path.open("r", encoding="utf-8") as fh:
+            self.doc = json.load(fh)
+        return self.doc
+
+    def write(self) -> None:
+        """Atomically persist the in-memory document."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(
+            prefix=self.path.name + ".", suffix=".tmp", dir=self.path.parent
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(self.doc, fh, indent=1)
+                fh.write("\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp_path, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    def delete(self) -> None:
+        """Remove the ledger file (ignored when absent)."""
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+
+
+class CheckpointStore(JsonLedger):
+    """Shard ledger of one distributed run.
+
+    Life cycle: :meth:`begin` either starts a fresh ledger or — under
+    ``resume=True`` — validates the on-disk fingerprint and returns the
+    already-completed shard records; :meth:`record_shard` appends one
+    shard's partial result and persists atomically; :meth:`finish` marks the
+    run complete (purely informational — a complete ledger resumes to a
+    no-op merge).
+    """
+
+    def begin(
+        self,
+        fingerprint: Dict[str, object],
+        shards: Iterable[Shard],
+        resume: bool = False,
+    ) -> Dict[int, Dict[str, object]]:
+        """Open the ledger and return the records of already-done shards.
+
+        A fresh run (or ``resume=True`` with no ledger on disk) starts
+        empty.  Resuming an existing ledger requires its fingerprint to
+        match exactly; anything else raises ``ValueError`` rather than
+        silently merging partials of a different dataset, candidate space
+        or shard geometry.
+        """
+        boundaries = [[s.start, s.stop] for s in shards]
+        if super().begin(fingerprint, resume=resume, label="shard checkpoint"):
+            if self.doc.get("shards_planned") != boundaries:
+                raise ValueError(
+                    f"{self.path}: checkpoint shard boundaries do not match "
+                    "this run's shard plan"
+                )
+            return self.done_records()
+        self.doc.update(
+            {
+                "shards_planned": boundaries,
+                "completed": False,
+                "shards": {},
+                "state": {},
+            }
+        )
+        # A fresh ledger owns its side-file directory; drop leftovers of a
+        # previous (overwritten) run so stale minima can never be read.
+        shutil.rmtree(self.minima_dir, ignore_errors=True)
+        self.write()
+        return {}
+
+    def record_shard(self, shard_id: int, record: Dict[str, object]) -> None:
+        """Persist one completed shard's partial result atomically.
+
+        Dense per-SNP minima payloads are written once to a side file under
+        ``<ledger>.minima/`` (NPZ-style binary, atomic rename) and only
+        referenced from the JSON document — the per-shard ledger rewrite
+        stays proportional to the shard count, not to ``n_shards x
+        n_snps``, on whole-genome screens.
+        """
+        record = dict(record)
+        minima = record.pop("snp_minima", None)
+        if minima is not None:
+            record["snp_minima_file"] = self._write_minima(shard_id, minima)
+        self.doc.setdefault("shards", {})[str(int(shard_id))] = record
+        self.write()
+
+    @property
+    def minima_dir(self) -> Path:
+        """Directory of the per-shard minima side files."""
+        return self.path.with_name(self.path.name + ".minima")
+
+    def _write_minima(self, shard_id: int, payload) -> str:
+        """Atomically write one shard's minima array; returns the file name."""
+        self.minima_dir.mkdir(parents=True, exist_ok=True)
+        array = np.array(
+            [np.inf if value is None else float(value) for value in payload],
+            dtype=np.float64,
+        )
+        name = f"shard{int(shard_id):05d}.npy"
+        fd, tmp_path = tempfile.mkstemp(
+            prefix=name + ".", suffix=".tmp", dir=self.minima_dir
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                np.save(fh, array)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp_path, self.minima_dir / name)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        return name
+
+    def shard_minima(self, shard_id: int, record: Dict[str, object]):
+        """A restored shard's per-SNP minima (``None`` when not collected)."""
+        if record.get("snp_minima") is not None:
+            return record["snp_minima"]  # inline payload (legacy/small runs)
+        name = record.get("snp_minima_file")
+        if name is None:
+            return None
+        path = self.minima_dir / str(name)
+        if not path.exists():
+            raise ValueError(
+                f"{self.path}: ledger records minima file {name} for shard "
+                f"{shard_id} but it is missing; delete the checkpoint and "
+                "restart"
+            )
+        return np.load(path)
+
+    def done_records(self) -> Dict[int, Dict[str, object]]:
+        """Completed shard records keyed by integer shard id."""
+        return {
+            int(shard_id): record
+            for shard_id, record in self.doc.get("shards", {}).items()
+        }
+
+    def done_ids(self) -> List[int]:
+        """Sorted ids of the completed shards."""
+        return sorted(self.done_records())
+
+    def finish(self) -> None:
+        """Mark the run complete."""
+        self.doc["completed"] = True
+        self.write()
+
+    # -- free-form state (RNG/permutation progress, ...) -------------------
+    def get_state(self, key: str):
+        """Read a free-form state entry (``None`` when absent)."""
+        return self.doc.get("state", {}).get(key)
+
+    def set_state(self, key: str, value) -> None:
+        """Persist a free-form state entry atomically."""
+        self.doc.setdefault("state", {})[key] = value
+        self.write()

@@ -1,0 +1,398 @@
+"""The distributed run coordinator: shard → execute → checkpoint → merge.
+
+:func:`run_distributed` is the orchestration loop behind
+``EpistasisDetector.detect(..., workers=N, checkpoint=...)``, the staged
+pipeline's per-stage sharding and the CLI's ``--workers/--checkpoint/
+--resume`` flags:
+
+1. a :class:`~repro.distributed.shards.ShardPlanner` cuts the candidate
+   space into rank-addressable shards;
+2. under ``--resume``, the :class:`~repro.distributed.checkpoint.CheckpointStore`
+   is validated against the run fingerprint and already-completed shards
+   are restored from the ledger instead of re-evaluated;
+3. a :class:`~repro.distributed.runner.ProcessRunner` streams the remaining
+   shards through worker processes (or inline for ``workers=1``), and every
+   completed shard is appended to the ledger atomically before the next one
+   is awaited — a kill at any point loses at most the in-flight shards;
+4. the partial top-k lists are folded by
+   :func:`~repro.distributed.merge.merge_rows` under the explicit
+   ``(score, combination-rank)`` total order, so the reported top-k is
+   bit-identical for 1, 2 or 8 workers, with or without a resume cycle.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.core.result import ApproachStats, DetectionResult, Interaction
+from repro.core.scoring import get_objective
+from repro.datasets.dataset import GenotypeDataset
+from repro.engine.candidates import CandidateSource
+from repro.engine.policies import get_policy
+from repro.distributed.checkpoint import CheckpointStore, dataset_fingerprint
+from repro.distributed.merge import merge_minima, merge_rows, row_to_interaction
+from repro.distributed.runner import ProcessRunner, ShardOutcome, WorkerPayload
+from repro.distributed.shards import ShardPlanner
+
+__all__ = ["DistributedOutcome", "run_distributed"]
+
+#: Progress callback: ``progress(items_done, items_total)`` — counts restored
+#: shard items as done, so a resumed run starts where the ledger left off.
+ProgressCallback = Callable[[int, int], None]
+
+
+@dataclass
+class DistributedOutcome:
+    """Everything a sharded run produced (complete or partial).
+
+    ``result`` is only assembled for complete runs; a partial run (shard
+    budget exhausted, cooperative cancellation) still exposes the merged
+    top-so-far, the ledger bookkeeping and the per-shard statistics so
+    callers can report progress and resume later.
+    """
+
+    top: List[Interaction]
+    completed: bool
+    cancelled: bool
+    workers: int
+    n_shards: int
+    shards_done: int
+    shards_restored: int
+    items_total: int
+    items_evaluated: int
+    items_restored: int
+    elapsed_seconds: float
+    result: DetectionResult | None = None
+    snp_minima: np.ndarray | None = None
+    checkpoint_path: str | None = None
+    device_stats: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    op_counts: Dict[str, int] = field(default_factory=dict)
+    bytes_loaded: int = 0
+    bytes_stored: int = 0
+    #: Items evaluated per shard id (restored and fresh), for per-rank
+    #: accounting by callers that map shards onto ranks.
+    shard_items: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def shards_remaining(self) -> int:
+        """Shards still unevaluated (0 for a complete run)."""
+        return self.n_shards - self.shards_done
+
+
+def _aggregate_device_stats(
+    shard_stats: List[Dict[str, Dict[str, object]]],
+    elapsed: float,
+    n_items: int,
+    n_processes: int,
+) -> Dict[str, Dict[str, object]]:
+    """Sum per-shard engine lane statistics into run-level device stats.
+
+    ``busy_seconds`` accumulates across every shard of every worker
+    process, so the capacity normalising the utilization is the wall clock
+    times the *fleet-wide* lane thread count (per-process lane workers x
+    worker processes); restored shards contribute their recorded stats but
+    no busy time, so a resumed run's utilization reflects only this run's
+    execution.
+    """
+    stats: Dict[str, Dict[str, object]] = {}
+    for per_shard in shard_stats:
+        for label, entry in per_shard.items():
+            agg = stats.setdefault(
+                label,
+                {
+                    "kind": entry.get("kind"),
+                    "workers": int(entry.get("workers", 1)) * n_processes,
+                    "chunks": 0,
+                    "items": 0,
+                    "busy_seconds": 0.0,
+                    "op_counts": {},
+                },
+            )
+            agg["chunks"] += int(entry.get("chunks", 0))
+            agg["items"] += int(entry.get("items", 0))
+            agg["busy_seconds"] += float(entry.get("busy_seconds", 0.0))
+            if entry.get("approach"):
+                agg["approach"] = entry["approach"]
+            for mnemonic, count in entry.get("op_counts", {}).items():
+                agg["op_counts"][mnemonic] = (
+                    agg["op_counts"].get(mnemonic, 0) + int(count)
+                )
+    for agg in stats.values():
+        capacity = elapsed * max(1, int(agg["workers"]))
+        agg["utilization"] = (
+            float(agg["busy_seconds"]) / capacity if capacity > 0 else 0.0
+        )
+        agg["share"] = int(agg["items"]) / n_items if n_items else 0.0
+    return stats
+
+
+def run_distributed(
+    dataset: GenotypeDataset,
+    source: CandidateSource,
+    *,
+    config,
+    workers: int = 1,
+    checkpoint: str | None = None,
+    resume: bool = False,
+    planner: ShardPlanner | None = None,
+    shard_budget: int | None = None,
+    collect_snp_minima: bool = False,
+    progress: ProgressCallback | None = None,
+    cancel=None,
+    approach_kwargs: Dict[str, object] | None = None,
+    mp_context: str = "spawn",
+) -> DistributedOutcome:
+    """Execute a candidate sweep as a sharded multi-process run.
+
+    Parameters
+    ----------
+    dataset / source:
+        The case/control dataset and the candidate space to sweep.
+    config:
+        A :class:`~repro.core.detector.DetectorConfig`; ``approach`` must be
+        a registry name (worker processes build their own instances).
+        ``n_workers`` is the *per-process* host thread count.
+    workers:
+        Worker process count; ``1`` runs the identical shard/checkpoint
+        path inline (no pool).
+    checkpoint:
+        Optional path of the atomic shard ledger.  Written after every
+        completed shard; without it a killed run loses everything.
+    resume:
+        Restore completed shards from an existing ledger (fingerprint
+        validated) instead of re-evaluating them.  With no ledger on disk
+        the run starts fresh, so ``--resume`` is safe to pass always.
+    planner:
+        Shard planner override (default: static
+        :data:`~repro.distributed.shards.DEFAULT_SHARD_COUNT`-way cut).
+    shard_budget:
+        Evaluate at most this many shards in this invocation and return a
+        partial (``completed=False``) outcome — time-sliced execution for
+        budgeted or cron-driven sweeps.
+    collect_snp_minima:
+        Fold the per-SNP best-participating-score accumulator inside every
+        shard and merge across shards (the distributed screening stage).
+    progress:
+        ``progress(items_done, items_total)`` per completed shard
+        (restored items count as done).
+    cancel:
+        Optional :class:`~repro.engine.executor.CancellationToken`; checked
+        between shard completions.
+    """
+    if not isinstance(config.approach, str):
+        raise TypeError(
+            "distributed execution requires the approach as a registry name; "
+            f"got {type(config.approach).__name__} (worker processes build "
+            "their own instances)"
+        )
+    if workers < 1:
+        raise ValueError("workers must be positive")
+    total = source.total
+    if total < 1:
+        raise ValueError("cannot distribute an empty candidate source")
+
+    started = time.perf_counter()
+    planner = planner or ShardPlanner()
+    shards = planner.plan(
+        total,
+        workers,
+        n_snps=source.effective_snps or dataset.n_snps,
+        n_samples=dataset.n_samples,
+        order=source.order,
+    )
+    store: CheckpointStore | None = None
+    restored: Dict[int, Dict[str, object]] = {}
+    if checkpoint is not None:
+        store = CheckpointStore(checkpoint)
+        fingerprint = {
+            "dataset": dataset_fingerprint(dataset),
+            # Content identity, not just geometry: explicit-rank/tuple and
+            # subset sources digest their defining arrays, so a ledger can
+            # never splice partials from a same-shaped but different
+            # candidate set.
+            "source": source.fingerprint(),
+            "search": {
+                "approach": config.approach,
+                "objective": get_objective(config.objective).name,
+                "top_k": int(config.top_k),
+                "collect_snp_minima": bool(collect_snp_minima),
+            },
+        }
+        restored = store.begin(fingerprint, shards, resume=resume)
+
+    pending = [s for s in shards if s.shard_id not in restored]
+    if shard_budget is not None:
+        if shard_budget < 0:
+            raise ValueError("shard_budget must be non-negative")
+        pending = pending[:shard_budget]
+
+    items_restored = sum(int(rec.get("n_items", 0)) for rec in restored.values())
+    items_total_done = items_restored
+    if progress is not None and items_restored:
+        progress(items_total_done, total)
+
+    payload = WorkerPayload(
+        dataset=dataset,
+        source=source,
+        approach=config.approach,
+        objective=config.objective,
+        n_threads=config.n_workers,
+        chunk_size=config.chunk_size,
+        top_k=config.top_k,
+        validate=config.validate,
+        devices=config.devices,
+        schedule=config.schedule,
+        collect_minima=collect_snp_minima,
+        approach_kwargs=dict(approach_kwargs or {}),
+    )
+    runner = ProcessRunner(workers, payload, mp_context=mp_context)
+
+    outcomes: List[ShardOutcome] = []
+    cancelled = False
+    if pending and not (cancel is not None and cancel.cancelled):
+        shard_stream = runner.map_shards(pending)
+        try:
+            for outcome in shard_stream:
+                outcomes.append(outcome)
+                if store is not None:
+                    record: Dict[str, object] = {
+                        "top": outcome.rows,
+                        "n_items": int(outcome.n_items),
+                        "elapsed_seconds": float(outcome.elapsed_seconds),
+                        "op_counts": dict(outcome.op_counts),
+                        "bytes_loaded": int(outcome.bytes_loaded),
+                        "bytes_stored": int(outcome.bytes_stored),
+                        "device_stats": outcome.device_stats,
+                    }
+                    if outcome.snp_minima is not None:
+                        record["snp_minima"] = outcome.snp_minima
+                    store.record_shard(outcome.shard_id, record)
+                items_total_done += outcome.n_items
+                if progress is not None:
+                    progress(items_total_done, total)
+                if cancel is not None and cancel.cancelled:
+                    cancelled = True
+                    break
+        finally:
+            shard_stream.close()
+    elif cancel is not None and cancel.cancelled:
+        cancelled = True
+
+    shards_done = len(restored) + len(outcomes)
+    completed = shards_done == len(shards) and not cancelled
+    if completed and store is not None:
+        store.finish()
+
+    partial_rows = [rec.get("top", []) for rec in restored.values()]
+    partial_rows.extend(outcome.rows for outcome in outcomes)
+    top = [row_to_interaction(row) for row in merge_rows(partial_rows, config.top_k)]
+
+    snp_minima = None
+    if collect_snp_minima:
+        partial_minima = [
+            store.shard_minima(shard_id, rec)
+            for shard_id, rec in restored.items()
+        ]
+        partial_minima.extend(outcome.snp_minima for outcome in outcomes)
+        snp_minima = merge_minima(m for m in partial_minima if m is not None)
+
+    elapsed = time.perf_counter() - started
+    items_evaluated = sum(o.n_items for o in outcomes)
+
+    # Operation/traffic accounting covers the whole search: fresh shards
+    # plus the restored shards' recorded counts, so a resumed run's stats
+    # still describe all n_combinations it reports.
+    op_counts: Dict[str, int] = {}
+    bytes_loaded = sum(o.bytes_loaded for o in outcomes)
+    bytes_stored = sum(o.bytes_stored for o in outcomes)
+    op_sources: List[Dict[str, int]] = [o.op_counts for o in outcomes]
+    for rec in restored.values():
+        op_sources.append(rec.get("op_counts", {}))
+        bytes_loaded += int(rec.get("bytes_loaded", 0))
+        bytes_stored += int(rec.get("bytes_stored", 0))
+    for source_ops in op_sources:
+        for mnemonic, count in source_ops.items():
+            op_counts[mnemonic] = op_counts.get(mnemonic, 0) + int(count)
+
+    # Restored shards contribute their recorded work accounting (items,
+    # chunks, per-lane op counts) but no busy time — utilization describes
+    # this run's execution only.
+    shard_stats: List[Dict[str, Dict[str, object]]] = [
+        {
+            label: {**dict(entry), "busy_seconds": 0.0}
+            for label, entry in rec.get("device_stats", {}).items()
+        }
+        for rec in restored.values()
+    ]
+    shard_stats.extend(o.device_stats for o in outcomes)
+    # Normalise utilization by the pool that actually ran (the runner caps
+    # its process count at the pending-shard count), not the requested
+    # worker count.
+    effective_processes = max(1, min(workers, len(pending)))
+    device_stats = _aggregate_device_stats(
+        shard_stats, elapsed, items_evaluated + items_restored, effective_processes
+    )
+
+    result: DetectionResult | None = None
+    if completed:
+        if not top:
+            raise RuntimeError("distributed search produced no interactions")
+        extra: Dict[str, object] = {
+            "order": source.order,
+            "schedule": get_policy(config.schedule).name,
+            "candidates": source.describe(),
+            "devices": device_stats,
+            "distributed": {
+                "workers": workers,
+                "n_shards": len(shards),
+                "strategy": planner.strategy,
+                "shards_restored": len(restored),
+                "items_restored": items_restored,
+                "items_evaluated": items_evaluated,
+                "checkpoint": str(checkpoint) if checkpoint is not None else None,
+                "mode": "inline" if workers == 1 else "processes",
+            },
+        }
+        stats = ApproachStats(
+            approach=config.approach,
+            n_combinations=total,
+            n_samples=dataset.n_samples,
+            elapsed_seconds=elapsed,
+            op_counts=op_counts,
+            bytes_loaded=bytes_loaded,
+            bytes_stored=bytes_stored,
+            n_workers=workers * config.n_workers,
+            extra=extra,
+        )
+        result = DetectionResult(best=top[0], top=list(top), stats=stats)
+
+    shard_items = {
+        shard_id: int(rec.get("n_items", 0)) for shard_id, rec in restored.items()
+    }
+    shard_items.update({o.shard_id: int(o.n_items) for o in outcomes})
+
+    return DistributedOutcome(
+        top=top,
+        completed=completed,
+        cancelled=cancelled,
+        workers=workers,
+        n_shards=len(shards),
+        shards_done=shards_done,
+        shards_restored=len(restored),
+        items_total=total,
+        items_evaluated=items_evaluated,
+        items_restored=items_restored,
+        elapsed_seconds=elapsed,
+        result=result,
+        snp_minima=snp_minima,
+        checkpoint_path=str(checkpoint) if checkpoint is not None else None,
+        device_stats=device_stats,
+        op_counts=op_counts,
+        bytes_loaded=bytes_loaded,
+        bytes_stored=bytes_stored,
+        shard_items=shard_items,
+    )

@@ -1,0 +1,245 @@
+"""Spawn-safe worker processes executing shards through the engine.
+
+A worker process is initialised exactly once per pool (dataset + detector
+construction, device-lane encoding) and then evaluates any number of shards:
+each task is just ``(shard_id, start, stop)``, the worker wraps the run's
+candidate source in a :class:`~repro.distributed.shards.ShardView` and
+sweeps it through the ordinary in-process
+:class:`~repro.engine.executor.HeterogeneousExecutor` — device lanes,
+scheduling policies and the streaming top-k reduction behave exactly as in
+a single-process search.  What crosses the process boundary is small and
+picklable: the one-time :class:`WorkerPayload` downstream, and a
+:class:`ShardOutcome` (top-k rows, item/op counts, optional per-SNP
+screening minima) upstream per shard.
+
+Everything here is **spawn-safe**: the worker entry points are module-level
+functions resolved by import path (no closures, no lambdas), so the pool
+works identically under the ``spawn`` start method (macOS/Windows default,
+and the only start method that is safe with threads in the parent).
+``workers=1`` bypasses the pool entirely and runs the same code inline —
+zero process overhead, identical results, same checkpoint ledger.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence
+
+from repro.distributed.merge import (
+    interaction_to_row,
+    minima_to_payload,
+    snp_minima_accumulator,
+)
+from repro.distributed.shards import Shard, ShardView
+
+__all__ = ["WorkerPayload", "ShardOutcome", "ProcessRunner"]
+
+
+@dataclass
+class WorkerPayload:
+    """Everything a worker process needs, shipped once at pool start.
+
+    ``approach`` must be a registry *name* (a pre-built approach instance
+    carries per-run counter state that must not be shared across
+    processes); ``objective`` and ``schedule`` may be names or picklable
+    instances.
+    """
+
+    dataset: object  # GenotypeDataset (picklable dataclass)
+    source: object  # CandidateSource
+    approach: str
+    objective: object = "k2"
+    n_threads: int = 1
+    chunk_size: int = 2048
+    top_k: int = 10
+    validate: bool = False
+    devices: str | None = None
+    schedule: object = "dynamic"
+    collect_minima: bool = False
+    approach_kwargs: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class ShardOutcome:
+    """One shard's partial result, streamed back to the coordinator."""
+
+    shard_id: int
+    rows: List[list]
+    n_items: int
+    elapsed_seconds: float
+    device_stats: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    op_counts: Dict[str, int] = field(default_factory=dict)
+    bytes_loaded: int = 0
+    bytes_stored: int = 0
+    #: Per-SNP best-participating-score payload (``None`` = SNP unseen).
+    snp_minima: List[float | None] | None = None
+
+
+class _WorkerContext:
+    """Per-process execution state: one detector reused across shards.
+
+    The detector (and through it the per-lane dataset encodings) is reused
+    across every shard the context evaluates, so per-shard cost is pure
+    sweep work after the first shard warms the encodings.  Spawned pool
+    workers hold one context in the module global below; the inline
+    (``workers=1``) path builds a *local* context instead, so concurrent
+    inline runs in one process (e.g. from two threads) cannot clobber each
+    other's state.
+    """
+
+    def __init__(self, payload: WorkerPayload) -> None:
+        from repro.core.detector import EpistasisDetector
+
+        self.payload = payload
+        self.detector = EpistasisDetector(
+            approach=payload.approach,
+            objective=payload.objective,
+            order=payload.source.order,
+            n_workers=payload.n_threads,
+            chunk_size=payload.chunk_size,
+            top_k=payload.top_k,
+            validate=payload.validate,
+            devices=payload.devices,
+            schedule=payload.schedule,
+            **payload.approach_kwargs,
+        )
+
+    def run_shard(self, task: tuple[int, int, int]) -> ShardOutcome:
+        """Evaluate one shard."""
+        shard_id, start, stop = task
+        payload = self.payload
+        dataset = payload.dataset
+        view = ShardView(payload.source, start, stop)
+
+        observe = finalize_minima = None
+        if payload.collect_minima:
+            observe, finalize_minima = snp_minima_accumulator(dataset.n_snps)
+
+        # Operation counters accumulate on the per-process prototype across
+        # shards; snapshot before the sweep so the outcome carries this
+        # shard's delta only (the coordinator sums deltas across shards and
+        # processes).
+        counter = self.detector.approach.counter
+        ops_before = dict(counter.as_dict())
+        loaded_before = counter.bytes_loaded
+        stored_before = counter.bytes_stored
+
+        started = time.perf_counter()
+        result = self.detector.detect_candidates(dataset, view, observe=observe)
+        elapsed = time.perf_counter() - started
+
+        ops_after = counter.as_dict()
+        op_delta = {
+            mnemonic: int(count) - ops_before.get(mnemonic, 0)
+            for mnemonic, count in ops_after.items()
+            if int(count) - ops_before.get(mnemonic, 0)
+        }
+
+        shard_minima: List[float | None] | None = None
+        if finalize_minima is not None:
+            shard_minima = minima_to_payload(finalize_minima())
+
+        return ShardOutcome(
+            shard_id=shard_id,
+            rows=[interaction_to_row(inter) for inter in result.top],
+            n_items=view.total,
+            elapsed_seconds=elapsed,
+            device_stats={
+                label: dict(entry)
+                for label, entry in result.stats.extra.get("devices", {}).items()
+            },
+            op_counts=op_delta,
+            bytes_loaded=counter.bytes_loaded - loaded_before,
+            bytes_stored=counter.bytes_stored - stored_before,
+            snp_minima=shard_minima,
+        )
+
+
+#: Per-process worker context, set once by :func:`_init_worker` (spawned
+#: pool workers only — the inline path uses a local context).
+_WORKER: _WorkerContext | None = None
+
+
+def _init_worker(payload: WorkerPayload) -> None:
+    """Pool initializer: build the per-process worker context once."""
+    global _WORKER
+    _WORKER = _WorkerContext(payload)
+
+
+def _run_shard(task: tuple[int, int, int]) -> ShardOutcome:
+    """Evaluate one shard in the current (spawned) worker process."""
+    if _WORKER is None:
+        raise RuntimeError("worker process was not initialised")
+    return _WORKER.run_shard(task)
+
+
+class ProcessRunner:
+    """Executes shard tasks across OS processes (or inline for one worker).
+
+    Parameters
+    ----------
+    workers:
+        Worker process count.  ``1`` runs every shard inline in the calling
+        process through the identical code path (no pool, no pickling
+        overhead) — useful for checkpointed single-process runs and tests.
+    payload:
+        The one-time per-process initialisation data.
+    mp_context:
+        ``multiprocessing`` start method (default ``"spawn"``: safe with
+        threads in the parent and identical across platforms).
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        payload: WorkerPayload,
+        mp_context: str = "spawn",
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        self.workers = workers
+        self.payload = payload
+        self.mp_context = mp_context
+
+    def map_shards(self, shards: Sequence[Shard]) -> Iterator[ShardOutcome]:
+        """Yield shard outcomes as they complete (order is not guaranteed).
+
+        The caller checkpoints each outcome as it arrives; closing the
+        iterator early (cancellation) tears the pool down without waiting
+        for unclaimed shards.
+        """
+        tasks = [(s.shard_id, s.start, s.stop) for s in shards]
+        if not tasks:
+            return
+        if self.workers == 1:
+            context = _WorkerContext(self.payload)
+            for task in tasks:
+                yield context.run_shard(task)
+            return
+
+        context = multiprocessing.get_context(self.mp_context)
+        pool = ProcessPoolExecutor(
+            max_workers=min(self.workers, len(tasks)),
+            mp_context=context,
+            initializer=_init_worker,
+            initargs=(self.payload,),
+        )
+        try:
+            pending = {pool.submit(_run_shard, task) for task in tasks}
+            try:
+                while pending:
+                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        yield future.result()
+            except BrokenProcessPool as exc:
+                raise RuntimeError(
+                    "a distributed worker process died mid-run (killed or "
+                    "crashed); completed shards are preserved in the "
+                    "checkpoint ledger — rerun with resume to continue"
+                ) from exc
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)

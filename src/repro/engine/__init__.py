@@ -61,6 +61,7 @@ from repro.engine.executor import (
     EngineResult,
     HeterogeneousExecutor,
 )
+from repro.engine.mapreduce import WorkerResult, parallel_map_reduce
 
 __all__ = [
     "Range",
@@ -94,4 +95,6 @@ __all__ = [
     "CancellationToken",
     "EngineResult",
     "HeterogeneousExecutor",
+    "WorkerResult",
+    "parallel_map_reduce",
 ]

@@ -80,6 +80,28 @@ class CandidateSource(ABC):
         """One-line human-readable description (stage reports, exports)."""
         return f"{type(self).__name__}(total={self.total}, order={self.order})"
 
+    def fingerprint(self) -> dict:
+        """Content identity of the candidate set (checkpoint validation).
+
+        Sources whose identity is not fully determined by their geometry
+        (explicit ranks/tuples, retained subsets) extend this with a digest
+        of their defining arrays, so a resumed distributed run can refuse
+        to splice partial results evaluated over a *different* candidate
+        set that merely has the same shape.
+        """
+        return {
+            "describe": self.describe(),
+            "total": int(self.total),
+            "order": int(self.order),
+        }
+
+    @staticmethod
+    def _digest(array: np.ndarray) -> str:
+        """SHA-1 of an array's raw bytes (stable content key)."""
+        import hashlib
+
+        return hashlib.sha1(np.ascontiguousarray(array).tobytes()).hexdigest()
+
     def _check_range(self, start: int, stop: int) -> None:
         if not 0 <= start <= stop <= self.total:
             raise ValueError(
@@ -128,6 +150,9 @@ class DenseRangeSource(CandidateSource):
 
     def describe(self) -> str:
         return f"dense[C({self.n_snps},{self.order}) = {self.total}]"
+
+    def fingerprint(self) -> dict:
+        return {**super().fingerprint(), "n_snps": self.n_snps}
 
 
 class ExplicitRankSource(CandidateSource):
@@ -181,6 +206,13 @@ class ExplicitRankSource(CandidateSource):
     def describe(self) -> str:
         return f"ranks[{self.total} of C({self.n_snps},{self.order})]"
 
+    def fingerprint(self) -> dict:
+        return {
+            **super().fingerprint(),
+            "n_snps": self.n_snps,
+            "sha1": self._digest(self.ranks),
+        }
+
 
 class ExplicitCombinationSource(CandidateSource):
     """Pre-materialised k-tuples (finalist re-scoring, permutation nulls)."""
@@ -212,6 +244,9 @@ class ExplicitCombinationSource(CandidateSource):
 
     def describe(self) -> str:
         return f"explicit[{self.total} order-{self.order} tuples]"
+
+    def fingerprint(self) -> dict:
+        return {**super().fingerprint(), "sha1": self._digest(self.combos)}
 
 
 class SubsetSource(CandidateSource):
@@ -267,3 +302,6 @@ class SubsetSource(CandidateSource):
             f"subset[C({self.snp_indices.size},{self.order}) = {self.total} "
             f"over retained SNPs]"
         )
+
+    def fingerprint(self) -> dict:
+        return {**super().fingerprint(), "sha1": self._digest(self.snp_indices)}

@@ -59,11 +59,17 @@ class TopKHeap:
     """Bounded container of the ``k`` best (lowest-scoring) interactions.
 
     Chunks are folded in one batch at a time: the batch's local top-k is
-    selected with a stable argsort (preserving the deterministic
-    score-then-indices ordering of :class:`~repro.core.result.Interaction`)
-    and merged with the retained set via a heap selection, keeping memory
-    bounded by ``k`` entries regardless of the number of chunks streamed
-    through.
+    selected under the *total* order ``(score, snps)`` — equal scores break
+    by the combination's SNP tuple, which for sorted tuples is exactly the
+    global lexicographic combination rank — and merged with the retained
+    set via a heap selection, keeping memory bounded by ``k`` entries
+    regardless of the number of chunks streamed through.
+
+    Tie-breaking by combination rank (rather than by position within the
+    chunk) is what makes the retained set a pure function of the evaluated
+    candidate *set*: chunk boundaries, worker counts and shard counts can
+    never reorder or swap tied combinations, so a sharded multi-process run
+    merges to the bit-identical top-k of a single-process sweep.
     """
 
     def __init__(self, k: int) -> None:
@@ -89,7 +95,15 @@ class TopKHeap:
             raise ValueError("combos and scores must have the same length")
         if combos.shape[0] == 0:
             return
-        order = np.argsort(scores, kind="stable")[: self.k]
+        # Select the batch top-k under the total order (score, snps): the
+        # last lexsort key is the primary one, then the SNP columns left to
+        # right.  A plain stable argsort on the scores would break ties by
+        # chunk position, letting chunk/shard boundaries decide which of the
+        # tied combinations survives the truncation to k.
+        keys = tuple(
+            combos[:, col] for col in range(combos.shape[1] - 1, -1, -1)
+        ) + (scores,)
+        order = np.lexsort(keys)[: self.k]
         candidates = [
             Interaction(
                 snps=tuple(int(s) for s in combos[i]),

@@ -1,28 +1,23 @@
-"""Host parallel runtime (legacy façade over :mod:`repro.engine`).
+"""Retired host-parallel package (deprecation shim).
 
-The paper parallelises the CPU kernels with OpenMP using a *dynamic*
-schedule: "each core fetches a task from a thread pool.  Each thread performs
-a set of combinations … the scores are kept locally to each thread and a
-final reduction is performed to obtain the global solution" (§IV-A).  The
-GPU kernels receive blocks of ``BSched^3`` combinations per launch, and the
-MPI3SNP baseline statically partitions the combination space across cluster
-ranks.
+.. deprecated::
+    Everything this package provided moved into the unified execution
+    engine and the distributed subsystem:
 
-Those substrates now live in the unified heterogeneous execution engine
-(:mod:`repro.engine`): the schedulers became engine work sources, the
-OpenMP-style schedules became :class:`~repro.engine.policies.SchedulingPolicy`
-instances (``dynamic``, ``static``, ``guided``, ``carm``) and the thread
-pool became :class:`~repro.engine.executor.HeterogeneousExecutor`.  This
-package re-exports the engine names alongside the legacy API so existing
-imports keep working:
+    * schedulers / policies — :mod:`repro.engine` (``DynamicScheduler``,
+      ``GuidedScheduler``, ``static_partition``, the ``SchedulingPolicy``
+      family);
+    * ``parallel_map_reduce`` / ``WorkerResult`` —
+      :mod:`repro.engine.mapreduce`;
+    * ``SimulatedCluster`` / ``ClusterRank`` —
+      :mod:`repro.distributed.cluster` (with real-rank execution through
+      :func:`repro.distributed.run_distributed`).
 
-* :mod:`repro.parallel.scheduler` — re-exports the engine work sources.
-* :mod:`repro.parallel.executor` — the legacy ``parallel_map_reduce``
-  map/reduce entry point (deprecated in favour of the engine).
-* :mod:`repro.parallel.cluster` — a simulated multi-rank cluster used by the
-  MPI3SNP-style baseline (rank-local work, explicit gather of the partial
-  bests).
+    This package re-exports the old names unchanged and will be removed in
+    a future release.
 """
+
+import warnings
 
 from repro.engine.policies import (
     CarmRatioPolicy,
@@ -33,8 +28,16 @@ from repro.engine.policies import (
     get_policy,
 )
 from repro.engine.scheduling import DynamicScheduler, GuidedScheduler, static_partition
-from repro.parallel.executor import WorkerResult, parallel_map_reduce
-from repro.parallel.cluster import ClusterRank, SimulatedCluster
+from repro.engine.mapreduce import WorkerResult, parallel_map_reduce
+from repro.distributed.cluster import ClusterRank, SimulatedCluster
+
+warnings.warn(
+    "repro.parallel is deprecated; import schedulers and policies from "
+    "repro.engine, parallel_map_reduce from repro.engine.mapreduce, and the "
+    "cluster accounting from repro.distributed",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 __all__ = [
     "DynamicScheduler",

@@ -1,111 +1,24 @@
-"""Simulated multi-rank cluster for the MPI3SNP-style baseline.
+"""Simulated multi-rank cluster (deprecation shim).
 
-MPI3SNP distributes the third-order search across cluster processes with a
-static partition of the combination space; each rank evaluates its share and
-the best interactions are gathered on rank 0.  No MPI implementation is
-available offline, so this module provides a functional stand-in: ranks are
-executed sequentially (or on host threads), communication is modelled as
-explicit ``scatter``/``gather`` calls whose traffic is accounted, and the
-rank-local algorithm is supplied by the caller.
-
-The simulation preserves exactly the properties the baseline comparison
-needs: the static (load-imbalanced) partitioning, the per-rank duplication of
-the dataset, and the single gather of partial results at the end.
+.. deprecated::
+    :class:`SimulatedCluster` and :class:`ClusterRank` moved to
+    :mod:`repro.distributed.cluster`, and the MPI3SNP-style baseline now
+    executes its ranks through :func:`repro.distributed.run_distributed`
+    (real OS processes with ``processes=True``).  This module re-exports
+    the old names unchanged and will be removed in a future release.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Generic, List, Sequence, TypeVar
+import warnings
 
-from repro.parallel.scheduler import static_partition
+from repro.distributed.cluster import ClusterRank, RankAccounting, SimulatedCluster
 
-__all__ = ["ClusterRank", "SimulatedCluster"]
+warnings.warn(
+    "repro.parallel.cluster is deprecated; import the rank accounting from "
+    "repro.distributed (real-rank execution: repro.distributed.run_distributed)",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
-T = TypeVar("T")
-
-
-@dataclass
-class ClusterRank:
-    """Bookkeeping of one simulated rank."""
-
-    rank: int
-    work_range: tuple[int, int]
-    items_processed: int = 0
-    bytes_received: int = 0
-    bytes_sent: int = 0
-
-    @property
-    def work_items(self) -> int:
-        """Number of combination ranks assigned to this rank."""
-        return self.work_range[1] - self.work_range[0]
-
-
-class SimulatedCluster(Generic[T]):
-    """A fixed-size group of ranks with static work partitioning.
-
-    Parameters
-    ----------
-    n_ranks:
-        Number of simulated processes.
-
-    Notes
-    -----
-    The cluster is deliberately synchronous and deterministic: ``run``
-    executes rank 0, rank 1, … in order.  The measured quantity of interest
-    for the baseline comparison is *work done per rank* (and the traffic of
-    the initial broadcast / final gather), not wall-clock overlap, which the
-    performance model handles separately.
-    """
-
-    def __init__(self, n_ranks: int) -> None:
-        if n_ranks < 1:
-            raise ValueError("n_ranks must be positive")
-        self.n_ranks = int(n_ranks)
-        self.ranks: List[ClusterRank] = []
-
-    # -- collective operations -------------------------------------------------
-    def scatter_work(self, total_items: int) -> List[ClusterRank]:
-        """Statically partition ``total_items`` across the ranks."""
-        ranges = static_partition(total_items, self.n_ranks)
-        self.ranks = [ClusterRank(rank=i, work_range=r) for i, r in enumerate(ranges)]
-        return self.ranks
-
-    def broadcast_dataset(self, n_bytes: int) -> None:
-        """Model the initial dataset broadcast (every rank receives a copy)."""
-        if not self.ranks:
-            raise RuntimeError("scatter_work must be called before broadcast_dataset")
-        for rank in self.ranks:
-            rank.bytes_received += int(n_bytes)
-
-    def run(
-        self,
-        rank_fn: Callable[[ClusterRank], T],
-    ) -> List[T]:
-        """Execute ``rank_fn`` for every rank and return the partial results."""
-        if not self.ranks:
-            raise RuntimeError("scatter_work must be called before run")
-        results: List[T] = []
-        for rank in self.ranks:
-            results.append(rank_fn(rank))
-        return results
-
-    def gather(self, partials: Sequence[T], bytes_per_partial: int = 0) -> List[T]:
-        """Gather partial results on rank 0 (accounts the traffic)."""
-        if not self.ranks:
-            raise RuntimeError("scatter_work must be called before gather")
-        for rank in self.ranks[1:]:
-            rank.bytes_sent += int(bytes_per_partial)
-        self.ranks[0].bytes_received += int(bytes_per_partial) * (self.n_ranks - 1)
-        return list(partials)
-
-    # -- diagnostics -------------------------------------------------------------
-    def load_imbalance(self) -> float:
-        """Max-to-mean ratio of assigned work items (1.0 = perfectly balanced)."""
-        if not self.ranks:
-            return 1.0
-        sizes = [r.work_items for r in self.ranks]
-        mean = sum(sizes) / len(sizes)
-        if mean == 0:
-            return 1.0
-        return max(sizes) / mean
+__all__ = ["ClusterRank", "RankAccounting", "SimulatedCluster"]

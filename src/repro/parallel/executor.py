@@ -1,122 +1,26 @@
-"""Thread-pool execution with per-worker partial results (compatibility shim).
+"""Thread-pool map/reduce (deprecation shim).
 
 .. deprecated::
-    New code should build an :class:`~repro.engine.plan.ExecutionPlan` and
-    run it through :class:`~repro.engine.executor.HeterogeneousExecutor`,
-    which adds device lanes, scheduling policies, streaming top-k reduction,
-    per-device statistics and cooperative cancellation.
-    :func:`parallel_map_reduce` remains for callers that only need the
-    original map/reduce shape.
-
-The execution model mirrors §IV-A: every worker repeatedly claims a chunk of
-combinations from the dynamic scheduler, evaluates it with its own approach
-instance (so operation counters are never shared), keeps its best scores
-*locally* and the partial results are reduced once at the end — no
-synchronisation barriers inside the search.
+    :func:`parallel_map_reduce` and :class:`WorkerResult` moved to
+    :mod:`repro.engine.mapreduce`; new code should build an
+    :class:`~repro.engine.plan.ExecutionPlan` and run it through
+    :class:`~repro.engine.executor.HeterogeneousExecutor` (single machine)
+    or :func:`repro.distributed.run_distributed` (multi-process).  This
+    module re-exports the old names unchanged and will be removed in a
+    future release.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
-from typing import Callable, List, Sequence, TypeVar
+import warnings
 
-from repro.engine.scheduling import DynamicScheduler
+from repro.engine.mapreduce import WorkerResult, parallel_map_reduce
+
+warnings.warn(
+    "repro.parallel.executor is deprecated; import parallel_map_reduce from "
+    "repro.engine.mapreduce (or use the execution engine / repro.distributed)",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 __all__ = ["WorkerResult", "parallel_map_reduce"]
-
-T = TypeVar("T")
-
-
-@dataclass
-class WorkerResult:
-    """Partial result produced by one worker.
-
-    Attributes
-    ----------
-    worker_id:
-        Index of the worker that produced the partial result.
-    chunks_processed:
-        Number of scheduler chunks the worker claimed.
-    payload:
-        The worker's partial results, in the order its chunks were claimed
-        (a list of ``worker_fn`` return values).
-    """
-
-    worker_id: int
-    chunks_processed: int = 0
-    payload: List[object] = field(default_factory=list)
-
-
-def parallel_map_reduce(
-    scheduler: DynamicScheduler,
-    worker_fn: Callable[[int, int, int], T],
-    reduce_fn: Callable[[Sequence[T]], T],
-    n_workers: int = 1,
-) -> tuple[T, List[WorkerResult]]:
-    """Run ``worker_fn`` over scheduler chunks and reduce the partial results.
-
-    Parameters
-    ----------
-    scheduler:
-        Source of ``[start, stop)`` work ranges.
-    worker_fn:
-        ``worker_fn(worker_id, start, stop) -> partial`` — must be thread
-        safe with respect to shared read-only data (the encoded dataset);
-        anything mutable must be per-worker.
-    reduce_fn:
-        Combines the per-chunk partial results (from *all* workers) into the
-        final result.  Called once, on the calling thread.
-    n_workers:
-        Number of host threads.  ``1`` executes inline (no pool), which keeps
-        single-threaded profiling runs free of executor noise.
-
-    Returns
-    -------
-    (result, worker_results):
-        The reduced result and per-worker bookkeeping (chunk counts and the
-        per-worker partial payloads).
-
-    Raises
-    ------
-    Exception
-        A ``worker_fn`` exception propagates to the caller with a
-        ``worker_id`` attribute attached identifying the originating worker.
-    """
-    if n_workers < 1:
-        raise ValueError("n_workers must be positive")
-
-    stats = [WorkerResult(worker_id=i) for i in range(n_workers)]
-
-    def _run(worker_id: int) -> List[T]:
-        local: List[T] = []
-        try:
-            while True:
-                claimed = scheduler.next_range()
-                if claimed is None:
-                    return local
-                start, stop = claimed
-                local.append(worker_fn(worker_id, start, stop))
-                stats[worker_id].chunks_processed += 1
-        except Exception as exc:
-            if not hasattr(exc, "worker_id"):
-                exc.worker_id = worker_id  # type: ignore[attr-defined]
-            raise
-        finally:
-            stats[worker_id].payload = local
-
-    if n_workers == 1:
-        partials = _run(0)
-        return reduce_fn(partials), stats
-
-    partials: List[T] = []
-    with ThreadPoolExecutor(max_workers=n_workers) as pool:
-        futures = [pool.submit(_run, i) for i in range(n_workers)]
-        errors = [exc for exc in (fut.exception() for fut in futures) if exc is not None]
-        if errors:
-            # Every worker has finished (pool shutdown waits); surface the
-            # first failure instead of silently dropping its context.
-            raise errors[0]
-        for fut in futures:
-            partials.extend(fut.result())
-    return reduce_fn(partials), stats

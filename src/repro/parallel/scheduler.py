@@ -1,21 +1,30 @@
-"""Work distribution over the combination-rank space (compatibility shim).
+"""Work schedulers (deprecation shim).
 
 .. deprecated::
-    The schedulers moved into the unified execution engine; import
+    The schedulers live in the unified execution engine; import
     :class:`~repro.engine.scheduling.DynamicScheduler`,
     :class:`~repro.engine.scheduling.GuidedScheduler` and
     :func:`~repro.engine.scheduling.static_partition` from
-    :mod:`repro.engine` instead.  This module re-exports them unchanged so
-    existing imports keep working.
+    :mod:`repro.engine` instead.  This module re-exports them unchanged and
+    will be removed in a future release.
 """
 
 from __future__ import annotations
+
+import warnings
 
 from repro.engine.scheduling import (
     DynamicScheduler,
     GuidedScheduler,
     Range,
     static_partition,
+)
+
+warnings.warn(
+    "repro.parallel.scheduler is deprecated; import the schedulers from "
+    "repro.engine",
+    DeprecationWarning,
+    stacklevel=2,
 )
 
 __all__ = ["DynamicScheduler", "GuidedScheduler", "static_partition", "Range"]

@@ -31,6 +31,12 @@ from repro.perfmodel.cpu_model import CpuPerformanceEstimate, estimate_cpu
 from repro.perfmodel.gpu_model import GpuPerformanceEstimate, estimate_gpu
 from repro.perfmodel.efficiency import energy_efficiency, heterogeneous_throughput
 from repro.perfmodel.staged import estimate_stage_seconds, estimate_staged_search
+from repro.perfmodel.distributed import (
+    estimate_broadcast_seconds,
+    estimate_distributed_run,
+    estimate_gather_seconds,
+    shard_imbalance,
+)
 
 __all__ = [
     "ApproachCounts",
@@ -43,4 +49,8 @@ __all__ = [
     "heterogeneous_throughput",
     "estimate_stage_seconds",
     "estimate_staged_search",
+    "estimate_broadcast_seconds",
+    "estimate_gather_seconds",
+    "shard_imbalance",
+    "estimate_distributed_run",
 ]

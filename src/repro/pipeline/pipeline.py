@@ -58,6 +58,21 @@ class SearchPipeline:
     top_k / validate:
         Execution defaults inherited by every stage that does not override
         them (see :class:`~repro.pipeline.stages.PipelineDefaults`).
+    workers:
+        Sharded multi-process execution (:mod:`repro.distributed`) of the
+        sweep stages: each screen/expand stage cuts its candidate space
+        into shards executed across this many OS worker processes, with a
+        deterministic merge (results are bit-identical for any worker
+        count).  ``n_workers`` stays the *per-process* host thread count.
+    checkpoint:
+        Optional checkpoint *directory*: the pipeline writes a stage-output
+        ledger (``pipeline.json``) plus one atomic shard ledger per sweep
+        stage (and the permutation stage's RNG-state ledger), so a killed
+        run can be resumed mid-stage.
+    resume:
+        Restore completed stages and shards from the checkpoint directory
+        instead of re-executing them (fingerprints validated; safe to pass
+        when no checkpoint exists yet).
     """
 
     def __init__(
@@ -72,11 +87,19 @@ class SearchPipeline:
         chunk_size: int = 2048,
         top_k: int = 10,
         validate: bool = False,
+        workers: int = 1,
+        checkpoint: str | None = None,
+        resume: bool = False,
     ) -> None:
         stages = list(stages)
         if not stages:
             raise ValueError("a search pipeline needs at least one stage")
+        if workers < 1:
+            raise ValueError("workers must be positive")
         self.stages = stages
+        self.workers = workers
+        self.checkpoint = checkpoint
+        self.resume = resume
         self.defaults = PipelineDefaults(
             approach=approach,
             objective=objective,
@@ -113,11 +136,22 @@ class SearchPipeline:
             defaults=self.defaults,
             cancel=cancel,
             progress=progress,
+            workers=self.workers,
+            checkpoint_dir=self.checkpoint,
+            resume=self.resume,
         )
+        ledger = self._open_ledger(dataset)
         reports: List[StageReport] = []
         started = time.perf_counter()
-        for stage in self.stages:
-            reports.append(stage.run(ctx))
+        for index, stage in enumerate(self.stages):
+            ctx.stage_index = index
+            restored = self._restore_stage(ledger, index, ctx)
+            if restored is not None:
+                reports.append(restored)
+                continue
+            report = stage.run(ctx)
+            reports.append(report)
+            self._record_stage(ledger, index, ctx, report)
         elapsed = time.perf_counter() - started
 
         if not ctx.top:
@@ -140,3 +174,87 @@ class SearchPipeline:
             ),
             p_values=ctx.p_values,
         )
+
+    # -- pipeline-level checkpointing -------------------------------------------
+    def _fingerprint(self, dataset: GenotypeDataset) -> dict:
+        from repro.distributed.checkpoint import dataset_fingerprint
+
+        return {
+            "dataset": dataset_fingerprint(dataset),
+            "stages": [repr(stage) for stage in self.stages],
+        }
+
+    def _open_ledger(self, dataset: GenotypeDataset):
+        """The stage-output ledger of a checkpointed run (``None`` otherwise).
+
+        ``pipeline.json`` records every completed stage's report and its
+        context mutations (retained universe, finalists, p-values), so a
+        resumed run replays finished stages without executing them and
+        re-enters the first incomplete stage, whose own shard ledger then
+        resumes mid-sweep.
+        """
+        if self.checkpoint is None:
+            return None
+        from pathlib import Path
+
+        from repro.distributed.checkpoint import JsonLedger
+
+        ledger = JsonLedger(Path(self.checkpoint) / "pipeline.json")
+        if ledger.begin(
+            self._fingerprint(dataset),
+            resume=self.resume,
+            label="pipeline checkpoint",
+        ):
+            return ledger
+        ledger.doc["stages"] = {}
+        ledger.write()
+        return ledger
+
+    def _restore_stage(self, ledger, index: int, ctx: StageContext):
+        """Replay a completed stage from the ledger (``None`` = execute it)."""
+        if ledger is None or not self.resume:
+            return None
+        record = ledger.doc.get("stages", {}).get(str(index))
+        if record is None:
+            return None
+        import numpy as np
+
+        from repro.distributed.merge import row_to_interaction
+
+        ctx.retained = (
+            np.asarray(record["retained"], dtype=np.int64)
+            if record.get("retained") is not None
+            else None
+        )
+        ctx.top = [row_to_interaction(row) for row in record.get("top", [])]
+        ctx.p_values = (
+            [float(p) for p in record["p_values"]]
+            if record.get("p_values") is not None
+            else None
+        )
+        report = StageReport.from_dict(record["report"])
+        report.extra = dict(report.extra)
+        report.extra["resumed"] = True
+        return report
+
+    def _record_stage(
+        self, ledger, index: int, ctx: StageContext, report: StageReport
+    ) -> None:
+        """Persist a completed stage's report and context mutations."""
+        if ledger is None:
+            return
+        from repro.distributed.merge import interaction_to_row
+
+        ledger.doc.setdefault("stages", {})[str(index)] = {
+            "report": report.to_dict(),
+            "retained": (
+                [int(s) for s in ctx.retained] if ctx.retained is not None else None
+            ),
+            "top": [interaction_to_row(inter) for inter in ctx.top],
+            "p_values": (
+                [float(p) for p in ctx.p_values]
+                if ctx.p_values is not None
+                else None
+            ),
+        }
+        ledger.write()

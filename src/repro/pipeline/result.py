@@ -86,6 +86,41 @@ class StageReport:
             doc["extra"] = dict(self.extra)
         return doc
 
+    @classmethod
+    def from_dict(cls, doc: Dict[str, object]) -> "StageReport":
+        """Rebuild a report from its :meth:`to_dict` form.
+
+        Used by the pipeline checkpoint ledger to replay the reports of
+        stages completed before a kill, so a resumed run returns the same
+        per-stage accounting as an uninterrupted one.
+        """
+        return cls(
+            stage=str(doc["stage"]),
+            order=int(doc["order"]),
+            candidates=int(doc["candidates"]),
+            evaluated=int(doc["evaluated"]),
+            elapsed_seconds=float(doc["elapsed_seconds"]),
+            estimated_seconds=(
+                float(doc["estimated_seconds"])
+                if doc.get("estimated_seconds") is not None
+                else None
+            ),
+            approach=str(doc["approach"]),
+            objective=str(doc["objective"]),
+            schedule=str(doc["schedule"]),
+            effective_snps=int(doc["effective_snps"]),
+            retained_snps=(
+                int(doc["retained_snps"])
+                if doc.get("retained_snps") is not None
+                else None
+            ),
+            device_stats={
+                str(k): dict(v) for k, v in doc.get("device_stats", {}).items()
+            },
+            sweep=bool(doc.get("sweep", True)),
+            extra=dict(doc.get("extra", {})),
+        )
+
 
 @dataclass
 class PipelineResult:

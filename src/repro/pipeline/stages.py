@@ -23,11 +23,10 @@ reduction behave exactly as in a dense search.
 
 from __future__ import annotations
 
-import threading
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Callable, ClassVar, Dict, List
+from typing import Callable, ClassVar, List
 
 import numpy as np
 
@@ -87,6 +86,12 @@ class StageContext:
     screening stages, consumed by later screens/expands.  ``top`` is the
     current finalist list — set by expand, re-ranked by refine, annotated
     with ``p_values`` by the permutation stage.
+
+    ``workers`` / ``checkpoint_dir`` / ``resume`` configure sharded
+    multi-process execution (:mod:`repro.distributed`) of the sweep stages:
+    each stage writes its own shard ledger under ``checkpoint_dir`` (named
+    by ``stage_index`` and stage name, maintained by the pipeline run
+    loop), so a killed pipeline resumes mid-stage.
     """
 
     dataset: GenotypeDataset
@@ -96,6 +101,26 @@ class StageContext:
     p_values: List[float] | None = None
     cancel: CancellationToken | None = None
     progress: PipelineProgress | None = None
+    workers: int = 1
+    checkpoint_dir: str | None = None
+    resume: bool = False
+    stage_index: int = 0
+
+    @property
+    def distributed(self) -> bool:
+        """Whether sweep stages run on the sharded multi-process path."""
+        return self.workers > 1 or self.checkpoint_dir is not None
+
+    def stage_ledger_path(self, stage_name: str) -> str | None:
+        """This stage's shard-ledger path under the checkpoint directory."""
+        if self.checkpoint_dir is None:
+            return None
+        from pathlib import Path
+
+        return str(
+            Path(self.checkpoint_dir)
+            / f"stage{self.stage_index:02d}_{stage_name}.ckpt.json"
+        )
 
     def stage_progress(self, stage_name: str) -> Callable[[int, int], None] | None:
         """Adapt the pipeline progress callback for one stage's engine run."""
@@ -164,6 +189,67 @@ class PipelineStage(ABC):
         if ctx.retained is None:
             return DenseRangeSource(ctx.dataset.n_snps, order)
         return SubsetSource(ctx.retained, order)
+
+    def _sweep(
+        self,
+        ctx: StageContext,
+        detector: EpistasisDetector,
+        source: CandidateSource,
+        *,
+        collect_minima: bool = False,
+    ):
+        """Run a stage sweep, in-process or sharded across worker processes.
+
+        Returns ``(result, snp_minima)``; the minima array (per-SNP best
+        participating score) is only collected when requested by a
+        screening stage.  The two paths produce bit-identical results —
+        the distributed path shards the same candidate source and merges
+        under the engine's ``(score, combination-rank)`` total order.
+        """
+        if ctx.distributed:
+            from repro.distributed import run_distributed
+
+            outcome = run_distributed(
+                ctx.dataset,
+                source,
+                config=detector.config,
+                workers=ctx.workers,
+                checkpoint=ctx.stage_ledger_path(self.name),
+                resume=ctx.resume,
+                collect_snp_minima=collect_minima,
+                progress=ctx.stage_progress(self.name),
+                cancel=ctx.cancel,
+            )
+            if outcome.cancelled or not outcome.completed:
+                raise RuntimeError(
+                    f"{self.name} stage cancelled after "
+                    f"{outcome.items_restored + outcome.items_evaluated} of "
+                    f"{source.total} candidates"
+                )
+            return outcome.result, outcome.snp_minima
+
+        if not collect_minima:
+            result = detector.detect_candidates(
+                ctx.dataset,
+                source,
+                cancel=ctx.cancel,
+                progress=ctx.stage_progress(self.name),
+            )
+            return result, None
+
+        # The same fold each distributed shard runs — one implementation
+        # keeps the two execution modes bit-identical.
+        from repro.distributed.merge import snp_minima_accumulator
+
+        observe, finalize = snp_minima_accumulator(ctx.dataset.n_snps)
+        result = detector.detect_candidates(
+            ctx.dataset,
+            source,
+            cancel=ctx.cancel,
+            progress=ctx.stage_progress(self.name),
+            observe=observe,
+        )
+        return result, finalize()
 
     def _report(
         self,
@@ -245,35 +331,9 @@ class ScreenStage(PipelineStage):
             else np.arange(dataset.n_snps, dtype=np.int64)
         )
         detector = self._detector(ctx, self.order)
-
-        # Per-worker best-participating-score accumulators, merged after the
-        # run.  Workers only ever touch their own array, so the only shared
-        # state is the dict itself (guarded for concurrent first access).
-        per_worker: Dict[int, np.ndarray] = {}
-        accumulator_lock = threading.Lock()
-
-        def observe(worker, combos: np.ndarray, scores: np.ndarray) -> None:
-            best = per_worker.get(worker.worker_id)
-            if best is None:
-                with accumulator_lock:
-                    best = per_worker.setdefault(
-                        worker.worker_id, np.full(dataset.n_snps, np.inf)
-                    )
-            np.minimum.at(
-                best, combos.ravel(), np.repeat(scores, combos.shape[1])
-            )
-
-        result = detector.detect_candidates(
-            dataset,
-            source,
-            cancel=ctx.cancel,
-            progress=ctx.stage_progress(self.name),
-            observe=observe,
+        result, best_per_snp = self._sweep(
+            ctx, detector, source, collect_minima=True
         )
-
-        best_per_snp = np.full(dataset.n_snps, np.inf)
-        for partial in per_worker.values():
-            np.minimum(best_per_snp, partial, out=best_per_snp)
 
         keep = min(self.keep, int(universe.size))
         universe_scores = best_per_snp[universe]
@@ -305,12 +365,7 @@ class ExpandStage(PipelineStage):
     def run(self, ctx: StageContext) -> StageReport:
         source = self._universe_source(ctx, self.order)
         detector = self._detector(ctx, self.order)
-        result = detector.detect_candidates(
-            ctx.dataset,
-            source,
-            cancel=ctx.cancel,
-            progress=ctx.stage_progress(self.name),
-        )
+        result, _ = self._sweep(ctx, detector, source)
         ctx.top = list(result.top)
         ctx.p_values = None
         return self._report(ctx, detector, source, result)
@@ -386,16 +441,25 @@ class PermutationStage(PipelineStage):
     When a :class:`RefineStage` re-scored the finalists, give this stage
     the same ``objective`` so the p-values test the statistic displayed
     next to them (``detect_staged`` wires this automatically).
+
+    Under a checkpointed pipeline run the null loop is crash-safe too:
+    every ``checkpoint_every`` permutations the stage persists its
+    exceedance counters and the RNG bit-generator state to its ledger, so
+    a resumed run continues the *same* permutation stream mid-loop and the
+    p-values are bit-identical to an uninterrupted run.
     """
 
     name: ClassVar[str] = "permutation"
 
     n_permutations: int = 100
     seed: int = 0
+    checkpoint_every: int = 32
 
     def __post_init__(self) -> None:
         if self.n_permutations < 1:
             raise ValueError("n_permutations must be positive")
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be positive")
 
     def run(self, ctx: StageContext) -> StageReport:
         if not ctx.top:
@@ -428,9 +492,51 @@ class PermutationStage(PipelineStage):
         observed_scores = np.array([observed[key] for key in local_keys])
         exceed = np.zeros(len(local_keys), dtype=np.int64)
         progress = ctx.stage_progress(self.name)
+
+        # Crash-safe null loop: under a checkpointed pipeline the exceedance
+        # counters and the RNG bit-generator state are persisted atomically,
+        # so a resumed run continues the same permutation stream mid-loop.
+        ledger = None
+        start_perm = 0
+        if ctx.checkpoint_dir is not None:
+            from repro.distributed.checkpoint import JsonLedger, dataset_fingerprint
+
+            fingerprint = {
+                "dataset": dataset_fingerprint(dataset),
+                "combos": [[int(s) for s in row] for row in combos],
+                "seed": int(self.seed),
+                "n_permutations": int(self.n_permutations),
+                "objective": detector.objective.name,
+            }
+            ledger = JsonLedger(ctx.stage_ledger_path(self.name))
+            if ledger.begin(
+                fingerprint, resume=ctx.resume, label="permutation checkpoint"
+            ):
+                start_perm = int(ledger.doc.get("perm_done", 0))
+                exceed = np.asarray(ledger.doc["exceed"], dtype=np.int64)
+                rng.bit_generator.state = ledger.doc["rng_state"]
+            else:
+                ledger.doc.update(
+                    {
+                        "perm_done": 0,
+                        "exceed": [int(c) for c in exceed],
+                        "rng_state": rng.bit_generator.state,
+                    }
+                )
+                ledger.write()
+
+        def _record(perm_done: int) -> None:
+            if ledger is None:
+                return
+            ledger.doc["perm_done"] = int(perm_done)
+            ledger.doc["exceed"] = [int(c) for c in exceed]
+            ledger.doc["rng_state"] = rng.bit_generator.state
+            ledger.write()
+
         null_started = time.perf_counter()
-        for perm in range(self.n_permutations):
+        for perm in range(start_perm, self.n_permutations):
             if ctx.cancel is not None and ctx.cancel.cancelled:
+                _record(perm)
                 raise RuntimeError(
                     f"permutation stage cancelled after {perm} of "
                     f"{self.n_permutations} permutations"
@@ -442,8 +548,11 @@ class PermutationStage(PipelineStage):
             )
             null_scores = detector.score_combinations(permuted, local_combos)
             exceed += null_scores <= observed_scores
+            if (perm + 1) % self.checkpoint_every == 0:
+                _record(perm + 1)
             if progress is not None:
                 progress(perm + 1, self.n_permutations)
+        _record(self.n_permutations)
         elapsed = observed_run.stats.elapsed_seconds + (
             time.perf_counter() - null_started
         )
@@ -465,6 +574,7 @@ class PermutationStage(PipelineStage):
                 "n_permutations": self.n_permutations,
                 "seed": self.seed,
                 "min_attainable_p": 1.0 / (1 + self.n_permutations),
+                **({"resumed_at": start_perm} if start_perm else {}),
             },
         )
         report.elapsed_seconds = elapsed

@@ -266,6 +266,84 @@ class TestPipelineCommand:
         assert "expand: 100%" in err
 
 
+class TestDistributedFlags:
+    def test_detect_checkpoint_and_resume(self, tmp_path, planted_npz, capsys):
+        ckpt = tmp_path / "run.ckpt.json"
+        code = main(
+            [
+                "detect", str(planted_npz),
+                "--workers", "1", "--checkpoint", str(ckpt), "--top-k", "3",
+            ]
+        )
+        assert code == 0
+        first = capsys.readouterr().out
+        assert "distributed" in first and "shards" in first
+        ledger = json.loads(ckpt.read_text())
+        assert ledger["completed"] and ledger["shards"]
+
+        code = main(
+            [
+                "detect", str(planted_npz),
+                "--workers", "1", "--checkpoint", str(ckpt), "--resume",
+                "--top-k", "3",
+            ]
+        )
+        assert code == 0
+        resumed = capsys.readouterr().out
+        assert "restored from checkpoint" in resumed
+        # Bit-identical top-k across the resume cycle.
+        tail = lambda text: [  # noqa: E731 - tiny local helper
+            line for line in text.splitlines() if line.lstrip()[:1].isdigit()
+        ]
+        assert tail(first) == tail(resumed)
+
+    def test_pipeline_checkpoint_directory(self, tmp_path, planted_npz, capsys):
+        ckpt = tmp_path / "pipedir"
+        argv = [
+            "pipeline", str(planted_npz),
+            "--retain", "8", "--top-k", "2",
+            "--workers", "1", "--checkpoint", str(ckpt),
+        ]
+        assert main(argv) == 0
+        assert "distributed" in capsys.readouterr().out
+        assert (ckpt / "pipeline.json").exists()
+        assert main(argv + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "best interaction" in out
+        assert "restored from checkpoint" in out
+
+    def test_detect_checkpoint_mismatch_is_friendly(
+        self, tmp_path, planted_npz, capsys
+    ):
+        ckpt = tmp_path / "run.ckpt.json"
+        assert main(
+            ["detect", str(planted_npz), "--checkpoint", str(ckpt), "--top-k", "3"]
+        ) == 0
+        capsys.readouterr()
+        code = main(
+            [
+                "detect", str(planted_npz),
+                "--checkpoint", str(ckpt), "--resume", "--top-k", "5",
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "fingerprint" in err
+
+    def test_resume_without_checkpoint_rejected(self, planted_npz, capsys):
+        for command in ("detect", "pipeline"):
+            code = main([command, str(planted_npz), "--resume"])
+            assert code == 2
+            assert "--resume requires --checkpoint" in capsys.readouterr().err
+
+    def test_threads_flag_keeps_in_process_parallelism(self, planted_npz, capsys):
+        code = main(
+            ["detect", str(planted_npz), "--threads", "2", "--top-k", "3"]
+        )
+        assert code == 0
+        assert "best interaction" in capsys.readouterr().out
+
+
 class TestInfoCommands:
     def test_devices(self, capsys):
         assert main(["devices"]) == 0

@@ -25,8 +25,8 @@ from repro.engine import (
     list_policies,
     parse_devices,
 )
-from repro.parallel.executor import parallel_map_reduce
-from repro.parallel.scheduler import DynamicScheduler
+from repro.engine.mapreduce import parallel_map_reduce
+from repro.engine.scheduling import DynamicScheduler
 from tests.conftest import PLANTED_TRIPLET
 
 
@@ -249,12 +249,12 @@ class TestTopKHeap:
         assert len(heap.items) == 3
 
     def test_items_ordered_by_score_then_snps(self):
-        # Candidate selection inside a chunk is stable (chunk order, as in
-        # the legacy reduction); the retained items are ordered by the
-        # deterministic (score, snps) interaction ordering.
+        # Tied scores select (and order) by the combination tuple — the
+        # global combination rank — not by position within the chunk, so
+        # chunk/shard boundaries can never change which ties survive.
         heap = TopKHeap(2)
         heap.push_batch(np.array([[5], [1], [3]]), np.zeros(3))
-        assert [i.snps for i in heap.items] == [(1,), (5,)]
+        assert [i.snps for i in heap.items] == [(1,), (3,)]
 
     def test_validation(self):
         with pytest.raises(ValueError):

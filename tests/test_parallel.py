@@ -1,16 +1,22 @@
-"""Tests of the host parallel runtime (scheduler, executor, cluster)."""
+"""Tests of the host schedulers, map/reduce and the retired repro.parallel shims.
+
+The implementations live in :mod:`repro.engine` (schedulers, map/reduce)
+and :mod:`repro.distributed` (rank accounting); :mod:`repro.parallel` is a
+deprecation shim re-exporting them, which is verified explicitly here.
+"""
 
 from __future__ import annotations
 
+import sys
 import threading
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.parallel.cluster import SimulatedCluster
-from repro.parallel.executor import parallel_map_reduce
-from repro.parallel.scheduler import DynamicScheduler, static_partition
+from repro.distributed.cluster import RankAccounting, SimulatedCluster
+from repro.engine.mapreduce import parallel_map_reduce
+from repro.engine.scheduling import DynamicScheduler, static_partition
 
 
 class TestDynamicScheduler:
@@ -136,6 +142,34 @@ class TestParallelMapReduce:
             parallel_map_reduce(DynamicScheduler(1), self._sum_worker, sum, n_workers=0)
 
 
+class TestRankAccounting:
+    def test_scatter_and_traffic(self):
+        accounting = RankAccounting(4)
+        ranks = accounting.scatter_work(103)
+        assert len(ranks) == 4
+        accounting.broadcast_dataset(1000)
+        assert all(r.bytes_received == 1000 for r in ranks)
+        accounting.account_gather(bytes_per_partial=64)
+        assert accounting.ranks[0].bytes_received == 1000 + 64 * 3
+        assert all(r.bytes_sent == 64 for r in accounting.ranks[1:])
+
+    def test_load_imbalance(self):
+        accounting = RankAccounting(3)
+        accounting.scatter_work(10)
+        assert accounting.load_imbalance() == pytest.approx(4 / (10 / 3))
+
+    def test_requires_scatter_first(self):
+        accounting = RankAccounting(2)
+        with pytest.raises(RuntimeError):
+            accounting.broadcast_dataset(10)
+        with pytest.raises(RuntimeError):
+            accounting.account_gather(1)
+
+    def test_invalid_rank_count(self):
+        with pytest.raises(ValueError):
+            RankAccounting(0)
+
+
 class TestSimulatedCluster:
     def test_scatter_and_run(self):
         cluster = SimulatedCluster(4)
@@ -154,20 +188,36 @@ class TestSimulatedCluster:
         assert gathered == results
         assert cluster.ranks[0].bytes_received == 1000 + 64 * 3
 
-    def test_load_imbalance(self):
-        cluster = SimulatedCluster(3)
-        cluster.scatter_work(10)
-        assert cluster.load_imbalance() == pytest.approx(4 / (10 / 3))
-
     def test_requires_scatter_first(self):
         cluster = SimulatedCluster(2)
-        with pytest.raises(RuntimeError):
-            cluster.broadcast_dataset(10)
         with pytest.raises(RuntimeError):
             cluster.run(lambda r: None)
         with pytest.raises(RuntimeError):
             cluster.gather([])
 
-    def test_invalid_rank_count(self):
-        with pytest.raises(ValueError):
-            SimulatedCluster(0)
+
+class TestDeprecationShims:
+    """repro.parallel must keep working as warning-emitting aliases."""
+
+    @staticmethod
+    def _fresh_import(module: str):
+        for name in [m for m in sys.modules if m.startswith("repro.parallel")]:
+            del sys.modules[name]
+        with pytest.warns(DeprecationWarning):
+            return __import__(module, fromlist=["_"])
+
+    def test_package_warns_and_aliases(self):
+        legacy = self._fresh_import("repro.parallel")
+        assert legacy.DynamicScheduler is DynamicScheduler
+        assert legacy.static_partition is static_partition
+        assert legacy.parallel_map_reduce is parallel_map_reduce
+        assert legacy.SimulatedCluster is SimulatedCluster
+
+    def test_submodules_warn_and_alias(self):
+        scheduler = self._fresh_import("repro.parallel.scheduler")
+        assert scheduler.DynamicScheduler is DynamicScheduler
+        executor = self._fresh_import("repro.parallel.executor")
+        assert executor.parallel_map_reduce is parallel_map_reduce
+        cluster = self._fresh_import("repro.parallel.cluster")
+        assert cluster.SimulatedCluster is SimulatedCluster
+        assert cluster.RankAccounting is RankAccounting
