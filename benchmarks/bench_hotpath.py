@@ -1,0 +1,388 @@
+"""Hot-path benchmark: word width x K2 lookup table x kernel family.
+
+Measures the evaluation hot path before and after the overhaul, in one
+process on one machine so the comparison is honest:
+
+* **before** — a faithful replica of the *pre-PR* hot path
+  (:class:`PrePrVectorizedApproach` below): ``uint32`` packed words, the
+  unfused ``popcount().astype(int64).sum()`` reduction, the blocked kernel
+  re-gathering and re-NOR-expanding every BP-sized sample pass, and
+  closed-form ``gammaln`` K2 scoring (``K2Score(precompute=False)``);
+* **after** — the overhauled path: ``uint64`` packed words (halving the
+  element count of every AND/POPCNT), fused popcount reduction,
+  gather-once blocked kernel and the per-dataset log-factorial K2 table.
+
+The dataset uses the paper's reference sample count (16384, the §V
+workload the CARM splitter is also sized for), where the word-level kernel
+work dominates the fixed per-batch overheads.
+
+Two families of numbers are recorded into ``BENCH_hotpath.json``:
+
+* ``kernels`` — raw table-construction + scoring throughput (tables/s) per
+  kernel family (naive / split), word width, interaction order (2..4) and
+  objective, measured on explicit combination batches;
+* ``end_to_end`` — full ``detect()`` throughput at the paper's ``k = 3``
+  (combinations/s through the engine, scheduler and top-k reduction) for
+  the before/after configurations plus the ``chunk_size="auto"`` tuner,
+  with the before/after speedup that the acceptance gate (>= 1.5x) reads.
+
+``--quick`` shrinks the dataset/orders for the CI smoke job, and
+``--check`` compares the *normalized* throughput of a fresh run against
+the committed artifact, failing on a >30% regression.  The check normalizes
+every entry by the same run's uint32 k=3 split-kernel reference, so it
+detects code regressions without tripping on absolute machine speed.
+
+Run standalone (``PYTHONPATH=src python benchmarks/bench_hotpath.py``) or
+through pytest; both paths emit the artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import EpistasisDetector
+from repro.core.approaches.cpu_vectorized import CpuVectorizedApproach
+from repro.core.combinations import generate_combinations
+from repro.core.encoding_cache import ENCODING_CACHE
+from repro.core.scoring import K2Score, get_objective
+from repro.datasets import SyntheticConfig, generate_dataset
+
+#: Where the artifact lands (the repository root).
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
+
+#: Kernel families and the approach that exercises each.
+FAMILIES = {"naive": "cpu-v1", "split": "cpu-v2"}
+
+#: Regression tolerance of ``--check`` (fraction of the baseline).
+CHECK_TOLERANCE = 0.30
+
+#: The entry every throughput is normalized by in ``--check`` mode.
+REFERENCE_KEY = "split/u32/k3/k2"
+
+
+def _dataset(quick: bool):
+    if quick:
+        return generate_dataset(SyntheticConfig(n_snps=40, n_samples=2048, seed=2026))
+    return generate_dataset(SyntheticConfig(n_snps=56, n_samples=16384, seed=2026))
+
+
+# ---------------------------------------------------------------------------
+# Pre-PR baseline replica: the seed hot path, kept verbatim (uint32 words,
+# unfused popcount reduction, per-pass re-gather in the blocked kernel) so
+# the before/after comparison always measures against the same reference,
+# on the same machine, in the same run.
+# ---------------------------------------------------------------------------
+
+
+def _legacy_popcount32(words: np.ndarray) -> np.ndarray:
+    from repro.bitops.popcount import HAS_BITWISE_COUNT, popcount_lut
+
+    arr = np.asarray(words)
+    if arr.dtype != np.uint32:
+        arr = arr.astype(np.uint32)
+    if HAS_BITWISE_COUNT:
+        return np.bitwise_count(arr).astype(np.int64)
+    return popcount_lut(arr)  # the seed's NumPy<2 fallback
+
+
+def _legacy_split_class_counts(class_planes, padding_mask, combos) -> np.ndarray:
+    combos = np.asarray(combos, dtype=np.int64)
+    order = combos.shape[1]
+    n_combos = combos.shape[0]
+    mask = np.asarray(padding_mask, dtype=np.uint32)
+
+    def expand(planes_sel):
+        g2 = np.bitwise_and(
+            np.bitwise_not(np.bitwise_or(planes_sel[:, 0], planes_sel[:, 1])), mask
+        )
+        return np.concatenate([planes_sel, g2[:, None, :]], axis=1)
+
+    selected = [expand(class_planes[combos[:, t]]) for t in range(order)]
+
+    def grid_of(stacks):
+        grid = stacks[0]
+        cells = 3
+        for planes in stacks[1:]:
+            grid = np.bitwise_and(grid[:, :, None, :], planes[:, None, :, :])
+            cells *= 3
+            grid = grid.reshape(n_combos, cells, grid.shape[-1])
+        return grid
+
+    cells = 3**order
+    sub_cells = cells // 3
+    counts = np.empty((n_combos, cells), dtype=np.int64)
+    sub_grid = grid_of(selected[1:])
+    for g0 in range(3):
+        head = selected[0][:, g0, :]
+        grid = np.bitwise_and(head[:, None, :], sub_grid)
+        span = slice(g0 * sub_cells, (g0 + 1) * sub_cells)
+        counts[:, span] = _legacy_popcount32(grid).sum(axis=-1)
+    return counts
+
+
+class PrePrVectorizedApproach(CpuVectorizedApproach):
+    """The seed cpu-v4: uint32 words, per-pass re-gather, unfused popcount."""
+
+    name = "cpu-v4-pre-pr"
+
+    def __init__(self) -> None:
+        super().__init__(word_layout="u32")
+
+    def build_tables(self, encoded, combos):
+        combos = self._check_combos(combos)
+        split = encoded.split
+        n_combos, order = combos.shape
+        words_per_chunk = max(1, encoded.block_samples // 32)
+        tables = np.zeros((n_combos, 3**order, 2), dtype=np.int64)
+        for phenotype_class in (0, 1):
+            planes, _ = split.planes_for_class(phenotype_class)
+            mask = split.padding_mask(phenotype_class)
+            n_words = planes.shape[2]
+            for start in range(0, n_words, words_per_chunk):
+                stop = min(start + words_per_chunk, n_words)
+                tables[:, :, phenotype_class] += _legacy_split_class_counts(
+                    planes[:, :, start:stop], mask[start:stop], combos
+                )
+        return tables
+
+
+def _objective(name: str, dataset, precompute: bool):
+    if name == "k2":
+        objective = K2Score(precompute=precompute)
+    else:
+        objective = get_objective(name)
+    prepare = getattr(objective, "prepare", None)
+    if prepare is not None:
+        prepare(dataset)
+    return objective
+
+
+def _time_best(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def measure_kernels(dataset, quick: bool, repeats: int = 3) -> list[dict]:
+    """Tables/s per (family, word width, order, objective) batch kernel."""
+    from repro.core.approaches import get_approach
+
+    orders = (2, 3) if quick else (2, 3, 4)
+    batches = {2: 1024, 3: 1024} if quick else {2: 2048, 3: 2048, 4: 512}
+    objectives = ("k2",) if quick else ("k2", "gini")
+    entries = []
+    for family, approach_name in FAMILIES.items():
+        for order in orders:
+            combos = generate_combinations(dataset.n_snps, order)[: batches[order]]
+            for layout in ("u32", "u64"):
+                approach = get_approach(approach_name, word_layout=layout)
+                encoded = approach.prepare(dataset)
+                for obj_name in objectives:
+                    # The kernel matrix is a pure word-width axis: both
+                    # layouts score through the same (lookup) objective.
+                    # The gammaln-vs-lookup axis is measured separately by
+                    # the end-to-end before/after configurations.
+                    objective = _objective(obj_name, dataset, precompute=True)
+
+                    def run():
+                        objective.score(approach.build_tables(encoded, combos))
+
+                    run()  # warm-up
+                    seconds = _time_best(run, repeats)
+                    entries.append(
+                        {
+                            "key": f"{family}/{layout}/k{order}/{obj_name}",
+                            "family": family,
+                            "approach": approach_name,
+                            "word_layout": layout,
+                            "order": order,
+                            "objective": obj_name,
+                            "batch": int(combos.shape[0]),
+                            "seconds": seconds,
+                            "tables_per_second": combos.shape[0] / seconds,
+                        }
+                    )
+    return entries
+
+
+def measure_end_to_end(dataset, quick: bool, repeats: int = 3) -> dict:
+    """Full ``detect()`` at k=3: pre-PR replica vs overhauled vs autotuned."""
+    configs = {
+        "before_pre_pr_u32_gammaln": dict(
+            approach=PrePrVectorizedApproach(),
+            objective=K2Score(precompute=False),
+        ),
+        "after_u64_lookup": dict(
+            approach="cpu-v4", word_layout="u64", objective="k2"
+        ),
+        "after_u64_lookup_autochunk": dict(
+            approach="cpu-v4", word_layout="u64", objective="k2", chunk_size="auto"
+        ),
+    }
+    total = None
+    results = {}
+    for label, overrides in configs.items():
+        detector = EpistasisDetector(order=3, top_k=5, **overrides)
+
+        def run():
+            return detector.detect(dataset)
+
+        result = run()  # warm-up (also warms the encoding cache)
+        total = result.stats.n_combinations
+        seconds = _time_best(run, repeats)
+        results[label] = {
+            "seconds": seconds,
+            "combinations": total,
+            "combos_per_second": total / seconds,
+        }
+    results["speedup_after_vs_before"] = (
+        results["after_u64_lookup"]["combos_per_second"]
+        / results["before_pre_pr_u32_gammaln"]["combos_per_second"]
+    )
+    return results
+
+
+def run_benchmark(quick: bool = False, repeats: int = 3) -> dict:
+    dataset = _dataset(quick)
+    ENCODING_CACHE.clear()
+    kernels = measure_kernels(dataset, quick, repeats)
+    end_to_end = measure_end_to_end(dataset, quick, repeats)
+    return {
+        "quick": bool(quick),
+        "dataset": {"n_snps": dataset.n_snps, "n_samples": dataset.n_samples},
+        "kernels": kernels,
+        "end_to_end": end_to_end,
+    }
+
+
+def run_artifact(repeats: int = 3) -> dict:
+    """The committed artifact: the full matrix plus the CI-sized quick run.
+
+    Both sections are measured so the ``--check`` smoke job can compare a
+    fresh quick run against a baseline of the same dataset scale.
+    """
+    return {
+        "benchmark": "hotpath",
+        "numpy": np.__version__,
+        "full": run_benchmark(quick=False, repeats=repeats),
+        "quick_baseline": run_benchmark(quick=True, repeats=repeats),
+    }
+
+
+def _normalized(doc: dict) -> dict:
+    """Per-entry throughput divided by the run's own u32 reference entry."""
+    by_key = {e["key"]: e["tables_per_second"] for e in doc["kernels"]}
+    ref = by_key.get(REFERENCE_KEY)
+    if not ref:
+        raise SystemExit(f"reference entry {REFERENCE_KEY} missing from run")
+    return {k: v / ref for k, v in by_key.items()}
+
+
+def check_against_baseline(doc: dict, baseline_path: Path) -> int:
+    """Fail (return 1) on a >30% normalized-throughput regression.
+
+    ``doc`` must be a quick run; it is compared against the committed
+    artifact's ``quick_baseline`` section (same dataset scale, throughput
+    normalized within each run so machine speed cancels out).
+    """
+    if not baseline_path.exists():
+        print(f"no baseline at {baseline_path}; skipping regression check")
+        return 0
+    baseline = json.loads(baseline_path.read_text())["quick_baseline"]
+    current = _normalized(doc)
+    reference = _normalized(baseline)
+    failures = []
+    for key, base_value in reference.items():
+        now = current.get(key)
+        if now is None:
+            continue  # quick runs carry a subset of the full matrix
+        if now < base_value * (1.0 - CHECK_TOLERANCE):
+            failures.append(f"{key}: {now:.3f}x vs baseline {base_value:.3f}x")
+    speedup = doc["end_to_end"]["speedup_after_vs_before"]
+    base_speedup = baseline["end_to_end"]["speedup_after_vs_before"]
+    if speedup < base_speedup * (1.0 - CHECK_TOLERANCE):
+        failures.append(
+            f"end-to-end speedup: {speedup:.2f}x vs baseline {base_speedup:.2f}x"
+        )
+    if failures:
+        print("hot-path benchmark regression (>30% vs committed baseline):")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print(
+        f"regression check OK ({len(reference)} entries, end-to-end "
+        f"{speedup:.2f}x vs baseline {base_speedup:.2f}x)"
+    )
+    return 0
+
+
+def emit(doc: dict, path: Path = ARTIFACT) -> None:
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+    e2e = doc["full"]["end_to_end"]
+    print(f"wrote {path}")
+    print(
+        f"end-to-end k=3 detect(): "
+        f"{e2e['before_pre_pr_u32_gammaln']['combos_per_second']:.0f} -> "
+        f"{e2e['after_u64_lookup']['combos_per_second']:.0f} combos/s "
+        f"({e2e['speedup_after_vs_before']:.2f}x)"
+    )
+
+
+def test_hotpath_benchmark_smoke():
+    """Pytest entry point: a quick run must show the overhaul winning and
+    stay within the regression tolerance of the committed baseline."""
+    doc = run_benchmark(quick=True, repeats=2)
+    assert doc["end_to_end"]["speedup_after_vs_before"] > 1.0
+    assert check_against_baseline(doc, ARTIFACT) == 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small CI-sized run (printed, not written to the artifact)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="best-of repetitions per timing"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="run the quick matrix and compare it against the committed "
+        "BENCH_hotpath.json, failing on a >30%% normalized regression "
+        "(does not overwrite the artifact)",
+    )
+    args = parser.parse_args(argv)
+    if args.check:
+        doc = run_benchmark(quick=True, repeats=args.repeats)
+        e2e = doc["end_to_end"]
+        print(
+            f"measured end-to-end speedup (quick): "
+            f"{e2e['speedup_after_vs_before']:.2f}x"
+        )
+        return check_against_baseline(doc, ARTIFACT)
+    if args.quick:
+        doc = run_benchmark(quick=True, repeats=args.repeats)
+        e2e = doc["end_to_end"]
+        print(json.dumps(doc["dataset"]))
+        print(
+            f"quick end-to-end k=3 speedup: "
+            f"{e2e['speedup_after_vs_before']:.2f}x (not written)"
+        )
+        return 0
+    emit(run_artifact(repeats=args.repeats))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,7 @@ a chain of bitwise ``AND`` operations followed by a population count
 """
 
 from repro.bitops.popcount import (
+    popcount,
     popcount32,
     popcount64,
     popcount_lut,
@@ -37,7 +38,14 @@ from repro.bitops.popcount import (
     scalar_popcount,
 )
 from repro.bitops.packing import (
+    DEFAULT_LAYOUT,
+    WORD32,
+    WORD64,
     WORD_BITS,
+    WordLayout,
+    default_layout,
+    get_layout,
+    layout_of,
     pack_bits,
     packed_word_count,
     unpack_bits,
@@ -48,6 +56,14 @@ from repro.bitops.simd import VectorISA, VectorRegisterFile, ISA_PRESETS
 
 __all__ = [
     "WORD_BITS",
+    "WordLayout",
+    "WORD32",
+    "WORD64",
+    "DEFAULT_LAYOUT",
+    "default_layout",
+    "get_layout",
+    "layout_of",
+    "popcount",
     "popcount32",
     "popcount64",
     "popcount_lut",

@@ -18,7 +18,7 @@ from typing import Dict, Iterator, Mapping
 
 import numpy as np
 
-from repro.bitops.popcount import popcount32
+from repro.bitops.popcount import popcount
 
 __all__ = ["OpCounter", "and2", "and3", "andnot", "nor2", "popcount_words"]
 
@@ -101,7 +101,15 @@ class OpCounter:
 
 
 def _count_words(a: np.ndarray) -> int:
-    return int(np.asarray(a).size)
+    """Paper (32-bit) words in a packed array: a uint64 word counts as two.
+
+    Every charge in this module is per paper word, so the §IV instruction
+    accounting is identical whichever machine-word layout the kernels run.
+    """
+    from repro.bitops.packing import paper_word_ratio
+
+    arr = np.asarray(a)
+    return int(arr.size) * paper_word_ratio(arr)
 
 
 def and2(a: np.ndarray, b: np.ndarray, counter: OpCounter | None = None) -> np.ndarray:
@@ -168,7 +176,7 @@ def popcount_words(
     Parameters
     ----------
     words:
-        Packed ``uint32`` array.
+        Packed ``uint32`` or ``uint64`` array.
     counter:
         Optional :class:`OpCounter`; one ``POPCNT`` is recorded per word and,
         if ``reduce_axis`` is given, one ``ADD`` per word for the reduction
@@ -177,7 +185,7 @@ def popcount_words(
         If not ``None``, the counts are summed over this axis (the packed
         word axis), mirroring the POPCNT + reduce-add idiom.
     """
-    counts = popcount32(words)
+    counts = popcount(words)
     if counter is not None:
         n = _count_words(words)
         counter.add("POPCNT", n)

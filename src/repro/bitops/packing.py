@@ -1,28 +1,55 @@
-"""Packing boolean sample vectors into 32-bit machine words.
+"""Packing boolean sample vectors into machine words.
 
 The paper compresses the genotype information of every SNP into bit-planes:
 for SNP ``X`` and genotype value ``g`` the plane ``X[g]`` has one bit per
 sample which is set iff that sample carries genotype ``g`` at ``X``
-(Figure 1 of the paper).  All kernels operate on these planes packed into
-32-bit unsigned integers, "due to their compatibility with all the considered
-devices/architectures" (§IV).
+(Figure 1 of the paper).  The paper packs these planes into 32-bit unsigned
+integers, "due to their compatibility with all the considered
+devices/architectures" (§IV) — and 32 bits remains the **paper word**: the
+unit all §IV instruction accounting (162 vs 57 instructions per word) and
+the CARM byte-traffic charges are expressed in.
+
+The *execution* word width is a separate concern.  A :class:`WordLayout`
+describes the machine word the kernels actually stream (``uint32`` or
+``uint64``); on NumPy >= 2 (``np.bitwise_count``) the 64-bit layout is the
+default because it halves the number of elements every AND/POPCNT touches
+without changing a single resulting bit.  Op/traffic charging stays per
+paper word — callers convert with :attr:`WordLayout.paper_words` at the
+charging boundary, so the §IV accounting and the CARM splits remain honest
+regardless of the execution width.
 
 Packing conventions
 -------------------
 * Samples are laid out little-endian *within* a word: sample ``s`` occupies
-  bit ``s % 32`` of word ``s // 32``.
-* The number of words per plane is ``ceil(n_samples / 32)``; padding bits in
-  the last word are always **zero**.  Keeping the padding clear is essential:
-  a stray set bit would corrupt every frequency table built from the plane.
+  bit ``s % bits`` of word ``s // bits``.
+* The number of words per plane is ``ceil(n_samples / bits)``; padding bits
+  in the last word are always **zero**.  Keeping the padding clear is
+  essential: a stray set bit would corrupt every frequency table built from
+  the plane.
+* A ``uint64`` plane viewed as ``<u4`` is bit-for-bit the corresponding
+  ``uint32`` plane padded to an even word count (little-endian byte order),
+  which is what makes the two layouts interchangeable at the bit level.
 """
 
 from __future__ import annotations
+
+import os
+from dataclasses import dataclass
 
 import numpy as np
 
 __all__ = [
     "WORD_BITS",
     "WORD_DTYPE",
+    "WordLayout",
+    "WORD32",
+    "WORD64",
+    "WORD_LAYOUTS",
+    "DEFAULT_LAYOUT",
+    "get_layout",
+    "default_layout",
+    "layout_of",
+    "paper_word_ratio",
     "packed_word_count",
     "pad_to_words",
     "pack_bits",
@@ -30,42 +57,186 @@ __all__ = [
     "pack_bitplanes",
 ]
 
-#: Number of sample bits stored per packed word.
+#: Number of sample bits per **paper** word (the §IV accounting unit).
 WORD_BITS: int = 32
 
-#: NumPy dtype of a packed word.
+#: NumPy dtype of a paper word.
 WORD_DTYPE = np.uint32
 
 
-def packed_word_count(n_samples: int) -> int:
-    """Number of 32-bit words needed to store ``n_samples`` bits."""
-    if n_samples < 0:
-        raise ValueError("n_samples must be non-negative")
-    return (n_samples + WORD_BITS - 1) // WORD_BITS
+@dataclass(frozen=True)
+class WordLayout:
+    """A machine-word layout for packed bit-planes.
+
+    Attributes
+    ----------
+    name:
+        Registry key (``"u32"`` / ``"u64"``).
+    bits:
+        Sample bits per machine word.
+    dtype:
+        NumPy dtype of a packed word.
+    """
+
+    name: str
+    bits: int
+    dtype: type
+
+    def __post_init__(self) -> None:
+        if self.bits % WORD_BITS != 0:
+            raise ValueError(
+                f"word width {self.bits} must be a multiple of the paper's "
+                f"{WORD_BITS}-bit word"
+            )
+
+    @property
+    def bytes(self) -> int:
+        """Bytes per machine word."""
+        return self.bits // 8
+
+    @property
+    def paper_words(self) -> int:
+        """Paper (32-bit) words per machine word — the charging conversion."""
+        return self.bits // WORD_BITS
+
+    @property
+    def all_ones(self) -> int:
+        """The all-bits-set word value (for padding masks)."""
+        return (1 << self.bits) - 1
+
+    def word_count(self, n_samples: int) -> int:
+        """Machine words needed to store ``n_samples`` bits."""
+        if n_samples < 0:
+            raise ValueError("n_samples must be non-negative")
+        return (n_samples + self.bits - 1) // self.bits
+
+    def padding_mask(self, n_valid: int) -> np.ndarray:
+        """Per-word mask of valid sample bits for an ``n_valid``-bit plane."""
+        mask = np.full(self.word_count(n_valid), self.all_ones, dtype=self.dtype)
+        rem = n_valid % self.bits
+        if rem:
+            mask[-1] = self.dtype((1 << rem) - 1)
+        return mask
+
+    def __str__(self) -> str:
+        return self.name
 
 
-def pad_to_words(bits: np.ndarray) -> np.ndarray:
-    """Pad the last axis of a boolean array with zeros to a multiple of 32.
+#: The paper-fidelity 32-bit layout.
+WORD32 = WordLayout(name="u32", bits=32, dtype=np.uint32)
 
-    Returns a *new* array whose last-axis length is ``32 * packed_word_count``.
+#: The wide 64-bit layout (halves the element count of every kernel op).
+WORD64 = WordLayout(name="u64", bits=64, dtype=np.uint64)
+
+#: Registry of layouts by name (plus the accepted width aliases).
+WORD_LAYOUTS = {
+    "u32": WORD32,
+    "u64": WORD64,
+    "32": WORD32,
+    "64": WORD64,
+    "uint32": WORD32,
+    "uint64": WORD64,
+}
+
+
+def default_layout() -> WordLayout:
+    """The execution-word layout encodings use when none is requested.
+
+    ``uint64`` when the running NumPy has a native population count
+    (``np.bitwise_count``, NumPy >= 2), else ``uint32``.  The environment
+    variable ``REPRO_WORD_WIDTH`` (``32`` / ``64``) overrides the choice —
+    used by the CI paper-fidelity job to force the 32-bit path.
+    """
+    forced = os.environ.get("REPRO_WORD_WIDTH", "").strip().lower()
+    if forced:
+        if forced not in WORD_LAYOUTS:
+            raise KeyError(
+                f"REPRO_WORD_WIDTH={forced!r} is not a known word layout; "
+                f"use 32 or 64"
+            )
+        return WORD_LAYOUTS[forced]
+    return WORD64 if hasattr(np, "bitwise_count") else WORD32
+
+
+#: Layout resolved once at import time (consult :func:`default_layout` for a
+#: fresh environment read).
+DEFAULT_LAYOUT: WordLayout = default_layout()
+
+
+def get_layout(layout: "str | WordLayout | None") -> WordLayout:
+    """Resolve a layout by name, pass an instance through, default on None."""
+    if layout is None:
+        return DEFAULT_LAYOUT
+    if isinstance(layout, WordLayout):
+        return layout
+    key = str(layout).strip().lower()
+    if key in ("auto", "default"):
+        return DEFAULT_LAYOUT
+    if key not in WORD_LAYOUTS:
+        raise KeyError(
+            f"unknown word layout {layout!r}; available: "
+            f"{sorted(set(v.name for v in WORD_LAYOUTS.values()))}"
+        )
+    return WORD_LAYOUTS[key]
+
+
+def layout_of(words: np.ndarray) -> WordLayout:
+    """The layout a packed word array was built with (from its dtype)."""
+    dtype = np.asarray(words).dtype
+    if dtype == np.uint32:
+        return WORD32
+    if dtype == np.uint64:
+        return WORD64
+    raise TypeError(f"packed words must be uint32 or uint64, got {dtype}")
+
+
+def paper_word_ratio(words: np.ndarray) -> int:
+    """Paper (32-bit) words per element of a packed word array.
+
+    The single conversion used at every charging boundary (kernels, op
+    counters, SIMD register accounting, warp-load models), so the §IV
+    per-word accounting stays layout-independent by one definition.
+    Tolerant of any integer dtype (sub-32-bit elements count as one paper
+    word), matching the op-counter helpers it backs.
+    """
+    return max(1, np.asarray(words).dtype.itemsize // 4)
+
+
+def packed_word_count(n_samples: int, layout: "str | WordLayout" = WORD32) -> int:
+    """Number of words needed to store ``n_samples`` bits.
+
+    The default is the paper's 32-bit word so that existing perf-model and
+    accounting call sites keep their §IV semantics; pass a layout for
+    machine-word counts.
+    """
+    return get_layout(layout).word_count(n_samples)
+
+
+def pad_to_words(bits: np.ndarray, layout: "str | WordLayout" = WORD32) -> np.ndarray:
+    """Pad the last axis of a boolean array with zeros to a word multiple.
+
+    Returns a *new* array whose last-axis length is ``bits * word_count``.
     If the input is already aligned the original array is returned unchanged
     (a view, no copy), following the "views, not copies" guidance for
     memory-bound numerical code.
     """
+    word_layout = get_layout(layout)
     arr = np.asarray(bits, dtype=bool)
     n = arr.shape[-1]
-    padded_len = packed_word_count(n) * WORD_BITS
+    padded_len = word_layout.word_count(n) * word_layout.bits
     if padded_len == n:
         return arr
     pad_width = [(0, 0)] * (arr.ndim - 1) + [(0, padded_len - n)]
     return np.pad(arr, pad_width, mode="constant", constant_values=False)
 
 
-def pack_bits(bits: np.ndarray) -> np.ndarray:
-    """Pack a boolean array into little-endian ``uint32`` words.
+def pack_bits(bits: np.ndarray, layout: "str | WordLayout" = WORD32) -> np.ndarray:
+    """Pack a boolean array into little-endian machine words.
 
     The packing applies along the last axis; a ``(..., n_samples)`` boolean
-    array becomes a ``(..., packed_word_count(n_samples))`` ``uint32`` array.
+    array becomes a ``(..., word_count(n_samples))`` array of the layout's
+    dtype.  The default layout is the paper's ``uint32`` word; encodings
+    pass their execution layout explicitly.
 
     Examples
     --------
@@ -73,21 +244,25 @@ def pack_bits(bits: np.ndarray) -> np.ndarray:
     >>> pack_bits(np.array([1, 0, 1, 1], dtype=bool))
     array([13], dtype=uint32)
     """
-    arr = pad_to_words(bits)
+    word_layout = get_layout(layout)
+    arr = pad_to_words(bits, word_layout)
     packed_u8 = np.packbits(arr, axis=-1, bitorder="little")
-    # Four little-endian bytes per 32-bit word.  ``packbits`` already produces
-    # a C-contiguous array, so the view is free.
-    new_shape = packed_u8.shape[:-1] + (packed_u8.shape[-1] // 4,)
-    return np.ascontiguousarray(packed_u8).view("<u4").reshape(new_shape)
+    # ``layout.bytes`` little-endian bytes per machine word.  ``packbits``
+    # already produces a C-contiguous array, so the view is free.
+    per_word = word_layout.bytes
+    new_shape = packed_u8.shape[:-1] + (packed_u8.shape[-1] // per_word,)
+    spec = f"<u{per_word}"
+    return np.ascontiguousarray(packed_u8).view(spec).reshape(new_shape)
 
 
 def unpack_bits(words: np.ndarray, n_samples: int) -> np.ndarray:
-    """Inverse of :func:`pack_bits`.
+    """Inverse of :func:`pack_bits` for either word layout.
 
     Parameters
     ----------
     words:
-        ``uint32`` array produced by :func:`pack_bits` (last axis = words).
+        ``uint32`` or ``uint64`` array produced by :func:`pack_bits`
+        (last axis = words); the layout is inferred from the dtype.
     n_samples:
         Number of valid sample bits; the padded tail is discarded.
 
@@ -96,18 +271,23 @@ def unpack_bits(words: np.ndarray, n_samples: int) -> np.ndarray:
     numpy.ndarray
         Boolean array with last-axis length ``n_samples``.
     """
-    arr = np.asarray(words, dtype=WORD_DTYPE)
-    if packed_word_count(n_samples) != arr.shape[-1]:
+    arr = np.asarray(words)
+    word_layout = layout_of(arr)
+    if word_layout.word_count(n_samples) != arr.shape[-1]:
         raise ValueError(
             f"word count {arr.shape[-1]} does not match n_samples={n_samples} "
-            f"(expected {packed_word_count(n_samples)})"
+            f"(expected {word_layout.word_count(n_samples)})"
         )
     as_bytes = np.ascontiguousarray(arr).view(np.uint8)
     bits = np.unpackbits(as_bytes, axis=-1, bitorder="little")
     return bits[..., :n_samples].astype(bool)
 
 
-def pack_bitplanes(genotypes: np.ndarray, n_genotypes: int = 3) -> np.ndarray:
+def pack_bitplanes(
+    genotypes: np.ndarray,
+    n_genotypes: int = 3,
+    layout: "str | WordLayout" = WORD32,
+) -> np.ndarray:
     """Pack a genotype matrix into per-genotype bit-planes.
 
     Parameters
@@ -118,13 +298,17 @@ def pack_bitplanes(genotypes: np.ndarray, n_genotypes: int = 3) -> np.ndarray:
         2 = homozygous minor).
     n_genotypes:
         Number of genotype values (3 for bi-allelic SNPs).
+    layout:
+        Machine-word layout of the produced planes (paper ``uint32`` by
+        default; the encodings pass their execution layout).
 
     Returns
     -------
     numpy.ndarray
-        ``(n_snps, n_genotypes, n_words)`` ``uint32`` array: plane ``[i, g]``
+        ``(n_snps, n_genotypes, n_words)`` array: plane ``[i, g]``
         has the bit for sample ``s`` set iff ``genotypes[i, s] == g``.
     """
+    word_layout = get_layout(layout)
     geno = np.asarray(genotypes)
     if geno.ndim != 2:
         raise ValueError("genotypes must be a 2-D (n_snps, n_samples) array")
@@ -134,6 +318,6 @@ def pack_bitplanes(genotypes: np.ndarray, n_genotypes: int = 3) -> np.ndarray:
             f"found range [{geno.min()}, {geno.max()}]"
         )
     planes = np.stack(
-        [pack_bits(geno == g) for g in range(n_genotypes)], axis=1
+        [pack_bits(geno == g, word_layout) for g in range(n_genotypes)], axis=1
     )
     return planes

@@ -30,6 +30,8 @@ from __future__ import annotations
 import numpy as np
 
 __all__ = [
+    "popcount",
+    "popcount_sum",
     "popcount32",
     "popcount64",
     "popcount_lut",
@@ -65,6 +67,43 @@ def _as_unsigned(words: np.ndarray) -> np.ndarray:
     if arr.dtype.kind == "i":
         return arr.view(arr.dtype.str.replace("i", "u"))
     raise TypeError(f"popcount requires an integer array, got dtype={arr.dtype}")
+
+
+def popcount(words: np.ndarray) -> np.ndarray:
+    """Width-generic population count: dispatches on the word dtype.
+
+    ``uint64`` input takes the 64-bit path (one ``np.bitwise_count`` over
+    half as many elements as the equivalent 32-bit plane — the core of the
+    wide-word speedup); everything else takes the 32-bit path.  The result
+    is always an ``int64`` array of the input's shape.
+    """
+    arr = _as_unsigned(words)
+    if arr.dtype == np.uint64:
+        return popcount64(arr)
+    return popcount32(arr)
+
+
+def popcount_sum(words: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Fused population count + reduction over ``axis`` (``int64`` result).
+
+    The hot path of every frequency-table cell is ``popcount(word
+    stream).sum(word axis)``.  Going through :func:`popcount` first would
+    materialise a full ``int64`` copy of the per-word counts (8 bytes per
+    word) purely to feed the reduction; this helper sums the native
+    ``uint8`` output of ``np.bitwise_count`` directly into an ``int64``
+    accumulator, so the intermediate never exists.  Width-generic (uint32
+    and uint64 input) and bit-exact with the two-step form.
+    """
+    arr = _as_unsigned(words)
+    if arr.dtype not in (np.uint32, np.uint64):
+        arr = arr.astype(np.uint32)
+    if HAS_BITWISE_COUNT:
+        return np.bitwise_count(arr).sum(axis=axis, dtype=np.int64)
+    if arr.dtype == np.uint64:
+        lo = (arr & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+        hi = (arr >> np.uint64(32)).astype(np.uint32)
+        return popcount_lut(lo).sum(axis=axis) + popcount_lut(hi).sum(axis=axis)
+    return popcount_lut(arr).sum(axis=axis)
 
 
 def popcount32(words: np.ndarray) -> np.ndarray:
@@ -123,9 +162,9 @@ def popcount_reduce(words: np.ndarray, axis: int | None = -1) -> np.ndarray:
     This is the packed-word analogue of the paper's
     ``_mm512_reduce_add_epi32(_mm512_popcnt_epi32(v))`` idiom: count the set
     bits of every word of a vector register and accumulate them into a single
-    frequency-table cell.
+    frequency-table cell.  Width-generic (uint32 and uint64 input).
     """
-    return popcount32(words).sum(axis=axis)
+    return popcount(words).sum(axis=axis)
 
 
 def scalar_popcount(value: int) -> int:

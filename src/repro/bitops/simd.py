@@ -34,6 +34,19 @@ from repro.bitops.popcount import popcount32, popcount64
 __all__ = ["VectorISA", "VectorRegisterFile", "ISA_PRESETS", "isa_for_name"]
 
 
+def _as_words32(words: np.ndarray) -> np.ndarray:
+    """Reinterpret a packed array as 32-bit lanes without changing any bit.
+
+    A ``uint64`` plane viewed as little-endian ``uint32`` is exactly the
+    same bit stream with twice the elements, so the register file's 32-bit
+    lane accounting stays in the paper's units for either execution layout.
+    """
+    arr = np.asarray(words)
+    if arr.dtype == np.uint64:
+        return np.ascontiguousarray(arr).view(np.uint32)
+    return np.asarray(arr, dtype=np.uint32)
+
+
 @dataclass(frozen=True)
 class VectorISA:
     """Description of a vector instruction-set architecture.
@@ -175,7 +188,12 @@ class VectorRegisterFile:
 
     # -- accounting ---------------------------------------------------------
     def _registers_for(self, arr: np.ndarray) -> int:
-        n_words = int(np.asarray(arr).size)
+        # Register occupancy is counted in 32-bit lanes: a uint64 operand
+        # fills two lanes per element, so both layouts charge identically.
+        from repro.bitops.packing import paper_word_ratio
+
+        a = np.asarray(arr)
+        n_words = int(a.size) * paper_word_ratio(a)
         lanes = self.isa.lanes32
         return (n_words + lanes - 1) // lanes
 
@@ -185,14 +203,14 @@ class VectorRegisterFile:
     # -- data movement ------------------------------------------------------
     def load(self, words: np.ndarray) -> np.ndarray:
         """Vector load: returns the operand and charges ``VLOAD`` + traffic."""
-        arr = np.asarray(words, dtype=np.uint32)
+        arr = _as_words32(words)
         self._charge("VLOAD", arr)
         self.counter.bytes_loaded += arr.size * 4
         return arr
 
     def store(self, words: np.ndarray) -> np.ndarray:
         """Vector store accounting (returns the operand unchanged)."""
-        arr = np.asarray(words, dtype=np.uint32)
+        arr = _as_words32(words)
         self._charge("VSTORE", arr)
         self.counter.bytes_stored += arr.size * 4
         return arr
@@ -200,31 +218,33 @@ class VectorRegisterFile:
     # -- logical operations --------------------------------------------------
     def vand(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Vector bitwise AND (one ``VAND`` per register)."""
-        out = np.bitwise_and(a, b)
+        out = np.bitwise_and(_as_words32(a), _as_words32(b))
         self._charge("VAND", out)
         return out
 
     def vand3(self, a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
         """Three-input AND: two ``VAND`` instructions per register."""
-        out = np.bitwise_and(np.bitwise_and(a, b), c)
+        out = np.bitwise_and(
+            np.bitwise_and(_as_words32(a), _as_words32(b)), _as_words32(c)
+        )
         self._charge("VAND", out, per_register=2)
         return out
 
     def vor(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Vector bitwise OR."""
-        out = np.bitwise_or(a, b)
+        out = np.bitwise_or(_as_words32(a), _as_words32(b))
         self._charge("VOR", out)
         return out
 
     def vxor(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Vector bitwise XOR."""
-        out = np.bitwise_xor(a, b)
+        out = np.bitwise_xor(_as_words32(a), _as_words32(b))
         self._charge("VXOR", out)
         return out
 
     def vnor(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Vector NOR emulated as OR + XOR-with-ones (two instructions)."""
-        out = np.bitwise_not(np.bitwise_or(a, b))
+        out = np.bitwise_not(np.bitwise_or(_as_words32(a), _as_words32(b)))
         self._charge("VOR", out)
         self._charge("VXOR", out)
         return out
@@ -238,7 +258,7 @@ class VectorRegisterFile:
         ``EXTRACT`` instructions, one scalar ``POPCNT`` and one scalar
         ``ADD`` — the dominant cost on every tested CPU except Ice Lake SP.
         """
-        arr = np.asarray(words, dtype=np.uint32)
+        arr = _as_words32(words)
         n_registers = self._registers_for(arr)
         if self.isa.has_vector_popcnt:
             self.counter.add("VPOPCNT", n_registers)

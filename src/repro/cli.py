@@ -39,6 +39,21 @@ def _devices_expression(value: str) -> str:
     return value
 
 
+def _chunk_size(value: str) -> "int | str":
+    """argparse type for ``--chunk-size``: a positive integer or ``auto``."""
+    if value.strip().lower() == "auto":
+        return "auto"
+    try:
+        chunk = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid chunk size {value!r}: use a positive integer or 'auto'"
+        ) from None
+    if chunk < 1:
+        raise argparse.ArgumentTypeError("chunk size must be positive")
+    return chunk
+
+
 def _output_path(value: str) -> str:
     """argparse type for ``--output``: only .json / .csv exports exist."""
     if not value.endswith((".json", ".csv")):
@@ -104,7 +119,23 @@ def _add_search_options(parser: argparse.ArgumentParser) -> None:
         help="restore completed shards/stages from the --checkpoint ledger "
         "instead of re-evaluating them (safe when no ledger exists yet)",
     )
-    parser.add_argument("--chunk-size", type=int, default=2048)
+    parser.add_argument(
+        "--chunk-size",
+        type=_chunk_size,
+        default=2048,
+        metavar="N|auto",
+        help="combinations per scheduler chunk, or 'auto' to let every "
+        "worker tune its claim size from measured per-chunk throughput",
+    )
+    parser.add_argument(
+        "--word-width",
+        choices=("32", "64", "auto"),
+        default="auto",
+        help="machine-word width of the packed encodings: 32 is the "
+        "paper-fidelity word, 64 halves the kernel element count "
+        "(bit-identical results); 'auto' picks 64 when NumPy offers a "
+        "native popcount",
+    )
     parser.add_argument("--top-k", type=int, default=5)
     parser.add_argument(
         "--devices",
@@ -376,6 +407,7 @@ def _build_detector(args: argparse.Namespace):
         top_k=args.top_k,
         devices=args.devices,
         schedule=args.schedule,
+        word_layout=None if args.word_width == "auto" else args.word_width,
     )
 
 

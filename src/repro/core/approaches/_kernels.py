@@ -12,14 +12,22 @@ interaction (``k`` between :data:`MIN_ORDER` and :data:`MAX_ORDER`):
 
 The kernels are fully vectorised over a batch of SNP k-tuples: the inner
 ``3^k``-combination loop is expressed as a broadcast over a k-dimensional
-``(3, ..., 3)`` genotype grid, and the per-word population counts are reduced
-with :func:`repro.bitops.popcount.popcount32`.  Both kernels are bit-exact
-with the :func:`repro.core.contingency.contingency_oracle` construction
-(property tested at several orders), and both charge their dynamic
+``(3, ..., 3)`` genotype grid, and the per-word population counts are
+reduced with the width-generic :func:`repro.bitops.popcount.popcount` — the
+kernels accept planes in either machine-word layout (``uint32`` or
+``uint64``; the wide layout halves the element count of every AND/POPCNT).
+Both kernels are bit-exact with the
+:func:`repro.core.contingency.contingency_oracle` construction (property
+tested at several orders and both layouts), and both charge their dynamic
 instruction counts to an :class:`~repro.bitops.ops.OpCounter` using
-order-parametric instruction mixes.  At the paper's ``k = 3`` the mixes
-reduce to the §IV accounting: 162 instructions per word for the naïve
-kernel, 57 for the split kernel.
+order-parametric instruction mixes.
+
+Charging is always per **paper** (32-bit) word: the ``charge_*`` helpers
+convert machine words through the layout's
+:attr:`~repro.bitops.packing.WordLayout.paper_words` ratio at the charging
+boundary, so at the paper's ``k = 3`` the mixes reduce to the §IV
+accounting — 162 instructions per word for the naïve kernel, 57 for the
+split kernel — regardless of the execution word width.
 """
 
 from __future__ import annotations
@@ -29,7 +37,8 @@ from typing import Dict
 import numpy as np
 
 from repro.bitops.ops import OpCounter
-from repro.bitops.popcount import popcount32
+from repro.bitops.packing import paper_word_ratio as _paper_word_ratio
+from repro.bitops.popcount import popcount_sum
 
 __all__ = [
     "MIN_ORDER",
@@ -41,6 +50,8 @@ __all__ = [
     "NAIVE_OPS_PER_COMBO_WORD",
     "SPLIT_OPS_PER_COMBO_WORD",
     "naive_tables",
+    "expand_split_planes",
+    "split_counts_from_planes",
     "split_class_counts",
     "split_tables",
     "charge_naive_ops",
@@ -119,27 +130,45 @@ SPLIT_OPS_PER_COMBO_WORD: Dict[str, float] = split_ops_per_combo_word(3)
 
 
 def charge_naive_ops(
-    counter: OpCounter, n_combos: int, n_words: int, order: int = 3
+    counter: OpCounter,
+    n_combos: int,
+    n_words: int,
+    order: int = 3,
+    word_ratio: int = 1,
 ) -> None:
-    """Charge the naïve-kernel instruction mix for a batch to ``counter``."""
-    scale = n_combos * n_words
+    """Charge the naïve-kernel instruction mix for a batch to ``counter``.
+
+    ``n_words`` counts *machine* words; ``word_ratio`` is the layout's
+    paper-words-per-machine-word conversion applied at this charging
+    boundary.  Each mnemonic's total is rounded once at the end (not
+    truncated per term), so fractional per-word mixes charge exactly.
+    """
+    scale = n_combos * n_words * word_ratio
     for mnemonic, per in naive_ops_per_combo_word(order).items():
         if mnemonic == "LOAD":
-            counter.add_load(int(per * scale))
+            counter.add_load(int(round(per * scale)))
         else:
-            counter.add(mnemonic, int(per * scale))
+            counter.add(mnemonic, int(round(per * scale)))
 
 
 def charge_split_ops(
-    counter: OpCounter, n_combos: int, n_words_total: int, order: int = 3
+    counter: OpCounter,
+    n_combos: int,
+    n_words_total: int,
+    order: int = 3,
+    word_ratio: int = 1,
 ) -> None:
-    """Charge the split-kernel mix; ``n_words_total`` sums both classes."""
-    scale = n_combos * n_words_total
+    """Charge the split-kernel mix; ``n_words_total`` sums both classes.
+
+    Machine words are converted to paper words through ``word_ratio``, and
+    each mnemonic's total is rounded once at the end (not truncated).
+    """
+    scale = n_combos * n_words_total * word_ratio
     for mnemonic, per in split_ops_per_combo_word(order).items():
         if mnemonic == "LOAD":
-            counter.add_load(int(per * scale))
+            counter.add_load(int(round(per * scale)))
         else:
-            counter.add(mnemonic, int(per * scale))
+            counter.add(mnemonic, int(round(per * scale)))
 
 
 def _genotype_grid(selected: list[np.ndarray]) -> np.ndarray:
@@ -170,10 +199,12 @@ def naive_tables(
     Parameters
     ----------
     planes:
-        ``(n_snps, 3, n_words)`` ``uint32`` bit-planes over all samples.
+        ``(n_snps, 3, n_words)`` packed bit-planes over all samples
+        (``uint32`` or ``uint64``).
     phenotype_words:
-        ``(n_words,)`` packed phenotype (bit set = case).  Padding bits are
-        zero, so the case/control masks never count padding samples.
+        ``(n_words,)`` packed phenotype (bit set = case) in the same layout
+        as ``planes``.  Padding bits are zero, so the case/control masks
+        never count padding samples.
     combos:
         ``(n_combos, k)`` strictly increasing SNP index tuples.
 
@@ -187,7 +218,7 @@ def naive_tables(
     n_combos = combos.shape[0]
     n_words = planes.shape[2]
     cells = 3**order
-    phen = np.asarray(phenotype_words, dtype=np.uint32)
+    phen = np.asarray(phenotype_words, dtype=planes.dtype)
     # The padding bits of the planes are zero, so AND-ing with ~phenotype is
     # safe even though ~phenotype has the padding bits set.
     notphen = np.bitwise_not(phen)
@@ -203,11 +234,61 @@ def naive_tables(
         head = selected[0][:, g0, :]
         grid = np.bitwise_and(head[:, None, :], sub_grid)
         span = slice(g0 * sub_cells, (g0 + 1) * sub_cells)
-        tables[:, span, 1] = popcount32(np.bitwise_and(grid, phen)).sum(axis=-1)
-        tables[:, span, 0] = popcount32(np.bitwise_and(grid, notphen)).sum(axis=-1)
+        tables[:, span, 1] = popcount_sum(np.bitwise_and(grid, phen))
+        tables[:, span, 0] = popcount_sum(np.bitwise_and(grid, notphen))
     if counter is not None:
-        charge_naive_ops(counter, n_combos, n_words, order)
+        charge_naive_ops(
+            counter, n_combos, n_words, order, word_ratio=_paper_word_ratio(planes)
+        )
     return tables
+
+
+def expand_split_planes(
+    class_planes: np.ndarray,
+    padding_mask: np.ndarray,
+    combos: np.ndarray,
+) -> list[np.ndarray]:
+    """Gather and NOR-expand one class's planes for a combination batch.
+
+    Returns one ``(n_combos, 3, n_words)`` stack per combination position:
+    the two stored planes of each selected SNP plus the genotype-2 plane
+    inferred by ``NOR`` (padding masked off).  This is the gather half of
+    the split kernel, factored out so callers that walk the samples in
+    word chunks (the cache-blocked kernel) gather and expand **once** per
+    batch and slice word views per pass instead of re-gathering.
+    """
+    combos = np.asarray(combos, dtype=np.int64)
+    order = check_order(combos.shape[1])
+    mask = np.asarray(padding_mask, dtype=class_planes.dtype)
+
+    def expand(planes_sel: np.ndarray) -> np.ndarray:
+        """(T, 2, W) stored planes -> (T, 3, W) with the inferred plane."""
+        g2 = np.bitwise_and(
+            np.bitwise_not(np.bitwise_or(planes_sel[:, 0], planes_sel[:, 1])), mask
+        )
+        return np.concatenate([planes_sel, g2[:, None, :]], axis=1)
+
+    return [expand(class_planes[combos[:, t]]) for t in range(order)]
+
+
+def split_counts_from_planes(selected: list[np.ndarray]) -> np.ndarray:
+    """``3^k`` counts from pre-expanded per-position plane stacks.
+
+    ``selected`` holds k ``(n_combos, 3, n_words)`` stacks (word views are
+    fine — the blocked kernel passes slices of one expanded batch).
+    """
+    n_combos = selected[0].shape[0]
+    order = len(selected)
+    cells = 3**order
+    sub_cells = cells // 3
+    counts = np.empty((n_combos, cells), dtype=np.int64)
+    sub_grid = _genotype_grid(selected[1:])
+    for g0 in range(3):
+        head = selected[0][:, g0, :]
+        grid = np.bitwise_and(head[:, None, :], sub_grid)
+        span = slice(g0 * sub_cells, (g0 + 1) * sub_cells)
+        counts[:, span] = popcount_sum(grid)
+    return counts
 
 
 def split_class_counts(
@@ -220,10 +301,12 @@ def split_class_counts(
     Parameters
     ----------
     class_planes:
-        ``(n_snps, 2, n_words)`` planes of one phenotype class.
+        ``(n_snps, 2, n_words)`` planes of one phenotype class (``uint32``
+        or ``uint64``).
     padding_mask:
         ``(n_words,)`` mask of valid sample bits for the class (clears the
-        padding bits that the NOR would otherwise set).
+        padding bits that the NOR would otherwise set), same layout as the
+        planes.
     combos:
         ``(n_combos, k)`` strictly increasing SNP index tuples.
 
@@ -232,30 +315,9 @@ def split_class_counts(
     numpy.ndarray
         ``(n_combos, 3^k)`` counts for this class.
     """
-    combos = np.asarray(combos, dtype=np.int64)
-    order = check_order(combos.shape[1])
-    n_combos = combos.shape[0]
-    mask = np.asarray(padding_mask, dtype=np.uint32)
-
-    def expand(planes_sel: np.ndarray) -> np.ndarray:
-        """(T, 2, W) stored planes -> (T, 3, W) with the inferred plane."""
-        g2 = np.bitwise_and(
-            np.bitwise_not(np.bitwise_or(planes_sel[:, 0], planes_sel[:, 1])), mask
-        )
-        return np.concatenate([planes_sel, g2[:, None, :]], axis=1)
-
-    selected = [expand(class_planes[combos[:, t]]) for t in range(order)]
-
-    cells = 3**order
-    sub_cells = cells // 3
-    counts = np.empty((n_combos, cells), dtype=np.int64)
-    sub_grid = _genotype_grid(selected[1:])
-    for g0 in range(3):
-        head = selected[0][:, g0, :]
-        grid = np.bitwise_and(head[:, None, :], sub_grid)
-        span = slice(g0 * sub_cells, (g0 + 1) * sub_cells)
-        counts[:, span] = popcount32(grid).sum(axis=-1)
-    return counts
+    return split_counts_from_planes(
+        expand_split_planes(class_planes, padding_mask, combos)
+    )
 
 
 def split_tables(
@@ -276,5 +338,11 @@ def split_tables(
     cases = split_class_counts(case_planes, case_mask, combos)
     if counter is not None:
         n_words_total = control_planes.shape[2] + case_planes.shape[2]
-        charge_split_ops(counter, combos.shape[0], n_words_total, combos.shape[1])
+        charge_split_ops(
+            counter,
+            combos.shape[0],
+            n_words_total,
+            combos.shape[1],
+            word_ratio=_paper_word_ratio(control_planes),
+        )
     return np.stack([controls, cases], axis=-1)

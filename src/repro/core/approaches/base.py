@@ -8,6 +8,7 @@ from typing import Any, ClassVar, Dict, Mapping
 import numpy as np
 
 from repro.bitops.ops import OpCounter
+from repro.bitops.packing import WordLayout, get_layout
 from repro.core.approaches._kernels import MAX_ORDER, MIN_ORDER
 from repro.datasets.dataset import GenotypeDataset
 
@@ -53,8 +54,13 @@ class Approach(ABC):
     min_order: ClassVar[int] = MIN_ORDER
     max_order: ClassVar[int] = MAX_ORDER
 
-    def __init__(self) -> None:
+    def __init__(self, word_layout: WordLayout | str | None = None) -> None:
         self.counter = OpCounter()
+        #: Machine-word layout the encodings are packed with (``uint32`` or
+        #: ``uint64``; the default follows
+        #: :func:`repro.bitops.packing.default_layout`).  Charging stays per
+        #: paper word whichever layout runs.
+        self.word_layout: WordLayout = get_layout(word_layout)
 
     # -- encoding -------------------------------------------------------------
     @abstractmethod
@@ -65,6 +71,17 @@ class Approach(ABC):
         :meth:`build_tables`.  Encodings are pure data (NumPy arrays and
         dataclasses) and safe to share between threads.
         """
+
+    def encoding_key(self) -> tuple:
+        """Cache identity of :meth:`prepare`'s output for one dataset.
+
+        Two approach instances whose keys are equal produce interchangeable
+        encodings for the same dataset, so the detector-level encoding cache
+        can reuse one prepared object across runs, stages and workers.
+        Subclasses whose encoding depends on extra parameters (blocking
+        geometry, GPU tile size) must extend the tuple.
+        """
+        return (type(self).__name__, self.word_layout.name)
 
     # -- kernel ----------------------------------------------------------------
     @abstractmethod

@@ -25,7 +25,8 @@ from repro.core.approaches.base import Approach
 from repro.core.approaches._kernels import (
     SPLIT_OPS_PER_COMBO_WORD,
     charge_split_ops,
-    split_class_counts,
+    expand_split_planes,
+    split_counts_from_planes,
 )
 from repro.datasets.binarization import PhenotypeSplitDataset
 from repro.datasets.dataset import GenotypeDataset
@@ -68,8 +69,9 @@ class CpuBlockedApproach(Approach):
         block_snps: int | None = None,
         block_samples: int | None = None,
         cpu_spec: CpuSpec | None = None,
+        word_layout=None,
     ) -> None:
-        super().__init__()
+        super().__init__(word_layout=word_layout)
         if cpu_spec is None:
             from repro.devices.catalog import cpu as _cpu
 
@@ -89,19 +91,47 @@ class CpuBlockedApproach(Approach):
     def prepare(self, dataset: GenotypeDataset) -> _BlockedEncoding:
         """Phenotype-split encoding plus the blocking geometry."""
         return _BlockedEncoding(
-            split=PhenotypeSplitDataset.from_dataset(dataset),
+            split=PhenotypeSplitDataset.from_dataset(dataset, layout=self.word_layout),
             block_snps=self.block_snps,
             block_samples=self.block_samples,
         )
 
-    # -- kernel ----------------------------------------------------------------
-    def build_tables(self, encoded: _BlockedEncoding, combos: np.ndarray) -> np.ndarray:
-        """Blocked construction: accumulate tables over sample chunks.
+    def encoding_key(self) -> tuple:
+        # cpu-v3 and cpu-v4 share the blocked split encoding, so the key is
+        # family-level (the vectorised subclass inherits it unchanged).
+        return (
+            "split-blocked",
+            self.word_layout.name,
+            self.block_snps,
+            self.block_samples,
+        )
 
-        The caller supplies an arbitrary batch of combinations (the detector
-        already groups them); the sample dimension is walked in chunks of
-        ``BP`` samples (``BP / 32`` packed words), accumulating the per-chunk
-        counts — the same partial-sum structure as Algorithm 1.
+    # -- kernel ----------------------------------------------------------------
+    #: Ceiling on the transient AND-grid a single execution pass may
+    #: materialise (two ``n_combos x 3^(k-1) x words`` intermediates live
+    #: at once).  Execution passes are sized to this budget, keeping memory
+    #: bounded at whole-genome sample counts without the per-pass overhead
+    #: of the (much smaller) modelled BP blocks.
+    EXEC_GRID_BUDGET_BYTES: int = 64 * 1024 * 1024
+
+    def _exec_words_per_pass(self, n_combos: int, order: int, itemsize: int) -> int:
+        per_word_bytes = max(1, n_combos) * 3 ** (order - 1) * itemsize
+        return max(1, self.EXEC_GRID_BUDGET_BYTES // per_word_bytes)
+
+    def build_tables(self, encoded: _BlockedEncoding, combos: np.ndarray) -> np.ndarray:
+        """Blocked construction over a batch of combinations.
+
+        Blocking is a statement about *where loads hit*, not about the
+        arithmetic: the modelled kernel walks the samples in chunks of
+        ``BP`` (``BP / word_bits`` packed words), and that walk is recorded
+        in ``sample_chunk_passes`` for the CARM/performance models.  The
+        NumPy execution, whose array ops never reproduced L1 residency in
+        the first place, gathers + NOR-expands each batch **once** and then
+        walks word *views* in passes sized to a fixed grid-memory budget —
+        a handful of MB-scale passes instead of hundreds of BP-sized ones,
+        while transient memory stays bounded at any sample count.  The
+        result is bit-identical to any other pass split (integer sums
+        reassociate exactly).
         """
         combos = self._check_combos(combos)
         split = encoded.split
@@ -109,24 +139,41 @@ class CpuBlockedApproach(Approach):
             raise IndexError("combination index exceeds the number of SNPs")
         n_combos, order = combos.shape
         self._last_order = order
-        words_per_chunk = max(1, encoded.block_samples // 32)
+        words_per_chunk = max(1, encoded.block_samples // encoded.split.layout.bits)
+        exec_words = self._exec_words_per_pass(
+            n_combos, order, split.layout.dtype().itemsize
+        )
 
         tables = np.zeros((n_combos, 3**order, 2), dtype=np.int64)
         total_words = 0
+        word_ratio = split.layout.paper_words
         for phenotype_class in (0, 1):
             planes, _ = split.planes_for_class(phenotype_class)
             mask = split.padding_mask(phenotype_class)
             n_words = planes.shape[2]
             total_words += n_words
-            for start in range(0, n_words, words_per_chunk):
-                stop = min(start + words_per_chunk, n_words)
-                chunk_planes = planes[:, :, start:stop]
-                chunk_mask = mask[start:stop]
-                tables[:, :, phenotype_class] += split_class_counts(
-                    chunk_planes, chunk_mask, combos
-                )
-                self._sample_passes += 1
-        charge_split_ops(self.counter, n_combos, total_words, order)
+            if n_words <= exec_words:
+                # Common case: gather + NOR-expand once, one fused pass.
+                selected = expand_split_planes(planes, mask, combos)
+                tables[:, :, phenotype_class] = split_counts_from_planes(selected)
+            else:
+                # Whole-genome sample counts: gather within each
+                # budget-sized word slice so the expanded selection and the
+                # AND-grid both stay bounded, whatever n_samples is.
+                for start in range(0, n_words, exec_words):
+                    stop = min(start + exec_words, n_words)
+                    selected = expand_split_planes(
+                        planes[:, :, start:stop], mask[start:stop], combos
+                    )
+                    tables[:, :, phenotype_class] += split_counts_from_planes(
+                        selected
+                    )
+            # Modelled Algorithm 1 walk: ceil(n_words / (BP / word_bits))
+            # sample-chunk passes per class.
+            self._sample_passes += -(-n_words // words_per_chunk)
+        charge_split_ops(
+            self.counter, n_combos, total_words, order, word_ratio=word_ratio
+        )
         return tables
 
     def extra_stats(self) -> dict:

@@ -33,7 +33,7 @@ class CpuNaiveApproach(Approach):
 
     def prepare(self, dataset: GenotypeDataset) -> BinarizedDataset:
         """Encode the dataset in the naïve three-plane representation."""
-        return BinarizedDataset.from_dataset(dataset)
+        return BinarizedDataset.from_dataset(dataset, layout=self.word_layout)
 
     def build_tables(self, encoded: BinarizedDataset, combos: np.ndarray) -> np.ndarray:
         """Build 27x2 tables by AND-ing planes with the phenotype masks."""

@@ -37,7 +37,7 @@ class CpuNoPhenotypeApproach(Approach):
 
     def prepare(self, dataset: GenotypeDataset) -> PhenotypeSplitDataset:
         """Split the dataset by phenotype and keep only planes 0 and 1."""
-        return PhenotypeSplitDataset.from_dataset(dataset)
+        return PhenotypeSplitDataset.from_dataset(dataset, layout=self.word_layout)
 
     def build_tables(
         self, encoded: PhenotypeSplitDataset, combos: np.ndarray

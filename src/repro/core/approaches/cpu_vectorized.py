@@ -59,9 +59,13 @@ class CpuVectorizedApproach(CpuBlockedApproach):
         block_snps: int | None = None,
         block_samples: int | None = None,
         cpu_spec: CpuSpec | None = None,
+        word_layout=None,
     ) -> None:
         super().__init__(
-            block_snps=block_snps, block_samples=block_samples, cpu_spec=cpu_spec
+            block_snps=block_snps,
+            block_samples=block_samples,
+            cpu_spec=cpu_spec,
+            word_layout=word_layout,
         )
         if isa is None:
             self.isa = self.cpu_spec.vector_isa
@@ -83,9 +87,13 @@ class CpuVectorizedApproach(CpuBlockedApproach):
         tables = super().build_tables(encoded, combos)
         split = encoded.split
         n_combos, order = combos.shape
+        # Vector accounting is in 32-bit lanes: convert machine words to
+        # paper words at the charging boundary so register occupancy is
+        # identical for the uint32 and uint64 execution layouts.
+        word_ratio = split.layout.paper_words
         for phenotype_class in (0, 1):
             planes, _ = split.planes_for_class(phenotype_class)
-            self._charge_vector_ops(n_combos, planes.shape[2], order)
+            self._charge_vector_ops(n_combos, planes.shape[2] * word_ratio, order)
         return tables
 
     def _charge_vector_ops(self, n_combos: int, n_words: int, order: int = 3) -> None:

@@ -34,7 +34,7 @@ class GpuNaiveApproach(GpuApproachBase):
 
     def prepare(self, dataset: GenotypeDataset) -> BinarizedDataset:
         """Device-resident copy of the naïve three-plane encoding."""
-        return BinarizedDataset.from_dataset(dataset)
+        return BinarizedDataset.from_dataset(dataset, layout=self.word_layout)
 
     def build_tables(self, encoded: BinarizedDataset, combos: np.ndarray) -> np.ndarray:
         """One thread per combination; tables accumulated in private memory."""
@@ -44,10 +44,12 @@ class GpuNaiveApproach(GpuApproachBase):
         tables = naive_tables(
             encoded.planes, encoded.phenotype_words, combos, counter=self.counter
         )
+        # The warp/transaction model is per paper (32-bit) word: convert the
+        # machine-word count at the charging boundary.
         self._charge_warp_loads(
             combos.shape[0],
             loads_per_combo_word=naive_ops_per_combo_word(combos.shape[1])["LOAD"],
-            n_words=encoded.n_words,
+            n_words=encoded.n_words * encoded.layout.paper_words,
         )
         return tables
 

@@ -36,21 +36,19 @@ class GpuNoPhenotypeApproach(GpuApproachBase):
 
     def prepare(self, dataset: GenotypeDataset) -> GpuLayout:
         """Split by phenotype and upload in SNP-major order."""
-        return snp_major_layout(PhenotypeSplitDataset.from_dataset(dataset))
+        return snp_major_layout(
+            PhenotypeSplitDataset.from_dataset(dataset, layout=self.word_layout)
+        )
 
     def _class_planes(self, layout: GpuLayout, phenotype_class: int) -> np.ndarray:
         """Gather the ``(n_snps, 2, n_words)`` planes from the layout."""
         return layout.words(phenotype_class)
 
     def _padding_mask(self, layout: GpuLayout, phenotype_class: int) -> np.ndarray:
-        from repro.bitops.packing import WORD_BITS, packed_word_count
+        from repro.bitops.packing import layout_of
 
         n_valid = layout.samples(phenotype_class)
-        mask = np.full(packed_word_count(n_valid), 0xFFFFFFFF, dtype=np.uint32)
-        rem = n_valid % WORD_BITS
-        if rem:
-            mask[-1] = np.uint32((1 << rem) - 1)
-        return mask
+        return layout_of(layout.words(phenotype_class)).padding_mask(n_valid)
 
     def build_tables(self, encoded: GpuLayout, combos: np.ndarray) -> np.ndarray:
         """One thread per combination over the split, SNP-major planes."""
@@ -67,7 +65,11 @@ class GpuNoPhenotypeApproach(GpuApproachBase):
             combos,
             counter=self.counter,
         )
-        n_words_total = ctrl.shape[-1] + case.shape[-1]
+        # The warp/transaction model is per paper (32-bit) word: convert the
+        # machine-word count at the charging boundary.
+        from repro.bitops.packing import paper_word_ratio
+
+        n_words_total = (ctrl.shape[-1] + case.shape[-1]) * paper_word_ratio(ctrl)
         self._charge_warp_loads(
             combos.shape[0],
             loads_per_combo_word=split_ops_per_combo_word(combos.shape[1])["LOAD"]

@@ -42,8 +42,8 @@ class GpuTiledApproach(GpuNoPhenotypeApproach):
     description = "SNP-tiled layout (blocks of BS SNPs): coalescing + locality"
     coalescing_factor = 1.0
 
-    def __init__(self, block_size: int = 32, bsched: int = 256) -> None:
-        super().__init__()
+    def __init__(self, block_size: int = 32, bsched: int = 256, word_layout=None) -> None:
+        super().__init__(word_layout=word_layout)
         if block_size < 1:
             raise ValueError("block_size must be positive")
         if bsched < 1:
@@ -54,8 +54,12 @@ class GpuTiledApproach(GpuNoPhenotypeApproach):
     def prepare(self, dataset: GenotypeDataset) -> GpuLayout:
         """Split by phenotype and upload in SNP-tiled order."""
         return tiled_layout(
-            PhenotypeSplitDataset.from_dataset(dataset), block_size=self.block_size
+            PhenotypeSplitDataset.from_dataset(dataset, layout=self.word_layout),
+            block_size=self.block_size,
         )
+
+    def encoding_key(self) -> tuple:
+        return super().encoding_key() + ("tiled", self.block_size)
 
     def _class_planes(self, layout: GpuLayout, phenotype_class: int) -> np.ndarray:
         """Gather ``(n_snps, 2, n_words)`` planes from the tiled array."""

@@ -32,7 +32,9 @@ class GpuTransposedApproach(GpuNoPhenotypeApproach):
 
     def prepare(self, dataset: GenotypeDataset) -> GpuLayout:
         """Split by phenotype and upload in transposed (sample-major) order."""
-        return transposed_layout(PhenotypeSplitDataset.from_dataset(dataset))
+        return transposed_layout(
+            PhenotypeSplitDataset.from_dataset(dataset, layout=self.word_layout)
+        )
 
     def _class_planes(self, layout: GpuLayout, phenotype_class: int) -> np.ndarray:
         """Gather ``(n_snps, 2, n_words)`` planes from the transposed array.

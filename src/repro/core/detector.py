@@ -55,6 +55,7 @@ import numpy as np
 from repro.core.approaches import APPROACHES, Approach, get_approach
 from repro.core.approaches._kernels import check_order
 from repro.core.contingency import validate_tables
+from repro.core.encoding_cache import ENCODING_CACHE
 from repro.core.result import ApproachStats, DetectionResult
 from repro.core.scoring import ObjectiveFunction, get_objective
 from repro.datasets.dataset import GenotypeDataset
@@ -105,9 +106,18 @@ class DetectorConfig:
         plan keeps ``n_workers`` on whatever lane the approach targets.
     chunk_size:
         Combinations per scheduler chunk (the unit of dynamic scheduling and
-        of the vectorised kernel batch).
+        of the vectorised kernel batch), or ``"auto"``: each worker then
+        tunes its own claim size from measured per-chunk throughput within
+        per-device-lane bounds (:mod:`repro.engine.autotune`).
     top_k:
         Number of best interactions kept in the result.
+    word_layout:
+        Machine-word layout of the packed encodings: ``"u32"`` (the paper's
+        32-bit word), ``"u64"`` (halves the element count of every kernel
+        operation; bit-identical results) or ``None``/``"auto"`` for the
+        NumPy-version-dependent default
+        (:func:`repro.bitops.packing.default_layout`).  All instruction and
+        traffic accounting stays per 32-bit paper word either way.
     validate:
         If ``True``, every produced table batch is checked against the
         column-sum invariants (costs a few percent, useful in tests).
@@ -126,17 +136,26 @@ class DetectorConfig:
     objective: str | ObjectiveFunction = "k2"
     order: int = 3
     n_workers: int = 1
-    chunk_size: int = 2048
+    chunk_size: int | str = 2048
     top_k: int = 10
     validate: bool = False
     devices: str | None = None
     schedule: str | SchedulingPolicy = "dynamic"
+    word_layout: str | None = None
 
     def __post_init__(self) -> None:
+        from repro.engine.autotune import is_auto_chunk
+
         self.order = check_order(self.order)
         if self.n_workers < 1:
             raise ValueError("n_workers must be positive")
-        if self.chunk_size < 1:
+        if isinstance(self.chunk_size, str):
+            if not is_auto_chunk(self.chunk_size):
+                raise ValueError(
+                    f"chunk_size must be a positive integer or 'auto'; "
+                    f"got {self.chunk_size!r}"
+                )
+        elif self.chunk_size < 1:
             raise ValueError("chunk_size must be positive")
         if self.top_k < 1:
             raise ValueError("top_k must be positive")
@@ -160,11 +179,12 @@ class EpistasisDetector:
         *,
         order: int = 3,
         n_workers: int = 1,
-        chunk_size: int = 2048,
+        chunk_size: int | str = 2048,
         top_k: int = 10,
         validate: bool = False,
         devices: str | None = None,
         schedule: str | SchedulingPolicy = "dynamic",
+        word_layout: str | None = None,
         config: DetectorConfig | None = None,
         **approach_kwargs,
     ) -> None:
@@ -179,13 +199,19 @@ class EpistasisDetector:
                 validate=validate,
                 devices=devices,
                 schedule=schedule,
+                word_layout=word_layout,
             )
         self.config = config
         self._approach_kwargs = dict(approach_kwargs)
+        if config.word_layout is not None:
+            # The execution word width applies to every approach instance
+            # this detector builds (both lanes of a heterogeneous plan, and
+            # — through approach_kwargs — the distributed worker processes).
+            self._approach_kwargs.setdefault("word_layout", config.word_layout)
         if isinstance(config.approach, Approach):
             self._prototype = config.approach
         else:
-            self._prototype = get_approach(config.approach, **approach_kwargs)
+            self._prototype = get_approach(config.approach, **self._approach_kwargs)
         self.objective = get_objective(config.objective)
 
     # -- approach management -----------------------------------------------------
@@ -226,27 +252,73 @@ class EpistasisDetector:
             return self.config.approach
         name = self._approach_name_for_kind(kind)
         # Constructor kwargs (isa=, block_size=, ...) only apply to the
-        # approach family they were written for.
-        kwargs = self._approach_kwargs if name == self._prototype.name else {}
+        # approach family they were written for; the word layout is
+        # family-agnostic and applies to every lane.
+        if name == self._prototype.name:
+            kwargs = self._approach_kwargs
+        elif self.config.word_layout is not None:
+            kwargs = {"word_layout": self.config.word_layout}
+        else:
+            kwargs = {}
         return get_approach(name, **kwargs)
+
+    @staticmethod
+    def _prepare_cached(approach: Approach, dataset: GenotypeDataset) -> object:
+        """Encode ``dataset`` for ``approach`` through the process-wide cache.
+
+        Keyed by dataset content digest plus the approach's encoding
+        identity, so repeated ``detect`` calls, pipeline stages and
+        distributed shards over the same dataset never re-pack it.
+        """
+        encoding_key = getattr(approach, "encoding_key", None)
+        if encoding_key is None:
+            # Duck-typed approaches without a cache identity are prepared
+            # directly (correct, just uncached).
+            return approach.prepare(dataset)
+        key = (
+            dataset.content_digest(),
+            dataset.n_snps,
+            dataset.n_samples,
+        ) + tuple(encoding_key())
+        return ENCODING_CACHE.get_or_build(key, lambda: approach.prepare(dataset))
 
     # -- low-level entry points ----------------------------------------------------
     def build_tables(
-        self, dataset: GenotypeDataset, combos: np.ndarray
+        self, dataset: GenotypeDataset, combos: np.ndarray, *, cache: bool = True
     ) -> np.ndarray:
-        """Frequency tables for explicit combinations (single-threaded)."""
-        encoded = self._prototype.prepare(dataset)
+        """Frequency tables for explicit combinations (single-threaded).
+
+        ``cache=False`` bypasses the process-wide encoding cache — for
+        throw-away datasets that are scored exactly once (the permutation
+        null relabels the phenotype every iteration), where caching would
+        pay the content digest and evict reusable encodings for nothing.
+        """
+        if cache:
+            encoded = self._prepare_cached(self._prototype, dataset)
+        else:
+            encoded = self._prototype.prepare(dataset)
         tables = self._prototype.build_tables(encoded, np.asarray(combos))
         if self.config.validate:
             validate_tables(tables, dataset.n_controls, dataset.n_cases)
         return tables
 
     def score_combinations(
-        self, dataset: GenotypeDataset, combos: np.ndarray
+        self, dataset: GenotypeDataset, combos: np.ndarray, *, cache: bool = True
     ) -> np.ndarray:
         """Objective scores for explicit combinations (single-threaded)."""
-        tables = self.build_tables(dataset, combos)
+        tables = self.build_tables(dataset, combos, cache=cache)
+        self._prepare_objective(dataset)
         return self.objective.score(tables)
+
+    def _prepare_objective(self, dataset: GenotypeDataset) -> None:
+        """Give the objective its per-dataset precomputation hook.
+
+        Idempotent and cheap (the K2 log-factorial table is O(n_samples));
+        custom objective instances without a ``prepare`` method are fine.
+        """
+        prepare = getattr(self.objective, "prepare", None)
+        if prepare is not None:
+            prepare(dataset)
 
     # -- execution-plan assembly ---------------------------------------------------
     def engine_devices(self) -> List[EngineDevice]:
@@ -421,6 +493,7 @@ class EpistasisDetector:
                 )
             return outcome.result
         total = source.total
+        self._prepare_objective(dataset)
         devices = self.engine_devices()
         policy = self._build_policy(dataset, source)
         plan = ExecutionPlan(
@@ -443,7 +516,7 @@ class EpistasisDetector:
             else:
                 approach = self._worker_approach(device.kind)
             if device.kind not in encodings:
-                encodings[device.kind] = approach.prepare(dataset)
+                encodings[device.kind] = self._prepare_cached(approach, dataset)
             return _WorkerState(approach=approach, encoded=encodings[device.kind])
 
         snp_names = list(dataset.snp_names)
@@ -597,6 +670,7 @@ class EpistasisDetector:
             chunk_size=cfg.chunk_size,
             top_k=cfg.top_k,
             validate=cfg.validate,
+            word_layout=cfg.word_layout,
             workers=workers or 1,
             checkpoint=checkpoint,
             resume=resume,

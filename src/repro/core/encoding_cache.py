@@ -1,0 +1,86 @@
+"""Process-wide cache of prepared dataset encodings.
+
+Packing a dataset into bit-planes (``Approach.prepare``) is pure and
+deterministic: the result depends only on the dataset's content and the
+approach's encoding parameters (encoding family, word layout, blocking /
+tile geometry).  Yet before this cache every ``detect()`` call, every
+pipeline stage and every distributed shard re-packed the same dataset —
+for a staged screen→expand→permutation run that is four identical packs of
+the same genotype matrix.
+
+:data:`ENCODING_CACHE` memoises prepared encodings under the key
+
+``(dataset.content_digest(), n_snps, n_samples, *approach.encoding_key())``
+
+so repeated runs over the same dataset reuse one immutable encoding.
+Encodings are read-only by contract (they are already shared across worker
+threads within a run), which is what makes cross-run sharing safe.  The
+cache is bounded (LRU) and keyed by content, so mutating a dataset — which
+the dataset API never does in place — yields a different digest rather than
+a stale hit.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Tuple
+
+__all__ = ["EncodingCache", "ENCODING_CACHE"]
+
+
+class EncodingCache:
+    """A small thread-safe LRU mapping encoding keys to prepared encodings.
+
+    Parameters
+    ----------
+    max_entries:
+        Retained encodings; the least recently used entry is evicted first.
+        Encodings are a few bytes per SNP-sample, so a handful of entries
+        covers every realistic multi-stage or benchmark workload without
+        holding stale datasets alive forever.
+    """
+
+    def __init__(self, max_entries: int = 8) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = int(max_entries)
+        self._entries: "OrderedDict[Tuple, object]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_build(self, key: Tuple, builder: Callable[[], object]) -> object:
+        """Return the cached encoding for ``key``, building it on a miss.
+
+        The builder runs under the cache lock so concurrent workers of one
+        run never pack the same dataset twice; the encodings themselves are
+        immutable, so handing the same object to every caller is safe.
+        """
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return self._entries[key]
+            encoded = builder()
+            self._entries[key] = encoded
+            self.misses += 1
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+            return encoded
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+#: The process-wide cache used by the detector (one per worker process in a
+#: distributed run, where it also persists across that worker's shards).
+ENCODING_CACHE = EncodingCache()

@@ -16,16 +16,29 @@ Two encodings are used by the paper's kernels:
     phenotype vector disappears entirely.  Memory traffic drops by roughly
     one third and the per-word instruction count drops from 162 to 57.
     Used by approaches V2–V4 on both CPU and GPU.
+
+Both encodings are parametric in the **execution word layout**
+(:class:`~repro.bitops.packing.WordLayout`): the paper's ``uint32`` word or
+the wide ``uint64`` word, which halves the element count of every kernel
+operation without changing a single resulting bit.  The default is
+:data:`~repro.bitops.packing.DEFAULT_LAYOUT` (``uint64`` on NumPy >= 2).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Tuple
 
 import numpy as np
 
-from repro.bitops.packing import WORD_BITS, pack_bitplanes, pack_bits, packed_word_count
+from repro.bitops.packing import (
+    DEFAULT_LAYOUT,
+    WordLayout,
+    get_layout,
+    layout_of,
+    pack_bitplanes,
+    pack_bits,
+)
 from repro.datasets.dataset import GenotypeDataset
 
 __all__ = ["BinarizedDataset", "PhenotypeSplitDataset"]
@@ -38,11 +51,11 @@ class BinarizedDataset:
     Attributes
     ----------
     planes:
-        ``(n_snps, 3, n_words)`` ``uint32``; ``planes[i, g]`` has the bit of
-        sample ``s`` set iff SNP ``i`` of sample ``s`` has genotype ``g``.
+        ``(n_snps, 3, n_words)`` packed words; ``planes[i, g]`` has the bit
+        of sample ``s`` set iff SNP ``i`` of sample ``s`` has genotype ``g``.
     phenotype_words:
-        ``(n_words,)`` ``uint32`` with the bit of sample ``s`` set iff sample
-        ``s`` is a case.
+        ``(n_words,)`` packed words with the bit of sample ``s`` set iff
+        sample ``s`` is a case.
     n_samples:
         Number of valid sample bits (the packed tail is zero-padded).
     """
@@ -52,13 +65,23 @@ class BinarizedDataset:
     n_samples: int
 
     @classmethod
-    def from_dataset(cls, dataset: GenotypeDataset) -> "BinarizedDataset":
+    def from_dataset(
+        cls,
+        dataset: GenotypeDataset,
+        layout: str | WordLayout | None = None,
+    ) -> "BinarizedDataset":
         """Binarise a :class:`GenotypeDataset` (keeps the sample order)."""
-        planes = pack_bitplanes(dataset.genotypes, n_genotypes=3)
-        phen_words = pack_bits(dataset.phenotypes.astype(bool))
+        word_layout = get_layout(layout) if layout is not None else DEFAULT_LAYOUT
+        planes = pack_bitplanes(dataset.genotypes, n_genotypes=3, layout=word_layout)
+        phen_words = pack_bits(dataset.phenotypes.astype(bool), word_layout)
         return cls(planes=planes, phenotype_words=phen_words, n_samples=dataset.n_samples)
 
     # -- geometry ------------------------------------------------------------
+    @property
+    def layout(self) -> WordLayout:
+        """The machine-word layout the planes were packed with."""
+        return layout_of(self.planes)
+
     @property
     def n_snps(self) -> int:
         """Number of SNPs."""
@@ -66,15 +89,15 @@ class BinarizedDataset:
 
     @property
     def n_words(self) -> int:
-        """Packed words per plane."""
+        """Packed machine words per plane."""
         return int(self.planes.shape[2])
 
     @property
     def n_cases(self) -> int:
         """Number of case samples, recovered from the phenotype words."""
-        from repro.bitops.popcount import popcount32
+        from repro.bitops.popcount import popcount
 
-        return int(popcount32(self.phenotype_words).sum())
+        return int(popcount(self.phenotype_words).sum())
 
     @property
     def n_controls(self) -> int:
@@ -91,12 +114,9 @@ class BinarizedDataset:
 
     def validate(self) -> None:
         """Check structural invariants (each sample set in exactly one plane)."""
+        word_layout = self.layout
         union = np.bitwise_or.reduce(self.planes, axis=1)
-        full_words, rem = divmod(self.n_samples, WORD_BITS)
-        expected = np.full(self.n_words, 0xFFFFFFFF, dtype=np.uint32)
-        if rem:
-            expected[full_words] = np.uint32((1 << rem) - 1)
-        expected[full_words + (1 if rem else 0):] = 0
+        expected = word_layout.padding_mask(self.n_samples)
         if not np.array_equal(union, np.broadcast_to(expected, union.shape)):
             raise ValueError("bit-planes do not partition the sample set")
         pairwise = (
@@ -115,7 +135,7 @@ class PhenotypeSplitDataset:
     Attributes
     ----------
     control_planes / case_planes:
-        ``(n_snps, 2, n_words_class)`` ``uint32`` arrays holding the
+        ``(n_snps, 2, n_words_class)`` packed word arrays holding the
         genotype-0 and genotype-1 planes of the control and case samples
         respectively.  The genotype-2 plane is implicitly
         ``NOR(plane0, plane1)`` (with the padding bits masked off).
@@ -132,17 +152,24 @@ class PhenotypeSplitDataset:
     n_cases: int
     control_order: np.ndarray
     case_order: np.ndarray
+    #: Cached per-class padding masks (built lazily — see :meth:`padding_mask`).
+    _masks: dict = field(default_factory=dict, repr=False, compare=False)
 
     @classmethod
-    def from_dataset(cls, dataset: GenotypeDataset) -> "PhenotypeSplitDataset":
+    def from_dataset(
+        cls,
+        dataset: GenotypeDataset,
+        layout: str | WordLayout | None = None,
+    ) -> "PhenotypeSplitDataset":
         """Split a dataset by phenotype and binarise each class separately."""
+        word_layout = get_layout(layout) if layout is not None else DEFAULT_LAYOUT
         controls = dataset.control_indices
         cases = dataset.case_indices
         geno_ctrl = dataset.genotypes[:, controls]
         geno_case = dataset.genotypes[:, cases]
         # Only genotype 0 and 1 planes are stored; genotype 2 is inferred.
-        ctrl_planes = pack_bitplanes(geno_ctrl, n_genotypes=3)[:, :2, :]
-        case_planes = pack_bitplanes(geno_case, n_genotypes=3)[:, :2, :]
+        ctrl_planes = pack_bitplanes(geno_ctrl, n_genotypes=3, layout=word_layout)[:, :2, :]
+        case_planes = pack_bitplanes(geno_case, n_genotypes=3, layout=word_layout)[:, :2, :]
         return cls(
             control_planes=np.ascontiguousarray(ctrl_planes),
             case_planes=np.ascontiguousarray(case_planes),
@@ -153,6 +180,11 @@ class PhenotypeSplitDataset:
         )
 
     # -- geometry ------------------------------------------------------------
+    @property
+    def layout(self) -> WordLayout:
+        """The machine-word layout the planes were packed with."""
+        return layout_of(self.control_planes)
+
     @property
     def n_snps(self) -> int:
         """Number of SNPs."""
@@ -190,14 +222,14 @@ class PhenotypeSplitDataset:
         padding bits of the last word (NOR of two zero bits is one); the
         kernels AND the inferred plane with this mask, which is exactly what
         the reference C implementation achieves by keeping the padding
-        samples out of the loaded range.
+        samples out of the loaded range.  The mask is built once per class
+        and cached (it is read on every kernel batch).
         """
-        _, n_valid = self.planes_for_class(phenotype_class)
-        n_words = packed_word_count(n_valid)
-        mask = np.full(n_words, 0xFFFFFFFF, dtype=np.uint32)
-        rem = n_valid % WORD_BITS
-        if rem:
-            mask[-1] = np.uint32((1 << rem) - 1)
+        mask = self._masks.get(phenotype_class)
+        if mask is None:
+            _, n_valid = self.planes_for_class(phenotype_class)
+            mask = self.layout.padding_mask(n_valid)
+            self._masks[phenotype_class] = mask
         return mask
 
     def memory_reduction_vs_naive(self) -> float:
@@ -207,10 +239,12 @@ class PhenotypeSplitDataset:
         transfers by 1/3"; this helper lets tests and benchmarks verify the
         claim on concrete datasets.
         """
-        naive_words = self.n_snps * 3 * packed_word_count(self.n_samples)
-        naive_words += packed_word_count(self.n_samples)  # phenotype vector
+        word_layout = self.layout
+        naive_words = self.n_snps * 3 * word_layout.word_count(self.n_samples)
+        naive_words += word_layout.word_count(self.n_samples)  # phenotype vector
         split_words = self.n_snps * 2 * (
-            packed_word_count(self.n_controls) + packed_word_count(self.n_cases)
+            word_layout.word_count(self.n_controls)
+            + word_layout.word_count(self.n_cases)
         )
         return 1.0 - split_words / naive_words
 

@@ -109,6 +109,26 @@ class GenotypeDataset:
         """Indices of control samples (ascending)."""
         return np.flatnonzero(self.phenotypes == 0)
 
+    # -- identity --------------------------------------------------------------
+    def content_digest(self) -> str:
+        """SHA-1 digest of the genotype and phenotype arrays, cached.
+
+        Datasets are treated as immutable after construction (every
+        manipulation helper returns a new instance), so the digest is
+        computed once and reused — it keys the detector-level encoding
+        cache and the distributed checkpoint fingerprints.
+        """
+        digest = getattr(self, "_content_digest", None)
+        if digest is None:
+            import hashlib
+
+            h = hashlib.sha1()
+            h.update(np.ascontiguousarray(self.genotypes).tobytes())
+            h.update(np.ascontiguousarray(self.phenotypes).tobytes())
+            digest = h.hexdigest()
+            self._content_digest = digest
+        return digest
+
     # -- combinatorics --------------------------------------------------------
     def n_combinations(self, order: int = 3) -> int:
         """Number of distinct SNP combinations of the given interaction order.

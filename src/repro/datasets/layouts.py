@@ -164,7 +164,7 @@ def tiled_layout(split: PhenotypeSplitDataset, block_size: int = 32) -> GpuLayou
     def _tile(planes: np.ndarray) -> np.ndarray:
         n_snps, _, n_words = planes.shape
         n_blocks = (n_snps + block_size - 1) // block_size
-        padded = np.zeros((n_blocks * block_size, 2, n_words), dtype=np.uint32)
+        padded = np.zeros((n_blocks * block_size, 2, n_words), dtype=planes.dtype)
         padded[:n_snps] = planes
         # (blocks, BS, 2, words) -> (blocks, words, 2, BS)
         tiles = padded.reshape(n_blocks, block_size, 2, n_words)

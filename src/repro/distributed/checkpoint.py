@@ -24,7 +24,6 @@ bit-identical values.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import shutil
@@ -45,13 +44,10 @@ LEDGER_VERSION = 1
 
 def dataset_fingerprint(dataset: GenotypeDataset) -> Dict[str, object]:
     """Content digest of a dataset (shape plus SHA-1 of the raw arrays)."""
-    digest = hashlib.sha1()
-    digest.update(np.ascontiguousarray(dataset.genotypes).tobytes())
-    digest.update(np.ascontiguousarray(dataset.phenotypes).tobytes())
     return {
         "n_snps": int(dataset.n_snps),
         "n_samples": int(dataset.n_samples),
-        "sha1": digest.hexdigest(),
+        "sha1": dataset.content_digest(),
     }
 
 

@@ -130,6 +130,22 @@ def _aggregate_device_stats(
     return stats
 
 
+def _payload_approach_kwargs(
+    config, approach_kwargs: Dict[str, object] | None
+) -> Dict[str, object]:
+    """Approach constructor kwargs shipped to the worker processes.
+
+    The config's ``word_layout`` rides along even when the caller passed no
+    explicit kwargs (the pipeline stages do), so distributed shards always
+    pack with the same execution word width as an in-process run.
+    """
+    kwargs = dict(approach_kwargs or {})
+    layout = getattr(config, "word_layout", None)
+    if layout is not None:
+        kwargs.setdefault("word_layout", layout)
+    return kwargs
+
+
 def run_distributed(
     dataset: GenotypeDataset,
     source: CandidateSource,
@@ -247,7 +263,7 @@ def run_distributed(
         devices=config.devices,
         schedule=config.schedule,
         collect_minima=collect_snp_minima,
-        approach_kwargs=dict(approach_kwargs or {}),
+        approach_kwargs=_payload_approach_kwargs(config, approach_kwargs),
     )
     runner = ProcessRunner(workers, payload, mp_context=mp_context)
 

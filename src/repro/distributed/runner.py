@@ -54,7 +54,7 @@ class WorkerPayload:
     approach: str
     objective: object = "k2"
     n_threads: int = 1
-    chunk_size: int = 2048
+    chunk_size: int | str = 2048  # an int, or "auto" for the chunk autotuner
     top_k: int = 10
     validate: bool = False
     devices: str | None = None

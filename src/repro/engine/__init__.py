@@ -22,6 +22,14 @@ of rolling its own loop:
   cancellation.
 """
 
+from repro.engine.autotune import (
+    AUTO_CHUNK,
+    AdaptiveChunkSource,
+    AutotuneConfig,
+    SharedCursor,
+    is_auto_chunk,
+    resolve_chunk_size,
+)
 from repro.engine.scheduling import (
     ChunkedRange,
     DynamicScheduler,
@@ -64,6 +72,12 @@ from repro.engine.executor import (
 from repro.engine.mapreduce import WorkerResult, parallel_map_reduce
 
 __all__ = [
+    "AUTO_CHUNK",
+    "AdaptiveChunkSource",
+    "AutotuneConfig",
+    "SharedCursor",
+    "is_auto_chunk",
+    "resolve_chunk_size",
     "Range",
     "WorkSource",
     "DynamicScheduler",

@@ -250,5 +250,15 @@ class HeterogeneousExecutor:
             }
             if assignment.planned_items is not None:
                 entry["planned_items"] = assignment.planned_items
+            tuners = [
+                src.describe()
+                for src in assignment.sources
+                if hasattr(src, "feedback") and hasattr(src, "describe")
+            ]
+            if tuners:
+                entry["autotune"] = {
+                    "workers": tuners,
+                    "final_chunk_sizes": sorted(t["chunk_size"] for t in tuners),
+                }
             stats[label] = entry
         return stats

@@ -45,7 +45,10 @@ class EngineDevice:
         runs one worker per core.
     chunk_size:
         Work items per claimed chunk on this lane (the unit of dynamic
-        scheduling and of the vectorised kernel batch).
+        scheduling and of the vectorised kernel batch), or the string
+        ``"auto"`` to let each worker of the lane tune its claim size from
+        measured per-chunk throughput
+        (:mod:`repro.engine.autotune`).
     catalog_key:
         Optional Table I/II key (``"CI3"``, ``"GN4"``, ...) identifying the
         modelled hardware; the CARM-ratio policy uses it to estimate the
@@ -55,16 +58,31 @@ class EngineDevice:
 
     kind: str = "cpu"
     n_workers: int = 1
-    chunk_size: int = 2048
+    chunk_size: int | str = 2048
     catalog_key: str | None = None
 
     def __post_init__(self) -> None:
+        from repro.engine.autotune import is_auto_chunk
+
         if self.kind not in DEVICE_KINDS:
             raise ValueError(f"unknown device kind {self.kind!r}; expected one of {DEVICE_KINDS}")
         if self.n_workers < 1:
             raise ValueError("n_workers must be positive")
-        if self.chunk_size < 1:
+        if isinstance(self.chunk_size, str):
+            if not is_auto_chunk(self.chunk_size):
+                raise ValueError(
+                    f"chunk_size must be a positive integer or 'auto'; "
+                    f"got {self.chunk_size!r}"
+                )
+        elif self.chunk_size < 1:
             raise ValueError("chunk_size must be positive")
+
+    @property
+    def autotune(self) -> bool:
+        """Whether this lane's chunk size is autotuned."""
+        from repro.engine.autotune import is_auto_chunk
+
+        return is_auto_chunk(self.chunk_size)
 
     def spec(self):
         """The catalogued device spec backing this lane (for CARM estimates)."""
@@ -76,7 +94,7 @@ class EngineDevice:
 def parse_devices(
     spec: str,
     n_workers: int = 1,
-    chunk_size: int = 2048,
+    chunk_size: int | str = 2048,
     gpu_workers: int = 1,
 ) -> List[EngineDevice]:
     """Parse a CLI-style device expression into engine device lanes.

@@ -30,6 +30,13 @@ from repro.engine.plan import EngineDevice
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.engine.candidates import CandidateSource
+from repro.engine.autotune import (
+    FixedChunkSource,
+    SharedCursor,
+    adaptive_lane_sources,
+    autotune_config_for,
+    is_auto_chunk,
+)
 from repro.engine.scheduling import (
     ChunkedRange,
     DynamicScheduler,
@@ -124,16 +131,43 @@ class SchedulingPolicy(ABC):
 
 
 class DynamicPolicy(SchedulingPolicy):
-    """All workers share one dynamic chunk cursor (OpenMP ``dynamic``)."""
+    """All workers share one dynamic chunk cursor (OpenMP ``dynamic``).
+
+    With ``chunk_size="auto"`` (on the policy or any device lane) the
+    workers still drain one shared cursor, but each owns an adaptive view
+    that tunes its claim size from measured per-chunk throughput, with
+    per-lane bounds (:func:`repro.engine.autotune.autotune_config_for`).
+    """
 
     name = "dynamic"
 
-    def __init__(self, chunk_size: int | None = None) -> None:
+    def __init__(self, chunk_size: int | str | None = None) -> None:
         self.chunk_size = chunk_size
 
     def assign(
         self, total: int, devices: Sequence[EngineDevice]
     ) -> List[DeviceAssignment]:
+        policy_auto = is_auto_chunk(self.chunk_size)
+        if policy_auto or any(d.autotune for d in devices):
+            cursor = SharedCursor(total)
+            assignments: List[DeviceAssignment] = []
+            for d in devices:
+                if policy_auto or d.autotune:
+                    sources: List[WorkSource] = adaptive_lane_sources(
+                        total,
+                        d.n_workers,
+                        config=autotune_config_for(d.kind),
+                        cursor=cursor,
+                    )
+                else:
+                    # A non-auto lane keeps a pinned granularity while
+                    # draining the shared cursor; an integer policy-level
+                    # chunk size takes precedence over the device's, as in
+                    # the all-integer path below.
+                    fixed = FixedChunkSource(cursor, self.chunk_size or d.chunk_size)
+                    sources = [fixed] * d.n_workers
+                assignments.append(DeviceAssignment(device=d, sources=sources))
+            return assignments
         chunk = self.chunk_size or min(d.chunk_size for d in devices)
         shared = DynamicScheduler(total, chunk_size=chunk)
         return [
@@ -157,10 +191,21 @@ class StaticPolicy(SchedulingPolicy):
         for d in devices:
             spans = parts[cursor : cursor + d.n_workers]
             cursor += d.n_workers
+            if d.autotune:
+                # Each worker keeps its pre-assigned contiguous span but
+                # walks it with an adaptive claim size.
+                sources: List[WorkSource] = [
+                    adaptive_lane_sources(
+                        stop, 1, start=start, config=autotune_config_for(d.kind)
+                    )[0]
+                    for start, stop in spans
+                ]
+            else:
+                sources = [ChunkedRange(span, d.chunk_size) for span in spans]
             assignments.append(
                 DeviceAssignment(
                     device=d,
-                    sources=[ChunkedRange(span, d.chunk_size) for span in spans],
+                    sources=sources,
                     planned_items=sum(stop - start for start, stop in spans),
                 )
             )
@@ -175,11 +220,17 @@ class GuidedPolicy(SchedulingPolicy):
     def __init__(self, min_chunk: int | None = None) -> None:
         self.min_chunk = min_chunk
 
+    #: Floor of the guided decay when the configured chunk size is "auto"
+    #: (the guided schedule is already self-pacing, so "auto" only needs a
+    #: sensible minimum).
+    AUTO_MIN_CHUNK = 256
+
     def assign(
         self, total: int, devices: Sequence[EngineDevice]
     ) -> List[DeviceAssignment]:
         n_workers = sum(d.n_workers for d in devices)
-        min_chunk = self.min_chunk or min(d.chunk_size for d in devices)
+        fixed = [d.chunk_size for d in devices if not d.autotune]
+        min_chunk = self.min_chunk or (min(fixed) if fixed else self.AUTO_MIN_CHUNK)
         shared = GuidedScheduler(total, n_workers=n_workers, min_chunk=min_chunk)
         return [
             DeviceAssignment(device=d, sources=[shared] * d.n_workers)
@@ -284,11 +335,22 @@ class CarmRatioPolicy(SchedulingPolicy):
         start = 0
         for d, share in zip(devices, shares):
             stop = start + share
-            lane = DynamicScheduler(stop, chunk_size=d.chunk_size, start=start)
+            if d.autotune:
+                # Lane-local cursor over the contiguous share; each of the
+                # lane's workers tunes its own claim size.
+                sources: List[WorkSource] = adaptive_lane_sources(
+                    stop,
+                    d.n_workers,
+                    start=start,
+                    config=autotune_config_for(d.kind),
+                )
+            else:
+                lane = DynamicScheduler(stop, chunk_size=d.chunk_size, start=start)
+                sources = [lane] * d.n_workers
             assignments.append(
                 DeviceAssignment(
                     device=d,
-                    sources=[lane] * d.n_workers,
+                    sources=sources,
                     planned_items=share,
                 )
             )

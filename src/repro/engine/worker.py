@@ -194,9 +194,15 @@ class DeviceWorker:
                 began = time.perf_counter()
                 combos, scores = evaluate(self, start, stop)
                 self.heap.push_batch(combos, scores, snp_names)
-                self.busy_seconds += time.perf_counter() - began
+                chunk_seconds = time.perf_counter() - began
+                self.busy_seconds += chunk_seconds
                 self.chunks += 1
                 self.items += stop - start
+                # Autotuning sources (repro.engine.autotune) steer their
+                # claim size from the measured per-chunk duration.
+                feedback = getattr(source, "feedback", None)
+                if feedback is not None:
+                    feedback(stop - start, chunk_seconds)
                 if on_chunk is not None:
                     on_chunk(stop - start)
         except Exception as exc:

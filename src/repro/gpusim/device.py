@@ -39,10 +39,15 @@ class KernelContext:
         """Charge ``count`` executions of an arithmetic instruction."""
         self._counters[mnemonic] = self._counters.get(mnemonic, 0) + count
 
-    def popcount(self, word: int) -> int:
-        """Population count of a 32-bit word (charged as one POPCNT)."""
-        self.op("POPCNT")
-        return int(word & 0xFFFFFFFF).bit_count()
+    def popcount(self, word: int, paper_words: int = 1) -> int:
+        """Population count of one packed word.
+
+        ``paper_words`` is the word's width in the paper's 32-bit units
+        (2 for a ``uint64`` layout word); the charge stays per paper word
+        so instruction statistics are layout-independent.
+        """
+        self.op("POPCNT", paper_words)
+        return int(word & ((1 << (32 * paper_words)) - 1)).bit_count()
 
 
 @dataclass

@@ -139,6 +139,9 @@ def epistasis_kernel_split(args: SplitKernelArgs) -> Callable[[KernelContext], T
         for phen_class in (0, 1):
             buffer = buffers[phen_class]
             mask = masks[phen_class]
+            # Per-instruction charges are per paper (32-bit) word whatever
+            # machine-word width the buffer stores.
+            paper_words = buffer.word_bytes // 4
             n_words = mask.shape[0]
             for w in range(n_words):
                 word_mask = int(mask[w])
@@ -147,18 +150,18 @@ def epistasis_kernel_split(args: SplitKernelArgs) -> Callable[[KernelContext], T
                     p0 = ctx.load(buffer, *address(snp, 0, w))
                     p1 = ctx.load(buffer, *address(snp, 1, w))
                     snp_planes.append((p0, p1, ~(p0 | p1) & word_mask))
-                ctx.op("NOR", order)
+                ctx.op("NOR", order * paper_words)
 
                 def accumulate(depth: int, value: int, cell: int) -> None:
                     if depth == order:
-                        table[cell, phen_class] += ctx.popcount(value)
+                        table[cell, phen_class] += ctx.popcount(value, paper_words)
                         return
                     for g in range(3):
                         if depth == 0:
                             partial = snp_planes[0][g]
                         else:
                             partial = value & snp_planes[depth][g]
-                            ctx.op("AND")
+                            ctx.op("AND", paper_words)
                         accumulate(depth + 1, partial, cell * 3 + g)
 
                 accumulate(0, 0, 0)
@@ -189,6 +192,7 @@ def epistasis_kernel_naive(
         if not _is_canonical_combo(gid):
             return None
         table = np.zeros((3**order, 2), dtype=np.int64)
+        paper_words = planes.word_bytes // 4
         for w in range(n_words):
             phen_word = ctx.load(phen, 0, w)
             snp_planes = [
@@ -197,9 +201,9 @@ def epistasis_kernel_naive(
 
             def accumulate(depth: int, value: int, cell: int) -> None:
                 if depth == order:
-                    ctx.op("AND", 2)
-                    table[cell, 1] += ctx.popcount(value & phen_word)
-                    table[cell, 0] += ctx.popcount(value & ~phen_word)
+                    ctx.op("AND", 2 * paper_words)
+                    table[cell, 1] += ctx.popcount(value & phen_word, paper_words)
+                    table[cell, 0] += ctx.popcount(value & ~phen_word, paper_words)
                     return
                 for g in range(3):
                     if depth == 0:
@@ -207,7 +211,7 @@ def epistasis_kernel_naive(
                     else:
                         partial = value & snp_planes[depth][g]
                         if depth < order - 1:
-                            ctx.op("AND")
+                            ctx.op("AND", paper_words)
                     accumulate(depth + 1, partial, cell * 3 + g)
 
             accumulate(0, 0, 0)

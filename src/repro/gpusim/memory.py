@@ -86,16 +86,23 @@ class DeviceBuffer:
     Parameters
     ----------
     data:
-        Any-shaped ``uint32`` array; it is flattened (C order) so that the
-        address of element ``(i, j, ...)`` reflects its true memory position
-        in the chosen layout — which is the whole point of the layout study.
+        Any-shaped packed-word array (``uint32`` or ``uint64``); it is
+        flattened (C order) so that the address of element ``(i, j, ...)``
+        reflects its true memory position in the chosen layout — which is
+        the whole point of the layout study.  Word loads charge the actual
+        machine-word byte width, so a 64-bit layout moves the same bytes in
+        half as many loads.
     name:
         Label for diagnostics.
     """
 
     def __init__(self, data: np.ndarray, name: str = "buffer") -> None:
-        arr = np.ascontiguousarray(data, dtype=np.uint32)
+        arr = np.asarray(data)
+        if arr.dtype not in (np.uint32, np.uint64):
+            arr = arr.astype(np.uint32)
+        arr = np.ascontiguousarray(arr)
         self.shape = arr.shape
+        self.word_bytes = int(arr.dtype.itemsize)
         self._flat = arr.reshape(-1)
         self.name = name
 
@@ -105,7 +112,7 @@ class DeviceBuffer:
     @property
     def nbytes(self) -> int:
         """Size of the buffer in bytes."""
-        return int(self._flat.size) * WORD_BYTES
+        return int(self._flat.size) * self.word_bytes
 
     def flat_index(self, *index: int) -> int:
         """Flat word address of a multi-dimensional element index."""
@@ -131,7 +138,7 @@ class DeviceBuffer:
     ) -> int:
         """Thread-level load: returns the word and records the access."""
         flat = self.flat_index(*index)
-        log.record_load(subgroup_id, slot, flat * WORD_BYTES)
+        log.record_load(subgroup_id, slot, flat * self.word_bytes, self.word_bytes)
         return int(self._flat[flat])
 
     def peek(self, *index: int) -> int:

@@ -11,6 +11,14 @@ For every approach version this module derives, per *evaluated element*
 The counts use the same per-word instruction mixes as the functional kernels
 (:mod:`repro.core.approaches._kernels`), so the analytical characterisation
 and the measured counters agree by construction; tests assert this.
+
+All figures here are per **paper word** — the 32-bit word
+(:data:`~repro.bitops.packing.WORD_BITS`) the §IV accounting is expressed
+in.  The kernels may execute in a wider machine-word layout
+(:class:`~repro.bitops.packing.WordLayout`, ``uint64`` by default on
+NumPy >= 2); they convert machine words to paper words at the charging
+boundary, so every count that reaches this model is already in paper-word
+units and the CARM placement is layout-independent.
 """
 
 from __future__ import annotations

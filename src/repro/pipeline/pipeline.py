@@ -84,9 +84,10 @@ class SearchPipeline:
         devices: str | None = None,
         schedule: str | SchedulingPolicy = "dynamic",
         n_workers: int = 1,
-        chunk_size: int = 2048,
+        chunk_size: int | str = 2048,
         top_k: int = 10,
         validate: bool = False,
+        word_layout: str | None = None,
         workers: int = 1,
         checkpoint: str | None = None,
         resume: bool = False,
@@ -109,6 +110,7 @@ class SearchPipeline:
             chunk_size=chunk_size,
             top_k=top_k,
             validate=validate,
+            word_layout=word_layout,
         )
 
     def run(

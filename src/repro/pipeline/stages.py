@@ -73,9 +73,10 @@ class PipelineDefaults:
     devices: str | None = None
     schedule: str | SchedulingPolicy = "dynamic"
     n_workers: int = 1
-    chunk_size: int = 2048
+    chunk_size: int | str = 2048
     top_k: int = 10
     validate: bool = False
+    word_layout: str | None = None
 
 
 @dataclass
@@ -152,9 +153,10 @@ class PipelineStage(ABC):
     devices: str | None = None
     schedule: str | SchedulingPolicy | None = None
     n_workers: int | None = None
-    chunk_size: int | None = None
+    chunk_size: int | str | None = None
     top_k: int | None = None
     validate: bool | None = None
+    word_layout: str | None = None
 
     @abstractmethod
     def run(self, ctx: StageContext) -> StageReport:
@@ -181,6 +183,7 @@ class PipelineStage(ABC):
             validate=self.validate if self.validate is not None else d.validate,
             devices=self.devices if self.devices is not None else d.devices,
             schedule=self.schedule or d.schedule,
+            word_layout=self.word_layout or d.word_layout,
         )
 
     @staticmethod
@@ -546,7 +549,12 @@ class PermutationStage(PipelineStage):
                 phenotypes=rng.permutation(sliced.phenotypes),
                 snp_names=list(sliced.snp_names),
             )
-            null_scores = detector.score_combinations(permuted, local_combos)
+            # Permuted datasets are scored exactly once; bypass the encoding
+            # cache so the null loop neither hashes every relabelling nor
+            # evicts the reusable sweep-stage encodings.
+            null_scores = detector.score_combinations(
+                permuted, local_combos, cache=False
+            )
             exceed += null_scores <= observed_scores
             if (perm + 1) % self.checkpoint_every == 0:
                 _record(perm + 1)

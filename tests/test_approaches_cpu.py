@@ -96,7 +96,8 @@ class TestNaiveApproach:
         combos = generate_combinations(24, 3)[:10]
         approach.build_tables(encoded, combos)
         counts = approach.op_counts()
-        n_words = encoded.n_words
+        # Charging is per paper (32-bit) word whatever machine layout runs.
+        n_words = encoded.n_words * encoded.layout.paper_words
         assert counts["AND"] == int(NAIVE_OPS_PER_COMBO_WORD["AND"]) * 10 * n_words
         assert counts["POPCNT"] == int(NAIVE_OPS_PER_COMBO_WORD["POPCNT"]) * 10 * n_words
         assert approach.counter.bytes_loaded == 10 * n_words * 10 * 4
@@ -112,7 +113,8 @@ class TestNoPhenotypeApproach:
         combos = generate_combinations(24, 3)[:10]
         approach.build_tables(encoded, combos)
         counts = approach.op_counts()
-        n_words = sum(encoded.words_per_class)
+        # Charging is per paper (32-bit) word whatever machine layout runs.
+        n_words = sum(encoded.words_per_class) * encoded.layout.paper_words
         assert counts["POPCNT"] == 27 * 10 * n_words
         assert counts["NOR"] == 3 * 10 * n_words
 

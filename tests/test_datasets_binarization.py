@@ -7,8 +7,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.bitops.packing import packed_word_count, unpack_bits
-from repro.bitops.popcount import popcount32
+from repro.bitops.packing import unpack_bits
+from repro.bitops.popcount import popcount
 from repro.datasets.binarization import BinarizedDataset, PhenotypeSplitDataset
 
 
@@ -17,7 +17,7 @@ class TestBinarizedDataset:
         enc = BinarizedDataset.from_dataset(small_dataset)
         assert enc.n_snps == small_dataset.n_snps
         assert enc.n_samples == small_dataset.n_samples
-        assert enc.n_words == packed_word_count(small_dataset.n_samples)
+        assert enc.n_words == enc.layout.word_count(small_dataset.n_samples)
         assert enc.planes.shape == (enc.n_snps, 3, enc.n_words)
         assert enc.phenotype_words.shape == (enc.n_words,)
 
@@ -46,7 +46,7 @@ class TestBinarizedDataset:
 
     def test_nbytes(self, small_dataset):
         enc = BinarizedDataset.from_dataset(small_dataset)
-        expected = (enc.n_snps * 3 + 1) * enc.n_words * 4
+        expected = (enc.n_snps * 3 + 1) * enc.n_words * enc.layout.bytes
         assert enc.nbytes() == expected
 
     def test_snp_plane_is_view(self, small_dataset):
@@ -62,8 +62,8 @@ class TestPhenotypeSplitDataset:
         assert split.n_cases == odd_sample_dataset.n_cases
         assert split.n_samples == odd_sample_dataset.n_samples
         ctrl_words, case_words = split.words_per_class
-        assert ctrl_words == packed_word_count(split.n_controls)
-        assert case_words == packed_word_count(split.n_cases)
+        assert ctrl_words == split.layout.word_count(split.n_controls)
+        assert case_words == split.layout.word_count(split.n_cases)
         assert split.control_planes.shape == (split.n_snps, 2, ctrl_words)
 
     def test_sample_order_traceability(self, odd_sample_dataset):
@@ -84,7 +84,7 @@ class TestPhenotypeSplitDataset:
         for cls in (0, 1):
             mask = split.padding_mask(cls)
             _, n_valid = split.planes_for_class(cls)
-            assert popcount32(mask).sum() == n_valid
+            assert popcount(mask).sum() == n_valid
 
     def test_genotype2_inferrable(self, small_dataset):
         """NOR of the stored planes recovers exactly the genotype-2 samples."""
@@ -93,13 +93,13 @@ class TestPhenotypeSplitDataset:
         for snp in (0, 11, 23):
             plane0, plane1 = split.control_planes[snp]
             inferred = ~(plane0 | plane1) & split.padding_mask(0)
-            bits = unpack_bits(inferred.astype(np.uint32), split.n_controls)
+            bits = unpack_bits(inferred, split.n_controls)
             assert np.array_equal(bits, geno_ctrl[snp] == 2)
 
     def test_counts_match_dataset(self, small_dataset):
         split = PhenotypeSplitDataset.from_dataset(small_dataset)
         geno_case = small_dataset.genotypes[:, small_dataset.case_indices]
-        counts_g0 = popcount32(split.case_planes[:, 0]).sum(axis=-1)
+        counts_g0 = popcount(split.case_planes[:, 0]).sum(axis=-1)
         assert np.array_equal(counts_g0, (geno_case == 0).sum(axis=1))
 
     def test_memory_reduction_about_one_third(self, small_dataset):
@@ -133,8 +133,8 @@ class TestPhenotypeSplitDataset:
         # Per-SNP genotype counts across both classes must equal the dataset's.
         for snp in range(ds.n_snps):
             total = (
-                popcount32(split.control_planes[snp]).sum()
-                + popcount32(split.case_planes[snp]).sum()
+                popcount(split.control_planes[snp]).sum()
+                + popcount(split.case_planes[snp]).sum()
             )
             n_genotype2 = int((ds.genotypes[snp] == 2).sum())
             assert total == n_samples - n_genotype2

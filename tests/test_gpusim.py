@@ -183,7 +183,10 @@ class TestCoalescingAcrossLayouts:
         """One warp of threads on consecutive SNP triplets: the SNP-major
         layout scatters their loads, the transposed layout coalesces them."""
         dataset = generate_null_dataset(40, 512, seed=23)
-        split = PhenotypeSplitDataset.from_dataset(dataset)
+        # The expected transaction geometry below (8 words per class, 64-byte
+        # SNP-major stride) is the paper's 32-bit word analysis, so the
+        # encoding is pinned to the paper layout.
+        split = PhenotypeSplitDataset.from_dataset(dataset, layout="u32")
         tx = {}
         for layout in ("snp-major", "transposed"):
             args = make_split_kernel_args(split, layout=layout, block_size=8)
