@@ -1,17 +1,33 @@
 """Process-scaling benchmark of the sharded distributed executor.
 
 Measures, on a synthetic dataset with a planted third-order interaction,
-the sharded sweep (``repro.distributed``) at 1, 2 and 4 worker processes —
-tables/s, speedup over one worker and merge bit-identity — next to the
-modelled multi-process scaling curve
-(:func:`repro.perfmodel.distributed.estimate_distributed_run`: per-worker
-throughput, broadcast/gather traffic, per-shard imbalance), and writes
-``BENCH_distributed.json`` at the repository root.
+the sharded sweep (``repro.distributed``) at 1, 2 and 4 worker processes.
+Every worker count is measured twice on the warm fleet (``pool="keep"``,
+shared-memory data plane on):
 
-On a many-core host the measured curve should track the modelled one; on a
-constrained single-core CI runner the *determinism* columns are the real
-acceptance evidence (every worker count merges to the identical top-k),
-with the model documenting what the scaling would be.
+* **cold** — first contact: the fleet spawns, the coordinator publishes
+  the dataset and the prepared encoding into shared memory, workers attach
+  and hydrate their execution state;
+* **warm** — the steady state a long session actually lives in: processes
+  up, segments reused, worker contexts cached.  Speedup is computed from
+  the warm runs (that is the cost model users pay per call), with the cold
+  run recorded next to it so the amortised startup is visible.
+
+The per-run ``data_plane`` counters are part of the artifact; the warm
+runs must show **zero re-packs** — no ``encoding_cache_misses``, no
+``dataset_pickled``/``dataset_unpickled`` — or the shared-memory tier is
+not doing its job.
+
+On a many-core host the measured curve should track the modelled one
+(:func:`repro.perfmodel.distributed.estimate_distributed_run`, now
+including spawn and attach terms); worker counts above ``os.cpu_count()``
+are flagged ``"oversubscribed": true`` and their timings are reported but
+never gated — a 4-worker run on a 1-core CI box measures context
+switching, not scaling.
+
+``--check`` runs a small sweep and gates on the structural claims
+(deterministic merge at every worker count, zero warm re-packs) plus — on
+hosts with at least 2 CPUs — the 2-worker warm speedup floor.
 
 Run standalone (``PYTHONPATH=src python benchmarks/bench_distributed.py``)
 or through pytest (``pytest benchmarks/bench_distributed.py``); both paths
@@ -20,6 +36,7 @@ emit the artifact.
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 from pathlib import Path
@@ -27,24 +44,35 @@ from pathlib import Path
 from repro.core.combinations import combination_count
 from repro.core.detector import DetectorConfig
 from repro.datasets import PlantedInteraction, SyntheticConfig, generate_dataset
-from repro.distributed import run_distributed
-from repro.engine import DenseRangeSource
+from repro.distributed import run_distributed, shutdown_fleets
 from repro.perfmodel.distributed import estimate_distributed_run
 
 #: Planted interaction of the benchmark dataset.
 PLANTED = (5, 23, 41)
 
-#: Worker process counts of the scaling sweep.
+#: Worker process counts of the scaling sweep (the quick/--check sweep
+#: stops at 2 — enough to exercise every data-plane path).
 WORKER_COUNTS = (1, 2, 4)
+QUICK_WORKER_COUNTS = (1, 2)
 
 #: Where the artifact lands (the repository root).
 ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_distributed.json"
 
+#: ``--check``: minimum 2-worker warm speedup on a host with >= 2 CPUs.
+SPEEDUP_FLOOR = 1.4
 
-def _bench_dataset():
+#: ``--check``: allowed warm-speedup shortfall vs the committed artifact.
+CHECK_TOLERANCE = 0.30
+
+#: Warm data-plane counters that must stay at zero: any of these firing on
+#: a warm run means arrays were re-packed or re-shipped instead of reused.
+REPACK_COUNTERS = ("encoding_cache_misses", "dataset_pickled", "dataset_unpickled")
+
+
+def _bench_dataset(quick: bool = False):
     return generate_dataset(
         SyntheticConfig(
-            n_snps=48,
+            n_snps=48 if quick else 64,
             n_samples=1024,
             interaction=PlantedInteraction(
                 snps=PLANTED, model="threshold", baseline=0.05, effect=0.9
@@ -54,63 +82,116 @@ def _bench_dataset():
     )
 
 
-def measure_distributed() -> dict:
-    """Run the sharded sweep at each worker count and compare the merges."""
-    dataset = _bench_dataset()
+def repack_events(data_plane: dict) -> dict:
+    """The re-pack/re-ship counters that fired (empty == zero re-packs)."""
+    return {
+        name: int(data_plane.get(name, 0))
+        for name in REPACK_COUNTERS
+        if data_plane.get(name, 0)
+    }
+
+
+def measure_distributed(quick: bool = False) -> dict:
+    """Run the cold/warm scaling sweep and assemble the artifact document."""
+    from repro.engine import DenseRangeSource
+
+    dataset = _bench_dataset(quick)
     config = DetectorConfig(approach="cpu-v4", order=3, top_k=5)
     source = DenseRangeSource(dataset.n_snps, 3)
     total = combination_count(dataset.n_snps, 3)
+    host_cpus = os.cpu_count() or 1
+    counts = QUICK_WORKER_COUNTS if quick else WORKER_COUNTS
 
     runs = []
     reference_top = None
-    for workers in WORKER_COUNTS:
-        outcome = run_distributed(
-            dataset, source, config=config, workers=workers
-        )
-        top = [
-            {"snps": list(i.snps), "score": float(i.score)}
-            for i in outcome.result.top
-        ]
-        if reference_top is None:
-            reference_top = top
-        modelled = estimate_distributed_run(
-            n_candidates=total,
-            n_samples=dataset.n_samples,
-            n_snps=dataset.n_snps,
-            order=3,
-            n_workers=workers,
-            n_shards=outcome.n_shards,
-            dataset_bytes=dataset.genotypes.nbytes + dataset.phenotypes.nbytes,
-            top_k=config.top_k,
-        )
-        runs.append(
-            {
-                "workers": workers,
-                "n_shards": outcome.n_shards,
-                "elapsed_seconds": outcome.elapsed_seconds,
-                "tables_per_second": total / outcome.elapsed_seconds,
-                "speedup_vs_1": runs[0]["elapsed_seconds"] / outcome.elapsed_seconds
-                if runs
-                else 1.0,
-                "top_identical_to_workers_1": top == reference_top,
-                "best_snps": top[0]["snps"],
-                "modelled": {
-                    "speedup_vs_single": modelled["speedup_vs_single"],
-                    "parallel_efficiency": modelled["parallel_efficiency"],
-                    "imbalance": modelled["imbalance"],
-                    "broadcast_seconds": modelled["broadcast_seconds"],
-                    "gather_seconds": modelled["gather_seconds"],
-                },
-            }
-        )
+    warm_baseline = None
+    try:
+        for workers in counts:
+            outcomes = []
+            for _ in range(2):  # cold, then warm on the same fleet
+                outcomes.append(
+                    run_distributed(
+                        dataset, source, config=config, workers=workers,
+                        pool="keep", shm="auto",
+                    )
+                )
+            cold, warm = outcomes
+            top = [
+                {"snps": list(i.snps), "score": float(i.score)}
+                for i in warm.result.top
+            ]
+            if reference_top is None:
+                reference_top = top
+            if warm_baseline is None:
+                warm_baseline = warm.elapsed_seconds
+            oversubscribed = workers > host_cpus
+            if oversubscribed:
+                print(
+                    f"warning: {workers} workers on a {host_cpus}-CPU host — "
+                    "oversubscribed, timing measures contention not scaling"
+                )
+            model_shape = dict(
+                n_candidates=total,
+                n_samples=dataset.n_samples,
+                n_snps=dataset.n_snps,
+                order=3,
+                n_workers=workers,
+                n_shards=warm.n_shards,
+                dataset_bytes=dataset.genotypes.nbytes + dataset.phenotypes.nbytes,
+                top_k=config.top_k,
+            )
+            # Warm steady state: fleet up, worker contexts hydrated,
+            # segments reused — no spawn, no attach (what speedup_vs_1
+            # measures).  The cold estimate prices the per-run startup a
+            # fresh pool would pay every call.
+            modelled = estimate_distributed_run(
+                **model_shape, pool="keep", shm=True, attach_seconds=0.0
+            )
+            modelled_cold = estimate_distributed_run(
+                **model_shape, pool="fresh", shm=True
+            )
+            runs.append(
+                {
+                    "workers": workers,
+                    "oversubscribed": oversubscribed,
+                    "n_shards": warm.n_shards,
+                    "cold_seconds": cold.elapsed_seconds,
+                    "warm_seconds": warm.elapsed_seconds,
+                    "tables_per_second": total / warm.elapsed_seconds,
+                    "speedup_vs_1": warm_baseline / warm.elapsed_seconds,
+                    "top_identical_to_workers_1": top == reference_top,
+                    "best_snps": top[0]["snps"],
+                    "data_plane_cold": dict(cold.data_plane),
+                    "data_plane_warm": dict(warm.data_plane),
+                    "warm_repacks": repack_events(warm.data_plane),
+                    "modelled": {
+                        "speedup_vs_single": modelled["speedup_vs_single"],
+                        "parallel_efficiency": modelled["parallel_efficiency"],
+                        "imbalance": modelled["imbalance"],
+                        "broadcast_seconds": modelled["broadcast_seconds"],
+                        "gather_seconds": modelled["gather_seconds"],
+                        "cold_spawn_seconds": modelled_cold["spawn_seconds"],
+                        "cold_attach_seconds": modelled_cold["attach_seconds"],
+                        "cold_estimated_seconds": modelled_cold[
+                            "estimated_seconds"
+                        ],
+                    },
+                }
+            )
+    finally:
+        shutdown_fleets()
     return {
+        "benchmark": "distributed",
+        "quick": bool(quick),
         "dataset": {
             "n_snps": dataset.n_snps,
             "n_samples": dataset.n_samples,
             "planted": list(PLANTED),
         },
         "total_tables": total,
-        "host_cpus": os.cpu_count(),
+        "host_cpus": host_cpus,
+        "pool": "keep",
+        "shm": True,
         "runs": runs,
     }
 
@@ -120,32 +201,126 @@ def write_artifact(doc: dict) -> Path:
     return ARTIFACT
 
 
+def check_against_baseline(doc: dict, baseline_path: Path) -> int:
+    """Gate on the structural claims of the distributed data plane.
+
+    Always enforced: the merge is bit-identical at every worker count, the
+    planted interaction is recovered, and warm runs re-pack nothing.  On a
+    host with >= 2 CPUs the 2-worker warm speedup must clear
+    :data:`SPEEDUP_FLOOR` (and stay within :data:`CHECK_TOLERANCE` of the
+    committed artifact's, when one exists for a comparable host).
+    Oversubscribed runs are exempt from every timing gate.
+    """
+    failures = []
+    for run in doc["runs"]:
+        if not run["top_identical_to_workers_1"]:
+            failures.append(f"workers={run['workers']}: merge not bit-identical")
+        if sorted(run["best_snps"]) != list(PLANTED):
+            failures.append(
+                f"workers={run['workers']}: planted interaction not recovered "
+                f"(got {run['best_snps']})"
+            )
+        if run["warm_repacks"]:
+            failures.append(
+                f"workers={run['workers']}: warm run re-packed data "
+                f"{run['warm_repacks']}"
+            )
+
+    host_cpus = int(doc.get("host_cpus") or 1)
+    two = next((r for r in doc["runs"] if r["workers"] == 2), None)
+    if two is not None and host_cpus >= 2 and not two["oversubscribed"]:
+        speedup = two["speedup_vs_1"]
+        floor = SPEEDUP_FLOOR
+        if baseline_path.exists():
+            baseline = json.loads(baseline_path.read_text())
+            base_two = next(
+                (
+                    r
+                    for r in baseline.get("runs", [])
+                    if r["workers"] == 2 and not r.get("oversubscribed")
+                ),
+                None,
+            )
+            if base_two is not None:
+                floor = max(
+                    floor, base_two["speedup_vs_1"] * (1.0 - CHECK_TOLERANCE)
+                )
+        if speedup < floor:
+            failures.append(
+                f"2-worker warm speedup {speedup:.2f}x below {floor:.2f}x "
+                f"({host_cpus}-CPU host)"
+            )
+    elif two is not None:
+        print(
+            f"host has {host_cpus} CPU(s): speedup gate skipped "
+            f"(2-worker warm speedup measured {two['speedup_vs_1']:.2f}x)"
+        )
+
+    if failures:
+        print("distributed benchmark check failed:")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print(
+        f"distributed check OK ({len(doc['runs'])} worker counts, "
+        "deterministic merge, zero warm re-packs)"
+    )
+    return 0
+
+
 def test_distributed_benchmark_emits_artifact():
     """Pytest entry point: run the scaling sweep, emit JSON, check claims."""
-    doc = measure_distributed()
-    path = write_artifact(doc)
-    assert path.exists()
+    doc = measure_distributed(quick=True)
     runs = doc["runs"]
-    assert [r["workers"] for r in runs] == list(WORKER_COUNTS)
-    # Acceptance: every worker count merges to the identical top-k and
-    # recovers the planted interaction.
-    assert all(r["top_identical_to_workers_1"] for r in runs)
-    assert all(sorted(r["best_snps"]) == list(PLANTED) for r in runs)
+    assert [r["workers"] for r in runs] == list(QUICK_WORKER_COUNTS)
+    # Acceptance: every worker count merges to the identical top-k,
+    # recovers the planted interaction, and warm runs re-pack nothing.
+    assert check_against_baseline(doc, ARTIFACT) == 0
     # The model must predict non-degrading scaling for this compute-bound
     # shape (the measured curve depends on the host's core count).
     modelled = [r["modelled"]["speedup_vs_single"] for r in runs]
     assert modelled == sorted(modelled)
+    # The shared-memory data plane must actually carry the arrays: the cold
+    # multi-process run publishes segments and every worker attaches.
+    multi = next(r for r in runs if r["workers"] > 1)
+    assert multi["data_plane_cold"].get("segments_published", 0) >= 1
+    assert multi["data_plane_cold"].get("dataset_shm_attached", 0) >= 1
 
 
-if __name__ == "__main__":
-    doc = measure_distributed()
-    path = write_artifact(doc)
-    print(f"wrote {path}")
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small CI-sized sweep (printed, not written to the artifact)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="run the quick sweep and gate on the structural claims "
+        "(deterministic merge, zero warm re-packs, and the 2-worker warm "
+        "speedup floor on multi-CPU hosts); does not overwrite the artifact",
+    )
+    args = parser.parse_args(argv)
+    if args.check:
+        return check_against_baseline(measure_distributed(quick=True), ARTIFACT)
+    doc = measure_distributed(quick=args.quick)
+    if args.quick:
+        print(json.dumps(doc["dataset"]))
+    else:
+        print(f"wrote {write_artifact(doc)}")
     for run in doc["runs"]:
+        note = " OVERSUBSCRIBED" if run["oversubscribed"] else ""
         print(
-            f"workers={run['workers']}: {run['elapsed_seconds']:.3f} s, "
+            f"workers={run['workers']}: cold {run['cold_seconds']:.3f} s, "
+            f"warm {run['warm_seconds']:.3f} s, "
             f"{run['tables_per_second']:.0f} tables/s, "
             f"speedup {run['speedup_vs_1']:.2f}x "
             f"(modelled {run['modelled']['speedup_vs_single']:.2f}x), "
-            f"identical={run['top_identical_to_workers_1']}"
+            f"identical={run['top_identical_to_workers_1']}{note}"
         )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

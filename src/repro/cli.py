@@ -120,6 +120,24 @@ def _add_search_options(parser: argparse.ArgumentParser) -> None:
         "instead of re-evaluating them (safe when no ledger exists yet)",
     )
     parser.add_argument(
+        "--pool",
+        choices=("keep", "fresh"),
+        default="keep",
+        help="worker-process lifecycle: 'keep' (default) executes on a "
+        "process-wide warm fleet that survives across runs and pipeline "
+        "stages (spawn once, reuse hydrated workers); 'fresh' spawns a "
+        "dedicated pool per run and tears it down afterwards",
+    )
+    parser.add_argument(
+        "--shm",
+        choices=("on", "off", "auto"),
+        default="auto",
+        help="shared-memory data plane: publish the dataset and prepared "
+        "encodings into POSIX shared memory so worker processes attach "
+        "zero-copy views instead of unpickling arrays ('auto' enables it "
+        "whenever --workers > 1)",
+    )
+    parser.add_argument(
         "--chunk-size",
         type=_chunk_size,
         default=2048,
@@ -371,6 +389,14 @@ def _print_distributed_summary(distributed: dict | None) -> None:
         f"{distributed.get('n_shards')} shards "
         f"({distributed.get('strategy')} plan{note})"
     )
+    if distributed.get("shm"):
+        plane = distributed.get("data_plane") or {}
+        print(
+            f"data plane  : shm on, pool {distributed.get('pool', 'keep')} "
+            f"({plane.get('segments_published', 0)} segment(s) published, "
+            f"{plane.get('segments_reused', 0)} reused, "
+            f"{plane.get('segments_attached', 0)} worker attach(es))"
+        )
 
 
 def _print_device_summary(devices: dict) -> None:
@@ -426,6 +452,8 @@ def _cmd_detect(args: argparse.Namespace) -> int:
             workers=args.workers,
             checkpoint=args.checkpoint,
             resume=args.resume,
+            pool=args.pool,
+            shm=args.shm,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -476,6 +504,8 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
             workers=args.workers,
             checkpoint=args.checkpoint,
             resume=args.resume,
+            pool=args.pool,
+            shm=args.shm,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -55,7 +55,7 @@ import numpy as np
 from repro.core.approaches import APPROACHES, Approach, get_approach
 from repro.core.approaches._kernels import check_order
 from repro.core.contingency import validate_tables
-from repro.core.encoding_cache import ENCODING_CACHE
+from repro.core.encoding_cache import ENCODING_CACHE, encoding_cache_key
 from repro.core.result import ApproachStats, DetectionResult
 from repro.core.scoring import ObjectiveFunction, get_objective
 from repro.datasets.dataset import GenotypeDataset
@@ -270,16 +270,11 @@ class EpistasisDetector:
         identity, so repeated ``detect`` calls, pipeline stages and
         distributed shards over the same dataset never re-pack it.
         """
-        encoding_key = getattr(approach, "encoding_key", None)
-        if encoding_key is None:
+        key = encoding_cache_key(dataset, approach)
+        if key is None:
             # Duck-typed approaches without a cache identity are prepared
             # directly (correct, just uncached).
             return approach.prepare(dataset)
-        key = (
-            dataset.content_digest(),
-            dataset.n_snps,
-            dataset.n_samples,
-        ) + tuple(encoding_key())
         return ENCODING_CACHE.get_or_build(key, lambda: approach.prepare(dataset))
 
     # -- low-level entry points ----------------------------------------------------
@@ -359,6 +354,8 @@ class EpistasisDetector:
         workers: int | None = None,
         checkpoint: str | None = None,
         resume: bool = False,
+        pool: str = "keep",
+        shm: object = None,
     ) -> DetectionResult:
         """Exhaustively evaluate every SNP combination of the dataset.
 
@@ -388,6 +385,15 @@ class EpistasisDetector:
         resume:
             Restore completed shards from an existing ``checkpoint`` ledger
             instead of re-evaluating them.
+        pool:
+            ``"keep"`` (default) reuses the process-wide warm worker fleet
+            across calls; ``"fresh"`` spawns (and tears down) a dedicated
+            pool for this call.
+        shm:
+            Shared-memory data plane: ``"on"``/``True`` publishes the
+            dataset and encodings for workers to attach, ``"off"``/``False``
+            pickles them, ``None``/``"auto"`` enables it whenever worker
+            processes exist.
 
         Returns
         -------
@@ -410,6 +416,8 @@ class EpistasisDetector:
             workers=workers,
             checkpoint=checkpoint,
             resume=resume,
+            pool=pool,
+            shm=shm,
         )
 
     def detect_candidates(
@@ -423,6 +431,8 @@ class EpistasisDetector:
         workers: int | None = None,
         checkpoint: str | None = None,
         resume: bool = False,
+        pool: str = "keep",
+        shm: object = None,
     ) -> DetectionResult:
         """Evaluate an arbitrary candidate stream on the execution engine.
 
@@ -484,6 +494,8 @@ class EpistasisDetector:
                 progress=progress,
                 cancel=cancel,
                 approach_kwargs=self._approach_kwargs,
+                pool=pool,
+                shm=shm,
             )
             if outcome.cancelled or not outcome.completed:
                 raise RuntimeError(
@@ -562,6 +574,8 @@ class EpistasisDetector:
         workers: int | None = None,
         checkpoint: str | None = None,
         resume: bool = False,
+        pool: str = "keep",
+        shm: object = None,
     ):
         """Run a staged screen-then-expand search instead of the dense sweep.
 
@@ -674,6 +688,8 @@ class EpistasisDetector:
             workers=workers or 1,
             checkpoint=checkpoint,
             resume=resume,
+            pool=pool,
+            shm=shm,
         )
         return pipeline.run(dataset, cancel=cancel, progress=progress)
 

@@ -26,7 +26,26 @@ import threading
 from collections import OrderedDict
 from typing import Callable, Tuple
 
-__all__ = ["EncodingCache", "ENCODING_CACHE"]
+__all__ = ["EncodingCache", "ENCODING_CACHE", "encoding_cache_key"]
+
+
+def encoding_cache_key(dataset, approach) -> Tuple | None:
+    """The cache key of ``approach``'s encoding of ``dataset``.
+
+    ``None`` for duck-typed approaches without an ``encoding_key`` (their
+    encodings have no cache identity and are prepared directly).  The same
+    key addresses the local LRU tier and the shared-memory segment, which
+    is what lets the coordinator and every worker resolve one published
+    encoding.
+    """
+    encoding_key = getattr(approach, "encoding_key", None)
+    if encoding_key is None:
+        return None
+    return (
+        dataset.content_digest(),
+        dataset.n_snps,
+        dataset.n_samples,
+    ) + tuple(encoding_key())
 
 
 class EncodingCache:
@@ -49,25 +68,60 @@ class EncodingCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.shm_hits = 0
+        self._shared_loader: Callable[[Tuple], object | None] | None = None
+
+    def attach_shared_tier(self, loader: Callable[[Tuple], object | None]) -> None:
+        """Install a shared-memory resolver consulted on local misses.
+
+        ``loader(key)`` returns a decoded encoding attached from a
+        :class:`~repro.distributed.shm.SharedEncodingStore` segment, or
+        ``None`` when nothing is published under the key.  Worker
+        processes of a distributed run install
+        :func:`repro.distributed.shm.load_encoding` here, so a dataset the
+        coordinator packed once is never re-packed fleet-wide.
+        """
+        with self._lock:
+            self._shared_loader = loader
+
+    def detach_shared_tier(self) -> None:
+        """Remove the shared-memory tier (local-only resolution)."""
+        with self._lock:
+            self._shared_loader = None
 
     def get_or_build(self, key: Tuple, builder: Callable[[], object]) -> object:
         """Return the cached encoding for ``key``, building it on a miss.
 
-        The builder runs under the cache lock so concurrent workers of one
-        run never pack the same dataset twice; the encodings themselves are
-        immutable, so handing the same object to every caller is safe.
+        Resolution order: local LRU, then the shared-memory tier (when
+        attached), then the builder.  The builder runs under the cache
+        lock so concurrent workers of one run never pack the same dataset
+        twice; the encodings themselves are immutable, so handing the same
+        object to every caller is safe.
         """
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
                 self.hits += 1
                 return self._entries[key]
+            if self._shared_loader is not None:
+                try:
+                    encoded = self._shared_loader(key)
+                except Exception:
+                    encoded = None
+                if encoded is not None:
+                    self._entries[key] = encoded
+                    self.shm_hits += 1
+                    self._evict()
+                    return encoded
             encoded = builder()
             self._entries[key] = encoded
             self.misses += 1
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
+            self._evict()
             return encoded
+
+    def _evict(self) -> None:
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
 
     def clear(self) -> None:
         """Drop every entry and reset the hit/miss counters."""
@@ -75,6 +129,7 @@ class EncodingCache:
             self._entries.clear()
             self.hits = 0
             self.misses = 0
+            self.shm_hits = 0
 
     def __len__(self) -> int:
         with self._lock:

@@ -14,6 +14,13 @@ reported top-k is bit-identical for any worker count.
   worker pool streaming per-shard partial top-k results back;
 * :mod:`repro.distributed.checkpoint` — the atomic
   :class:`CheckpointStore` shard ledger enabling ``--resume``;
+* :mod:`repro.distributed.shm` — the zero-copy shared-memory data plane
+  (:class:`SharedEncodingStore`, :class:`DatasetHandle`): workers attach
+  read-only views of the published dataset and encodings instead of
+  unpickling arrays;
+* :mod:`repro.distributed.fleet` — persistent warm worker fleets
+  (:class:`WorkerFleet`) surviving across ``detect()`` calls, pipeline
+  stages and permutation batches;
 * :mod:`repro.distributed.merge` — deterministic partial-result folding;
 * :mod:`repro.distributed.coordinator` — :func:`run_distributed`, the
   orchestration loop behind ``detect(..., workers=N, checkpoint=...)``;
@@ -43,6 +50,18 @@ from repro.distributed.merge import (
 from repro.distributed.runner import ProcessRunner, ShardOutcome, WorkerPayload
 from repro.distributed.coordinator import DistributedOutcome, run_distributed
 from repro.distributed.cluster import ClusterRank, RankAccounting, SimulatedCluster
+from repro.distributed.fleet import WorkerFleet, get_fleet, shutdown_fleets
+from repro.distributed.shm import (
+    DatasetHandle,
+    SharedEncodingStore,
+    StoreSession,
+    data_plane_snapshot,
+    hydrate_dataset,
+    load_encoding,
+    publish_dataset,
+    publish_encoding,
+    shared_store,
+)
 
 __all__ = [
     "DEFAULT_SHARD_COUNT",
@@ -65,4 +84,16 @@ __all__ = [
     "ClusterRank",
     "RankAccounting",
     "SimulatedCluster",
+    "WorkerFleet",
+    "get_fleet",
+    "shutdown_fleets",
+    "DatasetHandle",
+    "SharedEncodingStore",
+    "StoreSession",
+    "shared_store",
+    "publish_dataset",
+    "hydrate_dataset",
+    "publish_encoding",
+    "load_encoding",
+    "data_plane_snapshot",
 ]

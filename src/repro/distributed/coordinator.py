@@ -37,6 +37,7 @@ from repro.distributed.checkpoint import CheckpointStore, dataset_fingerprint
 from repro.distributed.merge import merge_minima, merge_rows, row_to_interaction
 from repro.distributed.runner import ProcessRunner, ShardOutcome, WorkerPayload
 from repro.distributed.shards import ShardPlanner
+from repro.distributed.shm import publish_dataset, publish_encoding
 
 __all__ = ["DistributedOutcome", "run_distributed"]
 
@@ -76,6 +77,10 @@ class DistributedOutcome:
     #: Items evaluated per shard id (restored and fresh), for per-rank
     #: accounting by callers that map shards onto ranks.
     shard_items: Dict[int, int] = field(default_factory=dict)
+    #: Data-plane counter increments of this run (parent publishes plus
+    #: every worker batch's delta): segments published/attached/reused,
+    #: encoding-cache hits/misses/shm-hits, datasets pickled vs attached.
+    data_plane: Dict[str, int] = field(default_factory=dict)
 
     @property
     def shards_remaining(self) -> int:
@@ -130,6 +135,63 @@ def _aggregate_device_stats(
     return stats
 
 
+def resolve_shm(shm: object, workers: int) -> bool:
+    """Normalise the ``shm`` knob (``"on"``/``"off"``/``"auto"``/bool/None).
+
+    ``None``/``"auto"`` enables the shared-memory data plane exactly when
+    worker processes exist to profit from it; ``workers=1`` runs inline
+    and never publishes (nothing would attach).
+    """
+    if isinstance(shm, str):
+        lowered = shm.lower()
+        if lowered == "on":
+            shm = True
+        elif lowered == "off":
+            shm = False
+        elif lowered == "auto":
+            shm = None
+        else:
+            raise ValueError(f"shm must be 'on', 'off' or 'auto', got {shm!r}")
+    if shm is None:
+        return workers > 1
+    return bool(shm) and workers > 1
+
+
+def _aggregate_data_plane(
+    outcomes: List[ShardOutcome], parent_delta: Dict[str, int]
+) -> Dict[str, int]:
+    """Sum the per-batch worker counter deltas with the parent's own."""
+    totals: Dict[str, int] = dict(parent_delta)
+    for outcome in outcomes:
+        for name, count in outcome.data_plane.items():
+            totals[name] = totals.get(name, 0) + int(count)
+    return totals
+
+
+def _publish_data_plane(dataset, config, approach_kwargs, session):
+    """Publish the dataset (and the prototype encoding) into shared memory.
+
+    Returns the :class:`~repro.distributed.shm.DatasetHandle` the payload
+    ships in place of the arrays.  The prototype lane's prepared encoding
+    is packed once here (through the process-wide cache, so repeated runs
+    reuse it) and published alongside; GPU layouts carry device-side state
+    and are rebuilt worker-side from the shared dataset instead.
+    """
+    from repro.core.approaches import get_approach
+    from repro.core.encoding_cache import ENCODING_CACHE, encoding_cache_key
+
+    handle = publish_dataset(dataset, session=session)
+    prototype = get_approach(config.approach, **approach_kwargs)
+    if prototype.device == "cpu":
+        key = encoding_cache_key(dataset, prototype)
+        if key is not None:
+            encoded = ENCODING_CACHE.get_or_build(
+                key, lambda: prototype.prepare(dataset)
+            )
+            publish_encoding(key, encoded, session=session)
+    return handle
+
+
 def _payload_approach_kwargs(
     config, approach_kwargs: Dict[str, object] | None
 ) -> Dict[str, object]:
@@ -161,6 +223,8 @@ def run_distributed(
     cancel=None,
     approach_kwargs: Dict[str, object] | None = None,
     mp_context: str = "spawn",
+    pool: str = "keep",
+    shm: object = None,
 ) -> DistributedOutcome:
     """Execute a candidate sweep as a sharded multi-process run.
 
@@ -198,6 +262,18 @@ def run_distributed(
     cancel:
         Optional :class:`~repro.engine.executor.CancellationToken`; checked
         between shard completions.
+    pool:
+        ``"keep"`` (default) runs on the process-wide warm worker fleet,
+        which survives this call — later runs skip process spawn and reuse
+        the workers' hydrated state; ``"fresh"`` spawns a dedicated pool
+        torn down when the run ends.
+    shm:
+        The shared-memory data plane: ``True``/``"on"`` publishes the
+        dataset (and the prototype lane's prepared encoding) into
+        :mod:`multiprocessing.shared_memory` so shard tasks ship a content
+        digest instead of pickled arrays; ``False``/``"off"`` ships the
+        dataset inline; ``None``/``"auto"`` (default) enables it whenever
+        worker processes exist.
     """
     if not isinstance(config.approach, str):
         raise TypeError(
@@ -251,6 +327,8 @@ def run_distributed(
     if progress is not None and items_restored:
         progress(items_total_done, total)
 
+    shm_enabled = resolve_shm(shm, workers)
+    approach_kwargs_resolved = _payload_approach_kwargs(config, approach_kwargs)
     payload = WorkerPayload(
         dataset=dataset,
         source=source,
@@ -263,40 +341,54 @@ def run_distributed(
         devices=config.devices,
         schedule=config.schedule,
         collect_minima=collect_snp_minima,
-        approach_kwargs=_payload_approach_kwargs(config, approach_kwargs),
+        approach_kwargs=approach_kwargs_resolved,
     )
-    runner = ProcessRunner(workers, payload, mp_context=mp_context)
+    runner = ProcessRunner(workers, payload, mp_context=mp_context, pool=pool)
+
+    from repro.distributed.shm import data_plane_delta, data_plane_snapshot
+
+    parent_before = data_plane_snapshot()
+    if shm_enabled and pending:
+        payload.dataset = _publish_data_plane(
+            dataset, config, approach_kwargs_resolved, runner.data_session()
+        )
 
     outcomes: List[ShardOutcome] = []
     cancelled = False
-    if pending and not (cancel is not None and cancel.cancelled):
-        shard_stream = runner.map_shards(pending)
-        try:
-            for outcome in shard_stream:
-                outcomes.append(outcome)
-                if store is not None:
-                    record: Dict[str, object] = {
-                        "top": outcome.rows,
-                        "n_items": int(outcome.n_items),
-                        "elapsed_seconds": float(outcome.elapsed_seconds),
-                        "op_counts": dict(outcome.op_counts),
-                        "bytes_loaded": int(outcome.bytes_loaded),
-                        "bytes_stored": int(outcome.bytes_stored),
-                        "device_stats": outcome.device_stats,
-                    }
-                    if outcome.snp_minima is not None:
-                        record["snp_minima"] = outcome.snp_minima
-                    store.record_shard(outcome.shard_id, record)
-                items_total_done += outcome.n_items
-                if progress is not None:
-                    progress(items_total_done, total)
-                if cancel is not None and cancel.cancelled:
-                    cancelled = True
-                    break
-        finally:
-            shard_stream.close()
-    elif cancel is not None and cancel.cancelled:
-        cancelled = True
+    try:
+        if pending and not (cancel is not None and cancel.cancelled):
+            shard_stream = runner.map_shards(pending)
+            try:
+                for outcome in shard_stream:
+                    outcomes.append(outcome)
+                    if store is not None:
+                        record: Dict[str, object] = {
+                            "top": outcome.rows,
+                            "n_items": int(outcome.n_items),
+                            "elapsed_seconds": float(outcome.elapsed_seconds),
+                            "op_counts": dict(outcome.op_counts),
+                            "bytes_loaded": int(outcome.bytes_loaded),
+                            "bytes_stored": int(outcome.bytes_stored),
+                            "device_stats": outcome.device_stats,
+                        }
+                        if outcome.snp_minima is not None:
+                            record["snp_minima"] = outcome.snp_minima
+                        store.record_shard(outcome.shard_id, record)
+                    items_total_done += outcome.n_items
+                    if progress is not None:
+                        progress(items_total_done, total)
+                    if cancel is not None and cancel.cancelled:
+                        cancelled = True
+                        break
+            finally:
+                shard_stream.close()
+        elif cancel is not None and cancel.cancelled:
+            cancelled = True
+    finally:
+        runner.close()
+    data_plane = _aggregate_data_plane(
+        outcomes, data_plane_delta(parent_before)
+    )
 
     shards_done = len(restored) + len(outcomes)
     completed = shards_done == len(shards) and not cancelled
@@ -371,6 +463,9 @@ def run_distributed(
                 "items_evaluated": items_evaluated,
                 "checkpoint": str(checkpoint) if checkpoint is not None else None,
                 "mode": "inline" if workers == 1 else "processes",
+                "pool": pool,
+                "shm": shm_enabled,
+                "data_plane": dict(data_plane),
             },
         }
         stats = ApproachStats(
@@ -411,4 +506,5 @@ def run_distributed(
         bytes_loaded=bytes_loaded,
         bytes_stored=bytes_stored,
         shard_items=shard_items,
+        data_plane=data_plane,
     )

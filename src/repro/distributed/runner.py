@@ -1,16 +1,20 @@
 """Spawn-safe worker processes executing shards through the engine.
 
-A worker process is initialised exactly once per pool (dataset + detector
-construction, device-lane encoding) and then evaluates any number of shards:
-each task is just ``(shard_id, start, stop)``, the worker wraps the run's
-candidate source in a :class:`~repro.distributed.shards.ShardView` and
-sweeps it through the ordinary in-process
-:class:`~repro.engine.executor.HeterogeneousExecutor` — device lanes,
-scheduling policies and the streaming top-k reduction behave exactly as in
-a single-process search.  What crosses the process boundary is small and
-picklable: the one-time :class:`WorkerPayload` downstream, and a
-:class:`ShardOutcome` (top-k rows, item/op counts, optional per-SNP
-screening minima) upstream per shard.
+A worker process hydrates its execution state lazily from the first task
+batch it receives: the :class:`WorkerPayload` either carries the dataset
+inline (pickled — the legacy data plane) or, with shared memory enabled, a
+tiny :class:`~repro.distributed.shm.DatasetHandle` the worker resolves
+against the :class:`~repro.distributed.shm.SharedEncodingStore` — the
+arrays never cross the pipe.  The per-process state (detector, encodings,
+hydrated dataset) is cached across batches *and across runs* keyed by the
+payload fingerprint, so a warm fleet (:mod:`repro.distributed.fleet`)
+serving a second ``detect()`` call or the next pipeline stage pays zero
+re-initialisation.
+
+Shard handoff is **batched**: the coordinator groups shards into a handful
+of futures per worker instead of one future per shard, cutting the
+submit/collect round-trips (and per-task payload pickles) by an order of
+magnitude for the default 32-shard plan.
 
 Everything here is **spawn-safe**: the worker entry points are module-level
 functions resolved by import path (no closures, no lambdas), so the pool
@@ -18,16 +22,29 @@ works identically under the ``spawn`` start method (macOS/Windows default,
 and the only start method that is safe with threads in the parent).
 ``workers=1`` bypasses the pool entirely and runs the same code inline —
 zero process overhead, identical results, same checkpoint ledger.
+
+Fault tolerance: a worker dying mid-shard breaks the whole
+``ProcessPoolExecutor``.  :meth:`ProcessRunner.map_shards` recovers once —
+the fleet respawns and only the shards that never produced an outcome are
+re-dispatched (completed shards are already checkpointed/yielded); a second
+pool break raises.
 """
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing
+import os
+import pickle
+import signal
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from collections import OrderedDict
+from concurrent.futures import FIRST_COMPLETED, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Sequence
+
+import numpy as np
 
 from repro.distributed.merge import (
     interaction_to_row,
@@ -35,21 +52,38 @@ from repro.distributed.merge import (
     snp_minima_accumulator,
 )
 from repro.distributed.shards import Shard, ShardView
+from repro.distributed.shm import (
+    DatasetHandle,
+    data_plane_delta,
+    data_plane_snapshot,
+    hydrate_dataset,
+    load_encoding,
+    note_event,
+)
 
-__all__ = ["WorkerPayload", "ShardOutcome", "ProcessRunner"]
+__all__ = ["WorkerPayload", "ShardOutcome", "ProcessRunner", "FAULT_ENV"]
+
+#: Environment variable naming a fault-injection trigger file: the first
+#: worker that claims the file (atomic rename) SIGKILLs itself before
+#: running its batch.  Test-only — lets the fault-tolerance suite kill
+#: exactly one worker exactly once.
+FAULT_ENV = "REPRO_DIST_FAULT"
 
 
 @dataclass
 class WorkerPayload:
-    """Everything a worker process needs, shipped once at pool start.
+    """Everything a worker process needs to hydrate its execution state.
 
-    ``approach`` must be a registry *name* (a pre-built approach instance
-    carries per-run counter state that must not be shared across
-    processes); ``objective`` and ``schedule`` may be names or picklable
-    instances.
+    ``dataset`` is either a ``GenotypeDataset`` (pickled inline with every
+    batch — the fallback data plane) or a
+    :class:`~repro.distributed.shm.DatasetHandle` resolved against shared
+    memory on first touch.  ``approach`` must be a registry *name* (a
+    pre-built approach instance carries per-run counter state that must
+    not be shared across processes); ``objective`` and ``schedule`` may be
+    names or picklable instances.
     """
 
-    dataset: object  # GenotypeDataset (picklable dataclass)
+    dataset: object  # GenotypeDataset or DatasetHandle
     source: object  # CandidateSource
     approach: str
     objective: object = "k2"
@@ -61,6 +95,41 @@ class WorkerPayload:
     schedule: object = "dynamic"
     collect_minima: bool = False
     approach_kwargs: Dict[str, object] = field(default_factory=dict)
+
+    def fingerprint(self) -> str:
+        """Content fingerprint keying the per-process context cache.
+
+        Two payloads with the same fingerprint hydrate to identical
+        execution state, so a warm worker reuses its detector (and every
+        encoding behind it) across runs.
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is not None:
+            return cached
+        if isinstance(self.dataset, DatasetHandle):
+            ds = ("handle", self.dataset.digest)
+        else:
+            ds = ("inline", self.dataset.content_digest())
+        blob = pickle.dumps(
+            (
+                ds,
+                self.source,
+                self.approach,
+                self.objective,
+                self.n_threads,
+                self.chunk_size,
+                self.top_k,
+                self.validate,
+                self.devices,
+                self.schedule,
+                self.collect_minima,
+                sorted(self.approach_kwargs.items()),
+            ),
+            protocol=4,
+        )
+        digest = hashlib.sha1(blob).hexdigest()
+        self._fingerprint = digest
+        return digest
 
 
 @dataclass
@@ -77,6 +146,9 @@ class ShardOutcome:
     bytes_stored: int = 0
     #: Per-SNP best-participating-score payload (``None`` = SNP unseen).
     snp_minima: List[float | None] | None = None
+    #: Data-plane counter increments of the batch this outcome headed
+    #: (attached to the first outcome of each batch; empty otherwise).
+    data_plane: Dict[str, int] = field(default_factory=dict)
 
 
 class _WorkerContext:
@@ -84,17 +156,31 @@ class _WorkerContext:
 
     The detector (and through it the per-lane dataset encodings) is reused
     across every shard the context evaluates, so per-shard cost is pure
-    sweep work after the first shard warms the encodings.  Spawned pool
-    workers hold one context in the module global below; the inline
-    (``workers=1``) path builds a *local* context instead, so concurrent
-    inline runs in one process (e.g. from two threads) cannot clobber each
-    other's state.
+    sweep work after the first shard warms the encodings.  Worker
+    processes cache contexts by payload fingerprint in the module-level
+    LRU below — surviving across batches, runs and pipeline stages; the
+    inline (``workers=1``) path builds a *local* context instead, so
+    concurrent inline runs in one process (e.g. from two threads) cannot
+    clobber each other's state.
     """
 
     def __init__(self, payload: WorkerPayload) -> None:
         from repro.core.detector import EpistasisDetector
 
         self.payload = payload
+        dataset = payload.dataset
+        if isinstance(dataset, DatasetHandle):
+            # Shared-memory data plane: resolve the handle to read-only
+            # views and give the encoding cache its shared tier, so the
+            # encodings the coordinator published are attached instead of
+            # re-packed.
+            from repro.core.encoding_cache import ENCODING_CACHE
+
+            ENCODING_CACHE.attach_shared_tier(load_encoding)
+            dataset = hydrate_dataset(dataset)
+        elif multiprocessing.parent_process() is not None:
+            note_event("dataset_unpickled")
+        self.dataset = dataset
         self.detector = EpistasisDetector(
             approach=payload.approach,
             objective=payload.objective,
@@ -112,7 +198,7 @@ class _WorkerContext:
         """Evaluate one shard."""
         shard_id, start, stop = task
         payload = self.payload
-        dataset = payload.dataset
+        dataset = self.dataset
         view = ShardView(payload.source, start, stop)
 
         observe = finalize_minima = None
@@ -159,22 +245,93 @@ class _WorkerContext:
         )
 
 
-#: Per-process worker context, set once by :func:`_init_worker` (spawned
-#: pool workers only — the inline path uses a local context).
-_WORKER: _WorkerContext | None = None
+#: Per-process context cache (worker processes): payload fingerprint →
+#: hydrated context.  Small LRU — a worker serving interleaved runs over a
+#: couple of datasets/configs keeps all of them warm.
+_CONTEXTS: "OrderedDict[str, _WorkerContext]" = OrderedDict()
+_MAX_CONTEXTS = 4
 
 
-def _init_worker(payload: WorkerPayload) -> None:
-    """Pool initializer: build the per-process worker context once."""
-    global _WORKER
-    _WORKER = _WorkerContext(payload)
+def _context_for(payload: WorkerPayload) -> _WorkerContext:
+    """Resolve (or build) the cached worker context for a payload."""
+    fingerprint = payload.fingerprint()
+    context = _CONTEXTS.get(fingerprint)
+    if context is not None:
+        _CONTEXTS.move_to_end(fingerprint)
+        note_event("worker_context_reused")
+        return context
+    context = _WorkerContext(payload)
+    _CONTEXTS[fingerprint] = context
+    note_event("worker_context_built")
+    while len(_CONTEXTS) > _MAX_CONTEXTS:
+        _CONTEXTS.popitem(last=False)
+    return context
 
 
-def _run_shard(task: tuple[int, int, int]) -> ShardOutcome:
-    """Evaluate one shard in the current (spawned) worker process."""
-    if _WORKER is None:
-        raise RuntimeError("worker process was not initialised")
-    return _WORKER.run_shard(task)
+def _maybe_inject_fault() -> None:
+    """Kill this worker if it claims the fault-injection trigger file.
+
+    The claim is an atomic rename, so exactly one worker dies per trigger
+    no matter how many race for it.  Inert unless the test suite sets
+    :data:`FAULT_ENV`.
+    """
+    path = os.environ.get(FAULT_ENV)
+    if not path or multiprocessing.parent_process() is None:
+        return
+    try:
+        os.replace(path, path + ".consumed")
+    except OSError:
+        return
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _run_shard_batch(
+    payload: WorkerPayload, tasks: Sequence[tuple[int, int, int]]
+) -> List[ShardOutcome]:
+    """Worker entry point: evaluate a batch of shards in one round-trip.
+
+    The first outcome of the batch carries the data-plane counter delta
+    (segments attached, cache hits/misses, datasets unpickled) observed in
+    this process while the batch ran.
+    """
+    _maybe_inject_fault()
+    before = data_plane_snapshot()
+    context = _context_for(payload)
+    outcomes = [context.run_shard(task) for task in tasks]
+    outcomes[0].data_plane = data_plane_delta(before)
+    return outcomes
+
+
+def _run_null_batch(
+    payload: WorkerPayload,
+    combos: np.ndarray,
+    phenotype_batch: np.ndarray,
+) -> np.ndarray:
+    """Worker entry point for permutation nulls: score relabelled copies.
+
+    ``phenotype_batch`` is ``(B, n_samples)`` relabelled phenotype vectors
+    — the *only* per-iteration data shipped; the genotypes come from the
+    (usually shared-memory) dataset hydrated once per process.  Scoring
+    bypasses the encoding cache (``cache=False``): relabelled encodings
+    are throw-away by contract.
+
+    Returns the ``(B, n_combos)`` score matrix.
+    """
+    _maybe_inject_fault()
+    context = _context_for(payload)
+    from repro.datasets.dataset import GenotypeDataset
+
+    genotypes = context.dataset.genotypes
+    snp_names = list(context.dataset.snp_names)
+    scores = []
+    for phenotypes in phenotype_batch:
+        relabelled = GenotypeDataset(
+            genotypes=genotypes, phenotypes=phenotypes, snp_names=snp_names
+        )
+        scores.append(
+            context.detector.score_combinations(relabelled, combos, cache=False)
+        )
+    return np.asarray(scores)
 
 
 class ProcessRunner:
@@ -187,10 +344,18 @@ class ProcessRunner:
         process through the identical code path (no pool, no pickling
         overhead) — useful for checkpointed single-process runs and tests.
     payload:
-        The one-time per-process initialisation data.
+        The per-process hydration spec (shipped with every batch; tiny
+        when the dataset rides shared memory).
     mp_context:
         ``multiprocessing`` start method (default ``"spawn"``: safe with
         threads in the parent and identical across platforms).
+    pool:
+        ``"keep"`` executes on the process-wide warm fleet
+        (:func:`repro.distributed.fleet.get_fleet`), which survives this
+        run; ``"fresh"`` spawns a dedicated pool torn down afterwards.
+    batch_size:
+        Shards per future (default: enough batches for ~4 rounds per
+        worker, at least one shard each).
     """
 
     def __init__(
@@ -198,19 +363,78 @@ class ProcessRunner:
         workers: int,
         payload: WorkerPayload,
         mp_context: str = "spawn",
+        pool: str = "keep",
+        batch_size: int | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be positive")
+        if pool not in ("keep", "fresh"):
+            raise ValueError(f"pool must be 'keep' or 'fresh', got {pool!r}")
         self.workers = workers
         self.payload = payload
         self.mp_context = mp_context
+        self.pool = pool
+        self.batch_size = batch_size
+        self._fleet = None
+        self._dedicated = False
+        self._session = None
+
+    # -- data-plane session ------------------------------------------------------
+    def data_session(self):
+        """The shared-memory session scoping this runner's segments.
+
+        On the warm fleet this is the *fleet's* long-lived session (the
+        segments outlive the run — that is the point); a fresh pool gets a
+        runner-scoped session closed by :meth:`close`, unlinking whatever
+        this run published once the last reference drops.
+        """
+        if self._session is None or self._session.closed:
+            if self.pool == "keep" and self.workers > 1:
+                self._session = self._acquire_fleet().store_session()
+            else:
+                from repro.distributed.shm import shared_store
+
+                self._session = shared_store().session()
+        return self._session
+
+    def close(self) -> None:
+        """Release run-scoped resources (dedicated pool, fresh session)."""
+        if self._dedicated and self._fleet is not None:
+            self._fleet.shutdown()
+            self._fleet = None
+        if self._session is not None and not (
+            self.pool == "keep" and self.workers > 1
+        ):
+            self._session.close()
+            self._session = None
+
+    def _acquire_fleet(self):
+        from repro.distributed.fleet import WorkerFleet, get_fleet
+
+        if self._fleet is None:
+            if self.pool == "keep":
+                self._fleet = get_fleet(self.workers, self.mp_context)
+            else:
+                self._fleet = WorkerFleet(self.workers, self.mp_context)
+                self._dedicated = True
+        return self._fleet
+
+    def _batches(self, tasks: List[tuple[int, int, int]]) -> List[List[tuple]]:
+        size = self.batch_size
+        if size is None:
+            # ~4 dispatch rounds per worker keeps pull-scheduling balance
+            # while cutting futures round-trips ~4x for the default plan.
+            size = max(1, len(tasks) // (self.workers * 4))
+        return [tasks[i : i + size] for i in range(0, len(tasks), size)]
 
     def map_shards(self, shards: Sequence[Shard]) -> Iterator[ShardOutcome]:
         """Yield shard outcomes as they complete (order is not guaranteed).
 
         The caller checkpoints each outcome as it arrives; closing the
-        iterator early (cancellation) tears the pool down without waiting
-        for unclaimed shards.
+        iterator early (cancellation) abandons unclaimed batches (and
+        tears down a dedicated pool).  A single pool break is recovered by
+        respawning the fleet and re-dispatching only the shards that never
+        produced an outcome.
         """
         tasks = [(s.shard_id, s.start, s.stop) for s in shards]
         if not tasks:
@@ -218,28 +442,58 @@ class ProcessRunner:
         if self.workers == 1:
             context = _WorkerContext(self.payload)
             for task in tasks:
-                yield context.run_shard(task)
+                before = data_plane_snapshot()
+                outcome = context.run_shard(task)
+                outcome.data_plane = data_plane_delta(before)
+                yield outcome
             return
 
-        context = multiprocessing.get_context(self.mp_context)
-        pool = ProcessPoolExecutor(
-            max_workers=min(self.workers, len(tasks)),
-            mp_context=context,
-            initializer=_init_worker,
-            initargs=(self.payload,),
-        )
+        fleet = self._acquire_fleet()
+        inline_dataset = not isinstance(self.payload.dataset, DatasetHandle)
+        completed: set[int] = set()
+        respawned = False
+        pending: Dict[object, List[tuple]] = {}
+
+        def dispatch(batch_list: List[List[tuple]]) -> None:
+            for batch in batch_list:
+                pending[fleet.submit(_run_shard_batch, self.payload, batch)] = batch
+                if inline_dataset:
+                    note_event("dataset_pickled")
+
+        dispatch(self._batches(tasks))
         try:
-            pending = {pool.submit(_run_shard, task) for task in tasks}
-            try:
-                while pending:
-                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                    for future in done:
-                        yield future.result()
-            except BrokenProcessPool as exc:
-                raise RuntimeError(
-                    "a distributed worker process died mid-run (killed or "
-                    "crashed); completed shards are preserved in the "
-                    "checkpoint ledger — rerun with resume to continue"
-                ) from exc
+            while pending:
+                done, _ = wait(set(pending), return_when=FIRST_COMPLETED)
+                broken: BaseException | None = None
+                for future in done:
+                    pending.pop(future)
+                    try:
+                        outcomes = future.result()
+                    except BrokenProcessPool as exc:
+                        broken = broken or exc
+                        continue
+                    for outcome in outcomes:
+                        if outcome.shard_id in completed:
+                            continue
+                        completed.add(outcome.shard_id)
+                        yield outcome
+                if broken is not None:
+                    if respawned:
+                        raise RuntimeError(
+                            "a distributed worker process died mid-run (killed "
+                            "or crashed); completed shards are preserved in the "
+                            "checkpoint ledger — rerun with resume to continue"
+                        ) from broken
+                    respawned = True
+                    note_event("pool_respawns")
+                    # Everything still pending is doomed with the broken
+                    # pool; re-dispatch every shard that never completed.
+                    pending.clear()
+                    fleet.respawn()
+                    remaining = [t for t in tasks if t[0] not in completed]
+                    dispatch(self._batches(remaining))
         finally:
-            pool.shutdown(wait=True, cancel_futures=True)
+            for future in pending:
+                future.cancel()
+            if self._dedicated:
+                self.close()

@@ -30,8 +30,11 @@ from repro.perfmodel.efficiency import (
 
 __all__ = [
     "DEFAULT_LINK_BYTES_PER_SECOND",
+    "DEFAULT_SPAWN_SECONDS_PER_WORKER",
+    "DEFAULT_ATTACH_SECONDS",
     "estimate_broadcast_seconds",
     "estimate_gather_seconds",
+    "estimate_spawn_seconds",
     "shard_imbalance",
     "estimate_distributed_run",
 ]
@@ -41,6 +44,18 @@ __all__ = [
 #: is a conservative figure for pickled-ndarray transfer on commodity DDR4
 #: (and close to a 25 GbE fabric if ranks were spread across nodes).
 DEFAULT_LINK_BYTES_PER_SECOND: float = 2e9
+
+#: Modelled cost of starting one spawn-context worker process: fork+exec of
+#: a fresh interpreter plus importing numpy and the package — ~0.3-0.5 s on
+#: commodity hardware.  Paid per run with ``pool="fresh"``; a warm fleet
+#: (``pool="keep"``) amortises it across every later run, which the model
+#: prices as zero marginal spawn cost.
+DEFAULT_SPAWN_SECONDS_PER_WORKER: float = 0.35
+
+#: Modelled cost of a worker attaching one shared-memory segment: an
+#: ``shm_open`` + ``mmap`` + manifest parse — milliseconds, independent of
+#: the segment size (the pages are mapped, not copied).
+DEFAULT_ATTACH_SECONDS: float = 0.002
 
 
 def estimate_broadcast_seconds(
@@ -78,6 +93,29 @@ def estimate_gather_seconds(
     return max(0, n_shards) * max(1, top_k) * bytes_per_row / link_bytes_per_second
 
 
+def estimate_spawn_seconds(
+    n_workers: int,
+    pool: str = "fresh",
+    spawn_seconds_per_worker: float = DEFAULT_SPAWN_SECONDS_PER_WORKER,
+) -> float:
+    """Modelled process-startup cost of one run.
+
+    ``pool="fresh"`` pays one interpreter spawn per worker (spawns proceed
+    concurrently but contend for the same cores and page cache, so the cost
+    is modelled linear, matching measurements on 2-8 worker pools);
+    ``pool="keep"`` runs on the process-wide warm fleet whose spawn was paid
+    by an earlier run — zero marginal cost.  One worker always runs inline
+    (no pool at all).
+    """
+    if n_workers < 1:
+        raise ValueError("n_workers must be positive")
+    if pool not in ("keep", "fresh"):
+        raise ValueError(f"pool must be 'keep' or 'fresh', got {pool!r}")
+    if n_workers == 1 or pool == "keep":
+        return 0.0
+    return n_workers * max(0.0, spawn_seconds_per_worker)
+
+
 def shard_imbalance(shard_sizes: Sequence[int], n_workers: int) -> float:
     """Makespan inflation of pull-based shard scheduling (``>= 1.0``).
 
@@ -113,6 +151,10 @@ def estimate_distributed_run(
     shard_sizes: Sequence[int] | None = None,
     top_k: int = 10,
     link_bytes_per_second: float = DEFAULT_LINK_BYTES_PER_SECOND,
+    pool: str = "keep",
+    shm: bool = False,
+    spawn_seconds_per_worker: float = DEFAULT_SPAWN_SECONDS_PER_WORKER,
+    attach_seconds: float = DEFAULT_ATTACH_SECONDS,
 ) -> Dict[str, object]:
     """Modelled wall-clock and scaling of a sharded multi-process sweep.
 
@@ -133,6 +175,14 @@ def estimate_distributed_run(
     n_shards / shard_sizes:
         The shard plan: explicit sizes win, otherwise ``n_shards``
         near-equal shards (the planner's static default).
+    pool / shm:
+        The data-plane configuration (mirrors ``run_distributed``):
+        ``pool="fresh"`` adds :func:`estimate_spawn_seconds` (per-run
+        process startup), ``pool="keep"`` (default) models the warm fleet
+        — zero marginal spawn cost.  ``shm=True`` replaces the per-worker
+        broadcast with *one* shared-memory publish copy plus a per-worker
+        ``attach_seconds`` map — the term that turns the linear-in-workers
+        broadcast cost into a constant.
 
     Returns
     -------
@@ -176,13 +226,31 @@ def estimate_distributed_run(
     compute_seconds = (
         elements / (per_worker * n_workers) * imbalance if elements else 0.0
     )
-    broadcast_seconds = estimate_broadcast_seconds(
-        dataset_bytes, n_workers, link_bytes_per_second
-    )
+    if shm and n_workers > 1:
+        # One publish copy into shared memory, then every worker maps the
+        # pages — transfer no longer scales with the worker count.
+        broadcast_seconds = estimate_broadcast_seconds(
+            dataset_bytes, 1, link_bytes_per_second
+        )
+        attach_total = n_workers * max(0.0, attach_seconds)
+    else:
+        broadcast_seconds = estimate_broadcast_seconds(
+            dataset_bytes, n_workers, link_bytes_per_second
+        )
+        attach_total = 0.0
     gather_seconds = estimate_gather_seconds(
         len(sizes), top_k, n_workers, link_bytes_per_second=link_bytes_per_second
     )
-    total_seconds = compute_seconds + broadcast_seconds + gather_seconds
+    spawn_seconds = estimate_spawn_seconds(
+        n_workers, pool, spawn_seconds_per_worker
+    )
+    total_seconds = (
+        compute_seconds
+        + broadcast_seconds
+        + attach_total
+        + gather_seconds
+        + spawn_seconds
+    )
 
     ideal_single = elements / per_worker if elements else 0.0
     single_seconds = (
@@ -196,8 +264,12 @@ def estimate_distributed_run(
         "n_shards": len(sizes),
         "per_worker_elements_per_second": per_worker,
         "imbalance": imbalance,
+        "pool": pool,
+        "shm": bool(shm and n_workers > 1),
         "compute_seconds": compute_seconds,
         "broadcast_seconds": broadcast_seconds,
+        "attach_seconds": attach_total,
+        "spawn_seconds": spawn_seconds,
         "gather_seconds": gather_seconds,
         "estimated_seconds": total_seconds,
         "elements_per_second": (

@@ -73,6 +73,14 @@ class SearchPipeline:
         Restore completed stages and shards from the checkpoint directory
         instead of re-executing them (fingerprints validated; safe to pass
         when no checkpoint exists yet).
+    pool / shm:
+        Worker-fleet and data-plane knobs of the distributed sweep stages:
+        ``pool="keep"`` (default) runs every stage on one process-wide warm
+        worker fleet — the pipeline spawns processes once, and screen,
+        expand and permutation stages all reuse them; ``pool="fresh"``
+        spawns per stage.  ``shm`` controls the shared-memory data plane
+        (``"on"``/``"off"``/``"auto"``; see
+        :func:`repro.distributed.run_distributed`).
     """
 
     def __init__(
@@ -91,6 +99,8 @@ class SearchPipeline:
         workers: int = 1,
         checkpoint: str | None = None,
         resume: bool = False,
+        pool: str = "keep",
+        shm: object = None,
     ) -> None:
         stages = list(stages)
         if not stages:
@@ -101,6 +111,8 @@ class SearchPipeline:
         self.workers = workers
         self.checkpoint = checkpoint
         self.resume = resume
+        self.pool = pool
+        self.shm = shm
         self.defaults = PipelineDefaults(
             approach=approach,
             objective=objective,
@@ -141,6 +153,8 @@ class SearchPipeline:
             workers=self.workers,
             checkpoint_dir=self.checkpoint,
             resume=self.resume,
+            pool=self.pool,
+            shm=self.shm,
         )
         ledger = self._open_ledger(dataset)
         reports: List[StageReport] = []

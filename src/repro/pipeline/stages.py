@@ -106,6 +106,13 @@ class StageContext:
     checkpoint_dir: str | None = None
     resume: bool = False
     stage_index: int = 0
+    #: Warm-fleet / data-plane knobs threaded into every distributed stage
+    #: sweep (see :func:`repro.distributed.run_distributed`): with the
+    #: default ``pool="keep"`` all stages (and the permutation null) reuse
+    #: one process-wide worker fleet and the shared-memory segments it
+    #: keeps alive.
+    pool: str = "keep"
+    shm: object = None
 
     @property
     def distributed(self) -> bool:
@@ -222,6 +229,8 @@ class PipelineStage(ABC):
                 collect_snp_minima=collect_minima,
                 progress=ctx.stage_progress(self.name),
                 cancel=ctx.cancel,
+                pool=ctx.pool,
+                shm=ctx.shm,
             )
             if outcome.cancelled or not outcome.completed:
                 raise RuntimeError(
@@ -537,29 +546,43 @@ class PermutationStage(PipelineStage):
             ledger.write()
 
         null_started = time.perf_counter()
-        for perm in range(start_perm, self.n_permutations):
-            if ctx.cancel is not None and ctx.cancel.cancelled:
-                _record(perm)
-                raise RuntimeError(
-                    f"permutation stage cancelled after {perm} of "
-                    f"{self.n_permutations} permutations"
+        if ctx.workers > 1:
+            self._null_fleet(
+                ctx,
+                detector,
+                sliced,
+                local_combos,
+                observed_scores,
+                exceed,
+                start_perm,
+                rng,
+                _record,
+                progress,
+            )
+        else:
+            for perm in range(start_perm, self.n_permutations):
+                if ctx.cancel is not None and ctx.cancel.cancelled:
+                    _record(perm)
+                    raise RuntimeError(
+                        f"permutation stage cancelled after {perm} of "
+                        f"{self.n_permutations} permutations"
+                    )
+                permuted = GenotypeDataset(
+                    genotypes=sliced.genotypes,
+                    phenotypes=rng.permutation(sliced.phenotypes),
+                    snp_names=list(sliced.snp_names),
                 )
-            permuted = GenotypeDataset(
-                genotypes=sliced.genotypes,
-                phenotypes=rng.permutation(sliced.phenotypes),
-                snp_names=list(sliced.snp_names),
-            )
-            # Permuted datasets are scored exactly once; bypass the encoding
-            # cache so the null loop neither hashes every relabelling nor
-            # evicts the reusable sweep-stage encodings.
-            null_scores = detector.score_combinations(
-                permuted, local_combos, cache=False
-            )
-            exceed += null_scores <= observed_scores
-            if (perm + 1) % self.checkpoint_every == 0:
-                _record(perm + 1)
-            if progress is not None:
-                progress(perm + 1, self.n_permutations)
+                # Permuted datasets are scored exactly once; bypass the
+                # encoding cache so the null loop neither hashes every
+                # relabelling nor evicts the reusable sweep-stage encodings.
+                null_scores = detector.score_combinations(
+                    permuted, local_combos, cache=False
+                )
+                exceed += null_scores <= observed_scores
+                if (perm + 1) % self.checkpoint_every == 0:
+                    _record(perm + 1)
+                if progress is not None:
+                    progress(perm + 1, self.n_permutations)
         _record(self.n_permutations)
         elapsed = observed_run.stats.elapsed_seconds + (
             time.perf_counter() - null_started
@@ -583,7 +606,153 @@ class PermutationStage(PipelineStage):
                 "seed": self.seed,
                 "min_attainable_p": 1.0 / (1 + self.n_permutations),
                 **({"resumed_at": start_perm} if start_perm else {}),
+                **(
+                    {"null_workers": ctx.workers, "pool": ctx.pool}
+                    if ctx.workers > 1
+                    else {}
+                ),
             },
         )
         report.elapsed_seconds = elapsed
         return report
+
+    def _null_fleet(
+        self,
+        ctx: StageContext,
+        detector: EpistasisDetector,
+        sliced: GenotypeDataset,
+        local_combos: np.ndarray,
+        observed_scores: np.ndarray,
+        exceed: np.ndarray,
+        start_perm: int,
+        rng: np.random.Generator,
+        record: Callable[[int], None],
+        progress: Callable[[int, int], None] | None,
+    ) -> None:
+        """Score the permutation null on the (warm) worker fleet.
+
+        Bit-identity with the inline loop is preserved by drawing every
+        relabelling from the RNG stream *in the parent, in order*: workers
+        only score the relabelled phenotype vectors they are shipped (the
+        genotypes ride the shared-memory data plane, so each batch is a few
+        kilobytes of deltas).  Draws proceed in windows of
+        ``checkpoint_every`` permutations; the ledger is written at window
+        boundaries, where the live RNG state matches ``perm_done`` draws
+        exactly — so inline, fleet and resumed runs all continue the same
+        permutation stream.  Exceedance folding is integer addition and
+        therefore order-independent across a window's batches.
+
+        A worker death breaks the pool mid-window: the fleet respawns once
+        and only the batches that never folded are re-dispatched; a second
+        break raises (progress up to the last checkpoint is in the ledger).
+        """
+        from concurrent.futures import FIRST_COMPLETED, wait
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.distributed.coordinator import (
+            _payload_approach_kwargs,
+            resolve_shm,
+        )
+        from repro.distributed.fleet import WorkerFleet, get_fleet
+        from repro.distributed.runner import WorkerPayload, _run_null_batch
+        from repro.distributed.shm import note_event, publish_dataset, shared_store
+
+        cfg = detector.config
+        keep = ctx.pool == "keep"
+        dedicated: WorkerFleet | None = None
+        if keep:
+            fleet = get_fleet(ctx.workers)
+        else:
+            fleet = dedicated = WorkerFleet(ctx.workers)
+        session = None
+        dataset_for_workers: object = sliced
+        try:
+            if resolve_shm(ctx.shm, ctx.workers):
+                session = (
+                    fleet.store_session() if keep else shared_store().session()
+                )
+                dataset_for_workers = publish_dataset(sliced, session=session)
+            payload = WorkerPayload(
+                dataset=dataset_for_workers,
+                source=ExplicitCombinationSource(local_combos),
+                approach=cfg.approach,
+                objective=cfg.objective,
+                n_threads=cfg.n_workers,
+                chunk_size=cfg.chunk_size,
+                top_k=cfg.top_k,
+                validate=cfg.validate,
+                devices=cfg.devices,
+                schedule=cfg.schedule,
+                approach_kwargs=_payload_approach_kwargs(cfg, None),
+            )
+            for window_start in range(
+                start_perm, self.n_permutations, self.checkpoint_every
+            ):
+                if ctx.cancel is not None and ctx.cancel.cancelled:
+                    record(window_start)
+                    raise RuntimeError(
+                        f"permutation stage cancelled after {window_start} of "
+                        f"{self.n_permutations} permutations"
+                    )
+                window_end = min(
+                    window_start + self.checkpoint_every, self.n_permutations
+                )
+                draws = np.stack(
+                    [
+                        rng.permutation(sliced.phenotypes)
+                        for _ in range(window_start, window_end)
+                    ]
+                )
+                chunk = max(1, -(-len(draws) // ctx.workers))
+                chunks = [
+                    draws[i : i + chunk] for i in range(0, len(draws), chunk)
+                ]
+                folded = [False] * len(chunks)
+                futures = {
+                    fleet.submit(_run_null_batch, payload, local_combos, part): i
+                    for i, part in enumerate(chunks)
+                }
+                respawned = False
+                while futures:
+                    done, _ = wait(set(futures), return_when=FIRST_COMPLETED)
+                    broken: BaseException | None = None
+                    for future in done:
+                        index = futures.pop(future)
+                        try:
+                            scores = future.result()
+                        except BrokenProcessPool as exc:
+                            broken = broken or exc
+                            continue
+                        if not folded[index]:
+                            folded[index] = True
+                            for row in scores:
+                                exceed += row <= observed_scores
+                    if broken is not None:
+                        if respawned:
+                            raise RuntimeError(
+                                "a permutation worker process died mid-run "
+                                "(killed or crashed); progress up to the last "
+                                "checkpoint is preserved in the ledger — rerun "
+                                "with resume to continue"
+                            ) from broken
+                        respawned = True
+                        note_event("pool_respawns")
+                        for future in futures:
+                            future.cancel()
+                        futures = {}
+                        fleet.respawn()
+                        futures = {
+                            fleet.submit(
+                                _run_null_batch, payload, local_combos, part
+                            ): i
+                            for i, part in enumerate(chunks)
+                            if not folded[i]
+                        }
+                record(window_end)
+                if progress is not None:
+                    progress(window_end, self.n_permutations)
+        finally:
+            if dedicated is not None:
+                dedicated.shutdown()
+            if session is not None and not keep:
+                session.close()

@@ -1,0 +1,311 @@
+"""Tests of the shared-memory data plane and the warm worker fleets.
+
+The acceptance properties of PR 6:
+
+* **segment lifecycle** — publish/attach/reuse/unlink is refcounted
+  through :class:`StoreSession`; the last session closing unlinks owned
+  segments, double publishes are no-ops, torn (half-written) segments are
+  detected and republished;
+* **zero re-packs** — a second ``detect()`` on the warm fleet ships no
+  pickled arrays and misses the encoding cache exactly zero times;
+* **fault tolerance** — a worker SIGKILLed mid-run breaks the pool once,
+  the fleet respawns, un-completed shards are re-dispatched, and the
+  result is bit-identical to an undisturbed run;
+* **bit-identity** — warm-pool runs (including checkpoint/resume slicing
+  and the fleet-backed permutation null) match the inline ``workers=1``
+  path exactly.
+
+Real OS process spawns are expensive on CI, so multi-process coverage is
+concentrated in a few tests sharing the process-wide warm fleet; the
+segment-lifecycle tests run entirely in-process.
+"""
+
+from __future__ import annotations
+
+import os
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.core.detector import DetectorConfig
+from repro.core.encoding_cache import ENCODING_CACHE, encoding_cache_key
+from repro.datasets import PlantedInteraction, SyntheticConfig, generate_dataset
+from repro.distributed import run_distributed
+from repro.distributed.runner import FAULT_ENV
+from repro.distributed.shm import (
+    DatasetHandle,
+    data_plane_snapshot,
+    hydrate_dataset,
+    publish_dataset,
+    shared_store,
+    _key_text,
+    _segment_name,
+)
+from repro.engine import DenseRangeSource
+from repro.pipeline import ExpandStage, PermutationStage, ScreenStage, SearchPipeline
+
+PLANTED = (3, 11, 17)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_dataset(
+        SyntheticConfig(
+            n_snps=20,
+            n_samples=256,
+            interaction=PlantedInteraction(snps=PLANTED, model="xor", effect=0.9),
+            seed=11,
+        )
+    )
+
+
+def _delta(before, after=None):
+    after = after if after is not None else data_plane_snapshot()
+    return {k: v - before.get(k, 0) for k, v in after.items() if v - before.get(k, 0)}
+
+
+class TestSegmentLifecycle:
+    def test_publish_load_roundtrip(self):
+        store = shared_store()
+        key = ("test-roundtrip", 1)
+        arrays = {
+            "a": np.arange(12, dtype=np.uint64).reshape(3, 4),
+            "b": np.ones(5, dtype=np.int8),
+        }
+        with store.session() as session:
+            store.publish(key, arrays, {"tag": "x"}, session=session)
+            loaded, meta = store.load(key, session=session)
+            assert meta["tag"] == "x"
+            for name, expected in arrays.items():
+                np.testing.assert_array_equal(loaded[name], expected)
+                assert loaded[name].dtype == expected.dtype
+                # Attached views are read-only: workers cannot corrupt the
+                # shared pages.
+                with pytest.raises(ValueError):
+                    loaded[name][0] = 0
+
+    def test_unlink_after_last_session_closes(self):
+        store = shared_store()
+        key = ("test-unlink", 2)
+        name = _segment_name(_key_text(key), store.prefix)
+        s1 = store.session()
+        s2 = store.session()
+        store.publish(key, {"v": np.zeros(4)}, {}, session=s1)
+        store.load(key, session=s2)
+        s1.close()
+        # Still retained by the second session.
+        seg = shared_memory.SharedMemory(name=name)
+        seg.close()
+        s2.close()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_double_publish_is_noop(self):
+        store = shared_store()
+        key = ("test-double", 3)
+        before = data_plane_snapshot()
+        with store.session() as session:
+            store.publish(key, {"v": np.arange(8)}, {}, session=session)
+            store.publish(key, {"v": np.arange(8)}, {}, session=session)
+            delta = _delta(before)
+            assert delta.get("segments_published") == 1
+            assert delta.get("segments_reused") == 1
+
+    def test_torn_segment_republished(self):
+        # A crashed publisher leaves a segment without the trailing magic
+        # write; the next publish must detect it, unlink and republish.
+        store = shared_store()
+        key = ("test-torn", 4)
+        name = _segment_name(_key_text(key), store.prefix)
+        torn = shared_memory.SharedMemory(name=name, create=True, size=64)
+        torn.buf[:8] = b"\x00" * 8  # no magic: torn write
+        torn.close()
+        before = data_plane_snapshot()
+        with store.session() as session:
+            store.publish(key, {"v": np.arange(3)}, {"ok": True}, session=session)
+            loaded, meta = store.load(key, session=session)
+            assert meta["ok"] is True
+            np.testing.assert_array_equal(loaded["v"], np.arange(3))
+            assert _delta(before).get("segments_stale_republished") == 1
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_dataset_publish_hydrate_roundtrip(self, dataset):
+        store = shared_store()
+        with store.session() as session:
+            handle = publish_dataset(dataset, session=session)
+            assert isinstance(handle, DatasetHandle)
+            assert handle.content_digest() == dataset.content_digest()
+            hydrated = hydrate_dataset(handle)
+            np.testing.assert_array_equal(hydrated.genotypes, dataset.genotypes)
+            np.testing.assert_array_equal(hydrated.phenotypes, dataset.phenotypes)
+            assert list(hydrated.snp_names) == list(dataset.snp_names)
+            assert hydrated.content_digest() == dataset.content_digest()
+
+
+class TestSharedEncodingTier:
+    def test_shared_tier_hit_counts(self, dataset):
+        from repro.core.approaches import get_approach
+
+        approach = get_approach("cpu-v4")
+        key = encoding_cache_key(dataset, approach)
+        assert key is not None
+        calls = []
+
+        def loader(k):
+            calls.append(k)
+            return approach.prepare(dataset)
+
+        ENCODING_CACHE.clear()
+        ENCODING_CACHE.attach_shared_tier(loader)
+        try:
+            before = ENCODING_CACHE.shm_hits
+            built = []
+            ENCODING_CACHE.get_or_build(key, lambda: built.append(1))
+            assert ENCODING_CACHE.shm_hits == before + 1
+            assert calls == [key]
+            assert not built  # the shared tier supplied it; builder unused
+            # Second lookup is a plain local hit, not a shared-tier fetch.
+            ENCODING_CACHE.get_or_build(key, lambda: built.append(1))
+            assert ENCODING_CACHE.shm_hits == before + 1
+            assert calls == [key]
+        finally:
+            ENCODING_CACHE.detach_shared_tier()
+            ENCODING_CACHE.clear()
+
+
+class TestWarmFleetRuns:
+    """Multi-process coverage sharing one warm 2-worker fleet."""
+
+    def _config(self):
+        return DetectorConfig(approach="cpu-v4", order=2, top_k=5)
+
+    def test_zero_repacks_on_second_run(self, dataset):
+        source = DenseRangeSource(dataset.n_snps, 2)
+        config = self._config()
+        first = run_distributed(
+            dataset, source, config=config, workers=2, pool="keep", shm="on"
+        )
+        second = run_distributed(
+            dataset, source, config=config, workers=2, pool="keep", shm="on"
+        )
+        assert [ (i.snps, i.score) for i in first.top ] == [
+            (i.snps, i.score) for i in second.top
+        ]
+        # First contact publishes the dataset + encoding and every worker
+        # attaches the dataset instead of unpickling it.
+        assert first.data_plane.get("dataset_published", 0) == 1
+        assert first.data_plane.get("encoding_published", 0) == 1
+        assert first.data_plane.get("dataset_shm_attached", 0) >= 1
+        assert first.data_plane.get("dataset_pickled", 0) == 0
+        assert first.data_plane.get("dataset_unpickled", 0) == 0
+        # Warm run: segments reused, worker contexts reused, nothing
+        # re-packed, nothing shipped.
+        assert second.data_plane.get("segments_reused", 0) >= 1
+        assert second.data_plane.get("worker_context_reused", 0) >= 1
+        assert second.data_plane.get("encoding_cache_misses", 0) == 0
+        assert second.data_plane.get("dataset_pickled", 0) == 0
+        assert second.data_plane.get("dataset_unpickled", 0) == 0
+        assert second.data_plane.get("worker_context_built", 0) == 0
+
+    def test_warm_pool_matches_inline(self, dataset):
+        source = DenseRangeSource(dataset.n_snps, 2)
+        config = self._config()
+        inline = run_distributed(dataset, source, config=config, workers=1)
+        warm = run_distributed(
+            dataset, source, config=config, workers=2, pool="keep"
+        )
+        assert [(i.snps, i.score) for i in inline.top] == [
+            (i.snps, i.score) for i in warm.top
+        ]
+
+    def test_shard_budget_resume_on_warm_pool(self, dataset, tmp_path):
+        source = DenseRangeSource(dataset.n_snps, 2)
+        config = self._config()
+        ledger = tmp_path / "budget.json"
+        partial = run_distributed(
+            dataset, source, config=config, workers=2, pool="keep",
+            checkpoint=str(ledger), shard_budget=3,
+        )
+        assert not partial.completed
+        assert partial.shards_done == 3
+        resumed = run_distributed(
+            dataset, source, config=config, workers=2, pool="keep",
+            checkpoint=str(ledger), resume=True,
+        )
+        assert resumed.completed
+        assert resumed.shards_restored == 3
+        inline = run_distributed(dataset, source, config=config, workers=1)
+        assert [(i.snps, i.score) for i in resumed.top] == [
+            (i.snps, i.score) for i in inline.top
+        ]
+
+    def test_pipeline_permutation_fleet_matches_inline(self, dataset):
+        def run(workers):
+            pipeline = SearchPipeline(
+                [
+                    ScreenStage(order=2, keep=10),
+                    ExpandStage(order=3),
+                    PermutationStage(
+                        n_permutations=24, seed=7, checkpoint_every=8
+                    ),
+                ],
+                approach="cpu-v4",
+                workers=workers,
+            )
+            return pipeline.run(dataset)
+
+        inline = run(1)
+        fleet = run(2)
+        assert [i.snps for i in inline.top] == [i.snps for i in fleet.top]
+        assert [i.score for i in inline.top] == [i.score for i in fleet.top]
+        assert inline.p_values == fleet.p_values
+        assert fleet.stages[-1].extra["null_workers"] == 2
+
+    def test_pipeline_checkpoint_replay_with_warm_pool(self, dataset, tmp_path):
+        def pipeline(resume):
+            return SearchPipeline(
+                [
+                    ScreenStage(order=2, keep=10),
+                    ExpandStage(order=3),
+                    PermutationStage(
+                        n_permutations=16, seed=3, checkpoint_every=4
+                    ),
+                ],
+                approach="cpu-v4",
+                workers=2,
+                checkpoint=str(tmp_path / "ckpt"),
+                resume=resume,
+            ).run(dataset)
+
+        first = pipeline(False)
+        replayed = pipeline(True)
+        assert [i.snps for i in first.top] == [i.snps for i in replayed.top]
+        assert first.p_values == replayed.p_values
+        assert all(s.extra.get("resumed") for s in replayed.stages)
+
+    def test_worker_death_recovers_and_matches(self, dataset, tmp_path):
+        # pool="fresh" so the trigger env var set *now* reaches the worker
+        # processes (a keep-fleet spawned by an earlier test never saw it).
+        source = DenseRangeSource(dataset.n_snps, 2)
+        config = self._config()
+        trigger = tmp_path / "kill-one-worker"
+        trigger.touch()
+        os.environ[FAULT_ENV] = str(trigger)
+        try:
+            outcome = run_distributed(
+                dataset, source, config=config, workers=2, pool="fresh"
+            )
+        finally:
+            os.environ.pop(FAULT_ENV, None)
+        assert outcome.completed
+        # The trigger was consumed: exactly one worker died, the pool
+        # respawned exactly once, and the merge is still bit-identical.
+        assert not trigger.exists()
+        assert (tmp_path / "kill-one-worker.consumed").exists()
+        assert outcome.data_plane.get("pool_respawns", 0) == 1
+        inline = run_distributed(dataset, source, config=config, workers=1)
+        assert [(i.snps, i.score) for i in outcome.top] == [
+            (i.snps, i.score) for i in inline.top
+        ]
