@@ -65,6 +65,11 @@ CHECK_TOLERANCE = 0.30
 #: The entry every throughput is normalized by in ``--check`` mode.
 REFERENCE_KEY = "split/u32/k3/k2"
 
+#: Per-backend gate of ``--check``: a compiled CPU backend may not run the
+#: split/k3 probe slower than this fraction of the numpy reference (a JIT
+#: backend losing to the interpreter is a regression, machine-independent).
+BACKEND_CHECK_FLOOR = 1.0
+
 
 def _dataset(quick: bool):
     if quick:
@@ -325,6 +330,54 @@ def check_against_baseline(doc: dict, baseline_path: Path) -> int:
     return 0
 
 
+def check_backends(repeats: int = 2) -> int:
+    """Per-backend regression gate of ``--check``.
+
+    Probes the split/k3 kernel through every *available* CPU execution
+    backend (:mod:`repro.backends`) and fails when a compiled backend
+    falls below :data:`BACKEND_CHECK_FLOOR` times the numpy reference
+    measured in the same run — self-normalizing, so no committed baseline
+    is needed.  On a numpy-only host the gate reports a skip.
+    """
+    from repro.backends import get_backend, list_backends, run_probe
+
+    names = [
+        row["name"]
+        for row in list_backends()
+        if row["available"] and row["kind"] == "cpu"
+    ]
+    if names == ["numpy"]:
+        print("per-backend gate: only numpy available, skipped")
+        return 0
+    rates = {}
+    for name in names:
+        record = run_probe(
+            get_backend(name),
+            family="split",
+            order=3,
+            n_snps=32,
+            n_samples=2048,
+            repeats=repeats,
+        )
+        rates[name] = record.combos_per_second
+    failures = []
+    for name, rate in rates.items():
+        if name == "numpy":
+            continue
+        ratio = rate / rates["numpy"]
+        print(f"per-backend gate: {name} split/k3 at {ratio:.2f}x numpy")
+        if ratio < BACKEND_CHECK_FLOOR:
+            failures.append(
+                f"{name}: {ratio:.2f}x numpy (floor {BACKEND_CHECK_FLOOR:.2f}x)"
+            )
+    if failures:
+        print("per-backend regression gate failed:")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    return 0
+
+
 def emit(doc: dict, path: Path = ARTIFACT) -> None:
     path.write_text(json.dumps(doc, indent=2) + "\n")
     e2e = doc["full"]["end_to_end"]
@@ -343,6 +396,7 @@ def test_hotpath_benchmark_smoke():
     doc = run_benchmark(quick=True, repeats=2)
     assert doc["end_to_end"]["speedup_after_vs_before"] > 1.0
     assert check_against_baseline(doc, ARTIFACT) == 0
+    assert check_backends(repeats=1) == 0
 
 
 def main(argv=None) -> int:
@@ -370,7 +424,7 @@ def main(argv=None) -> int:
             f"measured end-to-end speedup (quick): "
             f"{e2e['speedup_after_vs_before']:.2f}x"
         )
-        return check_against_baseline(doc, ARTIFACT)
+        return check_against_baseline(doc, ARTIFACT) or check_backends(args.repeats)
     if args.quick:
         doc = run_benchmark(quick=True, repeats=args.repeats)
         e2e = doc["end_to_end"]

@@ -4,8 +4,19 @@ The canonical build configuration lives in ``pyproject.toml``.  This file
 exists so that environments with an older setuptools/pip tool-chain (no
 ``bdist_wheel`` support) can still perform an editable install via
 ``pip install -e . --no-use-pep517`` or ``python setup.py develop``.
+
+The optional execution backends are exposed as extras so a host can opt
+into the compiled kernel paths (``pip install -e ".[numba]"`` /
+``".[cupy]"``); without them the library runs everywhere on the NumPy
+reference backend with bit-identical results.
 """
 
 from setuptools import setup
 
-setup()
+setup(
+    extras_require={
+        "numba": ["numba>=0.57"],
+        "cupy": ["cupy-cuda12x>=12.0"],
+        "backends": ["numba>=0.57", "cupy-cuda12x>=12.0"],
+    }
+)

@@ -1,0 +1,223 @@
+"""Numba-JIT backend: compiled popcount+contingency hot loops.
+
+Both kernel families are compiled to ``nopython`` machine code with
+``prange`` parallelism over the combination batch.  The inner loop streams
+the packed words of one combination once, keeps the ``3^k`` partial counts
+in a thread-local accumulator and resolves each genotype cell through the
+precomputed radix-3 digit table of :func:`repro.backends.base.cell_digits`
+— no broadcast intermediates, O(1) transient memory per thread whatever
+the sample count.
+
+The population count is a SWAR (SIMD-within-a-register) sequence over
+``uint64`` with explicitly typed constants: numba follows NumPy's scalar
+promotion rules, where a ``uint64``/``int64`` mix decays to ``float64``, so
+every mask and shift amount is pinned to ``np.uint64``.  ``uint32`` words
+are zero-extended through the same path, which lets one compiled body
+serve both word layouts (bit patterns are preserved either way).
+
+Compilation is cached in-process, keyed by ``(family, order, layout)``;
+the first call per key pays the JIT cost (~1 s), later calls dispatch
+directly.  Everything numba is imported lazily: importing this module on a
+host without numba succeeds, and :meth:`NumbaBackend.availability` reports
+the reason.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.backends.base import ExecutionBackend, cell_digits
+from repro.bitops.packing import layout_of
+
+__all__ = ["NumbaBackend"]
+
+#: Lazily built jit helpers shared by both kernel factories.
+_TOOLS: Dict[str, object] = {}
+
+#: Compiled dispatchers keyed by ``(family, order, layout_name)``.
+_KERNEL_CACHE: Dict[Tuple[str, int, str], Callable] = {}
+
+
+def _jit_tools() -> Dict[str, object]:
+    """Import numba and build the shared jitted helpers (once)."""
+    if _TOOLS:
+        return _TOOLS
+    from numba import njit
+
+    # SWAR popcount constants, all pinned to uint64 so the arithmetic never
+    # decays to float64 under NumPy promotion (uint64 op int64 -> float64).
+    m1 = np.uint64(0x5555555555555555)
+    m2 = np.uint64(0x3333333333333333)
+    m4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+    h01 = np.uint64(0x0101010101010101)
+    s1 = np.uint64(1)
+    s2 = np.uint64(2)
+    s4 = np.uint64(4)
+    s56 = np.uint64(56)
+
+    @njit(inline="always")
+    def popcount(word):
+        v = np.uint64(word)
+        v = v - ((v >> s1) & m1)
+        v = (v & m2) + ((v >> s2) & m2)
+        v = (v + (v >> s4)) & m4
+        return np.int64((v * h01) >> s56)
+
+    _TOOLS["njit"] = njit
+    _TOOLS["popcount"] = popcount
+    return _TOOLS
+
+
+def _compile_split(order: int):
+    """Compile the phenotype-split kernel for one interaction order."""
+    tools = _jit_tools()
+    njit, popcount = tools["njit"], tools["popcount"]
+    from numba import prange
+
+    cells = 3**order
+
+    @njit(parallel=True, nogil=True)
+    def kernel(planes, mask, combos, digits, out):
+        n_combos = combos.shape[0]
+        n_words = planes.shape[2]
+        for i in prange(n_combos):
+            g = np.empty((order, 3), dtype=planes.dtype)
+            counts = np.zeros(cells, dtype=np.int64)
+            for w in range(n_words):
+                for t in range(order):
+                    s = combos[i, t]
+                    p0 = planes[s, 0, w]
+                    p1 = planes[s, 1, w]
+                    g[t, 0] = p0
+                    g[t, 1] = p1
+                    g[t, 2] = ~(p0 | p1) & mask[w]
+                for c in range(cells):
+                    word = g[0, digits[c, 0]]
+                    for t in range(1, order):
+                        word &= g[t, digits[c, t]]
+                    counts[c] += popcount(word)
+            for c in range(cells):
+                out[i, c] = counts[c]
+
+    return kernel
+
+
+def _compile_naive(order: int):
+    """Compile the naïve three-plane kernel for one interaction order."""
+    tools = _jit_tools()
+    njit, popcount = tools["njit"], tools["popcount"]
+    from numba import prange
+
+    cells = 3**order
+
+    @njit(parallel=True, nogil=True)
+    def kernel(planes, phen, combos, digits, out):
+        n_combos = combos.shape[0]
+        n_words = planes.shape[2]
+        for i in prange(n_combos):
+            g = np.empty((order, 3), dtype=planes.dtype)
+            counts = np.zeros((cells, 2), dtype=np.int64)
+            for w in range(n_words):
+                ph = phen[w]
+                # Plane padding bits are zero, so AND-ing with ~phenotype is
+                # safe even though the complement sets the padding bits.
+                nph = ~ph
+                for t in range(order):
+                    s = combos[i, t]
+                    g[t, 0] = planes[s, 0, w]
+                    g[t, 1] = planes[s, 1, w]
+                    g[t, 2] = planes[s, 2, w]
+                for c in range(cells):
+                    word = g[0, digits[c, 0]]
+                    for t in range(1, order):
+                        word &= g[t, digits[c, t]]
+                    counts[c, 0] += popcount(word & nph)
+                    counts[c, 1] += popcount(word & ph)
+            for c in range(cells):
+                out[i, c, 0] = counts[c, 0]
+                out[i, c, 1] = counts[c, 1]
+
+    return kernel
+
+
+class NumbaBackend(ExecutionBackend):
+    """JIT-compiled CPU kernels (``nopython`` + ``prange``)."""
+
+    name = "numba"
+    kind = "cpu"
+    description = "Numba nopython+parallel JIT of both kernel families"
+
+    _availability: tuple[bool, str] | None = None
+
+    @classmethod
+    def availability(cls) -> tuple[bool, str]:
+        if cls._availability is None:
+            try:
+                import numba
+
+                cls._availability = (True, numba.__version__)
+            except Exception as exc:  # pragma: no cover - host-dependent
+                cls._availability = (False, f"numba unavailable ({exc})")
+        return cls._availability
+
+    # -- compilation cache -----------------------------------------------------
+    @classmethod
+    def kernel_for(cls, family: str, order: int, layout_name: str) -> Callable:
+        """The compiled dispatcher for ``(family, order, layout)``.
+
+        The layout keys the cache for explicitness even though one compiled
+        body serves both word widths — each entry owns its specialisation,
+        and the calibration fingerprints line up one-to-one with cache keys.
+        """
+        key = (family, int(order), layout_name)
+        kernel = _KERNEL_CACHE.get(key)
+        if kernel is None:
+            factory = _compile_split if family == "split" else _compile_naive
+            kernel = factory(int(order))
+            _KERNEL_CACHE[key] = kernel
+        return kernel
+
+    # -- kernel contracts ------------------------------------------------------
+    def naive_tables(
+        self,
+        planes: np.ndarray,
+        phenotype_words: np.ndarray,
+        combos: np.ndarray,
+    ) -> np.ndarray:
+        combos = np.ascontiguousarray(combos, dtype=np.int64)
+        order = int(combos.shape[1])
+        out = np.zeros((combos.shape[0], 3**order, 2), dtype=np.int64)
+        if combos.shape[0] == 0 or planes.shape[2] == 0:
+            return out
+        kernel = self.kernel_for("naive", order, layout_of(planes).name)
+        kernel(
+            np.ascontiguousarray(planes),
+            np.ascontiguousarray(phenotype_words),
+            combos,
+            cell_digits(order),
+            out,
+        )
+        return out
+
+    def split_class_counts(
+        self,
+        class_planes: np.ndarray,
+        padding_mask: np.ndarray,
+        combos: np.ndarray,
+    ) -> np.ndarray:
+        combos = np.ascontiguousarray(combos, dtype=np.int64)
+        order = int(combos.shape[1])
+        out = np.zeros((combos.shape[0], 3**order), dtype=np.int64)
+        if combos.shape[0] == 0 or class_planes.shape[2] == 0:
+            return out
+        kernel = self.kernel_for("split", order, layout_of(class_planes).name)
+        kernel(
+            np.ascontiguousarray(class_planes),
+            np.ascontiguousarray(padding_mask),
+            combos,
+            cell_digits(order),
+            out,
+        )
+        return out

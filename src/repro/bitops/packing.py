@@ -150,9 +150,9 @@ def default_layout() -> WordLayout:
     forced = os.environ.get("REPRO_WORD_WIDTH", "").strip().lower()
     if forced:
         if forced not in WORD_LAYOUTS:
-            raise KeyError(
+            raise ValueError(
                 f"REPRO_WORD_WIDTH={forced!r} is not a known word layout; "
-                f"use 32 or 64"
+                f"valid values: {sorted(WORD_LAYOUTS)}"
             )
         return WORD_LAYOUTS[forced]
     return WORD64 if hasattr(np, "bitwise_count") else WORD32

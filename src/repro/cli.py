@@ -13,6 +13,9 @@ points without writing any Python:
   and permutation stages) with a retention budget (``--retain``); the same
   ``--workers``/``--checkpoint``/``--resume`` flags shard and checkpoint
   every sweep stage;
+* ``backends`` — report the execution backends (availability, versions,
+  calibrated throughput) and optionally run the micro-calibration probes
+  (``--calibrate``) feeding the CARM splitter's measured mode;
 * ``devices`` — print Tables I and II (the device catalog);
 * ``figures`` — regenerate the paper's figures/tables from the analytical
   models (Figure 2, Figure 3, Figure 4, Table III, §V-D comparison,
@@ -154,6 +157,16 @@ def _add_search_options(parser: argparse.ArgumentParser) -> None:
         "(bit-identical results); 'auto' picks 64 when NumPy offers a "
         "native popcount",
     )
+    parser.add_argument(
+        "--backend",
+        choices=("auto", "cupy", "numba", "numpy"),
+        default=None,
+        help="execution backend of the CPU kernel hot loop: 'numpy' is the "
+        "always-available reference, 'numba' JIT-compiles it, 'cupy' runs "
+        "the split kernel on a CUDA device; 'auto' picks numba when "
+        "importable, else numpy (default: the REPRO_BACKEND environment "
+        "variable, else auto). Results are bit-identical across backends",
+    )
     parser.add_argument("--top-k", type=int, default=5)
     parser.add_argument(
         "--devices",
@@ -283,6 +296,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed of the permutation null",
     )
     _add_search_options(pipe)
+
+    back = sub.add_parser(
+        "backends",
+        help="report execution backends (availability, calibrated throughput)",
+    )
+    back.add_argument(
+        "--calibrate",
+        action="store_true",
+        help="run the micro-calibration probes on every available backend "
+        "and persist the measured throughput to the per-host store "
+        "(consumed by '--schedule carm' when a fingerprint-matched record "
+        "exists)",
+    )
+    back.add_argument(
+        "--family",
+        choices=("split", "naive"),
+        default="split",
+        help="kernel family reported/calibrated (default: split, the "
+        "paper's best CPU family)",
+    )
+    back.add_argument(
+        "--order",
+        type=int,
+        default=3,
+        choices=(2, 3, 4, 5),
+        help="interaction order reported/calibrated",
+    )
+    back.add_argument(
+        "--word-width",
+        choices=("32", "64", "auto"),
+        default="auto",
+        help="word layout reported/calibrated (default: the session's "
+        "default layout)",
+    )
+    back.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timed repetitions per calibration probe (best-of)",
+    )
+    back.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report as JSON instead of the table",
+    )
 
     sub.add_parser("devices", help="print the device catalog (Tables I and II)")
 
@@ -434,6 +492,7 @@ def _build_detector(args: argparse.Namespace):
         devices=args.devices,
         schedule=args.schedule,
         word_layout=None if args.word_width == "auto" else args.word_width,
+        backend=args.backend,
     )
 
 
@@ -459,6 +518,9 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(result.summary())
+    backend = result.stats.extra.get("backend")
+    if backend:
+        print(f"backend     : {backend}")
     _print_distributed_summary(result.stats.extra.get("distributed"))
     _print_device_summary(result.stats.extra.get("devices", {}))
     if args.output:
@@ -527,6 +589,94 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_backends(args: argparse.Namespace) -> int:
+    from repro.backends import (
+        BACKENDS,
+        CalibrationStore,
+        calibrate,
+        list_backends,
+        resolve_backend_name,
+    )
+    from repro.bitops.packing import get_layout
+
+    layout = get_layout(None if args.word_width == "auto" else args.word_width)
+    store = CalibrationStore()
+    if args.calibrate:
+        records = calibrate(
+            families=(args.family,),
+            orders=(args.order,),
+            layout=layout,
+            store=store,
+            repeats=args.repeats,
+        )
+        if not args.json:
+            for rec in records:
+                print(
+                    f"calibrated {rec.backend:<6s} {rec.family}/k{rec.order}/"
+                    f"{rec.layout}: {rec.combos_per_second:,.0f} combos/s "
+                    f"({rec.probe_seconds:.2f}s probe)"
+                )
+            print(f"store       : {store.path}")
+
+    default = resolve_backend_name()
+    rows = []
+    for row in list_backends():
+        cls = BACKENDS[row["name"]]
+        record = store.lookup(
+            row["name"],
+            cls.version() or "unknown",
+            args.family,
+            args.order,
+            layout.name,
+        )
+        rows.append(
+            {
+                **row,
+                "default": row["name"] == default,
+                "calibrated_combos_per_second": (
+                    record.combos_per_second if record else None
+                ),
+                "calibrated_elements_per_second": (
+                    record.elements_per_second if record else None
+                ),
+            }
+        )
+
+    if args.json:
+        import json
+
+        print(
+            json.dumps(
+                {
+                    "default": default,
+                    "family": args.family,
+                    "order": args.order,
+                    "layout": layout.name,
+                    "store": str(store.path),
+                    "backends": rows,
+                },
+                indent=2,
+            )
+        )
+        return 0
+
+    print(f"default     : {default} ({args.family}/k{args.order}/{layout.name})")
+    for row in rows:
+        status = "available" if row["available"] else "unavailable"
+        marker = "*" if row["default"] else " "
+        calibrated = (
+            f"{row['calibrated_combos_per_second']:,.0f} combos/s"
+            if row["calibrated_combos_per_second"]
+            else "not calibrated"
+        )
+        print(
+            f"{marker} {row['name']:<6s} [{row['kind']:<3s}] {status:<11s} "
+            f"{row['detail']:<24s} {calibrated}"
+        )
+        print(f"          {row['description']}")
+    return 0
+
+
 def _cmd_devices(_: argparse.Namespace) -> int:
     from repro.experiments.tables import format_table1, format_table2
 
@@ -568,6 +718,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "generate": _cmd_generate,
         "detect": _cmd_detect,
         "pipeline": _cmd_pipeline,
+        "backends": _cmd_backends,
         "devices": _cmd_devices,
         "figures": _cmd_figures,
     }

@@ -54,13 +54,28 @@ class Approach(ABC):
     min_order: ClassVar[int] = MIN_ORDER
     max_order: ClassVar[int] = MAX_ORDER
 
-    def __init__(self, word_layout: WordLayout | str | None = None) -> None:
+    def __init__(
+        self,
+        word_layout: WordLayout | str | None = None,
+        backend: str | None = None,
+    ) -> None:
+        # Deferred import: repro.backends imports the reference kernels from
+        # this package, so the registry must not be touched at module level.
+        from repro.backends import get_backend
+
         self.counter = OpCounter()
         #: Machine-word layout the encodings are packed with (``uint32`` or
         #: ``uint64``; the default follows
         #: :func:`repro.bitops.packing.default_layout`).  Charging stays per
         #: paper word whichever layout runs.
         self.word_layout: WordLayout = get_layout(word_layout)
+        #: Execution backend of the table-construction hot loop (``numpy``,
+        #: ``numba`` or ``cupy``; resolved through
+        #: :func:`repro.backends.get_backend`, so an unavailable optional
+        #: backend degrades to the NumPy reference).  Backends are pure
+        #: execution: op/traffic charging stays in the approach layer, per
+        #: paper word, whichever backend runs.
+        self.backend = get_backend(backend)
 
     # -- encoding -------------------------------------------------------------
     @abstractmethod
@@ -102,6 +117,16 @@ class Approach(ABC):
             ``(n_combos, 3^k, 2)`` ``int64`` frequency tables (column 0 =
             controls, column 1 = cases).
         """
+
+    @property
+    def backend_name(self) -> str:
+        """The execution backend actually running the hot loop.
+
+        GPU approaches override this: they execute on the
+        :mod:`repro.gpusim` modelled twin regardless of the configured
+        backend.
+        """
+        return self.backend.name
 
     # -- bookkeeping ------------------------------------------------------------
     def reset_counter(self) -> None:

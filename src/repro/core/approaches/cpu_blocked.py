@@ -70,8 +70,9 @@ class CpuBlockedApproach(Approach):
         block_samples: int | None = None,
         cpu_spec: CpuSpec | None = None,
         word_layout=None,
+        backend=None,
     ) -> None:
-        super().__init__(word_layout=word_layout)
+        super().__init__(word_layout=word_layout, backend=backend)
         if cpu_spec is None:
             from repro.devices.catalog import cpu as _cpu
 
@@ -152,7 +153,14 @@ class CpuBlockedApproach(Approach):
             mask = split.padding_mask(phenotype_class)
             n_words = planes.shape[2]
             total_words += n_words
-            if n_words <= exec_words:
+            if not self.backend.is_reference:
+                # Compiled backends stream the words inside their kernel
+                # with O(1) transients per thread — the budgeted pass split
+                # below exists only to bound the NumPy broadcast grids.
+                tables[:, :, phenotype_class] = self.backend.split_class_counts(
+                    planes, mask, combos
+                )
+            elif n_words <= exec_words:
                 # Common case: gather + NOR-expand once, one fused pass.
                 selected = expand_split_planes(planes, mask, combos)
                 tables[:, :, phenotype_class] = split_counts_from_planes(selected)

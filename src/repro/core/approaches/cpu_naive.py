@@ -12,8 +12,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.bitops.packing import paper_word_ratio
 from repro.core.approaches.base import Approach
-from repro.core.approaches._kernels import NAIVE_OPS_PER_COMBO_WORD, naive_tables
+from repro.core.approaches._kernels import NAIVE_OPS_PER_COMBO_WORD, charge_naive_ops
 from repro.datasets.binarization import BinarizedDataset
 from repro.datasets.dataset import GenotypeDataset
 
@@ -40,9 +41,19 @@ class CpuNaiveApproach(Approach):
         combos = self._check_combos(combos)
         if combos.size and combos.max() >= encoded.n_snps:
             raise IndexError("combination index exceeds the number of SNPs")
-        return naive_tables(
-            encoded.planes, encoded.phenotype_words, combos, counter=self.counter
+        tables = self.backend.naive_tables(
+            encoded.planes, encoded.phenotype_words, combos
         )
+        # Charging is modelled per paper word and backend-independent: the
+        # same §IV mix whichever backend produced the (bit-identical) tables.
+        charge_naive_ops(
+            self.counter,
+            combos.shape[0],
+            encoded.planes.shape[2],
+            combos.shape[1],
+            word_ratio=paper_word_ratio(encoded.planes),
+        )
+        return tables
 
     def extra_stats(self) -> dict:
         return {"encoding": "3-plane + phenotype", "ops_per_combo_word": 162}

@@ -17,8 +17,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.bitops.packing import paper_word_ratio
 from repro.core.approaches.base import Approach
-from repro.core.approaches._kernels import SPLIT_OPS_PER_COMBO_WORD, split_tables
+from repro.core.approaches._kernels import SPLIT_OPS_PER_COMBO_WORD, charge_split_ops
 from repro.datasets.binarization import PhenotypeSplitDataset
 from repro.datasets.dataset import GenotypeDataset
 
@@ -46,14 +47,22 @@ class CpuNoPhenotypeApproach(Approach):
         combos = self._check_combos(combos)
         if combos.size and combos.max() >= encoded.n_snps:
             raise IndexError("combination index exceeds the number of SNPs")
-        return split_tables(
+        tables = self.backend.split_tables(
             encoded.control_planes,
             encoded.case_planes,
             encoded.padding_mask(0),
             encoded.padding_mask(1),
             combos,
-            counter=self.counter,
         )
+        # Modelled per-paper-word charging, identical whichever backend ran.
+        charge_split_ops(
+            self.counter,
+            combos.shape[0],
+            encoded.control_planes.shape[2] + encoded.case_planes.shape[2],
+            combos.shape[1],
+            word_ratio=paper_word_ratio(encoded.control_planes),
+        )
+        return tables
 
     def extra_stats(self) -> dict:
         return {"encoding": "case/control split, 2 planes", "ops_per_combo_word": 57}

@@ -60,12 +60,14 @@ class CpuVectorizedApproach(CpuBlockedApproach):
         block_samples: int | None = None,
         cpu_spec: CpuSpec | None = None,
         word_layout=None,
+        backend=None,
     ) -> None:
         super().__init__(
             block_snps=block_snps,
             block_samples=block_samples,
             cpu_spec=cpu_spec,
             word_layout=word_layout,
+            backend=backend,
         )
         if isa is None:
             self.isa = self.cpu_spec.vector_isa

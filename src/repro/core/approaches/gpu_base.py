@@ -47,10 +47,17 @@ class GpuApproachBase(Approach):
     #: ``WARP_SIZE`` means one transaction per thread.
     coalescing_factor: ClassVar[float] = float(WARP_SIZE)
 
-    def __init__(self, word_layout=None) -> None:
-        super().__init__(word_layout=word_layout)
+    def __init__(self, word_layout=None, backend=None) -> None:
+        super().__init__(word_layout=word_layout, backend=backend)
         self._warp_load_requests = 0
         self._memory_transactions = 0.0
+
+    @property
+    def backend_name(self) -> str:
+        # GPU approaches execute on the functional simulator whatever
+        # backend is configured: gpusim is the modelled twin that owns the
+        # coalescing/transaction accounting of §IV.
+        return "gpusim"
 
     def _charge_warp_loads(self, n_combos: int, loads_per_combo_word: float,
                            n_words: int) -> None:

@@ -42,8 +42,10 @@ class GpuTiledApproach(GpuNoPhenotypeApproach):
     description = "SNP-tiled layout (blocks of BS SNPs): coalescing + locality"
     coalescing_factor = 1.0
 
-    def __init__(self, block_size: int = 32, bsched: int = 256, word_layout=None) -> None:
-        super().__init__(word_layout=word_layout)
+    def __init__(
+        self, block_size: int = 32, bsched: int = 256, word_layout=None, backend=None
+    ) -> None:
+        super().__init__(word_layout=word_layout, backend=backend)
         if block_size < 1:
             raise ValueError("block_size must be positive")
         if bsched < 1:

@@ -118,6 +118,17 @@ class DetectorConfig:
         NumPy-version-dependent default
         (:func:`repro.bitops.packing.default_layout`).  All instruction and
         traffic accounting stays per 32-bit paper word either way.
+    backend:
+        Execution backend of the table-construction hot loop: ``"numpy"``
+        (reference), ``"numba"`` (JIT-compiled CPU kernels), ``"cupy"``
+        (real CUDA device) or ``"auto"``/``None`` for the registry default
+        (:func:`repro.backends.get_backend`; the ``REPRO_BACKEND``
+        environment variable supplies it when unset).  All backends are
+        bit-exact, and the §IV op/traffic accounting is backend-independent;
+        an unavailable optional backend degrades to ``numpy`` with a
+        warning.  The selection reaches every approach instance the
+        detector builds — both lanes of a heterogeneous plan and the
+        distributed worker processes.
     validate:
         If ``True``, every produced table batch is checked against the
         column-sum invariants (costs a few percent, useful in tests).
@@ -142,11 +153,16 @@ class DetectorConfig:
     devices: str | None = None
     schedule: str | SchedulingPolicy = "dynamic"
     word_layout: str | None = None
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         from repro.engine.autotune import is_auto_chunk
 
         self.order = check_order(self.order)
+        if self.backend is not None:
+            from repro.backends import check_backend_name
+
+            self.backend = check_backend_name(self.backend)
         if self.n_workers < 1:
             raise ValueError("n_workers must be positive")
         if isinstance(self.chunk_size, str):
@@ -185,6 +201,7 @@ class EpistasisDetector:
         devices: str | None = None,
         schedule: str | SchedulingPolicy = "dynamic",
         word_layout: str | None = None,
+        backend: str | None = None,
         config: DetectorConfig | None = None,
         **approach_kwargs,
     ) -> None:
@@ -200,6 +217,7 @@ class EpistasisDetector:
                 devices=devices,
                 schedule=schedule,
                 word_layout=word_layout,
+                backend=backend,
             )
         self.config = config
         self._approach_kwargs = dict(approach_kwargs)
@@ -208,6 +226,11 @@ class EpistasisDetector:
             # this detector builds (both lanes of a heterogeneous plan, and
             # — through approach_kwargs — the distributed worker processes).
             self._approach_kwargs.setdefault("word_layout", config.word_layout)
+        if config.backend is not None:
+            # The execution backend rides the same channel as the word
+            # layout: every lane and every worker process selects the same
+            # backend (graceful fallback included).
+            self._approach_kwargs.setdefault("backend", config.backend)
         if isinstance(config.approach, Approach):
             self._prototype = config.approach
         else:
@@ -256,10 +279,15 @@ class EpistasisDetector:
         # family-agnostic and applies to every lane.
         if name == self._prototype.name:
             kwargs = self._approach_kwargs
-        elif self.config.word_layout is not None:
-            kwargs = {"word_layout": self.config.word_layout}
         else:
-            kwargs = {}
+            kwargs = {
+                key: value
+                for key, value in (
+                    ("word_layout", self.config.word_layout),
+                    ("backend", self.config.backend),
+                )
+                if value is not None
+            }
         return get_approach(name, **kwargs)
 
     @staticmethod
@@ -341,6 +369,15 @@ class EpistasisDetector:
         policy = get_policy(self.config.schedule)
         policy.configure_source(
             source, n_samples=dataset.n_samples, default_snps=dataset.n_snps
+        )
+        # Model-driven policies consult the per-host calibration store for
+        # *measured* throughput; tell them which backend/layout is running
+        # so the lookup fingerprints match the actual execution.
+        policy.configure_execution(
+            backend=getattr(self._prototype, "backend_name", None),
+            word_layout=self._prototype.word_layout.name
+            if hasattr(self._prototype, "word_layout")
+            else None,
         )
         return policy
 
@@ -685,6 +722,7 @@ class EpistasisDetector:
             top_k=cfg.top_k,
             validate=cfg.validate,
             word_layout=cfg.word_layout,
+            backend=cfg.backend,
             workers=workers or 1,
             checkpoint=checkpoint,
             resume=resume,
@@ -719,7 +757,11 @@ class EpistasisDetector:
                 for mnemonic, count in snapshots[approach_id].items():
                     lane_ops[mnemonic] = lane_ops.get(mnemonic, 0) + count
             if lane_workers:
-                device_stats[label]["approach"] = lane_workers[0].state.approach.name
+                lane_approach = lane_workers[0].state.approach
+                device_stats[label]["approach"] = lane_approach.name
+                device_stats[label]["backend"] = getattr(
+                    lane_approach, "backend_name", None
+                )
             device_stats[label]["op_counts"] = lane_ops
 
         # Global merge into the prototype's counter, after every lane has
@@ -735,6 +777,9 @@ class EpistasisDetector:
         extra: Dict[str, object] = dict(self._prototype.extra_stats())
         extra["order"] = source.order
         extra["schedule"] = policy.name
+        # The backend that actually ran (post-fallback), not the requested
+        # name — surfaced by the CLI summary line.
+        extra["backend"] = getattr(self._prototype, "backend_name", None)
         extra["candidates"] = source.describe()
         extra["devices"] = device_stats
 

@@ -197,14 +197,18 @@ def _payload_approach_kwargs(
 ) -> Dict[str, object]:
     """Approach constructor kwargs shipped to the worker processes.
 
-    The config's ``word_layout`` rides along even when the caller passed no
-    explicit kwargs (the pipeline stages do), so distributed shards always
-    pack with the same execution word width as an in-process run.
+    The config's ``word_layout`` and ``backend`` ride along even when the
+    caller passed no explicit kwargs (the pipeline stages do), so
+    distributed shards always pack with the same execution word width and
+    run the same kernel backend as an in-process run.
     """
     kwargs = dict(approach_kwargs or {})
     layout = getattr(config, "word_layout", None)
     if layout is not None:
         kwargs.setdefault("word_layout", layout)
+    backend = getattr(config, "backend", None)
+    if backend is not None:
+        kwargs.setdefault("backend", backend)
     return kwargs
 
 
@@ -449,9 +453,14 @@ def run_distributed(
     if completed:
         if not top:
             raise RuntimeError("distributed search produced no interactions")
+        from repro.backends import get_backend
+
         extra: Dict[str, object] = {
             "order": source.order,
             "schedule": get_policy(config.schedule).name,
+            # Workers resolve the backend from the same config/env on the
+            # same host, so resolving here names what they actually ran.
+            "backend": get_backend(getattr(config, "backend", None)).name,
             "candidates": source.describe(),
             "devices": device_stats,
             "distributed": {

@@ -126,6 +126,16 @@ class SchedulingPolicy(ABC):
             )
         self.configure(n_snps=n_snps, n_samples=n_samples, order=source.order)
 
+    def configure_execution(
+        self, backend: str | None = None, word_layout: str | None = None
+    ) -> None:
+        """Late-bind the execution identity (used by measurement-driven policies).
+
+        The detector reports the backend that will actually run the CPU
+        kernels and the word layout of the encoding; the CARM-ratio policy
+        uses both to look up fingerprint-matched calibration records.
+        """
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"
 
@@ -258,6 +268,14 @@ class CarmRatioPolicy(SchedulingPolicy):
     ratios:
         Explicit per-lane share weights overriding the model estimates
         (useful for tests and for measured re-calibration).
+    use_measured:
+        Whether to prefer measured calibration records
+        (:mod:`repro.backends.calibrate`) over the analytical model when
+        sizing the split.  ``None`` (the default) and ``True`` consult the
+        per-host store and fall back to the model lane-by-lane when no
+        fingerprint-matched record exists; ``False`` always prices the
+        catalogued hardware analytically.  The per-lane decision taken on
+        the last :meth:`assign` is recorded in :attr:`weight_sources`.
     """
 
     name = "carm"
@@ -272,11 +290,18 @@ class CarmRatioPolicy(SchedulingPolicy):
         n_samples: int | None = None,
         ratios: Sequence[float] | None = None,
         order: int | None = None,
+        use_measured: bool | None = None,
     ) -> None:
         self.n_snps = n_snps
         self.n_samples = n_samples
         self.order = order if order is not None else 3
         self.ratios = list(ratios) if ratios is not None else None
+        self.use_measured = use_measured
+        #: Where each lane's weight came from on the last assignment:
+        #: "measured", "model" or "ratio" per device lane.
+        self.weight_sources: List[str] = []
+        self._exec_backend: str | None = None
+        self._exec_layout: str | None = None
         # Shape values given explicitly at construction are pinned; values
         # late-bound by configure() rebind on every call, so a reused policy
         # instance follows each dataset's actual shape.
@@ -292,6 +317,14 @@ class CarmRatioPolicy(SchedulingPolicy):
         if not self._pinned_order:
             self.order = order
 
+    def configure_execution(
+        self, backend: str | None = None, word_layout: str | None = None
+    ) -> None:
+        if backend is not None:
+            self._exec_backend = backend
+        if word_layout is not None:
+            self._exec_layout = word_layout
+
     def _weights(self, devices: Sequence[EngineDevice]) -> List[float]:
         if self.ratios is not None:
             if len(self.ratios) != len(devices):
@@ -300,18 +333,37 @@ class CarmRatioPolicy(SchedulingPolicy):
                 )
             if any(r < 0 for r in self.ratios) or sum(self.ratios) <= 0:
                 raise ValueError("ratios must be non-negative and sum to > 0")
+            self.weight_sources = ["ratio"] * len(devices)
             return list(self.ratios)
-        from repro.perfmodel.efficiency import device_throughput
+        from repro.perfmodel.efficiency import (
+            calibrated_device_throughput,
+            device_throughput,
+        )
 
         n_snps, n_samples = self.DEFAULT_SHAPE
         n_snps = self.n_snps or n_snps
         n_samples = self.n_samples or n_samples
-        return [
-            device_throughput(
-                d.spec(), n_snps=n_snps, n_samples=n_samples, order=self.order
-            )
-            for d in devices
-        ]
+        weights: List[float] = []
+        sources: List[str] = []
+        for d in devices:
+            if self.use_measured is False:
+                weight = device_throughput(
+                    d.spec(), n_snps=n_snps, n_samples=n_samples, order=self.order
+                )
+                source = "model"
+            else:
+                weight, source = calibrated_device_throughput(
+                    d.spec(),
+                    n_snps=n_snps,
+                    n_samples=n_samples,
+                    order=self.order,
+                    backend=self._exec_backend if d.kind == "cpu" else None,
+                    layout=self._exec_layout,
+                )
+            weights.append(weight)
+            sources.append(source)
+        self.weight_sources = sources
+        return weights
 
     def shares(self, total: int, devices: Sequence[EngineDevice]) -> List[int]:
         """Per-lane item counts (largest-remainder apportionment of ``total``)."""

@@ -96,6 +96,7 @@ class SearchPipeline:
         top_k: int = 10,
         validate: bool = False,
         word_layout: str | None = None,
+        backend: str | None = None,
         workers: int = 1,
         checkpoint: str | None = None,
         resume: bool = False,
@@ -123,6 +124,7 @@ class SearchPipeline:
             top_k=top_k,
             validate=validate,
             word_layout=word_layout,
+            backend=backend,
         )
 
     def run(

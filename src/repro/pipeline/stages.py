@@ -77,6 +77,7 @@ class PipelineDefaults:
     top_k: int = 10
     validate: bool = False
     word_layout: str | None = None
+    backend: str | None = None
 
 
 @dataclass
@@ -164,6 +165,7 @@ class PipelineStage(ABC):
     top_k: int | None = None
     validate: bool | None = None
     word_layout: str | None = None
+    backend: str | None = None
 
     @abstractmethod
     def run(self, ctx: StageContext) -> StageReport:
@@ -191,6 +193,7 @@ class PipelineStage(ABC):
             devices=self.devices if self.devices is not None else d.devices,
             schedule=self.schedule or d.schedule,
             word_layout=self.word_layout or d.word_layout,
+            backend=self.backend or d.backend,
         )
 
     @staticmethod
