@@ -4,12 +4,13 @@ Measures the real-hardware backend plane end to end and records the
 numbers into ``BENCH_backends.json``:
 
 * ``probes`` — calibration-probe combos/s (and paper elements/s) per
-  backend x kernel family x interaction order x word layout, plus the
-  probe cost itself (the wall time of calibrating, including the JIT /
-  module-build warm-up the probe deliberately absorbs);
+  backend x kernel family (naive / split, each unfused and fused) x
+  interaction order x word layout, plus the probe cost itself (the wall
+  time of calibrating, including the JIT / module-build warm-up the probe
+  deliberately absorbs);
 * ``end_to_end`` — full ``detect()`` throughput at the paper's ``k = 3``
-  per available CPU backend, with the numba-vs-numpy speedup the
-  acceptance gate reads;
+  per available CPU backend, unfused and with the fused build+score path,
+  with the numba-vs-numpy speedup the acceptance gate reads;
 * ``carm_split`` — the heterogeneous CARM cpu+gpu share computed twice,
   from the measured calibration records and from the analytical models,
   so the artifact shows what calibration changes about the split.
@@ -70,27 +71,29 @@ def _probe_matrix(quick: bool, repeats: int) -> list[dict]:
         for family in ("naive", "split"):
             for order in orders:
                 for layout in ("u32", "u64"):
-                    record = run_probe(
-                        backend,
-                        family=family,
-                        order=order,
-                        layout=layout,
-                        n_snps=n_snps,
-                        n_samples=n_samples,
-                        repeats=repeats,
-                    )
-                    entries.append(
-                        {
-                            "key": f"{name}/{family}/k{order}/{layout}",
-                            "backend": name,
-                            "family": family,
-                            "order": order,
-                            "layout": layout,
-                            "combos_per_second": record.combos_per_second,
-                            "elements_per_second": record.elements_per_second,
-                            "probe_seconds": record.probe_seconds,
-                        }
-                    )
+                    for fused in (False, True):
+                        record = run_probe(
+                            backend,
+                            family=family,
+                            order=order,
+                            layout=layout,
+                            n_snps=n_snps,
+                            n_samples=n_samples,
+                            repeats=repeats,
+                            fused=fused,
+                        )
+                        entries.append(
+                            {
+                                "key": f"{name}/{record.family}/k{order}/{layout}",
+                                "backend": name,
+                                "family": record.family,
+                                "order": order,
+                                "layout": layout,
+                                "combos_per_second": record.combos_per_second,
+                                "elements_per_second": record.elements_per_second,
+                                "probe_seconds": record.probe_seconds,
+                            }
+                        )
     return entries
 
 
@@ -113,19 +116,27 @@ def _end_to_end(quick: bool, repeats: int) -> dict:
     ]
     results: dict = {}
     for name in names:
-        detector = EpistasisDetector(order=3, top_k=5, backend=name)
-        result = detector.detect(dataset)  # warm-up: JIT + encoding cache
-        total = result.stats.n_combinations
-        best = float("inf")
-        for _ in range(max(1, repeats)):
-            started = time.perf_counter()
-            detector.detect(dataset)
-            best = min(best, time.perf_counter() - started)
-        results[name] = {
-            "seconds": best,
-            "combinations": total,
-            "combos_per_second": total / best,
-        }
+        for fused in ("off", "on"):
+            detector = EpistasisDetector(
+                order=3, top_k=5, backend=name, fused=fused
+            )
+            result = detector.detect(dataset)  # warm-up: JIT + encoding cache
+            total = result.stats.n_combinations
+            best = float("inf")
+            for _ in range(max(1, repeats)):
+                started = time.perf_counter()
+                detector.detect(dataset)
+                best = min(best, time.perf_counter() - started)
+            label = name if fused == "off" else f"{name}_fused"
+            results[label] = {
+                "seconds": best,
+                "combinations": total,
+                "combos_per_second": total / best,
+            }
+        results[f"speedup_fused_{name}"] = (
+            results[f"{name}_fused"]["combos_per_second"]
+            / results[name]["combos_per_second"]
+        )
     if "numba" in results:
         results["speedup_numba_vs_numpy"] = (
             results["numba"]["combos_per_second"]
@@ -237,6 +248,11 @@ def emit(doc: dict, path: Path = ARTIFACT) -> None:
     for name in ("numpy", "numba"):
         if name in e2e:
             print(f"detect() k=3 [{name}]: {e2e[name]['combos_per_second']:,.0f} combos/s")
+            print(
+                f"detect() k=3 [{name}, fused]: "
+                f"{e2e[f'{name}_fused']['combos_per_second']:,.0f} combos/s "
+                f"({e2e[f'speedup_fused_{name}']:.2f}x)"
+            )
     split = doc["full"]["carm_split"]
     print(
         f"carm cpu+gpu split of {split['total']}: measured {split['measured']} "

@@ -23,8 +23,10 @@ Two families of numbers are recorded into ``BENCH_hotpath.json``:
   objective, measured on explicit combination batches;
 * ``end_to_end`` — full ``detect()`` throughput at the paper's ``k = 3``
   (combinations/s through the engine, scheduler and top-k reduction) for
-  the before/after configurations plus the ``chunk_size="auto"`` tuner,
-  with the before/after speedup that the acceptance gate (>= 1.5x) reads.
+  the before/after configurations, the ``chunk_size="auto"`` tuner and
+  the fused build+score path (``fused="on"``), with the before/after
+  speedup that the acceptance gate (>= 1.5x) reads and the fused-vs-
+  unfused ratio the self-normalizing fused gate reads.
 
 ``--quick`` shrinks the dataset/orders for the CI smoke job, and
 ``--check`` compares the *normalized* throughput of a fresh run against
@@ -69,6 +71,16 @@ REFERENCE_KEY = "split/u32/k3/k2"
 #: split/k3 probe slower than this fraction of the numpy reference (a JIT
 #: backend losing to the interpreter is a regression, machine-independent).
 BACKEND_CHECK_FLOOR = 1.0
+
+#: Fused gate of ``--check`` on the numpy backend: the tiled fused path
+#: must be no slower than the unfused path in the same run (0.95 leaves a
+#: small margin for timing noise; measured, fusion is a clear win).
+NUMPY_FUSED_FLOOR = 0.95
+
+#: Fused gate of ``--check`` on compiled backends: the in-kernel fused
+#: ``detect()`` must beat the unfused one by this factor in the same run
+#: (runs on hosts with numba installed, e.g. the optional-deps CI job).
+FUSED_BACKEND_FLOOR = 1.5
 
 
 def _dataset(quick: bool):
@@ -221,16 +233,27 @@ def measure_kernels(dataset, quick: bool, repeats: int = 3) -> list[dict]:
 
 def measure_end_to_end(dataset, quick: bool, repeats: int = 3) -> dict:
     """Full ``detect()`` at k=3: pre-PR replica vs overhauled vs autotuned."""
+    # fused="off" everywhere except the fused configuration: the default
+    # ("auto") activates the fused build+score path, which would silently
+    # turn the pre-PR replica and the unfused denominators into fused runs.
     configs = {
         "before_pre_pr_u32_gammaln": dict(
             approach=PrePrVectorizedApproach(),
             objective=K2Score(precompute=False),
+            fused="off",
         ),
         "after_u64_lookup": dict(
-            approach="cpu-v4", word_layout="u64", objective="k2"
+            approach="cpu-v4", word_layout="u64", objective="k2", fused="off"
         ),
         "after_u64_lookup_autochunk": dict(
-            approach="cpu-v4", word_layout="u64", objective="k2", chunk_size="auto"
+            approach="cpu-v4",
+            word_layout="u64",
+            objective="k2",
+            chunk_size="auto",
+            fused="off",
+        ),
+        "after_u64_lookup_fused": dict(
+            approach="cpu-v4", word_layout="u64", objective="k2", fused="on"
         ),
     }
     total = None
@@ -252,6 +275,10 @@ def measure_end_to_end(dataset, quick: bool, repeats: int = 3) -> dict:
     results["speedup_after_vs_before"] = (
         results["after_u64_lookup"]["combos_per_second"]
         / results["before_pre_pr_u32_gammaln"]["combos_per_second"]
+    )
+    results["speedup_fused_vs_unfused"] = (
+        results["after_u64_lookup_fused"]["combos_per_second"]
+        / results["after_u64_lookup"]["combos_per_second"]
     )
     return results
 
@@ -330,6 +357,37 @@ def check_against_baseline(doc: dict, baseline_path: Path) -> int:
     return 0
 
 
+def check_fused(doc: dict) -> int:
+    """Self-normalizing fused gate on the numpy backend.
+
+    The tiled fused path must not lose to the unfused path measured in the
+    same run — no committed baseline involved, so machine speed cancels.
+    """
+    ratio = doc["end_to_end"]["speedup_fused_vs_unfused"]
+    print(f"fused vs unfused detect() (numpy tiled): {ratio:.2f}x")
+    if ratio < NUMPY_FUSED_FLOOR:
+        print(
+            f"fused regression: numpy tiled fused path at {ratio:.2f}x "
+            f"unfused (floor {NUMPY_FUSED_FLOOR:.2f}x)"
+        )
+        return 1
+    return 0
+
+
+def _fused_detect_rate(backend: str, fused: str, dataset, repeats: int) -> float:
+    detector = EpistasisDetector(
+        order=3, top_k=5, backend=backend, word_layout="u64", fused=fused
+    )
+    result = detector.detect(dataset)  # warm-up: JIT + encoding cache
+    total = result.stats.n_combinations
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        detector.detect(dataset)
+        best = min(best, time.perf_counter() - started)
+    return total / best
+
+
 def check_backends(repeats: int = 2) -> int:
     """Per-backend regression gate of ``--check``.
 
@@ -338,6 +396,11 @@ def check_backends(repeats: int = 2) -> int:
     falls below :data:`BACKEND_CHECK_FLOOR` times the numpy reference
     measured in the same run — self-normalizing, so no committed baseline
     is needed.  On a numpy-only host the gate reports a skip.
+
+    On top of the probe gate, every compiled backend runs a fused-vs-
+    unfused ``detect()`` pair at k=3: the in-kernel fused path must reach
+    :data:`FUSED_BACKEND_FLOOR` times the unfused throughput of the same
+    backend in the same run.
     """
     from repro.backends import get_backend, list_backends, run_probe
 
@@ -370,6 +433,23 @@ def check_backends(repeats: int = 2) -> int:
             failures.append(
                 f"{name}: {ratio:.2f}x numpy (floor {BACKEND_CHECK_FLOOR:.2f}x)"
             )
+    from repro.datasets import SyntheticConfig, generate_dataset
+
+    dataset = generate_dataset(
+        SyntheticConfig(n_snps=40, n_samples=2048, seed=2026)
+    )
+    for name in rates:
+        if name == "numpy":
+            continue  # numpy's fused gate is check_fused (floor: no slower)
+        unfused = _fused_detect_rate(name, "off", dataset, repeats)
+        fused = _fused_detect_rate(name, "on", dataset, repeats)
+        ratio = fused / unfused
+        print(f"fused gate: {name} detect() k=3 fused at {ratio:.2f}x unfused")
+        if ratio < FUSED_BACKEND_FLOOR:
+            failures.append(
+                f"{name} fused: {ratio:.2f}x unfused "
+                f"(floor {FUSED_BACKEND_FLOOR:.2f}x)"
+            )
     if failures:
         print("per-backend regression gate failed:")
         for line in failures:
@@ -388,6 +468,11 @@ def emit(doc: dict, path: Path = ARTIFACT) -> None:
         f"{e2e['after_u64_lookup']['combos_per_second']:.0f} combos/s "
         f"({e2e['speedup_after_vs_before']:.2f}x)"
     )
+    print(
+        f"fused build+score: "
+        f"{e2e['after_u64_lookup_fused']['combos_per_second']:.0f} combos/s "
+        f"({e2e['speedup_fused_vs_unfused']:.2f}x over unfused)"
+    )
 
 
 def test_hotpath_benchmark_smoke():
@@ -396,6 +481,7 @@ def test_hotpath_benchmark_smoke():
     doc = run_benchmark(quick=True, repeats=2)
     assert doc["end_to_end"]["speedup_after_vs_before"] > 1.0
     assert check_against_baseline(doc, ARTIFACT) == 0
+    assert check_fused(doc) == 0
     assert check_backends(repeats=1) == 0
 
 
@@ -424,7 +510,11 @@ def main(argv=None) -> int:
             f"measured end-to-end speedup (quick): "
             f"{e2e['speedup_after_vs_before']:.2f}x"
         )
-        return check_against_baseline(doc, ARTIFACT) or check_backends(args.repeats)
+        return (
+            check_against_baseline(doc, ARTIFACT)
+            or check_fused(doc)
+            or check_backends(args.repeats)
+        )
     if args.quick:
         doc = run_benchmark(quick=True, repeats=args.repeats)
         e2e = doc["end_to_end"]

@@ -30,8 +30,6 @@ The package is organised as:
   ``(score, combination-rank)`` merge — ``detect(..., workers=N,
   checkpoint=...)`` survives kills and reports bit-identical top-k for any
   worker count.
-* :mod:`repro.parallel` — retired legacy façade (deprecation shims over
-  the engine and the distributed subsystem).
 * :mod:`repro.gpusim` — a functional GPU execution simulator with coalescing
   analysis.
 * :mod:`repro.devices` — the catalog of the 13 CPUs/GPUs of Tables I and II.

@@ -128,5 +128,46 @@ class ExecutionBackend(ABC):
         cases = self.split_class_counts(case_planes, case_mask, combos)
         return np.stack([controls, cases], axis=-1)
 
+    # -- fused build+score -----------------------------------------------------
+    def score_combinations(
+        self,
+        family: str,
+        combos: np.ndarray,
+        objective,
+        *,
+        planes: np.ndarray | None = None,
+        phenotype_words: np.ndarray | None = None,
+        control_planes: np.ndarray | None = None,
+        case_planes: np.ndarray | None = None,
+        control_mask: np.ndarray | None = None,
+        case_mask: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Fused build+score: fold each combination's table into its score.
+
+        ``objective`` is any object with ``score(tables) -> scores`` (and
+        optionally ``fused_spec()``); the return value is the ``(n_combos,)``
+        float64 score vector, bit-identical to materializing the tables and
+        scoring them separately.
+
+        This default *is* the tiled single-materialization fast path: it
+        builds the table batch with this backend's own (bit-exact) kernels
+        and scores it in one pass.  Callers tile the combination batch into
+        SNP blocks first, so the materialization here is per-tile — the
+        chunk-wide ``(n_combos, 3^k, 2)`` array of the classic path is never
+        allocated.  Compiled backends override this to fold supported
+        objectives straight into the counting loop (no table at all).
+        """
+        if family == "naive":
+            tables = self.naive_tables(planes, phenotype_words, combos)
+        elif family == "split":
+            tables = self.split_tables(
+                control_planes, case_planes, control_mask, case_mask, combos
+            )
+        else:
+            raise ValueError(
+                f"unknown kernel family {family!r}; expected 'naive' or 'split'"
+            )
+        return objective.score(tables)
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r}, kind={self.kind!r})"

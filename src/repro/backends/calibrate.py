@@ -220,6 +220,7 @@ def run_probe(
     n_samples: int = PROBE_SAMPLES,
     repeats: int = 3,
     seed: int = PROBE_SEED,
+    fused: bool = False,
 ) -> CalibrationRecord:
     """Measure one backend configuration on the probe workload.
 
@@ -227,29 +228,71 @@ def run_probe(
     compilation, CUDA module build, device upload — so the record reflects
     steady-state throughput; the total wall time including that warm-up is
     reported as ``probe_seconds`` (the cost of calibrating).
+
+    ``fused=True`` probes the fused build+score capability
+    (:meth:`~repro.backends.base.ExecutionBackend.score_combinations`
+    under the K2 objective) instead of bare table construction; the record
+    is keyed under the ``"<family>+fused"`` family so fused and unfused
+    measurements never collide in the store.
     """
     from repro.datasets.binarization import BinarizedDataset, PhenotypeSplitDataset
 
     layout = get_layout(layout)
     dataset = _probe_dataset(n_snps, n_samples, seed)
     combos = _probe_combos(n_snps, order)
+    objective = None
+    if fused:
+        from repro.core.scoring import get_objective
+
+        objective = get_objective("k2")
+        objective.prepare(dataset)
     started = time.perf_counter()
     if family == "split":
         split = PhenotypeSplitDataset.from_dataset(dataset, layout=layout)
 
-        def run() -> None:
-            backend.split_class_counts(
-                split.control_planes, split.padding_mask(0), combos
-            )
-            backend.split_class_counts(split.case_planes, split.padding_mask(1), combos)
+        if fused:
+
+            def run() -> None:
+                backend.score_combinations(
+                    "split",
+                    combos,
+                    objective,
+                    control_planes=split.control_planes,
+                    case_planes=split.case_planes,
+                    control_mask=split.padding_mask(0),
+                    case_mask=split.padding_mask(1),
+                )
+
+        else:
+
+            def run() -> None:
+                backend.split_class_counts(
+                    split.control_planes, split.padding_mask(0), combos
+                )
+                backend.split_class_counts(
+                    split.case_planes, split.padding_mask(1), combos
+                )
 
     elif family == "naive":
         binarized = BinarizedDataset.from_dataset(dataset, layout=layout)
 
-        def run() -> None:
-            backend.naive_tables(
-                binarized.planes, binarized.phenotype_words, combos
-            )
+        if fused:
+
+            def run() -> None:
+                backend.score_combinations(
+                    "naive",
+                    combos,
+                    objective,
+                    planes=binarized.planes,
+                    phenotype_words=binarized.phenotype_words,
+                )
+
+        else:
+
+            def run() -> None:
+                backend.naive_tables(
+                    binarized.planes, binarized.phenotype_words, combos
+                )
 
     else:
         raise ValueError(f"unknown kernel family {family!r}; use 'split' or 'naive'")
@@ -265,7 +308,7 @@ def run_probe(
     return CalibrationRecord(
         backend=backend.name,
         backend_version=backend.version() or "unknown",
-        family=family,
+        family=f"{family}+fused" if fused else family,
         order=int(order),
         layout=layout.name,
         combos_per_second=combos_per_second,

@@ -30,7 +30,7 @@ runs the same static per-rank spans on host threads through the engine,
 which is cheaper to launch and bit-identical in its results.  Broadcast and
 gather traffic plus the static-partition load imbalance are accounted by
 :class:`repro.distributed.cluster.RankAccounting` in both modes (the
-retired ``repro.parallel.SimulatedCluster`` is no longer involved).
+removed ``repro.parallel.SimulatedCluster`` is no longer involved).
 """
 
 from __future__ import annotations

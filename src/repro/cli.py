@@ -167,6 +167,17 @@ def _add_search_options(parser: argparse.ArgumentParser) -> None:
         "importable, else numpy (default: the REPRO_BACKEND environment "
         "variable, else auto). Results are bit-identical across backends",
     )
+    parser.add_argument(
+        "--fused",
+        choices=("auto", "on", "off"),
+        default=None,
+        help="fused build+score path: fold each combination's table "
+        "straight into the objective without materialising the chunk-wide "
+        "table array. 'auto' fuses whenever the objective/backend support "
+        "it, 'on' requires it, 'off' always materialises (default: the "
+        "REPRO_FUSED environment variable, else auto). Results are "
+        "bit-identical either way",
+    )
     parser.add_argument("--top-k", type=int, default=5)
     parser.add_argument(
         "--devices",
@@ -493,6 +504,7 @@ def _build_detector(args: argparse.Namespace):
         schedule=args.schedule,
         word_layout=None if args.word_width == "auto" else args.word_width,
         backend=args.backend,
+        fused=args.fused,
     )
 
 
@@ -521,6 +533,9 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     backend = result.stats.extra.get("backend")
     if backend:
         print(f"backend     : {backend}")
+    fused = result.stats.extra.get("fused")
+    if fused:
+        print(f"fused       : {fused}")
     _print_distributed_summary(result.stats.extra.get("distributed"))
     _print_device_summary(result.stats.extra.get("devices", {}))
     if args.output:

@@ -118,6 +118,22 @@ class Approach(ABC):
             controls, column 1 = cases).
         """
 
+    def score_combinations(
+        self, encoded: Any, combos: np.ndarray, objective
+    ) -> np.ndarray | None:
+        """Fused build+score over a combination batch, or ``None``.
+
+        Approaches that support the fused path fold each combination's
+        frequency table straight into its objective score (through the
+        execution backend's ``score_combinations`` capability, tiled over
+        SNP blocks) and return the ``(n_combos,)`` float64 score vector —
+        bit-identical to ``objective.score(self.build_tables(...))``, and
+        charged with the *identical* §IV per-paper-word mix (fusion changes
+        real traffic, never the modelled accounting).  The default returns
+        ``None``: callers must fall back to build-then-score.
+        """
+        return None
+
     @property
     def backend_name(self) -> str:
         """The execution backend actually running the hot loop.

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.approaches.base import Approach
+from repro.core.approaches._fused import fused_split_scores
 from repro.core.approaches._kernels import (
     SPLIT_OPS_PER_COMBO_WORD,
     charge_split_ops,
@@ -183,6 +184,38 @@ class CpuBlockedApproach(Approach):
             self.counter, n_combos, total_words, order, word_ratio=word_ratio
         )
         return tables
+
+    def score_combinations(
+        self, encoded: _BlockedEncoding, combos: np.ndarray, objective
+    ) -> np.ndarray:
+        """Fused build+score over SNP tiles of the blocked split encoding.
+
+        The modelled bookkeeping is identical to :meth:`build_tables`: the
+        same §IV per-paper-word charge over the full encoding and the same
+        Algorithm 1 ``sample_chunk_passes`` record — blocking and fusion
+        both describe *where* real loads hit, never the modelled counts.
+        """
+        combos = self._check_combos(combos)
+        split = encoded.split
+        if combos.size and combos.max() >= split.n_snps:
+            raise IndexError("combination index exceeds the number of SNPs")
+        n_combos, order = combos.shape
+        self._last_order = order
+        scores = fused_split_scores(self.backend, split, combos, objective)
+        words_per_chunk = max(1, encoded.block_samples // split.layout.bits)
+        total_words = 0
+        for phenotype_class in (0, 1):
+            planes, _ = split.planes_for_class(phenotype_class)
+            total_words += planes.shape[2]
+            self._sample_passes += -(-planes.shape[2] // words_per_chunk)
+        charge_split_ops(
+            self.counter,
+            n_combos,
+            total_words,
+            order,
+            word_ratio=split.layout.paper_words,
+        )
+        return scores
 
     def extra_stats(self) -> dict:
         # Per-core working set of Algorithm 1 at the most recent order k:

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.bitops.packing import paper_word_ratio
 from repro.core.approaches.base import Approach
+from repro.core.approaches._fused import fused_naive_scores
 from repro.core.approaches._kernels import NAIVE_OPS_PER_COMBO_WORD, charge_naive_ops
 from repro.datasets.binarization import BinarizedDataset
 from repro.datasets.dataset import GenotypeDataset
@@ -54,6 +55,28 @@ class CpuNaiveApproach(Approach):
             word_ratio=paper_word_ratio(encoded.planes),
         )
         return tables
+
+    def score_combinations(
+        self, encoded: BinarizedDataset, combos: np.ndarray, objective
+    ) -> np.ndarray:
+        """Fused build+score over SNP tiles (bit-identical to build+score).
+
+        Charges exactly what :meth:`build_tables` charges — the modelled
+        §IV mix is per paper word over the *full* encoding, unchanged by
+        fusion or tiling.
+        """
+        combos = self._check_combos(combos)
+        if combos.size and combos.max() >= encoded.n_snps:
+            raise IndexError("combination index exceeds the number of SNPs")
+        scores = fused_naive_scores(self.backend, encoded, combos, objective)
+        charge_naive_ops(
+            self.counter,
+            combos.shape[0],
+            encoded.planes.shape[2],
+            combos.shape[1],
+            word_ratio=paper_word_ratio(encoded.planes),
+        )
+        return scores
 
     def extra_stats(self) -> dict:
         return {"encoding": "3-plane + phenotype", "ops_per_combo_word": 162}

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.bitops.packing import paper_word_ratio
 from repro.core.approaches.base import Approach
+from repro.core.approaches._fused import fused_split_scores
 from repro.core.approaches._kernels import SPLIT_OPS_PER_COMBO_WORD, charge_split_ops
 from repro.datasets.binarization import PhenotypeSplitDataset
 from repro.datasets.dataset import GenotypeDataset
@@ -63,6 +64,23 @@ class CpuNoPhenotypeApproach(Approach):
             word_ratio=paper_word_ratio(encoded.control_planes),
         )
         return tables
+
+    def score_combinations(
+        self, encoded: PhenotypeSplitDataset, combos: np.ndarray, objective
+    ) -> np.ndarray:
+        """Fused build+score over SNP tiles; §IV charging as in build_tables."""
+        combos = self._check_combos(combos)
+        if combos.size and combos.max() >= encoded.n_snps:
+            raise IndexError("combination index exceeds the number of SNPs")
+        scores = fused_split_scores(self.backend, encoded, combos, objective)
+        charge_split_ops(
+            self.counter,
+            combos.shape[0],
+            encoded.control_planes.shape[2] + encoded.case_planes.shape[2],
+            combos.shape[1],
+            word_ratio=paper_word_ratio(encoded.control_planes),
+        )
+        return scores
 
     def extra_stats(self) -> dict:
         return {"encoding": "case/control split, 2 planes", "ops_per_combo_word": 57}

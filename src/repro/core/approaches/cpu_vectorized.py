@@ -98,6 +98,25 @@ class CpuVectorizedApproach(CpuBlockedApproach):
             self._charge_vector_ops(n_combos, planes.shape[2] * word_ratio, order)
         return tables
 
+    def score_combinations(
+        self, encoded: _BlockedEncoding, combos: np.ndarray, objective
+    ) -> np.ndarray:
+        """Fused build+score with the full V4 accounting.
+
+        On top of the blocked fused path's word-level charge, the
+        ISA-aware vector-instruction mix is charged exactly as on the
+        :meth:`build_tables` path — fusion never changes what §IV models.
+        """
+        combos = self._check_combos(combos)
+        scores = super().score_combinations(encoded, combos, objective)
+        split = encoded.split
+        n_combos, order = combos.shape
+        word_ratio = split.layout.paper_words
+        for phenotype_class in (0, 1):
+            planes, _ = split.planes_for_class(phenotype_class)
+            self._charge_vector_ops(n_combos, planes.shape[2] * word_ratio, order)
+        return scores
+
     def _charge_vector_ops(self, n_combos: int, n_words: int, order: int = 3) -> None:
         """Charge the vector-instruction mix for ``n_combos`` over ``n_words``.
 

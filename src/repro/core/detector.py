@@ -129,9 +129,22 @@ class DetectorConfig:
         warning.  The selection reaches every approach instance the
         detector builds — both lanes of a heterogeneous plan and the
         distributed worker processes.
+    fused:
+        Fused build+score path: ``"auto"`` (default) folds each
+        combination's table straight into its objective score whenever the
+        approach/backend/objective supports it bit-identically (SNP-block
+        tiled, no chunk-wide table array; compiled backends score K2/Gini
+        inside the kernel), ``"on"`` requires it (rejecting
+        ``validate=True``, which needs materialized tables), ``"off"``
+        pins the classic build-then-score path.  ``None`` defers to the
+        ``REPRO_FUSED`` environment variable, else ``auto``.  Top-k
+        results and §IV op/traffic accounting are bit-identical whichever
+        path runs.
     validate:
         If ``True``, every produced table batch is checked against the
         column-sum invariants (costs a few percent, useful in tests).
+        Validation implies the unfused path (``fused="auto"`` falls back
+        silently; ``fused="on"`` raises).
     devices:
         Device expression for the execution engine: ``None`` (default) runs
         on a single lane matching the approach's device kind; ``"cpu+gpu"``
@@ -154,6 +167,7 @@ class DetectorConfig:
     schedule: str | SchedulingPolicy = "dynamic"
     word_layout: str | None = None
     backend: str | None = None
+    fused: str | None = None
 
     def __post_init__(self) -> None:
         from repro.engine.autotune import is_auto_chunk
@@ -163,6 +177,16 @@ class DetectorConfig:
             from repro.backends import check_backend_name
 
             self.backend = check_backend_name(self.backend)
+        if self.fused is not None:
+            from repro.core.fusion import check_fused_mode
+
+            self.fused = check_fused_mode(self.fused)
+            if self.fused == "on" and self.validate:
+                raise ValueError(
+                    "fused='on' is incompatible with validate=True: table "
+                    "validation needs the materialized tables the fused "
+                    "path never builds (use fused='auto' or drop validate)"
+                )
         if self.n_workers < 1:
             raise ValueError("n_workers must be positive")
         if isinstance(self.chunk_size, str):
@@ -202,6 +226,7 @@ class EpistasisDetector:
         schedule: str | SchedulingPolicy = "dynamic",
         word_layout: str | None = None,
         backend: str | None = None,
+        fused: str | None = None,
         config: DetectorConfig | None = None,
         **approach_kwargs,
     ) -> None:
@@ -218,6 +243,7 @@ class EpistasisDetector:
                 schedule=schedule,
                 word_layout=word_layout,
                 backend=backend,
+                fused=fused,
             )
         self.config = config
         self._approach_kwargs = dict(approach_kwargs)
@@ -328,10 +354,47 @@ class EpistasisDetector:
     def score_combinations(
         self, dataset: GenotypeDataset, combos: np.ndarray, *, cache: bool = True
     ) -> np.ndarray:
-        """Objective scores for explicit combinations (single-threaded)."""
+        """Objective scores for explicit combinations (single-threaded).
+
+        Honours the ``fused`` knob: under ``auto``/``on`` the scores come
+        from the fused build+score path when the approach supports it
+        (bit-identical; this also speeds the permutation null, which calls
+        here once per relabelled phenotype).
+        """
+        if self._fused_active():
+            self._prepare_objective(dataset)
+            if cache:
+                encoded = self._prepare_cached(self._prototype, dataset)
+            else:
+                encoded = self._prototype.prepare(dataset)
+            scores = self._prototype.score_combinations(
+                encoded, np.asarray(combos), self.objective
+            )
+            if scores is not None:
+                return scores
         tables = self.build_tables(dataset, combos, cache=cache)
         self._prepare_objective(dataset)
         return self.objective.score(tables)
+
+    def _fused_mode(self) -> str:
+        """The resolved fused tri-state (config, else ``REPRO_FUSED``)."""
+        from repro.core.fusion import resolve_fused_mode
+
+        mode = resolve_fused_mode(self.config.fused)
+        if mode == "on" and self.config.validate:
+            # Reachable via REPRO_FUSED=on (explicit config pairs are
+            # rejected at construction time): requiring fusion while
+            # requiring table validation is a contradiction either way.
+            raise ValueError(
+                "fused='on' is incompatible with validate=True: table "
+                "validation needs the materialized tables the fused path "
+                "never builds (use fused='auto' or drop validate)"
+            )
+        return mode
+
+    def _fused_active(self) -> bool:
+        """Whether chunk scoring should try the fused path first."""
+        return self._fused_mode() != "off" and not self.config.validate
 
     def _prepare_objective(self, dataset: GenotypeDataset) -> None:
         """Give the objective its per-dataset precomputation hook.
@@ -570,9 +633,18 @@ class EpistasisDetector:
 
         snp_names = list(dataset.snp_names)
         n_cases, n_controls = dataset.n_cases, dataset.n_controls
+        fused_active = self._fused_active()
 
         def scorer(worker: DeviceWorker, combos: np.ndarray) -> np.ndarray:
             state: _WorkerState = worker.state
+            if fused_active:
+                scores = state.approach.score_combinations(
+                    state.encoded, combos, self.objective
+                )
+                if scores is not None:
+                    if observe is not None:
+                        observe(worker, combos, scores)
+                    return scores
             tables = state.approach.build_tables(state.encoded, combos)
             if cfg.validate:
                 validate_tables(tables, n_controls, n_cases)
@@ -723,6 +795,7 @@ class EpistasisDetector:
             validate=cfg.validate,
             word_layout=cfg.word_layout,
             backend=cfg.backend,
+            fused=cfg.fused,
             workers=workers or 1,
             checkpoint=checkpoint,
             resume=resume,
@@ -780,6 +853,7 @@ class EpistasisDetector:
         # The backend that actually ran (post-fallback), not the requested
         # name — surfaced by the CLI summary line.
         extra["backend"] = getattr(self._prototype, "backend_name", None)
+        extra["fused"] = self._fused_mode()
         extra["candidates"] = source.describe()
         extra["devices"] = device_stats
 

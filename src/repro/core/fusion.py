@@ -1,0 +1,70 @@
+"""Fused-path mode resolution (``fused="auto"|"on"|"off"``).
+
+The fused scoring path builds each combination's contingency table in
+registers/locals and folds it straight into the objective, skipping the
+chunk-wide ``(n_combos, 3^k, 2)`` table array that the classic
+build-then-score path materializes.  This module owns the *mode knob*
+only: the tri-state requested through ``DetectorConfig(fused=...)``,
+the ``--fused`` CLI flag, or the ``REPRO_FUSED`` environment variable.
+
+* ``"auto"`` (the default) — use the fused path whenever the active
+  approach/backend/objective combination supports it bit-identically,
+  fall back to build+score silently otherwise (e.g. when table
+  validation is requested, which needs the materialized tables);
+* ``"on"`` — require the fused path; configurations that cannot honor
+  it (``validate=True``) fail fast with a ``ValueError``;
+* ``"off"`` — always run the classic build+score path.
+
+Results are bit-identical either way; the knob trades DRAM traffic,
+not answers.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = [
+    "FUSED_ENV",
+    "VALID_FUSED_MODES",
+    "check_fused_mode",
+    "default_fused_mode",
+    "resolve_fused_mode",
+]
+
+#: Environment variable overriding the default fused mode.
+FUSED_ENV = "REPRO_FUSED"
+
+#: Accepted values of the fused knob (config, CLI and environment).
+VALID_FUSED_MODES = ("auto", "on", "off")
+
+
+def check_fused_mode(mode: str) -> str:
+    """Validate a fused mode string; returns it normalized (lower-case)."""
+    normalized = str(mode).strip().lower()
+    if normalized not in VALID_FUSED_MODES:
+        raise ValueError(
+            f"unknown fused mode {mode!r}; valid values: "
+            + ", ".join(VALID_FUSED_MODES)
+        )
+    return normalized
+
+
+def default_fused_mode() -> str:
+    """The session default: ``REPRO_FUSED`` when set, else ``auto``."""
+    forced = os.environ.get(FUSED_ENV)
+    if forced is None:
+        return "auto"
+    normalized = forced.strip().lower()
+    if normalized not in VALID_FUSED_MODES:
+        raise ValueError(
+            f"{FUSED_ENV}={forced!r} is not a known fused mode; "
+            "valid values: " + ", ".join(VALID_FUSED_MODES)
+        )
+    return normalized
+
+
+def resolve_fused_mode(mode: str | None = None) -> str:
+    """Resolve an explicit mode (or ``None``) to a concrete tri-state."""
+    if mode is None:
+        return default_fused_mode()
+    return check_fused_mode(mode)

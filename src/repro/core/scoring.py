@@ -103,6 +103,22 @@ class _TableObjective:
         it was never called (direct ``score`` use, gpusim kernels).
         """
 
+    def fused_spec(self) -> dict | None:
+        """Kernel-fusable description of this objective, or ``None``.
+
+        The fused execution path (``ExecutionBackend.score_combinations``)
+        folds the objective into the counting kernel instead of scoring a
+        materialized table batch.  Only objectives whose in-kernel
+        evaluation is *bit-identical* to :meth:`score` may advertise a
+        spec: K2 (pure table lookups plus a fixed-order summation) and
+        Gini (exact rational cell arithmetic).  Objectives built on
+        transcendental ``np.log`` evaluations (mutual information,
+        chi-squared) return ``None`` — a compiled kernel's ``log`` is not
+        guaranteed to match numpy's SIMD ``log`` bit for bit, so they run
+        through the tiled materialize-then-score path instead.
+        """
+        return None
+
     @staticmethod
     def _check(tables: np.ndarray) -> np.ndarray:
         arr = np.asarray(tables, dtype=np.float64)
@@ -160,6 +176,18 @@ class K2Score(_TableObjective):
             # gammaln evaluated at the exact integer abscissae — any lookup
             # is bit-identical to computing gammaln on the count directly.
             self._logfact = gammaln(np.arange(needed, dtype=np.float64) + 1.0)
+
+    def fused_spec(self) -> dict | None:
+        """K2 fuses via the per-dataset log-factorial table.
+
+        Only available after :meth:`prepare` populated the table (the
+        kernel indexes it with integer counts, exactly like the table
+        branch of :meth:`score`); ``precompute=False`` instances never
+        fuse — they exist to measure the pre-table scipy baseline.
+        """
+        if self._logfact is None:
+            return None
+        return {"kind": "k2", "logfact": self._logfact}
 
     def score(self, tables: np.ndarray) -> np.ndarray:
         arr = np.asarray(tables)
@@ -223,6 +251,10 @@ class GiniScore(_TableObjective):
     """
 
     name = "gini"
+
+    def fused_spec(self) -> dict | None:
+        """Gini fuses statelessly: exact rational arithmetic per cell."""
+        return {"kind": "gini"}
 
     def score(self, tables: np.ndarray) -> np.ndarray:
         arr = self._check(tables)

@@ -26,7 +26,7 @@ reported top-k is bit-identical for any worker count.
   orchestration loop behind ``detect(..., workers=N, checkpoint=...)``;
 * :mod:`repro.distributed.cluster` — rank bookkeeping and broadcast/gather
   traffic accounting for the MPI3SNP-style baseline (plus the legacy
-  :class:`SimulatedCluster` harness of the retired :mod:`repro.parallel`).
+  :class:`SimulatedCluster` harness of the removed ``repro.parallel``).
 """
 
 from repro.distributed.shards import (

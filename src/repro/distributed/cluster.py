@@ -11,7 +11,7 @@ the actual rank execution now runs through :mod:`repro.distributed`
 one-shard-per-rank static plan), either as real OS processes or inline.
 
 :class:`SimulatedCluster` remains as the legacy sequential harness the
-retired :mod:`repro.parallel` package shipped (rank functions executed in
+removed ``repro.parallel`` package shipped (rank functions executed in
 order on the calling thread); it now simply extends the accounting with an
 in-process ``run`` loop.
 """

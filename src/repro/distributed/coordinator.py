@@ -345,6 +345,7 @@ def run_distributed(
         devices=config.devices,
         schedule=config.schedule,
         collect_minima=collect_snp_minima,
+        fused=getattr(config, "fused", None),
         approach_kwargs=approach_kwargs_resolved,
     )
     runner = ProcessRunner(workers, payload, mp_context=mp_context, pool=pool)
@@ -454,6 +455,7 @@ def run_distributed(
         if not top:
             raise RuntimeError("distributed search produced no interactions")
         from repro.backends import get_backend
+        from repro.core.fusion import resolve_fused_mode
 
         extra: Dict[str, object] = {
             "order": source.order,
@@ -461,6 +463,7 @@ def run_distributed(
             # Workers resolve the backend from the same config/env on the
             # same host, so resolving here names what they actually ran.
             "backend": get_backend(getattr(config, "backend", None)).name,
+            "fused": resolve_fused_mode(getattr(config, "fused", None)),
             "candidates": source.describe(),
             "devices": device_stats,
             "distributed": {

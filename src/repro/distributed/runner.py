@@ -94,6 +94,7 @@ class WorkerPayload:
     devices: str | None = None
     schedule: object = "dynamic"
     collect_minima: bool = False
+    fused: str | None = None
     approach_kwargs: Dict[str, object] = field(default_factory=dict)
 
     def fingerprint(self) -> str:
@@ -123,6 +124,7 @@ class WorkerPayload:
                 self.devices,
                 self.schedule,
                 self.collect_minima,
+                self.fused,
                 sorted(self.approach_kwargs.items()),
             ),
             protocol=4,
@@ -191,6 +193,7 @@ class _WorkerContext:
             validate=payload.validate,
             devices=payload.devices,
             schedule=payload.schedule,
+            fused=payload.fused,
             **payload.approach_kwargs,
         )
 

@@ -7,8 +7,8 @@
     (multi-process), which add device lanes, scheduling policies, streaming
     top-k reduction, per-device statistics, cooperative cancellation and
     checkpoint/resume.  :func:`parallel_map_reduce` remains for callers that
-    only need the original map/reduce shape; it moved here from the retired
-    :mod:`repro.parallel` package.
+    only need the original map/reduce shape; it moved here from the
+    long-removed ``repro.parallel`` package.
 
 The execution model mirrors §IV-A: every worker repeatedly claims a chunk of
 combinations from the dynamic scheduler, evaluates it with its own approach

@@ -1,56 +1,20 @@
-"""Retired host-parallel package (deprecation shim).
+"""Removed package — ``repro.parallel`` no longer exists.
 
-.. deprecated::
-    Everything this package provided moved into the unified execution
-    engine and the distributed subsystem:
+The deprecation shims that lived here were removed after a long retirement
+period.  Everything the package once provided has a current home:
 
-    * schedulers / policies — :mod:`repro.engine` (``DynamicScheduler``,
-      ``GuidedScheduler``, ``static_partition``, the ``SchedulingPolicy``
-      family);
-    * ``parallel_map_reduce`` / ``WorkerResult`` —
-      :mod:`repro.engine.mapreduce`;
-    * ``SimulatedCluster`` / ``ClusterRank`` —
-      :mod:`repro.distributed.cluster` (with real-rank execution through
-      :func:`repro.distributed.run_distributed`).
-
-    This package re-exports the old names unchanged and will be removed in
-    a future release.
+* schedulers / policies — :mod:`repro.engine` (``DynamicScheduler``,
+  ``GuidedScheduler``, ``static_partition``, the ``SchedulingPolicy``
+  family);
+* ``parallel_map_reduce`` / ``WorkerResult`` —
+  :mod:`repro.engine.mapreduce`;
+* ``SimulatedCluster`` / ``ClusterRank`` —
+  :mod:`repro.distributed.cluster` (with real-rank execution through
+  :func:`repro.distributed.run_distributed`).
 """
 
-import warnings
-
-from repro.engine.policies import (
-    CarmRatioPolicy,
-    DynamicPolicy,
-    GuidedPolicy,
-    SchedulingPolicy,
-    StaticPolicy,
-    get_policy,
+raise ImportError(
+    "repro.parallel was removed: import schedulers and policies from "
+    "repro.engine, parallel_map_reduce from repro.engine.mapreduce, and "
+    "the cluster accounting from repro.distributed"
 )
-from repro.engine.scheduling import DynamicScheduler, GuidedScheduler, static_partition
-from repro.engine.mapreduce import WorkerResult, parallel_map_reduce
-from repro.distributed.cluster import ClusterRank, SimulatedCluster
-
-warnings.warn(
-    "repro.parallel is deprecated; import schedulers and policies from "
-    "repro.engine, parallel_map_reduce from repro.engine.mapreduce, and the "
-    "cluster accounting from repro.distributed",
-    DeprecationWarning,
-    stacklevel=2,
-)
-
-__all__ = [
-    "DynamicScheduler",
-    "GuidedScheduler",
-    "static_partition",
-    "SchedulingPolicy",
-    "DynamicPolicy",
-    "StaticPolicy",
-    "GuidedPolicy",
-    "CarmRatioPolicy",
-    "get_policy",
-    "parallel_map_reduce",
-    "WorkerResult",
-    "SimulatedCluster",
-    "ClusterRank",
-]

@@ -19,6 +19,16 @@ in.  The kernels may execute in a wider machine-word layout
 NumPy >= 2); they convert machine words to paper words at the charging
 boundary, so every count that reaches this model is already in paper-word
 units and the CARM placement is layout-independent.
+
+The same boundary covers the fused build+score path: fusing the table
+construction into the objective changes *where* real intermediate values
+live (registers instead of a materialised table array), never the §IV
+modelled work — exactly as cache blocking "does not affect the amount of
+memory transfers and performed computations" (§IV-A).  The approach layer
+charges the identical per-paper-word mixes whether a chunk was scored
+through ``build_tables`` + ``objective.score`` or through the fused
+``score_combinations`` capability, so op counts, modelled traffic and the
+CARM placement are bit-identical with fusion on or off; tests assert this.
 """
 
 from __future__ import annotations

@@ -97,6 +97,7 @@ class SearchPipeline:
         validate: bool = False,
         word_layout: str | None = None,
         backend: str | None = None,
+        fused: str | None = None,
         workers: int = 1,
         checkpoint: str | None = None,
         resume: bool = False,
@@ -125,6 +126,7 @@ class SearchPipeline:
             validate=validate,
             word_layout=word_layout,
             backend=backend,
+            fused=fused,
         )
 
     def run(

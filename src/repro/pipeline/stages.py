@@ -78,6 +78,7 @@ class PipelineDefaults:
     validate: bool = False
     word_layout: str | None = None
     backend: str | None = None
+    fused: str | None = None
 
 
 @dataclass
@@ -166,6 +167,7 @@ class PipelineStage(ABC):
     validate: bool | None = None
     word_layout: str | None = None
     backend: str | None = None
+    fused: str | None = None
 
     @abstractmethod
     def run(self, ctx: StageContext) -> StageReport:
@@ -194,6 +196,7 @@ class PipelineStage(ABC):
             schedule=self.schedule or d.schedule,
             word_layout=self.word_layout or d.word_layout,
             backend=self.backend or d.backend,
+            fused=self.fused or d.fused,
         )
 
     @staticmethod
@@ -686,6 +689,7 @@ class PermutationStage(PipelineStage):
                 validate=cfg.validate,
                 devices=cfg.devices,
                 schedule=cfg.schedule,
+                fused=getattr(cfg, "fused", None),
                 approach_kwargs=_payload_approach_kwargs(cfg, None),
             )
             for window_start in range(

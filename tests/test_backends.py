@@ -284,6 +284,22 @@ class TestCalibrationStore:
         )
         assert record.probe_seconds > 0
 
+    @pytest.mark.parametrize("family", ["split", "naive"])
+    def test_run_probe_fused(self, family):
+        # Fused probes time score_combinations() and key the record
+        # under "<family>+fused" so store fingerprints never collide
+        # with the unfused measurement.
+        record = run_probe(
+            get_backend("numpy"), family=family, order=2,
+            n_snps=12, n_samples=256, repeats=1, fused=True,
+        )
+        assert record.family == f"{family}+fused"
+        assert record.combos_per_second > 0
+        assert record.fingerprint != run_probe(
+            get_backend("numpy"), family=family, order=2,
+            n_snps=12, n_samples=256, repeats=1,
+        ).fingerprint
+
     def test_measured_throughput_lookup(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CALIBRATION_PATH", str(tmp_path / "calib.json"))
         assert measured_throughput("cpu", "numpy") is None

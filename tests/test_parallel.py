@@ -1,8 +1,9 @@
-"""Tests of the host schedulers, map/reduce and the retired repro.parallel shims.
+"""Tests of the host schedulers, map/reduce and the rank accounting.
 
 The implementations live in :mod:`repro.engine` (schedulers, map/reduce)
-and :mod:`repro.distributed` (rank accounting); :mod:`repro.parallel` is a
-deprecation shim re-exporting them, which is verified explicitly here.
+and :mod:`repro.distributed` (rank accounting).  The retired
+:mod:`repro.parallel` shim package is gone; importing it must fail with a
+message naming the current homes, which is verified explicitly here.
 """
 
 from __future__ import annotations
@@ -196,28 +197,11 @@ class TestSimulatedCluster:
             cluster.gather([])
 
 
-class TestDeprecationShims:
-    """repro.parallel must keep working as warning-emitting aliases."""
+class TestRemovedParallelPackage:
+    """repro.parallel is removed; importing it must point at the new homes."""
 
-    @staticmethod
-    def _fresh_import(module: str):
+    def test_import_fails_with_pointer(self):
         for name in [m for m in sys.modules if m.startswith("repro.parallel")]:
             del sys.modules[name]
-        with pytest.warns(DeprecationWarning):
-            return __import__(module, fromlist=["_"])
-
-    def test_package_warns_and_aliases(self):
-        legacy = self._fresh_import("repro.parallel")
-        assert legacy.DynamicScheduler is DynamicScheduler
-        assert legacy.static_partition is static_partition
-        assert legacy.parallel_map_reduce is parallel_map_reduce
-        assert legacy.SimulatedCluster is SimulatedCluster
-
-    def test_submodules_warn_and_alias(self):
-        scheduler = self._fresh_import("repro.parallel.scheduler")
-        assert scheduler.DynamicScheduler is DynamicScheduler
-        executor = self._fresh_import("repro.parallel.executor")
-        assert executor.parallel_map_reduce is parallel_map_reduce
-        cluster = self._fresh_import("repro.parallel.cluster")
-        assert cluster.SimulatedCluster is SimulatedCluster
-        assert cluster.RankAccounting is RankAccounting
+        with pytest.raises(ImportError, match="repro.engine"):
+            __import__("repro.parallel", fromlist=["_"])
