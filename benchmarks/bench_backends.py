@@ -207,9 +207,12 @@ def run_benchmark(quick: bool = False, repeats: int = 3) -> dict:
 
 
 def run_artifact(repeats: int = 3) -> dict:
+    from repro.telemetry import host_metadata
+
     return {
         "benchmark": "backends",
         "numpy": np.__version__,
+        "host": host_metadata(),
         "full": run_benchmark(quick=False, repeats=repeats),
     }
 

@@ -180,6 +180,8 @@ def measure_distributed(quick: bool = False) -> dict:
             )
     finally:
         shutdown_fleets()
+    from repro.telemetry import host_metadata
+
     return {
         "benchmark": "distributed",
         "quick": bool(quick),
@@ -190,6 +192,7 @@ def measure_distributed(quick: bool = False) -> dict:
         },
         "total_tables": total,
         "host_cpus": host_cpus,
+        "host": host_metadata(),
         "pool": "keep",
         "shm": True,
         "runs": runs,

@@ -82,6 +82,14 @@ NUMPY_FUSED_FLOOR = 0.95
 #: (runs on hosts with numba installed, e.g. the optional-deps CI job).
 FUSED_BACKEND_FLOOR = 1.5
 
+#: Telemetry gate of ``--check``: a ``telemetry="full"`` detect() may not
+#: fall below this fraction of the ``telemetry="off"`` throughput measured
+#: in the same run.  (The "off is free" half of the claim is covered by
+#: :func:`check_against_baseline`: every other configuration runs with
+#: telemetry off, so any off-mode overhead trips the 30% gate against the
+#: pre-telemetry baseline.)
+TELEMETRY_CHECK_FLOOR = 0.95
+
 
 def _dataset(quick: bool):
     if quick:
@@ -302,9 +310,12 @@ def run_artifact(repeats: int = 3) -> dict:
     Both sections are measured so the ``--check`` smoke job can compare a
     fresh quick run against a baseline of the same dataset scale.
     """
+    from repro.telemetry import host_metadata
+
     return {
         "benchmark": "hotpath",
         "numpy": np.__version__,
+        "host": host_metadata(),
         "full": run_benchmark(quick=False, repeats=repeats),
         "quick_baseline": run_benchmark(quick=True, repeats=repeats),
     }
@@ -458,6 +469,42 @@ def check_backends(repeats: int = 2) -> int:
     return 0
 
 
+def check_telemetry(repeats: int = 2) -> int:
+    """Telemetry-overhead gate of ``--check``.
+
+    Measures ``detect()`` at k=3 with ``telemetry="off"`` and
+    ``telemetry="full"`` in the same run (same dataset, same warmed
+    encoding cache) and fails when full-mode tracing costs more than
+    ``1 - TELEMETRY_CHECK_FLOOR`` of the off-mode throughput —
+    self-normalizing, so machine speed cancels out.
+    """
+    dataset = generate_dataset(
+        SyntheticConfig(n_snps=40, n_samples=2048, seed=2026)
+    )
+    rates = {}
+    for mode in ("off", "full"):
+        detector = EpistasisDetector(
+            order=3, top_k=5, word_layout="u64", telemetry=mode
+        )
+        result = detector.detect(dataset)  # warm-up: encoding cache
+        total = result.stats.n_combinations
+        best = float("inf")
+        for _ in range(max(1, repeats)):
+            started = time.perf_counter()
+            detector.detect(dataset)
+            best = min(best, time.perf_counter() - started)
+        rates[mode] = total / best
+    ratio = rates["full"] / rates["off"]
+    print(f"telemetry gate: detect() k=3 full tracing at {ratio:.2f}x off")
+    if ratio < TELEMETRY_CHECK_FLOOR:
+        print(
+            f"telemetry overhead regression: full tracing at {ratio:.2f}x "
+            f"off-mode throughput (floor {TELEMETRY_CHECK_FLOOR:.2f}x)"
+        )
+        return 1
+    return 0
+
+
 def emit(doc: dict, path: Path = ARTIFACT) -> None:
     path.write_text(json.dumps(doc, indent=2) + "\n")
     e2e = doc["full"]["end_to_end"]
@@ -514,6 +561,7 @@ def main(argv=None) -> int:
             check_against_baseline(doc, ARTIFACT)
             or check_fused(doc)
             or check_backends(args.repeats)
+            or check_telemetry(args.repeats)
         )
     if args.quick:
         doc = run_benchmark(quick=True, repeats=args.repeats)

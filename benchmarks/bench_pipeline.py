@@ -92,8 +92,11 @@ def measure_pipeline(repeats: int = 2) -> dict:
                 "best_snps": [int(s) for s in staged.best_snps],
             }
         )
+    from repro.telemetry import host_metadata
+
     return {
         "benchmark": "staged_pipeline",
+        "host": host_metadata(),
         "n_snps": dataset.n_snps,
         "n_samples": dataset.n_samples,
         "planted": list(PLANTED),

@@ -167,14 +167,20 @@ class CupyBackend(ExecutionBackend):
         if pair is None:
             import cupy
 
+            from repro.telemetry import metric_inc, span_or_null
+
             word = "unsigned long long" if layout_name == "u64" else "unsigned int"
             popc = "__popcll" if layout_name == "u64" else "__popc"
             source = _KERNEL_SOURCE.format(word=word, popc=popc, block=_BLOCK)
-            module = cupy.RawModule(code=source)
-            pair = (
-                module.get_function("split_counts"),
-                module.get_function("naive_tables"),
-            )
+            with span_or_null(
+                "backend.compile", backend="cupy", layout=layout_name
+            ):
+                module = cupy.RawModule(code=source)
+                pair = (
+                    module.get_function("split_counts"),
+                    module.get_function("naive_tables"),
+                )
+            metric_inc("backend.compiles")
             self._modules[layout_name] = pair
         return pair
 

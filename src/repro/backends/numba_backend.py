@@ -361,8 +361,18 @@ class NumbaBackend(ExecutionBackend):
         key = (family, int(order), layout_name)
         kernel = _KERNEL_CACHE.get(key)
         if kernel is None:
+            from repro.telemetry import metric_inc, span_or_null
+
             factory = _compile_split if family == "split" else _compile_naive
-            kernel = factory(int(order))
+            with span_or_null(
+                "backend.compile",
+                backend="numba",
+                family=family,
+                order=int(order),
+                layout=layout_name,
+            ):
+                kernel = factory(int(order))
+            metric_inc("backend.compiles")
             _KERNEL_CACHE[key] = kernel
         return kernel
 
@@ -374,10 +384,21 @@ class NumbaBackend(ExecutionBackend):
         key = (family, kind, int(order), layout_name)
         kernel = _FUSED_CACHE.get(key)
         if kernel is None:
+            from repro.telemetry import metric_inc, span_or_null
+
             factory = (
                 _compile_split_fused if family == "split" else _compile_naive_fused
             )
-            kernel = factory(int(order), kind == "k2")
+            with span_or_null(
+                "backend.compile",
+                backend="numba",
+                family=family,
+                kind=kind,
+                order=int(order),
+                layout=layout_name,
+            ):
+                kernel = factory(int(order), kind == "k2")
+            metric_inc("backend.compiles")
             _FUSED_CACHE[key] = kernel
         return kernel
 

@@ -178,6 +178,24 @@ def _add_search_options(parser: argparse.ArgumentParser) -> None:
         "REPRO_FUSED environment variable, else auto). Results are "
         "bit-identical either way",
     )
+    parser.add_argument(
+        "--telemetry",
+        choices=("off", "minimal", "full"),
+        default=None,
+        help="telemetry plane: 'off' compiles tracing to no-ops, 'minimal' "
+        "records coarse spans and the metrics registry, 'full' adds "
+        "per-chunk kernel samples (default: the REPRO_TELEMETRY "
+        "environment variable, else off). Results are bit-identical in "
+        "every mode",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="export the run's telemetry trace: a .jsonl span log, or a "
+        "Chrome trace-event .json loadable in Perfetto (implies "
+        "--telemetry full unless a mode is given explicitly)",
+    )
     parser.add_argument("--top-k", type=int, default=5)
     parser.add_argument(
         "--devices",
@@ -353,6 +371,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the report as JSON instead of the table",
     )
 
+    trace = sub.add_parser(
+        "trace", help="inspect telemetry trace files exported with --trace-out"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_summary = trace_sub.add_parser(
+        "summary", help="aggregate a trace's spans into a per-name table"
+    )
+    trace_summary.add_argument(
+        "path",
+        help="trace file: a .jsonl span log or a Chrome trace-event .json",
+    )
+
     sub.add_parser("devices", help="print the device catalog (Tables I and II)")
 
     fig = sub.add_parser("figures", help="regenerate figures/tables from the models")
@@ -430,11 +460,14 @@ def _export_result(path: str, doc: dict) -> None:
 
     top = doc.get("top", [])
     has_p = any("p_value" in row for row in top)
+    run_id = doc.get("run_id")
     with open(path, "w", newline="") as fh:
         writer = csv.writer(fh)
         header = ["rank", "snps", "snp_names", "score"]
         if has_p:
             header.append("p_value")
+        if run_id:
+            header.append("run_id")
         writer.writerow(header)
         for row in top:
             record = [
@@ -445,6 +478,8 @@ def _export_result(path: str, doc: dict) -> None:
             ]
             if has_p:
                 record.append(row.get("p_value", ""))
+            if run_id:
+                record.append(run_id)
             writer.writerow(record)
 
 
@@ -490,6 +525,15 @@ def _check_resume_flags(args: argparse.Namespace) -> bool:
     return True
 
 
+def _telemetry_mode(args: argparse.Namespace) -> "str | None":
+    """The run's telemetry mode: ``--trace-out`` implies ``full``."""
+    if args.telemetry is not None:
+        return args.telemetry
+    if args.trace_out:
+        return "full"
+    return None
+
+
 def _build_detector(args: argparse.Namespace):
     from repro.core import EpistasisDetector
 
@@ -505,6 +549,33 @@ def _build_detector(args: argparse.Namespace):
         word_layout=None if args.word_width == "auto" else args.word_width,
         backend=args.backend,
         fused=args.fused,
+        telemetry=_telemetry_mode(args),
+    )
+
+
+def _export_trace(args: argparse.Namespace) -> None:
+    """Write the finished run's trace file when ``--trace-out`` was given."""
+    if not args.trace_out:
+        return
+    from repro.telemetry import last_run, write_trace
+
+    run = last_run()
+    if run is None:
+        print(
+            "warning: no telemetry session recorded; trace not written",
+            file=sys.stderr,
+        )
+        return
+    n_spans = write_trace(run, args.trace_out)
+    print(f"wrote trace to {args.trace_out} ({n_spans} spans, run {run.run_id})")
+
+
+def _print_telemetry_summary(telemetry: dict | None) -> None:
+    if not telemetry:
+        return
+    print(
+        f"telemetry   : {telemetry.get('mode')}, run {telemetry.get('run_id')} "
+        f"({telemetry.get('n_spans')} spans, {telemetry.get('n_metrics')} metrics)"
     )
 
 
@@ -538,6 +609,8 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         print(f"fused       : {fused}")
     _print_distributed_summary(result.stats.extra.get("distributed"))
     _print_device_summary(result.stats.extra.get("devices", {}))
+    _print_telemetry_summary(result.stats.extra.get("telemetry"))
+    _export_trace(args)
     if args.output:
         _export_result(args.output, result.to_dict())
         print(f"wrote results to {args.output}")
@@ -598,6 +671,9 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         )
     for stage in result.stages:
         _print_device_summary(stage.device_stats)
+    if _telemetry_mode(args) not in (None, "off"):
+        print(f"telemetry   : {_telemetry_mode(args)}, run {result.run_id}")
+    _export_trace(args)
     if args.output:
         _export_result(args.output, result.to_dict())
         print(f"wrote results to {args.output}")
@@ -692,6 +768,38 @@ def _cmd_backends(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.telemetry import load_trace, summarize_spans
+
+    try:
+        manifest, spans, metrics = load_trace(args.path)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    host = manifest.get("host") or {}
+    print(
+        f"run         : {manifest.get('run_id', '?')} "
+        f"(mode {manifest.get('mode', '?')})"
+    )
+    if host:
+        print(
+            f"host        : {host.get('host_cpus')} cpu(s), "
+            f"python {host.get('python')}, numpy {host.get('numpy')}, "
+            f"{host.get('word_layout')} words, backend {host.get('backend')}"
+        )
+    print()
+    print(summarize_spans(spans))
+    counters = metrics.get("counters") or {}
+    if counters:
+        ops = sum(v for k, v in counters.items() if k.startswith("ops."))
+        print()
+        print(
+            f"metrics     : {len(counters)} counter(s), "
+            f"{ops:,} word ops recorded"
+        )
+    return 0
+
+
 def _cmd_devices(_: argparse.Namespace) -> int:
     from repro.experiments.tables import format_table1, format_table2
 
@@ -734,6 +842,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "detect": _cmd_detect,
         "pipeline": _cmd_pipeline,
         "backends": _cmd_backends,
+        "trace": _cmd_trace,
         "devices": _cmd_devices,
         "figures": _cmd_figures,
     }

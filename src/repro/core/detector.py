@@ -154,6 +154,14 @@ class DetectorConfig:
         Scheduling policy name (``"dynamic"``, ``"static"``, ``"guided"``,
         ``"carm"``) or a :class:`~repro.engine.policies.SchedulingPolicy`
         instance.
+    telemetry:
+        Telemetry mode of the run (:mod:`repro.telemetry`): ``"off"``
+        (default — zero recording, zero hot-path cost), ``"minimal"``
+        (run/plan/lane/stage/shard spans plus the metrics registry) or
+        ``"full"`` (adds per-chunk ``kernel`` samples).  ``None`` defers
+        to the ``REPRO_TELEMETRY`` environment variable, else ``off``.
+        Results are bit-identical whatever the mode; every run carries a
+        ``run_id`` in ``stats.extra`` either way.
     """
 
     approach: str | Approach = "cpu-v4"
@@ -168,6 +176,7 @@ class DetectorConfig:
     word_layout: str | None = None
     backend: str | None = None
     fused: str | None = None
+    telemetry: str | None = None
 
     def __post_init__(self) -> None:
         from repro.engine.autotune import is_auto_chunk
@@ -187,6 +196,10 @@ class DetectorConfig:
                     "validation needs the materialized tables the fused "
                     "path never builds (use fused='auto' or drop validate)"
                 )
+        if self.telemetry is not None:
+            from repro.telemetry import check_telemetry_mode
+
+            self.telemetry = check_telemetry_mode(self.telemetry)
         if self.n_workers < 1:
             raise ValueError("n_workers must be positive")
         if isinstance(self.chunk_size, str):
@@ -227,6 +240,7 @@ class EpistasisDetector:
         word_layout: str | None = None,
         backend: str | None = None,
         fused: str | None = None,
+        telemetry: str | None = None,
         config: DetectorConfig | None = None,
         **approach_kwargs,
     ) -> None:
@@ -244,6 +258,7 @@ class EpistasisDetector:
                 word_layout=word_layout,
                 backend=backend,
                 fused=fused,
+                telemetry=telemetry,
             )
         self.config = config
         self._approach_kwargs = dict(approach_kwargs)
@@ -573,9 +588,72 @@ class EpistasisDetector:
             and ``stats.extra["distributed"]`` the shard bookkeeping of a
             multi-process run.
         """
+        from repro.telemetry import (
+            current_run,
+            finish_run,
+            new_run_id,
+            resolve_telemetry_mode,
+            span_or_null,
+            start_run,
+        )
+
         cfg = self.config
         if workers is not None and workers < 1:
             raise ValueError("workers must be positive")
+        # Join the ambient telemetry run (pipeline stage, distributed
+        # worker) when one is active; otherwise this call owns the run.
+        mode = resolve_telemetry_mode(cfg.telemetry)
+        session = current_run()
+        owns_session = False
+        if session is None and mode != "off":
+            session = start_run(mode)
+            owns_session = True
+        run_id = session.run_id if session is not None else new_run_id()
+        try:
+            with span_or_null(
+                "detect",
+                order=source.order,
+                total=source.total,
+                approach=str(cfg.approach),
+            ):
+                result = self._detect_candidates(
+                    dataset,
+                    source,
+                    cancel=cancel,
+                    progress=progress,
+                    observe=observe,
+                    workers=workers,
+                    checkpoint=checkpoint,
+                    resume=resume,
+                    pool=pool,
+                    shm=shm,
+                    session=session,
+                    run_id=run_id,
+                )
+        finally:
+            if owns_session:
+                finish_run(session)
+        return result
+
+    def _detect_candidates(
+        self,
+        dataset: GenotypeDataset,
+        source: CandidateSource,
+        *,
+        cancel,
+        progress,
+        observe,
+        workers,
+        checkpoint,
+        resume,
+        pool,
+        shm,
+        session,
+        run_id,
+    ) -> DetectionResult:
+        from repro.telemetry import span_or_null
+
+        cfg = self.config
         if (workers is not None and workers > 1) or checkpoint is not None:
             if observe is not None:
                 raise ValueError(
@@ -596,6 +674,7 @@ class EpistasisDetector:
                 approach_kwargs=self._approach_kwargs,
                 pool=pool,
                 shm=shm,
+                run_id=run_id,
             )
             if outcome.cancelled or not outcome.completed:
                 raise RuntimeError(
@@ -605,12 +684,13 @@ class EpistasisDetector:
                 )
             return outcome.result
         total = source.total
-        self._prepare_objective(dataset)
-        devices = self.engine_devices()
-        policy = self._build_policy(dataset, source)
-        plan = ExecutionPlan(
-            source=source, devices=devices, policy=policy, top_k=cfg.top_k
-        )
+        with span_or_null("plan", total=total):
+            self._prepare_objective(dataset)
+            devices = self.engine_devices()
+            policy = self._build_policy(dataset, source)
+            plan = ExecutionPlan(
+                source=source, devices=devices, policy=policy, top_k=cfg.top_k
+            )
 
         # Encode the dataset once per device lane (CPU and GPU approaches
         # consume different layouts); workers of a lane share the read-only
@@ -665,6 +745,12 @@ class EpistasisDetector:
             raise RuntimeError("exhaustive search produced no interactions")
 
         stats = self._build_stats(run, plan, total, dataset, policy, source)
+        stats.extra["run_id"] = run_id
+        if session is not None:
+            from repro.telemetry import absorb_stats
+
+            absorb_stats(session, stats)
+            stats.extra["telemetry"] = session.summary()
         return DetectionResult(best=run.top[0], top=list(run.top), stats=stats)
 
     # -- staged search --------------------------------------------------------------
@@ -796,6 +882,7 @@ class EpistasisDetector:
             word_layout=cfg.word_layout,
             backend=cfg.backend,
             fused=cfg.fused,
+            telemetry=cfg.telemetry,
             workers=workers or 1,
             checkpoint=checkpoint,
             resume=resume,

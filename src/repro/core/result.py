@@ -179,6 +179,7 @@ class DetectionResult:
         """
         devices = self.stats.extra.get("devices", {})
         return {
+            "run_id": self.stats.extra.get("run_id"),
             "approach": self.stats.approach,
             "order": self.stats.extra.get("order"),
             "schedule": self.stats.extra.get("schedule"),

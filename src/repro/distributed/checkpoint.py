@@ -139,6 +139,22 @@ class JsonLedger:
         except FileNotFoundError:
             pass
 
+    def note_run(self, run_id: str | None) -> None:
+        """Append a run identity to the ledger's run history and persist.
+
+        Exported trace files carry the same ``run_id`` in their manifest,
+        so every run — fresh or resumed — that touched this ledger stays
+        correlatable with its telemetry.  The history lives outside the
+        fingerprint, so resuming under a new ``run_id`` never invalidates
+        the ledger.
+        """
+        if not run_id:
+            return
+        runs = self.doc.setdefault("run_ids", [])
+        if run_id not in runs:
+            runs.append(run_id)
+            self.write()
+
 
 class CheckpointStore(JsonLedger):
     """Shard ledger of one distributed run.

@@ -229,6 +229,7 @@ def run_distributed(
     mp_context: str = "spawn",
     pool: str = "keep",
     shm: object = None,
+    run_id: str | None = None,
 ) -> DistributedOutcome:
     """Execute a candidate sweep as a sharded multi-process run.
 
@@ -236,6 +237,10 @@ def run_distributed(
     ----------
     dataset / source:
         The case/control dataset and the candidate space to sweep.
+    run_id:
+        Run identity correlating the result, checkpoint ledger and trace
+        file; defaults to the ambient telemetry run's id (when the
+        detector or pipeline owns one) or a fresh id.
     config:
         A :class:`~repro.core.detector.DetectorConfig`; ``approach`` must be
         a registry name (worker processes build their own instances).
@@ -287,10 +292,74 @@ def run_distributed(
         )
     if workers < 1:
         raise ValueError("workers must be positive")
-    total = source.total
-    if total < 1:
+    if source.total < 1:
         raise ValueError("cannot distribute an empty candidate source")
 
+    from repro.telemetry import (
+        current_run,
+        finish_run,
+        new_run_id,
+        resolve_telemetry_mode,
+        start_run,
+    )
+
+    # Join the ambient telemetry run (the detector or pipeline usually
+    # owns it); direct callers (benchmarks) own the run themselves.
+    mode = resolve_telemetry_mode(getattr(config, "telemetry", None))
+    session = current_run()
+    owns_session = session is None and mode != "off"
+    if owns_session:
+        session = start_run(mode)
+    if session is not None:
+        run_id = session.run_id
+    elif run_id is None:
+        run_id = new_run_id()
+    try:
+        return _run_distributed_impl(
+            dataset,
+            source,
+            config=config,
+            workers=workers,
+            checkpoint=checkpoint,
+            resume=resume,
+            planner=planner,
+            shard_budget=shard_budget,
+            collect_snp_minima=collect_snp_minima,
+            progress=progress,
+            cancel=cancel,
+            approach_kwargs=approach_kwargs,
+            mp_context=mp_context,
+            pool=pool,
+            shm=shm,
+            run_id=run_id,
+            session=session,
+        )
+    finally:
+        if owns_session:
+            finish_run(session)
+
+
+def _run_distributed_impl(
+    dataset: GenotypeDataset,
+    source: CandidateSource,
+    *,
+    config,
+    workers: int,
+    checkpoint: str | None,
+    resume: bool,
+    planner: ShardPlanner | None,
+    shard_budget: int | None,
+    collect_snp_minima: bool,
+    progress: ProgressCallback | None,
+    cancel,
+    approach_kwargs: Dict[str, object] | None,
+    mp_context: str,
+    pool: str,
+    shm: object,
+    run_id: str,
+    session,
+) -> DistributedOutcome:
+    total = source.total
     started = time.perf_counter()
     planner = planner or ShardPlanner()
     shards = planner.plan(
@@ -319,6 +388,9 @@ def run_distributed(
             },
         }
         restored = store.begin(fingerprint, shards, resume=resume)
+        # Correlate the ledger with this run's trace file (and any
+        # earlier runs that touched it); not part of the fingerprint.
+        store.note_run(run_id)
 
     pending = [s for s in shards if s.shard_id not in restored]
     if shard_budget is not None:
@@ -358,37 +430,55 @@ def run_distributed(
             dataset, config, approach_kwargs_resolved, runner.data_session()
         )
 
+    from contextlib import nullcontext
+
+    dispatch_span = (
+        session.tracer.span(
+            "shard.dispatch", shards=len(pending), workers=workers
+        )
+        if session is not None and pending
+        else nullcontext()
+    )
+
     outcomes: List[ShardOutcome] = []
     cancelled = False
     try:
-        if pending and not (cancel is not None and cancel.cancelled):
-            shard_stream = runner.map_shards(pending)
-            try:
-                for outcome in shard_stream:
-                    outcomes.append(outcome)
-                    if store is not None:
-                        record: Dict[str, object] = {
-                            "top": outcome.rows,
-                            "n_items": int(outcome.n_items),
-                            "elapsed_seconds": float(outcome.elapsed_seconds),
-                            "op_counts": dict(outcome.op_counts),
-                            "bytes_loaded": int(outcome.bytes_loaded),
-                            "bytes_stored": int(outcome.bytes_stored),
-                            "device_stats": outcome.device_stats,
-                        }
-                        if outcome.snp_minima is not None:
-                            record["snp_minima"] = outcome.snp_minima
-                        store.record_shard(outcome.shard_id, record)
-                    items_total_done += outcome.n_items
-                    if progress is not None:
-                        progress(items_total_done, total)
-                    if cancel is not None and cancel.cancelled:
-                        cancelled = True
-                        break
-            finally:
-                shard_stream.close()
-        elif cancel is not None and cancel.cancelled:
-            cancelled = True
+        with dispatch_span:
+            if session is not None and workers > 1 and pending:
+                # Cross-process span propagation: workers activate a run
+                # from this context, so their ``shard.run`` trees parent
+                # under the dispatch span on the coordinator's timeline.
+                payload.telemetry = session.context()
+            if pending and not (cancel is not None and cancel.cancelled):
+                shard_stream = runner.map_shards(pending)
+                try:
+                    for outcome in shard_stream:
+                        outcomes.append(outcome)
+                        if session is not None and outcome.spans:
+                            session.tracer.absorb(outcome.spans)
+                        if store is not None:
+                            record: Dict[str, object] = {
+                                "top": outcome.rows,
+                                "n_items": int(outcome.n_items),
+                                "elapsed_seconds": float(outcome.elapsed_seconds),
+                                "op_counts": dict(outcome.op_counts),
+                                "bytes_loaded": int(outcome.bytes_loaded),
+                                "bytes_stored": int(outcome.bytes_stored),
+                                "device_stats": outcome.device_stats,
+                            }
+                            if outcome.snp_minima is not None:
+                                record["snp_minima"] = outcome.snp_minima
+                            store.record_shard(outcome.shard_id, record)
+                        items_total_done += outcome.n_items
+                        if progress is not None:
+                            progress(items_total_done, total)
+                        if cancel is not None and cancel.cancelled:
+                            cancelled = True
+                            break
+                finally:
+                    shard_stream.close()
+            elif cancel is not None and cancel.cancelled:
+                cancelled = True
     finally:
         runner.close()
     data_plane = _aggregate_data_plane(
@@ -466,6 +556,7 @@ def run_distributed(
             "fused": resolve_fused_mode(getattr(config, "fused", None)),
             "candidates": source.describe(),
             "devices": device_stats,
+            "run_id": run_id,
             "distributed": {
                 "workers": workers,
                 "n_shards": len(shards),
@@ -478,6 +569,7 @@ def run_distributed(
                 "pool": pool,
                 "shm": shm_enabled,
                 "data_plane": dict(data_plane),
+                "fleet": runner.fleet_info(),
             },
         }
         stats = ApproachStats(
@@ -491,6 +583,11 @@ def run_distributed(
             n_workers=workers * config.n_workers,
             extra=extra,
         )
+        if session is not None:
+            from repro.telemetry import absorb_stats
+
+            absorb_stats(session, stats)
+            extra["telemetry"] = session.summary()
         result = DetectionResult(best=top[0], top=list(top), stats=stats)
 
     shard_items = {

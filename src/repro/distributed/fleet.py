@@ -62,11 +62,15 @@ class WorkerFleet:
     def _executor(self) -> ProcessPoolExecutor:
         with self._lock:
             if self._pool is None:
+                from repro.distributed.shm import note_event
+
                 self._pool = ProcessPoolExecutor(
                     max_workers=self.workers,
                     mp_context=multiprocessing.get_context(self.mp_context),
                 )
                 self.generation += 1
+                note_event("pool_spawns")
+                note_event("pool_workers_spawned", self.workers)
             return self._pool
 
     def submit(self, fn, /, *args, **kwargs) -> Future:
@@ -77,6 +81,15 @@ class WorkerFleet:
     def warm(self) -> bool:
         """Whether the pool is already spawned (no start-up cost left)."""
         return self._pool is not None
+
+    def describe(self) -> dict:
+        """Fleet bookkeeping snapshot for run statistics and telemetry."""
+        return {
+            "workers": self.workers,
+            "warm": self.warm,
+            "generation": self.generation,
+            "respawns": self.respawns,
+        }
 
     def respawn(self) -> None:
         """Replace a broken pool with a freshly spawned one.

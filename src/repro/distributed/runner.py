@@ -96,6 +96,12 @@ class WorkerPayload:
     collect_minima: bool = False
     fused: str | None = None
     approach_kwargs: Dict[str, object] = field(default_factory=dict)
+    #: Cross-process telemetry propagation
+    #: (:class:`~repro.telemetry.TraceContext` or ``None``).  Deliberately
+    #: excluded from :meth:`fingerprint`: the run identity changes per run
+    #: while the hydrated execution state does not, and a warm worker must
+    #: keep its context cache hits across runs.
+    telemetry: object = None
 
     def fingerprint(self) -> str:
         """Content fingerprint keying the per-process context cache.
@@ -151,6 +157,10 @@ class ShardOutcome:
     #: Data-plane counter increments of the batch this outcome headed
     #: (attached to the first outcome of each batch; empty otherwise).
     data_plane: Dict[str, int] = field(default_factory=dict)
+    #: Serialized telemetry spans recorded in the worker process while the
+    #: batch ran (attached to the first outcome of each batch; empty
+    #: otherwise, and always empty with telemetry off).
+    spans: List[dict] = field(default_factory=list)
 
 
 class _WorkerContext:
@@ -299,9 +309,39 @@ def _run_shard_batch(
     """
     _maybe_inject_fault()
     before = data_plane_snapshot()
-    context = _context_for(payload)
-    outcomes = [context.run_shard(task) for task in tasks]
+    trace_ctx = payload.telemetry
+    session = None
+    if trace_ctx is not None:
+        from repro.telemetry import start_run
+
+        # Activate the coordinator's run in this process: every span the
+        # batch records (shard.run and the nested detect/device.run/kernel
+        # tree) carries the coordinator's run_id and parents under its
+        # dispatch span via the shipped context.
+        session = start_run(trace_ctx.mode, context=trace_ctx)
+    try:
+        context = _context_for(payload)
+        outcomes = []
+        for task in tasks:
+            if session is not None:
+                with session.tracer.span(
+                    "shard.run",
+                    shard_id=task[0],
+                    start=task[1],
+                    stop=task[2],
+                    pid=os.getpid(),
+                ):
+                    outcomes.append(context.run_shard(task))
+            else:
+                outcomes.append(context.run_shard(task))
+    finally:
+        if session is not None:
+            from repro.telemetry import finish_run
+
+            finish_run(session)
     outcomes[0].data_plane = data_plane_delta(before)
+    if session is not None:
+        outcomes[0].spans = session.tracer.export_spans()
     return outcomes
 
 
@@ -379,6 +419,7 @@ class ProcessRunner:
         self.pool = pool
         self.batch_size = batch_size
         self._fleet = None
+        self._fleet_info: Dict[str, object] | None = None
         self._dedicated = False
         self._session = None
 
@@ -400,9 +441,16 @@ class ProcessRunner:
                 self._session = shared_store().session()
         return self._session
 
+    def fleet_info(self) -> Dict[str, object] | None:
+        """Bookkeeping of the fleet that ran this runner's shards, if any."""
+        if self._fleet is not None:
+            return self._fleet.describe()
+        return self._fleet_info
+
     def close(self) -> None:
         """Release run-scoped resources (dedicated pool, fresh session)."""
         if self._dedicated and self._fleet is not None:
+            self._fleet_info = self._fleet.describe()
             self._fleet.shutdown()
             self._fleet = None
         if self._session is not None and not (
@@ -443,10 +491,17 @@ class ProcessRunner:
         if not tasks:
             return
         if self.workers == 1:
+            from repro.telemetry import span_or_null
+
             context = _WorkerContext(self.payload)
             for task in tasks:
                 before = data_plane_snapshot()
-                outcome = context.run_shard(task)
+                # Inline shards join the coordinator's ambient run directly
+                # (no cross-process propagation needed).
+                with span_or_null(
+                    "shard.run", shard_id=task[0], start=task[1], stop=task[2]
+                ):
+                    outcome = context.run_shard(task)
                 outcome.data_plane = data_plane_delta(before)
                 yield outcome
             return

@@ -551,17 +551,20 @@ def publish_dataset(dataset, session: StoreSession | None = None) -> DatasetHand
     Returns the :class:`DatasetHandle` shard tasks ship in place of the
     arrays.  Publishing the same content twice reuses the live segment.
     """
+    from repro.telemetry import span_or_null
+
     digest = dataset.content_digest()
     store = shared_store()
-    store.publish(
-        _dataset_key(digest),
-        {"genotypes": dataset.genotypes, "phenotypes": dataset.phenotypes},
-        meta={
-            "snp_names": list(dataset.snp_names),
-            "digest": digest,
-        },
-        session=session,
-    )
+    with span_or_null("shm.publish", kind="dataset", digest=digest[:12]):
+        store.publish(
+            _dataset_key(digest),
+            {"genotypes": dataset.genotypes, "phenotypes": dataset.phenotypes},
+            meta={
+                "snp_names": list(dataset.snp_names),
+                "digest": digest,
+            },
+            session=session,
+        )
     note_event("dataset_published")
     return DatasetHandle(
         digest=digest, n_snps=dataset.n_snps, n_samples=dataset.n_samples
@@ -580,11 +583,14 @@ def hydrate_dataset(handle: DatasetHandle):
     seeded from the handle, skipping the re-hash); later touches hit the
     per-process cache.
     """
+    from repro.telemetry import span_or_null
+
     cached = _DATASET_CACHE.get(handle.digest)
     if cached is not None:
         note_event("dataset_cache_hits")
         return cached
-    loaded = shared_store().load(_dataset_key(handle.digest))
+    with span_or_null("shm.attach", kind="dataset", digest=handle.digest[:12]):
+        loaded = shared_store().load(_dataset_key(handle.digest))
     if loaded is None:
         raise RuntimeError(
             f"shared dataset segment for digest {handle.digest[:12]} is "
@@ -684,13 +690,16 @@ def publish_encoding(key: tuple, encoded, session: StoreSession | None = None) -
     codec — GPU layouts, duck-typed approaches — which workers rebuild
     locally from the shared dataset instead.
     """
+    from repro.telemetry import span_or_null
+
     payload = _encode_encoding(encoded)
     if payload is None:
         return False
     codec, arrays, meta = payload
     meta = dict(meta)
     meta["codec"] = codec
-    shared_store().publish(key, arrays, meta=meta, session=session)
+    with span_or_null("shm.publish", kind="encoding", codec=codec):
+        shared_store().publish(key, arrays, meta=meta, session=session)
     note_event("encoding_published")
     return True
 
@@ -702,13 +711,16 @@ def load_encoding(key: tuple):
     (:meth:`EncodingCache.attach_shared_tier`): a local cache miss resolves
     against the store before falling back to re-packing the dataset.
     """
-    loaded = shared_store().load(key)
-    if loaded is None:
-        return None
-    arrays, meta = loaded
-    codec = meta.pop("codec", None)
-    if codec is None:
-        return None
-    encoded = _decode_encoding(codec, arrays, meta)
+    from repro.telemetry import span_or_null
+
+    with span_or_null("shm.attach", kind="encoding"):
+        loaded = shared_store().load(key)
+        if loaded is None:
+            return None
+        arrays, meta = loaded
+        codec = meta.pop("codec", None)
+        if codec is None:
+            return None
+        encoded = _decode_encoding(codec, arrays, meta)
     note_event("encoding_shm_attached")
     return encoded

@@ -164,6 +164,14 @@ class HeterogeneousExecutor:
         assignments = plan.policy.assign(plan.total, plan.devices)
         labels = plan.device_labels()
 
+        # Telemetry: join the ambient run, if any.  ``off`` leaves both
+        # hooks unset — the chunk loop runs the exact pre-telemetry code.
+        from repro.telemetry import current_run
+
+        session = current_run()
+        if session is not None and session.full:
+            evaluate = _traced_kernel(session.tracer, evaluate)
+
         workers: List[DeviceWorker] = []
         jobs: List[tuple[DeviceWorker, Any]] = []  # (worker, source)
         worker_id = 0
@@ -191,17 +199,38 @@ class HeterogeneousExecutor:
                     done += n_items
                     progress(done, plan.total)
 
+        def run_worker(worker: DeviceWorker, source: Any) -> None:
+            worker.run(source, evaluate, snp_names, self.cancel, on_chunk)
+
+        if session is not None:
+            tracer = session.tracer
+            # Lane jobs run in pool threads with empty span stacks; parent
+            # them explicitly under the caller's current span (``detect``).
+            run_parent = tracer.current_span_id()
+            plain_run = run_worker
+
+            def run_worker(worker: DeviceWorker, source: Any) -> None:
+                with tracer.span(
+                    "device.run",
+                    parent_id=run_parent,
+                    worker_id=worker.worker_id,
+                    label=worker.label,
+                    device=worker.device.kind,
+                ) as span:
+                    plain_run(worker, source)
+                    span.set("chunks", worker.chunks)
+                    span.set("items", worker.items)
+
         started = time.perf_counter()
         if len(jobs) == 1:
             # Inline execution keeps single-threaded profiling runs free of
             # executor noise (and of spurious thread-switch jitter).
             worker, source = jobs[0]
-            worker.run(source, evaluate, snp_names, self.cancel, on_chunk)
+            run_worker(worker, source)
         elif jobs:
             with ThreadPoolExecutor(max_workers=len(jobs)) as pool:
                 futures = [
-                    pool.submit(w.run, src, evaluate, snp_names, self.cancel, on_chunk)
-                    for w, src in jobs
+                    pool.submit(run_worker, w, src) for w, src in jobs
                 ]
                 wait(futures, return_when=FIRST_EXCEPTION)
                 for fut in futures:
@@ -262,3 +291,19 @@ class HeterogeneousExecutor:
                 }
             stats[label] = entry
         return stats
+
+
+def _traced_kernel(tracer, evaluate: ChunkEvaluator) -> ChunkEvaluator:
+    """Wrap a chunk kernel with per-chunk ``kernel`` span samples.
+
+    Only installed in ``telemetry="full"`` mode; the span parents under
+    the calling thread's open ``device.run`` span automatically.
+    """
+
+    def traced(worker: DeviceWorker, start: int, stop: int):
+        with tracer.span(
+            "kernel", items=stop - start, worker_id=worker.worker_id
+        ):
+            return evaluate(worker, start, stop)
+
+    return traced

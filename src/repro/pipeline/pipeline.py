@@ -73,6 +73,12 @@ class SearchPipeline:
         Restore completed stages and shards from the checkpoint directory
         instead of re-executing them (fingerprints validated; safe to pass
         when no checkpoint exists yet).
+    telemetry:
+        Telemetry mode of the pipeline run (``"off"``/``"minimal"``/
+        ``"full"``; ``None`` defers to ``REPRO_TELEMETRY``).  The pipeline
+        owns one telemetry session — every stage, engine run and
+        distributed sweep joins it, so a single trace covers the whole
+        staged search under one ``run_id``.
     pool / shm:
         Worker-fleet and data-plane knobs of the distributed sweep stages:
         ``pool="keep"`` (default) runs every stage on one process-wide warm
@@ -98,17 +104,22 @@ class SearchPipeline:
         word_layout: str | None = None,
         backend: str | None = None,
         fused: str | None = None,
+        telemetry: str | None = None,
         workers: int = 1,
         checkpoint: str | None = None,
         resume: bool = False,
         pool: str = "keep",
         shm: object = None,
     ) -> None:
+        from repro.telemetry import check_telemetry_mode
+
         stages = list(stages)
         if not stages:
             raise ValueError("a search pipeline needs at least one stage")
         if workers < 1:
             raise ValueError("workers must be positive")
+        if telemetry is not None:
+            check_telemetry_mode(telemetry)
         self.stages = stages
         self.workers = workers
         self.checkpoint = checkpoint
@@ -127,6 +138,7 @@ class SearchPipeline:
             word_layout=word_layout,
             backend=backend,
             fused=fused,
+            telemetry=telemetry,
         )
 
     def run(
@@ -149,6 +161,46 @@ class SearchPipeline:
             Optional callback ``progress(stage_name, done, total)`` invoked
             after every chunk of every stage.
         """
+        from repro.telemetry import (
+            current_run,
+            finish_run,
+            new_run_id,
+            resolve_telemetry_mode,
+            span_or_null,
+            start_run,
+        )
+
+        mode = resolve_telemetry_mode(self.defaults.telemetry)
+        session = current_run()
+        owns_session = False
+        if session is None and mode != "off":
+            session = start_run(mode)
+            owns_session = True
+        run_id = session.run_id if session is not None else new_run_id()
+        try:
+            with span_or_null(
+                "pipeline", stages=len(self.stages), n_snps=dataset.n_snps
+            ):
+                return self._run(
+                    dataset,
+                    cancel=cancel,
+                    progress=progress,
+                    run_id=run_id,
+                )
+        finally:
+            if owns_session:
+                finish_run(session)
+
+    def _run(
+        self,
+        dataset: GenotypeDataset,
+        *,
+        cancel: CancellationToken | None,
+        progress: PipelineProgress | None,
+        run_id: str,
+    ) -> PipelineResult:
+        from repro.telemetry import span_or_null
+
         ctx = StageContext(
             dataset=dataset,
             defaults=self.defaults,
@@ -161,6 +213,8 @@ class SearchPipeline:
             shm=self.shm,
         )
         ledger = self._open_ledger(dataset)
+        if ledger is not None:
+            ledger.note_run(run_id)
         reports: List[StageReport] = []
         started = time.perf_counter()
         for index, stage in enumerate(self.stages):
@@ -169,7 +223,10 @@ class SearchPipeline:
             if restored is not None:
                 reports.append(restored)
                 continue
-            report = stage.run(ctx)
+            with span_or_null(
+                "pipeline.stage", stage=stage.name, index=index
+            ):
+                report = stage.run(ctx)
             reports.append(report)
             self._record_stage(ledger, index, ctx, report)
         elapsed = time.perf_counter() - started
@@ -193,6 +250,7 @@ class SearchPipeline:
                 [int(s) for s in ctx.retained] if ctx.retained is not None else None
             ),
             p_values=ctx.p_values,
+            run_id=run_id,
         )
 
     # -- pipeline-level checkpointing -------------------------------------------

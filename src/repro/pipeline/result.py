@@ -150,6 +150,9 @@ class PipelineResult:
     exhaustive_combinations:
         ``nCr(n_snps, final_order)`` — what a dense search would have
         evaluated at the final order.
+    run_id:
+        Telemetry run identity of this pipeline execution; matches the
+        ``run_id`` in exported trace manifests and checkpoint ledgers.
     """
 
     best: Interaction
@@ -162,6 +165,7 @@ class PipelineResult:
     exhaustive_combinations: int
     retained_snps: List[int] | None = None
     p_values: List[float] | None = None
+    run_id: str | None = None
 
     @property
     def best_snps(self) -> tuple[int, ...]:
@@ -240,6 +244,7 @@ class PipelineResult:
                 entry["p_value"] = float(self.p_values[i])
             top.append(entry)
         return {
+            "run_id": self.run_id,
             "n_snps": self.n_snps,
             "n_samples": self.n_samples,
             "final_order": self.final_order,

@@ -79,6 +79,7 @@ class PipelineDefaults:
     word_layout: str | None = None
     backend: str | None = None
     fused: str | None = None
+    telemetry: str | None = None
 
 
 @dataclass
@@ -168,6 +169,7 @@ class PipelineStage(ABC):
     word_layout: str | None = None
     backend: str | None = None
     fused: str | None = None
+    telemetry: str | None = None
 
     @abstractmethod
     def run(self, ctx: StageContext) -> StageReport:
@@ -197,6 +199,7 @@ class PipelineStage(ABC):
             word_layout=self.word_layout or d.word_layout,
             backend=self.backend or d.backend,
             fused=self.fused or d.fused,
+            telemetry=self.telemetry or d.telemetry,
         )
 
     @staticmethod

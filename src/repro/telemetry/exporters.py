@@ -1,0 +1,213 @@
+"""Trace exporters: JSON-lines, Chrome trace-event, and a summary table.
+
+Three consumers, three formats:
+
+* :func:`write_jsonl` — one JSON object per line (manifest record first,
+  then spans, then a metrics record); greppable and stream-appendable.
+* :func:`write_chrome_trace` — the Chrome trace-event JSON object
+  (``{"traceEvents": [...]}``) loadable in Perfetto or
+  ``chrome://tracing`` to see lane overlap and shard skew.  Spans map to
+  ``"ph": "X"`` complete events with microsecond timestamps; process and
+  thread names are announced with ``"ph": "M"`` metadata events.
+* :func:`summarize_spans` — the human table behind
+  ``repro trace summary``.
+
+:func:`load_trace` reads either format back into ``(manifest, spans,
+metrics)`` so the CLI summary works on any file this module wrote.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+from .manifest import run_manifest
+
+__all__ = [
+    "chrome_trace_events",
+    "load_trace",
+    "summarize_spans",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_trace",
+]
+
+
+def _span_rows(run) -> List[dict]:
+    return [span.to_dict() for span in run.tracer.spans]
+
+
+def write_jsonl(run, path: str, config: "Optional[dict]" = None) -> int:
+    """Write a JSON-lines span log; returns the number of span lines."""
+    rows = _span_rows(run)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps(run_manifest(run, config)) + "\n")
+        for row in rows:
+            fh.write(json.dumps({"type": "span", **row}) + "\n")
+        fh.write(
+            json.dumps({"type": "metrics", **run.metrics.as_dict()}) + "\n"
+        )
+    return len(rows)
+
+
+def chrome_trace_events(span_rows: List[dict]) -> List[dict]:
+    """Map span dicts to Chrome trace-event ``X``/``M`` events."""
+    events: List[dict] = []
+    seen_pids: Dict[int, str] = {}
+    seen_tids: Dict[Tuple[int, int], str] = {}
+    for row in span_rows:
+        pid = int(row.get("pid", 0))
+        tid = int(row.get("tid", 0))
+        if pid not in seen_pids:
+            seen_pids[pid] = f"repro pid={pid}"
+        key = (pid, tid)
+        if key not in seen_tids:
+            seen_tids[key] = str(row.get("thread") or f"tid={tid}")
+        args = dict(row.get("attrs") or {})
+        args["span_id"] = row.get("span_id")
+        if row.get("parent_id"):
+            args["parent_id"] = row["parent_id"]
+        events.append(
+            {
+                "name": row["name"],
+                "cat": "repro",
+                "ph": "X",
+                "ts": float(row["start"]) * 1e6,
+                "dur": max(float(row["duration"]) * 1e6, 0.001),
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            }
+        )
+    for pid, label in seen_pids.items():
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": label},
+            }
+        )
+    for (pid, tid), label in seen_tids.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": label},
+            }
+        )
+    return events
+
+
+def write_chrome_trace(run, path: str, config: "Optional[dict]" = None) -> int:
+    """Write a Perfetto/``chrome://tracing`` loadable trace file."""
+    rows = _span_rows(run)
+    doc = {
+        "traceEvents": chrome_trace_events(rows),
+        "displayTimeUnit": "ms",
+        "metadata": {
+            **run_manifest(run, config),
+            "spans": rows,
+            "metrics": run.metrics.as_dict(),
+        },
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+    return len(rows)
+
+
+def write_trace(run, path: str, config: "Optional[dict]" = None) -> int:
+    """Dispatch on extension: ``.jsonl`` → span log, else Chrome trace."""
+    if str(path).endswith(".jsonl"):
+        return write_jsonl(run, path, config)
+    return write_chrome_trace(run, path, config)
+
+
+def load_trace(path: str) -> Tuple[dict, List[dict], dict]:
+    """Read a trace file back as ``(manifest, span_rows, metrics)``.
+
+    Accepts both formats written by this module; raises ``ValueError``
+    for anything else.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    stripped = text.lstrip()
+    if not stripped:
+        raise ValueError(f"{path}: empty trace file")
+    if stripped.startswith("{") and '"traceEvents"' in stripped[:2048]:
+        doc = json.loads(text)
+        meta = doc.get("metadata") or {}
+        spans = list(meta.get("spans") or [])
+        if not spans:
+            # Fall back to reconstructing spans from the X events.
+            for event in doc.get("traceEvents", []):
+                if event.get("ph") != "X":
+                    continue
+                args = dict(event.get("args") or {})
+                spans.append(
+                    {
+                        "name": event.get("name", ""),
+                        "span_id": args.pop("span_id", ""),
+                        "parent_id": args.pop("parent_id", None),
+                        "run_id": meta.get("run_id", ""),
+                        "start": float(event.get("ts", 0.0)) / 1e6,
+                        "duration": float(event.get("dur", 0.0)) / 1e6,
+                        "pid": event.get("pid", 0),
+                        "tid": event.get("tid", 0),
+                        "thread": "",
+                        "attrs": args,
+                    }
+                )
+        manifest = {k: v for k, v in meta.items() if k not in ("spans", "metrics")}
+        return manifest, spans, dict(meta.get("metrics") or {})
+    # JSON-lines span log.
+    manifest: dict = {}
+    spans = []
+    metrics: dict = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        doc = json.loads(line)
+        kind = doc.get("type")
+        if kind == "manifest":
+            manifest = doc
+        elif kind == "span":
+            spans.append(doc)
+        elif kind == "metrics":
+            metrics = doc
+    if not manifest and not spans:
+        raise ValueError(f"{path}: not a repro trace file")
+    return manifest, spans, metrics
+
+
+def summarize_spans(span_rows: List[dict]) -> str:
+    """Aggregate spans by name into an aligned text table."""
+    if not span_rows:
+        return "(no spans recorded)"
+    starts = [float(r["start"]) for r in span_rows]
+    ends = [float(r["start"]) + float(r["duration"]) for r in span_rows]
+    wall = max(ends) - min(starts)
+    by_name: Dict[str, List[float]] = {}
+    for row in span_rows:
+        by_name.setdefault(str(row["name"]), []).append(float(row["duration"]))
+    names = sorted(by_name, key=lambda n: -sum(by_name[n]))
+    width = max(len("span"), max(len(n) for n in names))
+    lines = [
+        f"{'span':<{width}}  {'count':>6}  {'total s':>9}  "
+        f"{'mean ms':>9}  {'% wall':>7}"
+    ]
+    for name in names:
+        durations = by_name[name]
+        total = sum(durations)
+        mean_ms = total / len(durations) * 1e3
+        pct = (total / wall * 100.0) if wall > 0 else 0.0
+        lines.append(
+            f"{name:<{width}}  {len(durations):>6d}  {total:>9.4f}  "
+            f"{mean_ms:>9.3f}  {pct:>6.1f}%"
+        )
+    lines.append(f"{'wall clock':<{width}}  {'':>6}  {wall:>9.4f}")
+    return "\n".join(lines)

@@ -1,0 +1,234 @@
+"""Ambient run sessions: one tracer + metrics registry per run.
+
+Ownership model
+---------------
+Exactly one layer *starts* a run and every nested layer *joins* it:
+
+* ``EpistasisDetector.detect_candidates`` starts a run when its resolved
+  telemetry mode is not ``off`` and no run is active;
+* ``SearchPipeline.run`` starts one so all stage detectors share it;
+* ``run_distributed`` starts one when invoked directly (benchmarks);
+* distributed worker processes *activate* a run from the coordinator's
+  :class:`~repro.telemetry.tracer.TraceContext` so their spans carry the
+  coordinator's ``run_id`` and timeline.
+
+Joining is implicit: any layer calls :func:`current_run` and records
+into it when one is active, regardless of its own config — the run
+owner decides whether telemetry is on.  When nothing is active the
+helpers (:func:`span_or_null`, :func:`metric_inc`) are near-free no-ops,
+which is what keeps ``telemetry="off"`` off the hot path.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import nullcontext
+from typing import Optional
+
+from .metrics import MetricsRegistry
+from .tracer import TraceContext, Tracer, new_run_id
+
+__all__ = [
+    "RunTelemetry",
+    "absorb_stats",
+    "current_run",
+    "finish_run",
+    "last_run",
+    "metric_inc",
+    "span_or_null",
+    "start_run",
+]
+
+_LOCK = threading.Lock()
+_ACTIVE: Optional["RunTelemetry"] = None
+_LAST: Optional["RunTelemetry"] = None
+
+#: Reusable no-op context manager (stateless, safe to share/re-enter).
+_NULL_CONTEXT = nullcontext()
+
+
+class RunTelemetry:
+    """The recording state of one run: id, mode, tracer, metrics."""
+
+    def __init__(
+        self,
+        mode: str,
+        run_id: "str | None" = None,
+        context: "TraceContext | None" = None,
+    ) -> None:
+        if context is not None:
+            self.run_id = context.run_id
+            self.mode = context.mode
+            self.tracer = Tracer.from_context(context)
+            self.remote = True
+        else:
+            self.run_id = run_id or new_run_id()
+            self.mode = mode
+            self.tracer = Tracer(self.run_id)
+            self.remote = False
+        self.metrics = MetricsRegistry()
+        self.started_at = time.time()
+        self.finished_at: Optional[float] = None
+        self._dataplane_mark: Optional[dict] = None
+
+    def dataplane_delta(self) -> dict:
+        """Data-plane counter increments since the previous call.
+
+        The first call baselines against the run start (the snapshot is
+        taken lazily so a run that never touches the data plane never
+        imports it).  Marks advance on every call, so repeated absorbs
+        (one per pipeline stage) never double-count.
+        """
+        from repro.distributed.shm import data_plane_delta, data_plane_snapshot
+
+        now = data_plane_snapshot()
+        mark = self._dataplane_mark
+        self._dataplane_mark = now
+        if mark is None:
+            # Unknown baseline: charge nothing for the pre-run history.
+            return {}
+        return data_plane_delta(mark, now)
+
+    def mark_dataplane(self) -> None:
+        """Baseline the data-plane counters (called at run start)."""
+        from repro.distributed.shm import data_plane_snapshot
+
+        self._dataplane_mark = data_plane_snapshot()
+
+    @property
+    def full(self) -> bool:
+        """True when per-chunk kernel samples should be recorded."""
+        return self.mode == "full"
+
+    def context(self, parent_id: "str | None" = None) -> TraceContext:
+        """Propagation handle for shipping this run to a worker process."""
+        return self.tracer.context(self.mode, parent_id=parent_id)
+
+    def summary(self) -> dict:
+        """Small embeddable digest (goes into ``DetectionResult.extra``)."""
+        spans = self.tracer.spans
+        return {
+            "mode": self.mode,
+            "run_id": self.run_id,
+            "n_spans": len(spans),
+            "n_metrics": len(self.metrics),
+        }
+
+
+def start_run(
+    mode: str,
+    run_id: "str | None" = None,
+    context: "TraceContext | None" = None,
+) -> RunTelemetry:
+    """Create and activate a run session (the caller becomes its owner).
+
+    If a run is already active it is returned unchanged — nested layers
+    must not displace the owner's session.  The owner is responsible for
+    the matching :func:`finish_run`.
+    """
+    global _ACTIVE
+    with _LOCK:
+        if _ACTIVE is not None:
+            return _ACTIVE
+        run = RunTelemetry(mode, run_id=run_id, context=context)
+        _ACTIVE = run
+    run.mark_dataplane()
+    return run
+
+
+def current_run() -> Optional[RunTelemetry]:
+    """The active run session, or ``None`` (telemetry off / not started)."""
+    return _ACTIVE
+
+
+def finish_run(run: RunTelemetry) -> None:
+    """Deactivate ``run`` and remember it as :func:`last_run`.
+
+    No-op when ``run`` is not the active session (a nested layer calling
+    by mistake must not tear down its owner's run).
+    """
+    global _ACTIVE, _LAST
+    with _LOCK:
+        if _ACTIVE is not run:
+            return
+        run.finished_at = time.time()
+        _ACTIVE = None
+        _LAST = run
+
+
+def last_run() -> Optional[RunTelemetry]:
+    """The most recently finished run (for exporters / the CLI)."""
+    return _LAST
+
+
+def span_or_null(name: str, **attrs: object):
+    """A span on the active run, or a shared no-op context manager.
+
+    The off-path cost is one global read and a ``None`` check — callers
+    on warm paths (shm publish/attach, backend compile) use this
+    unconditionally.
+    """
+    run = _ACTIVE
+    if run is None:
+        return _NULL_CONTEXT
+    return run.tracer.span(name, **attrs)
+
+
+def metric_inc(name: str, value: "int | float" = 1) -> None:
+    """Increment a counter on the active run's registry, if any."""
+    run = _ACTIVE
+    if run is not None:
+        run.metrics.inc(name, value)
+
+
+def absorb_stats(run: RunTelemetry, stats) -> None:
+    """Fold a run's :class:`~repro.core.result.ApproachStats` into the registry.
+
+    This is the single bridge between the legacy per-result counters and
+    the namespaced registry: §IV op/traffic counters land under ``ops.*``
+    / ``traffic.*`` op-for-op, engine lane bookkeeping under
+    ``engine.*``/``autotune.*``, and shard/data-plane counters under
+    ``distributed.*``/``dataplane.*``.  Pipeline runs absorb once per
+    stage; counters accumulate across stages of one run.
+    """
+    metrics = run.metrics
+    metrics.merge_counters(stats.op_counts, prefix="ops.")
+    metrics.inc("traffic.bytes_loaded", stats.bytes_loaded)
+    metrics.inc("traffic.bytes_stored", stats.bytes_stored)
+    metrics.inc("engine.combinations", stats.n_combinations)
+    metrics.set_gauge("engine.workers", stats.n_workers)
+    metrics.observe("engine.elapsed_seconds", stats.elapsed_seconds)
+
+    extra = stats.extra or {}
+    for label, entry in (extra.get("devices") or {}).items():
+        metrics.inc("engine.chunks", entry.get("chunks", 0))
+        metrics.inc("engine.items", entry.get("items", 0))
+        metrics.observe("engine.lane_busy_seconds", entry.get("busy_seconds", 0.0))
+        metrics.set_gauge(
+            f"engine.lane.{label}.utilization", entry.get("utilization", 0.0)
+        )
+        autotune = entry.get("autotune")
+        if autotune:
+            for tuner in autotune.get("workers", ()):
+                metrics.inc("autotune.adjustments", tuner.get("adjustments", 0))
+                metrics.observe(
+                    "autotune.final_chunk_size", tuner.get("chunk_size", 0)
+                )
+
+    distributed = extra.get("distributed")
+    if distributed:
+        metrics.inc("distributed.runs", 1)
+        metrics.inc("distributed.shards", distributed.get("n_shards", 0))
+        metrics.set_gauge("distributed.workers", distributed.get("workers", 0))
+        metrics.merge_counters(
+            distributed.get("data_plane") or {}, prefix="dataplane."
+        )
+        fleet = distributed.get("fleet") or {}
+        for key, value in fleet.items():
+            if isinstance(value, (int, float)):
+                metrics.set_gauge(f"fleet.{key}", value)
+    else:
+        # In-process run: charge the data-plane/encoding-cache increments
+        # observed in this process since the last absorb.
+        metrics.merge_counters(run.dataplane_delta(), prefix="dataplane.")

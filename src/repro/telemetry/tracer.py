@@ -1,0 +1,344 @@
+"""Structured tracing: nested spans with a per-run identity.
+
+The tracer is the spine of the telemetry plane (``repro.telemetry``):
+every layer of the stack — detector, engine lanes, pipeline stages,
+distributed shards, the shared-memory data plane and backend compiles —
+wraps its work in :meth:`Tracer.span` so one run produces one tree of
+timed spans under a single ``run_id``.
+
+Clocks
+------
+Span timestamps are *monotonic within a process* (``perf_counter``) and
+*aligned across processes* through a wall-clock epoch captured once when
+the run starts: each tracer anchors ``(time.time(), perf_counter())`` at
+construction and reports span starts as seconds since the run epoch.
+Distributed workers receive the epoch through :class:`TraceContext`, so
+their spans land on the coordinator's timeline (subject to host clock
+skew, which is zero for same-host worker pools).
+
+Cross-process propagation
+-------------------------
+:meth:`Tracer.context` captures ``(run_id, parent span, epoch, mode)``
+as a picklable :class:`TraceContext`.  A worker process builds its own
+tracer from the context, records spans locally, and ships them back as
+plain dicts (:meth:`Tracer.export_spans`); the coordinator re-absorbs
+them with :meth:`Tracer.absorb`, where orphan roots are re-parented
+under the context's parent span — distributed worker spans therefore
+nest correctly under the coordinator's run.
+
+The mode knob (``telemetry="off"|"minimal"|"full"``) mirrors the fused
+and backend knobs: config field, ``--telemetry`` CLI flag, and the
+``REPRO_TELEMETRY`` environment variable, resolved in that order.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+__all__ = [
+    "TELEMETRY_ENV",
+    "VALID_TELEMETRY_MODES",
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "check_telemetry_mode",
+    "default_telemetry_mode",
+    "new_run_id",
+    "resolve_telemetry_mode",
+]
+
+#: Environment variable overriding the default telemetry mode.
+TELEMETRY_ENV = "REPRO_TELEMETRY"
+
+#: Accepted values of the telemetry knob (config, CLI and environment).
+#: ``off`` records nothing (no-op closures on the hot path), ``minimal``
+#: records run/stage/lane/shard-level spans, ``full`` adds per-chunk
+#: kernel samples.
+VALID_TELEMETRY_MODES = ("off", "minimal", "full")
+
+
+def check_telemetry_mode(mode: str) -> str:
+    """Validate a telemetry mode string; returns it normalized."""
+    normalized = str(mode).strip().lower()
+    if normalized not in VALID_TELEMETRY_MODES:
+        raise ValueError(
+            f"unknown telemetry mode {mode!r}; valid values: "
+            + ", ".join(VALID_TELEMETRY_MODES)
+        )
+    return normalized
+
+
+def default_telemetry_mode() -> str:
+    """The session default: ``REPRO_TELEMETRY`` when set, else ``off``."""
+    forced = os.environ.get(TELEMETRY_ENV)
+    if forced is None:
+        return "off"
+    normalized = forced.strip().lower()
+    if normalized not in VALID_TELEMETRY_MODES:
+        raise ValueError(
+            f"{TELEMETRY_ENV}={forced!r} is not a known telemetry mode; "
+            "valid values: " + ", ".join(VALID_TELEMETRY_MODES)
+        )
+    return normalized
+
+
+def resolve_telemetry_mode(mode: "str | None" = None) -> str:
+    """Resolve an explicit mode (or ``None``) to a concrete tri-state."""
+    if mode is None:
+        return default_telemetry_mode()
+    return check_telemetry_mode(mode)
+
+
+def new_run_id() -> str:
+    """A fresh run identity (12 hex chars, collision-safe per host)."""
+    return uuid.uuid4().hex[:12]
+
+
+def _new_span_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+@dataclass
+class Span:
+    """One timed unit of work inside a run."""
+
+    name: str
+    span_id: str
+    parent_id: Optional[str]
+    run_id: str
+    start: float  #: seconds since the run epoch (cross-process aligned)
+    duration: float  #: seconds (monotonic within the recording process)
+    pid: int
+    tid: int
+    thread: str
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "run_id": self.run_id,
+            "start": self.start,
+            "duration": self.duration,
+            "pid": self.pid,
+            "tid": self.tid,
+            "thread": self.thread,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "Span":
+        return cls(
+            name=str(doc["name"]),
+            span_id=str(doc["span_id"]),
+            parent_id=doc.get("parent_id"),
+            run_id=str(doc.get("run_id", "")),
+            start=float(doc["start"]),
+            duration=float(doc["duration"]),
+            pid=int(doc.get("pid", 0)),
+            tid=int(doc.get("tid", 0)),
+            thread=str(doc.get("thread", "")),
+            attrs=dict(doc.get("attrs") or {}),
+        )
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Picklable cross-process handle for parenting remote spans.
+
+    Shipped to distributed workers alongside the shard batch; the worker
+    activates a run from it so its spans share the coordinator's
+    ``run_id``, epoch and parent span.
+    """
+
+    run_id: str
+    parent_id: Optional[str]
+    epoch_wall: float
+    mode: str
+
+
+class _ActiveSpan:
+    """Mutable in-flight span handle yielded by :meth:`Tracer.span`."""
+
+    __slots__ = ("span_id", "attrs")
+
+    def __init__(self, span_id: str, attrs: Dict[str, object]) -> None:
+        self.span_id = span_id
+        self.attrs = attrs
+
+    def set(self, key: str, value: object) -> None:
+        """Attach/overwrite an attribute while the span is open."""
+        self.attrs[key] = value
+
+
+class Tracer:
+    """Collects nested :class:`Span` records for one run.
+
+    Thread-safe: engine device lanes run in threads and each keeps its
+    own parent stack (thread-local), so ``kernel`` samples recorded
+    inside a lane thread parent under that lane's ``device.run`` span
+    without any caller bookkeeping.
+    """
+
+    def __init__(
+        self,
+        run_id: str,
+        epoch_wall: "float | None" = None,
+        parent_id: "str | None" = None,
+    ) -> None:
+        self.run_id = run_id
+        #: Wall-clock instant defining t=0 of the run timeline.
+        self.epoch_wall = time.time() if epoch_wall is None else float(epoch_wall)
+        #: Default parent for root spans recorded by this tracer (set
+        #: from a :class:`TraceContext` on the worker side).
+        self.root_parent_id = parent_id
+        self._anchor_perf = time.perf_counter()
+        self._anchor_rel = time.time() - self.epoch_wall
+        self._spans: List[Span] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._pid = os.getpid()
+
+    # -- clock ---------------------------------------------------------
+
+    def clock(self) -> float:
+        """Seconds since the run epoch (monotonic within this process)."""
+        return self._anchor_rel + (time.perf_counter() - self._anchor_perf)
+
+    # -- recording -----------------------------------------------------
+
+    def _stack(self) -> List[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def current_span_id(self) -> Optional[str]:
+        """The innermost open span in the calling thread (or the root parent)."""
+        stack = self._stack()
+        return stack[-1] if stack else self.root_parent_id
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        parent_id: "str | None" = None,
+        **attrs: object,
+    ):
+        """Record ``name`` around the enclosed block.
+
+        ``parent_id`` overrides the thread-local parent; the default
+        nests under the innermost open span of the calling thread.
+        Yields an :class:`_ActiveSpan` so callers can attach attributes
+        computed inside the block.
+        """
+        span_id = _new_span_id()
+        parent = parent_id if parent_id is not None else self.current_span_id()
+        stack = self._stack()
+        stack.append(span_id)
+        handle = _ActiveSpan(span_id, dict(attrs))
+        start = self.clock()
+        t0 = time.perf_counter()
+        try:
+            yield handle
+        finally:
+            duration = time.perf_counter() - t0
+            stack.pop()
+            thread = threading.current_thread()
+            record = Span(
+                name=name,
+                span_id=span_id,
+                parent_id=parent,
+                run_id=self.run_id,
+                start=start,
+                duration=duration,
+                pid=self._pid,
+                tid=thread.ident or 0,
+                thread=thread.name,
+                attrs=handle.attrs,
+            )
+            with self._lock:
+                self._spans.append(record)
+
+    def record(
+        self,
+        name: str,
+        start: float,
+        duration: float,
+        parent_id: "str | None" = None,
+        **attrs: object,
+    ) -> None:
+        """Record a span from externally measured timestamps."""
+        thread = threading.current_thread()
+        record = Span(
+            name=name,
+            span_id=_new_span_id(),
+            parent_id=parent_id if parent_id is not None else self.current_span_id(),
+            run_id=self.run_id,
+            start=start,
+            duration=duration,
+            pid=self._pid,
+            tid=thread.ident or 0,
+            thread=thread.name,
+            attrs=dict(attrs),
+        )
+        with self._lock:
+            self._spans.append(record)
+
+    # -- cross-process -------------------------------------------------
+
+    def context(self, mode: str, parent_id: "str | None" = None) -> TraceContext:
+        """Capture a propagation handle for a worker process."""
+        parent = parent_id if parent_id is not None else self.current_span_id()
+        return TraceContext(
+            run_id=self.run_id,
+            parent_id=parent,
+            epoch_wall=self.epoch_wall,
+            mode=mode,
+        )
+
+    @classmethod
+    def from_context(cls, context: TraceContext) -> "Tracer":
+        return cls(
+            run_id=context.run_id,
+            epoch_wall=context.epoch_wall,
+            parent_id=context.parent_id,
+        )
+
+    def export_spans(self) -> List[dict]:
+        """Snapshot recorded spans as plain dicts (picklable)."""
+        with self._lock:
+            return [span.to_dict() for span in self._spans]
+
+    def absorb(self, span_rows: Iterable[dict]) -> int:
+        """Merge spans recorded by another tracer (e.g. a worker process).
+
+        Rows keep their own parent links; orphan roots stay as shipped —
+        the worker already parented them under the coordinator span via
+        its :class:`TraceContext`.  Returns the number of spans added.
+        """
+        added = 0
+        with self._lock:
+            for row in span_rows or ():
+                self._spans.append(Span.from_dict(row))
+                added += 1
+        return added
+
+    # -- views ---------------------------------------------------------
+
+    @property
+    def spans(self) -> List[Span]:
+        with self._lock:
+            return list(self._spans)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)

@@ -189,9 +189,12 @@ class TestOutputExport:
         dest = tmp_path / "results.csv"
         assert main(["detect", str(planted_npz), "--top-k", "2", "--output", str(dest)]) == 0
         rows = dest.read_text().strip().splitlines()
-        assert rows[0] == "rank,snps,snp_names,score"
+        assert rows[0] == "rank,snps,snp_names,score,run_id"
         assert len(rows) == 3
         assert rows[1].startswith("1,")
+        # Every row carries the same telemetry run identity.
+        run_ids = {row.rsplit(",", 1)[1] for row in rows[1:]}
+        assert len(run_ids) == 1 and run_ids.pop()
 
     def test_pipeline_json_export_with_p_values(self, tmp_path, planted_npz):
         dest = tmp_path / "staged.json"
@@ -221,7 +224,7 @@ class TestOutputExport:
         )
         assert code == 0
         rows = dest.read_text().strip().splitlines()
-        assert rows[0] == "rank,snps,snp_names,score,p_value"
+        assert rows[0] == "rank,snps,snp_names,score,p_value,run_id"
 
 
 class TestPipelineCommand:
