@@ -25,9 +25,19 @@ are flagged ``"oversubscribed": true`` and their timings are reported but
 never gated — a 4-worker run on a 1-core CI box measures context
 switching, not scaling.
 
+The artifact also carries a **fault-recovery** section
+(:func:`measure_fault_recovery`): the measured cost of recovering from one
+seeded worker crash (pool respawn + shard retry, next to the modelled
+:func:`~repro.perfmodel.distributed.estimate_recovery_seconds`) and the
+fault-free overhead of arming the heartbeat watchdog, which must stay
+negligible — detection is passive, so resilience costs nothing until a
+fault actually happens.
+
 ``--check`` runs a small sweep and gates on the structural claims
-(deterministic merge at every worker count, zero warm re-packs) plus — on
-hosts with at least 2 CPUs — the 2-worker warm speedup floor.
+(deterministic merge at every worker count — including the crash and
+watchdog runs — zero warm re-packs, watchdog overhead above
+:data:`WATCHDOG_OVERHEAD_FLOOR`) plus — on hosts with at least 2 CPUs —
+the 2-worker warm speedup floor.
 
 Run standalone (``PYTHONPATH=src python benchmarks/bench_distributed.py``)
 or through pytest (``pytest benchmarks/bench_distributed.py``); both paths
@@ -44,8 +54,11 @@ from pathlib import Path
 from repro.core.combinations import combination_count
 from repro.core.detector import DetectorConfig
 from repro.datasets import PlantedInteraction, SyntheticConfig, generate_dataset
-from repro.distributed import run_distributed, shutdown_fleets
-from repro.perfmodel.distributed import estimate_distributed_run
+from repro.distributed import RetryPolicy, run_distributed, shutdown_fleets
+from repro.perfmodel.distributed import (
+    estimate_distributed_run,
+    estimate_recovery_seconds,
+)
 
 #: Planted interaction of the benchmark dataset.
 PLANTED = (5, 23, 41)
@@ -67,6 +80,12 @@ CHECK_TOLERANCE = 0.30
 #: Warm data-plane counters that must stay at zero: any of these firing on
 #: a warm run means arrays were re-packed or re-shipped instead of reused.
 REPACK_COUNTERS = ("encoding_cache_misses", "dataset_pickled", "dataset_unpickled")
+
+#: ``--check``: minimum fault-free throughput ratio of a run with the
+#: heartbeat watchdog armed vs the same run without it.  Passive detection
+#: (the pool break surfaces failures; the watchdog only bounds waits) must
+#: cost essentially nothing when no fault fires.
+WATCHDOG_OVERHEAD_FLOOR = 0.95
 
 
 def _bench_dataset(quick: bool = False):
@@ -196,6 +215,70 @@ def measure_distributed(quick: bool = False) -> dict:
         "pool": "keep",
         "shm": True,
         "runs": runs,
+        "fault_recovery": measure_fault_recovery(quick),
+    }
+
+
+def measure_fault_recovery(quick: bool = False) -> dict:
+    """Measure the overhead of fault recovery and of the armed watchdog.
+
+    Three 2-worker runs on dedicated fresh pools (fault handling must not
+    inherit a warm fleet's hydrated state to be honestly priced):
+
+    * **fault-free** — the reference wall-clock;
+    * **watchdog armed** — same run with a ``shard_deadline_seconds``; no
+      fault fires, so any slowdown is pure detection overhead (the
+      ``--check`` gate holds it above :data:`WATCHDOG_OVERHEAD_FLOOR`);
+    * **one crash** — a seeded ``shard.run:crash`` SIGKILLs a worker; the
+      recovery cost (pool respawn + shard retry) is the measured delta,
+      reported next to :func:`estimate_recovery_seconds`'s modelled figure.
+
+    Every run must merge bit-identically to the fault-free one.
+    """
+    from repro.engine import DenseRangeSource
+
+    dataset = _bench_dataset(quick)
+    config = DetectorConfig(approach="cpu-v4", order=3, top_k=5)
+    source = DenseRangeSource(dataset.n_snps, 3)
+    retry = RetryPolicy(backoff_seconds=0.01)
+
+    def run(**kwargs):
+        return run_distributed(
+            dataset, source, config=config, workers=2, pool="fresh",
+            shm="auto", **kwargs,
+        )
+
+    clean = run()
+    watchdog = run(retry=RetryPolicy(backoff_seconds=0.01,
+                                     shard_deadline_seconds=30.0))
+    crashed = run(faults="shard.run:crash", retry=retry)
+
+    reference = [(list(i.snps), float(i.score)) for i in clean.result.top]
+    shard_seconds = clean.elapsed_seconds / max(1, clean.n_shards) * 2
+    modelled = estimate_recovery_seconds(1, shard_seconds, 2)
+    return {
+        "workers": 2,
+        "pool": "fresh",
+        "fault_free_seconds": clean.elapsed_seconds,
+        "watchdog_seconds": watchdog.elapsed_seconds,
+        "watchdog_throughput_ratio": (
+            clean.elapsed_seconds / watchdog.elapsed_seconds
+        ),
+        "watchdog_faulted": watchdog.resilience.get("retries", 0) > 0,
+        "crash_seconds": crashed.elapsed_seconds,
+        "crash_recovery_seconds": max(
+            0.0, crashed.elapsed_seconds - clean.elapsed_seconds
+        ),
+        "crash_resilience": dict(crashed.resilience),
+        "modelled_recovery_seconds": modelled,
+        "watchdog_identical": (
+            [(list(i.snps), float(i.score)) for i in watchdog.result.top]
+            == reference
+        ),
+        "crash_identical": (
+            [(list(i.snps), float(i.score)) for i in crashed.result.top]
+            == reference
+        ),
     }
 
 
@@ -227,6 +310,25 @@ def check_against_baseline(doc: dict, baseline_path: Path) -> int:
             failures.append(
                 f"workers={run['workers']}: warm run re-packed data "
                 f"{run['warm_repacks']}"
+            )
+
+    recovery = doc.get("fault_recovery") or {}
+    if recovery:
+        if not recovery["crash_identical"]:
+            failures.append("crash recovery: merge not bit-identical")
+        if not recovery["watchdog_identical"]:
+            failures.append("watchdog run: merge not bit-identical")
+        if recovery["crash_resilience"].get("retries", 0) < 1:
+            failures.append(
+                "crash recovery: the injected crash caused no retry "
+                f"({recovery['crash_resilience']})"
+            )
+        oversubscribed = (os.cpu_count() or 1) < 2
+        ratio = recovery["watchdog_throughput_ratio"]
+        if not oversubscribed and ratio < WATCHDOG_OVERHEAD_FLOOR:
+            failures.append(
+                f"armed watchdog costs too much on a fault-free run: "
+                f"{ratio:.2f}x < {WATCHDOG_OVERHEAD_FLOOR:.2f}x"
             )
 
     host_cpus = int(doc.get("host_cpus") or 1)
@@ -288,6 +390,11 @@ def test_distributed_benchmark_emits_artifact():
     multi = next(r for r in runs if r["workers"] > 1)
     assert multi["data_plane_cold"].get("segments_published", 0) >= 1
     assert multi["data_plane_cold"].get("dataset_shm_attached", 0) >= 1
+    # Fault recovery: the injected crash retried and recovered to the
+    # identical merge (timing gates live in check_against_baseline).
+    recovery = doc["fault_recovery"]
+    assert recovery["crash_identical"] and recovery["watchdog_identical"]
+    assert recovery["crash_resilience"]["retries"] >= 1
 
 
 def main(argv=None) -> int:
@@ -322,6 +429,16 @@ def main(argv=None) -> int:
             f"(modelled {run['modelled']['speedup_vs_single']:.2f}x), "
             f"identical={run['top_identical_to_workers_1']}{note}"
         )
+    recovery = doc["fault_recovery"]
+    print(
+        f"fault recovery: fault-free {recovery['fault_free_seconds']:.3f} s, "
+        f"watchdog armed {recovery['watchdog_seconds']:.3f} s "
+        f"({recovery['watchdog_throughput_ratio']:.2f}x), one crash "
+        f"{recovery['crash_seconds']:.3f} s "
+        f"(+{recovery['crash_recovery_seconds']:.3f} s recovery, modelled "
+        f"+{recovery['modelled_recovery_seconds']:.3f} s), "
+        f"identical={recovery['crash_identical']}"
+    )
     return 0
 
 

@@ -16,6 +16,8 @@ points without writing any Python:
 * ``backends`` — report the execution backends (availability, versions,
   calibrated throughput) and optionally run the micro-calibration probes
   (``--calibrate``) feeding the CARM splitter's measured mode;
+* ``shm`` — inspect (``ls``) or reclaim (``clean``) the shared-memory data
+  plane's segments, e.g. orphans left by a SIGKILLed run;
 * ``devices`` — print Tables I and II (the device catalog);
 * ``figures`` — regenerate the paper's figures/tables from the analytical
   models (Figure 2, Figure 3, Figure 4, Table III, §V-D comparison,
@@ -139,6 +141,35 @@ def _add_search_options(parser: argparse.ArgumentParser) -> None:
         "encodings into POSIX shared memory so worker processes attach "
         "zero-copy views instead of unpickling arrays ('auto' enables it "
         "whenever --workers > 1)",
+    )
+    parser.add_argument(
+        "--shard-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-shard attempt budget of the distributed sweep (default 3): "
+        "a shard whose worker crashes is retried with exponential backoff "
+        "up to N attempts, then quarantined and executed inline in the "
+        "coordinator — the run still completes with bit-identical results",
+    )
+    parser.add_argument(
+        "--shard-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="heartbeat-watchdog deadline: if no shard completes for this "
+        "many seconds while work is in flight, the hung worker pool is "
+        "killed and its shards are re-dispatched (default: no deadline)",
+    )
+    parser.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="SPEC",
+        help="deterministic fault injection for chaos testing: a compact "
+        "spec like 'shard.run:crash' or 'shm.publish:torn:count=2', a JSON "
+        "list, or '@plan.json' (also: the REPRO_FAULTS environment "
+        "variable). Faults are injected at seeded sites; the run must "
+        "still produce bit-identical results",
     )
     parser.add_argument(
         "--chunk-size",
@@ -371,6 +402,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the report as JSON instead of the table",
     )
 
+    shm = sub.add_parser(
+        "shm",
+        help="inspect or clean the shared-memory data plane's segments",
+    )
+    shm_sub = shm.add_subparsers(dest="shm_command", required=True)
+    shm_ls = shm_sub.add_parser(
+        "ls", help="list the data plane's /dev/shm segments"
+    )
+    shm_ls.add_argument(
+        "--json", action="store_true", help="emit the listing as JSON"
+    )
+    shm_clean = shm_sub.add_parser(
+        "clean",
+        help="unlink orphaned segments (torn writes, dead owners); live "
+        "segments owned by running processes are never touched",
+    )
+    shm_clean.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be reaped without unlinking anything",
+    )
+    shm_clean.add_argument(
+        "--force",
+        action="store_true",
+        help="also reap segments whose owner cannot be determined "
+        "(pre-upgrade segments without an owner stamp)",
+    )
+
     trace = sub.add_parser(
         "trace", help="inspect telemetry trace files exported with --trace-out"
     )
@@ -501,6 +560,24 @@ def _print_distributed_summary(distributed: dict | None) -> None:
             f"{plane.get('segments_reused', 0)} reused, "
             f"{plane.get('segments_attached', 0)} worker attach(es))"
         )
+    resilience = distributed.get("resilience") or {}
+    faulted = (
+        resilience.get("retries", 0)
+        or resilience.get("watchdog_kills", 0)
+        or resilience.get("pool_breaks", 0)
+        or resilience.get("quarantined")
+    )
+    if faulted:
+        quarantined = resilience.get("quarantined") or []
+        print(
+            f"resilience  : {resilience.get('retries', 0)} shard retr"
+            f"{'y' if resilience.get('retries', 0) == 1 else 'ies'}, "
+            f"{resilience.get('pool_breaks', 0)} pool break(s), "
+            f"{resilience.get('watchdog_kills', 0)} watchdog kill(s), "
+            f"{len(quarantined)} quarantined"
+            + (f" {quarantined}" if quarantined else "")
+            + f"; recovered on the '{resilience.get('ladder', 'warm')}' rung"
+        )
 
 
 def _print_device_summary(devices: dict) -> None:
@@ -532,6 +609,24 @@ def _telemetry_mode(args: argparse.Namespace) -> "str | None":
     if args.trace_out:
         return "full"
     return None
+
+
+def _retry_policy(args: argparse.Namespace):
+    """A :class:`RetryPolicy` from ``--shard-retries``/``--shard-deadline``
+    (``None`` when neither was given, deferring to the default policy)."""
+    if args.shard_retries is None and args.shard_deadline is None:
+        return None
+    from repro.distributed.resilience import DEFAULT_RETRY_POLICY, RetryPolicy
+
+    base = DEFAULT_RETRY_POLICY
+    return RetryPolicy(
+        max_attempts=(
+            args.shard_retries
+            if args.shard_retries is not None
+            else base.max_attempts
+        ),
+        shard_deadline_seconds=args.shard_deadline,
+    )
 
 
 def _build_detector(args: argparse.Namespace):
@@ -596,6 +691,8 @@ def _cmd_detect(args: argparse.Namespace) -> int:
             resume=args.resume,
             pool=args.pool,
             shm=args.shm,
+            retry=_retry_policy(args),
+            faults=args.fault_plan,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -656,6 +753,8 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
             resume=args.resume,
             pool=args.pool,
             shm=args.shm,
+            retry=_retry_policy(args),
+            faults=args.fault_plan,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -768,6 +867,50 @@ def _cmd_backends(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_shm(args: argparse.Namespace) -> int:
+    from repro.distributed.shm import reap_orphans, scan_segments
+
+    if args.shm_command == "ls":
+        infos = scan_segments()
+        if args.json:
+            import json
+
+            print(json.dumps([info.to_dict() for info in infos], indent=2))
+            return 0
+        if not infos:
+            print("no repro shared-memory segments")
+            return 0
+        print(f"{'segment':<28s} {'kind':<9s} {'size':>12s} {'owner':>8s} state")
+        for info in infos:
+            if not info.valid:
+                state = "torn"
+            elif info.owner_alive is False:
+                state = "orphaned"
+            elif info.owner_alive is None:
+                state = "unknown"
+            else:
+                state = "live"
+            owner = str(info.owner_pid) if info.owner_pid else "-"
+            print(
+                f"{info.name:<28s} {info.kind or '-':<9s} "
+                f"{info.size:>12,d} {owner:>8s} {state}"
+            )
+        return 0
+
+    reclaimed = reap_orphans(dry_run=args.dry_run, force=args.force)
+    verb = "would reap" if args.dry_run else "reaped"
+    if not reclaimed:
+        print("nothing to reap: no torn or dead-owner segments")
+        return 0
+    for info in reclaimed:
+        reason = "torn" if not info.valid else (
+            "dead owner" if info.owner_alive is False else "unknown owner"
+        )
+        print(f"{verb} {info.name} ({info.size:,d} bytes, {reason})")
+    print(f"{verb} {len(reclaimed)} segment(s)")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.telemetry import load_trace, summarize_spans
 
@@ -842,6 +985,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "detect": _cmd_detect,
         "pipeline": _cmd_pipeline,
         "backends": _cmd_backends,
+        "shm": _cmd_shm,
         "trace": _cmd_trace,
         "devices": _cmd_devices,
         "figures": _cmd_figures,

@@ -471,6 +471,8 @@ class EpistasisDetector:
         resume: bool = False,
         pool: str = "keep",
         shm: object = None,
+        retry: object = None,
+        faults: object = None,
     ) -> DetectionResult:
         """Exhaustively evaluate every SNP combination of the dataset.
 
@@ -509,6 +511,16 @@ class EpistasisDetector:
             dataset and encodings for workers to attach, ``"off"``/``False``
             pickles them, ``None``/``"auto"`` enables it whenever worker
             processes exist.
+        retry:
+            Fault-tolerance policy of the sharded path — a
+            :class:`~repro.distributed.resilience.RetryPolicy` bounding
+            per-shard retries, the heartbeat-watchdog deadline and the
+            pool-break budget (``None`` uses the defaults).
+        faults:
+            Deterministic fault injection (chaos testing): a
+            :class:`~repro.faults.FaultPlan`, a compact spec string such as
+            ``"shard.run:crash"``, or ``None`` (the ``REPRO_FAULTS``
+            environment variable still applies).
 
         Returns
         -------
@@ -533,6 +545,8 @@ class EpistasisDetector:
             resume=resume,
             pool=pool,
             shm=shm,
+            retry=retry,
+            faults=faults,
         )
 
     def detect_candidates(
@@ -548,6 +562,8 @@ class EpistasisDetector:
         resume: bool = False,
         pool: str = "keep",
         shm: object = None,
+        retry: object = None,
+        faults: object = None,
     ) -> DetectionResult:
         """Evaluate an arbitrary candidate stream on the execution engine.
 
@@ -627,6 +643,8 @@ class EpistasisDetector:
                     resume=resume,
                     pool=pool,
                     shm=shm,
+                    retry=retry,
+                    faults=faults,
                     session=session,
                     run_id=run_id,
                 )
@@ -648,6 +666,8 @@ class EpistasisDetector:
         resume,
         pool,
         shm,
+        retry,
+        faults,
         session,
         run_id,
     ) -> DetectionResult:
@@ -675,6 +695,8 @@ class EpistasisDetector:
                 pool=pool,
                 shm=shm,
                 run_id=run_id,
+                retry=retry,
+                faults=faults,
             )
             if outcome.cancelled or not outcome.completed:
                 raise RuntimeError(
@@ -771,6 +793,8 @@ class EpistasisDetector:
         resume: bool = False,
         pool: str = "keep",
         shm: object = None,
+        retry: object = None,
+        faults: object = None,
     ):
         """Run a staged screen-then-expand search instead of the dense sweep.
 
@@ -888,6 +912,8 @@ class EpistasisDetector:
             resume=resume,
             pool=pool,
             shm=shm,
+            retry=retry,
+            faults=faults,
         )
         return pipeline.run(dataset, cancel=cancel, progress=progress)
 

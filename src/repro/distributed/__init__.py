@@ -21,6 +21,10 @@ reported top-k is bit-identical for any worker count.
 * :mod:`repro.distributed.fleet` — persistent warm worker fleets
   (:class:`WorkerFleet`) surviving across ``detect()`` calls, pipeline
   stages and permutation batches;
+* :mod:`repro.distributed.resilience` — fault-tolerance policy
+  (:class:`RetryPolicy`: bounded retries with backoff, heartbeat-watchdog
+  deadlines, the degradation ladder and poison-shard quarantine) and the
+  per-run :class:`ResilienceLog`;
 * :mod:`repro.distributed.merge` — deterministic partial-result folding;
 * :mod:`repro.distributed.coordinator` — :func:`run_distributed`, the
   orchestration loop behind ``detect(..., workers=N, checkpoint=...)``;
@@ -47,12 +51,19 @@ from repro.distributed.merge import (
     row_to_interaction,
     row_sort_key,
 )
+from repro.distributed.resilience import (
+    DEFAULT_RETRY_POLICY,
+    LADDER_RUNGS,
+    ResilienceLog,
+    RetryPolicy,
+)
 from repro.distributed.runner import ProcessRunner, ShardOutcome, WorkerPayload
 from repro.distributed.coordinator import DistributedOutcome, run_distributed
 from repro.distributed.cluster import ClusterRank, RankAccounting, SimulatedCluster
 from repro.distributed.fleet import WorkerFleet, get_fleet, shutdown_fleets
 from repro.distributed.shm import (
     DatasetHandle,
+    SegmentInfo,
     SharedEncodingStore,
     StoreSession,
     data_plane_snapshot,
@@ -60,6 +71,8 @@ from repro.distributed.shm import (
     load_encoding,
     publish_dataset,
     publish_encoding,
+    reap_orphans,
+    scan_segments,
     shared_store,
 )
 
@@ -87,7 +100,12 @@ __all__ = [
     "WorkerFleet",
     "get_fleet",
     "shutdown_fleets",
+    "RetryPolicy",
+    "DEFAULT_RETRY_POLICY",
+    "ResilienceLog",
+    "LADDER_RUNGS",
     "DatasetHandle",
+    "SegmentInfo",
     "SharedEncodingStore",
     "StoreSession",
     "shared_store",
@@ -95,5 +113,7 @@ __all__ = [
     "hydrate_dataset",
     "publish_encoding",
     "load_encoding",
+    "scan_segments",
+    "reap_orphans",
     "data_plane_snapshot",
 ]

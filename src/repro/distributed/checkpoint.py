@@ -36,7 +36,12 @@ import numpy as np
 from repro.datasets.dataset import GenotypeDataset
 from repro.distributed.shards import Shard
 
-__all__ = ["dataset_fingerprint", "JsonLedger", "CheckpointStore"]
+__all__ = [
+    "dataset_fingerprint",
+    "fingerprint_divergence",
+    "JsonLedger",
+    "CheckpointStore",
+]
 
 #: Ledger format version; bumped on incompatible layout changes.
 LEDGER_VERSION = 1
@@ -49,6 +54,59 @@ def dataset_fingerprint(dataset: GenotypeDataset) -> Dict[str, object]:
         "n_samples": int(dataset.n_samples),
         "sha1": dataset.content_digest(),
     }
+
+
+#: Friendly names of the standard fingerprint components, used when a
+#: resume is refused so the error names *what* diverged instead of a flat
+#: "fingerprint mismatch".
+_COMPONENT_NAMES = {
+    "dataset": "dataset",
+    "dataset.sha1": "dataset content digest",
+    "dataset.n_snps": "dataset SNP count",
+    "dataset.n_samples": "dataset sample count",
+    "source": "candidate source",
+    "search": "search configuration",
+    "config": "configuration",
+}
+
+
+def fingerprint_divergence(
+    expected: Dict[str, object], found: Dict[str, object]
+) -> List[str]:
+    """Name each fingerprint component where a ledger diverges from a run.
+
+    Walks both documents recursively and returns human-readable lines like
+    ``"dataset content digest: ledger has 3f2a…, this run has 91bc…"`` —
+    the substance of the resume-refusal error message.
+    """
+
+    def walk(exp, got, path: str, out: List[str]) -> None:
+        if isinstance(exp, dict) and isinstance(got, dict):
+            for key in sorted(set(exp) | set(got), key=str):
+                child = f"{path}.{key}" if path else str(key)
+                if key not in exp:
+                    out.append(f"{_name(child)}: only in the ledger ({_short(got[key])})")
+                elif key not in got:
+                    out.append(f"{_name(child)}: only in this run ({_short(exp[key])})")
+                else:
+                    walk(exp[key], got[key], child, out)
+            return
+        if exp != got:
+            out.append(
+                f"{_name(path)}: ledger has {_short(got)}, "
+                f"this run has {_short(exp)}"
+            )
+
+    def _name(path: str) -> str:
+        return _COMPONENT_NAMES.get(path, path)
+
+    def _short(value) -> str:
+        text = json.dumps(value, sort_keys=True, default=str)
+        return text if len(text) <= 60 else text[:57] + "..."
+
+    lines: List[str] = []
+    walk(expected, found, "", lines)
+    return lines
 
 
 class JsonLedger:
@@ -89,11 +147,17 @@ class JsonLedger:
                     f"{self.path}: {label} version {self.doc.get('version')!r} "
                     f"is not {LEDGER_VERSION}; delete the file to start fresh"
                 )
-            if self.doc.get("fingerprint") != fingerprint:
+            recorded = self.doc.get("fingerprint")
+            if recorded != fingerprint:
+                diverged = fingerprint_divergence(
+                    fingerprint, recorded if isinstance(recorded, dict) else {}
+                )
+                detail = "; ".join(diverged) if diverged else "fingerprint differs"
                 raise ValueError(
-                    f"{self.path}: {label} fingerprint does not match this run "
-                    "(different dataset, candidates, configuration or plan); "
-                    "delete the file or rerun with the original configuration"
+                    f"{self.path}: cannot resume — this {label} belongs to a "
+                    f"different run; its fingerprint diverged: {detail}. "
+                    "Delete the file to start fresh, or rerun with the "
+                    "original configuration."
                 )
             return True
         self.doc = {"version": LEDGER_VERSION, "fingerprint": fingerprint}
@@ -183,10 +247,31 @@ class CheckpointStore(JsonLedger):
         """
         boundaries = [[s.start, s.stop] for s in shards]
         if super().begin(fingerprint, resume=resume, label="shard checkpoint"):
-            if self.doc.get("shards_planned") != boundaries:
+            planned = self.doc.get("shards_planned")
+            if planned != boundaries:
+                if not isinstance(planned, list):
+                    detail = "the ledger records no shard plan"
+                elif len(planned) != len(boundaries):
+                    detail = (
+                        f"the ledger planned {len(planned)} shards, this run "
+                        f"plans {len(boundaries)} (different worker count, "
+                        "shard strategy or candidate total)"
+                    )
+                else:
+                    diverged = next(
+                        i
+                        for i, (a, b) in enumerate(zip(planned, boundaries))
+                        if a != b
+                    )
+                    detail = (
+                        f"shard {diverged} covers ranks "
+                        f"{planned[diverged]} in the ledger but "
+                        f"{boundaries[diverged]} in this run"
+                    )
                 raise ValueError(
-                    f"{self.path}: checkpoint shard boundaries do not match "
-                    "this run's shard plan"
+                    f"{self.path}: cannot resume — shard boundaries diverged: "
+                    f"{detail}. Delete the checkpoint to start fresh, or rerun "
+                    "with the original shard plan."
                 )
             return self.done_records()
         self.doc.update(

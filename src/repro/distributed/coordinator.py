@@ -35,9 +35,11 @@ from repro.engine.candidates import CandidateSource
 from repro.engine.policies import get_policy
 from repro.distributed.checkpoint import CheckpointStore, dataset_fingerprint
 from repro.distributed.merge import merge_minima, merge_rows, row_to_interaction
+from repro.distributed.resilience import ResilienceLog, RetryPolicy, merge_history
 from repro.distributed.runner import ProcessRunner, ShardOutcome, WorkerPayload
 from repro.distributed.shards import ShardPlanner
 from repro.distributed.shm import publish_dataset, publish_encoding
+from repro.faults import current_plan, install_plan, resolve_fault_plan
 
 __all__ = ["DistributedOutcome", "run_distributed"]
 
@@ -81,6 +83,11 @@ class DistributedOutcome:
     #: every worker batch's delta): segments published/attached/reused,
     #: encoding-cache hits/misses/shm-hits, datasets pickled vs attached.
     data_plane: Dict[str, int] = field(default_factory=dict)
+    #: What the fault-tolerance machinery did this run
+    #: (:meth:`~repro.distributed.resilience.ResilienceLog.to_dict`):
+    #: retries, watchdog kills, pool breaks, ladder rung, quarantined
+    #: shards and per-shard failed-attempt counts.
+    resilience: Dict[str, object] = field(default_factory=dict)
 
     @property
     def shards_remaining(self) -> int:
@@ -230,6 +237,8 @@ def run_distributed(
     pool: str = "keep",
     shm: object = None,
     run_id: str | None = None,
+    retry: RetryPolicy | None = None,
+    faults: object = None,
 ) -> DistributedOutcome:
     """Execute a candidate sweep as a sharded multi-process run.
 
@@ -283,6 +292,19 @@ def run_distributed(
         digest instead of pickled arrays; ``False``/``"off"`` ships the
         dataset inline; ``None``/``"auto"`` (default) enables it whenever
         worker processes exist.
+    retry:
+        The run's :class:`~repro.distributed.resilience.RetryPolicy`
+        (bounded per-shard retries with exponential backoff, the heartbeat
+        watchdog deadline, the pool-break budget).  ``None`` uses the
+        defaults; see the module docs for the degradation ladder a failing
+        run climbs (respawn → fresh pool → inline) and the poison-shard
+        quarantine guarantee.
+    faults:
+        Deterministic fault injection for chaos runs: a
+        :class:`~repro.faults.FaultPlan`, a compact spec string
+        (``"shard.run:crash"``), a JSON document, or ``None`` — which
+        falls back to the ``REPRO_FAULTS`` environment variable and, when
+        that is unset too, injects nothing.
     """
     if not isinstance(config.approach, str):
         raise TypeError(
@@ -333,6 +355,8 @@ def run_distributed(
             shm=shm,
             run_id=run_id,
             session=session,
+            retry=retry,
+            faults=faults,
         )
     finally:
         if owns_session:
@@ -358,6 +382,8 @@ def _run_distributed_impl(
     shm: object,
     run_id: str,
     session,
+    retry: RetryPolicy | None,
+    faults: object,
 ) -> DistributedOutcome:
     total = source.total
     started = time.perf_counter()
@@ -392,6 +418,14 @@ def _run_distributed_impl(
         # earlier runs that touched it); not part of the fingerprint.
         store.note_run(run_id)
 
+    # Per-shard retry budgets span resumes: the log is seeded from the
+    # ledger's persisted history, so a shard that kept breaking earlier
+    # runs arrives here with its failures on record and quarantines
+    # instead of re-breaking this one.
+    resilience_log = ResilienceLog.from_history(
+        store.get_state("resilience") if store is not None else None
+    )
+
     pending = [s for s in shards if s.shard_id not in restored]
     if shard_budget is not None:
         if shard_budget < 0:
@@ -402,6 +436,20 @@ def _run_distributed_impl(
     items_total_done = items_restored
     if progress is not None and items_restored:
         progress(items_total_done, total)
+
+    # Arm the fault plan (if any): arming allocates the claim directory
+    # that makes firing budgets exact across the whole process tree.  The
+    # plan is installed locally for the coordinator's own sites
+    # (shm.publish; worker-killing kinds are suppressed here) and shipped
+    # to workers inside the payload — the only channel that reaches warm
+    # fleets spawned before this run existed.
+    fault_plan = resolve_fault_plan(faults)
+    if fault_plan is not None and fault_plan.specs:
+        fault_plan = fault_plan.arm()
+    else:
+        fault_plan = None
+    previous_plan = current_plan()
+    install_plan(fault_plan)
 
     shm_enabled = resolve_shm(shm, workers)
     approach_kwargs_resolved = _payload_approach_kwargs(config, approach_kwargs)
@@ -419,8 +467,16 @@ def _run_distributed_impl(
         collect_minima=collect_snp_minima,
         fused=getattr(config, "fused", None),
         approach_kwargs=approach_kwargs_resolved,
+        faults=fault_plan,
     )
-    runner = ProcessRunner(workers, payload, mp_context=mp_context, pool=pool)
+    runner = ProcessRunner(
+        workers,
+        payload,
+        mp_context=mp_context,
+        pool=pool,
+        retry=retry,
+        resilience=resilience_log,
+    )
 
     from repro.distributed.shm import data_plane_delta, data_plane_snapshot
 
@@ -481,12 +537,21 @@ def _run_distributed_impl(
                 cancelled = True
     finally:
         runner.close()
+        install_plan(previous_plan)
     data_plane = _aggregate_data_plane(
         outcomes, data_plane_delta(parent_before)
     )
 
     shards_done = len(restored) + len(outcomes)
     completed = shards_done == len(shards) and not cancelled
+    if store is not None and resilience_log.faulted:
+        # The ledger's resilience history survives resumes: cumulative
+        # per-shard failure counts plus a per-run event trail keyed by
+        # run_id — what seeds the next resume's retry budgets.
+        store.set_state(
+            "resilience",
+            merge_history(store.get_state("resilience"), run_id, resilience_log),
+        )
     if completed and store is not None:
         store.finish()
 
@@ -570,6 +635,7 @@ def _run_distributed_impl(
                 "shm": shm_enabled,
                 "data_plane": dict(data_plane),
                 "fleet": runner.fleet_info(),
+                "resilience": resilience_log.to_dict(),
             },
         }
         stats = ApproachStats(
@@ -616,4 +682,5 @@ def _run_distributed_impl(
         bytes_stored=bytes_stored,
         shard_items=shard_items,
         data_plane=data_plane,
+        resilience=resilience_log.to_dict(),
     )

@@ -91,6 +91,33 @@ class WorkerFleet:
             "respawns": self.respawns,
         }
 
+    def kill_workers(self) -> int:
+        """SIGKILL every live worker process (the watchdog's hammer).
+
+        Used when the heartbeat watchdog declares the pool hung: killing
+        the workers breaks the executor, which surfaces every in-flight
+        future as ``BrokenProcessPool`` — the same recovery path a genuine
+        worker crash takes.  Returns how many processes were signalled.
+        """
+        import os
+        import signal
+
+        with self._lock:
+            pool = self._pool
+        if pool is None:
+            return 0
+        killed = 0
+        for proc in list(getattr(pool, "_processes", {}).values()):
+            pid = getattr(proc, "pid", None)
+            if pid is None or not proc.is_alive():
+                continue
+            try:
+                os.kill(pid, signal.SIGKILL)
+                killed += 1
+            except (OSError, ProcessLookupError):
+                pass
+        return killed
+
     def respawn(self) -> None:
         """Replace a broken pool with a freshly spawned one.
 

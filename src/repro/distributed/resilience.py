@@ -1,0 +1,219 @@
+"""Fault-tolerance policy and bookkeeping for sharded distributed runs.
+
+The PR-6 runner could survive exactly one worker death (respawn once,
+re-dispatch, give up on the second break) and had no defence at all
+against a *hung* worker — a single stuck process stalled the run forever.
+This module turns those seeds into a real policy layer:
+
+* :class:`RetryPolicy` — bounded per-shard retries with exponential
+  backoff.  Deterministic by construction: every decision (retry or
+  quarantine, backoff length) is a pure function of the attempt count, so
+  wall-clock never leaks into anything that affects results — backoff only
+  paces *when* a shard re-runs, never *what* it computes.
+* a **heartbeat watchdog** — shard completions are the heartbeat; when a
+  run with a ``shard_deadline_seconds`` goes that long without any shard
+  completing while work is in flight, the pool is declared hung, its
+  workers are killed and the in-flight shards are re-dispatched under the
+  same retry accounting as a crash.
+* **poison-shard quarantine** — a shard whose failures exhaust the retry
+  budget is quarantined and executed *inline in the coordinator*, the last
+  rung of the degradation ladder (warm fleet → respawned fleet → fresh
+  dedicated pool → inline), so a run always completes and — because the
+  merge order is a total order — always bit-identically.
+* :class:`ResilienceLog` — the per-run record of retries, watchdog kills,
+  pool breaks, ladder position and quarantined shards; it feeds the
+  telemetry metrics (``resilience.*``), the run statistics
+  (``stats.extra["distributed"]["resilience"]``) and the checkpoint
+  ledger's cross-resume history (a shard's failure count survives
+  ``--resume``, so a shard that keeps killing workers across restarts is
+  quarantined instead of re-breaking every resumed run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = [
+    "RetryPolicy",
+    "DEFAULT_RETRY_POLICY",
+    "ResilienceLog",
+    "merge_history",
+    "LADDER_RUNGS",
+]
+
+#: The degradation ladder, in escalation order.  ``warm`` is the configured
+#: pool; each pool break climbs one rung: respawn the same fleet, then a
+#: fresh dedicated pool, then inline execution in the coordinator.
+LADDER_RUNGS = ("warm", "respawned", "fresh", "inline")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded, deterministic retry/backoff/deadline policy of one run.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total execution attempts per shard (first run included) before the
+        shard is quarantined and finished inline.  Attempt counts persist
+        in the checkpoint ledger, so the budget spans resumes.
+    backoff_seconds / backoff_factor / max_backoff_seconds:
+        Exponential backoff before re-dispatching failed shards:
+        ``backoff(n) = backoff_seconds * backoff_factor**(n-1)`` capped at
+        ``max_backoff_seconds`` (``n`` = how often the shard has failed).
+        Pure pacing — results never depend on it.
+    shard_deadline_seconds:
+        Heartbeat watchdog deadline: with shards in flight, this long
+        without *any* shard completing declares the pool hung (workers are
+        killed and in-flight shards re-dispatched).  ``None`` disables the
+        watchdog (a hung worker then blocks forever, as before).
+    poll_seconds:
+        Watchdog heartbeat-check interval (bounded by the deadline).
+    max_pool_breaks:
+        Pool breaks tolerated before abandoning process pools entirely and
+        finishing every remaining shard inline (the ladder's last rung).
+    """
+
+    max_attempts: int = 3
+    backoff_seconds: float = 0.05
+    backoff_factor: float = 2.0
+    max_backoff_seconds: float = 2.0
+    shard_deadline_seconds: float | None = None
+    poll_seconds: float = 0.25
+    max_pool_breaks: int = 3
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be positive")
+        if self.backoff_seconds < 0:
+            raise ValueError("backoff_seconds must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.shard_deadline_seconds is not None and (
+            self.shard_deadline_seconds <= 0
+        ):
+            raise ValueError("shard_deadline_seconds must be positive")
+        if self.poll_seconds <= 0:
+            raise ValueError("poll_seconds must be positive")
+        if self.max_pool_breaks < 1:
+            raise ValueError("max_pool_breaks must be positive")
+
+    def backoff(self, failures: int) -> float:
+        """Deterministic backoff before re-dispatching a shard.
+
+        ``failures`` is the shard's failure count so far (>= 1 at the
+        first retry).
+        """
+        if failures < 1:
+            return 0.0
+        delay = self.backoff_seconds * self.backoff_factor ** (failures - 1)
+        return min(delay, self.max_backoff_seconds)
+
+    def exhausted(self, attempts: int) -> bool:
+        """Whether ``attempts`` executions used up this shard's budget."""
+        return attempts >= self.max_attempts
+
+    def wait_timeout(self) -> float | None:
+        """The pool-wait timeout implementing the watchdog poll."""
+        if self.shard_deadline_seconds is None:
+            return None
+        return min(self.poll_seconds, self.shard_deadline_seconds)
+
+
+#: The policy distributed runs use when the caller passes none.
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+@dataclass
+class ResilienceLog:
+    """What one distributed run's fault-tolerance machinery actually did.
+
+    ``attempts`` counts *failed* attempts per shard (a shard that succeeds
+    first try never appears); seeded from the checkpoint ledger on resume
+    so budgets span restarts.
+    """
+
+    attempts: Dict[int, int] = field(default_factory=dict)
+    quarantined: List[int] = field(default_factory=list)
+    retries: int = 0
+    watchdog_kills: int = 0
+    pool_breaks: int = 0
+    ladder: str = LADDER_RUNGS[0]
+
+    def record_failure(self, shard_id: int) -> int:
+        """Count one failed attempt; returns the shard's failure total."""
+        count = self.attempts.get(int(shard_id), 0) + 1
+        self.attempts[int(shard_id)] = count
+        return count
+
+    def record_quarantine(self, shard_id: int) -> None:
+        if int(shard_id) not in self.quarantined:
+            self.quarantined.append(int(shard_id))
+
+    @property
+    def faulted(self) -> bool:
+        """Whether any fault-handling path ran at all."""
+        return bool(
+            self.attempts
+            or self.quarantined
+            or self.retries
+            or self.watchdog_kills
+            or self.pool_breaks
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready summary (run statistics, ledger history entries)."""
+        return {
+            "retries": int(self.retries),
+            "watchdog_kills": int(self.watchdog_kills),
+            "pool_breaks": int(self.pool_breaks),
+            "ladder": self.ladder,
+            "quarantined": sorted(self.quarantined),
+            "attempts": {
+                str(shard): int(count)
+                for shard, count in sorted(self.attempts.items())
+            },
+        }
+
+    @classmethod
+    def from_history(cls, history: Dict[str, object] | None) -> "ResilienceLog":
+        """Seed a fresh log from the ledger's persisted attempt history."""
+        log = cls()
+        if history:
+            for shard, count in (history.get("attempts") or {}).items():
+                log.attempts[int(shard)] = int(count)
+            for shard in history.get("quarantined") or []:
+                log.quarantined.append(int(shard))
+        return log
+
+
+def merge_history(
+    history: Dict[str, object] | None, run_id: str | None, log: ResilienceLog
+) -> Dict[str, object]:
+    """Fold one run's log into the ledger's cross-resume history document.
+
+    The history keeps cumulative per-shard attempt counts and quarantine
+    membership (what :meth:`ResilienceLog.from_history` reloads) plus an
+    append-only per-run event list correlated by ``run_id``.
+    """
+    doc: Dict[str, object] = dict(history or {})
+    attempts = {
+        str(shard): int(count)
+        for shard, count in (doc.get("attempts") or {}).items()
+    }
+    for shard, count in log.attempts.items():
+        attempts[str(shard)] = max(attempts.get(str(shard), 0), int(count))
+    quarantined = {int(s) for s in (doc.get("quarantined") or [])}
+    quarantined.update(log.quarantined)
+    runs = list(doc.get("runs") or [])
+    if log.faulted:
+        runs.append({"run_id": run_id, **log.to_dict()})
+    doc.update(
+        {
+            "attempts": attempts,
+            "quarantined": sorted(quarantined),
+            "runs": runs,
+        }
+    )
+    return doc

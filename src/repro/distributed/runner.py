@@ -24,10 +24,16 @@ and the only start method that is safe with threads in the parent).
 zero process overhead, identical results, same checkpoint ledger.
 
 Fault tolerance: a worker dying mid-shard breaks the whole
-``ProcessPoolExecutor``.  :meth:`ProcessRunner.map_shards` recovers once —
-the fleet respawns and only the shards that never produced an outcome are
-re-dispatched (completed shards are already checkpointed/yielded); a second
-pool break raises.
+``ProcessPoolExecutor``.  :meth:`ProcessRunner.map_shards` recovers under
+the run's :class:`~repro.distributed.resilience.RetryPolicy`: failed or
+hung (heartbeat-watchdog-detected) shards are re-dispatched with bounded
+exponential backoff, repeated pool breaks climb the degradation ladder
+(respawned fleet → fresh dedicated pool → inline), and a shard that
+exhausts its retry budget is quarantined and finished inline in the
+coordinator — a run always completes, bit-identically, without manual
+intervention.  Deterministic faults for the chaos suite are injected
+through :mod:`repro.faults` (the plan rides the payload, so even warm
+fleets spawned long before the plan existed honour it).
 """
 
 from __future__ import annotations
@@ -36,9 +42,8 @@ import hashlib
 import multiprocessing
 import os
 import pickle
-import signal
 import time
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from concurrent.futures import FIRST_COMPLETED, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -51,6 +56,11 @@ from repro.distributed.merge import (
     minima_to_payload,
     snp_minima_accumulator,
 )
+from repro.distributed.resilience import (
+    DEFAULT_RETRY_POLICY,
+    ResilienceLog,
+    RetryPolicy,
+)
 from repro.distributed.shards import Shard, ShardView
 from repro.distributed.shm import (
     DatasetHandle,
@@ -60,14 +70,9 @@ from repro.distributed.shm import (
     load_encoding,
     note_event,
 )
+from repro.faults import fire, install_plan
 
-__all__ = ["WorkerPayload", "ShardOutcome", "ProcessRunner", "FAULT_ENV"]
-
-#: Environment variable naming a fault-injection trigger file: the first
-#: worker that claims the file (atomic rename) SIGKILLs itself before
-#: running its batch.  Test-only — lets the fault-tolerance suite kill
-#: exactly one worker exactly once.
-FAULT_ENV = "REPRO_DIST_FAULT"
+__all__ = ["WorkerPayload", "ShardOutcome", "ProcessRunner"]
 
 
 @dataclass
@@ -102,6 +107,12 @@ class WorkerPayload:
     #: while the hydrated execution state does not, and a warm worker must
     #: keep its context cache hits across runs.
     telemetry: object = None
+    #: Armed fault-injection plan (:class:`~repro.faults.FaultPlan` or
+    #: ``None``).  Ships with every batch — the only channel that reaches
+    #: warm-fleet workers spawned before the plan existed — and is likewise
+    #: excluded from :meth:`fingerprint` (injection never changes what a
+    #: context computes, only whether the attempt survives).
+    faults: object = None
 
     def fingerprint(self) -> str:
         """Content fingerprint keying the per-process context cache.
@@ -281,23 +292,6 @@ def _context_for(payload: WorkerPayload) -> _WorkerContext:
     return context
 
 
-def _maybe_inject_fault() -> None:
-    """Kill this worker if it claims the fault-injection trigger file.
-
-    The claim is an atomic rename, so exactly one worker dies per trigger
-    no matter how many race for it.  Inert unless the test suite sets
-    :data:`FAULT_ENV`.
-    """
-    path = os.environ.get(FAULT_ENV)
-    if not path or multiprocessing.parent_process() is None:
-        return
-    try:
-        os.replace(path, path + ".consumed")
-    except OSError:
-        return
-    os.kill(os.getpid(), signal.SIGKILL)
-
-
 def _run_shard_batch(
     payload: WorkerPayload, tasks: Sequence[tuple[int, int, int]]
 ) -> List[ShardOutcome]:
@@ -305,9 +299,13 @@ def _run_shard_batch(
 
     The first outcome of the batch carries the data-plane counter delta
     (segments attached, cache hits/misses, datasets unpickled) observed in
-    this process while the batch ran.
+    this process while the batch ran.  The payload's fault plan (if any)
+    is installed before anything else, so the ``shard.claim`` /
+    ``shard.run`` / ``outcome.ship`` injection sites are live for exactly
+    this batch — and cleared again by the next batch that ships no plan.
     """
-    _maybe_inject_fault()
+    install_plan(payload.faults)
+    fire("shard.claim", shard=tasks[0][0] if tasks else None)
     before = data_plane_snapshot()
     trace_ctx = payload.telemetry
     session = None
@@ -323,6 +321,7 @@ def _run_shard_batch(
         context = _context_for(payload)
         outcomes = []
         for task in tasks:
+            fire("shard.run", shard=task[0])
             if session is not None:
                 with session.tracer.span(
                     "shard.run",
@@ -339,6 +338,7 @@ def _run_shard_batch(
             from repro.telemetry import finish_run
 
             finish_run(session)
+    fire("outcome.ship", shard=tasks[0][0] if tasks else None)
     outcomes[0].data_plane = data_plane_delta(before)
     if session is not None:
         outcomes[0].spans = session.tracer.export_spans()
@@ -360,7 +360,8 @@ def _run_null_batch(
 
     Returns the ``(B, n_combos)`` score matrix.
     """
-    _maybe_inject_fault()
+    install_plan(payload.faults)
+    fire("shard.claim")
     context = _context_for(payload)
     from repro.datasets.dataset import GenotypeDataset
 
@@ -399,6 +400,14 @@ class ProcessRunner:
     batch_size:
         Shards per future (default: enough batches for ~4 rounds per
         worker, at least one shard each).
+    retry:
+        The run's :class:`~repro.distributed.resilience.RetryPolicy`
+        (``None`` = :data:`DEFAULT_RETRY_POLICY`).
+    resilience:
+        The :class:`~repro.distributed.resilience.ResilienceLog` to record
+        into — pass one pre-seeded from the checkpoint ledger so retry
+        budgets span resumes; a fresh log is created otherwise.  Exposed
+        as :attr:`resilience` either way.
     """
 
     def __init__(
@@ -408,6 +417,8 @@ class ProcessRunner:
         mp_context: str = "spawn",
         pool: str = "keep",
         batch_size: int | None = None,
+        retry: RetryPolicy | None = None,
+        resilience: ResilienceLog | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be positive")
@@ -418,9 +429,12 @@ class ProcessRunner:
         self.mp_context = mp_context
         self.pool = pool
         self.batch_size = batch_size
+        self.retry = retry or DEFAULT_RETRY_POLICY
+        self.resilience = resilience if resilience is not None else ResilienceLog()
         self._fleet = None
         self._fleet_info: Dict[str, object] | None = None
         self._dedicated = False
+        self._ladder_fleet = None
         self._session = None
 
     # -- data-plane session ------------------------------------------------------
@@ -448,7 +462,10 @@ class ProcessRunner:
         return self._fleet_info
 
     def close(self) -> None:
-        """Release run-scoped resources (dedicated pool, fresh session)."""
+        """Release run-scoped resources (dedicated pools, fresh session)."""
+        if self._ladder_fleet is not None:
+            self._ladder_fleet.shutdown()
+            self._ladder_fleet = None
         if self._dedicated and self._fleet is not None:
             self._fleet_info = self._fleet.describe()
             self._fleet.shutdown()
@@ -478,80 +495,259 @@ class ProcessRunner:
             size = max(1, len(tasks) // (self.workers * 4))
         return [tasks[i : i + size] for i in range(0, len(tasks), size)]
 
+    def _escalate(self, fleet):
+        """Climb one rung of the degradation ladder after a pool break.
+
+        Returns the fleet to continue on, or ``None`` once the policy's
+        pool-break budget is spent and the run falls back to inline
+        execution in the coordinator (the ladder's last rung — a run
+        always completes).
+        """
+        log = self.resilience
+        log.pool_breaks += 1
+        note_event("pool_breaks")
+        if log.pool_breaks >= self.retry.max_pool_breaks:
+            log.ladder = "inline"
+            return None
+        if log.pool_breaks == 1:
+            # First break: respawn the same fleet in place (warm-fleet
+            # sessions and registry membership are preserved).
+            log.ladder = "respawned"
+            note_event("pool_respawns")
+            fleet.respawn()
+            return fleet
+        # Second break: abandon the fleet for a dedicated fresh pool owned
+        # (and torn down) by this runner.  The shared warm fleet is left
+        # alone — other runs may hold it.
+        from repro.distributed.fleet import WorkerFleet
+
+        log.ladder = "fresh"
+        note_event("pool_respawns")
+        if self._ladder_fleet is not None:
+            self._ladder_fleet.shutdown()
+        self._ladder_fleet = WorkerFleet(self.workers, self.mp_context)
+        return self._ladder_fleet
+
+    def _run_inline(
+        self, tasks: Sequence[tuple[int, int, int]], quarantine: bool
+    ) -> Iterator[ShardOutcome]:
+        """Execute shards in the calling process (the ladder's last rung).
+
+        Worker-only fault kinds (crash/hang/error) are suppressed by
+        :func:`repro.faults.fire` in the coordinator, so a poison shard
+        that kept killing workers completes here — which is the whole
+        point of quarantine.
+        """
+        from repro.telemetry import span_or_null
+
+        log = self.resilience
+        context = _WorkerContext(self.payload)
+        for task in tasks:
+            before = data_plane_snapshot()
+            fire("shard.run", shard=task[0])
+            span = "shard.quarantine" if quarantine else "shard.run"
+            # Inline shards join the coordinator's ambient run directly
+            # (no cross-process propagation needed).
+            with span_or_null(
+                span,
+                shard_id=task[0],
+                start=task[1],
+                stop=task[2],
+                attempt=log.attempts.get(task[0], 0) + 1,
+            ):
+                outcome = context.run_shard(task)
+            outcome.data_plane = data_plane_delta(before)
+            fire("outcome.ship", shard=task[0])
+            yield outcome
+
     def map_shards(self, shards: Sequence[Shard]) -> Iterator[ShardOutcome]:
         """Yield shard outcomes as they complete (order is not guaranteed).
 
         The caller checkpoints each outcome as it arrives; closing the
         iterator early (cancellation) abandons unclaimed batches (and
-        tears down a dedicated pool).  A single pool break is recovered by
-        respawning the fleet and re-dispatching only the shards that never
-        produced an outcome.
+        tears down run-scoped pools).  Failures are handled under
+        :attr:`retry`: failed or watchdog-killed shards are re-dispatched
+        in isolation with bounded backoff, repeated pool breaks climb the
+        degradation ladder (respawn → fresh dedicated pool → inline), and
+        shards that exhaust their budget are quarantined and finished
+        inline — every path ends with all shards completed exactly once.
         """
         tasks = [(s.shard_id, s.start, s.stop) for s in shards]
         if not tasks:
             return
         if self.workers == 1:
-            from repro.telemetry import span_or_null
-
-            context = _WorkerContext(self.payload)
-            for task in tasks:
-                before = data_plane_snapshot()
-                # Inline shards join the coordinator's ambient run directly
-                # (no cross-process propagation needed).
-                with span_or_null(
-                    "shard.run", shard_id=task[0], start=task[1], stop=task[2]
-                ):
-                    outcome = context.run_shard(task)
-                outcome.data_plane = data_plane_delta(before)
-                yield outcome
+            fire("shard.claim", shard=tasks[0][0])
+            yield from self._run_inline(tasks, quarantine=False)
             return
 
+        from repro.telemetry import span_or_null
+
+        policy = self.retry
+        log = self.resilience
         fleet = self._acquire_fleet()
         inline_dataset = not isinstance(self.payload.dataset, DatasetHandle)
         completed: set[int] = set()
-        respawned = False
         pending: Dict[object, List[tuple]] = {}
+        queue: "deque[List[tuple]]" = deque(self._batches(tasks))
+        quarantined: List[tuple] = []
+        # After the first failure, dispatch single-shard batches so one
+        # bad shard cannot drag batch-mates into its retry accounting.
+        isolate = False
+        last_progress = time.monotonic()
 
-        def dispatch(batch_list: List[List[tuple]]) -> None:
-            for batch in batch_list:
-                pending[fleet.submit(_run_shard_batch, self.payload, batch)] = batch
+        def fill_window() -> None:
+            # Keep at most ``workers`` batches in flight: precise failure
+            # attribution (what is in flight is what is actually running)
+            # at no throughput cost — the pool has no more lanes anyway.
+            # Raises BrokenProcessPool (batch safely requeued) when the
+            # pool broke before the submit.
+            while queue and len(pending) < self.workers:
+                batch = queue.popleft()
+                if isolate and len(batch) > 1:
+                    for task in reversed(batch):
+                        queue.appendleft([task])
+                    continue
+                try:
+                    future = fleet.submit(_run_shard_batch, self.payload, batch)
+                except BrokenProcessPool:
+                    queue.appendleft(batch)
+                    raise
+                pending[future] = batch
                 if inline_dataset:
                     note_event("dataset_pickled")
 
-        dispatch(self._batches(tasks))
+        def account_failures(batches: List[List[tuple]]) -> float:
+            """Record failed attempts; requeue or quarantine. Returns backoff."""
+            delay = 0.0
+            requeue: List[tuple[int, tuple]] = []
+            for batch in batches:
+                for task in batch:
+                    sid = task[0]
+                    if sid in completed:
+                        continue
+                    failures = log.record_failure(sid)
+                    if policy.exhausted(failures):
+                        log.record_quarantine(sid)
+                        note_event("shards_quarantined")
+                        quarantined.append(task)
+                    else:
+                        log.retries += 1
+                        note_event("shard_retries")
+                        with span_or_null(
+                            "shard.retry",
+                            shard_id=sid,
+                            attempt=failures + 1,
+                            backoff_seconds=policy.backoff(failures),
+                        ):
+                            pass
+                        requeue.append((failures, task))
+                        delay = max(delay, policy.backoff(failures))
+            # Retries go behind untouched work, least-failed first, so the
+            # likeliest poison shard runs last (and alone).
+            requeue.sort(key=lambda item: (item[0], item[1][0]))
+            for _, task in requeue:
+                queue.append([task])
+            return delay
+
         try:
-            while pending:
-                done, _ = wait(set(pending), return_when=FIRST_COMPLETED)
+            while True:
+                try:
+                    fill_window()
+                except BrokenProcessPool:
+                    # The pool broke before a submit: everything in flight
+                    # on it is doomed too — same recovery as a mid-wait
+                    # break.
+                    failed = [pending.pop(f) for f in list(pending)]
+                    fleet = self._escalate(fleet)
+                    last_progress = time.monotonic()
+                    isolate = True
+                    delay = account_failures(failed)
+                    if fleet is None:
+                        break  # ladder exhausted — finish inline below
+                    if delay > 0.0:
+                        time.sleep(delay)
+                    continue
+                if not pending:
+                    break
+                done, _ = wait(
+                    set(pending),
+                    timeout=policy.wait_timeout(),
+                    return_when=FIRST_COMPLETED,
+                )
+                if not done:
+                    # Heartbeat watchdog: shards in flight but none have
+                    # completed for a whole deadline — declare the pool
+                    # hung and kill it; the broken-pool path below turns
+                    # the in-flight shards into ordinary retries.
+                    stalled = (
+                        policy.shard_deadline_seconds is not None
+                        and time.monotonic() - last_progress
+                        >= policy.shard_deadline_seconds
+                    )
+                    if stalled:
+                        log.watchdog_kills += 1
+                        note_event("watchdog_kills")
+                        fleet.kill_workers()
+                        last_progress = time.monotonic()
+                    continue
                 broken: BaseException | None = None
+                failed: List[List[tuple]] = []
                 for future in done:
-                    pending.pop(future)
+                    batch = pending.pop(future)
                     try:
                         outcomes = future.result()
                     except BrokenProcessPool as exc:
                         broken = broken or exc
+                        failed.append(batch)
+                        continue
+                    except Exception:
+                        # A worker-raised failure (injected error, pickling
+                        # trouble): the pool survives, the batch retries.
+                        failed.append(batch)
                         continue
                     for outcome in outcomes:
                         if outcome.shard_id in completed:
                             continue
                         completed.add(outcome.shard_id)
+                        last_progress = time.monotonic()
                         yield outcome
                 if broken is not None:
-                    if respawned:
-                        raise RuntimeError(
-                            "a distributed worker process died mid-run (killed "
-                            "or crashed); completed shards are preserved in the "
-                            "checkpoint ledger — rerun with resume to continue"
-                        ) from broken
-                    respawned = True
-                    note_event("pool_respawns")
-                    # Everything still pending is doomed with the broken
-                    # pool; re-dispatch every shard that never completed.
-                    pending.clear()
-                    fleet.respawn()
-                    remaining = [t for t in tasks if t[0] not in completed]
-                    dispatch(self._batches(remaining))
+                    # Everything in flight on a broken pool is doomed.
+                    for future in list(pending):
+                        failed.append(pending.pop(future))
+                    fleet = self._escalate(fleet)
+                    # A replacement pool pays spawn + hydration before its
+                    # first heartbeat; give it a fresh deadline window.
+                    last_progress = time.monotonic()
+                if failed:
+                    isolate = True
+                    delay = account_failures(failed)
+                    if fleet is None:
+                        break  # ladder exhausted — finish inline below
+                    if delay > 0.0:
+                        time.sleep(delay)
+
+            # The ladder's last rung: quarantined shards — and any
+            # stranded in the queue when the pool-break budget ran out —
+            # finish inline in the coordinator.  Deterministic shard
+            # computation plus the total merge order make this
+            # bit-identical to a fault-free run.
+            quarantined_ids = {task[0] for task in quarantined}
+            stranded = [
+                t
+                for t in tasks
+                if t[0] not in completed and t[0] not in quarantined_ids
+            ]
+            for group, quarantine in ((stranded, False), (quarantined, True)):
+                remaining = [t for t in group if t[0] not in completed]
+                if not remaining:
+                    continue
+                note_event("inline_fallbacks", len(remaining))
+                for outcome in self._run_inline(remaining, quarantine=quarantine):
+                    completed.add(outcome.shard_id)
+                    yield outcome
         finally:
             for future in pending:
                 future.cancel()
-            if self._dedicated:
+            if self._dedicated or self._ladder_fleet is not None:
                 self.close()

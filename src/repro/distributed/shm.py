@@ -34,10 +34,12 @@ from __future__ import annotations
 import atexit
 import hashlib
 import json
+import os
 import struct
 import threading
+import time
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -45,11 +47,14 @@ __all__ = [
     "DatasetHandle",
     "SharedEncodingStore",
     "StoreSession",
+    "SegmentInfo",
     "shared_store",
     "publish_dataset",
     "hydrate_dataset",
     "publish_encoding",
     "load_encoding",
+    "scan_segments",
+    "reap_orphans",
     "data_plane_snapshot",
     "data_plane_delta",
     "note_event",
@@ -153,6 +158,30 @@ def _attach_untracked(name: str):
         return None
     finally:
         resource_tracker.register = original
+
+
+def _parse_manifest(shm, key_text: str | None):
+    """Parse and check a segment header; returns the manifest or ``None``.
+
+    ``None`` marks a torn segment: missing magic, truncated length or
+    unparseable manifest — exactly what a publisher SIGKILLed mid-write
+    leaves behind.
+    """
+    buf = shm.buf
+    if buf is None or len(buf) < _HEADER_BYTES:
+        return None
+    if bytes(buf[0:_LEN_OFFSET]) != _MAGIC:
+        return None
+    (length,) = struct.unpack("<Q", bytes(buf[_LEN_OFFSET:_HEADER_BYTES]))
+    if length <= 0 or _HEADER_BYTES + length > len(buf):
+        return None
+    try:
+        manifest = json.loads(bytes(buf[_HEADER_BYTES : _HEADER_BYTES + length]))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None
+    if key_text is not None and manifest.get("key") != key_text:
+        return None
+    return manifest
 
 
 def _track(shm) -> None:
@@ -337,6 +366,12 @@ class SharedEncodingStore:
         for aname, arr in arrays.items():
             arr = np.ascontiguousarray(arr)
             payload.append((aname, arr))
+        # Owner provenance for the orphan reaper: a segment whose
+        # publishing process is gone (SIGKILL skips every atexit hook) is
+        # reclaimable; one with a live owner never is.  Not part of the
+        # content address — adoption only compares the key.  Computed once
+        # so the fixed-point iteration below sees a stable length.
+        owner = {"pid": os.getpid(), "created": round(time.time(), 3)}
         # Two passes: manifest length depends on the offsets, whose base
         # depends on the manifest length.  Iterate to a fixed point (the
         # JSON length stabilises after at most a couple of rounds because
@@ -360,6 +395,7 @@ class SharedEncodingStore:
                 "key": key_text,
                 "arrays": manifest_entries,
                 "meta": meta or {},
+                "owner": owner,
             }
             manifest_bytes = json.dumps(manifest, sort_keys=True).encode()
             new_base = _align(_HEADER_BYTES + len(manifest_bytes))
@@ -423,21 +459,7 @@ class SharedEncodingStore:
 
     def _validate(self, shm, key_text: str | None):
         """Parse and check a segment; returns the manifest or ``None``."""
-        buf = shm.buf
-        if buf is None or len(buf) < _HEADER_BYTES:
-            return None
-        if bytes(buf[0:_LEN_OFFSET]) != _MAGIC:
-            return None
-        (length,) = struct.unpack("<Q", bytes(buf[_LEN_OFFSET:_HEADER_BYTES]))
-        if length <= 0 or _HEADER_BYTES + length > len(buf):
-            return None
-        try:
-            manifest = json.loads(bytes(buf[_HEADER_BYTES : _HEADER_BYTES + length]))
-        except (UnicodeDecodeError, json.JSONDecodeError):
-            return None
-        if key_text is not None and manifest.get("key") != key_text:
-            return None
-        return manifest
+        return _parse_manifest(shm, key_text)
 
     # -- attach ---------------------------------------------------------------
     def load(
@@ -513,13 +535,188 @@ _STORE_LOCK = threading.Lock()
 
 
 def shared_store() -> SharedEncodingStore:
-    """The process-wide :class:`SharedEncodingStore` (created on demand)."""
+    """The process-wide :class:`SharedEncodingStore` (created on demand).
+
+    The first store in a *parent* process also sweeps orphaned segments:
+    a run killed with SIGKILL skips every ``atexit`` hook and leaves its
+    ``/dev/shm`` entries behind, so the next run reclaims whatever a dead
+    owner left (live owners' segments are never touched).
+    """
     global _STORE
+    import multiprocessing
+
+    sweep = False
     with _STORE_LOCK:
         if _STORE is None:
             _STORE = SharedEncodingStore()
             atexit.register(_STORE.close_all)
-        return _STORE
+            sweep = multiprocessing.parent_process() is None
+        store = _STORE
+    if sweep:
+        try:
+            reap_orphans()
+        except Exception:
+            pass
+    return store
+
+
+# -- orphan inventory and reaping ---------------------------------------------
+
+#: Where POSIX shared memory is mounted (Linux).  On platforms without it
+#: the scanner reports nothing — segments there are reclaimed by the OS
+#: differently and the reaper degrades to a no-op.
+_SHM_DIR = "/dev/shm"
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether a process with ``pid`` exists (signal-0 probe)."""
+    try:
+        os.kill(int(pid), 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    except OSError:
+        return False
+    return True
+
+
+@dataclass(frozen=True)
+class SegmentInfo:
+    """One shared-memory segment as seen by :func:`scan_segments`."""
+
+    name: str
+    size: int
+    #: Complete header (magic + parseable manifest)?  ``False`` marks a
+    #: torn write from a publisher that died mid-publish.
+    valid: bool
+    #: ``"dataset"`` / ``"encoding"`` (``None`` when torn).
+    kind: str | None = None
+    key: str | None = None
+    owner_pid: int | None = None
+    #: ``None`` when the segment predates owner provenance (or is torn).
+    owner_alive: bool | None = None
+    created: float | None = None
+
+    @property
+    def orphan(self) -> bool:
+        """Reclaimable: torn, or owned by a process that no longer exists."""
+        return (not self.valid) or self.owner_alive is False
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "size": int(self.size),
+            "valid": bool(self.valid),
+            "kind": self.kind,
+            "key": self.key,
+            "owner_pid": self.owner_pid,
+            "owner_alive": self.owner_alive,
+            "created": self.created,
+            "orphan": self.orphan,
+        }
+
+
+def scan_segments(prefix: str = "rp") -> List[SegmentInfo]:
+    """Inventory every repro shared-memory segment visible on this host.
+
+    Read-only: segments are attached, inspected and detached — nothing is
+    unlinked.  Returns an empty list on platforms without a ``/dev/shm``
+    listing.
+    """
+    if not os.path.isdir(_SHM_DIR):
+        return []
+    hex_digits = set("0123456789abcdef")
+    infos: List[SegmentInfo] = []
+    for entry in sorted(os.listdir(_SHM_DIR)):
+        suffix = entry[len(prefix) :]
+        if not entry.startswith(prefix) or len(suffix) != 24:
+            continue
+        if not set(suffix) <= hex_digits:
+            continue
+        try:
+            size = os.path.getsize(os.path.join(_SHM_DIR, entry))
+        except OSError:
+            size = 0
+        shm = _attach_untracked(entry)
+        if shm is None:
+            continue
+        try:
+            manifest = _parse_manifest(shm, None)
+            if manifest is None:
+                infos.append(SegmentInfo(name=entry, size=size, valid=False))
+                continue
+            key = manifest.get("key")
+            owner = manifest.get("owner") or {}
+            pid = owner.get("pid")
+            infos.append(
+                SegmentInfo(
+                    name=entry,
+                    size=size,
+                    valid=True,
+                    kind=(
+                        "dataset"
+                        if isinstance(key, str) and key.startswith("('dataset'")
+                        else "encoding"
+                    ),
+                    key=key,
+                    owner_pid=None if pid is None else int(pid),
+                    owner_alive=None if pid is None else _pid_alive(int(pid)),
+                    created=owner.get("created"),
+                )
+            )
+        finally:
+            _quiet_close(shm)
+    return infos
+
+
+def reap_orphans(
+    prefix: str = "rp", dry_run: bool = False, force: bool = False
+) -> List[SegmentInfo]:
+    """Unlink orphaned segments; returns what was (or would be) reclaimed.
+
+    A segment is an orphan when its header is torn or its owner process is
+    dead.  Segments owned or attached by *this* process are never touched,
+    nor are segments with a live owner — a sweep during someone else's run
+    reclaims only garbage.  ``force=True`` widens the net to segments with
+    unknown provenance (published before owner stamping existed);
+    ``dry_run=True`` reports without unlinking.
+    """
+    store = _STORE
+    protected: set[str] = set()
+    if store is not None:
+        with store._lock:
+            protected = set(store._owned) | set(store._attached)
+    reclaimed: List[SegmentInfo] = []
+    for info in scan_segments(prefix):
+        if info.name in protected:
+            continue
+        if info.owner_pid == os.getpid():
+            continue
+        eligible = info.orphan or (force and info.owner_alive is not True)
+        if not eligible:
+            continue
+        if not dry_run:
+            shm = _attach_untracked(info.name)
+            if shm is None:
+                continue
+            # The attach above never registered with the resource tracker,
+            # so the unlink must not unregister either (the tracker daemon
+            # logs a KeyError for unknown names).
+            from multiprocessing import resource_tracker
+
+            original = resource_tracker.unregister
+            resource_tracker.unregister = lambda *args, **kwargs: None
+            try:
+                shm.unlink()
+            except (FileNotFoundError, OSError):
+                pass
+            finally:
+                resource_tracker.unregister = original
+            _quiet_close(shm)
+            note_event("segments_reaped")
+        reclaimed.append(info)
+    return reclaimed
 
 
 # -- dataset transport --------------------------------------------------------
@@ -545,16 +742,44 @@ def _dataset_key(digest: str) -> tuple:
     return ("dataset", digest)
 
 
+def _tear_segment(key: object) -> None:
+    """Pre-write a torn segment under ``key`` (the torn-fault payload).
+
+    Creates the content-addressed segment with a zeroed header — no
+    completeness magic, exactly what a publisher killed mid-write leaves
+    behind — so the real publish that follows must take the
+    detect-and-replace path.  Skipped when the segment is already live in
+    this process (tearing it would corrupt a real run).
+    """
+    store = shared_store()
+    key_text = _key_text(key)
+    name = _segment_name(key_text, store.prefix)
+    with store._lock:
+        if name in store._owned or name in store._attached:
+            return
+    from multiprocessing.shared_memory import SharedMemory
+
+    try:
+        shm = SharedMemory(name=name, create=True, size=_HEADER_BYTES + _ALIGN)
+    except (FileExistsError, OSError):
+        return
+    shm.buf[:_HEADER_BYTES] = b"\x00" * _HEADER_BYTES
+    _quiet_close(shm)
+    note_event("segments_torn_injected")
+
+
 def publish_dataset(dataset, session: StoreSession | None = None) -> DatasetHandle:
     """Publish a :class:`GenotypeDataset` into shared memory.
 
     Returns the :class:`DatasetHandle` shard tasks ship in place of the
     arrays.  Publishing the same content twice reuses the live segment.
     """
+    from repro.faults import fire
     from repro.telemetry import span_or_null
 
     digest = dataset.content_digest()
     store = shared_store()
+    fire("shm.publish", tear=lambda: _tear_segment(_dataset_key(digest)))
     with span_or_null("shm.publish", kind="dataset", digest=digest[:12]):
         store.publish(
             _dataset_key(digest),
@@ -690,6 +915,7 @@ def publish_encoding(key: tuple, encoded, session: StoreSession | None = None) -
     codec — GPU layouts, duck-typed approaches — which workers rebuild
     locally from the shared dataset instead.
     """
+    from repro.faults import fire
     from repro.telemetry import span_or_null
 
     payload = _encode_encoding(encoded)
@@ -698,6 +924,7 @@ def publish_encoding(key: tuple, encoded, session: StoreSession | None = None) -
     codec, arrays, meta = payload
     meta = dict(meta)
     meta["codec"] = codec
+    fire("shm.publish", tear=lambda: _tear_segment(key))
     with span_or_null("shm.publish", kind="encoding", codec=codec):
         shared_store().publish(key, arrays, meta=meta, session=session)
     note_event("encoding_published")

@@ -35,6 +35,7 @@ from repro.perfmodel.distributed import (
     estimate_broadcast_seconds,
     estimate_distributed_run,
     estimate_gather_seconds,
+    estimate_recovery_seconds,
     shard_imbalance,
 )
 
@@ -51,6 +52,7 @@ __all__ = [
     "estimate_staged_search",
     "estimate_broadcast_seconds",
     "estimate_gather_seconds",
+    "estimate_recovery_seconds",
     "shard_imbalance",
     "estimate_distributed_run",
 ]

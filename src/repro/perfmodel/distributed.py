@@ -35,6 +35,7 @@ __all__ = [
     "estimate_broadcast_seconds",
     "estimate_gather_seconds",
     "estimate_spawn_seconds",
+    "estimate_recovery_seconds",
     "shard_imbalance",
     "estimate_distributed_run",
 ]
@@ -116,6 +117,42 @@ def estimate_spawn_seconds(
     return n_workers * max(0.0, spawn_seconds_per_worker)
 
 
+def estimate_recovery_seconds(
+    n_failures: int,
+    shard_seconds: float,
+    n_workers: int,
+    *,
+    backoff_seconds: float = 0.05,
+    backoff_factor: float = 2.0,
+    max_backoff_seconds: float = 2.0,
+    pool_break_every: int = 1,
+    spawn_seconds_per_worker: float = DEFAULT_SPAWN_SECONDS_PER_WORKER,
+) -> float:
+    """Modelled wall-clock cost of recovering from ``n_failures`` crashes.
+
+    Each failure re-executes its shard (one ``shard_seconds`` of lost
+    compute), waits out the runner's exponential backoff (mirroring
+    :class:`repro.distributed.resilience.RetryPolicy` — capped at
+    ``max_backoff_seconds``), and, when the crash broke the process pool
+    (every ``pool_break_every``-th failure; SIGKILL always does, an
+    in-worker exception never does), pays one pool respawn of
+    ``n_workers`` interpreter starts.
+    """
+    if n_failures < 0:
+        raise ValueError("n_failures must be non-negative")
+    if n_workers < 1:
+        raise ValueError("n_workers must be positive")
+    total = 0.0
+    for attempt in range(n_failures):
+        total += max(0.0, shard_seconds)
+        total += min(
+            max_backoff_seconds, backoff_seconds * backoff_factor**attempt
+        )
+        if pool_break_every > 0 and (attempt + 1) % pool_break_every == 0:
+            total += n_workers * max(0.0, spawn_seconds_per_worker)
+    return total
+
+
 def shard_imbalance(shard_sizes: Sequence[int], n_workers: int) -> float:
     """Makespan inflation of pull-based shard scheduling (``>= 1.0``).
 
@@ -155,6 +192,7 @@ def estimate_distributed_run(
     shm: bool = False,
     spawn_seconds_per_worker: float = DEFAULT_SPAWN_SECONDS_PER_WORKER,
     attach_seconds: float = DEFAULT_ATTACH_SECONDS,
+    n_failures: int = 0,
 ) -> Dict[str, object]:
     """Modelled wall-clock and scaling of a sharded multi-process sweep.
 
@@ -183,6 +221,13 @@ def estimate_distributed_run(
         broadcast with *one* shared-memory publish copy plus a per-worker
         ``attach_seconds`` map — the term that turns the linear-in-workers
         broadcast cost into a constant.
+    n_failures:
+        Expected worker crashes over the run; each adds one shard
+        re-execution, the retry backoff and a pool respawn
+        (:func:`estimate_recovery_seconds`).  The fault-free model is
+        ``n_failures=0`` (the default): detection is passive (the pool
+        break surfaces the failure), so resilience costs nothing until a
+        fault actually happens.
 
     Returns
     -------
@@ -244,12 +289,22 @@ def estimate_distributed_run(
     spawn_seconds = estimate_spawn_seconds(
         n_workers, pool, spawn_seconds_per_worker
     )
+    shard_seconds = (
+        max(sizes) * n_samples / per_worker if sizes and elements else 0.0
+    )
+    recovery_seconds = estimate_recovery_seconds(
+        n_failures,
+        shard_seconds,
+        n_workers,
+        spawn_seconds_per_worker=spawn_seconds_per_worker,
+    )
     total_seconds = (
         compute_seconds
         + broadcast_seconds
         + attach_total
         + gather_seconds
         + spawn_seconds
+        + recovery_seconds
     )
 
     ideal_single = elements / per_worker if elements else 0.0
@@ -271,6 +326,8 @@ def estimate_distributed_run(
         "attach_seconds": attach_total,
         "spawn_seconds": spawn_seconds,
         "gather_seconds": gather_seconds,
+        "n_failures": int(n_failures),
+        "recovery_seconds": recovery_seconds,
         "estimated_seconds": total_seconds,
         "elements_per_second": (
             elements / total_seconds if total_seconds > 0 else float("inf")

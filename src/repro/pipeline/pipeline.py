@@ -87,6 +87,12 @@ class SearchPipeline:
         spawns per stage.  ``shm`` controls the shared-memory data plane
         (``"on"``/``"off"``/``"auto"``; see
         :func:`repro.distributed.run_distributed`).
+    retry / faults:
+        Fault tolerance of the distributed sweep stages: ``retry`` is a
+        :class:`~repro.distributed.resilience.RetryPolicy` (per-shard
+        retry budget, heartbeat-watchdog deadline, pool-break ladder) and
+        ``faults`` a deterministic :class:`~repro.faults.FaultPlan` (or
+        compact spec string) injected for chaos testing.
     """
 
     def __init__(
@@ -110,6 +116,8 @@ class SearchPipeline:
         resume: bool = False,
         pool: str = "keep",
         shm: object = None,
+        retry: object = None,
+        faults: object = None,
     ) -> None:
         from repro.telemetry import check_telemetry_mode
 
@@ -126,6 +134,8 @@ class SearchPipeline:
         self.resume = resume
         self.pool = pool
         self.shm = shm
+        self.retry = retry
+        self.faults = faults
         self.defaults = PipelineDefaults(
             approach=approach,
             objective=objective,
@@ -211,6 +221,8 @@ class SearchPipeline:
             resume=self.resume,
             pool=self.pool,
             shm=self.shm,
+            retry=self.retry,
+            faults=self.faults,
         )
         ledger = self._open_ledger(dataset)
         if ledger is not None:

@@ -116,6 +116,11 @@ class StageContext:
     #: keeps alive.
     pool: str = "keep"
     shm: object = None
+    #: Fault-tolerance policy (:class:`~repro.distributed.resilience
+    #: .RetryPolicy` or ``None``) and deterministic fault-injection plan
+    #: threaded into every distributed stage sweep.
+    retry: object = None
+    faults: object = None
 
     @property
     def distributed(self) -> bool:
@@ -240,6 +245,8 @@ class PipelineStage(ABC):
                 cancel=ctx.cancel,
                 pool=ctx.pool,
                 shm=ctx.shm,
+                retry=ctx.retry,
+                faults=ctx.faults,
             )
             if outcome.cancelled or not outcome.completed:
                 raise RuntimeError(

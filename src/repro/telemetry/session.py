@@ -228,6 +228,12 @@ def absorb_stats(run: RunTelemetry, stats) -> None:
         for key, value in fleet.items():
             if isinstance(value, (int, float)):
                 metrics.set_gauge(f"fleet.{key}", value)
+        resilience = distributed.get("resilience") or {}
+        for key in ("retries", "watchdog_kills", "pool_breaks"):
+            metrics.inc(f"resilience.{key}", resilience.get(key, 0))
+        metrics.inc(
+            "resilience.quarantines", len(resilience.get("quarantined") or ())
+        )
     else:
         # In-process run: charge the data-plane/encoding-cache increments
         # observed in this process since the last absorb.

@@ -8,9 +8,10 @@ The acceptance properties of PR 6:
   detected and republished;
 * **zero re-packs** — a second ``detect()`` on the warm fleet ships no
   pickled arrays and misses the encoding cache exactly zero times;
-* **fault tolerance** — a worker SIGKILLed mid-run breaks the pool once,
-  the fleet respawns, un-completed shards are re-dispatched, and the
-  result is bit-identical to an undisturbed run;
+* **fault tolerance** — a seeded ``shard.run:crash`` fault SIGKILLs a
+  worker mid-run: the pool breaks once, the fleet respawns, un-completed
+  shards are re-dispatched, and the result is bit-identical to an
+  undisturbed run (the full chaos matrix lives in ``test_resilience.py``);
 * **bit-identity** — warm-pool runs (including checkpoint/resume slicing
   and the fleet-backed permutation null) match the inline ``workers=1``
   path exactly.
@@ -22,7 +23,6 @@ segment-lifecycle tests run entirely in-process.
 
 from __future__ import annotations
 
-import os
 from multiprocessing import shared_memory
 
 import numpy as np
@@ -32,7 +32,6 @@ from repro.core.detector import DetectorConfig
 from repro.core.encoding_cache import ENCODING_CACHE, encoding_cache_key
 from repro.datasets import PlantedInteraction, SyntheticConfig, generate_dataset
 from repro.distributed import run_distributed
-from repro.distributed.runner import FAULT_ENV
 from repro.distributed.shm import (
     DatasetHandle,
     data_plane_snapshot,
@@ -286,25 +285,25 @@ class TestWarmFleetRuns:
         assert all(s.extra.get("resumed") for s in replayed.stages)
 
     def test_worker_death_recovers_and_matches(self, dataset, tmp_path):
-        # pool="fresh" so the trigger env var set *now* reaches the worker
-        # processes (a keep-fleet spawned by an earlier test never saw it).
+        # One seeded SIGKILL at the shard.run site: the pool breaks once,
+        # the fleet respawns, the victim shard is retried, and the merge is
+        # still bit-identical.  The fault plan ships inside the worker
+        # payload, so the warm keep-fleet works too — pool="fresh" keeps
+        # this test independent of fleet state left by earlier tests.
         source = DenseRangeSource(dataset.n_snps, 2)
         config = self._config()
-        trigger = tmp_path / "kill-one-worker"
-        trigger.touch()
-        os.environ[FAULT_ENV] = str(trigger)
-        try:
-            outcome = run_distributed(
-                dataset, source, config=config, workers=2, pool="fresh"
-            )
-        finally:
-            os.environ.pop(FAULT_ENV, None)
+        outcome = run_distributed(
+            dataset, source, config=config, workers=2, pool="fresh",
+            faults="shard.run:crash",
+        )
         assert outcome.completed
-        # The trigger was consumed: exactly one worker died, the pool
-        # respawned exactly once, and the merge is still bit-identical.
-        assert not trigger.exists()
-        assert (tmp_path / "kill-one-worker.consumed").exists()
+        # The fault fired exactly once (count=1 is the default; a SIGKILLed
+        # worker ships no counters, so the evidence is coordinator-side):
+        # the pool broke and respawned once, and the victim shard retried.
+        assert outcome.resilience["pool_breaks"] == 1
         assert outcome.data_plane.get("pool_respawns", 0) == 1
+        assert outcome.resilience["retries"] >= 1
+        assert outcome.resilience["ladder"] == "respawned"
         inline = run_distributed(dataset, source, config=config, workers=1)
         assert [(i.snps, i.score) for i in outcome.top] == [
             (i.snps, i.score) for i in inline.top
